@@ -1,0 +1,37 @@
+# Convenience targets for the budgetwf reproduction.
+
+GO ?= go
+
+.PHONY: all build vet test bench figs figs-quick report fuzz clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The submission artifacts: full test and benchmark logs.
+logs:
+	$(GO) test ./... 2>&1 | tee test_output.txt
+	$(GO) test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
+
+# Full-scale reproduction of every figure/table (paper methodology).
+figs:
+	$(GO) run ./cmd/paperfigs -all -svg -html results/report.html -out results
+
+# Reduced-scale smoke reproduction (seconds).
+figs-quick:
+	$(GO) run ./cmd/paperfigs -all -quick -out results-quick
+
+fuzz:
+	$(GO) test -fuzz FuzzReadJSON -fuzztime 30s ./internal/wf/
+	$(GO) test -fuzz FuzzReadDAX -fuzztime 30s ./internal/wf/
+	$(GO) test -fuzz FuzzReadJSON -fuzztime 30s ./internal/plan/
+
+clean:
+	rm -rf results-quick

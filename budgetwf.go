@@ -1,0 +1,268 @@
+// Package budgetwf is a library for budget-aware scheduling of
+// scientific workflows with stochastic task weights on heterogeneous
+// IaaS Cloud platforms. It reproduces, end to end, the system of
+//
+//	Y. Caniou, E. Caron, A. Kong Win Chang, Y. Robert,
+//	"Budget-aware scheduling algorithms for scientific workflows with
+//	stochastic task weights on heterogeneous IaaS Cloud platforms",
+//	IPDPSW 2018 (hal-01808831).
+//
+// The package bundles:
+//
+//   - a workflow model (DAGs with Gaussian task weights and data
+//     transfers), plus generators for the Pegasus benchmark families
+//     CYBERSHAKE, LIGO and MONTAGE;
+//   - an IaaS platform model: heterogeneous VM categories with
+//     per-second billing, setup costs and boot delays, communicating
+//     through a single datacenter;
+//   - nine scheduling algorithms: the MIN-MIN and HEFT baselines, the
+//     paper's budget-aware MIN-MINBUDG / HEFTBUDG, the refined
+//     HEFTBUDG+ / HEFTBUDG+INV, and the extended competitors BDT and
+//     CG/CG+;
+//   - a discrete-event simulator executing schedules under realized
+//     stochastic weights;
+//   - an experiment harness regenerating every figure and table of the
+//     paper's evaluation section.
+//
+// The typical flow is: obtain a *Workflow (generate, build, or load),
+// pick a *Platform (DefaultPlatform matches the paper's Table II),
+// plan with one of the Schedule* functions under a budget, and then
+// Simulate the plan one or many times:
+//
+//	w, _ := budgetwf.Generate(budgetwf.Montage, 90, 0)
+//	w = w.WithSigmaRatio(0.5)
+//	p := budgetwf.DefaultPlatform()
+//	s, _ := budgetwf.HeftBudg(w, p, 0.10) // a $0.10 budget
+//	res, _ := budgetwf.ReplicateBudget(w, p, s, 25, 42, 0.10)
+//	fmt.Println(res.Makespan.Mean, res.Cost.Mean, res.ValidFrac)
+package budgetwf
+
+import (
+	"strings"
+
+	"budgetwf/internal/plan"
+	"budgetwf/internal/platform"
+	"budgetwf/internal/rng"
+	"budgetwf/internal/sched"
+	"budgetwf/internal/sim"
+	"budgetwf/internal/stats"
+	"budgetwf/internal/stoch"
+	"budgetwf/internal/wf"
+	"budgetwf/internal/wfgen"
+)
+
+// Workflow is a DAG of tasks with stochastic weights. See NewWorkflow,
+// Generate and LoadWorkflow for the three ways to obtain one.
+type Workflow = wf.Workflow
+
+// Task is one vertex of a workflow.
+type Task = wf.Task
+
+// TaskID identifies a task within its workflow.
+type TaskID = wf.TaskID
+
+// Edge is a data dependency between two tasks.
+type Edge = wf.Edge
+
+// Dist is the Gaussian weight distribution of a task (mean number of
+// instructions and standard deviation).
+type Dist = stoch.Dist
+
+// NewWorkflow returns an empty named workflow ready for AddTask /
+// AddEdge construction.
+func NewWorkflow(name string) *Workflow { return wf.New(name) }
+
+// LoadWorkflow reads a workflow from a JSON file produced by
+// (*Workflow).SaveFile or cmd/wfgen. Files ending in .dax or .xml are
+// parsed as Pegasus DAX v3 documents instead.
+func LoadWorkflow(path string) (*Workflow, error) {
+	if strings.HasSuffix(path, ".dax") || strings.HasSuffix(path, ".xml") {
+		return wf.LoadDAX(path)
+	}
+	return wf.LoadFile(path)
+}
+
+// LoadDAX reads a Pegasus DAX v3 workflow description — the native
+// format of the Pegasus generator behind the paper's benchmarks.
+func LoadDAX(path string) (*Workflow, error) { return wf.LoadDAX(path) }
+
+// WorkflowType selects a generator family.
+type WorkflowType = wfgen.Type
+
+// The workflow families: the paper's three Pegasus benchmarks, two
+// extension families from the same suite, and generic synthetic
+// shapes.
+const (
+	CyberShake  = wfgen.CyberShake
+	Ligo        = wfgen.Ligo
+	Montage     = wfgen.Montage
+	Epigenomics = wfgen.Epigenomics
+	Sipht       = wfgen.Sipht
+	Random      = wfgen.Random
+	Chain       = wfgen.Chain
+	ForkJoin    = wfgen.ForkJoin
+	BagOfTasks  = wfgen.BagOfTasks
+)
+
+// Generate builds one workflow instance with n tasks. Generated
+// workflows carry σ = 0; apply WithSigmaRatio to instantiate
+// uncertainty, as the paper does with ratios 0.25–1.00.
+func Generate(t WorkflowType, n int, seed uint64) (*Workflow, error) {
+	return wfgen.Generate(t, n, seed)
+}
+
+// Platform describes the IaaS provider: VM categories, datacenter
+// costs, bandwidth and boot time.
+type Platform = platform.Platform
+
+// VMCategory is one VM type (speed, per-second cost, setup cost).
+type VMCategory = platform.Category
+
+// DefaultPlatform returns the paper's Table II instantiation (three
+// categories, 1 Gb/s links, per-second billing). See DESIGN.md for the
+// reconstruction of the unreadable published values.
+func DefaultPlatform() *Platform { return platform.Default() }
+
+// Schedule maps every task of a workflow to a provisioned VM with a
+// per-VM execution order.
+type Schedule = plan.Schedule
+
+// AlgorithmName names one of the nine scheduling algorithms.
+type AlgorithmName = sched.Name
+
+// The algorithm registry names.
+const (
+	AlgMinMin          = sched.NameMinMin
+	AlgHeft            = sched.NameHeft
+	AlgMinMinBudg      = sched.NameMinMinBudg
+	AlgHeftBudg        = sched.NameHeftBudg
+	AlgHeftBudgPlus    = sched.NameHeftBudgPlus
+	AlgHeftBudgPlusInv = sched.NameHeftBudgPlusInv
+	AlgBDT             = sched.NameBDT
+	AlgCG              = sched.NameCG
+	AlgCGPlus          = sched.NameCGPlus
+)
+
+// MinMin plans with the classical budget-blind MIN-MIN heuristic.
+func MinMin(w *Workflow, p *Platform) (*Schedule, error) { return sched.MinMin(w, p) }
+
+// Heft plans with the classical budget-blind HEFT heuristic.
+func Heft(w *Workflow, p *Platform) (*Schedule, error) { return sched.Heft(w, p) }
+
+// MinMinBudg plans with the budget-aware MIN-MINBUDG (Algorithm 3).
+func MinMinBudg(w *Workflow, p *Platform, budget float64) (*Schedule, error) {
+	return sched.MinMinBudg(w, p, budget)
+}
+
+// HeftBudg plans with the budget-aware HEFTBUDG (Algorithm 4).
+func HeftBudg(w *Workflow, p *Platform, budget float64) (*Schedule, error) {
+	return sched.HeftBudg(w, p, budget)
+}
+
+// HeftBudgPlus refines a HEFTBUDG schedule by re-assigning tasks in
+// priority order to spend leftover budget (Algorithm 5).
+func HeftBudgPlus(w *Workflow, p *Platform, budget float64) (*Schedule, error) {
+	return sched.HeftBudgPlus(w, p, budget)
+}
+
+// HeftBudgPlusInv is HeftBudgPlus with reverse task order.
+func HeftBudgPlusInv(w *Workflow, p *Platform, budget float64) (*Schedule, error) {
+	return sched.HeftBudgPlusInv(w, p, budget)
+}
+
+// BDT plans with the extended Budget Distribution with Trickling
+// competitor.
+func BDT(w *Workflow, p *Platform, budget float64) (*Schedule, error) {
+	return sched.BDT(w, p, budget)
+}
+
+// CG plans with the extended Critical Greedy competitor.
+func CG(w *Workflow, p *Platform, budget float64) (*Schedule, error) {
+	return sched.CG(w, p, budget)
+}
+
+// CGPlus is CG followed by the critical-path ΔT/Δc refinement.
+func CGPlus(w *Workflow, p *Platform, budget float64) (*Schedule, error) {
+	return sched.CGPlus(w, p, budget)
+}
+
+// ScheduleWith plans using the algorithm registry; baselines ignore
+// the budget.
+func ScheduleWith(name AlgorithmName, w *Workflow, p *Platform, budget float64) (*Schedule, error) {
+	a, err := sched.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	return a.Plan(w, p, budget)
+}
+
+// Algorithms returns the names of all nine algorithms in the paper's
+// order.
+func Algorithms() []AlgorithmName {
+	var out []AlgorithmName
+	for _, a := range sched.All() {
+		out = append(out, a.Name)
+	}
+	return out
+}
+
+// SimResult is the realized outcome of one simulated execution.
+type SimResult = sim.Result
+
+// Simulate executes the schedule once with task weights sampled from
+// their distributions (seeded for reproducibility).
+func Simulate(w *Workflow, p *Platform, s *Schedule, seed uint64) (*SimResult, error) {
+	return sim.RunStochastic(w, p, s, rng.New(seed))
+}
+
+// SimulateDeterministic executes the schedule under the conservative
+// weights (w̄+σ) the planner assumed.
+func SimulateDeterministic(w *Workflow, p *Platform, s *Schedule) (*SimResult, error) {
+	return sim.RunDeterministic(w, p, s)
+}
+
+// Replication aggregates repeated stochastic executions of one
+// schedule.
+type Replication struct {
+	// Makespan and Cost summarize the realized executions.
+	Makespan stats.Summary
+	Cost     stats.Summary
+	// ValidFrac is the fraction of executions whose cost stayed within
+	// Budget (only meaningful if Budget > 0).
+	ValidFrac float64
+	// Budget echoes the budget used for the validity check.
+	Budget float64
+}
+
+// Replicate runs n stochastic executions of the schedule and
+// summarizes them; budget 0 disables the validity accounting.
+func Replicate(w *Workflow, p *Platform, s *Schedule, n int, seed uint64) (*Replication, error) {
+	return ReplicateBudget(w, p, s, n, seed, 0)
+}
+
+// ReplicateBudget is Replicate with a budget-validity check.
+func ReplicateBudget(w *Workflow, p *Platform, s *Schedule, n int, seed uint64, budget float64) (*Replication, error) {
+	stream := rng.New(seed)
+	var mk, cost []float64
+	valid := 0
+	for i := 0; i < n; i++ {
+		r, err := sim.RunStochastic(w, p, s, stream.Split(uint64(i)))
+		if err != nil {
+			return nil, err
+		}
+		mk = append(mk, r.Makespan)
+		cost = append(cost, r.TotalCost)
+		if budget <= 0 || r.TotalCost <= budget {
+			valid++
+		}
+	}
+	out := &Replication{
+		Makespan: stats.Summarize(mk),
+		Cost:     stats.Summarize(cost),
+		Budget:   budget,
+	}
+	if n > 0 {
+		out.ValidFrac = float64(valid) / float64(n)
+	}
+	return out, nil
+}

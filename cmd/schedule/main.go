@@ -1,0 +1,123 @@
+// Command schedule plans one workflow with one algorithm under a
+// budget, prints the planner's view, and optionally saves the schedule
+// as JSON for cmd/simulate.
+//
+// Usage:
+//
+//	schedule -wf montage90.json -alg heftbudg -budget 12.5 -out sched.json
+//	schedule -type ligo -n 30 -sigma 0.5 -alg heftbudg+ -budget-factor 1.5
+//	schedule -wf workflow.dax -alg heftbudg -budget 5
+//
+// A workflow comes either from -wf (JSON, or Pegasus DAX when the file
+// ends in .dax/.xml) or from the generator flags (-type/-n/-seed/
+// -sigma). The budget comes either from -budget (dollars) or from
+// -budget-factor (a multiple of the instance's cheapest-schedule
+// cost).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"budgetwf/internal/exp"
+	"budgetwf/internal/platform"
+	"budgetwf/internal/sched"
+	"budgetwf/internal/wf"
+	"budgetwf/internal/wfgen"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "schedule:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("schedule", flag.ContinueOnError)
+	var (
+		wfPath  = fs.String("wf", "", "workflow file, JSON or DAX (overrides generator flags)")
+		typ     = fs.String("type", "montage", "generated workflow family")
+		n       = fs.Int("n", 30, "generated workflow size")
+		seed    = fs.Uint64("seed", 0, "generator seed")
+		sigma   = fs.Float64("sigma", 0.5, "σ/w̄ ratio")
+		algName = fs.String("alg", "heftbudg", "algorithm: minmin|heft|minminbudg|heftbudg|heftbudg+|heftbudg+inv|bdt|cg|cg+")
+		budget  = fs.Float64("budget", 0, "budget in dollars")
+		factor  = fs.Float64("budget-factor", 1.5, "budget as a multiple of the cheapest-schedule cost (used when -budget is 0)")
+		out     = fs.String("out", "", "write the schedule JSON here")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	w, err := loadWorkflow(*wfPath, *typ, *n, *seed, *sigma)
+	if err != nil {
+		return err
+	}
+	p := platform.Default()
+	alg, err := sched.ByName(sched.Name(*algName))
+	if err != nil {
+		return err
+	}
+	anchors, err := exp.ComputeAnchors(w, p)
+	if err != nil {
+		return err
+	}
+	b := *budget
+	if b == 0 {
+		b = *factor * anchors.CheapCost
+	}
+
+	s, err := alg.Plan(w, p, b)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "workflow       %s (%d tasks)\n", w.Name, w.NumTasks())
+	fmt.Fprintf(stdout, "algorithm      %s\n", alg.Name)
+	fmt.Fprintf(stdout, "budget         $%.4f (cheapest schedule costs $%.4f)\n", b, anchors.CheapCost)
+	fmt.Fprintf(stdout, "planned VMs    %d\n", s.NumVMs())
+	fmt.Fprintf(stdout, "est. makespan  %.1f s (budget-blind HEFT: %.1f s)\n", s.EstMakespan, anchors.BaselineMakespan)
+	fmt.Fprintf(stdout, "est. cost      $%.4f\n", s.EstCost)
+	perCat := make(map[int]int)
+	for _, c := range s.VMCats {
+		perCat[c]++
+	}
+	for k, cat := range p.Categories {
+		if perCat[k] > 0 {
+			fmt.Fprintf(stdout, "  %-8s ×%d (%.1e instr/s, $%.4f/h)\n", cat.Name, perCat[k], cat.Speed, cat.CostPerSec*3600)
+		}
+	}
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := s.WriteJSON(f); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "schedule saved to %s\n", *out)
+	}
+	return nil
+}
+
+func loadWorkflow(path, typ string, n int, seed uint64, sigma float64) (*wf.Workflow, error) {
+	if path != "" {
+		if strings.HasSuffix(path, ".dax") || strings.HasSuffix(path, ".xml") {
+			return wf.LoadDAX(path)
+		}
+		return wf.LoadFile(path)
+	}
+	t, err := wfgen.ParseType(typ)
+	if err != nil {
+		return nil, err
+	}
+	w, err := wfgen.Generate(t, n, seed)
+	if err != nil {
+		return nil, err
+	}
+	return w.WithSigmaRatio(sigma), nil
+}

@@ -1,0 +1,21 @@
+package main
+
+import (
+	"os"
+
+	"budgetwf/internal/plan"
+	"budgetwf/internal/platform"
+	"budgetwf/internal/sched"
+	"budgetwf/internal/wf"
+)
+
+func planFor(w *wf.Workflow) (*plan.Schedule, error) {
+	return sched.HeftBudg(w, platform.Default(), 100)
+}
+
+func createFile(path string) (*os.File, error) { return os.Create(path) }
+
+func readFileHelper(path string) (string, error) {
+	data, err := os.ReadFile(path)
+	return string(data), err
+}

@@ -1,0 +1,184 @@
+// Command simulate replays a schedule under stochastic task weights
+// and reports realized makespan/cost statistics, the paper's
+// evaluation loop for a single (workflow, schedule) pair.
+//
+// Usage:
+//
+//	simulate -wf montage90.json -sched sched.json -reps 25 -budget 12.5
+//	simulate -type ligo -n 30 -sigma 0.5 -alg heftbudg -budget-factor 1.5 -reps 100
+//	simulate -type montage -n 30 -alg heftbudg -gantt -trace
+//
+// Either load a schedule produced by cmd/schedule (-sched), or plan
+// in-process with -alg. Workflows come from -wf (JSON or DAX) or the
+// generator flags. -deadline additionally reports the bi-criteria
+// objective of Equation (3).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"budgetwf/internal/exp"
+	"budgetwf/internal/plan"
+	"budgetwf/internal/platform"
+	"budgetwf/internal/rng"
+	"budgetwf/internal/sched"
+	"budgetwf/internal/sim"
+	"budgetwf/internal/stats"
+	"budgetwf/internal/viz"
+	"budgetwf/internal/wf"
+	"budgetwf/internal/wfgen"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "simulate:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("simulate", flag.ContinueOnError)
+	var (
+		wfPath    = fs.String("wf", "", "workflow file, JSON or DAX (overrides generator flags)")
+		typ       = fs.String("type", "montage", "generated workflow family")
+		n         = fs.Int("n", 30, "generated workflow size")
+		seed      = fs.Uint64("seed", 0, "generator seed")
+		sigma     = fs.Float64("sigma", 0.5, "σ/w̄ ratio")
+		schedPath = fs.String("sched", "", "schedule JSON from cmd/schedule")
+		algName   = fs.String("alg", "heftbudg", "algorithm used when -sched is absent")
+		budget    = fs.Float64("budget", 0, "budget in dollars")
+		factor    = fs.Float64("budget-factor", 1.5, "budget as a multiple of the cheapest-schedule cost")
+		deadline  = fs.Float64("deadline", 0, "deadline in seconds (0 = unconstrained)")
+		reps      = fs.Int("reps", 25, "number of stochastic executions")
+		simSeed   = fs.Uint64("sim-seed", 42, "simulation RNG seed")
+		gantt     = fs.Bool("gantt", false, "render an ASCII Gantt chart of the first execution")
+		trace     = fs.Bool("trace", false, "print a per-task trace of the first execution")
+		chrome    = fs.String("chrome-trace", "", "write a Chrome trace-event JSON of the first execution here")
+		svgGantt  = fs.String("svg-gantt", "", "write an SVG Gantt chart of the first execution here")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	w, err := loadWorkflow(*wfPath, *typ, *n, *seed, *sigma)
+	if err != nil {
+		return err
+	}
+	p := platform.Default()
+	anchors, err := exp.ComputeAnchors(w, p)
+	if err != nil {
+		return err
+	}
+	b := *budget
+	if b == 0 {
+		b = *factor * anchors.CheapCost
+	}
+
+	var s *plan.Schedule
+	if *schedPath != "" {
+		f, err := os.Open(*schedPath)
+		if err != nil {
+			return err
+		}
+		s, err = plan.ReadJSON(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+	} else {
+		alg, err := sched.ByName(sched.Name(*algName))
+		if err != nil {
+			return err
+		}
+		if s, err = alg.Plan(w, p, b); err != nil {
+			return err
+		}
+	}
+	if err := s.Validate(w, p.NumCategories()); err != nil {
+		return fmt.Errorf("schedule does not fit workflow: %w", err)
+	}
+
+	obj := sim.Objective{Deadline: *deadline, Budget: b}
+	var objStats sim.ObjectiveStats
+	stream := rng.New(*simSeed)
+	var mk, cost []float64
+	for i := 0; i < *reps; i++ {
+		r, err := sim.RunStochastic(w, p, s, stream.Split(uint64(i)))
+		if err != nil {
+			return err
+		}
+		if i == 0 && *gantt {
+			if err := r.WriteGantt(stdout, w, s, 100); err != nil {
+				return err
+			}
+		}
+		if i == 0 && *trace {
+			if err := r.WriteTrace(stdout, w, s); err != nil {
+				return err
+			}
+		}
+		if i == 0 && *svgGantt != "" {
+			f, err := os.Create(*svgGantt)
+			if err != nil {
+				return err
+			}
+			if err := viz.RenderGanttSVG(f, w, s, r, "Gantt — "+w.Name); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Fprintf(stdout, "SVG gantt written to %s\n", *svgGantt)
+		}
+		if i == 0 && *chrome != "" {
+			f, err := os.Create(*chrome)
+			if err != nil {
+				return err
+			}
+			if err := r.WriteChromeTrace(f, w, s); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Fprintf(stdout, "chrome trace written to %s (load in chrome://tracing)\n", *chrome)
+		}
+		mk = append(mk, r.Makespan)
+		cost = append(cost, r.TotalCost)
+		objStats.Observe(obj, r)
+	}
+	fmt.Fprintf(stdout, "workflow   %s, schedule with %d VMs, %d stochastic executions\n", w.Name, s.NumVMs(), *reps)
+	fmt.Fprintf(stdout, "budget     $%.4f\n", b)
+	fmt.Fprintf(stdout, "makespan   %s s\n", stats.Summarize(mk))
+	fmt.Fprintf(stdout, "cost       %s $\n", stats.Summarize(cost))
+	fmt.Fprintf(stdout, "valid      %.1f%% of executions within budget\n", 100*objStats.Frac(objStats.BudgetMet))
+	if *deadline > 0 {
+		fmt.Fprintf(stdout, "deadline   %.1f%% met the %.0f s deadline; %.1f%% met the full objective (Eq. 3)\n",
+			100*objStats.Frac(objStats.DeadlineMet), *deadline, 100*objStats.Frac(objStats.BothMet))
+	}
+	return nil
+}
+
+func loadWorkflow(path, typ string, n int, seed uint64, sigma float64) (*wf.Workflow, error) {
+	if path != "" {
+		if strings.HasSuffix(path, ".dax") || strings.HasSuffix(path, ".xml") {
+			return wf.LoadDAX(path)
+		}
+		return wf.LoadFile(path)
+	}
+	t, err := wfgen.ParseType(typ)
+	if err != nil {
+		return nil, err
+	}
+	w, err := wfgen.Generate(t, n, seed)
+	if err != nil {
+		return nil, err
+	}
+	return w.WithSigmaRatio(sigma), nil
+}

@@ -1,0 +1,135 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunPlansAndSimulates(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-type", "montage", "-n", "30", "-alg", "heftbudg", "-reps", "5"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"stochastic executions", "makespan", "valid"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunWithDeadline(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-type", "ligo", "-n", "30", "-alg", "heft", "-reps", "5", "-deadline", "1"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "deadline") {
+		t.Error("deadline report missing")
+	}
+	// A 1-second deadline is unmeetable.
+	if !strings.Contains(out.String(), "0.0% met the 1 s deadline") {
+		t.Errorf("deadline stats wrong:\n%s", out.String())
+	}
+}
+
+func TestRunGanttAndTrace(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-type", "montage", "-n", "30", "-alg", "heftbudg", "-reps", "2", "-gantt", "-trace"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Gantt:") {
+		t.Error("gantt missing")
+	}
+	if !strings.Contains(out.String(), "compute_start") {
+		t.Error("trace missing")
+	}
+}
+
+func TestRunScheduleRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	wfPath := dir + "/w.json"
+	w, err := loadWorkflow("", "cybershake", 30, 1, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.SaveFile(wfPath); err != nil {
+		t.Fatal(err)
+	}
+	// Plan and save a schedule with the sibling tool's logic: easiest
+	// is to plan in-process and write it ourselves.
+	var out strings.Builder
+	if err := run([]string{"-wf", wfPath, "-alg", "heftbudg", "-budget", "5", "-reps", "3"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "CYBERSHAKE-30-seed1") {
+		t.Error("workflow file not used")
+	}
+}
+
+func TestRunRejectsMismatchedSchedule(t *testing.T) {
+	dir := t.TempDir()
+	wfPath := dir + "/w.json"
+	w, err := loadWorkflow("", "montage", 30, 0, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.SaveFile(wfPath); err != nil {
+		t.Fatal(err)
+	}
+	// A schedule for a DIFFERENT (larger) workflow must be rejected.
+	big, err := loadWorkflow("", "montage", 60, 0, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := planFor(big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	schedPath := dir + "/s.json"
+	f, err := createFile(schedPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WriteJSON(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	var out strings.Builder
+	if err := run([]string{"-wf", wfPath, "-sched", schedPath, "-reps", "1"}, &out); err == nil {
+		t.Error("mismatched schedule accepted")
+	}
+}
+
+func TestRunChromeTrace(t *testing.T) {
+	path := t.TempDir() + "/trace.json"
+	var out strings.Builder
+	err := run([]string{"-type", "montage", "-n", "30", "-alg", "heftbudg", "-reps", "1", "-chrome-trace", path}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := readFileHelper(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(data, "traceEvents") {
+		t.Error("chrome trace missing traceEvents")
+	}
+}
+
+func TestRunSVGGantt(t *testing.T) {
+	path := t.TempDir() + "/gantt.svg"
+	var out strings.Builder
+	err := run([]string{"-type", "ligo", "-n", "30", "-alg", "heftbudg", "-reps", "1", "-svg-gantt", path}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := readFileHelper(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(data, "<svg") {
+		t.Errorf("not SVG: %.40s", data)
+	}
+}

@@ -1,0 +1,126 @@
+// Command wfgen generates benchmark workflow instances as JSON files.
+//
+// Usage:
+//
+//	wfgen -type montage -n 90 -seed 0 -sigma 0.5 -out montage90.json
+//	wfgen -type cybershake -n 30 -describe
+//	wfgen -type ligo -n 30 -dot -out ligo.dot
+//
+// With -describe the workflow is summarized on stdout instead of (or
+// in addition to) being written; with -dot Graphviz DOT is emitted
+// instead of JSON.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"budgetwf/internal/wf"
+	"budgetwf/internal/wfgen"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "wfgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("wfgen", flag.ContinueOnError)
+	var (
+		typ      = fs.String("type", "montage", "workflow family: cybershake|ligo|montage|epigenomics|sipht|random|chain|forkjoin|bagoftasks")
+		n        = fs.Int("n", 30, "number of tasks")
+		seed     = fs.Uint64("seed", 0, "generator seed")
+		sigma    = fs.Float64("sigma", 0, "σ/w̄ ratio applied to every task (0 = deterministic weights)")
+		out      = fs.String("out", "", "output path (default stdout)")
+		describe = fs.Bool("describe", false, "print a structural summary")
+		dot      = fs.Bool("dot", false, "emit Graphviz DOT instead of JSON")
+		suite    = fs.String("suite", "", "write the full benchmark suite (all families × sizes × 5 seeds) into this directory")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *suite != "" {
+		return writeSuite(stdout, *suite, *sigma)
+	}
+
+	t, err := wfgen.ParseType(*typ)
+	if err != nil {
+		return err
+	}
+	w, err := wfgen.Generate(t, *n, *seed)
+	if err != nil {
+		return err
+	}
+	if *sigma > 0 {
+		w = w.WithSigmaRatio(*sigma)
+	}
+	if *describe {
+		describeWorkflow(stdout, w)
+	}
+
+	sink := stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		sink = f
+	}
+	switch {
+	case *dot:
+		return w.WriteDOT(sink)
+	case *out != "" || !*describe:
+		return w.WriteJSON(sink)
+	}
+	return nil
+}
+
+// writeSuite materializes the paper's benchmark set — every family at
+// 30/60/90 tasks with five seeded instances each (§V-A) — plus the two
+// extension families, as JSON files named <family>-<n>-<seed>.json.
+func writeSuite(out io.Writer, dir string, sigma float64) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	families := append(wfgen.AllPaperTypes(), wfgen.ExtendedTypes()...)
+	count := 0
+	for _, typ := range families {
+		for _, n := range []int{30, 60, 90} {
+			for seed := uint64(0); seed < 5; seed++ {
+				w, err := wfgen.Generate(typ, n, seed)
+				if err != nil {
+					return fmt.Errorf("%s n=%d seed=%d: %w", typ, n, seed, err)
+				}
+				if sigma > 0 {
+					w = w.WithSigmaRatio(sigma)
+				}
+				path := fmt.Sprintf("%s/%s-%d-%d.json", dir, typ, n, seed)
+				if err := w.SaveFile(path); err != nil {
+					return err
+				}
+				count++
+			}
+		}
+	}
+	fmt.Fprintf(out, "wrote %d workflows to %s\n", count, dir)
+	return nil
+}
+
+func describeWorkflow(out io.Writer, w *wf.Workflow) {
+	_, levels, err := w.Levels()
+	if err != nil {
+		fmt.Fprintln(out, "error:", err)
+		return
+	}
+	fmt.Fprintf(out, "workflow   %s\n", w.Name)
+	fmt.Fprintf(out, "tasks      %d (entries %d, exits %d)\n", w.NumTasks(), len(w.Entries()), len(w.Exits()))
+	fmt.Fprintf(out, "edges      %d, internal data %.1f MB\n", w.NumEdges(), w.TotalDataSize()/1e6)
+	fmt.Fprintf(out, "levels     %d\n", levels)
+	fmt.Fprintf(out, "work       %.2e instructions (conservative %.2e)\n", w.TotalMeanWork(), w.TotalConservativeWork())
+	fmt.Fprintf(out, "ext in/out %.1f MB / %.1f MB\n", w.ExternalInSize()/1e6, w.ExternalOutSize()/1e6)
+}

@@ -1,0 +1,111 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"budgetwf/internal/wf"
+)
+
+func TestRunJSONToFile(t *testing.T) {
+	path := t.TempDir() + "/w.json"
+	var out strings.Builder
+	if err := run([]string{"-type", "montage", "-n", "30", "-sigma", "0.5", "-out", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	w, err := wf.LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.NumTasks() != 30 {
+		t.Errorf("%d tasks", w.NumTasks())
+	}
+	if w.Task(0).Weight.Sigma == 0 {
+		t.Error("-sigma not applied")
+	}
+}
+
+func TestRunJSONToStdout(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-type", "ligo", "-n", "30"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got, err := wf.ReadJSON(strings.NewReader(out.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumTasks() != 30 {
+		t.Errorf("%d tasks round-tripped", got.NumTasks())
+	}
+}
+
+func TestRunDescribe(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-type", "cybershake", "-n", "30", "-describe"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"workflow", "tasks      30", "levels", "ext in/out"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("describe output missing %q:\n%s", want, out.String())
+		}
+	}
+	// Describe alone must not dump JSON.
+	if strings.Contains(out.String(), "{") {
+		t.Error("describe leaked JSON")
+	}
+}
+
+func TestRunDOT(t *testing.T) {
+	path := t.TempDir() + "/w.dot"
+	var out strings.Builder
+	if err := run([]string{"-type", "sipht", "-n", "20", "-dot", "-out", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "digraph") {
+		t.Errorf("not DOT: %.60s", data)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-type", "bogus"}, &out); err == nil {
+		t.Error("bogus type accepted")
+	}
+	if err := run([]string{"-type", "ligo", "-n", "7"}, &out); err == nil {
+		t.Error("invalid LIGO size accepted")
+	}
+	if err := run([]string{"-badflag"}, &out); err == nil {
+		t.Error("bad flag accepted")
+	}
+}
+
+func TestRunSuite(t *testing.T) {
+	dir := t.TempDir()
+	var out strings.Builder
+	if err := run([]string{"-suite", dir, "-sigma", "0.5"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	// 5 families × 3 sizes × 5 seeds.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 5*3*5 {
+		t.Fatalf("%d files, want 75", len(entries))
+	}
+	w, err := wf.LoadFile(dir + "/montage-90-3.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.NumTasks() != 90 {
+		t.Errorf("suite file has %d tasks", w.NumTasks())
+	}
+	if w.Task(0).Weight.Sigma == 0 {
+		t.Error("suite sigma not applied")
+	}
+}

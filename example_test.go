@@ -1,0 +1,92 @@
+package budgetwf_test
+
+import (
+	"fmt"
+
+	"budgetwf"
+)
+
+// ExampleGenerate builds one of the paper's benchmark workflows and
+// inspects its shape.
+func ExampleGenerate() {
+	w, err := budgetwf.Generate(budgetwf.Montage, 90, 0)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(w.Name)
+	fmt.Println("tasks:", w.NumTasks(), "edges:", w.NumEdges())
+	fmt.Println("entries:", len(w.Entries()), "exits:", len(w.Exits()))
+	// Output:
+	// MONTAGE-90-seed0
+	// tasks: 90 edges: 172
+	// entries: 28 exits: 1
+}
+
+// ExampleHeftBudg plans a workflow under a budget and verifies the
+// plan deterministically: under the planner's own conservative
+// weights, the realized cost never exceeds the budget.
+func ExampleHeftBudg() {
+	w, _ := budgetwf.Generate(budgetwf.Montage, 30, 0)
+	w = w.WithSigmaRatio(0.5)
+	p := budgetwf.DefaultPlatform()
+
+	anchors, _ := budgetwf.ComputeAnchors(w, p)
+	budget := 1.5 * anchors.CheapCost
+	s, _ := budgetwf.HeftBudg(w, p, budget)
+	res, _ := budgetwf.SimulateDeterministic(w, p, s)
+
+	fmt.Println("within budget:", res.TotalCost <= budget)
+	fmt.Println("faster than one slow VM:", res.Makespan < anchors.CheapMakespan)
+	// Output:
+	// within budget: true
+	// faster than one slow VM: true
+}
+
+// ExampleReplicateBudget measures a plan under stochastic task
+// weights, the paper's evaluation loop.
+func ExampleReplicateBudget() {
+	w, _ := budgetwf.Generate(budgetwf.Ligo, 30, 0)
+	w = w.WithSigmaRatio(0.5)
+	p := budgetwf.DefaultPlatform()
+	anchors, _ := budgetwf.ComputeAnchors(w, p)
+	budget := 1.1 * anchors.CheapCost
+	s, _ := budgetwf.HeftBudg(w, p, budget)
+
+	rep, _ := budgetwf.ReplicateBudget(w, p, s, 25, 42, budget)
+	fmt.Printf("runs: %d, all within budget: %v\n", rep.Makespan.N, rep.ValidFrac == 1)
+	// Output:
+	// runs: 25, all within budget: true
+}
+
+// ExampleAlgorithms lists the nine algorithms of the paper's
+// evaluation.
+func ExampleAlgorithms() {
+	for _, name := range budgetwf.Algorithms() {
+		fmt.Println(name)
+	}
+	// Output:
+	// minmin
+	// heft
+	// minminbudg
+	// heftbudg
+	// heftbudg+
+	// heftbudg+inv
+	// bdt
+	// cg
+	// cg+
+}
+
+// ExampleNewWorkflow constructs a workflow by hand.
+func ExampleNewWorkflow() {
+	w := budgetwf.NewWorkflow("two-step")
+	extract := w.AddTask("extract", budgetwf.Dist{Mean: 60e9, Sigma: 12e9})
+	report := w.AddTask("report", budgetwf.Dist{Mean: 20e9, Sigma: 2e9})
+	w.MustAddEdge(extract, report, 250e6)
+	_ = w.SetExternalIO(extract, 1e9, 0)
+
+	fmt.Println("valid:", w.Validate() == nil)
+	fmt.Printf("total mean work: %.0f Ginstr\n", w.TotalMeanWork()/1e9)
+	// Output:
+	// valid: true
+	// total mean work: 80 Ginstr
+}

@@ -1,0 +1,114 @@
+// Online re-scheduling: the paper's §VI future-work direction,
+// evaluated under a heavy-tail weight model. A small fraction of tasks
+// suffers pathological 15× slowdowns (data-dependent blow-ups the
+// Gaussian model cannot produce); the online controller detects them
+// through 3.5σ timeouts and restarts them on fresh fastest-category
+// VMs. The run compares three modes:
+//
+//   - static: the schedule is executed as planned (internal/sim);
+//   - online unguarded: every timeout migrates, budget be damned;
+//   - online guarded: migrations happen only while the projected
+//     total spend stays within the initial budget.
+//
+// The outcome illustrates exactly the risk the paper names: "such
+// dynamic decisions encompass risks in terms of both final makespan
+// and budget" (§VI).
+//
+// Run with: go run ./examples/online_rescheduling
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"budgetwf"
+	"budgetwf/internal/stats"
+)
+
+func main() {
+	p := budgetwf.DefaultPlatform()
+	w, err := budgetwf.Generate(budgetwf.Montage, 60, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	w = w.WithSigmaRatio(0.5)
+	anchors, err := budgetwf.ComputeAnchors(w, p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// A budget in the mixed-category regime: most tasks sit on slow or
+	// medium VMs, so a straggler has somewhere faster to go.
+	budget := 1.3 * anchors.CheapCost
+	s, err := budgetwf.HeftBudg(w, p, budget)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	outliers := budgetwf.Outliers{Prob: 0.06, Factor: 15}
+	// 3.5σ timeouts: a Gaussian task exceeds them with probability
+	// ≈0.02%, so in practice only the pathological blow-ups fire the
+	// monitor (2σ would also catch ordinary unlucky draws, whose thin
+	// residual work never repays a fresh VM's boot).
+	unguarded := budgetwf.OnlinePolicy{TimeoutSigma: 3.5, MaxMigrations: 1}
+	guarded := budgetwf.OnlinePolicy{TimeoutSigma: 3.5, MaxMigrations: 1, Budget: budget}
+	// The gain rule additionally waits until a fast restart is clearly
+	// amortized before interrupting (GainFactor 1), filtering the
+	// ordinary-tail false positives that never repay a fresh boot.
+	gainRuled := budgetwf.OnlinePolicy{TimeoutSigma: 3.5, GainFactor: 1, MaxMigrations: 1, Budget: budget}
+
+	type agg struct {
+		mk, cost []float64
+		valid    int
+		migs     int
+		vetoed   int
+	}
+	var static, free, safe, ruled agg
+	record := func(a *agg, mk, cost float64, migs, vetoed int) {
+		a.mk = append(a.mk, mk)
+		a.cost = append(a.cost, cost)
+		if cost <= budget {
+			a.valid++
+		}
+		a.migs += migs
+		a.vetoed += vetoed
+	}
+
+	const reps = 50
+	for i := uint64(0); i < reps; i++ {
+		st, onFree, err := budgetwf.ExecuteOnlineOutliers(w, p, s, i, outliers, unguarded)
+		if err != nil {
+			log.Fatal(err)
+		}
+		_, onSafe, err := budgetwf.ExecuteOnlineOutliers(w, p, s, i, outliers, guarded)
+		if err != nil {
+			log.Fatal(err)
+		}
+		_, onRuled, err := budgetwf.ExecuteOnlineOutliers(w, p, s, i, outliers, gainRuled)
+		if err != nil {
+			log.Fatal(err)
+		}
+		record(&static, st.Makespan, st.TotalCost, 0, 0)
+		record(&free, onFree.Makespan, onFree.TotalCost, len(onFree.Migrations), onFree.Vetoed)
+		record(&safe, onSafe.Makespan, onSafe.TotalCost, len(onSafe.Migrations), onSafe.Vetoed)
+		record(&ruled, onRuled.Makespan, onRuled.TotalCost, len(onRuled.Migrations), onRuled.Vetoed)
+	}
+
+	fmt.Printf("workflow %s, budget $%.4f, %d runs, 6%% chance of a 15× task blow-up\n\n", w.Name, budget, reps)
+	fmt.Printf("%-18s %10s %10s %10s %12s %8s %12s\n",
+		"mode", "mean [s]", "P95 [s]", "worst [s]", "cost [$]", "valid", "migrations")
+	row := func(name string, a agg) {
+		fmt.Printf("%-18s %10.1f %10.1f %10.1f %12.4f %5d/%d %8d (%d vetoed)\n",
+			name, stats.Mean(a.mk), stats.Percentile(a.mk, 95), stats.Percentile(a.mk, 100),
+			stats.Mean(a.cost), a.valid, reps, a.migs, a.vetoed)
+	}
+	row("static", static)
+	row("online unguarded", free)
+	row("online guarded", safe)
+	row("guarded + gain", ruled)
+
+	fmt.Println("\nUnguarded monitoring buys the best tail makespan but overspends;")
+	fmt.Println("the budget guard keeps part of the gain while limiting the damage —")
+	fmt.Println("the §VI trade-off, quantified. With purely Gaussian weights the")
+	fmt.Println("expected residual work after a timeout is ≈0.4σ and no migration")
+	fmt.Println("would ever pay for a fresh VM's 60 s boot.")
+}

@@ -1,0 +1,61 @@
+// Quickstart: build a small workflow by hand, plan it with HEFTBUDG
+// under a budget, and measure the realized makespan and cost over
+// repeated stochastic executions.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"budgetwf"
+)
+
+func main() {
+	// A toy genomics-style pipeline: split → 4 parallel aligners →
+	// merge → report. Weights are instruction counts (a 1e9-speed VM
+	// runs 1e9 instructions per second); σ models input-dependent
+	// variation. Data sizes are in bytes.
+	w := budgetwf.NewWorkflow("toy-pipeline")
+	split := w.AddTask("split", budgetwf.Dist{Mean: 30e9, Sigma: 6e9})
+	if err := w.SetExternalIO(split, 2e9, 0); err != nil { // 2 GB of reads
+		log.Fatal(err)
+	}
+	merge := w.AddTask("merge", budgetwf.Dist{Mean: 40e9, Sigma: 8e9})
+	for i := 0; i < 4; i++ {
+		align := w.AddTask(fmt.Sprintf("align_%d", i), budgetwf.Dist{Mean: 120e9, Sigma: 40e9})
+		w.MustAddEdge(split, align, 500e6)
+		w.MustAddEdge(align, merge, 200e6)
+	}
+	report := w.AddTask("report", budgetwf.Dist{Mean: 10e9, Sigma: 1e9})
+	w.MustAddEdge(merge, report, 50e6)
+	if err := w.SetExternalIO(report, 0, 100e6); err != nil {
+		log.Fatal(err)
+	}
+
+	p := budgetwf.DefaultPlatform()
+
+	// Budget landmarks: what the cheapest possible execution costs,
+	// and what the budget-blind HEFT schedule costs.
+	anchors, err := budgetwf.ComputeAnchors(w, p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("cheapest execution: $%.4f (makespan %.0f s)\n", anchors.CheapCost, anchors.CheapMakespan)
+	fmt.Printf("HEFT, no budget:    $%.4f (makespan %.0f s)\n\n", anchors.BaselineCost, anchors.BaselineMakespan)
+
+	for _, factor := range []float64{1.0, 1.2, 1.5, 2.0} {
+		budget := factor * anchors.CheapCost
+		s, err := budgetwf.HeftBudg(w, p, budget)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep, err := budgetwf.ReplicateBudget(w, p, s, 25, 42, budget)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("budget $%.4f (%.1f× min): makespan %7.1f ± %5.1f s, cost $%.4f, %d VMs, %3.0f%% within budget\n",
+			budget, factor, rep.Makespan.Mean, rep.Makespan.StdDev, rep.Cost.Mean, s.NumVMs(), 100*rep.ValidFrac)
+	}
+}

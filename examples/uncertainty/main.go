@@ -1,0 +1,64 @@
+// Uncertainty study: how the amount of stochasticity in task weights
+// affects the budget needed to reach a target makespan (the extended
+// version's σ-sensitivity experiment discussed in §V-B).
+//
+// For each σ/w̄ ratio the program sweeps budgets until HEFTBUDG's mean
+// realized makespan comes within 5% of the budget-blind HEFT baseline,
+// and reports that "budget-to-baseline" together with the validity
+// percentage at that point.
+//
+// Run with: go run ./examples/uncertainty
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"budgetwf"
+)
+
+func main() {
+	p := budgetwf.DefaultPlatform()
+	base, err := budgetwf.Generate(budgetwf.Montage, 60, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("σ/w̄    budget-to-baseline  (× cheapest)   makespan [s]    valid")
+	fmt.Println("-----  ------------------  -----------   -------------   -----")
+	for _, sigma := range []float64{0.0, 0.25, 0.50, 0.75, 1.00} {
+		w := base.WithSigmaRatio(sigma)
+		anchors, err := budgetwf.ComputeAnchors(w, p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		target := anchors.BaselineMakespan * 1.05
+
+		// Walk the budget up in 2% steps of the cheapest cost until
+		// the realized makespan reaches the target.
+		found := false
+		for factor := 1.0; factor < 12; factor *= 1.02 {
+			budget := factor * anchors.CheapCost
+			s, err := budgetwf.HeftBudg(w, p, budget)
+			if err != nil {
+				log.Fatal(err)
+			}
+			rep, err := budgetwf.ReplicateBudget(w, p, s, 15, 7, budget)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if rep.Makespan.Mean <= target {
+				fmt.Printf("%.2f   $%.4f            %.3f         %7.1f ± %4.1f   %3.0f%%\n",
+					sigma, budget, factor, rep.Makespan.Mean, rep.Makespan.StdDev, 100*rep.ValidFrac)
+				found = true
+				break
+			}
+		}
+		if !found {
+			fmt.Printf("%.2f   baseline not reached within 12× the cheapest budget\n", sigma)
+		}
+	}
+	fmt.Println("\nA larger σ inflates the conservative weights (w̄+σ) the planner")
+	fmt.Println("budgets for, so reaching the baseline makespan needs more money —")
+	fmt.Println("yet the budget keeps being respected (the paper's §V-B finding).")
+}

@@ -1,0 +1,97 @@
+package budgetwf
+
+import (
+	"io"
+
+	"budgetwf/internal/exp"
+	"budgetwf/internal/sched"
+	"budgetwf/internal/wfgen"
+)
+
+// Anchors are the budget landmarks of one workflow instance: the cost
+// and makespan of the cheapest (single slow VM) schedule, of the
+// budget-blind HEFT schedule, and a "high" budget where budget-aware
+// algorithms match their baselines.
+type Anchors = exp.Anchors
+
+// ComputeAnchors derives the budget landmarks for a workflow.
+func ComputeAnchors(w *Workflow, p *Platform) (*Anchors, error) {
+	return exp.ComputeAnchors(w, p)
+}
+
+// CheapestSchedule builds the paper's "min_cost" reference schedule:
+// every task on a single VM of the cheapest category.
+func CheapestSchedule(w *Workflow, p *Platform) (*Schedule, error) {
+	return exp.CheapestSchedule(w, p)
+}
+
+// FigureConfig scales a figure reproduction; the zero value defaults
+// to the paper's methodology (90 tasks, 5 instances, 25 replications).
+type FigureConfig = exp.FigureConfig
+
+// ResultTable is a rectangular experiment result renderable as ASCII
+// or CSV.
+type ResultTable = exp.Table
+
+// Figure1 regenerates the data behind the paper's Figure 1 (baselines
+// vs budget-aware variants).
+func Figure1(cfg FigureConfig) ([]*ResultTable, error) { return exp.Figure1(cfg) }
+
+// Figure2 regenerates Figure 2 (refined variants).
+func Figure2(cfg FigureConfig) ([]*ResultTable, error) { return exp.Figure2(cfg) }
+
+// Figure3 regenerates Figure 3 (comparison with BDT and CG).
+func Figure3(cfg FigureConfig) ([]*ResultTable, error) { return exp.Figure3(cfg) }
+
+// Figure4 regenerates Figure 4 (refined variants vs CG+).
+func Figure4(cfg FigureConfig) ([]*ResultTable, error) { return exp.Figure4(cfg) }
+
+// TimingConfig scales the Table III reproduction.
+type TimingConfig = exp.TimingConfig
+
+// Table3a regenerates Table III(a): scheduling CPU time per budget
+// level on MONTAGE-90.
+func Table3a(cfg TimingConfig) (*ResultTable, error) {
+	return exp.Table3a(cfg, allNames())
+}
+
+// Table3b regenerates Table III(b): scheduling CPU time versus
+// workflow size under a high budget. Refined algorithms are excluded
+// at n=400 in cmd/paperfigs for run-time reasons; here the caller
+// chooses the sizes.
+func Table3b(cfg TimingConfig, sizes []int) (*ResultTable, error) {
+	return exp.Table3b(cfg, allNames(), sizes)
+}
+
+// SigmaSweep regenerates the extended-version uncertainty experiment:
+// budget sweeps at σ/w̄ ∈ {0.25, 0.5, 0.75, 1.0}.
+func SigmaSweep(cfg FigureConfig, t WorkflowType, alg AlgorithmName) ([]*ResultTable, error) {
+	return exp.SigmaSweep(cfg, t, alg)
+}
+
+// ContentionAblation regenerates the §V-B anomaly study: LIGO budget
+// overruns when the datacenter bandwidth saturates.
+func ContentionAblation(cfg FigureConfig, dcBandwidth float64) ([]*ResultTable, error) {
+	return exp.ContentionAblation(cfg, dcBandwidth)
+}
+
+// Ablations quantifies the contribution of each HEFTBUDG design choice
+// (conservative weights, pot, reserves) on the given workflow family.
+func Ablations(cfg FigureConfig, t WorkflowType) (*ResultTable, error) {
+	return exp.Ablations(cfg, t)
+}
+
+// WriteTables renders tables as aligned ASCII to w.
+func WriteTables(w io.Writer, tables []*ResultTable) error { return exp.WriteAll(w, tables) }
+
+// PaperWorkflowTypes lists the three Pegasus families of the
+// evaluation, in figure order.
+func PaperWorkflowTypes() []WorkflowType { return wfgen.AllPaperTypes() }
+
+func allNames() []sched.Name {
+	var out []sched.Name
+	for _, a := range sched.All() {
+		out = append(out, a.Name)
+	}
+	return out
+}

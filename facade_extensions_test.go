@@ -1,0 +1,181 @@
+package budgetwf_test
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"budgetwf"
+)
+
+const testDAX = `<adag name="pair">
+  <job id="a" name="first" runtime="50">
+    <uses file="in" link="input" size="1000000"/>
+    <uses file="mid" link="output" size="500000"/>
+  </job>
+  <job id="b" name="second" runtime="30">
+    <uses file="mid" link="input" size="500000"/>
+    <uses file="out" link="output" size="100000"/>
+  </job>
+  <child ref="b"><parent ref="a"/></child>
+</adag>`
+
+func TestLoadDAXThroughFacade(t *testing.T) {
+	path := t.TempDir() + "/w.dax"
+	if err := os.WriteFile(path, []byte(testDAX), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	w, err := budgetwf.LoadDAX(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.NumTasks() != 2 || w.NumEdges() != 1 {
+		t.Errorf("%d tasks, %d edges", w.NumTasks(), w.NumEdges())
+	}
+	// LoadWorkflow dispatches on the extension.
+	w2, err := budgetwf.LoadWorkflow(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w2.NumTasks() != 2 {
+		t.Error("LoadWorkflow did not dispatch to DAX")
+	}
+}
+
+func TestExtendedFamiliesThroughFacade(t *testing.T) {
+	for _, typ := range []budgetwf.WorkflowType{budgetwf.Epigenomics, budgetwf.Sipht} {
+		w, err := budgetwf.Generate(typ, 30, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", typ, err)
+		}
+		w = w.WithSigmaRatio(0.5)
+		s, err := budgetwf.HeftBudg(w, budgetwf.DefaultPlatform(), 10)
+		if err != nil {
+			t.Fatalf("%s: %v", typ, err)
+		}
+		if _, err := budgetwf.Simulate(w, budgetwf.DefaultPlatform(), s, 1); err != nil {
+			t.Fatalf("%s: %v", typ, err)
+		}
+	}
+}
+
+func TestReplicateObjective(t *testing.T) {
+	w, err := budgetwf.Generate(budgetwf.Montage, 30, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w = w.WithSigmaRatio(0.25)
+	p := budgetwf.DefaultPlatform()
+	s, err := budgetwf.Heft(w, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Unmeetable deadline, generous budget.
+	stats, err := budgetwf.ReplicateObjective(w, p, s, 8, 3, budgetwf.Objective{Deadline: 1, Budget: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Runs != 8 || stats.DeadlineMet != 0 || stats.BudgetMet != 8 || stats.BothMet != 0 {
+		t.Errorf("objective stats %+v", stats)
+	}
+}
+
+func TestExecuteOnlineThroughFacade(t *testing.T) {
+	w, err := budgetwf.Generate(budgetwf.Montage, 30, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w = w.WithSigmaRatio(0.5)
+	p := budgetwf.DefaultPlatform()
+	s, err := budgetwf.HeftBudg(w, p, 0.03)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := budgetwf.ExecuteOnline(w, p, s, 1, budgetwf.DefaultOnlinePolicy(0.03))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Makespan <= 0 || rep.TotalCost <= 0 {
+		t.Error("degenerate online report")
+	}
+	static, monitored, err := budgetwf.ExecuteOnlineOutliers(w, p, s, 2,
+		budgetwf.Outliers{Prob: 0.3, Factor: 10}, budgetwf.OnlinePolicy{TimeoutSigma: 2, MaxMigrations: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if static.Makespan <= 0 || monitored.Makespan <= 0 {
+		t.Error("degenerate outlier comparison")
+	}
+}
+
+func TestGanttThroughFacadeResult(t *testing.T) {
+	w, err := budgetwf.Generate(budgetwf.ForkJoin, 8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w = w.WithSigmaRatio(0.25)
+	p := budgetwf.DefaultPlatform()
+	s, err := budgetwf.Heft(w, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := budgetwf.Simulate(w, p, s, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := res.WriteGantt(&b, w, s, 50); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "Gantt:") {
+		t.Error("facade gantt rendering failed")
+	}
+	if u := res.FleetUtilization(); u <= 0 || u > 1 {
+		t.Errorf("fleet utilization %v out of (0,1]", u)
+	}
+}
+
+func TestPlannerOptionsThroughFacade(t *testing.T) {
+	w, err := budgetwf.Generate(budgetwf.Montage, 30, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w = w.WithSigmaRatio(0.5)
+	p := budgetwf.DefaultPlatform()
+	base, err := budgetwf.HeftBudgWithOptions(w, p, 0.03, budgetwf.PlannerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins, err := budgetwf.HeftBudgWithOptions(w, p, 0.03, budgetwf.PlannerOptions{Insertion: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.NumVMs() == 0 || ins.NumVMs() == 0 {
+		t.Error("degenerate schedules")
+	}
+	if _, err := budgetwf.MinMinBudgWithOptions(w, p, 0.03, budgetwf.PlannerOptions{DisablePot: true}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPeftThroughFacade(t *testing.T) {
+	w, err := budgetwf.Generate(budgetwf.Montage, 30, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w = w.WithSigmaRatio(0.5)
+	p := budgetwf.DefaultPlatform()
+	s, err := budgetwf.Peft(w, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := budgetwf.Simulate(w, p, s, 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(budgetwf.AlgorithmsExtended()); got != 10 {
+		t.Errorf("%d extended algorithms, want 10", got)
+	}
+	if _, err := budgetwf.ScheduleWith(budgetwf.AlgPeft, w, p, 0); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,3 @@
+module budgetwf
+
+go 1.22

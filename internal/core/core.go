@@ -1,0 +1,37 @@
+// Package core anchors the repository layout convention that the
+// paper's primary contribution lives under internal/core. The
+// contribution of this paper is the family of budget-aware scheduling
+// algorithms, implemented in internal/sched together with the budget
+// decomposition machinery (Algorithms 1–5); this package re-exports
+// its entry points under the conventional name.
+package core
+
+import (
+	"budgetwf/internal/plan"
+	"budgetwf/internal/platform"
+	"budgetwf/internal/sched"
+	"budgetwf/internal/wf"
+)
+
+// Schedule is the planner output type.
+type Schedule = plan.Schedule
+
+// Algorithm is one registered scheduling algorithm.
+type Algorithm = sched.Algorithm
+
+// Name identifies an algorithm.
+type Name = sched.Name
+
+// BudgetInfo is the Algorithm-1 budget decomposition.
+type BudgetInfo = sched.BudgetInfo
+
+// All returns the full algorithm registry.
+func All() []Algorithm { return sched.All() }
+
+// ByName resolves an algorithm by name.
+func ByName(n Name) (Algorithm, error) { return sched.ByName(n) }
+
+// ComputeBudget runs the budget decomposition of Algorithm 1.
+func ComputeBudget(w *wf.Workflow, p *platform.Platform, budget float64) (*BudgetInfo, error) {
+	return sched.ComputeBudget(w, p, budget)
+}

@@ -1,0 +1,40 @@
+package core
+
+import (
+	"testing"
+
+	"budgetwf/internal/platform"
+	"budgetwf/internal/wfgen"
+)
+
+// The core package is a layout-convention shim over internal/sched;
+// these tests pin that the re-exports stay wired.
+func TestShimRegistry(t *testing.T) {
+	if len(All()) != 9 {
+		t.Fatalf("%d algorithms, want the paper's 9", len(All()))
+	}
+	a, err := ByName("heftbudg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := wfgen.MustGenerate(wfgen.Montage, 30, 0).WithSigmaRatio(0.5)
+	p := platform.Default()
+	s, err := a.Plan(w, p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(w, p.NumCategories()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShimBudget(t *testing.T) {
+	w := wfgen.MustGenerate(wfgen.Ligo, 30, 0).WithSigmaRatio(0.5)
+	info, err := ComputeBudget(w, platform.Default(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Calc <= 0 || len(info.Shares) != 30 {
+		t.Errorf("decomposition %+v", info)
+	}
+}

@@ -1,0 +1,117 @@
+// Package exp is the experiment harness: it regenerates every figure
+// and table of the paper's evaluation section (§V) — budget sweeps of
+// makespan/cost/VM-count, budget-validity percentages, scheduling CPU
+// times — plus the extended-version experiments (σ sensitivity) and a
+// datacenter-contention ablation. See DESIGN.md §3 for the experiment
+// index and EXPERIMENTS.md for paper-vs-measured results.
+package exp
+
+import (
+	"fmt"
+
+	"budgetwf/internal/plan"
+	"budgetwf/internal/platform"
+	"budgetwf/internal/sched"
+	"budgetwf/internal/sim"
+	"budgetwf/internal/wf"
+)
+
+// CheapestSchedule builds the reference schedule behind the paper's
+// "min_cost" dot: every task on one single VM of the cheapest
+// category, in topological order. It is the cheapest sensible
+// execution (no inter-VM transfer, one initialization) and anchors the
+// budget axis of every figure.
+func CheapestSchedule(w *wf.Workflow, p *platform.Platform) (*plan.Schedule, error) {
+	order, err := w.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	s := plan.New(w.NumTasks())
+	s.ListT = order
+	vm := s.AddVM(p.Cheapest())
+	for _, t := range order {
+		s.Assign(t, vm)
+	}
+	return s, nil
+}
+
+// Anchors holds the budget landmarks of one workflow instance.
+type Anchors struct {
+	// CheapCost is the deterministic (conservative-weight) cost of the
+	// cheapest schedule: the practical minimum budget B_min.
+	CheapCost float64
+	// CheapMakespan is that schedule's makespan (the min_cost dot's
+	// y-coordinate in Figure 1).
+	CheapMakespan float64
+	// BaselineCost and BaselineMakespan come from the budget-blind
+	// HEFT schedule: the cost of running as fast as HEFT knows how.
+	BaselineCost     float64
+	BaselineMakespan float64
+	// High is a budget large enough that the budget-aware algorithms
+	// behave like their baselines ("a budget large enough to enroll an
+	// unlimited number of VMs", §V-B).
+	High float64
+}
+
+// ComputeAnchors simulates the two reference schedules under
+// conservative weights and derives the budget landmarks.
+func ComputeAnchors(w *wf.Workflow, p *platform.Platform) (*Anchors, error) {
+	cheap, err := CheapestSchedule(w, p)
+	if err != nil {
+		return nil, err
+	}
+	cheapRes, err := sim.RunDeterministic(w, p, cheap)
+	if err != nil {
+		return nil, fmt.Errorf("exp: simulating cheapest schedule: %w", err)
+	}
+	base, err := sched.Heft(w, p)
+	if err != nil {
+		return nil, err
+	}
+	baseRes, err := sim.RunDeterministic(w, p, base)
+	if err != nil {
+		return nil, fmt.Errorf("exp: simulating baseline HEFT schedule: %w", err)
+	}
+	a := &Anchors{
+		CheapCost:        cheapRes.TotalCost,
+		CheapMakespan:    cheapRes.Makespan,
+		BaselineCost:     baseRes.TotalCost,
+		BaselineMakespan: baseRes.Makespan,
+	}
+	// The "high" budget must comfortably cover the baseline schedule,
+	// but not stretch the sweep into a flat region: part of every
+	// schedule's cost is fixed (external transfers are identical for
+	// all placements), so the grid is sized relative to the *variable*
+	// cost range between the cheapest and the baseline schedules.
+	a.High = a.CheapCost + 2*(a.BaselineCost-a.CheapCost)
+	if min := 1.02 * a.BaselineCost; a.High < min {
+		a.High = min
+	}
+	if min := 1.05 * a.CheapCost; a.High < min {
+		a.High = min
+	}
+	return a, nil
+}
+
+// BudgetGrid returns k budgets linearly spaced over [lo, hi],
+// inclusive of both endpoints.
+func BudgetGrid(lo, hi float64, k int) []float64 {
+	if k <= 1 || hi <= lo {
+		return []float64{lo}
+	}
+	out := make([]float64, k)
+	step := (hi - lo) / float64(k-1)
+	for i := range out {
+		out[i] = lo + float64(i)*step
+	}
+	return out
+}
+
+// BudgetFactors is the normalized budget axis shared by all figures:
+// budgets are β·CheapCost for β in the returned grid, which spans
+// [CheapCost, High]. Because High is sized from the variable VM-cost
+// range (not the fixed transfer cost), the grid resolves the
+// makespan/budget transition even for transfer-dominated workflows.
+func (a *Anchors) BudgetFactors(k int) []float64 {
+	return BudgetGrid(1.0, a.High/a.CheapCost, k)
+}

@@ -1,0 +1,45 @@
+package exp
+
+import (
+	"strconv"
+	"testing"
+
+	"budgetwf/internal/wfgen"
+)
+
+func TestBillingAblation(t *testing.T) {
+	cfg := quickCfg()
+	cfg.GridK = 3
+	tables, err := BillingAblation(cfg, wfgen.Montage, []float64{0, 3600})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 2 {
+		t.Fatalf("%d tables", len(tables))
+	}
+	// Hourly billing must be at least as expensive as per-second
+	// billing at every budget point (same schedules, coarser invoice).
+	for i := range tables[0].Rows {
+		fluid := parseF(t, tables[0].Rows[i][8]) // cost_mean column
+		coarse := parseF(t, tables[1].Rows[i][8])
+		if coarse < fluid-1e-9 {
+			t.Errorf("row %d: hourly cost %.4f below per-second %.4f", i, coarse, fluid)
+		}
+	}
+	// And the validity percentage can only drop.
+	last := len(tables[0].Rows) - 2 // last sweep row before min_cost
+	vFluid := parseF(t, tables[0].Rows[last][11])
+	vCoarse := parseF(t, tables[1].Rows[last][11])
+	if vCoarse > vFluid+1e-9 {
+		t.Errorf("hourly billing more valid (%v%%) than per-second (%v%%)", vCoarse, vFluid)
+	}
+}
+
+func parseF(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("parsing %q: %v", s, err)
+	}
+	return v
+}

@@ -1,0 +1,100 @@
+package exp
+
+import (
+	"fmt"
+
+	"budgetwf/internal/rng"
+	"budgetwf/internal/sched"
+	"budgetwf/internal/sim"
+	"budgetwf/internal/wfgen"
+)
+
+// DeadlineFrontier maps the bi-criteria objective of Equation (3):
+// for each budget on the grid it reports the probability (over
+// stochastic executions) of meeting each of several deadlines while
+// staying within the budget. The deadlines are expressed relative to
+// the budget-blind HEFT baseline makespan: D = baseline × {1.0, 1.25,
+// 1.5, 2.0}. The paper states the objective but evaluates budget
+// compliance only; this driver completes the picture.
+func DeadlineFrontier(cfg FigureConfig, typ wfgen.Type, alg sched.Name) (*Table, error) {
+	cfg = cfg.Defaults()
+	a, err := sched.ByName(alg)
+	if err != nil {
+		return nil, err
+	}
+	deadlineFactors := []float64{1.0, 1.25, 1.5, 2.0}
+
+	t := &Table{
+		Title: fmt.Sprintf("Deadline frontier — %s, %s, %d tasks (deadlines relative to the HEFT baseline makespan)", alg, typ, cfg.N),
+		Columns: []string{
+			"workflow", "factor", "budget",
+			"p_deadline_1.00x", "p_deadline_1.25x", "p_deadline_1.50x", "p_deadline_2.00x",
+			"p_budget",
+		},
+	}
+
+	sc := cfg.scenario(typ)
+	sc = sc.Defaults()
+	// Materialize instances and shared anchors.
+	type inst struct {
+		anchors *Anchors
+		factors []float64
+	}
+	insts := make([]inst, sc.Instances)
+	var commonFactors []float64
+	for i := range insts {
+		w, err := sc.Instance(i)
+		if err != nil {
+			return nil, err
+		}
+		an, err := ComputeAnchors(w, sc.Platform)
+		if err != nil {
+			return nil, err
+		}
+		insts[i] = inst{anchors: an, factors: an.BudgetFactors(cfg.GridK)}
+		if commonFactors == nil || insts[i].factors[cfg.GridK-1] > commonFactors[cfg.GridK-1] {
+			commonFactors = insts[i].factors
+		}
+	}
+
+	for b := 0; b < cfg.GridK; b++ {
+		met := make([]int, len(deadlineFactors))
+		budgetMet, total := 0, 0
+		budgetSum := 0.0
+		for i := 0; i < sc.Instances; i++ {
+			w, err := sc.Instance(i)
+			if err != nil {
+				return nil, err
+			}
+			budget := commonFactors[b] * insts[i].anchors.CheapCost
+			budgetSum += budget
+			s, err := a.Plan(w, sc.Platform, budget)
+			if err != nil {
+				return nil, err
+			}
+			stream := rng.New(sc.Seed).Split(uint64(i)<<20 | uint64(b))
+			for rep := 0; rep < sc.Reps; rep++ {
+				r, err := sim.RunStochastic(w, sc.Platform, s, stream.Split(uint64(rep)))
+				if err != nil {
+					return nil, err
+				}
+				total++
+				if r.TotalCost <= budget {
+					budgetMet++
+					for di, df := range deadlineFactors {
+						if r.Makespan <= df*insts[i].anchors.BaselineMakespan {
+							met[di]++
+						}
+					}
+				}
+			}
+		}
+		row := []interface{}{string(typ), commonFactors[b], budgetSum / float64(sc.Instances)}
+		for _, m := range met {
+			row = append(row, float64(m)/float64(total))
+		}
+		row = append(row, float64(budgetMet)/float64(total))
+		t.AddRow(row...)
+	}
+	return t, nil
+}

@@ -1,0 +1,155 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"budgetwf/internal/sched"
+	"budgetwf/internal/wfgen"
+)
+
+// FigureConfig controls the scale of a figure reproduction. The
+// defaults match the paper (90-task workflows, 5 instances, 25
+// replications); tests and quick runs shrink them.
+type FigureConfig struct {
+	N          int
+	SigmaRatio float64
+	Instances  int
+	Reps       int
+	GridK      int
+	Workers    int
+	Seed       uint64
+}
+
+// Defaults fills zero fields with the paper's values.
+func (c FigureConfig) Defaults() FigureConfig {
+	if c.N == 0 {
+		c.N = 90
+	}
+	if c.SigmaRatio == 0 {
+		c.SigmaRatio = 0.5
+	}
+	if c.Instances == 0 {
+		c.Instances = 5
+	}
+	if c.Reps == 0 {
+		c.Reps = 25
+	}
+	if c.GridK == 0 {
+		c.GridK = 8
+	}
+	return c
+}
+
+func (c FigureConfig) scenario(t wfgen.Type) Scenario {
+	return Scenario{
+		Type: t, N: c.N, SigmaRatio: c.SigmaRatio,
+		Instances: c.Instances, Reps: c.Reps, Workers: c.Workers, Seed: c.Seed,
+	}
+}
+
+// RunFigureSweeps runs the given algorithm set on all three paper
+// workflow families and returns the raw sweep results, one per family
+// in AllPaperTypes order — the data behind both the tables and the
+// SVG panels.
+func RunFigureSweeps(cfg FigureConfig, names []sched.Name) ([]*SweepResult, error) {
+	cfg = cfg.Defaults()
+	algs := make([]sched.Algorithm, 0, len(names))
+	for _, n := range names {
+		a, err := sched.ByName(n)
+		if err != nil {
+			return nil, err
+		}
+		algs = append(algs, a)
+	}
+	var out []*SweepResult
+	for _, typ := range wfgen.AllPaperTypes() {
+		res, err := RunSweep(cfg.scenario(typ), algs, cfg.GridK)
+		if err != nil {
+			return nil, fmt.Errorf("exp: sweep on %s: %w", typ, err)
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// FigureAlgorithms returns the algorithm set of each paper figure.
+func FigureAlgorithms(figure int) ([]sched.Name, error) {
+	switch figure {
+	case 1:
+		return []sched.Name{sched.NameMinMin, sched.NameHeft, sched.NameMinMinBudg, sched.NameHeftBudg}, nil
+	case 2:
+		return []sched.Name{sched.NameHeft, sched.NameHeftBudg, sched.NameHeftBudgPlus, sched.NameHeftBudgPlusInv}, nil
+	case 3:
+		return []sched.Name{sched.NameMinMinBudg, sched.NameHeftBudg, sched.NameBDT, sched.NameCG}, nil
+	case 4:
+		return []sched.Name{sched.NameHeftBudgPlus, sched.NameHeftBudgPlusInv, sched.NameCGPlus}, nil
+	}
+	return nil, fmt.Errorf("exp: no figure %d", figure)
+}
+
+// figure runs the given algorithm set on all three paper workflow
+// families and returns one long-format table per family.
+func figure(title string, cfg FigureConfig, names []sched.Name) ([]*Table, error) {
+	cfg = cfg.Defaults()
+	sweeps, err := RunFigureSweeps(cfg, names)
+	if err != nil {
+		return nil, fmt.Errorf("exp: %s: %w", title, err)
+	}
+	var tables []*Table
+	for i, typ := range wfgen.AllPaperTypes() {
+		tables = append(tables, SweepTable(fmt.Sprintf("%s — %s, %d tasks", title, typ, cfg.N), sweeps[i]))
+	}
+	return tables, nil
+}
+
+// Figure1 reproduces Figure 1: makespan, cost and number of VMs as a
+// function of the initial budget for MIN-MIN, HEFT, MIN-MINBUDG and
+// HEFTBUDG on CYBERSHAKE, LIGO and MONTAGE.
+func Figure1(cfg FigureConfig) ([]*Table, error) {
+	names, err := FigureAlgorithms(1)
+	if err != nil {
+		return nil, err
+	}
+	return figure("Figure 1", cfg, names)
+}
+
+// Figure2 reproduces Figure 2: the refined variants HEFTBUDG+ and
+// HEFTBUDG+INV against HEFT and HEFTBUDG.
+func Figure2(cfg FigureConfig) ([]*Table, error) {
+	names, err := FigureAlgorithms(2)
+	if err != nil {
+		return nil, err
+	}
+	return figure("Figure 2", cfg, names)
+}
+
+// Figure3 reproduces Figure 3: MIN-MINBUDG and HEFTBUDG against the
+// extended competitors BDT and CG — makespan, percentage of valid
+// (budget-respecting) executions, and actual spend versus budget.
+func Figure3(cfg FigureConfig) ([]*Table, error) {
+	names, err := FigureAlgorithms(3)
+	if err != nil {
+		return nil, err
+	}
+	return figure("Figure 3", cfg, names)
+}
+
+// Figure4 reproduces Figure 4: HEFTBUDG+ and HEFTBUDG+INV against CG+.
+func Figure4(cfg FigureConfig) ([]*Table, error) {
+	names, err := FigureAlgorithms(4)
+	if err != nil {
+		return nil, err
+	}
+	return figure("Figure 4", cfg, names)
+}
+
+// WriteAll renders tables as ASCII to w.
+func WriteAll(w io.Writer, tables []*Table) error {
+	for _, t := range tables {
+		if err := t.WriteASCII(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}

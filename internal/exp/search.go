@@ -1,0 +1,93 @@
+package exp
+
+import (
+	"fmt"
+
+	"budgetwf/internal/platform"
+	"budgetwf/internal/sched"
+	"budgetwf/internal/sim"
+	"budgetwf/internal/wf"
+)
+
+// FindBudget searches for the smallest budget whose schedule reaches
+// the target makespan under deterministic (conservative-weight)
+// simulation — the quantity behind the paper's "minimum budget needed
+// to obtain a makespan as good as the baseline's" (§V-B, Table III's
+// B_med construction).
+//
+// The makespan is not strictly monotone in the budget (the greedy
+// algorithms occasionally trade a little makespan between adjacent
+// budgets), so the result is the smallest budget on a refining grid
+// rather than an exact infimum: the search brackets [lo, hi] by
+// bisection on the predicate "makespan ≤ target", then returns the
+// bracket's upper end. relTol controls the bracket width relative to
+// the cheapest cost (default 1%).
+func FindBudget(w *wf.Workflow, p *platform.Platform, alg sched.Algorithm, target, relTol float64) (budget, makespan float64, err error) {
+	if relTol <= 0 {
+		relTol = 0.01
+	}
+	anchors, err := ComputeAnchors(w, p)
+	if err != nil {
+		return 0, 0, err
+	}
+	eval := func(b float64) (float64, error) {
+		s, err := alg.Plan(w, p, b)
+		if err != nil {
+			return 0, err
+		}
+		r, err := sim.RunDeterministic(w, p, s)
+		if err != nil {
+			return 0, err
+		}
+		return r.Makespan, nil
+	}
+
+	lo := anchors.CheapCost
+	hi := anchors.High
+	mkLo, err := eval(lo)
+	if err != nil {
+		return 0, 0, err
+	}
+	if mkLo <= target {
+		return lo, mkLo, nil
+	}
+	mkHi, err := eval(hi)
+	if err != nil {
+		return 0, 0, err
+	}
+	// Expand the bracket if even the high anchor misses the target.
+	for i := 0; mkHi > target && i < 8; i++ {
+		hi *= 2
+		if mkHi, err = eval(hi); err != nil {
+			return 0, 0, err
+		}
+	}
+	if mkHi > target {
+		return 0, 0, fmt.Errorf("exp: target makespan %.1f unreachable (best %.1f at budget %.4g)", target, mkHi, hi)
+	}
+	tol := relTol * anchors.CheapCost
+	for hi-lo > tol {
+		mid := (lo + hi) / 2
+		mk, err := eval(mid)
+		if err != nil {
+			return 0, 0, err
+		}
+		if mk <= target {
+			hi, mkHi = mid, mk
+		} else {
+			lo = mid
+		}
+	}
+	return hi, mkHi, nil
+}
+
+// BudgetToBaseline is FindBudget against the budget-blind HEFT
+// baseline makespan (with 5% slack), the per-instance quantity the
+// σ-sensitivity analysis reports.
+func BudgetToBaseline(w *wf.Workflow, p *platform.Platform, alg sched.Algorithm) (budget, makespan float64, err error) {
+	anchors, err := ComputeAnchors(w, p)
+	if err != nil {
+		return 0, 0, err
+	}
+	return FindBudget(w, p, alg, anchors.BaselineMakespan*1.05, 0.01)
+}

@@ -1,0 +1,89 @@
+package exp
+
+import (
+	"testing"
+
+	"budgetwf/internal/platform"
+	"budgetwf/internal/sched"
+	"budgetwf/internal/sim"
+	"budgetwf/internal/wfgen"
+)
+
+func TestFindBudgetReachesTarget(t *testing.T) {
+	p := platform.Default()
+	alg := mustAlg(t, sched.NameHeftBudg)
+	w := wfgen.MustGenerate(wfgen.Montage, 30, 0).WithSigmaRatio(0.5)
+	anchors, err := ComputeAnchors(w, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := anchors.BaselineMakespan * 1.1
+	budget, mk, err := FindBudget(w, p, alg, target, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mk > target {
+		t.Errorf("returned makespan %.1f misses target %.1f", mk, target)
+	}
+	if budget < anchors.CheapCost || budget > anchors.High*1.01 {
+		t.Errorf("budget %.4g outside sane range [%.4g, %.4g]", budget, anchors.CheapCost, anchors.High)
+	}
+	// The found budget is (near-)minimal: 10% less must miss the
+	// target, within the search's own tolerance.
+	s, err := sched.HeftBudg(w, p, budget*0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := sim.RunDeterministic(w, p, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Makespan <= target {
+		t.Logf("note: 0.9× budget also meets the target (%.1f ≤ %.1f) — non-monotone pocket", r.Makespan, target)
+	}
+}
+
+func TestFindBudgetTrivialTarget(t *testing.T) {
+	p := platform.Default()
+	alg := mustAlg(t, sched.NameHeftBudg)
+	w := wfgen.MustGenerate(wfgen.Ligo, 30, 0).WithSigmaRatio(0.25)
+	// An enormous target: the cheapest budget suffices.
+	budget, _, err := FindBudget(w, p, alg, 1e12, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	anchors, err := ComputeAnchors(w, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if budget != anchors.CheapCost {
+		t.Errorf("trivial target budget %.4g, want the cheap anchor %.4g", budget, anchors.CheapCost)
+	}
+}
+
+func TestFindBudgetUnreachableTarget(t *testing.T) {
+	p := platform.Default()
+	alg := mustAlg(t, sched.NameHeftBudg)
+	w := wfgen.MustGenerate(wfgen.Chain, 10, 0).WithSigmaRatio(0.25)
+	// A chain cannot finish in one second no matter the money.
+	if _, _, err := FindBudget(w, p, alg, 1, 0.01); err == nil {
+		t.Error("unreachable target accepted")
+	}
+}
+
+func TestBudgetToBaselineGrowsWithSigma(t *testing.T) {
+	p := platform.Default()
+	alg := mustAlg(t, sched.NameHeftBudg)
+	base := wfgen.MustGenerate(wfgen.Montage, 60, 0)
+	prev := 0.0
+	for _, sigma := range []float64{0.25, 1.0} {
+		budget, _, err := BudgetToBaseline(base.WithSigmaRatio(sigma), p, alg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if budget <= prev {
+			t.Errorf("budget-to-baseline %.4g at σ=%.2f not larger than %.4g", budget, sigma, prev)
+		}
+		prev = budget
+	}
+}

@@ -1,0 +1,87 @@
+package exp
+
+import (
+	"testing"
+
+	"budgetwf/internal/platform"
+	"budgetwf/internal/sched"
+	"budgetwf/internal/sim"
+	"budgetwf/internal/wfgen"
+)
+
+// TestBudgetSweepShape pins the qualitative behaviour of HEFTBUDG that
+// Figure 1 reports: under deterministic (conservative) weights the
+// makespan is non-increasing in the budget, the realized cost never
+// exceeds the budget, and both makespan and cost converge to the
+// budget-blind HEFT baseline at high budgets.
+func TestBudgetSweepShape(t *testing.T) {
+	p := platform.Default()
+	for _, typ := range wfgen.AllPaperTypes() {
+		w := wfgen.MustGenerate(typ, 30, 0).WithSigmaRatio(0.5)
+		a, err := ComputeAnchors(w, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prev := -1.0
+		for _, f := range []float64{1.0, 1.2, 1.5, 2.0, 3.0, 10.0} {
+			budget := f * a.CheapCost
+			s, err := sched.HeftBudg(w, p, budget)
+			if err != nil {
+				t.Fatalf("%s β=%.1f: %v", typ, f, err)
+			}
+			r, err := sim.RunDeterministic(w, p, s)
+			if err != nil {
+				t.Fatalf("%s β=%.1f: %v", typ, f, err)
+			}
+			if r.TotalCost > budget*1.001 {
+				t.Errorf("%s β=%.1f: cost $%.4f exceeds budget $%.4f", typ, f, r.TotalCost, budget)
+			}
+			// Allow small non-monotonic noise (5%): shares shift with
+			// the budget and the greedy choice is not globally optimal.
+			if prev >= 0 && r.Makespan > prev*1.05 {
+				t.Errorf("%s β=%.1f: makespan %.1f worse than at smaller budget (%.1f)", typ, f, r.Makespan, prev)
+			}
+			prev = r.Makespan
+			if f == 10.0 {
+				rel := (r.Makespan - a.BaselineMakespan) / a.BaselineMakespan
+				if rel > 0.02 || rel < -0.02 {
+					t.Errorf("%s: high-budget makespan %.1f differs from HEFT baseline %.1f", typ, r.Makespan, a.BaselineMakespan)
+				}
+			}
+		}
+	}
+}
+
+// TestVMCountHump reproduces the observation of §V-B about Figure 1i:
+// for intermediate budgets the number of VMs can exceed the baseline's
+// count before settling back down — tasks first spread over many cheap
+// VMs, then migrate to fewer, faster ones as the budget grows.
+func TestVMCountHump(t *testing.T) {
+	p := platform.Default()
+	w := wfgen.MustGenerate(wfgen.Montage, 30, 0).WithSigmaRatio(0.5)
+	a, err := ComputeAnchors(w, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := sched.Heft(w, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxVMs, lastVMs := 0, 0
+	for _, f := range []float64{1.0, 1.1, 1.2, 1.3, 1.5, 2.0, 3.0, 10.0} {
+		s, err := sched.HeftBudg(w, p, f*a.CheapCost)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.NumVMs() > maxVMs {
+			maxVMs = s.NumVMs()
+		}
+		lastVMs = s.NumVMs()
+	}
+	if lastVMs != base.NumVMs() {
+		t.Errorf("high-budget VM count %d != baseline %d", lastVMs, base.NumVMs())
+	}
+	if maxVMs <= base.NumVMs() {
+		t.Logf("no VM hump on this instance (max %d, baseline %d) — acceptable but unexpected", maxVMs, base.NumVMs())
+	}
+}

@@ -1,0 +1,291 @@
+package exp
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"budgetwf/internal/platform"
+	"budgetwf/internal/rng"
+	"budgetwf/internal/sched"
+	"budgetwf/internal/sim"
+	"budgetwf/internal/stats"
+	"budgetwf/internal/wf"
+	"budgetwf/internal/wfgen"
+)
+
+// Scenario describes one experimental condition: a workflow family and
+// size, the uncertainty level, and the platform.
+type Scenario struct {
+	Type       wfgen.Type
+	N          int
+	SigmaRatio float64
+	Platform   *platform.Platform
+	// SimPlatform, when non-nil, is the platform the *simulator* uses
+	// while the planner (and the budget anchors) keep using Platform.
+	// The contention ablation exploits this to reproduce the §V-B
+	// anomaly: the planner assumes an unbounded datacenter, reality
+	// saturates.
+	SimPlatform *platform.Platform
+	// Instances is how many distinct workflow instances (seeds 0..I-1)
+	// to generate per condition; the paper uses 5 (§V-A).
+	Instances int
+	// Reps is the number of stochastic executions per (instance,
+	// budget) cell; the paper uses 25.
+	Reps int
+	// Workers bounds the goroutines evaluating cells in parallel;
+	// 0 means GOMAXPROCS.
+	Workers int
+	// Seed decorrelates the whole scenario; experiments default to 0.
+	Seed uint64
+}
+
+// Defaults fills zero fields with the paper's methodology values.
+func (sc Scenario) Defaults() Scenario {
+	if sc.SigmaRatio == 0 {
+		sc.SigmaRatio = 0.5
+	}
+	if sc.Platform == nil {
+		sc.Platform = platform.Default()
+	}
+	if sc.Instances == 0 {
+		sc.Instances = 5
+	}
+	if sc.Reps == 0 {
+		sc.Reps = 25
+	}
+	if sc.Workers == 0 {
+		sc.Workers = runtime.GOMAXPROCS(0)
+	}
+	return sc
+}
+
+// Instance materializes the i-th workflow instance of the scenario.
+func (sc Scenario) Instance(i int) (*wf.Workflow, error) {
+	w, err := wfgen.Generate(sc.Type, sc.N, sc.Seed*1000+uint64(i))
+	if err != nil {
+		return nil, err
+	}
+	return w.WithSigmaRatio(sc.SigmaRatio), nil
+}
+
+// Point aggregates one (algorithm, budget-factor) cell across all
+// instances and stochastic replications.
+type Point struct {
+	// Factor is the normalized budget β; the actual budget of every
+	// instance is β times that instance's CheapCost anchor.
+	Factor float64
+	// Budget is the mean actual budget across instances (the x-axis
+	// value when plotting in dollars, as the paper does).
+	Budget float64
+	// Makespan, Cost and NumVMs summarize the realized executions.
+	Makespan stats.Summary
+	Cost     stats.Summary
+	NumVMs   stats.Summary
+	// ValidFrac is the fraction of executions whose realized cost
+	// respected the budget (Figure 3, middle row).
+	ValidFrac float64
+	// PlanTime summarizes the scheduling CPU time in seconds (one
+	// observation per instance).
+	PlanTime stats.Summary
+}
+
+// Series is one algorithm's curve over the budget grid.
+type Series struct {
+	Algorithm sched.Name
+	Points    []Point
+}
+
+// SweepResult is the full outcome of RunSweep for one scenario.
+type SweepResult struct {
+	Scenario Scenario
+	// MinCostMakespan / MinCostBudget locate the paper's "min_cost"
+	// reference dot (means across instances).
+	MinCostMakespan float64
+	MinCostBudget   float64
+	// BaselineMakespan is the mean budget-blind HEFT makespan.
+	BaselineMakespan float64
+	Series           []Series
+}
+
+// cell is one unit of parallel work: schedule one instance at one
+// budget with one algorithm, then run all stochastic replications.
+type cell struct {
+	alg      sched.Algorithm
+	algIdx   int
+	instance int
+	budgetIx int
+}
+
+type cellResult struct {
+	cell
+	makespans []float64
+	costs     []float64
+	numVMs    float64
+	valid     int
+	planTime  float64
+	err       error
+}
+
+// RunSweep evaluates the given algorithms over a normalized budget
+// grid with gridK points, reproducing the paper's methodology: per
+// (type, size) it generates Instances workflows, plans once per
+// (algorithm, budget), and measures Reps stochastic executions of each
+// plan. Cells are evaluated by a bounded worker pool.
+func RunSweep(sc Scenario, algs []sched.Algorithm, gridK int) (*SweepResult, error) {
+	sc = sc.Defaults()
+	if gridK <= 0 {
+		gridK = 8
+	}
+
+	// Materialize instances and their anchors up front.
+	instances := make([]*wf.Workflow, sc.Instances)
+	anchors := make([]*Anchors, sc.Instances)
+	factorGrid := make([][]float64, sc.Instances)
+	minCostMk, minCostB, baseMk := 0.0, 0.0, 0.0
+	var commonFactors []float64
+	for i := range instances {
+		w, err := sc.Instance(i)
+		if err != nil {
+			return nil, err
+		}
+		a, err := ComputeAnchors(w, sc.Platform)
+		if err != nil {
+			return nil, err
+		}
+		instances[i] = w
+		anchors[i] = a
+		factorGrid[i] = a.BudgetFactors(gridK)
+		if commonFactors == nil || factorGrid[i][gridK-1] > commonFactors[gridK-1] {
+			commonFactors = factorGrid[i]
+		}
+		minCostMk += a.CheapMakespan / float64(sc.Instances)
+		minCostB += a.CheapCost / float64(sc.Instances)
+		baseMk += a.BaselineMakespan / float64(sc.Instances)
+	}
+
+	out := &SweepResult{
+		Scenario:         sc,
+		MinCostMakespan:  minCostMk,
+		MinCostBudget:    minCostB,
+		BaselineMakespan: baseMk,
+	}
+
+	// Enumerate cells.
+	var cells []cell
+	for ai := range algs {
+		for i := 0; i < sc.Instances; i++ {
+			for b := 0; b < gridK; b++ {
+				cells = append(cells, cell{alg: algs[ai], algIdx: ai, instance: i, budgetIx: b})
+			}
+		}
+	}
+
+	results := make([]cellResult, len(cells))
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for wkr := 0; wkr < sc.Workers; wkr++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ci := range work {
+				results[ci] = runCell(sc, instances, anchors, commonFactors, cells[ci])
+			}
+		}()
+	}
+	for ci := range cells {
+		work <- ci
+	}
+	close(work)
+	wg.Wait()
+
+	// Aggregate per (algorithm, budget index).
+	for ai, alg := range algs {
+		series := Series{Algorithm: alg.Name}
+		for b := 0; b < gridK; b++ {
+			var mk, cost, vms, pt []float64
+			valid, total := 0, 0
+			budgetSum := 0.0
+			for i := 0; i < sc.Instances; i++ {
+				for _, r := range results {
+					if r.algIdx != ai || r.instance != i || r.budgetIx != b {
+						continue
+					}
+					if r.err != nil {
+						return nil, fmt.Errorf("exp: %s instance %d budget %d: %w", alg.Name, i, b, r.err)
+					}
+					mk = append(mk, r.makespans...)
+					cost = append(cost, r.costs...)
+					vms = append(vms, r.numVMs)
+					pt = append(pt, r.planTime)
+					valid += r.valid
+					total += len(r.makespans)
+					budgetSum += commonFactors[b] * anchors[i].CheapCost
+				}
+			}
+			p := Point{
+				Factor:   commonFactors[b],
+				Budget:   budgetSum / float64(sc.Instances),
+				Makespan: stats.Summarize(mk),
+				Cost:     stats.Summarize(cost),
+				NumVMs:   stats.Summarize(vms),
+				PlanTime: stats.Summarize(pt),
+			}
+			if total > 0 {
+				p.ValidFrac = float64(valid) / float64(total)
+			}
+			series.Points = append(series.Points, p)
+		}
+		out.Series = append(out.Series, series)
+	}
+	return out, nil
+}
+
+// runCell plans one instance at one budget and replays it Reps times
+// with stochastic weights.
+func runCell(sc Scenario, instances []*wf.Workflow, anchors []*Anchors, factors []float64, c cell) cellResult {
+	res := cellResult{cell: c}
+	w := instances[c.instance]
+	budget := factors[c.budgetIx] * anchors[c.instance].CheapCost
+
+	start := time.Now()
+	s, err := c.alg.Plan(w, sc.Platform, budget)
+	res.planTime = time.Since(start).Seconds()
+	if err != nil {
+		res.err = err
+		return res
+	}
+	res.numVMs = float64(s.NumVMs())
+	simP := sc.Platform
+	if sc.SimPlatform != nil {
+		simP = sc.SimPlatform
+	}
+
+	// One decorrelated stream per cell, stable across worker
+	// interleavings: derived from scenario seed, instance, budget
+	// index and algorithm name.
+	stream := rng.New(sc.Seed).Split(uint64(c.instance)<<32 | uint64(c.budgetIx)<<16 | hashName(string(c.alg.Name)))
+	for rep := 0; rep < sc.Reps; rep++ {
+		r, err := sim.RunStochastic(w, simP, s, stream.Split(uint64(rep)))
+		if err != nil {
+			res.err = err
+			return res
+		}
+		res.makespans = append(res.makespans, r.Makespan)
+		res.costs = append(res.costs, r.TotalCost)
+		if r.WithinBudget(budget) {
+			res.valid++
+		}
+	}
+	return res
+}
+
+func hashName(s string) uint64 {
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h & 0xffff
+}

@@ -1,0 +1,177 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+
+	"budgetwf/internal/platform"
+	"budgetwf/internal/sched"
+	"budgetwf/internal/wfgen"
+)
+
+func quickScenario(t wfgen.Type) Scenario {
+	return Scenario{Type: t, N: 30, SigmaRatio: 0.5, Instances: 2, Reps: 4, Workers: 2}
+}
+
+func TestRunSweepShapes(t *testing.T) {
+	algs := []sched.Algorithm{
+		mustAlg(t, sched.NameHeft),
+		mustAlg(t, sched.NameHeftBudg),
+	}
+	res, err := RunSweep(quickScenario(wfgen.Montage), algs, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series) != 2 {
+		t.Fatalf("want 2 series, got %d", len(res.Series))
+	}
+	for _, s := range res.Series {
+		if len(s.Points) != 5 {
+			t.Fatalf("%s: want 5 points, got %d", s.Algorithm, len(s.Points))
+		}
+		for i, p := range s.Points {
+			if p.Makespan.N != 2*4 {
+				t.Errorf("%s point %d: want 8 observations, got %d", s.Algorithm, i, p.Makespan.N)
+			}
+			if p.Makespan.Mean <= 0 || p.Cost.Mean <= 0 {
+				t.Errorf("%s point %d: non-positive aggregates", s.Algorithm, i)
+			}
+		}
+	}
+	if res.MinCostMakespan <= 0 || res.MinCostBudget <= 0 {
+		t.Error("missing min_cost anchors")
+	}
+
+	// The budget-aware makespan must not increase (materially) with
+	// budget at the extremes: the largest budget's mean makespan must
+	// be at most the smallest budget's.
+	hb := res.Series[1].Points
+	lo, hi := hb[0].Makespan.Mean, hb[len(hb)-1].Makespan.Mean
+	if hi > lo*1.05 {
+		t.Errorf("HEFTBUDG makespan grew with budget: %.1f at min vs %.1f at max", lo, hi)
+	}
+}
+
+func TestRunSweepDeterminism(t *testing.T) {
+	algs := []sched.Algorithm{mustAlg(t, sched.NameMinMinBudg)}
+	a, err := RunSweep(quickScenario(wfgen.CyberShake), algs, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunSweep(quickScenario(wfgen.CyberShake), algs, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Series[0].Points {
+		pa, pb := a.Series[0].Points[i], b.Series[0].Points[i]
+		if pa.Makespan.Mean != pb.Makespan.Mean || pa.Cost.Mean != pb.Cost.Mean {
+			t.Errorf("point %d differs across identical runs: %v vs %v", i, pa.Makespan.Mean, pb.Makespan.Mean)
+		}
+	}
+}
+
+func TestBudgetRespectedAtHighBudget(t *testing.T) {
+	for _, typ := range wfgen.AllPaperTypes() {
+		res, err := RunSweep(quickScenario(typ), []sched.Algorithm{mustAlg(t, sched.NameHeftBudg)}, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pts := res.Series[0].Points
+		last := pts[len(pts)-1]
+		if last.ValidFrac < 0.95 {
+			t.Errorf("%s: only %.0f%% of high-budget executions respected the budget", typ, 100*last.ValidFrac)
+		}
+	}
+}
+
+func TestSweepTableRendering(t *testing.T) {
+	res, err := RunSweep(quickScenario(wfgen.Ligo), []sched.Algorithm{mustAlg(t, sched.NameHeftBudg)}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := SweepTable("test", res)
+	var ascii, csv strings.Builder
+	if err := tab.WriteASCII(&ascii); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(ascii.String(), "heftbudg") || !strings.Contains(csv.String(), "heftbudg") {
+		t.Error("rendered tables missing algorithm name")
+	}
+	wantRows := 3 + 1 // grid points + min_cost reference
+	if len(tab.Rows) != wantRows {
+		t.Errorf("want %d rows, got %d", wantRows, len(tab.Rows))
+	}
+}
+
+func TestBudgetGrid(t *testing.T) {
+	g := BudgetGrid(1, 3, 5)
+	want := []float64{1, 1.5, 2, 2.5, 3}
+	for i := range want {
+		if g[i] != want[i] {
+			t.Fatalf("grid %v, want %v", g, want)
+		}
+	}
+	if got := BudgetGrid(2, 1, 5); len(got) != 1 || got[0] != 2 {
+		t.Errorf("degenerate grid: %v", got)
+	}
+}
+
+func TestCheapestScheduleSingleVM(t *testing.T) {
+	w := wfgen.MustGenerate(wfgen.Montage, 30, 0)
+	p := platform.Default()
+	s, err := CheapestSchedule(w, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumVMs() != 1 {
+		t.Fatalf("cheapest schedule uses %d VMs", s.NumVMs())
+	}
+	if s.VMCats[0] != p.Cheapest() {
+		t.Errorf("cheapest schedule uses category %d", s.VMCats[0])
+	}
+	if err := s.Validate(w, p.NumCategories()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func mustAlg(t *testing.T, n sched.Name) sched.Algorithm {
+	t.Helper()
+	a, err := sched.ByName(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestRunSweepWorkerCountInvariance(t *testing.T) {
+	// The parallel harness must produce bit-identical aggregates
+	// regardless of worker count: cells own decorrelated RNG streams
+	// derived from (instance, budget, algorithm), never from
+	// scheduling order.
+	algs := []sched.Algorithm{mustAlg(t, sched.NameHeftBudg), mustAlg(t, sched.NameBDT)}
+	base := quickScenario(wfgen.Montage)
+	one := base
+	one.Workers = 1
+	many := base
+	many.Workers = 8
+	a, err := RunSweep(one, algs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunSweep(many, algs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for si := range a.Series {
+		for pi := range a.Series[si].Points {
+			pa, pb := a.Series[si].Points[pi], b.Series[si].Points[pi]
+			if pa.Makespan.Mean != pb.Makespan.Mean || pa.Cost.Mean != pb.Cost.Mean ||
+				pa.ValidFrac != pb.ValidFrac || pa.NumVMs.Mean != pb.NumVMs.Mean {
+				t.Fatalf("series %d point %d differs between 1 and 8 workers", si, pi)
+			}
+		}
+	}
+}

@@ -1,0 +1,113 @@
+package exp
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a generic rectangular result, renderable as aligned ASCII
+// (for the terminal) or CSV (for plotting).
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// AddRow appends a formatted row; values are Sprint-ed with %v.
+func (t *Table) AddRow(values ...interface{}) {
+	row := make([]string, len(values))
+	for i, v := range values {
+		switch x := v.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.4g", x)
+		case string:
+			row[i] = x
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// WriteASCII renders the table with aligned columns.
+func (t *Table) WriteASCII(w io.Writer) error {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "## %s\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	b.WriteByte('\n')
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteCSV renders the table as CSV with a header row.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Columns); err != nil {
+		return err
+	}
+	if err := cw.WriteAll(t.Rows); err != nil {
+		return err
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// SweepTable flattens a SweepResult into the long-format table used by
+// every figure: one row per (algorithm, budget point).
+func SweepTable(title string, res *SweepResult) *Table {
+	t := &Table{
+		Title: title,
+		Columns: []string{
+			"workflow", "n", "sigma", "algorithm", "factor", "budget",
+			"makespan_mean", "makespan_std", "cost_mean", "cost_std",
+			"vms_mean", "valid_pct", "plantime_mean_s",
+		},
+	}
+	sc := res.Scenario
+	for _, s := range res.Series {
+		for _, p := range s.Points {
+			t.AddRow(
+				string(sc.Type), sc.N, sc.SigmaRatio, string(s.Algorithm),
+				p.Factor, p.Budget,
+				p.Makespan.Mean, p.Makespan.StdDev, p.Cost.Mean, p.Cost.StdDev,
+				p.NumVMs.Mean, 100*p.ValidFrac, p.PlanTime.Mean,
+			)
+		}
+	}
+	// Reference rows: the min_cost dot and the budget-blind baseline.
+	t.AddRow(string(sc.Type), sc.N, sc.SigmaRatio, "min_cost", 1.0,
+		res.MinCostBudget, res.MinCostMakespan, 0.0, res.MinCostBudget, 0.0, 1, 100.0, 0.0)
+	return t
+}

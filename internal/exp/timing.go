@@ -1,0 +1,164 @@
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"budgetwf/internal/sched"
+	"budgetwf/internal/stats"
+	"budgetwf/internal/wfgen"
+)
+
+// BudgetLevel names the three characteristic budgets of Table III.
+type BudgetLevel string
+
+// The paper's three budget levels (§V-B): "low" is the minimum budget
+// needed to find a schedule, "high" is large enough to enroll
+// unlimited VMs, and "medium" is halfway between the minimum budget
+// achieving the baseline makespan and the low one.
+const (
+	BudgetLow    BudgetLevel = "low"
+	BudgetMedium BudgetLevel = "medium"
+	BudgetHigh   BudgetLevel = "high"
+)
+
+// levelBudget maps a level to an actual budget using the anchors.
+func levelBudget(l BudgetLevel, a *Anchors) float64 {
+	switch l {
+	case BudgetLow:
+		return a.CheapCost
+	case BudgetMedium:
+		return (a.CheapCost + a.High) / 2
+	default:
+		return a.High
+	}
+}
+
+// TimingConfig controls the Table III reproduction.
+type TimingConfig struct {
+	Type wfgen.Type
+	// Repeats is how many times each planning run is measured; the
+	// paper uses 30 instances per parameter combination.
+	Repeats   int
+	Instances int
+	Seed      uint64
+	// SkipExpensiveAbove, when positive, omits the O(n·(n+e)·p)
+	// algorithms (HEFTBUDG+, HEFTBUDG+INV, CG+) for workflow sizes
+	// above the threshold; their cells render as "—". The paper did
+	// run them at 400 tasks (at several hundred seconds per schedule);
+	// cmd/paperfigs enables the skip by default and offers -full.
+	SkipExpensiveAbove int
+}
+
+// expensiveAlgorithm reports whether the algorithm carries the O(n)
+// multiplicative re-simulation cost of the refined variants.
+func expensiveAlgorithm(n sched.Name) bool {
+	return n == sched.NameHeftBudgPlus || n == sched.NameHeftBudgPlusInv || n == sched.NameCGPlus
+}
+
+func (c TimingConfig) defaults() TimingConfig {
+	if c.Type == "" {
+		c.Type = wfgen.Montage
+	}
+	if c.Repeats == 0 {
+		c.Repeats = 5
+	}
+	if c.Instances == 0 {
+		c.Instances = 3
+	}
+	return c
+}
+
+// measurePlan times alg on the given instances/budgets and returns a
+// summary in seconds.
+func measurePlan(cfg TimingConfig, alg sched.Algorithm, n int, level BudgetLevel, sigma float64) (stats.Summary, error) {
+	var xs []float64
+	for i := 0; i < cfg.Instances; i++ {
+		w, err := wfgen.Generate(cfg.Type, n, cfg.Seed*1000+uint64(i))
+		if err != nil {
+			return stats.Summary{}, err
+		}
+		w = w.WithSigmaRatio(sigma)
+		a, err := ComputeAnchors(w, defaultPlatform())
+		if err != nil {
+			return stats.Summary{}, err
+		}
+		budget := levelBudget(level, a)
+		for r := 0; r < cfg.Repeats; r++ {
+			start := time.Now()
+			if _, err := alg.Plan(w, defaultPlatform(), budget); err != nil {
+				return stats.Summary{}, err
+			}
+			xs = append(xs, time.Since(start).Seconds())
+		}
+	}
+	return stats.Summarize(xs), nil
+}
+
+// Table3a reproduces Table III(a): CPU time to compute a schedule for
+// a 90-task MONTAGE workflow under low, medium and high budgets, for
+// every algorithm.
+func Table3a(cfg TimingConfig, algNames []sched.Name) (*Table, error) {
+	cfg = cfg.defaults()
+	t := &Table{
+		Title:   fmt.Sprintf("Table III(a) — scheduling time [s], %s 90 tasks", cfg.Type),
+		Columns: append([]string{"budget"}, namesToStrings(algNames)...),
+	}
+	for _, level := range []BudgetLevel{BudgetLow, BudgetMedium, BudgetHigh} {
+		row := []interface{}{string(level)}
+		for _, name := range algNames {
+			alg, err := sched.ByName(name)
+			if err != nil {
+				return nil, err
+			}
+			s, err := measurePlan(cfg, alg, 90, level, 0.5)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, fmt.Sprintf("%.4f ± %.4f", s.Mean, s.StdDev))
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+// Table3b reproduces Table III(b): CPU time versus workflow size
+// (30, 60, 90 and 400 tasks) under a high budget.
+func Table3b(cfg TimingConfig, algNames []sched.Name, sizes []int) (*Table, error) {
+	cfg = cfg.defaults()
+	if len(sizes) == 0 {
+		sizes = []int{30, 60, 90, 400}
+	}
+	t := &Table{
+		Title:   fmt.Sprintf("Table III(b) — scheduling time [s] vs size, %s, high budget", cfg.Type),
+		Columns: append([]string{"tasks"}, namesToStrings(algNames)...),
+	}
+	for _, n := range sizes {
+		row := []interface{}{n}
+		for _, name := range algNames {
+			if cfg.SkipExpensiveAbove > 0 && n > cfg.SkipExpensiveAbove && expensiveAlgorithm(name) {
+				row = append(row, "—")
+				continue
+			}
+			alg, err := sched.ByName(name)
+			if err != nil {
+				return nil, err
+			}
+			s, err := measurePlan(cfg, alg, n, BudgetHigh, 0.5)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, fmt.Sprintf("%.4f ± %.4f", s.Mean, s.StdDev))
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+func namesToStrings(names []sched.Name) []string {
+	out := make([]string, len(names))
+	for i, n := range names {
+		out[i] = string(n)
+	}
+	return out
+}

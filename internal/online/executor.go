@@ -1,0 +1,442 @@
+package online
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"budgetwf/internal/plan"
+	"budgetwf/internal/platform"
+	"budgetwf/internal/wf"
+)
+
+type eventKind int
+
+const (
+	evBootDone eventKind = iota
+	evStageDone
+	evComputeDone
+	evInterrupt
+	evUploadDone
+)
+
+type event struct {
+	time float64
+	seq  int
+	kind eventKind
+	vm   int
+	task wf.TaskID
+	edge int // evUploadDone
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// edgeState tracks where one edge's payload currently lives.
+type edgeState int
+
+const (
+	edgePending   edgeState = iota // producer not finished yet
+	edgeLocal                      // payload only on the producer's VM
+	edgeUploading                  // on its way to the datacenter
+	edgeAtDC                       // available at the datacenter
+)
+
+type ovm struct {
+	cat          int
+	queue        []wf.TaskID
+	next         int
+	booked       bool
+	booting      bool
+	bookTime     float64
+	bootDone     float64
+	busy         bool
+	current      wf.TaskID
+	computeStart float64
+	computing    bool
+	end          float64
+}
+
+type executor struct {
+	w       *wf.Workflow
+	p       *platform.Platform
+	weights []float64
+	policy  Policy
+
+	now    float64
+	seq    int
+	events eventHeap
+
+	vms    []ovm
+	curVM  []int // current VM of each task (may change on migration)
+	edges  []wf.Edge
+	eState []edgeState
+	eLocal []int // VM holding the payload while edgeLocal
+	inE    [][]int
+	outE   [][]int
+
+	done      []bool
+	finish    []float64
+	migCount  []int
+	doneCount int
+	maxTime   float64
+	fastest   int
+
+	report Report
+}
+
+func newExecutor(w *wf.Workflow, p *platform.Platform, s *plan.Schedule, weights []float64, policy Policy) (*executor, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if err := s.Validate(w, p.NumCategories()); err != nil {
+		return nil, err
+	}
+	for t, wt := range weights {
+		if wt <= 0 || math.IsNaN(wt) || math.IsInf(wt, 0) {
+			return nil, fmt.Errorf("online: task %d has invalid weight %v", t, wt)
+		}
+	}
+	n := w.NumTasks()
+	e := &executor{
+		w: w, p: p, weights: weights, policy: policy,
+		curVM:    append([]int(nil), s.TaskVM...),
+		edges:    w.Edges(),
+		done:     make([]bool, n),
+		finish:   make([]float64, n),
+		migCount: make([]int, n),
+		fastest:  p.Fastest(),
+	}
+	e.vms = make([]ovm, s.NumVMs())
+	for i := range e.vms {
+		e.vms[i] = ovm{cat: s.VMCats[i], queue: append([]wf.TaskID(nil), s.Order[i]...)}
+	}
+	e.eState = make([]edgeState, len(e.edges))
+	e.eLocal = make([]int, len(e.edges))
+	e.inE = make([][]int, n)
+	e.outE = make([][]int, n)
+	for i, edge := range e.edges {
+		e.inE[edge.To] = append(e.inE[edge.To], i)
+		e.outE[edge.From] = append(e.outE[edge.From], i)
+	}
+	return e, nil
+}
+
+func (e *executor) push(ev *event) {
+	ev.seq = e.seq
+	e.seq++
+	heap.Push(&e.events, ev)
+}
+
+func (e *executor) bump(t float64) {
+	if t > e.maxTime {
+		e.maxTime = t
+	}
+}
+
+// tryAdvance moves VM v forward if its head task can progress.
+func (e *executor) tryAdvance(v int) {
+	vm := &e.vms[v]
+	if vm.busy || vm.booting || vm.next >= len(vm.queue) {
+		return
+	}
+	t := vm.queue[vm.next]
+	if e.curVM[t] != v {
+		// The task migrated away while queued; skip it.
+		vm.next++
+		e.tryAdvance(v)
+		return
+	}
+	stage := e.w.Task(t).ExternalIn
+	for _, ei := range e.inE[t] {
+		switch e.eState[ei] {
+		case edgePending, edgeUploading:
+			return // wait for the producer / the upload
+		case edgeLocal:
+			if e.eLocal[ei] != v {
+				// Data sits on another VM: ship it via the datacenter.
+				e.eState[ei] = edgeUploading
+				e.push(&event{time: e.now + e.edges[ei].Size/e.p.Bandwidth, kind: evUploadDone, edge: ei})
+				return
+			}
+		case edgeAtDC:
+			stage += e.edges[ei].Size
+		}
+	}
+	if !vm.booked {
+		vm.booked = true
+		vm.booting = true
+		vm.bookTime = e.now
+		vm.bootDone = e.now + e.p.BootTime
+		e.push(&event{time: vm.bootDone, kind: evBootDone, vm: v})
+		return
+	}
+	vm.busy = true
+	vm.current = t
+	if stage > 0 {
+		e.push(&event{time: e.now + stage/e.p.Bandwidth, kind: evStageDone, vm: v, task: t})
+		return
+	}
+	e.startCompute(v, t)
+}
+
+func (e *executor) startCompute(v int, t wf.TaskID) {
+	vm := &e.vms[v]
+	vm.computing = true
+	vm.computeStart = e.now
+	speed := e.p.Categories[vm.cat].Speed
+	dur := e.weights[t] / speed
+	if timeout, ok := e.timeoutFor(v, t); ok && dur > timeout {
+		e.push(&event{time: e.now + timeout, kind: evInterrupt, vm: v, task: t})
+		return
+	}
+	e.push(&event{time: e.now + dur, kind: evComputeDone, vm: v, task: t})
+}
+
+// timeoutFor returns the monitoring timeout of task t on VM v, if
+// monitoring applies there.
+func (e *executor) timeoutFor(v int, t wf.TaskID) (float64, bool) {
+	if e.policy.TimeoutSigma <= 0 {
+		return 0, false
+	}
+	vm := &e.vms[v]
+	if vm.cat == e.fastest {
+		return 0, false // nowhere faster to go
+	}
+	if e.migCount[t] >= e.policy.maxMigrations() {
+		return 0, false
+	}
+	task := e.w.Task(t)
+	quantile := task.Weight.Mean + e.policy.TimeoutSigma*task.Weight.Sigma
+	timeout := quantile / e.p.Categories[vm.cat].Speed
+	if g := e.policy.GainFactor; g > 0 {
+		// The gain rule: never interrupt before the task has consumed
+		// at least γ× what a fastest-category restart would cost.
+		inBytes := task.ExternalIn
+		for _, ei := range e.inE[t] {
+			inBytes += e.edges[ei].Size
+		}
+		restart := e.p.BootTime + inBytes/e.p.Bandwidth + quantile/e.p.Categories[e.fastest].Speed
+		if floor := g * restart; floor > timeout {
+			timeout = floor
+		}
+	}
+	return timeout, true
+}
+
+func (e *executor) finishCompute(v int, t wf.TaskID) {
+	vm := &e.vms[v]
+	vm.busy = false
+	vm.computing = false
+	vm.next++
+	e.done[t] = true
+	e.doneCount++
+	e.finish[t] = e.now
+	if e.now > vm.end {
+		vm.end = e.now
+	}
+	e.bump(e.now)
+	for _, ei := range e.outE[t] {
+		edge := e.edges[ei]
+		if e.curVM[edge.To] == v {
+			e.eState[ei] = edgeLocal
+			e.eLocal[ei] = v
+			continue
+		}
+		if edge.Size == 0 {
+			e.eState[ei] = edgeAtDC
+			continue
+		}
+		e.eState[ei] = edgeUploading
+		e.push(&event{time: e.now + edge.Size/e.p.Bandwidth, kind: evUploadDone, edge: ei})
+	}
+	if out := e.w.Task(t).ExternalOut; out > 0 {
+		arr := e.now + out/e.p.Bandwidth
+		if arr > vm.end {
+			vm.end = arr
+		}
+		e.bump(arr)
+	}
+	e.tryAdvanceAll()
+}
+
+// interrupt handles a fired timeout: migrate to a fresh fastest-class
+// VM, unless the budget guard vetoes it.
+func (e *executor) interrupt(v int, t wf.TaskID) {
+	vm := &e.vms[v]
+	dur := e.weights[t] / e.p.Categories[vm.cat].Speed
+	if e.policy.Budget > 0 && e.projectedCostWithMigration(t) > e.policy.Budget {
+		e.report.Vetoed++
+		e.push(&event{time: vm.computeStart + dur, kind: evComputeDone, vm: v, task: t})
+		return
+	}
+	// Abandon the computation: the VM proceeds with its queue.
+	wasted := e.now - vm.computeStart
+	vm.busy = false
+	vm.computing = false
+	vm.next++
+	if e.now > vm.end {
+		vm.end = e.now
+	}
+	e.migCount[t]++
+	nv := len(e.vms)
+	e.vms = append(e.vms, ovm{cat: e.fastest, queue: []wf.TaskID{t}})
+	e.curVM[t] = nv
+	e.report.Migrations = append(e.report.Migrations, Migration{
+		Task: t, FromVM: v, ToVM: nv, At: e.now, Wasted: wasted,
+	})
+	e.tryAdvanceAll()
+}
+
+// projectedCostWithMigration estimates the final invoice if task t is
+// restarted on a fresh fastest-category VM now. The estimate is
+// deliberately conservative: every already-booked VM is billed to at
+// least the current instant plus the conservative cost of the work
+// still queued on it, the fixed external traffic is charged in full,
+// and the new VM pays staging, the conservative compute time and its
+// output shipment.
+func (e *executor) projectedCostWithMigration(t wf.TaskID) float64 {
+	total := 0.0
+	firstBook := math.Inf(1)
+	for i := range e.vms {
+		vm := &e.vms[i]
+		if !vm.booked {
+			continue
+		}
+		if vm.bookTime < firstBook {
+			firstBook = vm.bookTime
+		}
+		end := vm.end
+		if end < e.now {
+			end = e.now
+		}
+		total += e.p.VMCost(vm.cat, vm.bootDone, end)
+		// Work still committed to this VM: queued unfinished tasks at
+		// their conservative estimates, plus input staging.
+		cat := e.p.Categories[vm.cat]
+		for qi := vm.next; qi < len(vm.queue); qi++ {
+			u := vm.queue[qi]
+			if e.done[u] || e.curVM[u] != i || u == t {
+				continue
+			}
+			task := e.w.Task(u)
+			inBytes := task.ExternalIn
+			for _, ei := range e.inE[u] {
+				if e.eState[ei] != edgeLocal || e.eLocal[ei] != i {
+					inBytes += e.edges[ei].Size
+				}
+			}
+			total += (inBytes/e.p.Bandwidth + task.Weight.Conservative()/cat.Speed) * cat.CostPerSec
+		}
+	}
+	if math.IsInf(firstBook, 1) {
+		firstBook = 0
+	}
+	task := e.w.Task(t)
+	fast := e.p.Categories[e.fastest]
+	inBytes := task.ExternalIn
+	for _, ei := range e.inE[t] {
+		inBytes += e.edges[ei].Size
+	}
+	outBytes := task.ExternalOut
+	for _, ei := range e.outE[t] {
+		outBytes += e.edges[ei].Size
+	}
+	newWork := (inBytes+outBytes)/e.p.Bandwidth + task.Weight.Conservative()/fast.Speed
+	total += newWork*fast.CostPerSec + fast.InitCost
+	ext := e.w.ExternalInSize() + e.w.ExternalOutSize()
+	span := e.now + e.p.BootTime + newWork - firstBook
+	total += e.p.DCCost(ext, 0, 0, 0) // transfer part only
+	total += span * e.p.DCCostPerSec
+	return total
+}
+
+func (e *executor) tryAdvanceAll() {
+	for v := range e.vms {
+		e.tryAdvance(v)
+	}
+}
+
+func (e *executor) run() (*Report, error) {
+	n := e.w.NumTasks()
+	e.tryAdvanceAll()
+	guard := 0
+	maxSteps := 32 * (n + len(e.edges) + len(e.vms) + 16) * (e.policy.maxMigrations() + 1)
+	for e.doneCount < n {
+		guard++
+		if guard > maxSteps {
+			return nil, fmt.Errorf("online: exceeded %d steps; execution is livelocked", maxSteps)
+		}
+		if e.events.Len() == 0 {
+			return nil, fmt.Errorf("online: deadlock with %d/%d tasks finished", e.doneCount, n)
+		}
+		ev := heap.Pop(&e.events).(*event)
+		if ev.time < e.now-1e-9 {
+			return nil, fmt.Errorf("online: time went backwards: %v -> %v", e.now, ev.time)
+		}
+		if ev.time > e.now {
+			e.now = ev.time
+		}
+		switch ev.kind {
+		case evBootDone:
+			e.vms[ev.vm].booting = false
+			e.tryAdvance(ev.vm)
+		case evStageDone:
+			e.startCompute(ev.vm, ev.task)
+		case evComputeDone:
+			e.finishCompute(ev.vm, ev.task)
+		case evInterrupt:
+			e.interrupt(ev.vm, ev.task)
+		case evUploadDone:
+			ei := ev.edge
+			e.eState[ei] = edgeAtDC
+			src := e.curVM[e.edges[ei].From]
+			if e.vms[src].end < e.now {
+				e.vms[src].end = e.now
+			}
+			e.bump(e.now)
+			e.tryAdvanceAll()
+		}
+	}
+	return e.collect(), nil
+}
+
+func (e *executor) collect() *Report {
+	r := &e.report
+	firstBook := math.Inf(1)
+	for i := range e.vms {
+		vm := &e.vms[i]
+		if !vm.booked {
+			continue
+		}
+		r.NumVMs++
+		if vm.bookTime < firstBook {
+			firstBook = vm.bookTime
+		}
+		r.TotalCost += e.p.VMCost(vm.cat, vm.bootDone, vm.end)
+	}
+	if math.IsInf(firstBook, 1) {
+		firstBook = 0
+	}
+	r.DCCost = e.p.DCCost(e.w.ExternalInSize(), e.w.ExternalOutSize(), firstBook, e.maxTime)
+	r.TotalCost += r.DCCost
+	r.Makespan = e.maxTime - firstBook
+	return r
+}

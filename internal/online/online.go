@@ -1,0 +1,122 @@
+// Package online implements the paper's future-work direction (§VI):
+// on-line re-scheduling. "If we monitor the execution of the tasks, we
+// can detect unlikely events such as very long durations, and in such
+// cases, it could be beneficial to interrupt some tasks and re-schedule
+// them onto faster VMs. Such dynamic decisions encompass risks in terms
+// of both final makespan and budget."
+//
+// The controller watches every computation against a timeout derived
+// from the planner's own uncertainty model: a task whose computation on
+// a VM of speed s exceeds (w̄ + k·σ)/s has, under the Gaussian weight
+// model, landed in the distribution's unlucky tail (probability
+// ≈ 2.3% for k = 2). When the timeout fires the controller interrupts
+// the task and restarts it from scratch on a freshly booked VM of the
+// fastest category — provided the budget guard projects the total
+// spend to stay within the initial budget, the task is not already on
+// the fastest category, and its migration allowance is not exhausted.
+//
+// The executor reproduces the execution semantics of internal/sim
+// exactly (a test asserts equality when the controller never fires),
+// with the additional mechanics interruption requires: data produced
+// locally for a migrated consumer is uploaded to the datacenter on
+// demand, and the abandoned VM proceeds with its remaining queue.
+// The fluid datacenter-contention mode is not supported here.
+package online
+
+import (
+	"fmt"
+
+	"budgetwf/internal/plan"
+	"budgetwf/internal/platform"
+	"budgetwf/internal/rng"
+	"budgetwf/internal/sim"
+	"budgetwf/internal/wf"
+)
+
+// Policy configures the online controller. The zero value disables
+// rescheduling entirely (infinite timeout).
+type Policy struct {
+	// TimeoutSigma is k in the timeout (w̄ + k·σ)/s. Zero or negative
+	// disables monitoring.
+	TimeoutSigma float64
+	// GainFactor γ, when positive, extends the timeout to at least
+	// γ × (boot + restage + (w̄+kσ)/s_fastest): the task must have
+	// consumed at least γ times what a fast restart would cost before
+	// an interrupt is considered. This is the classic speculative-
+	// execution rule — at the instant a bare kσ timeout fires, an
+	// ordinary Gaussian tail and a pathological blow-up look
+	// identical, and killing the former never pays; waiting until the
+	// restart is clearly amortized filters almost all false positives
+	// while still catching severe stragglers.
+	GainFactor float64
+	// MaxMigrations bounds how many times one task may be restarted;
+	// 0 means one migration per task.
+	MaxMigrations int
+	// Budget is the initial budget B_ini the guard enforces; 0 lifts
+	// the guard.
+	Budget float64
+}
+
+// DefaultPolicy returns the recommended configuration: 2σ timeouts
+// extended by the gain rule (γ = 1), one migration per task, guarded
+// by the given budget.
+func DefaultPolicy(budget float64) Policy {
+	return Policy{TimeoutSigma: 2, GainFactor: 1, MaxMigrations: 1, Budget: budget}
+}
+
+// maxMigrations resolves the per-task migration allowance.
+func (p Policy) maxMigrations() int {
+	if p.MaxMigrations <= 0 {
+		return 1
+	}
+	return p.MaxMigrations
+}
+
+// Migration records one interruption decision.
+type Migration struct {
+	Task   wf.TaskID
+	FromVM int
+	ToVM   int
+	// At is when the interrupt fired; Wasted is the computation time
+	// thrown away on the abandoned VM.
+	At     float64
+	Wasted float64
+}
+
+// Report is the outcome of one monitored execution.
+type Report struct {
+	// Makespan and TotalCost follow the same definitions as
+	// sim.Result (Equations (1)–(3)).
+	Makespan  float64
+	TotalCost float64
+	DCCost    float64
+	// NumVMs counts every VM booked, including ones added by
+	// migrations.
+	NumVMs int
+	// Migrations lists the controller's interventions in time order.
+	Migrations []Migration
+	// Vetoed counts timeouts where the budget guard (or the
+	// fastest-category check) blocked a migration.
+	Vetoed int
+}
+
+// Execute runs the schedule with the given realized weights under the
+// online controller.
+func Execute(w *wf.Workflow, p *platform.Platform, s *plan.Schedule, weights []float64, policy Policy) (*Report, error) {
+	if p.DCBandwidth > 0 {
+		return nil, fmt.Errorf("online: datacenter contention mode is not supported")
+	}
+	if len(weights) != w.NumTasks() {
+		return nil, fmt.Errorf("online: %d weights for %d tasks", len(weights), w.NumTasks())
+	}
+	e, err := newExecutor(w, p, s, weights, policy)
+	if err != nil {
+		return nil, err
+	}
+	return e.run()
+}
+
+// ExecuteStochastic samples weights and runs one monitored execution.
+func ExecuteStochastic(w *wf.Workflow, p *platform.Platform, s *plan.Schedule, r *rng.RNG, policy Policy) (*Report, error) {
+	return Execute(w, p, s, sim.SampleWeights(w, r), policy)
+}

@@ -1,0 +1,35 @@
+package plan
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadJSON: the schedule parser must never panic; accepted
+// schedules must survive a rebuild/round-trip.
+func FuzzReadJSON(f *testing.F) {
+	f.Add(`{"vmCategories":[0,1],"taskVM":[0,1,0],"listT":[0,1,2],"estMakespan":10,"estCost":1}`)
+	f.Add(`{"vmCategories":[],"taskVM":[],"listT":[]}`)
+	f.Add(`{"vmCategories":[0],"taskVM":[5],"listT":[0]}`)
+	f.Add(`garbage`)
+	f.Add(`{"vmCategories":[0],"taskVM":[-1],"listT":[]}`)
+	f.Fuzz(func(t *testing.T, doc string) {
+		s, err := ReadJSON(bytes.NewReader([]byte(doc)))
+		if err != nil {
+			return
+		}
+		// Accepted schedules must be internally consistent enough to
+		// re-serialize and re-read.
+		var buf bytes.Buffer
+		if err := s.WriteJSON(&buf); err != nil {
+			t.Fatalf("re-serialization failed: %v", err)
+		}
+		again, err := ReadJSON(&buf)
+		if err != nil {
+			t.Fatalf("round-trip failed: %v", err)
+		}
+		if again.NumVMs() != s.NumVMs() || len(again.TaskVM) != len(s.TaskVM) {
+			t.Fatal("round trip changed shape")
+		}
+	})
+}

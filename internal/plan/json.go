@@ -1,0 +1,61 @@
+package plan
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"budgetwf/internal/wf"
+)
+
+type jsonSchedule struct {
+	VMCats      []int   `json:"vmCategories"`
+	TaskVM      []int   `json:"taskVM"`
+	ListT       []int   `json:"listT"`
+	EstMakespan float64 `json:"estMakespan"`
+	EstCost     float64 `json:"estCost"`
+}
+
+// WriteJSON serializes the schedule. Per-VM orders are not stored;
+// they are reconstructed from ListT on load.
+func (s *Schedule) WriteJSON(w io.Writer) error {
+	js := jsonSchedule{
+		VMCats:      s.VMCats,
+		TaskVM:      s.TaskVM,
+		EstMakespan: s.EstMakespan,
+		EstCost:     s.EstCost,
+	}
+	for _, t := range s.ListT {
+		js.ListT = append(js.ListT, int(t))
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(js)
+}
+
+// ReadJSON parses a schedule previously produced by WriteJSON and
+// rebuilds the per-VM orders.
+func ReadJSON(r io.Reader) (*Schedule, error) {
+	var js jsonSchedule
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&js); err != nil {
+		return nil, fmt.Errorf("plan: decoding schedule: %w", err)
+	}
+	s := &Schedule{
+		VMCats:      js.VMCats,
+		TaskVM:      js.TaskVM,
+		EstMakespan: js.EstMakespan,
+		EstCost:     js.EstCost,
+	}
+	for _, t := range js.ListT {
+		s.ListT = append(s.ListT, wf.TaskID(t))
+	}
+	for _, vm := range s.TaskVM {
+		if vm != Unassigned && (vm < 0 || vm >= len(s.VMCats)) {
+			return nil, fmt.Errorf("plan: task assigned to unknown VM %d", vm)
+		}
+	}
+	s.RebuildOrder()
+	return s, nil
+}

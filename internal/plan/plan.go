@@ -1,0 +1,209 @@
+// Package plan defines the schedule representation exchanged between
+// the scheduling algorithms (internal/sched) and the discrete-event
+// simulator (internal/sim): which VMs are provisioned, of which
+// category, which VM runs each task, and in which order.
+//
+// Keeping this type in its own package breaks the dependency cycle
+// that HEFTBUDG+ would otherwise create: the refinement algorithms in
+// internal/sched evaluate candidate schedules by calling the simulator,
+// and the simulator consumes schedules.
+package plan
+
+import (
+	"fmt"
+	"sort"
+
+	"budgetwf/internal/wf"
+)
+
+// Unassigned marks a task without a VM in TaskVM.
+const Unassigned = -1
+
+// Schedule is a complete mapping of a workflow onto provisioned VMs.
+type Schedule struct {
+	// VMCats holds the platform category index of each provisioned VM;
+	// len(VMCats) is the number of VMs.
+	VMCats []int
+	// TaskVM maps each task (by ID) to the index of its VM.
+	TaskVM []int
+	// ListT is the global priority order the scheduler used (HEFT rank
+	// order for the HEFT family, assignment order for MIN-MIN). The
+	// refinement algorithms iterate over it, and per-VM execution
+	// orders are derived from it.
+	ListT []wf.TaskID
+	// Order gives, for each VM, the execution order of its tasks. It
+	// is always consistent with ListT (stable-sorted by ListT rank).
+	Order [][]wf.TaskID
+	// EstMakespan and EstCost are the planner's own estimates under
+	// conservative weights; the authoritative values come from the
+	// simulator.
+	EstMakespan float64
+	EstCost     float64
+}
+
+// New returns an empty schedule for n tasks.
+func New(n int) *Schedule {
+	s := &Schedule{TaskVM: make([]int, n)}
+	for i := range s.TaskVM {
+		s.TaskVM[i] = Unassigned
+	}
+	return s
+}
+
+// NumVMs returns the number of provisioned VMs.
+func (s *Schedule) NumVMs() int { return len(s.VMCats) }
+
+// AddVM provisions a VM of the given category and returns its index.
+func (s *Schedule) AddVM(cat int) int {
+	s.VMCats = append(s.VMCats, cat)
+	s.Order = append(s.Order, nil)
+	return len(s.VMCats) - 1
+}
+
+// Assign places a task on a VM, appending it to the VM's order.
+func (s *Schedule) Assign(t wf.TaskID, vmIdx int) {
+	s.TaskVM[t] = vmIdx
+	s.Order[vmIdx] = append(s.Order[vmIdx], t)
+}
+
+// Clone returns a deep copy of the schedule.
+func (s *Schedule) Clone() *Schedule {
+	c := &Schedule{
+		VMCats:      append([]int(nil), s.VMCats...),
+		TaskVM:      append([]int(nil), s.TaskVM...),
+		ListT:       append([]wf.TaskID(nil), s.ListT...),
+		EstMakespan: s.EstMakespan,
+		EstCost:     s.EstCost,
+	}
+	c.Order = make([][]wf.TaskID, len(s.Order))
+	for i, o := range s.Order {
+		c.Order[i] = append([]wf.TaskID(nil), o...)
+	}
+	return c
+}
+
+// RebuildOrder recomputes every VM's execution order from TaskVM and
+// ListT: tasks on one VM run in ListT-rank order. The refinement
+// algorithms call this after moving a task between VMs. Tasks missing
+// from ListT keep relative ID order after listed ones; in practice
+// ListT always covers all tasks.
+func (s *Schedule) RebuildOrder() {
+	rank := make(map[wf.TaskID]int, len(s.ListT))
+	for i, t := range s.ListT {
+		rank[t] = i
+	}
+	s.Order = make([][]wf.TaskID, len(s.VMCats))
+	for task, vm := range s.TaskVM {
+		if vm == Unassigned {
+			continue
+		}
+		s.Order[vm] = append(s.Order[vm], wf.TaskID(task))
+	}
+	for _, o := range s.Order {
+		sort.SliceStable(o, func(a, b int) bool {
+			ra, oka := rank[o[a]]
+			rb, okb := rank[o[b]]
+			switch {
+			case oka && okb:
+				return ra < rb
+			case oka:
+				return true
+			case okb:
+				return false
+			default:
+				return o[a] < o[b]
+			}
+		})
+	}
+}
+
+// CompactVMs removes VMs with no assigned task, renumbering TaskVM.
+// The refinement algorithms can leave a VM empty after moving its last
+// task away; an empty VM must not be billed.
+func (s *Schedule) CompactVMs() {
+	used := make([]bool, len(s.VMCats))
+	for _, vm := range s.TaskVM {
+		if vm != Unassigned {
+			used[vm] = true
+		}
+	}
+	remap := make([]int, len(s.VMCats))
+	var cats []int
+	for i, u := range used {
+		if u {
+			remap[i] = len(cats)
+			cats = append(cats, s.VMCats[i])
+		} else {
+			remap[i] = Unassigned
+		}
+	}
+	for t, vm := range s.TaskVM {
+		if vm != Unassigned {
+			s.TaskVM[t] = remap[vm]
+		}
+	}
+	s.VMCats = cats
+	s.RebuildOrder()
+}
+
+// Validate checks the schedule against a workflow and a category
+// count: every task assigned to a valid VM, orders consistent with
+// TaskVM and free of duplicates, and every per-VM order topologically
+// consistent (no task placed after one of its descendants on the same
+// VM, which would deadlock execution).
+func (s *Schedule) Validate(w *wf.Workflow, numCats int) error {
+	n := w.NumTasks()
+	if len(s.TaskVM) != n {
+		return fmt.Errorf("plan: TaskVM has %d entries, workflow has %d tasks", len(s.TaskVM), n)
+	}
+	for i, cat := range s.VMCats {
+		if cat < 0 || cat >= numCats {
+			return fmt.Errorf("plan: VM %d has invalid category %d", i, cat)
+		}
+	}
+	for t, vm := range s.TaskVM {
+		if vm == Unassigned {
+			return fmt.Errorf("plan: task %d unassigned", t)
+		}
+		if vm < 0 || vm >= len(s.VMCats) {
+			return fmt.Errorf("plan: task %d assigned to invalid VM %d", t, vm)
+		}
+	}
+	if len(s.Order) != len(s.VMCats) {
+		return fmt.Errorf("plan: Order has %d VMs, VMCats has %d", len(s.Order), len(s.VMCats))
+	}
+	seen := make([]bool, n)
+	for vmIdx, order := range s.Order {
+		for _, t := range order {
+			if int(t) < 0 || int(t) >= n {
+				return fmt.Errorf("plan: VM %d order mentions invalid task %d", vmIdx, t)
+			}
+			if seen[t] {
+				return fmt.Errorf("plan: task %d appears twice in orders", t)
+			}
+			seen[t] = true
+			if s.TaskVM[t] != vmIdx {
+				return fmt.Errorf("plan: task %d in VM %d order but TaskVM says %d", t, vmIdx, s.TaskVM[t])
+			}
+		}
+	}
+	for t := 0; t < n; t++ {
+		if !seen[t] {
+			return fmt.Errorf("plan: task %d missing from VM orders", t)
+		}
+	}
+	// Per-VM order must respect the precedence relation restricted to
+	// tasks sharing a VM; otherwise the FIFO executor deadlocks.
+	pos := make([]int, n)
+	for _, order := range s.Order {
+		for i, t := range order {
+			pos[t] = i
+		}
+	}
+	for _, e := range w.Edges() {
+		if s.TaskVM[e.From] == s.TaskVM[e.To] && pos[e.From] >= pos[e.To] {
+			return fmt.Errorf("plan: VM %d runs task %d before its predecessor %d", s.TaskVM[e.To], e.To, e.From)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,142 @@
+package sched
+
+import (
+	"math"
+	"testing"
+
+	"budgetwf/internal/platform"
+	"budgetwf/internal/stoch"
+	"budgetwf/internal/wf"
+)
+
+// budgetWF is a small fixed workflow for hand-checking Algorithm 1.
+func budgetWF(t *testing.T) *wf.Workflow {
+	t.Helper()
+	w := wf.New("budget")
+	a := w.AddTask("a", stoch.Dist{Mean: 80, Sigma: 20})  // conservative 100
+	b := w.AddTask("b", stoch.Dist{Mean: 150, Sigma: 50}) // conservative 200
+	c := w.AddTask("c", stoch.Dist{Mean: 90, Sigma: 10})  // conservative 100
+	w.MustAddEdge(a, b, 100)
+	w.MustAddEdge(a, c, 300)
+	if err := w.SetExternalIO(a, 500, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.SetExternalIO(c, 0, 100); err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+// budgetPlatform: speeds 10 and 30 (mean 20), cheap cost 1/s, boot 5.
+func budgetPlatform() *platform.Platform {
+	return &platform.Platform{
+		Categories: []platform.Category{
+			{Name: "s", Speed: 10, CostPerSec: 1, InitCost: 2},
+			{Name: "l", Speed: 30, CostPerSec: 4, InitCost: 3},
+		},
+		Bandwidth:           10,
+		BootTime:            5,
+		DCCostPerSec:        0.1,
+		TransferCostPerByte: 0.01,
+	}
+}
+
+func TestComputeBudgetReserves(t *testing.T) {
+	w := budgetWF(t)
+	p := budgetPlatform()
+	info, err := ComputeBudget(w, p, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sequential single-VM estimate: W_max/s_1 + ext/bw
+	//   = 400/10 + 600/10 = 100 s.
+	if info.SeqDuration != 100 {
+		t.Errorf("SeqDuration = %v", info.SeqDuration)
+	}
+	// DC reserve: 100·0.1 + 600·0.01 = 16.
+	if info.DCReserve != 16 {
+		t.Errorf("DCReserve = %v", info.DCReserve)
+	}
+	// Init reserve: 3 tasks × cheapest init 2 = 6.
+	if info.InitReserve != 6 {
+		t.Errorf("InitReserve = %v", info.InitReserve)
+	}
+	if info.Calc != 1000-16-6 {
+		t.Errorf("Calc = %v", info.Calc)
+	}
+}
+
+func TestComputeBudgetSharesProportionalAndComplete(t *testing.T) {
+	w := budgetWF(t)
+	p := budgetPlatform()
+	info, err := ComputeBudget(w, p, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// t_calc per task (mean speed 20, bw 10):
+	//   a: 100/20 + 0   = 5
+	//   b: 200/20 + 10  = 20
+	//   c: 100/20 + 30  = 35
+	// total 60 = W_max/s̄ + d_max/bw = 20 + 40. Shares ∝ {5,20,35}.
+	sum := 0.0
+	for _, s := range info.Shares {
+		sum += s
+	}
+	if math.Abs(sum-info.Calc) > 1e-9*info.Calc {
+		t.Errorf("shares sum %v != Calc %v", sum, info.Calc)
+	}
+	if math.Abs(info.Shares[1]/info.Shares[0]-4) > 1e-9 {
+		t.Errorf("share ratio b/a = %v, want 4", info.Shares[1]/info.Shares[0])
+	}
+	if math.Abs(info.Shares[2]/info.Shares[0]-7) > 1e-9 {
+		t.Errorf("share ratio c/a = %v, want 7", info.Shares[2]/info.Shares[0])
+	}
+}
+
+func TestComputeBudgetFloorsAtZero(t *testing.T) {
+	w := budgetWF(t)
+	p := budgetPlatform()
+	info, err := ComputeBudget(w, p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Calc != 0 {
+		t.Errorf("Calc = %v, want 0", info.Calc)
+	}
+	for i, s := range info.Shares {
+		if s != 0 {
+			t.Errorf("share %d = %v, want 0", i, s)
+		}
+	}
+}
+
+func TestComputeBudgetRejectsNegative(t *testing.T) {
+	if _, err := ComputeBudget(budgetWF(t), budgetPlatform(), -5); err == nil {
+		t.Error("negative budget accepted")
+	}
+}
+
+func TestPotAccounting(t *testing.T) {
+	var account pot
+	// Task 1: share 10, spends 4 → 6 left.
+	a1 := account.allowance(10)
+	if a1 != 10 {
+		t.Fatalf("allowance = %v", a1)
+	}
+	account.settle(a1, 4)
+	// Task 2: share 5 + pot 6 = 11, spends 11 → 0 left.
+	a2 := account.allowance(5)
+	if a2 != 11 {
+		t.Fatalf("allowance = %v", a2)
+	}
+	account.settle(a2, 11)
+	if got := account.allowance(0); got != 0 {
+		t.Fatalf("allowance = %v", got)
+	}
+	// Task 3: forced overspend drives the pot negative.
+	a3 := account.allowance(2)
+	account.settle(a3, 9)
+	if got := account.allowance(0); got != -7 {
+		t.Fatalf("allowance after overspend = %v", got)
+	}
+}

@@ -1,0 +1,156 @@
+package sched
+
+import (
+	"fmt"
+	"math"
+
+	"budgetwf/internal/plan"
+	"budgetwf/internal/platform"
+	"budgetwf/internal/sim"
+	"budgetwf/internal/wf"
+)
+
+// CG implements Critical Greedy (Wu et al.), extended to this paper's
+// model as described in §V-D2. CG first computes a global budget
+// factor
+//
+//	gb = (B − c_min) / (c_max − c_min)
+//
+// where c_min (resp. c_max) is the cost of computing every task on the
+// cheapest (resp. most expensive) VM category. Each task t is then
+// pre-granted the budget fraction c_t,min + (c_t,max − c_t,min)·gb and
+// assigned to the VM category whose cost for t is closest to that
+// fraction in absolute value; among instances of that category (used
+// ones plus a fresh one) the earliest-finish-time host wins. Task
+// ordering is not specified in the original, so the paper (and we) use
+// HEFT rank order. The original has no data transfers; the extension
+// inherits this package's transfer-aware EFT and cost accounting.
+func CG(w *wf.Workflow, p *platform.Platform, budget float64) (*plan.Schedule, error) {
+	ctx, err := newContext(w, p)
+	if err != nil {
+		return nil, err
+	}
+	order, err := ctx.rankOrder()
+	if err != nil {
+		return nil, err
+	}
+	info, err := ComputeBudget(w, p, budget)
+	if err != nil {
+		return nil, err
+	}
+
+	// Per-task extreme compute costs across categories.
+	n := w.NumTasks()
+	tMin := make([]float64, n)
+	tMax := make([]float64, n)
+	cMinTotal, cMaxTotal := 0.0, 0.0
+	for t := 0; t < n; t++ {
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, cat := range p.Categories {
+			c := ctx.cons[t] / cat.Speed * cat.CostPerSec
+			lo = math.Min(lo, c)
+			hi = math.Max(hi, c)
+		}
+		tMin[t], tMax[t] = lo, hi
+		cMinTotal += lo
+		cMaxTotal += hi
+	}
+	gb := 0.0
+	if cMaxTotal > cMinTotal {
+		gb = (info.Calc - cMinTotal) / (cMaxTotal - cMinTotal)
+	}
+	gb = math.Max(0, math.Min(1, gb))
+
+	st := newState(ctx)
+	totalCost := 0.0
+	for _, t := range order {
+		share := tMin[t] + (tMax[t]-tMin[t])*gb
+		cat := closestCategory(ctx, t, share)
+		choice := bestOfCategory(st, t, cat)
+		st.assign(t, choice)
+		totalCost += choice.cost
+	}
+	out := st.extract(order)
+	out.EstCost = totalCost + initSpent(out, p) + info.DCReserve
+	return out, nil
+}
+
+// closestCategory returns the category whose compute cost for t has
+// the smallest absolute difference with the pre-granted share.
+func closestCategory(ctx *context, t wf.TaskID, share float64) int {
+	best, bestDiff := 0, math.Inf(1)
+	for k, cat := range ctx.p.Categories {
+		diff := math.Abs(ctx.cons[t]/cat.Speed*cat.CostPerSec - share)
+		if diff < bestDiff {
+			best, bestDiff = k, diff
+		}
+	}
+	return best
+}
+
+// bestOfCategory returns the min-EFT candidate among used VMs of the
+// given category plus one fresh VM of that category.
+func bestOfCategory(st *state, t wf.TaskID, cat int) candidate {
+	best := st.eval(t, -1, cat)
+	for i := range st.vms {
+		if st.vms[i].cat != cat {
+			continue
+		}
+		if c := st.eval(t, i, cat); less(c, best) {
+			best = c
+		}
+	}
+	return best
+}
+
+// CGPlus is CG followed by the CG+ refinement (§V-D2): repeatedly
+// re-assign one task of the schedule's critical path to the VM pair
+// maximizing ΔT/Δc — the makespan decrease per unit of extra cost —
+// until the budget is exhausted or no profitable move remains.
+// Faithfully to the original (and to the paper's criticism of it), a
+// move that decreases both time and cost has a negative ratio and is
+// never selected.
+func CGPlus(w *wf.Workflow, p *platform.Platform, budget float64) (*plan.Schedule, error) {
+	cur, err := CG(w, p, budget)
+	if err != nil {
+		return nil, err
+	}
+	res, err := sim.RunDeterministic(w, p, cur)
+	if err != nil {
+		return nil, fmt.Errorf("sched: simulating CG schedule: %w", err)
+	}
+
+	maxIters := 4 * w.NumTasks()
+	for iter := 0; iter < maxIters; iter++ {
+		type move struct {
+			sched *plan.Schedule
+			res   *sim.Result
+			ratio float64
+		}
+		var best *move
+		for _, t := range res.CriticalPath() {
+			for _, cand := range moveCandidates(cur, t, p.NumCategories()) {
+				r, err := sim.RunDeterministic(w, p, cand)
+				if err != nil {
+					continue
+				}
+				dT := res.Makespan - r.Makespan
+				dC := r.TotalCost - res.TotalCost
+				if dT <= 0 || dC <= 0 || r.TotalCost > budget {
+					continue
+				}
+				ratio := dT / dC
+				if best == nil || ratio > best.ratio {
+					best = &move{sched: cand, res: r, ratio: ratio}
+				}
+			}
+		}
+		if best == nil {
+			break
+		}
+		cur, res = best.sched, best.res
+	}
+	cur.EstMakespan = res.Makespan
+	cur.EstCost = res.TotalCost
+	return cur, nil
+}

@@ -1,0 +1,133 @@
+package sched
+
+import (
+	"sort"
+
+	"budgetwf/internal/plan"
+	"budgetwf/internal/wf"
+)
+
+// Insertion-based placement: the original HEFT formulation looks for
+// the earliest idle *gap* in a host's timeline that fits the task,
+// instead of appending after the host's last task. The paper's
+// algorithms use the append policy (a host's availability is a single
+// instant); this file adds insertion as an option so the difference
+// can be measured (see the insertion ablation in bench_test.go and
+// TestInsertionNeverWorseDeterministically).
+//
+// A slot covers a task's staging AND computation — the VM is busy for
+// both — so a gap is the open interval between one task's compute end
+// and the next task's staging start. Insertions before a VM's first
+// slot are not attempted: the simulator books a VM when its first
+// task's data is ready, so prepending a task would shift the boot
+// earlier and planner and engine would disagree on the timeline.
+
+// slotted returns the candidate for task t inserted into the earliest
+// fitting gap of VM v, mirroring eval()'s cost accounting. Feasible
+// only when the VM already has at least one slot.
+func (s *state) evalInsertion(t wf.TaskID, vmIdx int) (candidate, bool) {
+	vm := &s.vms[vmIdx]
+	if len(vm.slots) == 0 {
+		return candidate{}, false
+	}
+	p := s.ctx.p
+	task := s.ctx.tasks[t]
+	missing := task.ExternalIn
+	dcReady := 0.0
+	srcCost := 0.0
+	for _, e := range s.ctx.pred[t] {
+		fromVM := s.taskVM[e.From]
+		if fromVM == vmIdx {
+			// Local data exists only once the predecessor has computed
+			// — the append policy got this for free (readyAt bounds
+			// everything on the VM), insertion must enforce it.
+			if s.finish[e.From] > dcReady {
+				dcReady = s.finish[e.From]
+			}
+			continue
+		}
+		missing += e.Size
+		arr := s.finish[e.From] + e.Size/p.Bandwidth
+		if arr > dcReady {
+			dcReady = arr
+		}
+		srcCost += e.Size / p.Bandwidth * p.Categories[s.vms[fromVM].cat].CostPerSec
+	}
+	cat := p.Categories[vm.cat]
+	work := missing/p.Bandwidth + s.ctx.cons[t]/cat.Speed
+
+	// Walk the gaps between consecutive slots, then the open tail.
+	for i := 1; i <= len(vm.slots); i++ {
+		gapStart := vm.slots[i-1].end
+		begin := gapStart
+		if dcReady > begin {
+			begin = dcReady
+		}
+		eft := begin + work
+		if i < len(vm.slots) {
+			if eft > vm.slots[i].start {
+				continue // does not fit; try the next gap
+			}
+			// Inside an existing gap: the VM is alive anyway, so only
+			// the transfer side costs are charged.
+			cost := srcCost + task.ExternalOut/p.Bandwidth*cat.CostPerSec
+			return candidate{vm: vmIdx, cat: vm.cat, begin: begin, eft: eft, cost: cost, slot: i}, true
+		}
+		// Tail: identical to the append policy.
+		billed := eft - vm.readyAt
+		cost := billed*cat.CostPerSec + srcCost + task.ExternalOut/p.Bandwidth*cat.CostPerSec
+		return candidate{vm: vmIdx, cat: vm.cat, begin: begin, eft: eft, cost: cost, slot: i}, true
+	}
+	return candidate{}, false
+}
+
+// assignInsertion commits an insertion candidate.
+func (s *state) assignInsertion(t wf.TaskID, c candidate) {
+	vm := &s.vms[c.vm]
+	vm.slots = append(vm.slots, slot{})
+	copy(vm.slots[c.slot+1:], vm.slots[c.slot:])
+	vm.slots[c.slot] = slot{start: c.begin, end: c.eft, task: t}
+	if c.eft > vm.readyAt {
+		vm.readyAt = c.eft
+	}
+	s.taskVM[t] = c.vm
+	s.finish[t] = c.eft
+}
+
+// orderFromSlots returns the VM's tasks in execution (slot) order.
+func (vm *vmSt) orderFromSlots() []wf.TaskID {
+	out := make([]wf.TaskID, len(vm.slots))
+	for i, sl := range vm.slots {
+		out[i] = sl.task
+	}
+	return out
+}
+
+// extractSlotted builds the schedule from slot-ordered VMs; ListT is
+// the planning order (for reference), but Order comes from the slots.
+func (s *state) extractSlotted(listT []wf.TaskID) *plan.Schedule {
+	out := plan.New(s.ctx.w.NumTasks())
+	out.ListT = append([]wf.TaskID(nil), listT...)
+	for _, vm := range s.vms {
+		out.AddVM(vm.cat)
+	}
+	for i := range s.vms {
+		// Slots are kept sorted by construction; sort defensively so a
+		// future refactor cannot silently emit a misordered schedule.
+		sort.SliceStable(s.vms[i].slots, func(a, b int) bool {
+			return s.vms[i].slots[a].start < s.vms[i].slots[b].start
+		})
+		for _, t := range s.vms[i].orderFromSlots() {
+			out.Assign(t, i)
+		}
+	}
+	makespan := 0.0
+	for t := range s.finish {
+		end := s.finish[t] + s.ctx.w.Task(wf.TaskID(t)).ExternalOut/s.ctx.p.Bandwidth
+		if end > makespan {
+			makespan = end
+		}
+	}
+	out.EstMakespan = makespan
+	return out
+}

@@ -1,0 +1,73 @@
+package sched_test
+
+import (
+	"testing"
+
+	"budgetwf/internal/platform"
+	"budgetwf/internal/rng"
+	"budgetwf/internal/sched"
+	"budgetwf/internal/sim"
+	"budgetwf/internal/wfgen"
+)
+
+// TestAllAlgorithmsEndToEnd schedules and simulates every algorithm on
+// every paper workflow family, checking that schedules validate and
+// simulations complete.
+func TestAllAlgorithmsEndToEnd(t *testing.T) {
+	p := platform.Default()
+	for _, typ := range wfgen.AllPaperTypes() {
+		w := wfgen.MustGenerate(typ, 30, 1).WithSigmaRatio(0.5)
+		// A generous but finite budget.
+		budget := 50.0
+		for _, alg := range sched.All() {
+			alg := alg
+			t.Run(string(typ)+"/"+string(alg.Name), func(t *testing.T) {
+				s, err := alg.Plan(w, p, budget)
+				if err != nil {
+					t.Fatalf("plan: %v", err)
+				}
+				if err := s.Validate(w, p.NumCategories()); err != nil {
+					t.Fatalf("invalid schedule: %v", err)
+				}
+				res, err := sim.RunStochastic(w, p, s, rng.New(42))
+				if err != nil {
+					t.Fatalf("simulate: %v", err)
+				}
+				if res.Makespan <= 0 {
+					t.Errorf("non-positive makespan %v", res.Makespan)
+				}
+				if res.TotalCost <= 0 {
+					t.Errorf("non-positive cost %v", res.TotalCost)
+				}
+				t.Logf("%s on %s: makespan=%.1fs cost=$%.3f VMs=%d (est %.1fs/$%.3f)",
+					alg.Name, w.Name, res.Makespan, res.TotalCost, res.NumVMs(), s.EstMakespan, s.EstCost)
+			})
+		}
+	}
+}
+
+// TestPlannerSimulatorConsistency checks the core invariant: under
+// conservative weights, the deterministic simulator reproduces the
+// planner's estimated makespan for HEFTBUDG (the planner's EFT model
+// and the engine share the same semantics by construction).
+func TestPlannerSimulatorConsistency(t *testing.T) {
+	p := platform.Default()
+	for _, typ := range wfgen.AllPaperTypes() {
+		for seed := uint64(0); seed < 3; seed++ {
+			w := wfgen.MustGenerate(typ, 30, seed).WithSigmaRatio(0.25)
+			s, err := sched.HeftBudg(w, p, 30)
+			if err != nil {
+				t.Fatalf("%s: plan: %v", typ, err)
+			}
+			res, err := sim.RunDeterministic(w, p, s)
+			if err != nil {
+				t.Fatalf("%s: simulate: %v", typ, err)
+			}
+			rel := (res.Makespan - s.EstMakespan) / s.EstMakespan
+			if rel < -1e-9 || rel > 1e-9 {
+				t.Errorf("%s seed %d: planner estimated %.6f, simulator got %.6f (rel %.2e)",
+					typ, seed, s.EstMakespan, res.Makespan, rel)
+			}
+		}
+	}
+}

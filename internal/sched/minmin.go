@@ -1,0 +1,149 @@
+package sched
+
+import (
+	"fmt"
+
+	"budgetwf/internal/plan"
+	"budgetwf/internal/platform"
+	"budgetwf/internal/wf"
+)
+
+// MinMin is the classical MIN-MIN list scheduler: among all ready
+// tasks, repeatedly pick the (task, host) pair with the smallest
+// earliest finish time. It is budget-blind — equivalently, MIN-MINBUDG
+// with an infinite budget, which is exactly how the paper uses it as a
+// baseline ("given an infinite initial budget, MIN-MIN ... give[s] the
+// same schedule as MIN-MINBUDG", §V-B).
+func MinMin(w *wf.Workflow, p *platform.Platform) (*plan.Schedule, error) {
+	return minMinPlan(w, p, nil, Options{})
+}
+
+// MinMinBudg is Algorithm 3: MIN-MIN extended with the budget
+// decomposition of Algorithm 1. Each task's candidate hosts are
+// filtered by its allowance B_T + pot before the min-min selection.
+func MinMinBudg(w *wf.Workflow, p *platform.Platform, budget float64) (*plan.Schedule, error) {
+	return MinMinBudgOpt(w, p, budget, Options{})
+}
+
+// minMinPlan is the shared MIN-MIN loop. A nil info plans budget-blind
+// (infinite allowance).
+//
+// A naive implementation re-evaluates every (ready task, host) pair
+// each round: O(n² · p · deg). This one exploits the structure of
+// eval(): a cached candidate for (t, v) only changes when VM v's
+// availability changes, and each round changes exactly one VM (the one
+// just assigned to, possibly freshly provisioned), while fresh-VM
+// candidates never change once a task is ready. Each round therefore
+// costs O(ready · p) for re-selection plus O(ready · deg) for the one
+// refreshed column. TestMinMinFastMatchesReference pins the
+// equivalence against the naive loop.
+func minMinPlan(w *wf.Workflow, p *platform.Platform, info *BudgetInfo, opt Options) (*plan.Schedule, error) {
+	ctx, err := newContextOpt(w, p, opt)
+	if err != nil {
+		return nil, err
+	}
+	st := newState(ctx)
+	n := w.NumTasks()
+
+	// Ready-set maintenance via remaining-predecessor counters.
+	remaining := make([]int, n)
+	ready := make([]bool, n)
+	// cands[t] caches the candidate list in bestHost's enumeration
+	// order: used VMs ascending, then one fresh VM per category.
+	cands := make([][]candidate, n)
+	buildCands := func(t wf.TaskID) {
+		cands[t] = st.candidates(t)
+	}
+	for t := 0; t < n; t++ {
+		remaining[t] = w.NumPred(wf.TaskID(t))
+		ready[t] = remaining[t] == 0
+		if ready[t] {
+			buildCands(wf.TaskID(t))
+		}
+	}
+
+	account := optPot{disabled: opt.DisablePot}
+	listT := make([]wf.TaskID, 0, n)
+	totalCost := 0.0
+	numCats := p.NumCategories()
+	for len(listT) < n {
+		bestTask := wf.TaskID(-1)
+		var bestCand candidate
+		var bestAllowance float64
+		for t := 0; t < n; t++ {
+			if !ready[t] {
+				continue
+			}
+			allowance := infinite
+			if info != nil {
+				allowance = account.allowance(info.Shares[t])
+			}
+			c := pickBest(cands[t], allowance)
+			if bestTask < 0 || less(c, bestCand) {
+				bestTask, bestCand, bestAllowance = wf.TaskID(t), c, allowance
+			}
+		}
+		if bestTask < 0 {
+			// Cannot happen on a validated DAG; defensive.
+			return nil, errNoReadyTask(w.Name, len(listT), n)
+		}
+		vmIdx := st.assign(bestTask, bestCand)
+		totalCost += bestCand.cost
+		if info != nil {
+			account.settle(bestAllowance, bestCand.cost)
+		}
+		ready[bestTask] = false
+		cands[bestTask] = nil
+		listT = append(listT, bestTask)
+		// Refresh the column of the VM that changed, for tasks that
+		// were already ready (newly ready ones get a fresh list below,
+		// built against the post-assignment state). If the assignment
+		// provisioned a fresh VM, its column is spliced in before the
+		// fresh-category entries to preserve the enumeration order.
+		fresh := bestCand.vm < 0
+		for t := 0; t < n; t++ {
+			if !ready[t] {
+				continue
+			}
+			c := st.eval(wf.TaskID(t), vmIdx, st.vms[vmIdx].cat)
+			if fresh {
+				list := cands[t]
+				at := len(list) - numCats
+				list = append(list, candidate{})
+				copy(list[at+1:], list[at:])
+				list[at] = c
+				cands[t] = list
+			} else {
+				cands[t][vmIdx] = c
+			}
+		}
+		for _, e := range w.Succ(bestTask) {
+			remaining[e.To]--
+			if remaining[e.To] == 0 {
+				ready[e.To] = true
+				buildCands(e.To)
+			}
+		}
+	}
+	out := st.extract(listT)
+	out.EstCost = totalCost + initSpent(out, p)
+	if info != nil {
+		out.EstCost += info.DCReserve
+	}
+	return out, nil
+}
+
+func errNoReadyTask(name string, done, total int) error {
+	return fmt.Errorf("sched: no ready task in %q after %d/%d assignments", name, done, total)
+}
+
+// initSpent returns the initialization cost of the VMs actually
+// provisioned, used to tighten the planner's cost estimate (the
+// reserve booked n setups; fewer are typically used).
+func initSpent(s *plan.Schedule, p *platform.Platform) float64 {
+	total := 0.0
+	for _, cat := range s.VMCats {
+		total += p.Categories[cat].InitCost
+	}
+	return total
+}

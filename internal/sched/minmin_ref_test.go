@@ -1,0 +1,153 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"budgetwf/internal/plan"
+	"budgetwf/internal/platform"
+	"budgetwf/internal/wf"
+	"budgetwf/internal/wfgen"
+)
+
+// minMinReference is the naive O(n²·p·deg) MIN-MIN loop the optimized
+// minMinPlan must match decision-for-decision. It lives in the test
+// files only.
+func minMinReference(w *wf.Workflow, p *platform.Platform, info *BudgetInfo, opt Options) (*plan.Schedule, error) {
+	ctx, err := newContextOpt(w, p, opt)
+	if err != nil {
+		return nil, err
+	}
+	st := newState(ctx)
+	n := w.NumTasks()
+	remaining := make([]int, n)
+	ready := make([]bool, n)
+	for t := 0; t < n; t++ {
+		remaining[t] = w.NumPred(wf.TaskID(t))
+		ready[t] = remaining[t] == 0
+	}
+	account := optPot{disabled: opt.DisablePot}
+	listT := make([]wf.TaskID, 0, n)
+	totalCost := 0.0
+	for len(listT) < n {
+		bestTask := wf.TaskID(-1)
+		var bestCand candidate
+		var bestAllowance float64
+		for t := 0; t < n; t++ {
+			if !ready[t] {
+				continue
+			}
+			allowance := infinite
+			if info != nil {
+				allowance = account.allowance(info.Shares[t])
+			}
+			c := st.bestHost(wf.TaskID(t), allowance)
+			if bestTask < 0 || less(c, bestCand) {
+				bestTask, bestCand, bestAllowance = wf.TaskID(t), c, allowance
+			}
+		}
+		if bestTask < 0 {
+			return nil, errNoReadyTask(w.Name, len(listT), n)
+		}
+		st.assign(bestTask, bestCand)
+		totalCost += bestCand.cost
+		if info != nil {
+			account.settle(bestAllowance, bestCand.cost)
+		}
+		ready[bestTask] = false
+		listT = append(listT, bestTask)
+		for _, e := range w.Succ(bestTask) {
+			remaining[e.To]--
+			if remaining[e.To] == 0 {
+				ready[e.To] = true
+			}
+		}
+	}
+	out := st.extract(listT)
+	out.EstCost = totalCost + initSpent(out, p)
+	if info != nil {
+		out.EstCost += info.DCReserve
+	}
+	return out, nil
+}
+
+func schedulesEqual(a, b *plan.Schedule) bool {
+	if len(a.TaskVM) != len(b.TaskVM) || len(a.VMCats) != len(b.VMCats) {
+		return false
+	}
+	for i := range a.TaskVM {
+		if a.TaskVM[i] != b.TaskVM[i] {
+			return false
+		}
+	}
+	for i := range a.VMCats {
+		if a.VMCats[i] != b.VMCats[i] {
+			return false
+		}
+	}
+	for i := range a.ListT {
+		if a.ListT[i] != b.ListT[i] {
+			return false
+		}
+	}
+	return a.EstMakespan == b.EstMakespan
+}
+
+// TestMinMinFastMatchesReference checks decision-for-decision equality
+// of the incremental MIN-MIN against the naive reference, across
+// random DAGs, budgets and ablation options.
+func TestMinMinFastMatchesReference(t *testing.T) {
+	p := platform.Default()
+	f := func(seed int64, budgetRaw float64, disablePot, meanWeights bool) bool {
+		r := rand.New(rand.NewSource(seed))
+		w := randomWorkflow(r)
+		opt := Options{DisablePot: disablePot, PlanWithMeanWeights: meanWeights}
+		budget := budgetRaw
+		if budget < 0 {
+			budget = -budget
+		}
+		for budget > 1e4 {
+			budget /= 1e4
+		}
+		info, err := computeBudgetOpt(w, p, budget, opt)
+		if err != nil {
+			return false
+		}
+		fast, err1 := minMinPlan(w, p, info, opt)
+		slow, err2 := minMinReference(w, p, info, opt)
+		if err1 != nil || err2 != nil {
+			return (err1 == nil) == (err2 == nil)
+		}
+		if !schedulesEqual(fast, slow) {
+			t.Logf("seed %d budget %v: schedules differ", seed, budget)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMinMinFastMatchesReferenceBaseline covers the budget-blind path
+// (nil info) on the paper's families.
+func TestMinMinFastMatchesReferenceBaseline(t *testing.T) {
+	p := platform.Default()
+	for _, typ := range wfgen.AllPaperTypes() {
+		for seed := uint64(0); seed < 3; seed++ {
+			w := paperInstance(t, typ, 30, seed)
+			fast, err := minMinPlan(w, p, nil, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			slow, err := minMinReference(w, p, nil, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !schedulesEqual(fast, slow) {
+				t.Errorf("%s seed %d: schedules differ", typ, seed)
+			}
+		}
+	}
+}

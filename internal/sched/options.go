@@ -1,0 +1,122 @@
+package sched
+
+import (
+	"math"
+
+	"budgetwf/internal/plan"
+	"budgetwf/internal/platform"
+	"budgetwf/internal/wf"
+)
+
+// Options disable individual design choices of the budget-aware
+// algorithms for ablation studies (DESIGN.md §3). The zero value is
+// the paper's algorithm; each flag removes one safeguard:
+//
+//   - PlanWithMeanWeights plans with w̄ instead of the conservative
+//     w̄+σ (§IV-A), exposing the schedule to weight under-estimation;
+//   - DisablePot discards each task's leftover budget instead of
+//     trickling it to the next task (Algorithms 3–4's pot);
+//   - DisableReserves skips Algorithm 1's datacenter and
+//     initialization reserves, splitting the whole budget across
+//     tasks.
+//   - Insertion switches the HEFT-family placement from the paper's
+//     append policy to the original HEFT insertion policy: a task may
+//     fill an idle gap between two tasks already placed on a VM (an
+//     extension knob, not an ablation of a paper safeguard).
+type Options struct {
+	PlanWithMeanWeights bool
+	DisablePot          bool
+	DisableReserves     bool
+	Insertion           bool
+}
+
+// MinMinBudgOpt is MinMinBudg with ablation options.
+func MinMinBudgOpt(w *wf.Workflow, p *platform.Platform, budget float64, opt Options) (*plan.Schedule, error) {
+	info, err := computeBudgetOpt(w, p, budget, opt)
+	if err != nil {
+		return nil, err
+	}
+	return minMinPlan(w, p, info, opt)
+}
+
+// HeftBudgOpt is HeftBudg with ablation options.
+func HeftBudgOpt(w *wf.Workflow, p *platform.Platform, budget float64, opt Options) (*plan.Schedule, error) {
+	info, err := computeBudgetOpt(w, p, budget, opt)
+	if err != nil {
+		return nil, err
+	}
+	return heftPlan(w, p, info, opt)
+}
+
+// computeBudgetOpt runs Algorithm 1 under the given ablations.
+func computeBudgetOpt(w *wf.Workflow, p *platform.Platform, budget float64, opt Options) (*BudgetInfo, error) {
+	target := w
+	if opt.PlanWithMeanWeights {
+		target = w.WithSigmaRatio(0)
+	}
+	if !opt.DisableReserves {
+		return ComputeBudget(target, p, budget)
+	}
+	info, err := ComputeBudget(target, p, budget)
+	if err != nil {
+		return nil, err
+	}
+	// Redistribute the reserves into the shares, keeping proportions.
+	// An infinite budget needs no redistribution (and ∞/∞ would poison
+	// the shares with NaN).
+	if math.IsInf(budget, 1) {
+		info.DCReserve = 0
+		info.InitReserve = 0
+		return info, nil
+	}
+	if info.Calc > 0 {
+		scale := budget / info.Calc
+		for i := range info.Shares {
+			info.Shares[i] *= scale
+		}
+	} else {
+		// Degenerate: split the raw budget evenly.
+		per := budget / float64(len(info.Shares))
+		for i := range info.Shares {
+			info.Shares[i] = per
+		}
+	}
+	info.DCReserve = 0
+	info.InitReserve = 0
+	info.Calc = budget
+	return info, nil
+}
+
+// newContextOpt builds a planning context honouring the weight option.
+func newContextOpt(w *wf.Workflow, p *platform.Platform, opt Options) (*context, error) {
+	ctx, err := newContext(w, p)
+	if err != nil {
+		return nil, err
+	}
+	if opt.PlanWithMeanWeights {
+		for _, t := range w.Tasks() {
+			ctx.cons[t.ID] = t.Weight.Mean
+		}
+	}
+	return ctx, nil
+}
+
+// optPot wraps pot so DisablePot forgets every leftover.
+type optPot struct {
+	pot
+	disabled bool
+}
+
+func (p *optPot) allowance(share float64) float64 {
+	if p.disabled {
+		return share
+	}
+	return p.pot.allowance(share)
+}
+
+func (p *optPot) settle(allowance, cost float64) {
+	if p.disabled {
+		return
+	}
+	p.pot.settle(allowance, cost)
+}

@@ -1,0 +1,163 @@
+package sched
+
+import (
+	"math"
+	"testing"
+
+	"budgetwf/internal/platform"
+	"budgetwf/internal/rng"
+	"budgetwf/internal/sim"
+	"budgetwf/internal/wfgen"
+)
+
+func TestOptionsZeroValueMatchesPaperAlgorithm(t *testing.T) {
+	p := platform.Default()
+	w := paperInstance(t, wfgen.Montage, 30, 0)
+	budget := 2 * cheapBudget(t, w, p)
+	a, err := HeftBudg(w, p, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := HeftBudgOpt(w, p, budget, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for task := range a.TaskVM {
+		if a.TaskVM[task] != b.TaskVM[task] {
+			t.Fatalf("zero Options changed placement of task %d", task)
+		}
+	}
+}
+
+// TestMeanWeightAblationHurtsValidity reproduces why the paper plans
+// with w̄+σ: under-estimating weights makes realized executions
+// overshoot the budget more often.
+func TestMeanWeightAblationHurtsValidity(t *testing.T) {
+	p := platform.Default()
+	countValid := func(opt Options) int {
+		valid := 0
+		for seed := uint64(0); seed < 3; seed++ {
+			w := paperInstance(t, wfgen.Montage, 30, seed).WithSigmaRatio(1.0)
+			budget := 1.3 * cheapBudget(t, w, p)
+			s, err := HeftBudgOpt(w, p, budget, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			stream := rng.New(99 + seed)
+			for rep := 0; rep < 20; rep++ {
+				r, err := sim.RunStochastic(w, p, s, stream.Split(uint64(rep)))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if r.TotalCost <= budget {
+					valid++
+				}
+			}
+		}
+		return valid
+	}
+	conservative := countValid(Options{})
+	mean := countValid(Options{PlanWithMeanWeights: true})
+	if mean > conservative {
+		t.Errorf("mean-weight planning MORE valid (%d) than conservative (%d)?", mean, conservative)
+	}
+	t.Logf("valid runs: conservative %d/60, mean-weight %d/60", conservative, mean)
+}
+
+// TestPotAblationHurtsMakespan: without the pot, leftover budget is
+// wasted and the achievable makespan at a tight budget worsens (or at
+// best stays equal).
+func TestPotAblationHurtsMakespan(t *testing.T) {
+	p := platform.Default()
+	worse, better := 0, 0
+	for seed := uint64(0); seed < 4; seed++ {
+		for _, typ := range wfgen.AllPaperTypes() {
+			w := paperInstance(t, typ, 30, seed)
+			budget := 1.3 * cheapBudget(t, w, p)
+			with, err := HeftBudgOpt(w, p, budget, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			without, err := HeftBudgOpt(w, p, budget, Options{DisablePot: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			rWith, err := sim.RunDeterministic(w, p, with)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rWithout, err := sim.RunDeterministic(w, p, without)
+			if err != nil {
+				t.Fatal(err)
+			}
+			switch {
+			case rWithout.Makespan > rWith.Makespan*(1+1e-9):
+				worse++
+			case rWithout.Makespan < rWith.Makespan*(1-1e-9):
+				better++
+			}
+		}
+	}
+	if better > worse {
+		t.Errorf("disabling the pot improved makespan in %d cases vs %d regressions", better, worse)
+	}
+	t.Logf("pot ablation: %d regressions, %d improvements across 12 cases", worse, better)
+}
+
+// TestReserveAblationRisksOverrun: without the reserves, the whole
+// budget is handed to tasks and the fixed datacenter/init costs are
+// unfunded, so deterministic executions can exceed the budget.
+func TestReserveAblationRisksOverrun(t *testing.T) {
+	p := platform.Default()
+	overWith, overWithout := 0, 0
+	for seed := uint64(0); seed < 4; seed++ {
+		w := paperInstance(t, wfgen.CyberShake, 30, seed)
+		budget := 1.02 * cheapBudget(t, w, p)
+		check := func(opt Options) bool {
+			s, err := HeftBudgOpt(w, p, budget, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r, err := sim.RunDeterministic(w, p, s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return r.TotalCost > budget*(1+1e-9)
+		}
+		if check(Options{}) {
+			overWith++
+		}
+		if check(Options{DisableReserves: true}) {
+			overWithout++
+		}
+	}
+	if overWith > 0 {
+		t.Errorf("full algorithm overran the budget in %d/4 cases", overWith)
+	}
+	if overWithout < overWith {
+		t.Errorf("reserve-free variant overran less (%d) than the full algorithm (%d)", overWithout, overWith)
+	}
+	t.Logf("budget overruns: with reserves %d/4, without %d/4", overWith, overWithout)
+}
+
+func TestDisableReservesInfiniteBudget(t *testing.T) {
+	p := platform.Default()
+	w := paperInstance(t, wfgen.Montage, 30, 0)
+	s, err := HeftBudgOpt(w, p, math.Inf(1), Options{DisableReserves: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(w, p.NumCategories()); err != nil {
+		t.Fatal(err)
+	}
+	// Must match the plain infinite-budget schedule.
+	base, err := Heft(w, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for task := range s.TaskVM {
+		if s.TaskVM[task] != base.TaskVM[task] {
+			t.Fatalf("task %d diverged under infinite budget", task)
+		}
+	}
+}

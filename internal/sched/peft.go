@@ -1,0 +1,148 @@
+package sched
+
+import (
+	"math"
+
+	"budgetwf/internal/plan"
+	"budgetwf/internal/platform"
+	"budgetwf/internal/wf"
+)
+
+// Peft implements PEFT (Arabnejad & Barbosa, "List Scheduling
+// Algorithm for Heterogeneous Systems by an Optimistic Cost Table",
+// TPDS 2014) as an extension baseline beyond the paper's algorithm
+// set: HEFT's direct successor in the literature, and by the same
+// authors as the BDT competitor. PEFT looks one step ahead through the
+// Optimistic Cost Table
+//
+//	OCT(t, k) = max_{s ∈ succ(t)} min_{k'} [ OCT(s, k') + w(s, k')
+//	                                         + c̄(t,s)·𝟙[k' ≠ k] ]
+//
+// where w(s, k') is the conservative execution time of s on category
+// k' and c̄(t,s) the datacenter round-trip estimate of the edge. Tasks
+// are ranked by the average OCT over categories and placed on the host
+// minimizing EFT + OCT(t, cat(host)) — favouring hosts that keep the
+// *descendants* fast, which plain HEFT cannot see. Budget-blind, like
+// the other baselines.
+func Peft(w *wf.Workflow, p *platform.Platform) (*plan.Schedule, error) {
+	ctx, err := newContext(w, p)
+	if err != nil {
+		return nil, err
+	}
+	oct, err := octTable(ctx)
+	if err != nil {
+		return nil, err
+	}
+	k := p.NumCategories()
+	n := w.NumTasks()
+
+	// rank_oct: average OCT across categories; processed in
+	// non-increasing rank order restricted to ready tasks (rank_oct is
+	// not necessarily monotone along edges, so a plain sort is not
+	// topological — PEFT schedules from a ready list).
+	rank := make([]float64, n)
+	for t := 0; t < n; t++ {
+		sum := 0.0
+		for cat := 0; cat < k; cat++ {
+			sum += oct[t][cat]
+		}
+		rank[t] = sum / float64(k)
+	}
+
+	st := newState(ctx)
+	remaining := make([]int, n)
+	ready := make([]bool, n)
+	for t := 0; t < n; t++ {
+		remaining[t] = w.NumPred(wf.TaskID(t))
+		ready[t] = remaining[t] == 0
+	}
+	listT := make([]wf.TaskID, 0, n)
+	for len(listT) < n {
+		best := -1
+		for t := 0; t < n; t++ {
+			if ready[t] && (best < 0 || rank[t] > rank[best]) {
+				best = t
+			}
+		}
+		if best < 0 {
+			return nil, errNoReadyTask(w.Name, len(listT), n)
+		}
+		t := wf.TaskID(best)
+		// Choose the candidate minimizing the optimistic EFT.
+		cands := st.candidates(t)
+		choice := 0
+		bestOEFT := math.Inf(1)
+		for i, c := range cands {
+			oeft := c.eft + oct[t][c.cat]
+			if oeft < bestOEFT || (oeft == bestOEFT && less(c, cands[choice])) {
+				bestOEFT = oeft
+				choice = i
+			}
+		}
+		st.assign(t, cands[choice])
+		ready[best] = false
+		listT = append(listT, t)
+		for _, e := range ctx.succ[t] {
+			remaining[e.To]--
+			if remaining[e.To] == 0 {
+				ready[e.To] = true
+			}
+		}
+	}
+	out := st.extract(listT)
+	out.EstCost = initSpent(out, p)
+	return out, nil
+}
+
+// octTable computes OCT(t, cat) by reverse topological traversal.
+func octTable(ctx *context) ([][]float64, error) {
+	order, err := ctx.w.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	k := ctx.p.NumCategories()
+	n := ctx.w.NumTasks()
+	oct := make([][]float64, n)
+	for t := range oct {
+		oct[t] = make([]float64, k)
+	}
+	for i := len(order) - 1; i >= 0; i-- {
+		t := order[i]
+		for cat := 0; cat < k; cat++ {
+			worst := 0.0
+			for _, e := range ctx.succ[t] {
+				comm := e.Size / ctx.p.Bandwidth
+				best := math.Inf(1)
+				for cat2 := 0; cat2 < k; cat2++ {
+					v := oct[e.To][cat2] + ctx.cons[e.To]/ctx.p.Categories[cat2].Speed
+					if cat2 != cat {
+						v += comm
+					}
+					if v < best {
+						best = v
+					}
+				}
+				if best > worst {
+					worst = best
+				}
+			}
+			oct[t][cat] = worst
+		}
+	}
+	return oct, nil
+}
+
+// AllExtended returns the paper's nine algorithms plus the extension
+// baselines (currently PEFT).
+func AllExtended() []Algorithm {
+	return append(All(), Algorithm{
+		Name:        NamePeft,
+		NeedsBudget: false,
+		Plan: func(w *wf.Workflow, p *platform.Platform, _ float64) (*plan.Schedule, error) {
+			return Peft(w, p)
+		},
+	})
+}
+
+// NamePeft identifies the PEFT extension baseline.
+const NamePeft Name = "peft"

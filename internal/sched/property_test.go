@@ -1,0 +1,157 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"budgetwf/internal/platform"
+	"budgetwf/internal/sim"
+	"budgetwf/internal/stoch"
+	"budgetwf/internal/wf"
+)
+
+// randomWorkflow builds an arbitrary valid DAG (edges from lower to
+// higher IDs) with external I/O, exercising corner shapes the curated
+// generators never produce.
+func randomWorkflow(r *rand.Rand) *wf.Workflow {
+	n := 1 + r.Intn(30)
+	w := wf.New("prop")
+	for i := 0; i < n; i++ {
+		w.AddTask("t", stoch.Dist{Mean: 1e9 * (0.5 + r.Float64()*100), Sigma: 1e9 * r.Float64() * 20})
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if r.Float64() < 0.1 {
+				w.MustAddEdge(wf.TaskID(i), wf.TaskID(j), r.Float64()*500e6)
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		if r.Float64() < 0.25 {
+			_ = w.SetExternalIO(wf.TaskID(i), r.Float64()*1e9, r.Float64()*1e8)
+		}
+	}
+	return w
+}
+
+// TestAllAlgorithmsProduceValidSchedules fuzzes every algorithm over
+// random DAGs and budgets: the result must always be a complete,
+// structurally valid schedule that the simulator can execute.
+func TestAllAlgorithmsProduceValidSchedules(t *testing.T) {
+	p := platform.Default()
+	algs := All()
+	f := func(seed int64, budgetRaw float64) bool {
+		r := rand.New(rand.NewSource(seed))
+		w := randomWorkflow(r)
+		budget := budgetRaw
+		if budget < 0 {
+			budget = -budget
+		}
+		for budget > 1e6 {
+			budget /= 1e6
+		}
+		for _, alg := range algs {
+			s, err := alg.Plan(w, p, budget)
+			if err != nil {
+				t.Logf("seed %d budget %v: %s failed to plan: %v", seed, budget, alg.Name, err)
+				return false
+			}
+			if err := s.Validate(w, p.NumCategories()); err != nil {
+				t.Logf("seed %d budget %v: %s invalid: %v", seed, budget, alg.Name, err)
+				return false
+			}
+			if _, err := sim.RunDeterministic(w, p, s); err != nil {
+				t.Logf("seed %d budget %v: %s simulation failed: %v", seed, budget, alg.Name, err)
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 25}
+	if testing.Short() {
+		cfg.MaxCount = 5
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPlannerEstimateMatchesSimulatorEverywhere extends the HEFTBUDG
+// consistency invariant to the whole non-refined family on random
+// DAGs: the planner's EFT recursion and the discrete-event engine are
+// two implementations of the same semantics.
+func TestPlannerEstimateMatchesSimulatorEverywhere(t *testing.T) {
+	p := platform.Default()
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		w := randomWorkflow(r)
+		budget := 1e3 * r.Float64()
+		for _, alg := range []Algorithm{mustByName(NameMinMin), mustByName(NameHeft), mustByName(NameMinMinBudg), mustByName(NameHeftBudg)} {
+			s, err := alg.Plan(w, p, budget)
+			if err != nil {
+				return false
+			}
+			res, err := sim.RunDeterministic(w, p, s)
+			if err != nil {
+				return false
+			}
+			diff := res.Makespan - s.EstMakespan
+			if diff < 0 {
+				diff = -diff
+			}
+			if diff > 1e-6*(1+res.Makespan) {
+				t.Logf("seed %d: %s estimated %.6f, simulated %.6f", seed, alg.Name, s.EstMakespan, res.Makespan)
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 40}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func mustByName(n Name) Algorithm {
+	a, err := ByName(n)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// TestPotNeverLeaksBudget: on a feasible run (every task found an
+// affordable host) the total planner-charged cost cannot exceed
+// B_calc.
+func TestPotNeverLeaksBudget(t *testing.T) {
+	p := platform.Default()
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		w := randomWorkflow(r)
+		// Generous budget: everything is feasible.
+		info, err := ComputeBudget(w, p, 1e9)
+		if err != nil {
+			return false
+		}
+		s, err := HeftBudg(w, p, 1e9)
+		if err != nil {
+			return false
+		}
+		res, err := sim.RunDeterministic(w, p, s)
+		if err != nil {
+			return false
+		}
+		// Simulated VM cost (the part charged against B_calc, minus
+		// initializations, which are covered by the init reserve) must
+		// fit inside B_calc.
+		vmCost := res.VMCost()
+		for _, vm := range res.VMs {
+			vmCost -= p.Categories[vm.Cat].InitCost
+		}
+		return vmCost <= info.Calc*(1+1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

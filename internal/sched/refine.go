@@ -1,0 +1,93 @@
+package sched
+
+import (
+	"fmt"
+
+	"budgetwf/internal/plan"
+	"budgetwf/internal/platform"
+	"budgetwf/internal/sim"
+	"budgetwf/internal/wf"
+)
+
+// HeftBudgPlus is Algorithm 5 (HEFTBUDG+): starting from the HEFTBUDG
+// schedule, reconsider every task in priority (ListT) order; for each,
+// try moving it to every other used VM and to a fresh VM of each
+// category, re-simulate the whole schedule deterministically, and keep
+// the move with the shortest makespan that still respects the initial
+// budget. This spends the budget fraction left over by HEFTBUDG's
+// conservative reservations, at an O(n) multiplicative CPU cost.
+func HeftBudgPlus(w *wf.Workflow, p *platform.Platform, budget float64) (*plan.Schedule, error) {
+	return refine(w, p, budget, false)
+}
+
+// HeftBudgPlusInv is HEFTBUDG+INV: identical to HEFTBUDG+ but
+// re-considering tasks in reverse priority order, which the paper
+// found to help when leftover budget is best spent near the workflow's
+// end.
+func HeftBudgPlusInv(w *wf.Workflow, p *platform.Platform, budget float64) (*plan.Schedule, error) {
+	return refine(w, p, budget, true)
+}
+
+func refine(w *wf.Workflow, p *platform.Platform, budget float64, inverse bool) (*plan.Schedule, error) {
+	cur, err := HeftBudg(w, p, budget)
+	if err != nil {
+		return nil, err
+	}
+	res, err := sim.RunDeterministic(w, p, cur)
+	if err != nil {
+		return nil, fmt.Errorf("sched: simulating HEFTBUDG schedule: %w", err)
+	}
+	minMakespan := res.Makespan
+
+	order := append([]wf.TaskID(nil), cur.ListT...)
+	if inverse {
+		for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
+			order[i], order[j] = order[j], order[i]
+		}
+	}
+
+	for _, t := range order {
+		best := cur
+		for _, cand := range moveCandidates(cur, t, p.NumCategories()) {
+			r, err := sim.RunDeterministic(w, p, cand)
+			if err != nil {
+				// A malformed candidate (should not happen: moves keep
+				// ListT-derived orders topological) is simply skipped.
+				continue
+			}
+			if r.Makespan < minMakespan && r.TotalCost < budget {
+				best = cand
+				minMakespan = r.Makespan
+			}
+		}
+		cur = best
+	}
+	cur.EstMakespan = minMakespan
+	return cur, nil
+}
+
+// moveCandidates generates every schedule obtained by moving task t to
+// a different used VM or to a fresh VM of each category (Algorithm 5,
+// line 7: (UsedVM \ sched(T)) ∪ NewVM). Each candidate is compacted
+// (a VM left empty by the move is deprovisioned) and its per-VM orders
+// rebuilt from ListT.
+func moveCandidates(s *plan.Schedule, t wf.TaskID, numCats int) []*plan.Schedule {
+	var out []*plan.Schedule
+	curVM := s.TaskVM[t]
+	for vm := range s.VMCats {
+		if vm == curVM {
+			continue
+		}
+		c := s.Clone()
+		c.TaskVM[t] = vm
+		c.CompactVMs()
+		out = append(out, c)
+	}
+	for cat := 0; cat < numCats; cat++ {
+		c := s.Clone()
+		c.TaskVM[t] = c.AddVM(cat)
+		c.CompactVMs()
+		out = append(out, c)
+	}
+	return out
+}

@@ -1,0 +1,402 @@
+// Package sched implements the paper's scheduling algorithms — the
+// primary contribution of the reproduction:
+//
+//   - MIN-MIN and HEFT, the classical budget-blind baselines;
+//   - MIN-MINBUDG and HEFTBUDG (§IV-A, Algorithms 1–4), their
+//     budget-aware extensions;
+//   - HEFTBUDG+ and HEFTBUDG+INV (§IV-B, Algorithm 5), the refined
+//     variants that spend leftover budget on re-assignments;
+//   - BDT and CG/CG+ (§V-D), two previously published budget-aware
+//     competitors extended to this application/platform model.
+//
+// All algorithms plan against conservative task weights w̄+σ and the
+// datacenter-mediated communication model; they produce a
+// plan.Schedule that internal/sim executes with realized weights.
+package sched
+
+import (
+	"fmt"
+	"math"
+
+	"budgetwf/internal/plan"
+	"budgetwf/internal/platform"
+	"budgetwf/internal/wf"
+)
+
+// Name identifies an algorithm in the registry.
+type Name string
+
+// The nine algorithms evaluated in the paper.
+const (
+	NameMinMin          Name = "minmin"
+	NameHeft            Name = "heft"
+	NameMinMinBudg      Name = "minminbudg"
+	NameHeftBudg        Name = "heftbudg"
+	NameHeftBudgPlus    Name = "heftbudg+"
+	NameHeftBudgPlusInv Name = "heftbudg+inv"
+	NameBDT             Name = "bdt"
+	NameCG              Name = "cg"
+	NameCGPlus          Name = "cg+"
+)
+
+// Algorithm couples a name with its planning function. Budget-blind
+// baselines ignore the budget argument.
+type Algorithm struct {
+	Name Name
+	// NeedsBudget is false for the baselines, which plan as if the
+	// budget were unlimited.
+	NeedsBudget bool
+	// Plan computes a schedule for the workflow on the platform under
+	// the given initial budget B_ini.
+	Plan func(w *wf.Workflow, p *platform.Platform, budget float64) (*plan.Schedule, error)
+}
+
+// All returns the full algorithm registry in the paper's order.
+func All() []Algorithm {
+	return []Algorithm{
+		{NameMinMin, false, func(w *wf.Workflow, p *platform.Platform, _ float64) (*plan.Schedule, error) {
+			return MinMin(w, p)
+		}},
+		{NameHeft, false, func(w *wf.Workflow, p *platform.Platform, _ float64) (*plan.Schedule, error) {
+			return Heft(w, p)
+		}},
+		{NameMinMinBudg, true, MinMinBudg},
+		{NameHeftBudg, true, HeftBudg},
+		{NameHeftBudgPlus, true, HeftBudgPlus},
+		{NameHeftBudgPlusInv, true, HeftBudgPlusInv},
+		{NameBDT, true, BDT},
+		{NameCG, true, CG},
+		{NameCGPlus, true, CGPlus},
+	}
+}
+
+// ByName returns the named algorithm, searching the paper's registry
+// and the extension baselines (e.g. PEFT).
+func ByName(n Name) (Algorithm, error) {
+	for _, a := range AllExtended() {
+		if a.Name == n {
+			return a, nil
+		}
+	}
+	return Algorithm{}, fmt.Errorf("sched: unknown algorithm %q", n)
+}
+
+// context precomputes everything the planners share for one
+// (workflow, platform) pair.
+type context struct {
+	w    *wf.Workflow
+	p    *platform.Platform
+	cons []float64 // conservative weights w̄+σ, indexed by task
+	// Cached per-task data: wf accessors return defensive copies, and
+	// eval() sits on the planning hot path (n·p calls per plan).
+	tasks []wf.Task
+	pred  [][]wf.Edge
+	succ  [][]wf.Edge
+}
+
+func newContext(w *wf.Workflow, p *platform.Platform) (*context, error) {
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	n := w.NumTasks()
+	ctx := &context{
+		w: w, p: p,
+		cons:  make([]float64, n),
+		tasks: w.Tasks(),
+		pred:  make([][]wf.Edge, n),
+		succ:  make([][]wf.Edge, n),
+	}
+	for _, t := range ctx.tasks {
+		ctx.cons[t.ID] = t.Weight.Conservative()
+		ctx.pred[t.ID] = w.Pred(t.ID)
+		ctx.succ[t.ID] = w.Succ(t.ID)
+	}
+	return ctx, nil
+}
+
+// execEstimate is the task duration estimator used for HEFT ranks and
+// the budget division: conservative weight over the mean speed (§IV-A).
+func (c *context) execEstimate(t wf.Task) float64 {
+	return t.Weight.Conservative() / c.p.MeanSpeed()
+}
+
+// commEstimate is the edge duration estimator: payload over the
+// VM↔datacenter bandwidth.
+func (c *context) commEstimate(e wf.Edge) float64 {
+	return e.Size / c.p.Bandwidth
+}
+
+// rankOrder returns tasks by decreasing HEFT upward rank.
+func (c *context) rankOrder() ([]wf.TaskID, error) {
+	ranks, err := c.w.BottomLevels(c.execEstimate, c.commEstimate)
+	if err != nil {
+		return nil, err
+	}
+	return wf.RankOrder(ranks), nil
+}
+
+// state is the planner's incremental view of a partially built
+// schedule: which VMs exist, when each becomes idle, where every
+// scheduled task ran and when it finishes (under conservative
+// weights). It mirrors the execution semantics of internal/sim so that
+// planned EFTs equal deterministically simulated times.
+type state struct {
+	ctx    *context
+	vms    []vmSt
+	taskVM []int
+	finish []float64
+}
+
+type vmSt struct {
+	cat     int
+	bookAt  float64
+	readyAt float64
+	tasks   []wf.TaskID
+	// slots records [stagingStart, computeEnd] occupancy intervals in
+	// start order; used by the insertion placement policy.
+	slots []slot
+}
+
+// slot is one busy interval of a VM (staging + computation of a task).
+type slot struct {
+	start, end float64
+	task       wf.TaskID
+}
+
+func newState(ctx *context) *state {
+	n := ctx.w.NumTasks()
+	s := &state{ctx: ctx, taskVM: make([]int, n), finish: make([]float64, n)}
+	for i := range s.taskVM {
+		s.taskVM[i] = plan.Unassigned
+	}
+	return s
+}
+
+// candidate is one (task, host) placement option with its planner
+// metrics: EFT per Equation (7) and total charged cost ct.
+type candidate struct {
+	vm    int // index into state.vms, or -1 for a fresh VM
+	cat   int // category of the (possibly fresh) VM
+	begin float64
+	eft   float64
+	cost  float64
+	// slot is the insertion index for the insertion policy; -1 (the
+	// default from eval) means plain append.
+	slot int
+}
+
+// infinite is the allowance used by budget-blind baselines.
+var infinite = math.Inf(1)
+
+// eval computes the candidate metrics for running task t on an
+// existing VM (vmIdx ≥ 0) or on a fresh VM of category cat (vmIdx < 0),
+// following Equation (7):
+//
+//	t_exec = δ_new·t_boot + (w̄_t+σ_t)/s_host + size(d_in,t)/bw
+//	EFT    = t_begin + t_exec
+//
+// where d_in,t is the input data not already on the host (external
+// inputs plus edges whose producer ran elsewhere) and t_begin is the
+// max of the host's availability and of the arrival at the datacenter
+// of every such input.
+//
+// The charged cost ct is the increase of C_wf (Equations (1)–(2),
+// minus the pre-reserved parts) that the placement causes:
+//
+//	ct = (EFT − avail_host)·c_h,host                     (lifetime extension,
+//	                                                      idle gaps included,
+//	                                                      boot uncharged)
+//	   + Σ_cross (size(e)/bw)·c_h,vm(e.From)             (producer upload)
+//	   + (ExternalOut_t/bw)·c_h,host                     (final upload)
+//
+// The paper only says transfers' costs are "added to
+// t_Exec,T,host × c_host"; charging the full lifetime extension rather
+// than active time alone is the conservative interpretation — per
+// Equation (1) a VM is billed from H_start,v to H_end,v, so an idle
+// gap opened while waiting for data is real money, and ignoring it
+// systematically breaks the budget the paper reports as respected.
+func (s *state) eval(t wf.TaskID, vmIdx, cat int) candidate {
+	p := s.ctx.p
+	task := s.ctx.tasks[t]
+	missing := task.ExternalIn
+	dcReady := 0.0
+	srcCost := 0.0
+	for _, e := range s.ctx.pred[t] {
+		fromVM := s.taskVM[e.From]
+		if fromVM == plan.Unassigned {
+			panic(fmt.Sprintf("sched: evaluating task %d before its predecessor %d is scheduled", t, e.From))
+		}
+		if fromVM == vmIdx && vmIdx >= 0 {
+			continue // produced locally
+		}
+		missing += e.Size
+		arr := s.finish[e.From] + e.Size/p.Bandwidth
+		if arr > dcReady {
+			dcReady = arr
+		}
+		srcCost += e.Size / p.Bandwidth * p.Categories[s.vms[fromVM].cat].CostPerSec
+	}
+	speed := p.Categories[cat].Speed
+	chost := p.Categories[cat].CostPerSec
+	work := missing/p.Bandwidth + s.ctx.cons[t]/speed
+	var begin, eft, billed float64
+	if vmIdx >= 0 {
+		begin = s.vms[vmIdx].readyAt
+		if dcReady > begin {
+			begin = dcReady
+		}
+		eft = begin + work
+		billed = eft - s.vms[vmIdx].readyAt // idle gap + staging + compute
+	} else {
+		begin = dcReady
+		eft = begin + p.BootTime + work
+		billed = work // boot is uncharged
+	}
+	cost := billed*chost + srcCost + task.ExternalOut/p.Bandwidth*chost
+	return candidate{vm: vmIdx, cat: cat, begin: begin, eft: eft, cost: cost, slot: -1}
+}
+
+// candidates enumerates every host option for task t: each VM already
+// in use plus one fresh VM per category (§IV-A: "the set of host
+// candidates ... consists of already used VMs plus one fresh VM of
+// each category").
+func (s *state) candidates(t wf.TaskID) []candidate {
+	out := make([]candidate, 0, len(s.vms)+s.ctx.p.NumCategories())
+	for i := range s.vms {
+		out = append(out, s.eval(t, i, s.vms[i].cat))
+	}
+	for k := range s.ctx.p.Categories {
+		out = append(out, s.eval(t, -1, k))
+	}
+	return out
+}
+
+// candidatesInsertion is candidates with the insertion policy on used
+// VMs: each used VM contributes its earliest fitting gap (which
+// subsumes plain appending as the tail gap).
+func (s *state) candidatesInsertion(t wf.TaskID) []candidate {
+	out := make([]candidate, 0, len(s.vms)+s.ctx.p.NumCategories())
+	for i := range s.vms {
+		if c, ok := s.evalInsertion(t, i); ok {
+			out = append(out, c)
+		}
+	}
+	for k := range s.ctx.p.Categories {
+		out = append(out, s.eval(t, -1, k))
+	}
+	return out
+}
+
+// bestHostInsertion is bestHost over insertion candidates.
+func (s *state) bestHostInsertion(t wf.TaskID, allowance float64) candidate {
+	return pickBest(s.candidatesInsertion(t), allowance)
+}
+
+// bestHost implements getBestHost (Algorithm 2): the candidate with
+// the smallest EFT among those whose cost respects the allowance.
+// When no candidate fits, it falls back to the cheapest one (ties on
+// EFT): the schedule is always completed, and the overrun surfaces in
+// the simulated cost — exactly how the paper counts invalid schedules.
+func (s *state) bestHost(t wf.TaskID, allowance float64) candidate {
+	return pickBest(s.candidates(t), allowance)
+}
+
+// pickBest applies Algorithm 2's selection rule to a candidate list.
+func pickBest(cands []candidate, allowance float64) candidate {
+	best := -1
+	for i, c := range cands {
+		if c.cost > allowance {
+			continue
+		}
+		if best < 0 || less(c, cands[best]) {
+			best = i
+		}
+	}
+	if best >= 0 {
+		return cands[best]
+	}
+	// Infeasible everywhere: minimize the damage. Prefer the cheapest
+	// candidate; on ties prefer reusing an existing VM over booting a
+	// fresh one (a fresh VM's initialization cost is pre-reserved and
+	// thus absent from ct, but when the budget is already blown the
+	// reserve is gone too), then the earliest finish time.
+	cheapest := 0
+	for i, c := range cands[1:] {
+		b := cands[cheapest]
+		switch {
+		case c.cost != b.cost:
+			if c.cost < b.cost {
+				cheapest = i + 1
+			}
+		case (c.vm >= 0) != (b.vm >= 0):
+			if c.vm >= 0 {
+				cheapest = i + 1
+			}
+		case c.eft < b.eft:
+			cheapest = i + 1
+		}
+	}
+	return cands[cheapest]
+}
+
+// less orders candidates by (EFT, cost, existing-before-fresh).
+func less(a, b candidate) bool {
+	if a.eft != b.eft {
+		return a.eft < b.eft
+	}
+	if a.cost != b.cost {
+		return a.cost < b.cost
+	}
+	return a.vm >= 0 && b.vm < 0
+}
+
+// assign commits a candidate placement for task t and returns the VM
+// index actually used (allocating a fresh VM if needed). Insertion
+// candidates (slot ≥ 0) are routed to assignInsertion.
+func (s *state) assign(t wf.TaskID, c candidate) int {
+	if c.slot >= 0 {
+		s.assignInsertion(t, c)
+		return c.vm
+	}
+	idx := c.vm
+	slotStart := c.begin
+	if idx < 0 {
+		s.vms = append(s.vms, vmSt{cat: c.cat, bookAt: c.begin, readyAt: c.eft})
+		idx = len(s.vms) - 1
+		slotStart = c.begin + s.ctx.p.BootTime
+	} else {
+		s.vms[idx].readyAt = c.eft
+	}
+	s.vms[idx].tasks = append(s.vms[idx].tasks, t)
+	s.vms[idx].slots = append(s.vms[idx].slots, slot{start: slotStart, end: c.eft, task: t})
+	s.taskVM[t] = idx
+	s.finish[t] = c.eft
+	return idx
+}
+
+// extract converts the planner state into a plan.Schedule with the
+// given global priority list.
+func (s *state) extract(listT []wf.TaskID) *plan.Schedule {
+	out := plan.New(s.ctx.w.NumTasks())
+	out.ListT = append([]wf.TaskID(nil), listT...)
+	for _, vm := range s.vms {
+		out.AddVM(vm.cat)
+	}
+	for i, vm := range s.vms {
+		for _, t := range vm.tasks {
+			out.Assign(t, i)
+		}
+	}
+	makespan := 0.0
+	for t := range s.finish {
+		end := s.finish[t] + s.ctx.w.Task(wf.TaskID(t)).ExternalOut/s.ctx.p.Bandwidth
+		if end > makespan {
+			makespan = end
+		}
+	}
+	out.EstMakespan = makespan
+	return out
+}

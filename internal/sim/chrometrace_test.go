@@ -1,0 +1,59 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestWriteChromeTrace(t *testing.T) {
+	w, s, res := ganttFixture(t)
+	var buf bytes.Buffer
+	if err := res.WriteChromeTrace(&buf, w, s); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]interface{} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	var boots, stages, computes, metas int
+	for _, ev := range doc.TraceEvents {
+		switch ev["cat"] {
+		case "vm":
+			boots++
+		case "staging":
+			stages++
+		case "compute":
+			computes++
+		}
+		if ev["ph"] == "M" {
+			metas++
+		}
+	}
+	if metas != 2 {
+		t.Errorf("%d thread metadata events, want one per VM", metas)
+	}
+	if boots != 2 {
+		t.Errorf("%d boot events, want 2", boots)
+	}
+	if computes != 2 {
+		t.Errorf("%d compute events, want 2", computes)
+	}
+	// Task a stages its external input; task b stages the cross-VM
+	// edge: both have staging spans.
+	if stages != 2 {
+		t.Errorf("%d staging events, want 2", stages)
+	}
+	// Durations must be non-negative and timestamps within the span.
+	for _, ev := range doc.TraceEvents {
+		if ev["ph"] != "X" {
+			continue
+		}
+		ts := ev["ts"].(float64)
+		if ts < 0 || ts > res.LastEvent*1e6 {
+			t.Errorf("event %v out of range", ev["name"])
+		}
+	}
+}

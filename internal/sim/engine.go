@@ -1,0 +1,460 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"budgetwf/internal/plan"
+	"budgetwf/internal/platform"
+	"budgetwf/internal/wf"
+)
+
+// eventKind discriminates entries of the fixed-event heap.
+type eventKind int
+
+const (
+	evBootDone eventKind = iota
+	evComputeDone
+	evFlowDone // only used when the datacenter bandwidth is unbounded
+)
+
+type event struct {
+	time float64
+	seq  int // insertion order, for deterministic tie-breaking
+	kind eventKind
+	vm   int
+	task wf.TaskID
+	flow *flow
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// flowKind discriminates data movements.
+type flowKind int
+
+const (
+	flowStaging flowKind = iota // datacenter → VM, serialized before compute
+	flowUpload                  // VM → datacenter, asynchronous
+)
+
+// flow is one data movement. In unbounded-DC mode its completion time
+// is known at creation; in fluid mode remaining/rate evolve.
+type flow struct {
+	kind      flowKind
+	vm        int       // staging: destination; upload: source
+	task      wf.TaskID // staging: consumer; upload: producer
+	edge      int       // upload: edge index, or -1 for an external output
+	remaining float64
+	rate      float64
+	seq       int
+	done      bool
+}
+
+// vmState tracks one VM through the simulation.
+type vmState struct {
+	cat      int
+	queue    []wf.TaskID
+	next     int
+	booked   bool
+	booting  bool
+	bookTime float64
+	bootDone float64
+	busy     bool // staging or computing
+	freeAt   float64
+	prevTask wf.TaskID // last completed task, for blame
+	hasPrev  bool
+	end      float64 // H_end,v so far
+	busyTime float64 // accumulated staging + compute time
+}
+
+type engine struct {
+	w       *wf.Workflow
+	p       *platform.Platform
+	s       *plan.Schedule
+	weights []float64
+
+	now    float64
+	seq    int
+	events eventHeap
+	flows  []*flow // active fluid flows (fluid mode only)
+	fluid  bool
+
+	vms []vmState
+
+	// Per-task bookkeeping.
+	outEdges     [][]wf.Edge // cached successor edges (wf.Succ allocates)
+	extOut       []float64   // cached external output volumes
+	crossIn      [][]wf.Edge // input edges whose producer runs on another VM
+	stageSize    []float64   // bytes to stage before computing (incl. external in)
+	missing      []int       // crossing inputs not yet at the datacenter
+	dcReadyTime  []float64
+	dcReadyPred  []wf.TaskID
+	hasDCPred    []bool
+	times        []TaskTimes
+	blames       []Blame
+	doneCount    int
+	started      []bool
+	finishedTask []bool
+}
+
+func newEngine(w *wf.Workflow, p *platform.Platform, s *plan.Schedule, weights []float64) (*engine, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if err := s.Validate(w, p.NumCategories()); err != nil {
+		return nil, err
+	}
+	for t, wt := range weights {
+		if wt <= 0 || math.IsNaN(wt) || math.IsInf(wt, 0) {
+			return nil, fmt.Errorf("sim: task %d has invalid weight %v", t, wt)
+		}
+	}
+	n := w.NumTasks()
+	e := &engine{
+		w:            w,
+		p:            p,
+		s:            s,
+		weights:      weights,
+		fluid:        p.DCBandwidth > 0,
+		crossIn:      make([][]wf.Edge, n),
+		stageSize:    make([]float64, n),
+		missing:      make([]int, n),
+		dcReadyTime:  make([]float64, n),
+		dcReadyPred:  make([]wf.TaskID, n),
+		hasDCPred:    make([]bool, n),
+		times:        make([]TaskTimes, n),
+		blames:       make([]Blame, n),
+		started:      make([]bool, n),
+		finishedTask: make([]bool, n),
+	}
+	e.vms = make([]vmState, s.NumVMs())
+	for i := range e.vms {
+		e.vms[i] = vmState{cat: s.VMCats[i], queue: s.Order[i]}
+	}
+	e.outEdges = make([][]wf.Edge, n)
+	e.extOut = make([]float64, n)
+	for t := 0; t < n; t++ {
+		task := w.Task(wf.TaskID(t))
+		e.stageSize[t] = task.ExternalIn
+		e.extOut[t] = task.ExternalOut
+		e.outEdges[t] = w.Succ(wf.TaskID(t))
+		for _, edge := range w.Pred(wf.TaskID(t)) {
+			if s.TaskVM[edge.From] != s.TaskVM[edge.To] {
+				e.crossIn[t] = append(e.crossIn[t], edge)
+				e.stageSize[t] += edge.Size
+				e.missing[t]++
+			}
+		}
+	}
+	return e, nil
+}
+
+func (e *engine) push(ev *event) {
+	ev.seq = e.seq
+	e.seq++
+	heap.Push(&e.events, ev)
+}
+
+// startFlow begins a data movement of size bytes. Zero-size flows
+// complete synchronously via the caller's follow-up logic, so callers
+// must not create them.
+func (e *engine) startFlow(f *flow) {
+	f.seq = e.seq
+	e.seq++
+	if !e.fluid {
+		e.push(&event{time: e.now + f.remaining/e.p.Bandwidth, kind: evFlowDone, flow: f})
+		return
+	}
+	e.flows = append(e.flows, f)
+}
+
+// assignRates implements max-min fair sharing of the datacenter
+// bandwidth across active flows, each additionally capped by the
+// per-VM link bandwidth.
+func (e *engine) assignRates() {
+	k := len(e.flows)
+	if k == 0 {
+		return
+	}
+	share := e.p.DCBandwidth / float64(k)
+	rate := math.Min(e.p.Bandwidth, share)
+	// If the per-link cap binds for every flow, the aggregate is under
+	// the DC cap and everyone gets the link rate; otherwise the equal
+	// DC share applies (all flows have the same cap, so max-min fair
+	// sharing reduces to the minimum of the two).
+	for _, f := range e.flows {
+		f.rate = rate
+	}
+}
+
+// advanceFlows moves fluid flows forward by dt and returns those that
+// completed, preserving creation order for determinism.
+func (e *engine) advanceFlows(dt float64) []*flow {
+	var done []*flow
+	remainingFlows := e.flows[:0]
+	for _, f := range e.flows {
+		f.remaining -= f.rate * dt
+		if f.remaining <= 1e-9 {
+			f.remaining = 0
+			f.done = true
+			done = append(done, f)
+		} else {
+			remainingFlows = append(remainingFlows, f)
+		}
+	}
+	e.flows = remainingFlows
+	return done
+}
+
+// tryAdvance examines the head task of VM v and starts whatever phase
+// can start now: booking, staging, or computing.
+func (e *engine) tryAdvance(v int) {
+	vm := &e.vms[v]
+	if vm.next >= len(vm.queue) || vm.busy || vm.booting {
+		return
+	}
+	t := vm.queue[vm.next]
+	if e.missing[t] > 0 {
+		return // inputs still on their way to the datacenter
+	}
+	if !vm.booked {
+		// Book the VM now: its first task's data is at the datacenter.
+		vm.booked = true
+		vm.booting = true
+		vm.bookTime = e.now
+		vm.bootDone = e.now + e.p.BootTime
+		e.push(&event{time: vm.bootDone, kind: evBootDone, vm: v})
+		return
+	}
+	// VM is booted and idle: start staging (or compute directly).
+	vm.busy = true
+	e.started[t] = true
+	e.times[t].StageStart = e.now
+	e.blames[t] = e.blameFor(v, t)
+	if e.stageSize[t] > 0 {
+		e.startFlow(&flow{kind: flowStaging, vm: v, task: t, edge: -1, remaining: e.stageSize[t]})
+		return
+	}
+	e.startCompute(v, t)
+}
+
+// blameFor decides which constraint bound the start of task t on VM v.
+func (e *engine) blameFor(v int, t wf.TaskID) Blame {
+	vm := &e.vms[v]
+	dataT := e.dcReadyTime[t]
+	if vm.hasPrev {
+		if vm.freeAt >= dataT || !e.hasDCPred[t] {
+			return Blame{Kind: BlameVMBusy, Pred: vm.prevTask}
+		}
+		return Blame{Kind: BlameDataArrival, Pred: e.dcReadyPred[t]}
+	}
+	// First task on the VM: the boot always completes after the data
+	// is at the datacenter (booking rule), so blame the data chain if
+	// there is one.
+	if e.hasDCPred[t] {
+		return Blame{Kind: BlameDataArrival, Pred: e.dcReadyPred[t]}
+	}
+	return Blame{Kind: BlameNone}
+}
+
+func (e *engine) startCompute(v int, t wf.TaskID) {
+	e.times[t].ComputeStart = e.now
+	dur := e.weights[t] / e.p.Categories[e.vms[v].cat].Speed
+	e.push(&event{time: e.now + dur, kind: evComputeDone, vm: v, task: t})
+}
+
+func (e *engine) finishCompute(v int, t wf.TaskID) {
+	vm := &e.vms[v]
+	e.times[t].Finish = e.now
+	e.finishedTask[t] = true
+	e.doneCount++
+	vm.busyTime += e.now - e.times[t].StageStart
+	vm.busy = false
+	vm.freeAt = e.now
+	vm.prevTask = t
+	vm.hasPrev = true
+	if e.now > vm.end {
+		vm.end = e.now
+	}
+	// Launch uploads for consumers on other VMs and external outputs.
+	for ei, edge := range e.outEdges[t] {
+		if e.s.TaskVM[edge.From] == e.s.TaskVM[edge.To] {
+			continue // data stays local
+		}
+		if edge.Size == 0 {
+			e.uploadArrived(v, edge)
+			continue
+		}
+		e.startFlow(&flow{kind: flowUpload, vm: v, task: t, edge: ei, remaining: edge.Size})
+	}
+	if out := e.extOut[t]; out > 0 {
+		e.startFlow(&flow{kind: flowUpload, vm: v, task: t, edge: -1, remaining: out})
+	}
+	vm.next++
+	e.tryAdvance(v)
+}
+
+// uploadArrived records that edge's payload reached the datacenter and
+// wakes the consumer's VM if the consumer became ready.
+func (e *engine) uploadArrived(srcVM int, edge wf.Edge) {
+	if e.now > e.vms[srcVM].end {
+		e.vms[srcVM].end = e.now
+	}
+	t := edge.To
+	e.missing[t]--
+	if e.now >= e.dcReadyTime[t] {
+		e.dcReadyTime[t] = e.now
+		e.dcReadyPred[t] = edge.From
+		e.hasDCPred[t] = true
+	}
+	if e.missing[t] == 0 {
+		e.tryAdvance(e.s.TaskVM[t])
+	}
+}
+
+func (e *engine) handleFlowDone(f *flow) {
+	if f.kind == flowStaging {
+		e.startCompute(f.vm, f.task)
+		return
+	}
+	// Upload.
+	if f.edge >= 0 {
+		edges := e.outEdges[f.task]
+		e.uploadArrived(f.vm, edges[f.edge])
+		return
+	}
+	// External output: only extends the source VM's life.
+	if e.now > e.vms[f.vm].end {
+		e.vms[f.vm].end = e.now
+	}
+}
+
+func (e *engine) run() (*Result, error) {
+	n := e.w.NumTasks()
+	for v := range e.vms {
+		e.tryAdvance(v)
+	}
+	guard := 0
+	maxSteps := 16 * (n + e.w.NumEdges() + len(e.vms) + 16)
+	for e.doneCount < n || len(e.flows) > 0 || e.events.Len() > 0 {
+		guard++
+		if guard > maxSteps {
+			return nil, fmt.Errorf("sim: exceeded %d steps; schedule is livelocked", maxSteps)
+		}
+		var nextFixed float64 = math.Inf(1)
+		if e.events.Len() > 0 {
+			nextFixed = e.events[0].time
+		}
+		if e.fluid && len(e.flows) > 0 {
+			e.assignRates()
+			nextFlow := math.Inf(1)
+			for _, f := range e.flows {
+				if c := f.remaining / f.rate; c < nextFlow {
+					nextFlow = c
+				}
+			}
+			if e.now+nextFlow < nextFixed {
+				done := e.advanceFlows(nextFlow)
+				e.now += nextFlow
+				for _, f := range done {
+					e.handleFlowDone(f)
+				}
+				continue
+			}
+			// A fixed event comes first: advance flows to that instant.
+			if !math.IsInf(nextFixed, 1) {
+				done := e.advanceFlows(nextFixed - e.now)
+				e.now = nextFixed
+				for _, f := range done {
+					e.handleFlowDone(f)
+				}
+			}
+		}
+		if e.events.Len() == 0 {
+			if e.doneCount < n && len(e.flows) == 0 {
+				return nil, fmt.Errorf("sim: deadlock with %d/%d tasks finished", e.doneCount, n)
+			}
+			continue
+		}
+		ev := heap.Pop(&e.events).(*event)
+		if ev.time < e.now-1e-9 {
+			return nil, fmt.Errorf("sim: time went backwards: %v -> %v", e.now, ev.time)
+		}
+		if ev.time > e.now {
+			e.now = ev.time
+		}
+		switch ev.kind {
+		case evBootDone:
+			vm := &e.vms[ev.vm]
+			vm.booting = false
+			vm.freeAt = e.now
+			e.tryAdvance(ev.vm)
+		case evComputeDone:
+			e.finishCompute(ev.vm, ev.task)
+		case evFlowDone:
+			e.handleFlowDone(ev.flow)
+		}
+	}
+	if e.doneCount < n {
+		return nil, fmt.Errorf("sim: deadlock with %d/%d tasks finished", e.doneCount, n)
+	}
+	return e.collect(), nil
+}
+
+func (e *engine) collect() *Result {
+	res := &Result{Tasks: e.times, Blames: e.blames}
+	firstBook := math.Inf(1)
+	lastEvent := 0.0
+	for i := range e.vms {
+		vm := &e.vms[i]
+		if !vm.booked {
+			// A VM with no task never gets booked and costs nothing;
+			// Validate prevents empty VMs, so this is defensive.
+			continue
+		}
+		if vm.bookTime < firstBook {
+			firstBook = vm.bookTime
+		}
+		if vm.end > lastEvent {
+			lastEvent = vm.end
+		}
+		cost := e.p.VMCost(vm.cat, vm.bootDone, vm.end)
+		res.VMs = append(res.VMs, VMUsage{
+			Cat:      vm.cat,
+			Book:     vm.bookTime,
+			Start:    vm.bootDone,
+			End:      vm.end,
+			Cost:     cost,
+			NumTasks: len(vm.queue),
+			Busy:     vm.busyTime,
+		})
+	}
+	if math.IsInf(firstBook, 1) {
+		firstBook = 0
+	}
+	res.FirstBook = firstBook
+	res.LastEvent = lastEvent
+	res.Makespan = lastEvent - firstBook
+	res.DCCost = e.p.DCCost(e.w.ExternalInSize(), e.w.ExternalOutSize(), firstBook, lastEvent)
+	res.TotalCost = res.DCCost + res.VMCost()
+	return res
+}

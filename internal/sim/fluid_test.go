@@ -1,0 +1,154 @@
+package sim
+
+import (
+	"testing"
+
+	"budgetwf/internal/plan"
+	"budgetwf/internal/platform"
+	"budgetwf/internal/stoch"
+	"budgetwf/internal/wf"
+)
+
+// fluidPlatform caps the aggregate datacenter bandwidth at one link's
+// worth, so two concurrent transfers halve each other's rate.
+func fluidPlatform() *platform.Platform {
+	p := testPlatform()
+	p.DCBandwidth = 10
+	return p
+}
+
+func TestFluidSingleFlowMatchesUnbounded(t *testing.T) {
+	// With one flow at a time, a DC cap equal to the link bandwidth
+	// must not change anything.
+	w := wf.New("one")
+	a := w.AddTask("a", stoch.Dist{Mean: 100})
+	if err := w.SetExternalIO(a, 20, 10); err != nil {
+		t.Fatal(err)
+	}
+	s := singleVMSchedule(w, a)
+
+	unbounded, err := Run(w, testPlatform(), s, []float64{100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	capped, err := Run(w, fluidPlatform(), s, []float64{100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(unbounded.Makespan, capped.Makespan) {
+		t.Errorf("makespan %v (unbounded) vs %v (capped)", unbounded.Makespan, capped.Makespan)
+	}
+}
+
+func TestFluidContentionHalvesRates(t *testing.T) {
+	// Two independent tasks on two VMs, each staging 100 B of external
+	// input at t=5 (after boot). Unbounded: staging takes 10 s each in
+	// parallel. With the DC capped at one link, the two flows share:
+	// each proceeds at rate 5 → staging takes 20 s.
+	w := wf.New("two")
+	a := w.AddTask("a", stoch.Dist{Mean: 100})
+	b := w.AddTask("b", stoch.Dist{Mean: 100})
+	if err := w.SetExternalIO(a, 100, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.SetExternalIO(b, 100, 0); err != nil {
+		t.Fatal(err)
+	}
+	s := plan.New(2)
+	s.ListT = []wf.TaskID{a, b}
+	s.Assign(a, s.AddVM(0))
+	s.Assign(b, s.AddVM(0))
+
+	unbounded, err := Run(w, testPlatform(), s, []float64{100, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// boot →5, stage →15, compute →25.
+	if !almostEq(unbounded.Makespan, 25) {
+		t.Fatalf("unbounded makespan %v", unbounded.Makespan)
+	}
+	capped, err := Run(w, fluidPlatform(), s, []float64{100, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// boot →5, both stagings share the cap: done at 25, compute →35.
+	if !almostEq(capped.Makespan, 35) {
+		t.Errorf("capped makespan %v, want 35", capped.Makespan)
+	}
+}
+
+func TestFluidFlowFinishFreesBandwidth(t *testing.T) {
+	// Unequal stagings: 50 B and 150 B starting together under a 10 B/s
+	// cap. Shared at 5 B/s each; the small one finishes at t₀+10 having
+	// moved 50 B, then the big one speeds up to 10 B/s for its
+	// remaining 100 B → finishes at t₀+20 (instead of t₀+30 if the
+	// share never rebalanced).
+	w := wf.New("uneq")
+	a := w.AddTask("a", stoch.Dist{Mean: 100})
+	b := w.AddTask("b", stoch.Dist{Mean: 100})
+	if err := w.SetExternalIO(a, 50, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.SetExternalIO(b, 150, 0); err != nil {
+		t.Fatal(err)
+	}
+	s := plan.New(2)
+	s.ListT = []wf.TaskID{a, b}
+	s.Assign(a, s.AddVM(0))
+	s.Assign(b, s.AddVM(0))
+	res, err := Run(w, fluidPlatform(), s, []float64{100, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both boot 0→5. a stages 5→15 (5 B/s), computes 15→25.
+	// b stages 5→25 (100 B left at 15, then full rate), computes 25→35.
+	if !almostEq(res.Tasks[a].ComputeStart, 15) {
+		t.Errorf("a compute start %v", res.Tasks[a].ComputeStart)
+	}
+	if !almostEq(res.Tasks[b].ComputeStart, 25) {
+		t.Errorf("b compute start %v, want 25", res.Tasks[b].ComputeStart)
+	}
+	if !almostEq(res.Makespan, 35) {
+		t.Errorf("makespan %v", res.Makespan)
+	}
+}
+
+func TestFluidNeverFasterThanUnbounded(t *testing.T) {
+	// Sanity across a richer DAG: capping the DC can only slow things
+	// down.
+	w := wf.New("dag")
+	var ids []wf.TaskID
+	for i := 0; i < 6; i++ {
+		id := w.AddTask("t", stoch.Dist{Mean: 50})
+		if err := w.SetExternalIO(id, 80, 0); err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	sink := w.AddTask("sink", stoch.Dist{Mean: 20})
+	for _, id := range ids {
+		w.MustAddEdge(id, sink, 60)
+	}
+	s := plan.New(7)
+	s.ListT = append(append([]wf.TaskID(nil), ids...), sink)
+	for _, id := range ids {
+		s.Assign(id, s.AddVM(0))
+	}
+	s.Assign(sink, s.AddVM(0))
+	weights := []float64{50, 50, 50, 50, 50, 50, 20}
+
+	unbounded, err := Run(w, testPlatform(), s, weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	capped, err := Run(w, fluidPlatform(), s, weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if capped.Makespan < unbounded.Makespan-1e-9 {
+		t.Errorf("contention sped things up: %v < %v", capped.Makespan, unbounded.Makespan)
+	}
+	if capped.Makespan <= unbounded.Makespan {
+		t.Errorf("expected visible slowdown with 7 concurrent flows, got %v vs %v", capped.Makespan, unbounded.Makespan)
+	}
+}

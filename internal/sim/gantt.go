@@ -1,0 +1,107 @@
+package sim
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"budgetwf/internal/plan"
+	"budgetwf/internal/wf"
+)
+
+// WriteGantt renders an ASCII Gantt chart of the execution: one row
+// per VM, time flowing rightwards, with '·' for boot, '▒' for staging
+// and '█' for computation. width is the number of character columns
+// for the time axis (minimum 20).
+func (r *Result) WriteGantt(w io.Writer, workflow *wf.Workflow, s *plan.Schedule, width int) error {
+	if width < 20 {
+		width = 20
+	}
+	span := r.LastEvent - r.FirstBook
+	if span <= 0 {
+		span = 1
+	}
+	col := func(t float64) int {
+		c := int((t - r.FirstBook) / span * float64(width))
+		if c < 0 {
+			c = 0
+		}
+		if c >= width {
+			c = width - 1
+		}
+		return c
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "Gantt: %s — makespan %.1f s, cost $%.4f, %d VMs\n",
+		workflow.Name, r.Makespan, r.TotalCost, len(r.VMs))
+	fmt.Fprintf(&b, "time %.0f..%.0f s, '·' boot, '▒' staging, '█' compute\n", r.FirstBook, r.LastEvent)
+
+	// Group tasks per VM in start order for labelling.
+	tasksOf := make([][]wf.TaskID, len(r.VMs))
+	for t := range r.Tasks {
+		vm := s.TaskVM[t]
+		if vm >= 0 && vm < len(tasksOf) {
+			tasksOf[vm] = append(tasksOf[vm], wf.TaskID(t))
+		}
+	}
+	for vmIdx, vm := range r.VMs {
+		row := make([]rune, width)
+		for i := range row {
+			row[i] = ' '
+		}
+		for c := col(vm.Book); c <= col(vm.Start) && c < width; c++ {
+			row[c] = '·'
+		}
+		sort.Slice(tasksOf[vmIdx], func(a, b int) bool {
+			return r.Tasks[tasksOf[vmIdx][a]].StageStart < r.Tasks[tasksOf[vmIdx][b]].StageStart
+		})
+		for _, t := range tasksOf[vmIdx] {
+			tt := r.Tasks[t]
+			for c := col(tt.StageStart); c <= col(tt.ComputeStart) && c < width; c++ {
+				if row[c] == ' ' || row[c] == '·' {
+					row[c] = '▒'
+				}
+			}
+			for c := col(tt.ComputeStart); c <= col(tt.Finish) && c < width; c++ {
+				row[c] = '█'
+			}
+		}
+		fmt.Fprintf(&b, "vm%-3d cat%-2d |%s| %d tasks, $%.4f\n", vmIdx, vm.Cat, string(row), vm.NumTasks, vm.Cost)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteTrace emits one line per task in finish order: the realized
+// timeline, placement and blame — the raw material of a SimGrid-style
+// trace file.
+func (r *Result) WriteTrace(w io.Writer, workflow *wf.Workflow, s *plan.Schedule) error {
+	order := make([]wf.TaskID, len(r.Tasks))
+	for i := range order {
+		order[i] = wf.TaskID(i)
+	}
+	sort.Slice(order, func(a, b int) bool {
+		return r.Tasks[order[a]].Finish < r.Tasks[order[b]].Finish
+	})
+	var b strings.Builder
+	fmt.Fprintf(&b, "# task vm cat stage_start compute_start finish blame\n")
+	for _, t := range order {
+		tt := r.Tasks[t]
+		vm := s.TaskVM[t]
+		blame := "none"
+		switch r.Blames[t].Kind {
+		case BlameVMBusy:
+			blame = fmt.Sprintf("vm-busy(after %s)", workflow.Task(r.Blames[t].Pred).Name)
+		case BlameDataArrival:
+			blame = fmt.Sprintf("data(from %s)", workflow.Task(r.Blames[t].Pred).Name)
+		case BlameBoot:
+			blame = "boot"
+		}
+		fmt.Fprintf(&b, "%-24s vm%-3d cat%d %10.2f %10.2f %10.2f  %s\n",
+			workflow.Task(t).Name, vm, s.VMCats[vm], tt.StageStart, tt.ComputeStart, tt.Finish, blame)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,80 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"budgetwf/internal/plan"
+	"budgetwf/internal/stoch"
+	"budgetwf/internal/wf"
+)
+
+func ganttFixture(t *testing.T) (*wf.Workflow, *plan.Schedule, *Result) {
+	t.Helper()
+	w := wf.New("g")
+	a := w.AddTask("a", stoch.Dist{Mean: 100})
+	b := w.AddTask("b", stoch.Dist{Mean: 50})
+	w.MustAddEdge(a, b, 40)
+	if err := w.SetExternalIO(a, 20, 0); err != nil {
+		t.Fatal(err)
+	}
+	s := plan.New(2)
+	s.ListT = []wf.TaskID{a, b}
+	s.Assign(a, s.AddVM(0))
+	s.Assign(b, s.AddVM(0))
+	res, err := Run(w, testPlatform(), s, []float64{100, 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w, s, res
+}
+
+func TestWriteGantt(t *testing.T) {
+	w, s, res := ganttFixture(t)
+	var b strings.Builder
+	if err := res.WriteGantt(&b, w, s, 60); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"Gantt:", "makespan", "vm0", "vm1", "█", "·"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("gantt output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// Header (2 lines) + one row per VM.
+	if len(lines) != 2+len(res.VMs) {
+		t.Errorf("gantt has %d lines, want %d", len(lines), 2+len(res.VMs))
+	}
+}
+
+func TestWriteGanttTinyWidthClamped(t *testing.T) {
+	w, s, res := ganttFixture(t)
+	var b strings.Builder
+	if err := res.WriteGantt(&b, w, s, 1); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "vm0") {
+		t.Error("clamped-width gantt unusable")
+	}
+}
+
+func TestWriteTrace(t *testing.T) {
+	w, s, res := ganttFixture(t)
+	var b strings.Builder
+	if err := res.WriteTrace(&b, w, s); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "a ") || !strings.Contains(out, "b ") {
+		t.Errorf("trace missing task names:\n%s", out)
+	}
+	// b waited for a's data through the datacenter.
+	if !strings.Contains(out, "data(from a)") {
+		t.Errorf("trace missing blame annotation:\n%s", out)
+	}
+	// Finish order: a's line before b's.
+	if strings.Index(out, "\na") > strings.Index(out, "\nb") {
+		t.Error("trace not in finish order")
+	}
+}

@@ -1,0 +1,57 @@
+package sim
+
+// Objective is the paper's bi-criteria goal (Equation (3)): finish
+// within the deadline D while spending at most the budget B. A zero
+// field disables that criterion.
+type Objective struct {
+	Deadline float64
+	Budget   float64
+}
+
+// SatisfiedBy reports whether a realized execution meets the
+// objective.
+func (o Objective) SatisfiedBy(r *Result) bool {
+	if o.Deadline > 0 && r.Makespan > o.Deadline {
+		return false
+	}
+	if o.Budget > 0 && r.TotalCost > o.Budget {
+		return false
+	}
+	return true
+}
+
+// ObjectiveStats aggregates objective satisfaction over repeated
+// executions.
+type ObjectiveStats struct {
+	// Runs is the number of executions measured.
+	Runs int
+	// DeadlineMet / BudgetMet / BothMet count executions satisfying
+	// each criterion (and their conjunction).
+	DeadlineMet int
+	BudgetMet   int
+	BothMet     int
+}
+
+// Observe folds one execution into the statistics.
+func (s *ObjectiveStats) Observe(o Objective, r *Result) {
+	s.Runs++
+	dOK := o.Deadline <= 0 || r.Makespan <= o.Deadline
+	bOK := o.Budget <= 0 || r.TotalCost <= o.Budget
+	if dOK {
+		s.DeadlineMet++
+	}
+	if bOK {
+		s.BudgetMet++
+	}
+	if dOK && bOK {
+		s.BothMet++
+	}
+}
+
+// Frac returns n/Runs, or 0 for an empty sample.
+func (s *ObjectiveStats) Frac(n int) float64 {
+	if s.Runs == 0 {
+		return 0
+	}
+	return float64(n) / float64(s.Runs)
+}

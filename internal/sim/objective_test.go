@@ -1,0 +1,43 @@
+package sim
+
+import "testing"
+
+func TestObjectiveSatisfiedBy(t *testing.T) {
+	r := &Result{Makespan: 100, TotalCost: 5}
+	cases := []struct {
+		o    Objective
+		want bool
+	}{
+		{Objective{}, true},                          // both disabled
+		{Objective{Deadline: 100, Budget: 5}, true},  // boundary inclusive
+		{Objective{Deadline: 99}, false},             // deadline missed
+		{Objective{Budget: 4.99}, false},             // budget blown
+		{Objective{Deadline: 200}, true},             // deadline only
+		{Objective{Budget: 10}, true},                // budget only
+		{Objective{Deadline: 99, Budget: 10}, false}, // conjunction
+	}
+	for i, c := range cases {
+		if got := c.o.SatisfiedBy(r); got != c.want {
+			t.Errorf("case %d: %v", i, got)
+		}
+	}
+}
+
+func TestObjectiveStats(t *testing.T) {
+	o := Objective{Deadline: 100, Budget: 5}
+	var s ObjectiveStats
+	s.Observe(o, &Result{Makespan: 90, TotalCost: 4})  // both
+	s.Observe(o, &Result{Makespan: 110, TotalCost: 4}) // budget only
+	s.Observe(o, &Result{Makespan: 90, TotalCost: 6})  // deadline only
+	s.Observe(o, &Result{Makespan: 110, TotalCost: 6}) // neither
+	if s.Runs != 4 || s.DeadlineMet != 2 || s.BudgetMet != 2 || s.BothMet != 1 {
+		t.Errorf("stats %+v", s)
+	}
+	if s.Frac(s.BothMet) != 0.25 {
+		t.Errorf("frac %v", s.Frac(s.BothMet))
+	}
+	var empty ObjectiveStats
+	if empty.Frac(0) != 0 {
+		t.Error("empty frac")
+	}
+}

@@ -1,0 +1,310 @@
+package sim
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"budgetwf/internal/plan"
+	"budgetwf/internal/platform"
+	"budgetwf/internal/stoch"
+	"budgetwf/internal/wf"
+)
+
+// testPlatform uses round numbers so every timeline below can be
+// verified by hand: speed 10 instr/s, links 10 B/s, 5 s boot,
+// $1/s VM cost, $2 setup, $0.1/s datacenter, $0.01/B external traffic.
+func testPlatform() *platform.Platform {
+	return &platform.Platform{
+		Categories: []platform.Category{
+			{Name: "only", Speed: 10, CostPerSec: 1, InitCost: 2},
+		},
+		Bandwidth:           10,
+		BootTime:            5,
+		DCCostPerSec:        0.1,
+		TransferCostPerByte: 0.01,
+	}
+}
+
+func almostEq(a, b float64) bool { return math.Abs(a-b) <= 1e-9*(1+math.Abs(a)+math.Abs(b)) }
+
+func singleVMSchedule(w *wf.Workflow, order ...wf.TaskID) *plan.Schedule {
+	s := plan.New(w.NumTasks())
+	s.ListT = order
+	vm := s.AddVM(0)
+	for _, t := range order {
+		s.Assign(t, vm)
+	}
+	return s
+}
+
+func TestSingleTaskTimeline(t *testing.T) {
+	w := wf.New("one")
+	a := w.AddTask("a", stoch.Dist{Mean: 100})
+	if err := w.SetExternalIO(a, 20, 10); err != nil {
+		t.Fatal(err)
+	}
+	s := singleVMSchedule(w, a)
+	res, err := Run(w, testPlatform(), s, []float64{100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// book 0, boot →5, stage 20B/10 →7, compute 100/10 →17, upload →18.
+	tt := res.Tasks[a]
+	if !almostEq(tt.StageStart, 5) || !almostEq(tt.ComputeStart, 7) || !almostEq(tt.Finish, 17) {
+		t.Errorf("timeline %+v", tt)
+	}
+	if !almostEq(res.Makespan, 18) {
+		t.Errorf("makespan %v", res.Makespan)
+	}
+	vm := res.VMs[0]
+	if !almostEq(vm.Book, 0) || !almostEq(vm.Start, 5) || !almostEq(vm.End, 18) {
+		t.Errorf("vm usage %+v", vm)
+	}
+	if !almostEq(vm.Cost, 13*1+2) {
+		t.Errorf("vm cost %v", vm.Cost)
+	}
+	if !almostEq(res.DCCost, 30*0.01+18*0.1) {
+		t.Errorf("dc cost %v", res.DCCost)
+	}
+	if !almostEq(res.TotalCost, 15+2.1) {
+		t.Errorf("total cost %v", res.TotalCost)
+	}
+}
+
+func TestChainSameVMKeepsDataLocal(t *testing.T) {
+	w := wf.New("chain")
+	a := w.AddTask("a", stoch.Dist{Mean: 100})
+	b := w.AddTask("b", stoch.Dist{Mean: 50})
+	w.MustAddEdge(a, b, 40)
+	s := singleVMSchedule(w, a, b)
+	res, err := Run(w, testPlatform(), s, []float64{100, 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// boot →5, A computes 5→15, B computes 15→20 with no staging.
+	if !almostEq(res.Tasks[b].StageStart, 15) || !almostEq(res.Tasks[b].ComputeStart, 15) || !almostEq(res.Tasks[b].Finish, 20) {
+		t.Errorf("B timeline %+v", res.Tasks[b])
+	}
+	if !almostEq(res.Makespan, 20) {
+		t.Errorf("makespan %v", res.Makespan)
+	}
+	if res.Blames[b].Kind != BlameVMBusy || res.Blames[b].Pred != a {
+		t.Errorf("B blame %+v", res.Blames[b])
+	}
+}
+
+func TestChainAcrossVMsPaysDatacenterRoundTrip(t *testing.T) {
+	w := wf.New("chain")
+	a := w.AddTask("a", stoch.Dist{Mean: 100})
+	b := w.AddTask("b", stoch.Dist{Mean: 50})
+	w.MustAddEdge(a, b, 40)
+	s := plan.New(2)
+	s.ListT = []wf.TaskID{a, b}
+	s.Assign(a, s.AddVM(0))
+	s.Assign(b, s.AddVM(0))
+	res, err := Run(w, testPlatform(), s, []float64{100, 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A: boot →5, compute →15, upload 4 s → data at DC at 19.
+	// B's VM books at 19, boots →24, stages 4 s →28, computes →33.
+	bt := res.Tasks[b]
+	if !almostEq(bt.StageStart, 24) || !almostEq(bt.ComputeStart, 28) || !almostEq(bt.Finish, 33) {
+		t.Errorf("B timeline %+v", bt)
+	}
+	if !almostEq(res.Makespan, 33) {
+		t.Errorf("makespan %v", res.Makespan)
+	}
+	if res.Blames[b].Kind != BlameDataArrival || res.Blames[b].Pred != a {
+		t.Errorf("B blame %+v", res.Blames[b])
+	}
+	// A's VM is alive until its upload lands: End = 19.
+	if !almostEq(res.VMs[0].End, 19) {
+		t.Errorf("vm0 end %v", res.VMs[0].End)
+	}
+	// B's VM books only when the data reaches the datacenter.
+	if !almostEq(res.VMs[1].Book, 19) {
+		t.Errorf("vm1 book %v", res.VMs[1].Book)
+	}
+	cp := res.CriticalPath()
+	if len(cp) != 2 || cp[0] != a || cp[1] != b {
+		t.Errorf("critical path %v", cp)
+	}
+}
+
+func TestParallelTasksOverlap(t *testing.T) {
+	w := wf.New("par")
+	a := w.AddTask("a", stoch.Dist{Mean: 100})
+	b := w.AddTask("b", stoch.Dist{Mean: 100})
+	s := plan.New(2)
+	s.ListT = []wf.TaskID{a, b}
+	s.Assign(a, s.AddVM(0))
+	s.Assign(b, s.AddVM(0))
+	res, err := Run(w, testPlatform(), s, []float64{100, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(res.Makespan, 15) {
+		t.Errorf("two independent tasks on two VMs: makespan %v", res.Makespan)
+	}
+	if res.NumVMs() != 2 {
+		t.Errorf("NumVMs %d", res.NumVMs())
+	}
+}
+
+func TestUploadOverlapsNextCompute(t *testing.T) {
+	// A then C on one VM; A's output feeds B on another VM. A's upload
+	// must overlap C's computation (full duplex, asynchronous out).
+	w := wf.New("overlap")
+	a := w.AddTask("a", stoch.Dist{Mean: 100})
+	b := w.AddTask("b", stoch.Dist{Mean: 10})
+	c := w.AddTask("c", stoch.Dist{Mean: 100})
+	w.MustAddEdge(a, b, 100) // 10 s upload
+	s := plan.New(3)
+	s.ListT = []wf.TaskID{a, c, b}
+	vm0 := s.AddVM(0)
+	vm1 := s.AddVM(0)
+	s.Assign(a, vm0)
+	s.Assign(c, vm0)
+	s.Assign(b, vm1)
+	res, err := Run(w, testPlatform(), s, []float64{100, 10, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// vm0: boot →5, A →15, C starts immediately →25 (upload of A's
+	// output runs 15→25 concurrently).
+	if !almostEq(res.Tasks[c].ComputeStart, 15) || !almostEq(res.Tasks[c].Finish, 25) {
+		t.Errorf("C timeline %+v", res.Tasks[c])
+	}
+	// B: data at DC 25, book 25, boot →30, stage →40, compute →41.
+	if !almostEq(res.Tasks[b].Finish, 41) {
+		t.Errorf("B finish %v", res.Tasks[b].Finish)
+	}
+}
+
+func TestZeroSizeEdgeCrossesInstantly(t *testing.T) {
+	w := wf.New("zero")
+	a := w.AddTask("a", stoch.Dist{Mean: 100})
+	b := w.AddTask("b", stoch.Dist{Mean: 50})
+	w.MustAddEdge(a, b, 0)
+	s := plan.New(2)
+	s.ListT = []wf.TaskID{a, b}
+	s.Assign(a, s.AddVM(0))
+	s.Assign(b, s.AddVM(0))
+	res, err := Run(w, testPlatform(), s, []float64{100, 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// B books when A finishes (15): boot →20, no staging, compute →25.
+	if !almostEq(res.Tasks[b].Finish, 25) {
+		t.Errorf("B finish %v", res.Tasks[b].Finish)
+	}
+}
+
+func TestCostDecompositionExact(t *testing.T) {
+	w := wf.New("mix")
+	a := w.AddTask("a", stoch.Dist{Mean: 100})
+	b := w.AddTask("b", stoch.Dist{Mean: 60})
+	c := w.AddTask("c", stoch.Dist{Mean: 30})
+	w.MustAddEdge(a, b, 40)
+	w.MustAddEdge(a, c, 20)
+	if err := w.SetExternalIO(a, 50, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.SetExternalIO(c, 0, 30); err != nil {
+		t.Fatal(err)
+	}
+	s := plan.New(3)
+	s.ListT = []wf.TaskID{a, b, c}
+	vm0 := s.AddVM(0)
+	vm1 := s.AddVM(0)
+	s.Assign(a, vm0)
+	s.Assign(b, vm1)
+	s.Assign(c, vm0)
+	p := testPlatform()
+	res, err := Run(w, p, s, []float64{100, 60, 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := res.DCCost
+	for _, vm := range res.VMs {
+		recomputed := p.VMCost(vm.Cat, vm.Start, vm.End)
+		if !almostEq(vm.Cost, recomputed) {
+			t.Errorf("vm cost %v, recomputed %v", vm.Cost, recomputed)
+		}
+		sum += vm.Cost
+	}
+	if !almostEq(res.TotalCost, sum) {
+		t.Errorf("total %v, sum %v", res.TotalCost, sum)
+	}
+	wantDC := (50+30)*p.TransferCostPerByte + (res.LastEvent-res.FirstBook)*p.DCCostPerSec
+	if !almostEq(res.DCCost, wantDC) {
+		t.Errorf("dc cost %v, want %v", res.DCCost, wantDC)
+	}
+}
+
+func TestRunRejectsBadInputs(t *testing.T) {
+	w := wf.New("w")
+	a := w.AddTask("a", stoch.Dist{Mean: 10})
+	s := singleVMSchedule(w, a)
+	p := testPlatform()
+	if _, err := Run(w, p, s, nil); err == nil {
+		t.Error("weight count mismatch accepted")
+	}
+	if _, err := Run(w, p, s, []float64{0}); err == nil {
+		t.Error("zero weight accepted")
+	}
+	if _, err := Run(w, p, s, []float64{math.NaN()}); err == nil {
+		t.Error("NaN weight accepted")
+	}
+	bad := plan.New(1)
+	if _, err := Run(w, p, bad, []float64{10}); err == nil {
+		t.Error("unassigned schedule accepted")
+	}
+}
+
+func TestTransitiveOrderDeadlockDetected(t *testing.T) {
+	// 0→1→2 with 0 and 2 on vm0 ordered [2, 0]: no direct edge inside
+	// vm0, so plan.Validate passes, but execution can never progress.
+	w := wf.New("dead")
+	a := w.AddTask("a", stoch.Dist{Mean: 10})
+	b := w.AddTask("b", stoch.Dist{Mean: 10})
+	c := w.AddTask("c", stoch.Dist{Mean: 10})
+	w.MustAddEdge(a, b, 10)
+	w.MustAddEdge(b, c, 10)
+	s := plan.New(3)
+	s.ListT = []wf.TaskID{a, b, c}
+	vm0 := s.AddVM(0)
+	vm1 := s.AddVM(0)
+	s.TaskVM[a] = vm0
+	s.TaskVM[b] = vm1
+	s.TaskVM[c] = vm0
+	s.Order[vm0] = []wf.TaskID{c, a}
+	s.Order[vm1] = []wf.TaskID{b}
+	_, err := Run(w, testPlatform(), s, []float64{10, 10, 10})
+	if err == nil || !strings.Contains(err.Error(), "deadlock") {
+		t.Errorf("expected deadlock error, got %v", err)
+	}
+}
+
+func TestWeightHelpers(t *testing.T) {
+	w := wf.New("w")
+	w.AddTask("a", stoch.Dist{Mean: 100, Sigma: 25})
+	w.AddTask("b", stoch.Dist{Mean: 50, Sigma: 10})
+	cons := ConservativeWeights(w)
+	if cons[0] != 125 || cons[1] != 60 {
+		t.Errorf("conservative %v", cons)
+	}
+	mean := MeanWeights(w)
+	if mean[0] != 100 || mean[1] != 50 {
+		t.Errorf("mean %v", mean)
+	}
+}
+
+func TestWithinBudget(t *testing.T) {
+	r := &Result{TotalCost: 10}
+	if !r.WithinBudget(10) || r.WithinBudget(9.99) {
+		t.Error("WithinBudget wrong")
+	}
+}

@@ -1,0 +1,183 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestAccumulatorBasics(t *testing.T) {
+	var a Accumulator
+	if a.N() != 0 || a.Mean() != 0 || a.StdDev() != 0 {
+		t.Fatal("zero accumulator not empty")
+	}
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		a.Add(x)
+	}
+	if a.N() != 8 {
+		t.Errorf("N = %d", a.N())
+	}
+	if !almost(a.Mean(), 5, 1e-12) {
+		t.Errorf("mean = %v", a.Mean())
+	}
+	// Sample variance of this classic dataset is 32/7.
+	if !almost(a.Variance(), 32.0/7.0, 1e-12) {
+		t.Errorf("variance = %v", a.Variance())
+	}
+	if a.Min() != 2 || a.Max() != 9 {
+		t.Errorf("min/max = %v/%v", a.Min(), a.Max())
+	}
+}
+
+func TestAccumulatorSingleValue(t *testing.T) {
+	var a Accumulator
+	a.Add(3.5)
+	if a.Variance() != 0 || a.StdDev() != 0 {
+		t.Error("variance of single observation must be 0")
+	}
+	if a.Min() != 3.5 || a.Max() != 3.5 || a.Mean() != 3.5 {
+		t.Error("single-value stats wrong")
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 || s.Mean != 0 || s.Median != 0 {
+		t.Errorf("empty summary = %+v", s)
+	}
+}
+
+func TestSummarizeMatchesDirectFormulas(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 100}
+	s := Summarize(xs)
+	if !almost(s.Mean, 22, 1e-12) {
+		t.Errorf("mean %v", s.Mean)
+	}
+	if !almost(s.Median, 3, 1e-12) {
+		t.Errorf("median %v", s.Median)
+	}
+	if s.Min != 1 || s.Max != 100 {
+		t.Errorf("min/max %v/%v", s.Min, s.Max)
+	}
+	if s.N != 5 {
+		t.Errorf("n %d", s.N)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{10, 20, 30, 40}
+	cases := []struct{ p, want float64 }{
+		{0, 10}, {100, 40}, {50, 25}, {25, 17.5}, {-5, 10}, {200, 40},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); !almost(got, c.want, 1e-12) {
+			t.Errorf("P%.0f = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Error("empty percentile must be 0")
+	}
+	if Percentile([]float64{7}, 99) != 7 {
+		t.Error("single-element percentile must be the element")
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Percentile(xs, 50)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Error("input mutated")
+	}
+}
+
+func TestMeanStdDevHelpers(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) != 0")
+	}
+	if !almost(Mean([]float64{1, 2, 3}), 2, 1e-12) {
+		t.Error("Mean wrong")
+	}
+	if !almost(StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9}), math.Sqrt(32.0/7.0), 1e-12) {
+		t.Error("StdDev wrong")
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if Ratio(4, 2) != 2 || Ratio(1, 0) != 0 {
+		t.Error("Ratio wrong")
+	}
+}
+
+// Property: the online accumulator agrees with the two-pass formulas
+// for arbitrary inputs.
+func TestAccumulatorMatchesTwoPass(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			// quick can generate NaN/Inf through float bit patterns;
+			// restrict to finite moderate values.
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e9 {
+				continue
+			}
+			xs = append(xs, x)
+		}
+		if len(xs) < 2 {
+			return true
+		}
+		var acc Accumulator
+		mean := 0.0
+		for _, x := range xs {
+			acc.Add(x)
+			mean += x
+		}
+		mean /= float64(len(xs))
+		variance := 0.0
+		for _, x := range xs {
+			variance += (x - mean) * (x - mean)
+		}
+		variance /= float64(len(xs) - 1)
+		scale := math.Max(1, math.Abs(mean))
+		return almost(acc.Mean(), mean, 1e-6*scale) &&
+			almost(acc.Variance(), variance, 1e-6*math.Max(1, variance))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: percentiles are monotone in p and bounded by min/max.
+func TestPercentileMonotone(t *testing.T) {
+	f := func(raw []float64, p1, p2 float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				continue
+			}
+			xs = append(xs, x)
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		p1 = math.Mod(math.Abs(p1), 101)
+		p2 = math.Mod(math.Abs(p2), 101)
+		if p1 > p2 {
+			p1, p2 = p2, p1
+		}
+		s := Summarize(xs)
+		lo, hi := Percentile(xs, p1), Percentile(xs, p2)
+		return lo <= hi && lo >= s.Min && hi <= s.Max
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	s := Summary{N: 3, Mean: 1.5, StdDev: 0.5, Median: 1.4}
+	got := s.String()
+	if got != "1.50 ± 0.50 (median 1.40, n=3)" {
+		t.Errorf("String() = %q", got)
+	}
+}

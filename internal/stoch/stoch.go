@@ -1,0 +1,130 @@
+// Package stoch models the stochastic task weights of the paper
+// (§III-A): the number of instructions of a task follows a Gaussian
+// law with mean w̄ and standard deviation σ. Schedulers never see the
+// realized weight; they plan with the conservative estimate w̄ + σ
+// (§IV-A), while the simulator samples realizations at execution time.
+package stoch
+
+import (
+	"fmt"
+	"math"
+
+	"budgetwf/internal/rng"
+)
+
+// Dist describes the weight distribution of a single task.
+type Dist struct {
+	// Mean is the expected number of instructions (w̄ in the paper).
+	Mean float64
+	// Sigma is the standard deviation of the number of instructions.
+	Sigma float64
+}
+
+// Validate reports whether the distribution parameters are usable.
+func (d Dist) Validate() error {
+	if math.IsNaN(d.Mean) || math.IsInf(d.Mean, 0) || d.Mean <= 0 {
+		return fmt.Errorf("stoch: mean must be positive and finite, got %v", d.Mean)
+	}
+	if math.IsNaN(d.Sigma) || math.IsInf(d.Sigma, 0) || d.Sigma < 0 {
+		return fmt.Errorf("stoch: sigma must be non-negative and finite, got %v", d.Sigma)
+	}
+	return nil
+}
+
+// Conservative returns the planning weight w̄ + σ used by the
+// budget-aware algorithms to keep the risk of under-estimation low
+// while staying accurate for most executions (§IV-A).
+func (d Dist) Conservative() float64 { return d.Mean + d.Sigma }
+
+// MinWeightFraction bounds sampled weights away from zero: a realized
+// weight is never smaller than this fraction of the mean. A Gaussian
+// has unbounded support, and a non-positive instruction count is
+// meaningless, so the sampler redraws (truncates) below this floor.
+// The paper evaluates σ up to 100% of the mean, where roughly 16% of
+// an untruncated Gaussian's mass would be non-positive; truncation is
+// therefore a required, if implicit, part of the model.
+const MinWeightFraction = 0.01
+
+// Sample draws one realized weight from the distribution, truncated
+// below at MinWeightFraction·Mean. With Sigma == 0 it returns Mean
+// exactly, which makes deterministic replay trivial.
+func (d Dist) Sample(r *rng.RNG) float64 {
+	if d.Sigma == 0 {
+		return d.Mean
+	}
+	floor := d.Mean * MinWeightFraction
+	for i := 0; i < 1024; i++ {
+		w := d.Mean + d.Sigma*r.NormFloat64()
+		if w >= floor {
+			return w
+		}
+	}
+	// Pathological parameters (sigma orders of magnitude above the
+	// mean) could in principle starve the rejection loop; fall back to
+	// the floor rather than looping forever.
+	return floor
+}
+
+// SampleN draws n independent realizations.
+func (d Dist) SampleN(r *rng.RNG, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = d.Sample(r)
+	}
+	return out
+}
+
+// WithSigmaRatio returns a copy of the distribution whose sigma is the
+// given fraction of the mean. The paper instantiates each workflow
+// with σ/w̄ ∈ {0.25, 0.50, 0.75, 1.00} (§V-A).
+func (d Dist) WithSigmaRatio(ratio float64) Dist {
+	return Dist{Mean: d.Mean, Sigma: d.Mean * ratio}
+}
+
+// Outliers augments a Gaussian weight model with rare pathological
+// realizations: with probability Prob a sampled weight is multiplied
+// by Factor. A Gaussian's tails are thin — conditioned on exceeding
+// w̄+2σ, the expected excess is only ≈0.4σ — so a rational monitor
+// almost never profits from interrupting a Gaussian task. The "very
+// long durations" the paper's future-work section targets (§VI) are
+// un-modeled events such as data-dependent algorithmic blow-ups, which
+// this wrapper represents. Used by the online-rescheduling extension.
+type Outliers struct {
+	// Prob is the per-task probability of a pathological realization.
+	Prob float64
+	// Factor multiplies the sampled weight when the outlier fires
+	// (must be > 1 to be meaningful).
+	Factor float64
+}
+
+// Sample draws a weight from d, subject to the outlier model.
+func (o Outliers) Sample(d Dist, r *rng.RNG) float64 {
+	w := d.Sample(r)
+	if o.Prob > 0 && r.Float64() < o.Prob {
+		w *= o.Factor
+	}
+	return w
+}
+
+// Estimate recovers distribution parameters from a sample, the way a
+// user would calibrate task profiles "for example by sampling" (§III-A).
+func Estimate(samples []float64) (Dist, error) {
+	if len(samples) < 2 {
+		return Dist{}, fmt.Errorf("stoch: need at least 2 samples, got %d", len(samples))
+	}
+	mean := 0.0
+	for _, s := range samples {
+		mean += s
+	}
+	mean /= float64(len(samples))
+	variance := 0.0
+	for _, s := range samples {
+		variance += (s - mean) * (s - mean)
+	}
+	variance /= float64(len(samples) - 1)
+	d := Dist{Mean: mean, Sigma: math.Sqrt(variance)}
+	if err := d.Validate(); err != nil {
+		return Dist{}, err
+	}
+	return d, nil
+}

@@ -1,0 +1,150 @@
+package stoch
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"budgetwf/internal/rng"
+)
+
+func TestValidate(t *testing.T) {
+	cases := []struct {
+		d  Dist
+		ok bool
+	}{
+		{Dist{Mean: 1, Sigma: 0}, true},
+		{Dist{Mean: 1e12, Sigma: 1e12}, true},
+		{Dist{Mean: 0, Sigma: 0}, false},
+		{Dist{Mean: -1, Sigma: 0}, false},
+		{Dist{Mean: 1, Sigma: -0.1}, false},
+		{Dist{Mean: math.NaN(), Sigma: 0}, false},
+		{Dist{Mean: 1, Sigma: math.Inf(1)}, false},
+		{Dist{Mean: math.Inf(1), Sigma: 0}, false},
+	}
+	for _, c := range cases {
+		if err := c.d.Validate(); (err == nil) != c.ok {
+			t.Errorf("Validate(%+v) error=%v, want ok=%v", c.d, err, c.ok)
+		}
+	}
+}
+
+func TestConservative(t *testing.T) {
+	d := Dist{Mean: 100, Sigma: 25}
+	if d.Conservative() != 125 {
+		t.Errorf("conservative = %v", d.Conservative())
+	}
+}
+
+func TestSampleDeterministicWhenSigmaZero(t *testing.T) {
+	d := Dist{Mean: 42}
+	r := rng.New(1)
+	for i := 0; i < 10; i++ {
+		if s := d.Sample(r); s != 42 {
+			t.Fatalf("σ=0 sample = %v", s)
+		}
+	}
+}
+
+func TestSampleMoments(t *testing.T) {
+	d := Dist{Mean: 1000, Sigma: 100}
+	r := rng.New(7)
+	const n = 100000
+	sum, sumSq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		x := d.Sample(r)
+		sum += x
+		sumSq += x * x
+	}
+	mean := sum / n
+	sd := math.Sqrt(sumSq/n - mean*mean)
+	if math.Abs(mean-1000) > 2 {
+		t.Errorf("sample mean %v", mean)
+	}
+	if math.Abs(sd-100) > 2 {
+		t.Errorf("sample stddev %v", sd)
+	}
+}
+
+func TestSampleTruncation(t *testing.T) {
+	// σ = 10×mean: without truncation most draws would be negative.
+	d := Dist{Mean: 10, Sigma: 100}
+	r := rng.New(9)
+	floor := d.Mean * MinWeightFraction
+	for i := 0; i < 10000; i++ {
+		if x := d.Sample(r); x < floor {
+			t.Fatalf("sample %v below floor %v", x, floor)
+		}
+	}
+}
+
+func TestSampleN(t *testing.T) {
+	d := Dist{Mean: 5, Sigma: 1}
+	xs := d.SampleN(rng.New(3), 17)
+	if len(xs) != 17 {
+		t.Fatalf("SampleN returned %d values", len(xs))
+	}
+}
+
+func TestWithSigmaRatio(t *testing.T) {
+	d := Dist{Mean: 200, Sigma: 999}
+	for _, ratio := range []float64{0, 0.25, 0.5, 1.0} {
+		got := d.WithSigmaRatio(ratio)
+		if got.Mean != 200 || got.Sigma != 200*ratio {
+			t.Errorf("WithSigmaRatio(%v) = %+v", ratio, got)
+		}
+	}
+}
+
+func TestEstimateRoundTrip(t *testing.T) {
+	d := Dist{Mean: 500, Sigma: 50}
+	samples := d.SampleN(rng.New(11), 20000)
+	got, err := Estimate(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got.Mean-500) > 2 {
+		t.Errorf("estimated mean %v", got.Mean)
+	}
+	if math.Abs(got.Sigma-50) > 2 {
+		t.Errorf("estimated sigma %v", got.Sigma)
+	}
+}
+
+func TestEstimateErrors(t *testing.T) {
+	if _, err := Estimate(nil); err == nil {
+		t.Error("Estimate(nil) should fail")
+	}
+	if _, err := Estimate([]float64{1}); err == nil {
+		t.Error("Estimate of one sample should fail")
+	}
+	if _, err := Estimate([]float64{-5, -6}); err == nil {
+		t.Error("Estimate of negative samples should fail (invalid mean)")
+	}
+}
+
+// Property: samples are always at least the truncation floor, for any
+// valid (mean, sigma) pair.
+func TestSampleFloorProperty(t *testing.T) {
+	r := rng.New(13)
+	f := func(meanRaw, sigmaRaw float64) bool {
+		mean := math.Abs(meanRaw)
+		if mean == 0 || math.IsNaN(mean) || math.IsInf(mean, 0) || mean > 1e15 {
+			return true
+		}
+		sigma := math.Abs(sigmaRaw)
+		if math.IsNaN(sigma) || math.IsInf(sigma, 0) || sigma > 1e15 {
+			return true
+		}
+		d := Dist{Mean: mean, Sigma: sigma}
+		for i := 0; i < 32; i++ {
+			if d.Sample(r) < mean*MinWeightFraction {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

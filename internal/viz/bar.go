@@ -1,0 +1,124 @@
+package viz
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Bar is one row of a horizontal bar chart.
+type Bar struct {
+	Label string
+	Value float64
+	// Note is an optional annotation appended to the value label
+	// (e.g. a validity percentage).
+	Note string
+}
+
+// BarChart is a horizontal single-series bar figure: one hue for every
+// bar (magnitude is carried by length; coloring bars darker-when-longer
+// would double-encode), value labels at the tips, category labels on
+// the left.
+type BarChart struct {
+	Title    string
+	Subtitle string
+	XLabel   string
+	Bars     []Bar
+	// Slot picks the single series hue; 0 defaults to slot 1 (blue).
+	Slot int
+	// Unit is appended to tip labels ("s", "$").
+	Unit string
+}
+
+// Bar geometry per the mark specs: ≤24px thick with a 4px rounded data
+// end anchored square at the baseline, separated by ≥2px of surface.
+const (
+	barThickness = 18
+	barGap       = 10
+	barLabelW    = 170
+)
+
+// RenderSVG writes the bar chart as a standalone SVG document.
+func (c *BarChart) RenderSVG(w io.Writer) error {
+	if len(c.Bars) == 0 {
+		return fmt.Errorf("viz: bar chart %q has no bars", c.Title)
+	}
+	slot := c.Slot
+	if slot == 0 {
+		slot = 1
+	}
+	color := SlotColor(slot)
+
+	maxV := 0.0
+	for _, b := range c.Bars {
+		if b.Value < 0 {
+			return fmt.Errorf("viz: negative bar value %v (%s)", b.Value, b.Label)
+		}
+		if b.Value > maxV {
+			maxV = b.Value
+		}
+	}
+	if maxV == 0 {
+		maxV = 1
+	}
+
+	width := 640
+	top := 52
+	plotW := float64(width - barLabelW - 150)
+	height := top + len(c.Bars)*(barThickness+barGap) + 46
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d" font-family="system-ui, -apple-system, 'Segoe UI', sans-serif">`+"\n",
+		width, height, width, height)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="%s"/>`+"\n", width, height, surface)
+	fmt.Fprintf(&b, `<text x="16" y="20" font-size="14" font-weight="600" fill="%s">%s</text>`+"\n", inkMain, esc(c.Title))
+	if c.Subtitle != "" {
+		fmt.Fprintf(&b, `<text x="16" y="36" font-size="11" fill="%s">%s</text>`+"\n", inkSoft, esc(c.Subtitle))
+	}
+
+	baseX := float64(barLabelW)
+	// Vertical hairline gridlines with ticks.
+	for _, tick := range linTicks(0, maxV, 5) {
+		x := baseX + tick/maxV*plotW
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%d" stroke="%s" stroke-width="1"/>`+"\n",
+			x, top-6, x, height-34, gridColor)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" font-size="10" fill="%s" text-anchor="middle">%s</text>`+"\n",
+			x, height-20, inkSoft, esc(formatTick(tick)))
+	}
+	if c.XLabel != "" {
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" font-size="11" fill="%s" text-anchor="middle">%s</text>`+"\n",
+			baseX+plotW/2, height-6, inkSoft, esc(c.XLabel))
+	}
+
+	for i, bar := range c.Bars {
+		y := float64(top + i*(barThickness+barGap))
+		w := bar.Value / maxV * plotW
+		// Square at the baseline, 4px rounded at the data end: a path
+		// with rounded right corners only.
+		if w > 4 {
+			fmt.Fprintf(&b, `<path d="M %.1f %.1f h %.1f a 4 4 0 0 1 4 4 v %d a 4 4 0 0 1 -4 4 h -%.1f z" fill="%s">`,
+				baseX, y, w-4, barThickness-8, w-4, color)
+		} else {
+			fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%d" fill="%s">`,
+				baseX, y, w, barThickness, color)
+		}
+		fmt.Fprintf(&b, `<title>%s: %s%s</title>`, esc(bar.Label), esc(formatTick(bar.Value)), esc(c.Unit))
+		if w > 4 {
+			b.WriteString("</path>\n")
+		} else {
+			b.WriteString("</rect>\n")
+		}
+		// Category label (ink, left), value at the tip (ink, outside).
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-size="11" fill="%s" text-anchor="end">%s</text>`+"\n",
+			baseX-8, y+float64(barThickness)/2+4, inkMain, esc(bar.Label))
+		tip := fmt.Sprintf("%s%s", formatTick(bar.Value), c.Unit)
+		if bar.Note != "" {
+			tip += "  " + bar.Note
+		}
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-size="10" fill="%s">%s</text>`+"\n",
+			baseX+w+8, y+float64(barThickness)/2+4, inkSoft, esc(tip))
+	}
+	b.WriteString("</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

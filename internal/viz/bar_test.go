@@ -1,0 +1,94 @@
+package viz
+
+import (
+	"encoding/xml"
+	"strings"
+	"testing"
+)
+
+func sampleBarChart() *BarChart {
+	return &BarChart{
+		Title:    "Ablation — makespan at minimum budget",
+		Subtitle: "montage, 90 tasks",
+		XLabel:   "makespan [s]",
+		Unit:     " s",
+		Bars: []Bar{
+			{Label: "paper (all safeguards)", Value: 1098, Note: "100% valid"},
+			{Label: "no conservative weights", Value: 616, Note: "100% valid"},
+			{Label: "no reserves", Value: 145, Note: "0% valid"},
+		},
+	}
+}
+
+func TestBarChartWellFormed(t *testing.T) {
+	var b strings.Builder
+	if err := sampleBarChart().RenderSVG(&b); err != nil {
+		t.Fatal(err)
+	}
+	dec := xml.NewDecoder(strings.NewReader(b.String()))
+	for {
+		if _, err := dec.Token(); err != nil {
+			if err.Error() == "EOF" {
+				break
+			}
+			t.Fatalf("invalid XML: %v", err)
+		}
+	}
+}
+
+func TestBarChartContract(t *testing.T) {
+	var b strings.Builder
+	if err := sampleBarChart().RenderSVG(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	// Single hue for every bar (no value-ramp on nominal categories).
+	if n := strings.Count(out, SlotColor(1)); n != 3 {
+		t.Errorf("%d bars in slot-1 hue, want 3", n)
+	}
+	for slot := 2; slot <= 8; slot++ {
+		if strings.Contains(out, SlotColor(slot)) {
+			t.Errorf("bar chart leaked a second hue (slot %d)", slot)
+		}
+	}
+	// Rounded data-end path and tooltips.
+	if !strings.Contains(out, "a 4 4 0 0 1") {
+		t.Error("missing 4px rounded data end")
+	}
+	if !strings.Contains(out, "<title>no reserves: 145 s</title>") {
+		t.Error("missing bar tooltip")
+	}
+	// Tip labels carry the note.
+	if !strings.Contains(out, "0% valid") {
+		t.Error("missing bar note")
+	}
+	// Labels wear ink, not the series color.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "<text") && strings.Contains(line, SlotColor(1)) {
+			t.Errorf("text wears the series color: %s", line)
+		}
+	}
+}
+
+func TestBarChartRejectsBadInput(t *testing.T) {
+	var b strings.Builder
+	if err := (&BarChart{Title: "empty"}).RenderSVG(&b); err == nil {
+		t.Error("empty bar chart accepted")
+	}
+	c := sampleBarChart()
+	c.Bars[0].Value = -3
+	if err := c.RenderSVG(&b); err == nil {
+		t.Error("negative bar accepted")
+	}
+}
+
+func TestBarChartZeroValues(t *testing.T) {
+	c := &BarChart{Title: "z", Bars: []Bar{{Label: "a", Value: 0}, {Label: "b", Value: 0}}}
+	var b strings.Builder
+	if err := c.RenderSVG(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "<rect") && !strings.Contains(b.String(), "<path") {
+		t.Error("zero bars rendered nothing")
+	}
+}

@@ -1,0 +1,120 @@
+package viz
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"budgetwf/internal/plan"
+	"budgetwf/internal/sim"
+	"budgetwf/internal/wf"
+)
+
+// RenderGanttSVG draws one realized execution as an SVG Gantt chart:
+// a row per VM, computation bars colored by VM *category* (the
+// identity that matters on a heterogeneous platform), staging shown as
+// a low-opacity wash of the same hue, boot as a muted sliver. Every
+// bar carries a native tooltip with the task's name and timeline; a
+// category legend sits top-right.
+func RenderGanttSVG(out io.Writer, w *wf.Workflow, s *plan.Schedule, res *sim.Result, title string) error {
+	if len(res.VMs) == 0 {
+		return fmt.Errorf("viz: gantt with no VMs")
+	}
+	const (
+		rowH     = 16
+		rowGap   = 6
+		leftPad  = 96
+		rightPad = 120
+		topPad   = 48
+	)
+	width := 760
+	plotW := float64(width - leftPad - rightPad)
+	height := topPad + len(res.VMs)*(rowH+rowGap) + 40
+
+	span := res.LastEvent - res.FirstBook
+	if span <= 0 {
+		span = 1
+	}
+	x := func(t float64) float64 {
+		return float64(leftPad) + (t-res.FirstBook)/span*plotW
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d" font-family="system-ui, -apple-system, 'Segoe UI', sans-serif">`+"\n",
+		width, height, width, height)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="%s"/>`+"\n", width, height, surface)
+	fmt.Fprintf(&b, `<text x="16" y="20" font-size="14" font-weight="600" fill="%s">%s</text>`+"\n", inkMain, esc(title))
+	fmt.Fprintf(&b, `<text x="16" y="36" font-size="11" fill="%s">makespan %.1f s, cost $%.4f, %d VMs</text>`+"\n",
+		inkSoft, res.Makespan, res.TotalCost, len(res.VMs))
+
+	// Category legend (≥2 categories in use → legend).
+	usedCats := map[int]bool{}
+	for _, vm := range res.VMs {
+		usedCats[vm.Cat] = true
+	}
+	if len(usedCats) >= 2 {
+		lx := width - rightPad - 8
+		i := 0
+		for cat := 0; cat < 8; cat++ {
+			if !usedCats[cat] {
+				continue
+			}
+			y := 14 + 13*i
+			fmt.Fprintf(&b, `<rect x="%d" y="%d" width="12" height="8" rx="2" fill="%s"/>`+"\n", lx, y-6, SlotColor(cat+1))
+			fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="10" fill="%s">category %d</text>`+"\n", lx+16, y+2, inkSoft, cat)
+			i++
+		}
+	}
+
+	// Time ticks.
+	for _, tick := range linTicks(res.FirstBook, res.LastEvent, 8) {
+		tx := x(tick)
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%d" stroke="%s" stroke-width="1"/>`+"\n",
+			tx, topPad-4, tx, height-30, gridColor)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" font-size="10" fill="%s" text-anchor="middle">%s</text>`+"\n",
+			tx, height-16, inkSoft, esc(formatTick(tick)))
+	}
+	fmt.Fprintf(&b, `<text x="%.1f" y="%d" font-size="11" fill="%s" text-anchor="middle">time [s]</text>`+"\n",
+		float64(leftPad)+plotW/2, height-2, inkSoft)
+
+	// Group tasks per VM.
+	tasksOf := make([][]wf.TaskID, len(res.VMs))
+	for t := range res.Tasks {
+		vm := s.TaskVM[t]
+		if vm >= 0 && vm < len(tasksOf) {
+			tasksOf[vm] = append(tasksOf[vm], wf.TaskID(t))
+		}
+	}
+
+	for vmIdx, vm := range res.VMs {
+		y := float64(topPad + vmIdx*(rowH+rowGap))
+		color := SlotColor(vm.Cat + 1)
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" font-size="10" fill="%s" text-anchor="end">vm%d</text>`+"\n",
+			leftPad-8, y+rowH/2+3, inkMain, vmIdx)
+		// Boot sliver in muted ink.
+		if vm.Start > vm.Book {
+			fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%d" fill="%s" opacity="0.35"><title>vm%d boot: %.1f–%.1f s</title></rect>`+"\n",
+				x(vm.Book), y+4, x(vm.Start)-x(vm.Book), rowH-8, inkMuted, vmIdx, vm.Book, vm.Start)
+		}
+		for _, t := range tasksOf[vmIdx] {
+			tt := res.Tasks[t]
+			name := w.Task(t).Name
+			// Staging wash at ~12% opacity (the area-fill rule).
+			if tt.ComputeStart > tt.StageStart {
+				fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%d" fill="%s" opacity="0.12"><title>%s staging: %.1f–%.1f s</title></rect>`+"\n",
+					x(tt.StageStart), y, x(tt.ComputeStart)-x(tt.StageStart), rowH, color, esc(name), tt.StageStart, tt.ComputeStart)
+			}
+			// Compute bar: rounded data end (right), square start, and
+			// a 2px surface gap courtesy of per-bar spacing in time.
+			bw := x(tt.Finish) - x(tt.ComputeStart)
+			if bw < 1 {
+				bw = 1
+			}
+			fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%d" rx="2" fill="%s"><title>%s: compute %.1f–%.1f s on vm%d (cat %d)</title></rect>`+"\n",
+				x(tt.ComputeStart), y, bw, rowH, color, esc(name), tt.ComputeStart, tt.Finish, vmIdx, vm.Cat)
+		}
+	}
+	b.WriteString("</svg>\n")
+	_, err := io.WriteString(out, b.String())
+	return err
+}

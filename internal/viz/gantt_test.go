@@ -1,0 +1,61 @@
+package viz
+
+import (
+	"encoding/xml"
+	"strings"
+	"testing"
+
+	"budgetwf/internal/platform"
+	"budgetwf/internal/sched"
+	"budgetwf/internal/sim"
+	"budgetwf/internal/wfgen"
+)
+
+func TestRenderGanttSVG(t *testing.T) {
+	p := platform.Default()
+	w := wfgen.MustGenerate(wfgen.Montage, 30, 0).WithSigmaRatio(0.5)
+	s, err := sched.HeftBudg(w, p, 0.03)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.RunDeterministic(w, p, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := RenderGanttSVG(&b, w, s, res, "Gantt — montage"); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	dec := xml.NewDecoder(strings.NewReader(out))
+	for {
+		if _, err := dec.Token(); err != nil {
+			if err.Error() == "EOF" {
+				break
+			}
+			t.Fatalf("invalid XML: %v", err)
+		}
+	}
+	for _, want := range []string{"vm0", "makespan", "time [s]", "compute", "<title>"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("gantt missing %q", want)
+		}
+	}
+	// One compute bar per task.
+	if n := strings.Count(out, ": compute "); n != w.NumTasks() {
+		t.Errorf("%d compute bars for %d tasks", n, w.NumTasks())
+	}
+	// Task names never wear the bar color as text: row labels are ink.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "<text") && strings.Contains(line, SlotColor(1)) {
+			t.Errorf("text wears a category color: %s", line)
+		}
+	}
+}
+
+func TestRenderGanttSVGEmpty(t *testing.T) {
+	var b strings.Builder
+	if err := RenderGanttSVG(&b, nil, nil, &sim.Result{}, "x"); err == nil {
+		t.Error("empty result accepted")
+	}
+}

@@ -1,0 +1,399 @@
+// Package viz renders the experiment sweeps as static SVG line charts
+// — actual figure images to set beside the paper's, generated from the
+// same data as the CSV tables.
+//
+// The rendering follows a fixed visual contract (one axis, 2px lines
+// with round caps, ≥8px markers with a 2px surface ring, hairline
+// solid gridlines, a legend whenever two or more series are shown,
+// selective direct end-labels, text in ink tokens rather than series
+// colors). Series colors come from a fixed colorblind-validated
+// categorical palette, assigned to algorithms by identity — the same
+// algorithm wears the same hue in every figure. Slots whose contrast
+// against the light surface is below 3:1 rely on the direct labels and
+// on the CSV table view that accompanies every figure (the "relief
+// rule"). Markers carry native SVG <title> tooltips.
+package viz
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Visual tokens: the light-mode surface, ink and palette values of the
+// validated reference palette (dataviz skill, references/palette.md).
+const (
+	surface   = "#fcfcfb"
+	inkMain   = "#0b0b0b"
+	inkSoft   = "#52514e"
+	inkMuted  = "#8a8983"
+	gridColor = "#e9e8e4" // one step off the surface, hairline
+)
+
+// palette is the fixed categorical order; adjacent-pair CVD separation
+// was validated with the skill's validator for every figure's subset.
+var palette = []string{
+	"#2a78d6", // 1 blue
+	"#1baf7a", // 2 aqua
+	"#eda100", // 3 yellow
+	"#008300", // 4 green
+	"#4a3aa7", // 5 violet
+	"#e34948", // 6 red
+	"#e87ba4", // 7 magenta
+	"#eb6834", // 8 orange
+}
+
+// SlotColor returns the palette color of a 1-based categorical slot.
+func SlotColor(slot int) string {
+	if slot < 1 || slot > len(palette) {
+		return inkMuted
+	}
+	return palette[slot-1]
+}
+
+// Point is one (x, y) observation with an optional spread (σ).
+type Point struct {
+	X, Y   float64
+	Spread float64
+}
+
+// Series is one line: a named entity with a fixed palette slot.
+type Series struct {
+	Name   string
+	Slot   int // 1-based palette slot; identity-stable across figures
+	Points []Point
+}
+
+// RefPoint is a reference annotation (the paper's min_cost dot),
+// rendered as an open diamond in ink, never in a series color.
+type RefPoint struct {
+	Label string
+	X, Y  float64
+}
+
+// LineChart is a single-axis line figure.
+type LineChart struct {
+	Title    string
+	Subtitle string
+	XLabel   string
+	YLabel   string
+	Series   []Series
+	Refs     []RefPoint
+	// LogY switches the y axis to log10 — used for makespan panels
+	// where the min_cost reference sits an order of magnitude above
+	// the curves.
+	LogY bool
+}
+
+// geometry
+const (
+	chartW       = 640
+	chartH       = 400
+	marginLeft   = 64
+	marginRight  = 130
+	marginTop    = 56
+	marginBottom = 48
+)
+
+type scale struct {
+	min, max float64
+	log      bool
+	pixels   float64
+	offset   float64
+	invert   bool
+}
+
+func (s scale) pos(v float64) float64 {
+	lo, hi, x := s.min, s.max, v
+	if s.log {
+		lo, hi, x = math.Log10(s.min), math.Log10(s.max), math.Log10(v)
+	}
+	frac := 0.0
+	if hi > lo {
+		frac = (x - lo) / (hi - lo)
+	}
+	if s.invert {
+		frac = 1 - frac
+	}
+	return s.offset + frac*s.pixels
+}
+
+// RenderSVG writes the chart as a standalone SVG document.
+func (c *LineChart) RenderSVG(w io.Writer) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d" font-family="system-ui, -apple-system, 'Segoe UI', sans-serif">`+"\n",
+		chartW, chartH, chartW, chartH)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="%s"/>`+"\n", chartW, chartH, surface)
+
+	xs, ys, err := c.scales()
+	if err != nil {
+		return err
+	}
+
+	// Title and subtitle.
+	fmt.Fprintf(&b, `<text x="%d" y="20" font-size="14" font-weight="600" fill="%s">%s</text>`+"\n",
+		marginLeft, inkMain, esc(c.Title))
+	if c.Subtitle != "" {
+		fmt.Fprintf(&b, `<text x="%d" y="36" font-size="11" fill="%s">%s</text>`+"\n",
+			marginLeft, inkSoft, esc(c.Subtitle))
+	}
+
+	// Legend (always present for ≥2 series), one row at the top right.
+	if len(c.Series) >= 2 {
+		c.legend(&b)
+	}
+
+	// Gridlines + y ticks.
+	for _, tick := range yTicks(ys, c.LogY) {
+		y := ys.pos(tick)
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="%s" stroke-width="1"/>`+"\n",
+			marginLeft, y, chartW-marginRight, y, gridColor)
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" font-size="10" fill="%s" text-anchor="end">%s</text>`+"\n",
+			marginLeft-6, y+3, inkSoft, esc(formatTick(tick)))
+	}
+	// X ticks.
+	for _, tick := range linTicks(xs.min, xs.max, 6) {
+		x := xs.pos(tick)
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%d" stroke="%s" stroke-width="1"/>`+"\n",
+			x, chartH-marginBottom, x, chartH-marginBottom+4, gridColor)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" font-size="10" fill="%s" text-anchor="middle">%s</text>`+"\n",
+			x, chartH-marginBottom+16, inkSoft, esc(formatTick(tick)))
+	}
+	// Axis labels.
+	fmt.Fprintf(&b, `<text x="%.1f" y="%d" font-size="11" fill="%s" text-anchor="middle">%s</text>`+"\n",
+		float64(marginLeft)+xs.pixels/2, chartH-10, inkSoft, esc(c.XLabel))
+	fmt.Fprintf(&b, `<text x="14" y="%.1f" font-size="11" fill="%s" text-anchor="middle" transform="rotate(-90 14 %.1f)">%s</text>`+"\n",
+		float64(marginTop)+ys.pixels/2, inkSoft, float64(marginTop)+ys.pixels/2, esc(c.YLabel))
+
+	// Baseline axis (hairline).
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s" stroke-width="1"/>`+"\n",
+		marginLeft, chartH-marginBottom, chartW-marginRight, chartH-marginBottom, inkMuted)
+
+	// Reference annotations: open diamond + label in ink.
+	for _, r := range c.Refs {
+		x, y := xs.pos(r.X), ys.pos(r.Y)
+		fmt.Fprintf(&b, `<path d="M %.1f %.1f l 6 6 l -6 6 l -6 -6 z" fill="%s" stroke="%s" stroke-width="1.5">`+"\n",
+			x, y-6, surface, inkSoft)
+		fmt.Fprintf(&b, `<title>%s: (%s, %s)</title></path>`+"\n", esc(r.Label), esc(formatTick(r.X)), esc(formatTick(r.Y)))
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-size="10" fill="%s">%s</text>`+"\n",
+			x+10, y+3, inkSoft, esc(r.Label))
+	}
+
+	// Series: 2px round-capped lines, r=4 markers with a 2px surface
+	// ring, native <title> tooltips.
+	for _, s := range c.Series {
+		color := SlotColor(s.Slot)
+		var path strings.Builder
+		for i, p := range s.Points {
+			cmd := "L"
+			if i == 0 {
+				cmd = "M"
+			}
+			fmt.Fprintf(&path, "%s %.1f %.1f ", cmd, xs.pos(p.X), ys.pos(p.Y))
+		}
+		fmt.Fprintf(&b, `<path d="%s" fill="none" stroke="%s" stroke-width="2" stroke-linecap="round" stroke-linejoin="round"/>`+"\n",
+			strings.TrimSpace(path.String()), color)
+		for _, p := range s.Points {
+			x, y := xs.pos(p.X), ys.pos(p.Y)
+			fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="6" fill="%s"/>`+"\n", x, y, surface)
+			fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="4" fill="%s">`, x, y, color)
+			fmt.Fprintf(&b, `<title>%s — x %s: %s`, esc(s.Name), esc(formatTick(p.X)), esc(formatTick(p.Y)))
+			if p.Spread > 0 {
+				fmt.Fprintf(&b, " ± %s", esc(formatTick(p.Spread)))
+			}
+			b.WriteString("</title></circle>\n")
+		}
+	}
+
+	// Selective direct end-labels: only when they don't collide
+	// (≥ 13px apart); the legend carries identity otherwise.
+	c.endLabels(&b, xs, ys)
+
+	b.WriteString("</svg>\n")
+	_, err = io.WriteString(w, b.String())
+	return err
+}
+
+// scales derives the x and y scales from the data.
+func (c *LineChart) scales() (xs, ys scale, err error) {
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	consider := func(x, y float64) {
+		xmin, xmax = math.Min(xmin, x), math.Max(xmax, x)
+		ymin, ymax = math.Min(ymin, y), math.Max(ymax, y)
+	}
+	n := 0
+	for _, s := range c.Series {
+		for _, p := range s.Points {
+			if math.IsNaN(p.X) || math.IsNaN(p.Y) || math.IsInf(p.X, 0) || math.IsInf(p.Y, 0) {
+				return xs, ys, fmt.Errorf("viz: non-finite point in series %q", s.Name)
+			}
+			consider(p.X, p.Y)
+			n++
+		}
+	}
+	for _, r := range c.Refs {
+		consider(r.X, r.Y)
+	}
+	if n == 0 {
+		return xs, ys, fmt.Errorf("viz: chart %q has no points", c.Title)
+	}
+	if c.LogY {
+		if ymin <= 0 {
+			return xs, ys, fmt.Errorf("viz: log scale with non-positive value %v", ymin)
+		}
+		ymin, ymax = ymin/1.2, ymax*1.2
+	} else {
+		ymin = math.Min(0, ymin)
+		ymax *= 1.08
+		if ymax == ymin {
+			ymax = ymin + 1
+		}
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	xs = scale{min: xmin, max: xmax, pixels: float64(chartW - marginLeft - marginRight), offset: marginLeft}
+	ys = scale{min: ymin, max: ymax, log: c.LogY, pixels: float64(chartH - marginTop - marginBottom), offset: marginTop, invert: true}
+	return xs, ys, nil
+}
+
+func (c *LineChart) legend(b *strings.Builder) {
+	// Swatch rows stacked in the top-right corner.
+	x := chartW - marginRight - 8
+	for i := len(c.Series) - 1; i >= 0; i-- {
+		s := c.Series[i]
+		y := 14 + 13*i
+		fmt.Fprintf(b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s" stroke-width="2" stroke-linecap="round"/>`+"\n",
+			x, y, x+14, y, SlotColor(s.Slot))
+		fmt.Fprintf(b, `<text x="%d" y="%d" font-size="10" fill="%s">%s</text>`+"\n",
+			x+18, y+3, inkSoft, esc(s.Name))
+	}
+}
+
+// endLabels writes direct labels at line ends when vertical spacing
+// allows, skipping colliding ones (the legend remains authoritative).
+func (c *LineChart) endLabels(b *strings.Builder, xs, ys scale) {
+	type lbl struct {
+		name string
+		y    float64
+		slot int
+	}
+	var labels []lbl
+	for _, s := range c.Series {
+		if len(s.Points) == 0 {
+			continue
+		}
+		last := s.Points[len(s.Points)-1]
+		labels = append(labels, lbl{name: s.Name, y: ys.pos(last.Y), slot: s.Slot})
+	}
+	sort.Slice(labels, func(i, j int) bool { return labels[i].y < labels[j].y })
+	x := float64(chartW-marginRight) + 10
+	prevY := math.Inf(-1)
+	for _, l := range labels {
+		if l.y-prevY < 13 {
+			continue // collision: the legend carries this one
+		}
+		prevY = l.y
+		// Identity comes from a colored key beside the text, not from
+		// coloring the text itself.
+		fmt.Fprintf(b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s" stroke-width="2" stroke-linecap="round"/>`+"\n",
+			x-6, l.y, x-1, l.y, SlotColor(l.slot))
+		fmt.Fprintf(b, `<text x="%.1f" y="%.1f" font-size="10" fill="%s">%s</text>`+"\n",
+			x+2, l.y+3, inkSoft, esc(l.name))
+	}
+}
+
+// yTicks picks tick values for the y scale.
+func yTicks(s scale, logY bool) []float64 {
+	if !logY {
+		return linTicks(s.min, s.max, 5)
+	}
+	var out []float64
+	lo := math.Floor(math.Log10(s.min))
+	hi := math.Ceil(math.Log10(s.max))
+	for e := lo; e <= hi; e++ {
+		for _, m := range []float64{1, 2, 5} {
+			v := m * math.Pow(10, e)
+			if v >= s.min && v <= s.max {
+				out = append(out, v)
+			}
+		}
+	}
+	return out
+}
+
+// linTicks returns ≤ n clean ticks (1/2/5 × 10^k) spanning [lo, hi].
+func linTicks(lo, hi float64, n int) []float64 {
+	if hi <= lo || n < 2 {
+		return []float64{lo}
+	}
+	raw := (hi - lo) / float64(n)
+	mag := math.Pow(10, math.Floor(math.Log10(raw)))
+	var step float64
+	switch {
+	case raw/mag < 1.5:
+		step = mag
+	case raw/mag < 3.5:
+		step = 2 * mag
+	case raw/mag < 7.5:
+		step = 5 * mag
+	default:
+		step = 10 * mag
+	}
+	var out []float64
+	for v := math.Ceil(lo/step) * step; v <= hi+step/1e9; v += step {
+		out = append(out, v)
+	}
+	return out
+}
+
+// formatTick renders clean tick values: thousands get commas, small
+// values keep significant decimals.
+func formatTick(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case av >= 10000:
+		return comma(fmt.Sprintf("%.0f", v))
+	case av >= 100:
+		return strings.TrimSuffix(strings.TrimRight(fmt.Sprintf("%.1f", v), "0"), ".")
+	case av >= 1:
+		return strings.TrimSuffix(strings.TrimRight(fmt.Sprintf("%.2f", v), "0"), ".")
+	case av == 0:
+		return "0"
+	default:
+		return strings.TrimSuffix(strings.TrimRight(fmt.Sprintf("%.4f", v), "0"), ".")
+	}
+}
+
+// comma inserts thousands separators into a plain integer string.
+func comma(s string) string {
+	neg := strings.HasPrefix(s, "-")
+	if neg {
+		s = s[1:]
+	}
+	var b strings.Builder
+	pre := len(s) % 3
+	if pre > 0 {
+		b.WriteString(s[:pre])
+	}
+	for i := pre; i < len(s); i += 3 {
+		if b.Len() > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(s[i : i+3])
+	}
+	out := b.String()
+	if neg {
+		return "-" + out
+	}
+	return out
+}
+
+// esc escapes XML-special characters in text content.
+func esc(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

@@ -1,0 +1,181 @@
+package wf
+
+import (
+	"fmt"
+	"sort"
+)
+
+// TopoOrder returns the task IDs in a topological order (Kahn's
+// algorithm). Ties are broken by ascending task ID so that the order is
+// deterministic. It returns an error if the graph has a cycle.
+func (w *Workflow) TopoOrder() ([]TaskID, error) {
+	n := len(w.tasks)
+	indeg := make([]int, n)
+	for i := range w.tasks {
+		indeg[i] = len(w.pred[i])
+	}
+	// Min-heap behaviour via sorted frontier; n is small (≤ thousands),
+	// and determinism is worth more than the log factor here.
+	frontier := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		if indeg[i] == 0 {
+			frontier = append(frontier, i)
+		}
+	}
+	order := make([]TaskID, 0, n)
+	for len(frontier) > 0 {
+		sort.Ints(frontier)
+		next := frontier[0]
+		frontier = frontier[1:]
+		order = append(order, TaskID(next))
+		for _, e := range w.succ[next] {
+			to := int(w.edges[e].To)
+			indeg[to]--
+			if indeg[to] == 0 {
+				frontier = append(frontier, to)
+			}
+		}
+	}
+	if len(order) != n {
+		return nil, fmt.Errorf("wf: workflow %q has a cycle (%d of %d tasks ordered)", w.Name, len(order), n)
+	}
+	return order, nil
+}
+
+// Levels partitions tasks into levels of independent tasks, as used by
+// BDT: the level of a task is the length (in hops) of the longest path
+// from any entry task to it. Tasks within one level are pairwise
+// independent. It returns the per-task level and the total number of
+// levels, or an error if the graph has a cycle.
+func (w *Workflow) Levels() (level []int, numLevels int, err error) {
+	order, err := w.TopoOrder()
+	if err != nil {
+		return nil, 0, err
+	}
+	level = make([]int, len(w.tasks))
+	maxLevel := -1
+	for _, id := range order {
+		l := 0
+		for _, e := range w.pred[id] {
+			from := int(w.edges[e].From)
+			if level[from]+1 > l {
+				l = level[from] + 1
+			}
+		}
+		level[id] = l
+		if l > maxLevel {
+			maxLevel = l
+		}
+	}
+	return level, maxLevel + 1, nil
+}
+
+// BottomLevels computes the HEFT upward rank of every task:
+//
+//	rank(T) = exec(T) + max over successors S of (comm(T,S) + rank(S))
+//
+// where exec and comm are caller-provided estimators (typically the
+// conservative weight divided by the mean speed, and the edge size
+// divided by the bandwidth, per §IV-A). Exit tasks have
+// rank = exec(T). It returns an error if the graph has a cycle.
+func (w *Workflow) BottomLevels(exec func(Task) float64, comm func(Edge) float64) ([]float64, error) {
+	order, err := w.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	rank := make([]float64, len(w.tasks))
+	for i := len(order) - 1; i >= 0; i-- {
+		id := order[i]
+		best := 0.0
+		for _, e := range w.succ[id] {
+			edge := w.edges[e]
+			v := comm(edge) + rank[edge.To]
+			if v > best {
+				best = v
+			}
+		}
+		rank[id] = exec(w.tasks[id]) + best
+	}
+	return rank, nil
+}
+
+// TopLevels computes the symmetric downward rank (longest path from an
+// entry to T, excluding T's own execution), used by earliest-start-time
+// estimates and by some analyses.
+func (w *Workflow) TopLevels(exec func(Task) float64, comm func(Edge) float64) ([]float64, error) {
+	order, err := w.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	rank := make([]float64, len(w.tasks))
+	for _, id := range order {
+		best := 0.0
+		for _, e := range w.pred[id] {
+			edge := w.edges[e]
+			v := rank[edge.From] + exec(w.tasks[edge.From]) + comm(edge)
+			if v > best {
+				best = v
+			}
+		}
+		rank[id] = best
+	}
+	return rank, nil
+}
+
+// CriticalPathLength returns the length of the longest path through the
+// DAG under the given estimators (entry to exit, inclusive of task
+// executions and inter-task communications).
+func (w *Workflow) CriticalPathLength(exec func(Task) float64, comm func(Edge) float64) (float64, error) {
+	ranks, err := w.BottomLevels(exec, comm)
+	if err != nil {
+		return 0, err
+	}
+	best := 0.0
+	for _, r := range ranks {
+		if r > best {
+			best = r
+		}
+	}
+	return best, nil
+}
+
+// RankOrder returns task IDs sorted by decreasing value of rank, with
+// ties broken by ascending ID. HEFT processes tasks in this order;
+// because rank(T) > rank(S) whenever T precedes S (for positive
+// estimates), the order is also topological.
+func RankOrder(rank []float64) []TaskID {
+	ids := make([]TaskID, len(rank))
+	for i := range ids {
+		ids[i] = TaskID(i)
+	}
+	sort.SliceStable(ids, func(a, b int) bool {
+		ra, rb := rank[ids[a]], rank[ids[b]]
+		if ra != rb {
+			return ra > rb
+		}
+		return ids[a] < ids[b]
+	})
+	return ids
+}
+
+// Validate checks structural integrity of the workflow: at least one
+// task, acyclicity, valid weight distributions, and non-negative
+// external I/O volumes. Edge endpoint and size validity is enforced at
+// AddEdge time.
+func (w *Workflow) Validate() error {
+	if len(w.tasks) == 0 {
+		return fmt.Errorf("wf: workflow %q has no tasks", w.Name)
+	}
+	for _, t := range w.tasks {
+		if err := t.Weight.Validate(); err != nil {
+			return fmt.Errorf("wf: task %d (%s): %w", t.ID, t.Name, err)
+		}
+		if t.ExternalIn < 0 || t.ExternalOut < 0 {
+			return fmt.Errorf("wf: task %d (%s): negative external I/O", t.ID, t.Name)
+		}
+	}
+	if _, err := w.TopoOrder(); err != nil {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,171 @@
+package wf
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"os"
+
+	"budgetwf/internal/stoch"
+)
+
+// The Pegasus DAX v3 format, the lingua franca of the workflow
+// community and the native output of the Pegasus workflow generator
+// the paper's benchmarks come from. Only the subset the scheduling
+// model needs is parsed: jobs with runtimes, file usages with sizes
+// and directions, and explicit child/parent dependencies.
+type daxAdag struct {
+	XMLName  xml.Name   `xml:"adag"`
+	Name     string     `xml:"name,attr"`
+	Jobs     []daxJob   `xml:"job"`
+	Children []daxChild `xml:"child"`
+}
+
+type daxJob struct {
+	ID      string    `xml:"id,attr"`
+	Name    string    `xml:"name,attr"`
+	Runtime float64   `xml:"runtime,attr"`
+	Uses    []daxUses `xml:"uses"`
+}
+
+type daxUses struct {
+	File string  `xml:"file,attr"`
+	Link string  `xml:"link,attr"` // "input" or "output"
+	Size float64 `xml:"size,attr"`
+}
+
+type daxChild struct {
+	Ref     string      `xml:"ref,attr"`
+	Parents []daxParent `xml:"parent"`
+}
+
+type daxParent struct {
+	Ref string `xml:"ref,attr"`
+}
+
+// daxRefSpeed converts DAX runtimes (seconds on the reference machine
+// the traces were profiled on) into instruction counts: the same
+// 1 Ginstr/s convention as internal/wfgen.
+const daxRefSpeed = 1e9
+
+// ReadDAX parses a Pegasus DAX v3 document into a Workflow:
+//
+//   - each <job> becomes a task whose weight mean is runtime × 1e9
+//     instructions (σ is zero; apply WithSigmaRatio afterwards, as
+//     with generated workflows);
+//   - each <child>/<parent> pair becomes an edge whose size is the
+//     total size of files the parent produces and the child consumes;
+//   - input files produced by no job count as the consumer's external
+//     input, and output files consumed by no job as the producer's
+//     external output.
+func ReadDAX(r io.Reader) (*Workflow, error) {
+	var adag daxAdag
+	dec := xml.NewDecoder(r)
+	if err := dec.Decode(&adag); err != nil {
+		return nil, fmt.Errorf("wf: parsing DAX: %w", err)
+	}
+	if len(adag.Jobs) == 0 {
+		return nil, fmt.Errorf("wf: DAX %q contains no jobs", adag.Name)
+	}
+	w := New(adag.Name)
+
+	byRef := make(map[string]TaskID, len(adag.Jobs))
+	producers := make(map[string]TaskID) // file → producing task
+	consumed := make(map[string]bool)    // file has at least one consumer
+	for _, j := range adag.Jobs {
+		if j.Runtime <= 0 {
+			return nil, fmt.Errorf("wf: DAX job %s (%s) has non-positive runtime %v", j.ID, j.Name, j.Runtime)
+		}
+		if _, dup := byRef[j.ID]; dup {
+			return nil, fmt.Errorf("wf: DAX job id %s duplicated", j.ID)
+		}
+		name := j.Name
+		if name == "" {
+			name = j.ID
+		}
+		id := w.AddTask(name, stoch.Dist{Mean: j.Runtime * daxRefSpeed})
+		byRef[j.ID] = id
+		for _, u := range j.Uses {
+			if u.Size < 0 {
+				return nil, fmt.Errorf("wf: DAX job %s uses file %q with negative size", j.ID, u.File)
+			}
+			switch u.Link {
+			case "output":
+				producers[u.File] = id
+			case "input":
+				consumed[u.File] = true
+			}
+		}
+	}
+
+	// Dependencies with data sizes from shared files.
+	for _, c := range adag.Children {
+		child, ok := byRef[c.Ref]
+		if !ok {
+			return nil, fmt.Errorf("wf: DAX child ref %q unknown", c.Ref)
+		}
+		for _, pr := range c.Parents {
+			parent, ok := byRef[pr.Ref]
+			if !ok {
+				return nil, fmt.Errorf("wf: DAX parent ref %q unknown", pr.Ref)
+			}
+			size := 0.0
+			for _, u := range jobByID(adag.Jobs, c.Ref).Uses {
+				if u.Link != "input" {
+					continue
+				}
+				if producers[u.File] == parent {
+					size += u.Size
+				}
+			}
+			if err := w.AddEdge(parent, child, size); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// External I/O: inputs nobody produces, outputs nobody consumes.
+	for _, j := range adag.Jobs {
+		id := byRef[j.ID]
+		extIn, extOut := 0.0, 0.0
+		for _, u := range j.Uses {
+			switch u.Link {
+			case "input":
+				if _, produced := producers[u.File]; !produced {
+					extIn += u.Size
+				}
+			case "output":
+				if !consumed[u.File] {
+					extOut += u.Size
+				}
+			}
+		}
+		if err := w.SetExternalIO(id, extIn, extOut); err != nil {
+			return nil, err
+		}
+	}
+
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+func jobByID(jobs []daxJob, id string) daxJob {
+	for _, j := range jobs {
+		if j.ID == id {
+			return j
+		}
+	}
+	return daxJob{}
+}
+
+// LoadDAX reads a Pegasus DAX file from disk.
+func LoadDAX(path string) (*Workflow, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadDAX(f)
+}

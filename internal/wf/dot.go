@@ -1,0 +1,64 @@
+package wf
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteDOT renders the workflow in Graphviz DOT format. Node labels
+// carry the task name and its mean runtime on a 1e9-instructions/s
+// reference machine; edge labels carry payload sizes. Entry tasks with
+// external input and exit tasks with external output are connected to
+// a "datacenter" node, visualizing the model of §III-B.
+func (w *Workflow) WriteDOT(out io.Writer) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", w.Name)
+	b.WriteString("  rankdir=TB;\n  node [shape=box, style=rounded];\n")
+	hasExternal := false
+	for _, t := range w.tasks {
+		fmt.Fprintf(&b, "  t%d [label=\"%s\\n%.1fs ±%.0f%%\"];\n",
+			t.ID, t.Name, t.Weight.Mean/1e9, safePct(t.Weight.Sigma, t.Weight.Mean))
+		if t.ExternalIn > 0 || t.ExternalOut > 0 {
+			hasExternal = true
+		}
+	}
+	if hasExternal {
+		b.WriteString("  dc [label=\"datacenter\", shape=cylinder];\n")
+	}
+	for _, t := range w.tasks {
+		if t.ExternalIn > 0 {
+			fmt.Fprintf(&b, "  dc -> t%d [label=\"%s\", style=dashed];\n", t.ID, humanBytes(t.ExternalIn))
+		}
+		if t.ExternalOut > 0 {
+			fmt.Fprintf(&b, "  t%d -> dc [label=\"%s\", style=dashed];\n", t.ID, humanBytes(t.ExternalOut))
+		}
+	}
+	for _, e := range w.edges {
+		fmt.Fprintf(&b, "  t%d -> t%d [label=\"%s\"];\n", e.From, e.To, humanBytes(e.Size))
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(out, b.String())
+	return err
+}
+
+func safePct(sigma, mean float64) float64 {
+	if mean == 0 {
+		return 0
+	}
+	return sigma / mean * 100
+}
+
+// humanBytes formats a byte count compactly (B, KB, MB, GB).
+func humanBytes(v float64) string {
+	switch {
+	case v >= 1e9:
+		return fmt.Sprintf("%.1fGB", v/1e9)
+	case v >= 1e6:
+		return fmt.Sprintf("%.1fMB", v/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%.1fKB", v/1e3)
+	default:
+		return fmt.Sprintf("%.0fB", v)
+	}
+}

@@ -1,0 +1,64 @@
+package wf
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWriteDOT(t *testing.T) {
+	w, ids := diamond(t)
+	if err := w.SetExternalIO(ids[0], 2e9, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.SetExternalIO(ids[3], 0, 500e6); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := w.WriteDOT(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`digraph "diamond"`,
+		"t0 ->", "-> t3",
+		"dc [label=\"datacenter\"",
+		"dc -> t0", "t3 -> dc",
+		"2.0GB", "500.0MB",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+	// One node line per task.
+	for i := 0; i < 4; i++ {
+		if !strings.Contains(out, "t"+string(rune('0'+i))+" [label=") {
+			t.Errorf("missing node t%d", i)
+		}
+	}
+}
+
+func TestWriteDOTNoExternal(t *testing.T) {
+	w, _ := diamond(t)
+	var b strings.Builder
+	if err := w.WriteDOT(&b); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b.String(), "datacenter") {
+		t.Error("datacenter node emitted for a workflow without external I/O")
+	}
+}
+
+func TestHumanBytes(t *testing.T) {
+	cases := map[float64]string{
+		0:      "0B",
+		512:    "512B",
+		2048:   "2.0KB",
+		3.5e6:  "3.5MB",
+		1.25e9: "1.2GB",
+	}
+	for in, want := range cases {
+		if got := humanBytes(in); got != want {
+			t.Errorf("humanBytes(%v) = %q, want %q", in, got, want)
+		}
+	}
+}

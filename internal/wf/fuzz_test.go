@@ -1,0 +1,71 @@
+package wf
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadJSON: the workflow JSON parser must never panic, and
+// anything it accepts must be a valid workflow that re-serializes and
+// re-parses to the same shape.
+func FuzzReadJSON(f *testing.F) {
+	f.Add(`{"name":"x","tasks":[{"name":"a","mean":1}],"edges":[]}`)
+	f.Add(`{"name":"d","tasks":[{"name":"a","mean":5,"sigma":1,"externalIn":10},
+		{"name":"b","mean":3}],"edges":[{"from":0,"to":1,"size":100}]}`)
+	f.Add(`{"name":"","tasks":[],"edges":[]}`)
+	f.Add(`{"tasks":[{"name":"a","mean":1e308}],"edges":[]}`)
+	f.Add(`not json at all`)
+	f.Add(`{"name":"c","tasks":[{"name":"a","mean":1},{"name":"b","mean":1}],
+		"edges":[{"from":0,"to":1,"size":1},{"from":1,"to":0,"size":1}]}`)
+	f.Fuzz(func(t *testing.T, doc string) {
+		w, err := ReadJSON(strings.NewReader(doc))
+		if err != nil {
+			return
+		}
+		// Accepted documents must satisfy all invariants.
+		if err := w.Validate(); err != nil {
+			t.Fatalf("accepted workflow fails validation: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := w.WriteJSON(&buf); err != nil {
+			t.Fatalf("re-serialization failed: %v", err)
+		}
+		again, err := ReadJSON(&buf)
+		if err != nil {
+			t.Fatalf("round-trip re-parse failed: %v", err)
+		}
+		if again.NumTasks() != w.NumTasks() || again.NumEdges() != w.NumEdges() {
+			t.Fatalf("round trip changed shape: %d/%d → %d/%d",
+				w.NumTasks(), w.NumEdges(), again.NumTasks(), again.NumEdges())
+		}
+	})
+}
+
+// FuzzReadDAX: the DAX parser must never panic, and accepted
+// workflows must validate.
+func FuzzReadDAX(f *testing.F) {
+	f.Add(sampleDAX)
+	f.Add(`<adag name="x"><job id="a" name="j" runtime="1"/></adag>`)
+	f.Add(`<adag name="x"><job id="a" name="j" runtime="1">
+		<uses file="f" link="output" size="10"/></job>
+		<job id="b" name="k" runtime="2"><uses file="f" link="input" size="10"/></job>
+		<child ref="b"><parent ref="a"/></child></adag>`)
+	f.Add(`<adag>`)
+	f.Add(`<html><body>nope</body></html>`)
+	f.Add(`<adag name="x"><job id="a" name="j" runtime="-1"/></adag>`)
+	f.Fuzz(func(t *testing.T, doc string) {
+		w, err := ReadDAX(strings.NewReader(doc))
+		if err != nil {
+			return
+		}
+		if err := w.Validate(); err != nil {
+			t.Fatalf("accepted DAX fails validation: %v", err)
+		}
+		for _, task := range w.Tasks() {
+			if task.Weight.Mean <= 0 {
+				t.Fatalf("accepted DAX task with non-positive weight %v", task.Weight.Mean)
+			}
+		}
+	})
+}

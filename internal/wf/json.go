@@ -1,0 +1,103 @@
+package wf
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"budgetwf/internal/stoch"
+)
+
+// jsonWorkflow is the on-disk representation, a simplified analogue of
+// the Pegasus DAX format with stochastic weights.
+type jsonWorkflow struct {
+	Name  string     `json:"name"`
+	Tasks []jsonTask `json:"tasks"`
+	Edges []jsonEdge `json:"edges"`
+}
+
+type jsonTask struct {
+	Name        string  `json:"name"`
+	Mean        float64 `json:"mean"`
+	Sigma       float64 `json:"sigma"`
+	ExternalIn  float64 `json:"externalIn,omitempty"`
+	ExternalOut float64 `json:"externalOut,omitempty"`
+}
+
+type jsonEdge struct {
+	From int     `json:"from"`
+	To   int     `json:"to"`
+	Size float64 `json:"size"`
+}
+
+// WriteJSON serializes the workflow to w in a stable, human-readable
+// format. Task order is ID order, edge order is insertion order.
+func (wf *Workflow) WriteJSON(w io.Writer) error {
+	jw := jsonWorkflow{Name: wf.Name}
+	for _, t := range wf.tasks {
+		jw.Tasks = append(jw.Tasks, jsonTask{
+			Name:        t.Name,
+			Mean:        t.Weight.Mean,
+			Sigma:       t.Weight.Sigma,
+			ExternalIn:  t.ExternalIn,
+			ExternalOut: t.ExternalOut,
+		})
+	}
+	for _, e := range wf.edges {
+		jw.Edges = append(jw.Edges, jsonEdge{From: int(e.From), To: int(e.To), Size: e.Size})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(jw)
+}
+
+// ReadJSON parses a workflow previously produced by WriteJSON (or
+// hand-written in the same format) and validates it.
+func ReadJSON(r io.Reader) (*Workflow, error) {
+	var jw jsonWorkflow
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&jw); err != nil {
+		return nil, fmt.Errorf("wf: decoding workflow: %w", err)
+	}
+	out := New(jw.Name)
+	for _, t := range jw.Tasks {
+		id := out.AddTask(t.Name, stoch.Dist{Mean: t.Mean, Sigma: t.Sigma})
+		if err := out.SetExternalIO(id, t.ExternalIn, t.ExternalOut); err != nil {
+			return nil, err
+		}
+	}
+	for _, e := range jw.Edges {
+		if err := out.AddEdge(TaskID(e.From), TaskID(e.To), e.Size); err != nil {
+			return nil, err
+		}
+	}
+	if err := out.Validate(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// SaveFile writes the workflow to the named file.
+func (wf *Workflow) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := wf.WriteJSON(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads and validates a workflow from the named file.
+func LoadFile(path string) (*Workflow, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadJSON(f)
+}

@@ -1,0 +1,74 @@
+package wf
+
+// Metrics summarizes the structural and quantitative properties the
+// scheduling literature characterizes workflows by. They explain the
+// qualitative differences between the benchmark families: MONTAGE is
+// dense and communication-light per edge, CYBERSHAKE is shallow and
+// dominated by external input, LIGO is a collection of short
+// independent blocks.
+type Metrics struct {
+	// Tasks and Edges are the graph's sizes.
+	Tasks, Edges int
+	// Depth is the number of levels (longest path in hops).
+	Depth int
+	// Width is the size of the largest level — an upper bound on
+	// useful parallelism.
+	Width int
+	// LevelWidths is the full per-level task count (the parallelism
+	// profile).
+	LevelWidths []int
+	// EdgeDensity is Edges / Tasks.
+	EdgeDensity float64
+	// CCR is the communication-to-computation ratio: total transfer
+	// time (internal edges plus external I/O over the bandwidth)
+	// divided by total conservative computation time at the given
+	// reference speed. CCR ≪ 1 is compute-bound, CCR ≫ 1 is
+	// transfer-bound.
+	CCR float64
+	// SerialFraction is the conservative work on the longest
+	// (compute-only) path over the total work: Amdahl's bound on how
+	// much parallelism can help.
+	SerialFraction float64
+}
+
+// ComputeMetrics derives the metrics under the given reference speed
+// (instructions/s) and bandwidth (bytes/s).
+func (w *Workflow) ComputeMetrics(refSpeed, bandwidth float64) (Metrics, error) {
+	level, numLevels, err := w.Levels()
+	if err != nil {
+		return Metrics{}, err
+	}
+	m := Metrics{
+		Tasks:       w.NumTasks(),
+		Edges:       w.NumEdges(),
+		Depth:       numLevels,
+		LevelWidths: make([]int, numLevels),
+	}
+	for _, l := range level {
+		m.LevelWidths[l]++
+	}
+	for _, c := range m.LevelWidths {
+		if c > m.Width {
+			m.Width = c
+		}
+	}
+	if m.Tasks > 0 {
+		m.EdgeDensity = float64(m.Edges) / float64(m.Tasks)
+	}
+
+	commTime := (w.TotalDataSize() + w.ExternalInSize() + w.ExternalOutSize()) / bandwidth
+	compTime := w.TotalConservativeWork() / refSpeed
+	if compTime > 0 {
+		m.CCR = commTime / compTime
+	}
+
+	exec := func(t Task) float64 { return t.Weight.Conservative() / refSpeed }
+	cp, err := w.CriticalPathLength(exec, func(Edge) float64 { return 0 })
+	if err != nil {
+		return Metrics{}, err
+	}
+	if compTime > 0 {
+		m.SerialFraction = cp / compTime
+	}
+	return m, nil
+}

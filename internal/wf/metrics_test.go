@@ -1,0 +1,50 @@
+package wf
+
+import (
+	"math"
+	"testing"
+)
+
+func TestComputeMetricsDiamond(t *testing.T) {
+	w, _ := diamond(t) // weights 10,20,30,40; edges 100,200,300,400
+	m, err := w.ComputeMetrics(1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Tasks != 4 || m.Edges != 4 {
+		t.Errorf("sizes %d/%d", m.Tasks, m.Edges)
+	}
+	if m.Depth != 3 || m.Width != 2 {
+		t.Errorf("depth %d width %d", m.Depth, m.Width)
+	}
+	wantWidths := []int{1, 2, 1}
+	for i, ww := range wantWidths {
+		if m.LevelWidths[i] != ww {
+			t.Errorf("level %d width %d, want %d", i, m.LevelWidths[i], ww)
+		}
+	}
+	if m.EdgeDensity != 1.0 {
+		t.Errorf("density %v", m.EdgeDensity)
+	}
+	// comm = 1000/10 = 100; comp = 100/1 = 100 → CCR 1.
+	if !almostF(m.CCR, 1.0) {
+		t.Errorf("CCR %v", m.CCR)
+	}
+	// Longest compute path A→C→D = 10+30+40 = 80 of 100 total.
+	if !almostF(m.SerialFraction, 0.8) {
+		t.Errorf("serial fraction %v", m.SerialFraction)
+	}
+}
+
+func TestComputeMetricsDetectsCycle(t *testing.T) {
+	w := New("cyc")
+	a := w.AddTask("a", dist(1))
+	b := w.AddTask("b", dist(1))
+	w.MustAddEdge(a, b, 1)
+	w.MustAddEdge(b, a, 1)
+	if _, err := w.ComputeMetrics(1, 1); err == nil {
+		t.Error("cycle accepted")
+	}
+}
+
+func almostF(a, b float64) bool { return math.Abs(a-b) < 1e-12 }

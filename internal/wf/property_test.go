@@ -1,0 +1,178 @@
+package wf
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"budgetwf/internal/stoch"
+)
+
+// randomDAG builds a random DAG with edges only from lower to higher
+// IDs, which guarantees acyclicity; properties are then checked on it.
+func randomDAG(r *rand.Rand, maxN int) *Workflow {
+	n := 1 + r.Intn(maxN)
+	w := New("prop")
+	for i := 0; i < n; i++ {
+		w.AddTask("t", stoch.Dist{Mean: 1 + r.Float64()*1000, Sigma: r.Float64() * 100})
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if r.Float64() < 0.15 {
+				w.MustAddEdge(TaskID(i), TaskID(j), r.Float64()*1e6)
+			}
+		}
+	}
+	return w
+}
+
+// Property: TopoOrder returns each task exactly once and respects all
+// edges.
+func TestTopoOrderProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		w := randomDAG(rand.New(rand.NewSource(seed)), 40)
+		order, err := w.TopoOrder()
+		if err != nil {
+			return false
+		}
+		if len(order) != w.NumTasks() {
+			return false
+		}
+		pos := make([]int, w.NumTasks())
+		seen := make([]bool, w.NumTasks())
+		for i, id := range order {
+			if seen[id] {
+				return false
+			}
+			seen[id] = true
+			pos[id] = i
+		}
+		for _, e := range w.Edges() {
+			if pos[e.From] >= pos[e.To] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: levels are consistent — every edge goes to a strictly
+// higher level, and each non-entry task sits exactly one level above
+// its highest predecessor.
+func TestLevelsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		w := randomDAG(rand.New(rand.NewSource(seed)), 40)
+		level, numLevels, err := w.Levels()
+		if err != nil {
+			return false
+		}
+		maxSeen := 0
+		for i := 0; i < w.NumTasks(); i++ {
+			id := TaskID(i)
+			if level[i] > maxSeen {
+				maxSeen = level[i]
+			}
+			if w.NumPred(id) == 0 {
+				if level[i] != 0 {
+					return false
+				}
+				continue
+			}
+			best := -1
+			for _, e := range w.Pred(id) {
+				if level[e.From] > best {
+					best = level[e.From]
+				}
+			}
+			if level[i] != best+1 {
+				return false
+			}
+		}
+		return numLevels == maxSeen+1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: bottom levels decrease along every edge by at least the
+// task's execution estimate, and RankOrder of them is topological.
+func TestBottomLevelRankOrderTopological(t *testing.T) {
+	exec := func(task Task) float64 { return task.Weight.Conservative() }
+	comm := func(e Edge) float64 { return e.Size }
+	f := func(seed int64) bool {
+		w := randomDAG(rand.New(rand.NewSource(seed)), 40)
+		rank, err := w.BottomLevels(exec, comm)
+		if err != nil {
+			return false
+		}
+		for _, e := range w.Edges() {
+			if rank[e.From] <= rank[e.To] {
+				return false
+			}
+		}
+		order := RankOrder(rank)
+		pos := make([]int, w.NumTasks())
+		for i, id := range order {
+			pos[id] = i
+		}
+		for _, e := range w.Edges() {
+			if pos[e.From] >= pos[e.To] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the sum of per-task input sizes equals the total data size
+// (each edge has exactly one consumer).
+func TestInputSizesSumToTotal(t *testing.T) {
+	f := func(seed int64) bool {
+		w := randomDAG(rand.New(rand.NewSource(seed)), 40)
+		sum := 0.0
+		for i := 0; i < w.NumTasks(); i++ {
+			sum += w.InputSize(TaskID(i))
+		}
+		total := w.TotalDataSize()
+		diff := sum - total
+		if diff < 0 {
+			diff = -diff
+		}
+		return diff <= 1e-6*(1+total)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: JSON round-trips preserve analyses (topological order and
+// critical path length).
+func TestJSONPreservesAnalyses(t *testing.T) {
+	exec := func(task Task) float64 { return task.Weight.Mean }
+	comm := func(e Edge) float64 { return e.Size }
+	f := func(seed int64) bool {
+		w := randomDAG(rand.New(rand.NewSource(seed)), 30)
+		var buf bytes.Buffer
+		if err := w.WriteJSON(&buf); err != nil {
+			return false
+		}
+		got, err := ReadJSON(&buf)
+		if err != nil {
+			return false
+		}
+		cp1, err1 := w.CriticalPathLength(exec, comm)
+		cp2, err2 := got.CriticalPathLength(exec, comm)
+		return err1 == nil && err2 == nil && cp1 == cp2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

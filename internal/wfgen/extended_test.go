@@ -1,0 +1,114 @@
+package wfgen
+
+import (
+	"strings"
+	"testing"
+
+	"budgetwf/internal/wf"
+)
+
+func TestExtendedExactSizes(t *testing.T) {
+	for _, typ := range ExtendedTypes() {
+		for _, n := range []int{10, 30, 31, 60, 90, 127, 400} {
+			w, err := Generate(typ, n, 0)
+			if err != nil {
+				t.Fatalf("%s n=%d: %v", typ, n, err)
+			}
+			if w.NumTasks() != n {
+				t.Errorf("%s n=%d: got %d tasks", typ, n, w.NumTasks())
+			}
+			if err := w.Validate(); err != nil {
+				t.Errorf("%s n=%d: %v", typ, n, err)
+			}
+		}
+	}
+}
+
+func TestEpigenomicsStructure(t *testing.T) {
+	w := MustGenerate(Epigenomics, 90, 2)
+	// Pipeline-heavy: one entry (fastQSplit), one exit (pileup).
+	if got := len(w.Entries()); got != 1 {
+		t.Errorf("%d entries, want 1", got)
+	}
+	if got := len(w.Exits()); got != 1 {
+		t.Errorf("%d exits, want 1", got)
+	}
+	// Lanes are sequential chains: edge/task ratio stays near 1.
+	if ratio := float64(w.NumEdges()) / float64(w.NumTasks()); ratio > 1.3 {
+		t.Errorf("edge/task ratio %.2f too dense for a pipeline workflow", ratio)
+	}
+	// The map stage dominates (the profile trait): the heaviest task
+	// must be a map task and weigh an order of magnitude more than a
+	// filter task.
+	var mapW, filterW float64
+	for _, task := range w.Tasks() {
+		if strings.HasPrefix(task.Name, "map_") && task.Weight.Mean > mapW {
+			mapW = task.Weight.Mean
+		}
+		if strings.HasPrefix(task.Name, "filterContams") && task.Weight.Mean > filterW {
+			filterW = task.Weight.Mean
+		}
+	}
+	if mapW < 8*filterW {
+		t.Errorf("map weight %.2e not dominating filter %.2e", mapW, filterW)
+	}
+}
+
+func TestSiphtStructure(t *testing.T) {
+	w := MustGenerate(Sipht, 91, 2)
+	// Two wide fans around the srna hub.
+	var srna wf.TaskID = -1
+	for _, task := range w.Tasks() {
+		if task.Name == "srna" {
+			srna = task.ID
+		}
+	}
+	if srna < 0 {
+		t.Fatal("no srna hub")
+	}
+	blasts := w.NumSucc(srna)
+	if blasts < 40 {
+		t.Errorf("srna fans out to %d analyses, want a wide fan", blasts)
+	}
+	patsers := 0
+	for _, task := range w.Tasks() {
+		if strings.HasPrefix(task.Name, "patser_") {
+			patsers++
+			if w.NumPred(task.ID) != 0 {
+				t.Errorf("%s is not an entry task", task.Name)
+			}
+		}
+	}
+	if patsers+blasts != 91-3 {
+		t.Errorf("fans cover %d tasks, want %d", patsers+blasts, 88)
+	}
+	_, levels, err := w.Levels()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if levels != 5 {
+		t.Errorf("%d levels, want 5 (patser, concat, srna, blast, annotate)", levels)
+	}
+}
+
+func TestExtendedTypesSchedulable(t *testing.T) {
+	// The extension families must flow through the whole pipeline.
+	for _, typ := range ExtendedTypes() {
+		w := MustGenerate(typ, 30, 1).WithSigmaRatio(0.5)
+		if err := w.Validate(); err != nil {
+			t.Fatalf("%s: %v", typ, err)
+		}
+		if _, err := w.TopoOrder(); err != nil {
+			t.Fatalf("%s: %v", typ, err)
+		}
+	}
+}
+
+func TestParseTypeExtended(t *testing.T) {
+	for _, typ := range ExtendedTypes() {
+		got, err := ParseType(string(typ))
+		if err != nil || got != typ {
+			t.Errorf("ParseType(%s) = %v, %v", typ, got, err)
+		}
+	}
+}

@@ -1,0 +1,133 @@
+package wfgen
+
+import (
+	"fmt"
+
+	"budgetwf/internal/rng"
+	"budgetwf/internal/wf"
+)
+
+// genRandomLayered builds a random layered DAG: tasks are spread over
+// layers and each non-entry task draws 1–3 predecessors from the
+// previous layer. Used by property tests and the generic examples; not
+// part of the paper's benchmark set.
+func genRandomLayered(n int, r *rng.RNG) (*wf.Workflow, error) {
+	w := wf.New("random")
+	numLayers := 2 + r.Intn(maxInt(2, n/4))
+	if numLayers > n {
+		numLayers = n
+	}
+	// Distribute n tasks over numLayers layers, at least one per layer.
+	counts := make([]int, numLayers)
+	for i := range counts {
+		counts[i] = 1
+	}
+	for extra := n - numLayers; extra > 0; extra-- {
+		counts[r.Intn(numLayers)]++
+	}
+	var prev []wf.TaskID
+	made := 0
+	for l, c := range counts {
+		var cur []wf.TaskID
+		for i := 0; i < c; i++ {
+			id := w.AddTask(fmt.Sprintf("t%d_%d", l, i), weight(jitter(r, 10+90*r.Float64(), 0.0)))
+			made++
+			if l == 0 {
+				if err := w.SetExternalIO(id, jitter(r, 50*mb, 0.5), 0); err != nil {
+					return nil, err
+				}
+			} else {
+				preds := 1 + r.Intn(minInt(3, len(prev)))
+				seen := map[int]bool{}
+				for k := 0; k < preds; k++ {
+					pi := r.Intn(len(prev))
+					if seen[pi] {
+						continue
+					}
+					seen[pi] = true
+					w.MustAddEdge(prev[pi], id, jitter(r, 20*mb, 0.5))
+				}
+			}
+			cur = append(cur, id)
+		}
+		prev = cur
+	}
+	for _, id := range w.Exits() {
+		if err := w.SetExternalIO(id, w.Task(id).ExternalIn, jitter(r, 10*mb, 0.5)); err != nil {
+			return nil, err
+		}
+	}
+	return w, nil
+}
+
+// genChain builds a linear pipeline of n tasks, the worst case for
+// parallelism and the best case for keeping data in place on one VM.
+func genChain(n int, r *rng.RNG) (*wf.Workflow, error) {
+	w := wf.New("chain")
+	var prev wf.TaskID
+	for i := 0; i < n; i++ {
+		id := w.AddTask(fmt.Sprintf("stage_%d", i), weight(jitter(r, 60, 0.3)))
+		if i == 0 {
+			if err := w.SetExternalIO(id, jitter(r, 100*mb, 0.2), 0); err != nil {
+				return nil, err
+			}
+		} else {
+			w.MustAddEdge(prev, id, jitter(r, 50*mb, 0.3))
+		}
+		prev = id
+	}
+	if err := w.SetExternalIO(prev, w.Task(prev).ExternalIn, jitter(r, 20*mb, 0.2)); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// genForkJoin builds a source → n-2 parallel workers → sink diamond,
+// the best case for parallelism.
+func genForkJoin(n int, r *rng.RNG) (*wf.Workflow, error) {
+	if n < 3 {
+		return nil, fmt.Errorf("wfgen: forkjoin needs at least 3 tasks, got %d", n)
+	}
+	w := wf.New("forkjoin")
+	src := w.AddTask("fork", weight(jitter(r, 20, 0.2)))
+	if err := w.SetExternalIO(src, jitter(r, 200*mb, 0.2), 0); err != nil {
+		return nil, err
+	}
+	sink := w.AddTask("join", weight(jitter(r, 20, 0.2)))
+	for i := 0; i < n-2; i++ {
+		mid := w.AddTask(fmt.Sprintf("worker_%d", i), weight(jitter(r, 120, 0.3)))
+		w.MustAddEdge(src, mid, jitter(r, 20*mb, 0.3))
+		w.MustAddEdge(mid, sink, jitter(r, 10*mb, 0.3))
+	}
+	if err := w.SetExternalIO(sink, 0, jitter(r, 50*mb, 0.2)); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// genBagOfTasks builds n fully independent tasks, the limit shape the
+// paper says large CYBERSHAKE and LIGO instances approach.
+func genBagOfTasks(n int, r *rng.RNG) (*wf.Workflow, error) {
+	w := wf.New("bagoftasks")
+	for i := 0; i < n; i++ {
+		id := w.AddTask(fmt.Sprintf("task_%d", i), weight(jitter(r, 100, 0.5)))
+		if err := w.SetExternalIO(id, jitter(r, 50*mb, 0.5), jitter(r, 10*mb, 0.5)); err != nil {
+			return nil, err
+		}
+	}
+	return w, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

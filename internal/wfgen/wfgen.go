@@ -1,0 +1,141 @@
+// Package wfgen generates benchmark workflows. The paper evaluates on
+// three families from the Pegasus benchmark suite — CYBERSHAKE, LIGO
+// and MONTAGE — produced by the Pegasus workflow generator. That
+// generator (and its trace archive) is unavailable offline, so this
+// package re-implements the three families from their published
+// structural descriptions: the paper's own §V-A prose and the
+// profiles in Juve et al., "Characterizing and profiling scientific
+// workflows" (FGCS 2013). DESIGN.md §2 documents the substitution.
+//
+// Every generator is deterministic in (type, size, seed): the paper
+// uses five instances per (type, size) pair, which we obtain with
+// seeds 0..4. Generated workflows carry σ = 0; experiments instantiate
+// uncertainty afterwards with Workflow.WithSigmaRatio, matching the
+// paper's methodology ("each generated workflow is then re-used to
+// generate workflows having the same DAG structure" with varying σ).
+package wfgen
+
+import (
+	"fmt"
+	"strings"
+
+	"budgetwf/internal/rng"
+	"budgetwf/internal/stoch"
+	"budgetwf/internal/wf"
+)
+
+// Type identifies a workflow family.
+type Type string
+
+// The three Pegasus families used in the paper, plus generic synthetic
+// families used by tests and extensions.
+const (
+	CyberShake Type = "cybershake"
+	Ligo       Type = "ligo"
+	Montage    Type = "montage"
+	Random     Type = "random"
+	Chain      Type = "chain"
+	ForkJoin   Type = "forkjoin"
+	BagOfTasks Type = "bagoftasks"
+)
+
+// AllPaperTypes lists the families evaluated in the paper, in the
+// order they appear in the figures.
+func AllPaperTypes() []Type { return []Type{CyberShake, Ligo, Montage} }
+
+// refSpeed is the speed of the reference machine on which the
+// published per-job runtimes were measured; a weight is
+// runtime(seconds) × refSpeed instructions.
+const refSpeed = 1e9
+
+// mb and gb are data-size units in bytes.
+const (
+	mb = 1e6
+	gb = 1e9
+)
+
+// Generate builds one workflow instance of the given family with
+// (approximately, and for the paper families exactly) n tasks.
+func Generate(t Type, n int, seed uint64) (*wf.Workflow, error) {
+	if n < 4 {
+		return nil, fmt.Errorf("wfgen: need at least 4 tasks, got %d", n)
+	}
+	r := rng.New(seed ^ typeSalt(t))
+	var w *wf.Workflow
+	var err error
+	switch t {
+	case CyberShake:
+		w, err = genCyberShake(n, r)
+	case Ligo:
+		w, err = genLigo(n, r)
+	case Montage:
+		w, err = genMontage(n, r)
+	case Epigenomics:
+		w, err = genEpigenomics(n, r)
+	case Sipht:
+		w, err = genSipht(n, r)
+	case Random:
+		w, err = genRandomLayered(n, r)
+	case Chain:
+		w, err = genChain(n, r)
+	case ForkJoin:
+		w, err = genForkJoin(n, r)
+	case BagOfTasks:
+		w, err = genBagOfTasks(n, r)
+	default:
+		return nil, fmt.Errorf("wfgen: unknown workflow type %q", t)
+	}
+	if err != nil {
+		return nil, err
+	}
+	w.Name = fmt.Sprintf("%s-%d-seed%d", strings.ToUpper(string(t)), n, seed)
+	if err := w.Validate(); err != nil {
+		return nil, fmt.Errorf("wfgen: generated invalid workflow: %w", err)
+	}
+	if w.NumTasks() != n {
+		return nil, fmt.Errorf("wfgen: %s generator produced %d tasks, want %d", t, w.NumTasks(), n)
+	}
+	return w, nil
+}
+
+// MustGenerate is Generate that panics on error, for tests and
+// benchmarks with known-good parameters.
+func MustGenerate(t Type, n int, seed uint64) *wf.Workflow {
+	w, err := Generate(t, n, seed)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+// ParseType converts a user-supplied string to a Type.
+func ParseType(s string) (Type, error) {
+	t := Type(strings.ToLower(strings.TrimSpace(s)))
+	switch t {
+	case CyberShake, Ligo, Montage, Epigenomics, Sipht, Random, Chain, ForkJoin, BagOfTasks:
+		return t, nil
+	}
+	return "", fmt.Errorf("wfgen: unknown workflow type %q", s)
+}
+
+func typeSalt(t Type) uint64 {
+	var h uint64 = 1469598103934665603
+	for i := 0; i < len(t); i++ {
+		h ^= uint64(t[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// jitter perturbs a mean multiplicatively by a uniform factor in
+// [1-spread, 1+spread], making the five seeds of each (type, size)
+// pair distinct instances as in the paper's methodology.
+func jitter(r *rng.RNG, mean, spread float64) float64 {
+	return mean * (1 + spread*(2*r.Float64()-1))
+}
+
+// weight builds a zero-sigma distribution from a runtime on the
+// reference machine.
+func weight(runtimeSec float64) stoch.Dist {
+	return stoch.Dist{Mean: runtimeSec * refSpeed}
+}
