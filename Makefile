@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test bench figs figs-quick report fuzz clean
+.PHONY: all build vet test bench figs figs-quick report fuzz serve loadtest clean
 
 all: build vet test
 
@@ -27,6 +27,16 @@ figs:
 # Reduced-scale smoke reproduction (seconds).
 figs-quick:
 	$(GO) run ./cmd/paperfigs -all -quick -out results-quick
+
+# Run the scheduling-as-a-service daemon on :8080.
+serve:
+	$(GO) run ./cmd/budgetwfd -addr :8080
+
+# Drive a running daemon with concurrent /v1/schedule traffic
+# (repeats across a few distinct workflows, so the plan cache and the
+# admission control both show up in the report).
+loadtest:
+	$(GO) run ./cmd/loadgen -url http://localhost:8080 -n 200 -c 16 -distinct 4
 
 fuzz:
 	$(GO) test -fuzz FuzzReadJSON -fuzztime 30s ./internal/wf/

@@ -38,6 +38,7 @@
 package budgetwf
 
 import (
+	"context"
 	"strings"
 
 	"budgetwf/internal/plan"
@@ -196,6 +197,15 @@ func ScheduleWith(name AlgorithmName, w *Workflow, p *Platform, budget float64) 
 	return a.Plan(w, p, budget)
 }
 
+// ScheduleWithContext is ScheduleWith under a context: cancellation
+// and deadlines are polled between placement steps inside the
+// planners, so an abandoned request stops consuming CPU almost
+// immediately. This is the entry point the budgetwfd daemon uses to
+// enforce per-request timeouts.
+func ScheduleWithContext(ctx context.Context, name AlgorithmName, w *Workflow, p *Platform, budget float64) (*Schedule, error) {
+	return sched.PlanContext(ctx, name, w, p, budget)
+}
+
 // Algorithms returns the names of all nine algorithms in the paper's
 // order.
 func Algorithms() []AlgorithmName {
@@ -242,10 +252,19 @@ func Replicate(w *Workflow, p *Platform, s *Schedule, n int, seed uint64) (*Repl
 
 // ReplicateBudget is Replicate with a budget-validity check.
 func ReplicateBudget(w *Workflow, p *Platform, s *Schedule, n int, seed uint64, budget float64) (*Replication, error) {
+	return ReplicateBudgetContext(context.Background(), w, p, s, n, seed, budget)
+}
+
+// ReplicateBudgetContext is ReplicateBudget under a context,
+// cancellation being polled between stochastic executions.
+func ReplicateBudgetContext(ctx context.Context, w *Workflow, p *Platform, s *Schedule, n int, seed uint64, budget float64) (*Replication, error) {
 	stream := rng.New(seed)
 	var mk, cost []float64
 	valid := 0
 	for i := 0; i < n; i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		r, err := sim.RunStochastic(w, p, s, stream.Split(uint64(i)))
 		if err != nil {
 			return nil, err

@@ -1,0 +1,82 @@
+// Command budgetwfd serves the budget-aware scheduling engine over
+// HTTP: POST a workflow, platform, algorithm and budget to /v1/schedule
+// and get a plan back; POST a plan to /v1/simulate for stochastic
+// aggregates; POST a generator family to /v1/sweep for a
+// Figure-1-style budget sweep.
+//
+// Usage:
+//
+//	budgetwfd -addr :8080 -workers 4 -queue 64 -cache-size 512 -timeout 30s
+//	budgetwfd -pprof              # also mount /debug/pprof/
+//
+// The daemon applies admission control (429 + Retry-After when the
+// worker queue is full), caches plans by content hash, publishes
+// expvar metrics under "budgetwfd" (also at GET /metrics), and drains
+// gracefully on SIGINT/SIGTERM.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"budgetwf/internal/server"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "budgetwfd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("budgetwfd", flag.ContinueOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	workers := fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	queue := fs.Int("queue", 64, "admission queue depth (-1 = no queue)")
+	cacheSize := fs.Int("cache-size", 512, "plan cache entries (-1 = disable)")
+	timeout := fs.Duration("timeout", 30*time.Second, "per-request timeout (-1s = none)")
+	pprofOn := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+	drain := fs.Duration("drain", 10*time.Second, "graceful shutdown grace period")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	srv := server.New(server.Config{
+		Addr:           *addr,
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		CacheSize:      *cacheSize,
+		RequestTimeout: *timeout,
+		EnablePprof:    *pprofOn,
+	})
+	srv.PublishExpvar("budgetwfd")
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "budgetwfd: listening on %s\n", *addr)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		return err
+	case sig := <-sigc:
+		fmt.Fprintf(os.Stderr, "budgetwfd: %v, draining\n", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			return fmt.Errorf("shutdown: %w", err)
+		}
+		if err := <-errc; err != nil && err != http.ErrServerClosed {
+			return err
+		}
+		return nil
+	}
+}

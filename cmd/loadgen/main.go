@@ -1,0 +1,151 @@
+// Command loadgen fires concurrent /v1/schedule requests at a running
+// budgetwfd and reports the status-code mix, latency spread and cache
+// behaviour. It is the load half of `make loadtest`: a few hundred
+// requests with a handful of distinct workflows demonstrates both the
+// admission control (429s under a small pool) and the plan cache
+// (most repeats served as hits).
+//
+// Usage:
+//
+//	loadgen -url http://localhost:8080 -n 200 -c 16 -distinct 4
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"budgetwf/internal/wfgen"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
+	baseURL := fs.String("url", "http://localhost:8080", "budgetwfd base URL")
+	total := fs.Int("n", 200, "total requests")
+	conc := fs.Int("c", 16, "concurrent clients")
+	distinct := fs.Int("distinct", 4, "distinct workflows (repeats hit the cache)")
+	size := fs.Int("size", 30, "tasks per generated workflow")
+	alg := fs.String("alg", "heftbudg", "algorithm to request")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *distinct < 1 {
+		*distinct = 1
+	}
+
+	// Pre-render the request bodies: distinct Montage instances, each
+	// with a generous budget so every algorithm finds a feasible plan.
+	bodies := make([][]byte, *distinct)
+	for i := range bodies {
+		w, err := wfgen.Generate(wfgen.Montage, *size, uint64(1000+i))
+		if err != nil {
+			return err
+		}
+		var wbuf bytes.Buffer
+		if err := w.WithSigmaRatio(0.5).WriteJSON(&wbuf); err != nil {
+			return err
+		}
+		body, err := json.Marshal(map[string]any{
+			"workflow":  json.RawMessage(wbuf.Bytes()),
+			"algorithm": *alg,
+			"budget":    100.0,
+		})
+		if err != nil {
+			return err
+		}
+		bodies[i] = body
+	}
+
+	type result struct {
+		status  int
+		cached  bool
+		latency time.Duration
+		err     error
+	}
+	results := make([]result, *total)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, *conc)
+	client := &http.Client{Timeout: 60 * time.Second}
+	start := time.Now()
+	for i := 0; i < *total; i++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			t0 := time.Now()
+			resp, err := client.Post(*baseURL+"/v1/schedule", "application/json",
+				bytes.NewReader(bodies[i%len(bodies)]))
+			if err != nil {
+				results[i] = result{err: err}
+				return
+			}
+			var payload struct {
+				Cached bool `json:"cached"`
+			}
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			_ = json.Unmarshal(body, &payload)
+			results[i] = result{status: resp.StatusCode, cached: payload.Cached, latency: time.Since(t0)}
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	statuses := map[int]int{}
+	cached, errs := 0, 0
+	var lats []time.Duration
+	for _, r := range results {
+		if r.err != nil {
+			errs++
+			continue
+		}
+		statuses[r.status]++
+		if r.cached {
+			cached++
+		}
+		lats = append(lats, r.latency)
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	pct := func(p float64) time.Duration {
+		if len(lats) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(lats)-1))
+		return lats[i]
+	}
+
+	fmt.Printf("loadgen: %d requests, concurrency %d, %d distinct workflows, %.2fs wall\n",
+		*total, *conc, *distinct, elapsed.Seconds())
+	var codes []int
+	for code := range statuses {
+		codes = append(codes, code)
+	}
+	sort.Ints(codes)
+	for _, code := range codes {
+		fmt.Printf("  status %d: %d\n", code, statuses[code])
+	}
+	if errs > 0 {
+		fmt.Printf("  transport errors: %d\n", errs)
+	}
+	fmt.Printf("  cache hits (client-observed): %d\n", cached)
+	fmt.Printf("  latency p50=%v p90=%v p99=%v max=%v\n", pct(0.50), pct(0.90), pct(0.99), pct(1.0))
+	if s5 := statuses[500]; s5 > 0 {
+		return fmt.Errorf("%d requests returned 500", s5)
+	}
+	return nil
+}

@@ -1,6 +1,8 @@
 package budgetwf_test
 
 import (
+	"context"
+	"errors"
 	"os"
 	"strings"
 	"testing"
@@ -177,5 +179,82 @@ func TestPeftThroughFacade(t *testing.T) {
 	}
 	if _, err := budgetwf.ScheduleWith(budgetwf.AlgPeft, w, p, 0); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestScheduleWithUnknownAlgorithm(t *testing.T) {
+	w, err := budgetwf.Generate(budgetwf.Montage, 20, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w = w.WithSigmaRatio(0.5)
+	s, err := budgetwf.ScheduleWith("simulated-annealing-9000", w, budgetwf.DefaultPlatform(), 10)
+	if err == nil {
+		t.Fatal("ScheduleWith accepted an unknown algorithm")
+	}
+	if s != nil {
+		t.Error("unknown algorithm returned a schedule alongside the error")
+	}
+	if !strings.Contains(err.Error(), "simulated-annealing-9000") {
+		t.Errorf("error %q does not name the offending algorithm", err)
+	}
+}
+
+func TestAlgorithmsAndScheduleWithAgree(t *testing.T) {
+	w, err := budgetwf.Generate(budgetwf.Montage, 20, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w = w.WithSigmaRatio(0.5)
+	p := budgetwf.DefaultPlatform()
+
+	// Every name either listing advertises must be schedulable: the
+	// registry the daemon serves from GET /v1/algorithms and the one
+	// ScheduleWith dispatches on are the same set.
+	core := budgetwf.Algorithms()
+	extended := budgetwf.AlgorithmsExtended()
+	if len(core) != 9 {
+		t.Errorf("Algorithms() lists %d names, want the paper's 9", len(core))
+	}
+	inExtended := map[budgetwf.AlgorithmName]bool{}
+	for _, name := range extended {
+		inExtended[name] = true
+	}
+	for _, name := range core {
+		if !inExtended[name] {
+			t.Errorf("core algorithm %q missing from AlgorithmsExtended()", name)
+		}
+	}
+	for _, name := range extended {
+		s, err := budgetwf.ScheduleWith(name, w, p, 1e6)
+		if err != nil {
+			t.Errorf("ScheduleWith(%q) rejected an advertised algorithm: %v", name, err)
+			continue
+		}
+		if s.NumVMs() < 1 {
+			t.Errorf("ScheduleWith(%q) produced an empty schedule", name)
+		}
+	}
+}
+
+func TestScheduleWithContextCancellation(t *testing.T) {
+	w, err := budgetwf.Generate(budgetwf.Montage, 30, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w = w.WithSigmaRatio(0.5)
+	p := budgetwf.DefaultPlatform()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already cancelled: every planner must bail out
+	for _, name := range budgetwf.AlgorithmsExtended() {
+		if _, err := budgetwf.ScheduleWithContext(ctx, name, w, p, 1e6); !errors.Is(err, context.Canceled) {
+			t.Errorf("ScheduleWithContext(%q) under cancelled context: err = %v, want context.Canceled", name, err)
+		}
+	}
+
+	// An un-cancelled context schedules normally.
+	if _, err := budgetwf.ScheduleWithContext(context.Background(), "heftbudg", w, p, 1e6); err != nil {
+		t.Errorf("ScheduleWithContext with live context failed: %v", err)
 	}
 }

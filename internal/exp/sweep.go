@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -134,6 +135,14 @@ type cellResult struct {
 // (algorithm, budget), and measures Reps stochastic executions of each
 // plan. Cells are evaluated by a bounded worker pool.
 func RunSweep(sc Scenario, algs []sched.Algorithm, gridK int) (*SweepResult, error) {
+	return RunSweepCtx(context.Background(), sc, algs, gridK)
+}
+
+// RunSweepCtx is RunSweep under a context: cancellation is polled
+// before each cell (one plan plus Reps simulated executions), so a
+// timed-out or abandoned sweep request stops burning the worker pool
+// within one cell. The first context error aborts the whole sweep.
+func RunSweepCtx(ctx context.Context, sc Scenario, algs []sched.Algorithm, gridK int) (*SweepResult, error) {
 	sc = sc.Defaults()
 	if gridK <= 0 {
 		gridK = 8
@@ -190,6 +199,10 @@ func RunSweep(sc Scenario, algs []sched.Algorithm, gridK int) (*SweepResult, err
 		go func() {
 			defer wg.Done()
 			for ci := range work {
+				if err := ctx.Err(); err != nil {
+					results[ci] = cellResult{cell: cells[ci], err: err}
+					continue
+				}
 				results[ci] = runCell(sc, instances, anchors, commonFactors, cells[ci])
 			}
 		}()

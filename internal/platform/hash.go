@@ -1,0 +1,41 @@
+package platform
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"math"
+)
+
+// CanonicalHash returns a hex-encoded SHA-256 digest of every
+// scheduling-relevant platform parameter: each category's speed, cost
+// rates and setup cost (in category order, which is semantic — plans
+// reference categories by index), plus the bandwidths, boot time,
+// datacenter rates and billing quantum. Category display names are
+// excluded: they do not influence any scheduling decision, so two
+// platforms differing only in labels produce identical plans and must
+// share a cache key. Floats are hashed through their IEEE-754 bit
+// patterns, which JSON round-trips exactly.
+func (p *Platform) CanonicalHash() string {
+	h := sha256.New()
+	buf := make([]byte, 8)
+	f := func(v float64) {
+		binary.BigEndian.PutUint64(buf, math.Float64bits(v))
+		h.Write(buf)
+	}
+	h.Write([]byte("platform"))
+	binary.BigEndian.PutUint64(buf, uint64(len(p.Categories)))
+	h.Write(buf)
+	for _, c := range p.Categories {
+		f(c.Speed)
+		f(c.CostPerSec)
+		f(c.InitCost)
+	}
+	f(p.Bandwidth)
+	f(p.BootTime)
+	f(p.DCCostPerSec)
+	f(p.TransferCostPerByte)
+	f(p.DCBandwidth)
+	f(p.BillingQuantum)
+	return hex.EncodeToString(h.Sum(nil))
+}

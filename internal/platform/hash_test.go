@@ -1,0 +1,39 @@
+package platform
+
+import "testing"
+
+func TestCanonicalHashStableAndSensitive(t *testing.T) {
+	if Default().CanonicalHash() != Default().CanonicalHash() {
+		t.Fatal("default platform hash not deterministic")
+	}
+
+	ref := Default().CanonicalHash()
+	seen := map[string]string{ref: "default"}
+	mutate := func(desc string, f func(p *Platform)) {
+		p := Default()
+		f(p)
+		h := p.CanonicalHash()
+		if prev, dup := seen[h]; dup {
+			t.Errorf("%s collides with %s", desc, prev)
+		}
+		seen[h] = desc
+	}
+	mutate("speed", func(p *Platform) { p.Categories[0].Speed++ })
+	mutate("cost per sec", func(p *Platform) { p.Categories[1].CostPerSec *= 2 })
+	mutate("init cost", func(p *Platform) { p.Categories[2].InitCost++ })
+	mutate("bandwidth", func(p *Platform) { p.Bandwidth++ })
+	mutate("boot time", func(p *Platform) { p.BootTime++ })
+	mutate("dc cost", func(p *Platform) { p.DCCostPerSec++ })
+	mutate("transfer cost", func(p *Platform) { p.TransferCostPerByte++ })
+	mutate("dc bandwidth", func(p *Platform) { p.DCBandwidth = 1e9 })
+	mutate("billing quantum", func(p *Platform) { p.BillingQuantum = 3600 })
+	mutate("dropped category", func(p *Platform) { p.Categories = p.Categories[:2] })
+}
+
+func TestCanonicalHashIgnoresCategoryNames(t *testing.T) {
+	p := Default()
+	p.Categories[0].Name = "renamed"
+	if p.CanonicalHash() != Default().CanonicalHash() {
+		t.Error("category label leaked into the canonical hash")
+	}
+}

@@ -37,6 +37,12 @@ import (
 // the same datacenter/initialization reserves as the paper's own
 // algorithms.
 func BDT(w *wf.Workflow, p *platform.Platform, budget float64) (*plan.Schedule, error) {
+	return bdtOpt(w, p, budget, Options{})
+}
+
+// bdtOpt is BDT with a cancellation hook (the only Options field BDT
+// honours; ablation knobs are specific to the paper's own algorithms).
+func bdtOpt(w *wf.Workflow, p *platform.Platform, budget float64, opt Options) (*plan.Schedule, error) {
 	ctx, err := newContext(w, p)
 	if err != nil {
 		return nil, err
@@ -77,6 +83,9 @@ func BDT(w *wf.Workflow, p *platform.Platform, budget float64) (*plan.Schedule, 
 		})
 
 		for _, t := range sorted {
+			if err := opt.stopErr(); err != nil {
+				return nil, err
+			}
 			subBudg := remaining
 			cands := st.candidates(t)
 			choice := pickTCTF(cands, subBudg)

@@ -26,6 +26,11 @@ import (
 // HEFT rank order. The original has no data transfers; the extension
 // inherits this package's transfer-aware EFT and cost accounting.
 func CG(w *wf.Workflow, p *platform.Platform, budget float64) (*plan.Schedule, error) {
+	return cgOpt(w, p, budget, Options{})
+}
+
+// cgOpt is CG with a cancellation hook.
+func cgOpt(w *wf.Workflow, p *platform.Platform, budget float64, opt Options) (*plan.Schedule, error) {
 	ctx, err := newContext(w, p)
 	if err != nil {
 		return nil, err
@@ -64,6 +69,9 @@ func CG(w *wf.Workflow, p *platform.Platform, budget float64) (*plan.Schedule, e
 	st := newState(ctx)
 	totalCost := 0.0
 	for _, t := range order {
+		if err := opt.stopErr(); err != nil {
+			return nil, err
+		}
 		share := tMin[t] + (tMax[t]-tMin[t])*gb
 		cat := closestCategory(ctx, t, share)
 		choice := bestOfCategory(st, t, cat)
@@ -111,7 +119,14 @@ func bestOfCategory(st *state, t wf.TaskID, cat int) candidate {
 // move that decreases both time and cost has a negative ratio and is
 // never selected.
 func CGPlus(w *wf.Workflow, p *platform.Platform, budget float64) (*plan.Schedule, error) {
-	cur, err := CG(w, p, budget)
+	return cgPlusOpt(w, p, budget, Options{})
+}
+
+// cgPlusOpt is CGPlus with a cancellation hook, polled once per
+// candidate move (each move costs a full deterministic simulation, so
+// this is the granularity that bounds cancellation latency).
+func cgPlusOpt(w *wf.Workflow, p *platform.Platform, budget float64, opt Options) (*plan.Schedule, error) {
+	cur, err := cgOpt(w, p, budget, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -130,6 +145,9 @@ func CGPlus(w *wf.Workflow, p *platform.Platform, budget float64) (*plan.Schedul
 		var best *move
 		for _, t := range res.CriticalPath() {
 			for _, cand := range moveCandidates(cur, t, p.NumCategories()) {
+				if err := opt.stopErr(); err != nil {
+					return nil, err
+				}
 				r, err := sim.RunDeterministic(w, p, cand)
 				if err != nil {
 					continue

@@ -1,0 +1,58 @@
+package sched
+
+// The package-level planner type is also named context, so the
+// standard library package gets an explicit name here.
+import (
+	stdcontext "context"
+
+	"budgetwf/internal/plan"
+	"budgetwf/internal/platform"
+	"budgetwf/internal/wf"
+)
+
+// PlanContext plans with the named algorithm under a context:
+// cancellation (or deadline expiry) is polled between placement steps
+// of every list scheduler and between candidate moves of the
+// refinement algorithms, so an abandoned request stops consuming CPU
+// within one placement step rather than running to completion. The
+// serving daemon (internal/server) relies on this to enforce
+// per-request timeouts.
+//
+// A background context makes PlanContext equivalent to
+// ByName(name).Plan — the hook then costs one nil check per step.
+func PlanContext(ctx stdcontext.Context, name Name, w *wf.Workflow, p *platform.Platform, budget float64) (*plan.Schedule, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	opt := Options{stop: ctx.Err}
+	switch name {
+	case NameMinMin:
+		return minMinPlan(w, p, nil, opt)
+	case NameHeft:
+		return heftPlan(w, p, nil, opt)
+	case NameMinMinBudg:
+		return MinMinBudgOpt(w, p, budget, opt)
+	case NameHeftBudg:
+		return HeftBudgOpt(w, p, budget, opt)
+	case NameHeftBudgPlus:
+		return refine(w, p, budget, false, opt)
+	case NameHeftBudgPlusInv:
+		return refine(w, p, budget, true, opt)
+	case NameBDT:
+		return bdtOpt(w, p, budget, opt)
+	case NameCG:
+		return cgOpt(w, p, budget, opt)
+	case NameCGPlus:
+		return cgPlusOpt(w, p, budget, opt)
+	case NamePeft:
+		return peftOpt(w, p, opt)
+	}
+	// Unknown names fall through to the registry for its error message;
+	// a future algorithm registered there but not wired above still
+	// plans, just without cooperative cancellation.
+	a, err := ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	return a.Plan(w, p, budget)
+}

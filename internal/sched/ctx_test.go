@@ -1,0 +1,66 @@
+package sched
+
+import (
+	stdcontext "context"
+	"errors"
+	"testing"
+
+	"budgetwf/internal/platform"
+	"budgetwf/internal/wfgen"
+)
+
+// TestPlanContextMatchesPlain pins that a background context changes
+// nothing: every algorithm produces the same schedule through
+// PlanContext as through its registry Plan function.
+func TestPlanContextMatchesPlain(t *testing.T) {
+	w, err := wfgen.Generate(wfgen.Montage, 30, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w = w.WithSigmaRatio(0.5)
+	p := platform.Default()
+	budget := 0.05
+	for _, a := range AllExtended() {
+		plain, err := a.Plan(w, p, budget)
+		if err != nil {
+			t.Fatalf("%s: %v", a.Name, err)
+		}
+		ctxed, err := PlanContext(stdcontext.Background(), a.Name, w, p, budget)
+		if err != nil {
+			t.Fatalf("%s via PlanContext: %v", a.Name, err)
+		}
+		if len(plain.VMCats) != len(ctxed.VMCats) || plain.EstMakespan != ctxed.EstMakespan {
+			t.Errorf("%s: PlanContext diverges from Plan (%d vs %d VMs, makespan %v vs %v)",
+				a.Name, len(plain.VMCats), len(ctxed.VMCats), plain.EstMakespan, ctxed.EstMakespan)
+		}
+	}
+}
+
+// TestPlanContextCancelled pins that every algorithm aborts with the
+// context error when the context is already cancelled.
+func TestPlanContextCancelled(t *testing.T) {
+	w, err := wfgen.Generate(wfgen.Montage, 30, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w = w.WithSigmaRatio(0.5)
+	p := platform.Default()
+	ctx, cancel := stdcontext.WithCancel(stdcontext.Background())
+	cancel()
+	for _, a := range AllExtended() {
+		if _, err := PlanContext(ctx, a.Name, w, p, 0.05); !errors.Is(err, stdcontext.Canceled) {
+			t.Errorf("%s: want stdcontext.Canceled, got %v", a.Name, err)
+		}
+	}
+}
+
+// TestPlanContextUnknownName pins the registry's error path.
+func TestPlanContextUnknownName(t *testing.T) {
+	w, err := wfgen.Generate(wfgen.Chain, 8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := PlanContext(stdcontext.Background(), "no-such-algorithm", w, platform.Default(), 1); err == nil {
+		t.Fatal("unknown algorithm must error")
+	}
+}

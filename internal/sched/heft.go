@@ -37,6 +37,9 @@ func heftPlan(w *wf.Workflow, p *platform.Platform, info *BudgetInfo, opt Option
 	account := optPot{disabled: opt.DisablePot}
 	totalCost := 0.0
 	for _, t := range order {
+		if err := opt.stopErr(); err != nil {
+			return nil, err
+		}
 		allowance := infinite
 		if info != nil {
 			allowance = account.allowance(info.Shares[t])

@@ -67,6 +67,9 @@ func minMinPlan(w *wf.Workflow, p *platform.Platform, info *BudgetInfo, opt Opti
 	totalCost := 0.0
 	numCats := p.NumCategories()
 	for len(listT) < n {
+		if err := opt.stopErr(); err != nil {
+			return nil, err
+		}
 		bestTask := wf.TaskID(-1)
 		var bestCand candidate
 		var bestAllowance float64

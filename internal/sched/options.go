@@ -28,6 +28,22 @@ type Options struct {
 	DisablePot          bool
 	DisableReserves     bool
 	Insertion           bool
+
+	// stop, when non-nil, is polled between placement steps (one per
+	// task for the list schedulers, one per candidate move for the
+	// refinement algorithms); a non-nil return aborts planning with
+	// that error. It is set by PlanContext to thread request
+	// cancellation into the planning hot paths; external callers
+	// cannot — and need not — set it.
+	stop func() error
+}
+
+// stopErr polls the cancellation hook, if any.
+func (o Options) stopErr() error {
+	if o.stop == nil {
+		return nil
+	}
+	return o.stop()
 }
 
 // MinMinBudgOpt is MinMinBudg with ablation options.

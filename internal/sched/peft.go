@@ -25,6 +25,11 @@ import (
 // *descendants* fast, which plain HEFT cannot see. Budget-blind, like
 // the other baselines.
 func Peft(w *wf.Workflow, p *platform.Platform) (*plan.Schedule, error) {
+	return peftOpt(w, p, Options{})
+}
+
+// peftOpt is Peft with a cancellation hook.
+func peftOpt(w *wf.Workflow, p *platform.Platform, opt Options) (*plan.Schedule, error) {
 	ctx, err := newContext(w, p)
 	if err != nil {
 		return nil, err
@@ -58,6 +63,9 @@ func Peft(w *wf.Workflow, p *platform.Platform) (*plan.Schedule, error) {
 	}
 	listT := make([]wf.TaskID, 0, n)
 	for len(listT) < n {
+		if err := opt.stopErr(); err != nil {
+			return nil, err
+		}
 		best := -1
 		for t := 0; t < n; t++ {
 			if ready[t] && (best < 0 || rank[t] > rank[best]) {

@@ -17,7 +17,7 @@ import (
 // budget. This spends the budget fraction left over by HEFTBUDG's
 // conservative reservations, at an O(n) multiplicative CPU cost.
 func HeftBudgPlus(w *wf.Workflow, p *platform.Platform, budget float64) (*plan.Schedule, error) {
-	return refine(w, p, budget, false)
+	return refine(w, p, budget, false, Options{})
 }
 
 // HeftBudgPlusInv is HEFTBUDG+INV: identical to HEFTBUDG+ but
@@ -25,11 +25,11 @@ func HeftBudgPlus(w *wf.Workflow, p *platform.Platform, budget float64) (*plan.S
 // found to help when leftover budget is best spent near the workflow's
 // end.
 func HeftBudgPlusInv(w *wf.Workflow, p *platform.Platform, budget float64) (*plan.Schedule, error) {
-	return refine(w, p, budget, true)
+	return refine(w, p, budget, true, Options{})
 }
 
-func refine(w *wf.Workflow, p *platform.Platform, budget float64, inverse bool) (*plan.Schedule, error) {
-	cur, err := HeftBudg(w, p, budget)
+func refine(w *wf.Workflow, p *platform.Platform, budget float64, inverse bool, opt Options) (*plan.Schedule, error) {
+	cur, err := HeftBudgOpt(w, p, budget, Options{stop: opt.stop})
 	if err != nil {
 		return nil, err
 	}
@@ -49,6 +49,9 @@ func refine(w *wf.Workflow, p *platform.Platform, budget float64, inverse bool) 
 	for _, t := range order {
 		best := cur
 		for _, cand := range moveCandidates(cur, t, p.NumCategories()) {
+			if err := opt.stopErr(); err != nil {
+				return nil, err
+			}
 			r, err := sim.RunDeterministic(w, p, cand)
 			if err != nil {
 				// A malformed candidate (should not happen: moves keep

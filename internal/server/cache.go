@@ -1,0 +1,132 @@
+package server
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+// planCache is a content-addressed LRU cache of scheduling results.
+// Keys are canonical hashes of (workflow, platform, algorithm, budget)
+// — see cacheKey — so a repeated identical request, the common case
+// when clients sweep budgets or re-plan periodic workflows, skips the
+// planner (and the deterministic validation simulation) entirely. The
+// cached value is the final rendered response fragment, immutable by
+// construction, so hits are also free of serialization cost.
+//
+// All methods are safe for concurrent use. A capacity ≤ 0 disables
+// caching (every lookup misses, stores are dropped).
+type planCache struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+// cacheEntry is one cached scheduling outcome.
+type cacheEntry struct {
+	key          string
+	scheduleJSON []byte
+	numVMs       int
+	estMakespan  float64
+	estCost      float64
+}
+
+func newPlanCache(capacity int) *planCache {
+	return &planCache{
+		cap:   capacity,
+		ll:    list.New(),
+		items: make(map[string]*list.Element),
+	}
+}
+
+// get returns the entry for key, promoting it to most-recently-used.
+func (c *planCache) get(key string) (*cacheEntry, bool) {
+	if c.cap <= 0 {
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.mu.Lock()
+	el, ok := c.items[key]
+	var e *cacheEntry
+	if ok {
+		c.ll.MoveToFront(el)
+		// Read Value under the lock: put updates it in place on a
+		// repeated key.
+		e = el.Value.(*cacheEntry)
+	}
+	c.mu.Unlock()
+	if !ok {
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.hits.Add(1)
+	return e, true
+}
+
+// put stores the entry, evicting the least-recently-used one when the
+// cache is full. Storing an existing key refreshes its recency.
+func (c *planCache) put(e *cacheEntry) {
+	if c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[e.key]; ok {
+		el.Value = e
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[e.key] = c.ll.PushFront(e)
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// Len returns the number of cached entries.
+func (c *planCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Hits and Misses expose the lookup counters.
+func (c *planCache) Hits() uint64   { return c.hits.Load() }
+func (c *planCache) Misses() uint64 { return c.misses.Load() }
+
+// HitRate returns hits / lookups, or 0 before the first lookup.
+func (c *planCache) HitRate() float64 {
+	h, m := c.hits.Load(), c.misses.Load()
+	if h+m == 0 {
+		return 0
+	}
+	return float64(h) / float64(h+m)
+}
+
+// cacheKey derives the content address of one scheduling request from
+// the canonical hashes of its parts. The workflow and platform hashes
+// are insertion-order- and label-independent (see
+// wf.Workflow.CanonicalHash, platform.Platform.CanonicalHash), so any
+// two requests the planner cannot distinguish share a key.
+func cacheKey(wfHash, platHash, algorithm string, budget float64) string {
+	h := sha256.New()
+	h.Write([]byte(wfHash))
+	h.Write([]byte{0})
+	h.Write([]byte(platHash))
+	h.Write([]byte{0})
+	h.Write([]byte(algorithm))
+	h.Write([]byte{0})
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], math.Float64bits(budget))
+	h.Write(b[:])
+	return hex.EncodeToString(h.Sum(nil))
+}

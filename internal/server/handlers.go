@@ -1,0 +1,393 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+	"time"
+
+	"budgetwf/internal/exp"
+	"budgetwf/internal/rng"
+	"budgetwf/internal/sched"
+	"budgetwf/internal/sim"
+	"budgetwf/internal/stats"
+	"budgetwf/internal/wfgen"
+)
+
+// Request-size ceilings: semantic validation limits that keep one
+// request from monopolizing the pool. Violations are 422s.
+const (
+	maxReplications  = 10000
+	maxSweepTasks    = 500
+	maxSweepGridK    = 64
+	maxSweepRuns     = 10  // instances
+	maxSweepReps     = 200 // replications per cell
+	maxMaxSigmaRatio = 10.0
+)
+
+// handleHealthz is liveness: the process is up and serving.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleReadyz is readiness: 503 once draining has begun, so load
+// balancers stop routing new work here while in-flight work finishes.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if !s.ready.Load() {
+		writeError(w, http.StatusServiceUnavailable, "draining", requestID(r.Context()))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+}
+
+// handleAlgorithms lists the registry (the paper's nine plus
+// extension baselines), with the budget-blindness flag clients need
+// to know which requests require a meaningful budget.
+func (s *Server) handleAlgorithms(w http.ResponseWriter, r *http.Request) {
+	var out []algorithmInfo
+	for _, a := range sched.AllExtended() {
+		out = append(out, algorithmInfo{Name: string(a.Name), NeedsBudget: a.NeedsBudget})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"algorithms": out})
+}
+
+// handleMetrics serves this server's expvar map as JSON (the same
+// content cmd/budgetwfd publishes under /debug/vars).
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	io.WriteString(w, s.metrics.Var().String())
+}
+
+// handleSchedule plans one workflow: the daemon's hot endpoint, and
+// the cached one — repeated identical requests are served from the
+// content-addressed LRU without touching the planner.
+func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
+	reqID := requestID(r.Context())
+	var req scheduleRequest
+	if err := decodeStrict(r.Body, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "malformed request body: "+err.Error(), reqID)
+		return
+	}
+	wfl, err := parseWorkflow(req.Workflow)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "workflow: "+err.Error(), reqID)
+		return
+	}
+	plat, err := parsePlatform(req.Platform)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "platform: "+err.Error(), reqID)
+		return
+	}
+	alg, err := sched.ByName(sched.Name(req.Algorithm))
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err.Error(), reqID)
+		return
+	}
+	if err := checkBudget(req.Budget); err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err.Error(), reqID)
+		return
+	}
+	s.metrics.observeAlgorithm(req.Algorithm)
+
+	key := cacheKey(wfl.CanonicalHash(), plat.CanonicalHash(), req.Algorithm, req.Budget)
+	if e, ok := s.cache.get(key); ok {
+		writeJSON(w, http.StatusOK, scheduleResponse{
+			Algorithm:   req.Algorithm,
+			Budget:      req.Budget,
+			Schedule:    json.RawMessage(e.scheduleJSON),
+			NumVMs:      e.numVMs,
+			EstMakespan: e.estMakespan,
+			EstCost:     e.estCost,
+			Cached:      true,
+			RequestID:   reqID,
+		})
+		return
+	}
+
+	resp, ok := s.runPooled(w, r, func(ctx context.Context) (any, error) {
+		start := time.Now()
+		schedule, err := sched.PlanContext(ctx, alg.Name, wfl, plat, req.Budget)
+		if err != nil {
+			return nil, err
+		}
+		// The planner's own estimates are heuristic; the deterministic
+		// simulation is the authoritative conservative-weight outcome.
+		det, err := sim.RunDeterministic(wfl, plat, schedule)
+		if err != nil {
+			return nil, err
+		}
+		var buf bytes.Buffer
+		if err := schedule.WriteJSON(&buf); err != nil {
+			return nil, err
+		}
+		e := &cacheEntry{
+			key:          key,
+			scheduleJSON: buf.Bytes(),
+			numVMs:       schedule.NumVMs(),
+			estMakespan:  det.Makespan,
+			estCost:      det.TotalCost,
+		}
+		s.cache.put(e)
+		return scheduleResponse{
+			Algorithm:   req.Algorithm,
+			Budget:      req.Budget,
+			Schedule:    json.RawMessage(e.scheduleJSON),
+			NumVMs:      e.numVMs,
+			EstMakespan: e.estMakespan,
+			EstCost:     e.estCost,
+			PlanMillis:  float64(time.Since(start)) / float64(time.Millisecond),
+			RequestID:   reqID,
+		}, nil
+	})
+	if ok {
+		writeJSON(w, http.StatusOK, resp)
+	}
+}
+
+// handleSimulate replays a plan under realized stochastic weights and
+// aggregates the replications.
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	reqID := requestID(r.Context())
+	var req simulateRequest
+	if err := decodeStrict(r.Body, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "malformed request body: "+err.Error(), reqID)
+		return
+	}
+	wfl, err := parseWorkflow(req.Workflow)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "workflow: "+err.Error(), reqID)
+		return
+	}
+	plat, err := parsePlatform(req.Platform)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "platform: "+err.Error(), reqID)
+		return
+	}
+	schedule, err := parseSchedule(req.Schedule, wfl, plat)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "schedule: "+err.Error(), reqID)
+		return
+	}
+	if err := checkBudget(req.Budget); err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err.Error(), reqID)
+		return
+	}
+	reps := req.Replications
+	if reps == 0 {
+		reps = 25 // the paper's methodology
+	}
+	if reps < 1 || reps > maxReplications {
+		writeError(w, http.StatusUnprocessableEntity,
+			fmt.Sprintf("replications must be in [1, %d]", maxReplications), reqID)
+		return
+	}
+
+	resp, ok := s.runPooled(w, r, func(ctx context.Context) (any, error) {
+		stream := rng.New(req.Seed)
+		mk := make([]float64, 0, reps)
+		cost := make([]float64, 0, reps)
+		valid := 0
+		for i := 0; i < reps; i++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			res, err := sim.RunStochastic(wfl, plat, schedule, stream.Split(uint64(i)))
+			if err != nil {
+				return nil, err
+			}
+			mk = append(mk, res.Makespan)
+			cost = append(cost, res.TotalCost)
+			if req.Budget <= 0 || res.TotalCost <= req.Budget {
+				valid++
+			}
+		}
+		return simulateResponse{
+			Replications: reps,
+			Makespan:     toSummaryJSON(stats.Summarize(mk)),
+			Cost:         toSummaryJSON(stats.Summarize(cost)),
+			ValidFrac:    float64(valid) / float64(reps),
+			Budget:       req.Budget,
+			RequestID:    reqID,
+		}, nil
+	})
+	if ok {
+		writeJSON(w, http.StatusOK, resp)
+	}
+}
+
+// handleSweep runs a Figure-1-style budget sweep over generated
+// instances of one workflow family. The heaviest endpoint: bounded by
+// the request ceilings and by Workers=1 inside the experiment harness
+// so one sweep occupies exactly one pool slot.
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	reqID := requestID(r.Context())
+	var req sweepRequest
+	if err := decodeStrict(r.Body, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "malformed request body: "+err.Error(), reqID)
+		return
+	}
+	typ, err := wfgen.ParseType(req.WorkflowType)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err.Error(), reqID)
+		return
+	}
+	switch {
+	case req.N < 4 || req.N > maxSweepTasks:
+		err = fmt.Errorf("n must be in [4, %d]", maxSweepTasks)
+	case req.GridK < 0 || req.GridK > maxSweepGridK:
+		err = fmt.Errorf("gridK must be in [1, %d]", maxSweepGridK)
+	case req.Instances < 0 || req.Instances > maxSweepRuns:
+		err = fmt.Errorf("instances must be in [1, %d]", maxSweepRuns)
+	case req.Replications < 0 || req.Replications > maxSweepReps:
+		err = fmt.Errorf("replications must be in [1, %d]", maxSweepReps)
+	case req.SigmaRatio < 0 || req.SigmaRatio > maxMaxSigmaRatio || math.IsNaN(req.SigmaRatio):
+		err = fmt.Errorf("sigmaRatio must be in [0, %v]", maxMaxSigmaRatio)
+	}
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err.Error(), reqID)
+		return
+	}
+	// Probe the generator: family-specific constraints (e.g. Montage
+	// needing ≥ 12 tasks) are semantic errors, not server faults.
+	if _, err := wfgen.Generate(typ, req.N, req.Seed); err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err.Error(), reqID)
+		return
+	}
+	algs := sched.All()
+	if len(req.Algorithms) > 0 {
+		algs = algs[:0:0]
+		for _, name := range req.Algorithms {
+			a, err := sched.ByName(sched.Name(name))
+			if err != nil {
+				writeError(w, http.StatusUnprocessableEntity, err.Error(), reqID)
+				return
+			}
+			algs = append(algs, a)
+		}
+	}
+
+	resp, ok := s.runPooled(w, r, func(ctx context.Context) (any, error) {
+		sc := exp.Scenario{
+			Type:       typ,
+			N:          req.N,
+			SigmaRatio: req.SigmaRatio,
+			Instances:  req.Instances,
+			Reps:       req.Replications,
+			Seed:       req.Seed,
+			Workers:    1, // concurrency is the pool's job, not the sweep's
+		}
+		res, err := exp.RunSweepCtx(ctx, sc, algs, req.GridK)
+		if err != nil {
+			return nil, err
+		}
+		out := sweepResponse{
+			WorkflowType:     string(typ),
+			N:                req.N,
+			SigmaRatio:       res.Scenario.SigmaRatio,
+			MinCostMakespan:  res.MinCostMakespan,
+			MinCostBudget:    res.MinCostBudget,
+			BaselineMakespan: res.BaselineMakespan,
+			RequestID:        reqID,
+		}
+		for _, series := range res.Series {
+			ss := sweepSeries{Algorithm: string(series.Algorithm)}
+			for _, p := range series.Points {
+				ss.Points = append(ss.Points, sweepPoint{
+					Factor:    p.Factor,
+					Budget:    p.Budget,
+					Makespan:  toSummaryJSON(p.Makespan),
+					Cost:      toSummaryJSON(p.Cost),
+					NumVMs:    toSummaryJSON(p.NumVMs),
+					ValidFrac: p.ValidFrac,
+				})
+			}
+			out.Series = append(out.Series, ss)
+		}
+		return out, nil
+	})
+	if ok {
+		writeJSON(w, http.StatusOK, resp)
+	}
+}
+
+// runPooled executes fn on the worker pool under the per-request
+// timeout and translates the admission/cancellation outcomes to HTTP.
+// It returns (response, true) when fn completed and the response
+// should be written, and (nil, false) when runPooled already wrote an
+// error (or the client is gone and nothing should be written).
+func (s *Server) runPooled(w http.ResponseWriter, r *http.Request, fn func(ctx context.Context) (any, error)) (any, bool) {
+	reqID := requestID(r.Context())
+	ctx := r.Context()
+	cancel := context.CancelFunc(func() {})
+	if s.cfg.RequestTimeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.RequestTimeout)
+	}
+	defer cancel()
+
+	type outcome struct {
+		resp any
+		err  error
+	}
+	done := make(chan outcome, 1) // buffered: the worker never blocks on a gone client
+	if !s.pool.trySubmit(func() {
+		resp, err := fn(ctx)
+		done <- outcome{resp, err}
+	}) {
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+		writeError(w, http.StatusTooManyRequests, "server overloaded, retry later", reqID)
+		return nil, false
+	}
+
+	select {
+	case o := <-done:
+		if o.err != nil {
+			switch {
+			case errors.Is(o.err, context.DeadlineExceeded):
+				writeError(w, http.StatusGatewayTimeout, "request timed out", reqID)
+			case errors.Is(o.err, context.Canceled):
+				// Client went away; nothing useful to write.
+			default:
+				s.log.Error("request failed", "requestId", reqID, "error", o.err.Error())
+				writeError(w, http.StatusInternalServerError, "internal error", reqID)
+			}
+			return nil, false
+		}
+		return o.resp, true
+	case <-ctx.Done():
+		// Deadline or disconnect while the job is still queued or
+		// running; the job observes the same context and exits promptly
+		// into the buffered channel.
+		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+			writeError(w, http.StatusGatewayTimeout, "request timed out", reqID)
+		}
+		return nil, false
+	}
+}
+
+// retryAfterSeconds estimates how long a rejected client should back
+// off: roughly one queue drain at the current depth, clamped to
+// [1, 30] seconds.
+func (s *Server) retryAfterSeconds() int {
+	secs := (s.pool.queueDepth() + s.cfg.Workers) / s.cfg.Workers
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 30 {
+		secs = 30
+	}
+	return secs
+}
+
+// writeJSON emits v as the response body with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}

@@ -1,0 +1,153 @@
+package server
+
+import (
+	"expvar"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Metrics aggregates the daemon's observability counters as expvar
+// variables. Each Server owns an unpublished instance (so tests can
+// run many servers in one process without colliding in the global
+// expvar namespace); cmd/budgetwfd publishes the daemon's instance
+// under "budgetwfd" and the same JSON is always available from the
+// server's own GET /metrics endpoint.
+type Metrics struct {
+	requests   *expvar.Map // endpoint → request count
+	statuses   *expvar.Map // HTTP status → response count
+	algorithms *expvar.Map // algorithm → schedule requests (hits + plans)
+	latencies  *expvar.Map // endpoint → latency histogram
+	panics     expvar.Int
+
+	mu    sync.Mutex // guards lazy histogram creation
+	cache *planCache
+	pool  *workerPool
+	root  *expvar.Map
+}
+
+func newMetrics(cache *planCache, pool *workerPool) *Metrics {
+	m := &Metrics{
+		requests:   new(expvar.Map).Init(),
+		statuses:   new(expvar.Map).Init(),
+		algorithms: new(expvar.Map).Init(),
+		latencies:  new(expvar.Map).Init(),
+		cache:      cache,
+		pool:       pool,
+	}
+	m.root = new(expvar.Map).Init()
+	m.root.Set("requests", m.requests)
+	m.root.Set("statuses", m.statuses)
+	m.root.Set("algorithms", m.algorithms)
+	m.root.Set("latencyMs", m.latencies)
+	m.root.Set("panics", &m.panics)
+	m.root.Set("cache", expvar.Func(func() any {
+		return map[string]any{
+			"hits":    cache.Hits(),
+			"misses":  cache.Misses(),
+			"hitRate": cache.HitRate(),
+			"size":    cache.Len(),
+		}
+	}))
+	m.root.Set("pool", expvar.Func(func() any {
+		return map[string]any{
+			"queueDepth": pool.queueDepth(),
+			"inFlight":   pool.inFlightCount(),
+		}
+	}))
+	return m
+}
+
+// Var returns the assembled expvar map, suitable for expvar.Publish.
+func (m *Metrics) Var() expvar.Var { return m.root }
+
+// observe records one finished request.
+func (m *Metrics) observe(endpoint string, status int, d time.Duration) {
+	m.requests.Add(endpoint, 1)
+	m.statuses.Add(fmt.Sprintf("%d", status), 1)
+	m.histogram(endpoint).observe(d)
+}
+
+// observeAlgorithm counts one /v1/schedule request per algorithm.
+func (m *Metrics) observeAlgorithm(name string) { m.algorithms.Add(name, 1) }
+
+// observePanic counts one recovered handler panic.
+func (m *Metrics) observePanic() { m.panics.Add(1) }
+
+// histogram returns the endpoint's latency histogram, creating it on
+// first use.
+func (m *Metrics) histogram(endpoint string) *latencyHist {
+	if v := m.latencies.Get(endpoint); v != nil {
+		return v.(*latencyHist)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if v := m.latencies.Get(endpoint); v != nil {
+		return v.(*latencyHist)
+	}
+	h := &latencyHist{}
+	m.latencies.Set(endpoint, h)
+	return h
+}
+
+// CacheHits, CacheMisses and CacheHitRate expose the plan-cache
+// counters (the proof that repeated requests skip the planner).
+func (m *Metrics) CacheHits() uint64     { return m.cache.Hits() }
+func (m *Metrics) CacheMisses() uint64   { return m.cache.Misses() }
+func (m *Metrics) CacheHitRate() float64 { return m.cache.HitRate() }
+
+// RequestCount returns the number of requests observed on an endpoint.
+func (m *Metrics) RequestCount(endpoint string) int64 {
+	if v, ok := m.requests.Get(endpoint).(*expvar.Int); ok {
+		return v.Value()
+	}
+	return 0
+}
+
+// StatusCount returns the number of responses with the given status.
+func (m *Metrics) StatusCount(status int) int64 {
+	if v, ok := m.statuses.Get(fmt.Sprintf("%d", status)).(*expvar.Int); ok {
+		return v.Value()
+	}
+	return 0
+}
+
+// latencyBoundsMs are the histogram bucket upper bounds, in
+// milliseconds; a final unbounded bucket catches the tail.
+var latencyBoundsMs = []float64{1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000}
+
+// latencyHist is a fixed-bucket latency histogram implementing
+// expvar.Var. All fields are manipulated atomically; String renders a
+// consistent-enough snapshot for monitoring purposes.
+type latencyHist struct {
+	count   atomic.Uint64
+	sumUs   atomic.Uint64
+	buckets [13]atomic.Uint64 // len(latencyBoundsMs) + 1 overflow
+}
+
+func (h *latencyHist) observe(d time.Duration) {
+	ms := float64(d) / float64(time.Millisecond)
+	h.count.Add(1)
+	h.sumUs.Add(uint64(d / time.Microsecond))
+	for i, bound := range latencyBoundsMs {
+		if ms <= bound {
+			h.buckets[i].Add(1)
+			return
+		}
+	}
+	h.buckets[len(latencyBoundsMs)].Add(1)
+}
+
+// String renders the histogram as JSON, as expvar requires.
+func (h *latencyHist) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, `{"count":%d,"sumMs":%.3f`, h.count.Load(), float64(h.sumUs.Load())/1e3)
+	for i, bound := range latencyBoundsMs {
+		fmt.Fprintf(&b, `,"le%g":%d`, bound, h.buckets[i].Load())
+	}
+	fmt.Fprintf(&b, `,"inf":%d`, h.buckets[len(latencyBoundsMs)].Load())
+	b.WriteString("}")
+	return b.String()
+}

@@ -1,0 +1,100 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"runtime/debug"
+	"time"
+)
+
+// requestIDKey is the context key under which the request ID travels.
+type requestIDKey struct{}
+
+// requestID returns the ID the middleware assigned to this request.
+func requestID(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey{}).(string)
+	return id
+}
+
+// statusRecorder captures the status code a handler wrote, for the
+// structured log line and the per-status metrics.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+	wrote  bool
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	if !r.wrote {
+		r.status = code
+		r.wrote = true
+	}
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(b []byte) (int, error) {
+	if !r.wrote {
+		r.status = http.StatusOK
+		r.wrote = true
+	}
+	return r.ResponseWriter.Write(b)
+}
+
+// wrap applies the standard middleware stack to one endpoint handler:
+// request-ID assignment, body-size bounding, panic isolation (a
+// panicking handler produces a 500 and a log line, never a crashed
+// daemon), structured request logging, and latency/status metrics.
+func (s *Server) wrap(endpoint string, h http.HandlerFunc) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		id := s.nextRequestID()
+		ctx := context.WithValue(r.Context(), requestIDKey{}, id)
+		r = r.WithContext(ctx)
+		w.Header().Set("X-Request-Id", id)
+		if r.Body != nil && s.cfg.MaxBodyBytes > 0 {
+			r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+		}
+
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		defer func() {
+			if p := recover(); p != nil {
+				s.metrics.observePanic()
+				s.log.Error("handler panic",
+					"requestId", id, "endpoint", endpoint,
+					"panic", fmt.Sprint(p), "stack", string(debug.Stack()))
+				if !rec.wrote {
+					writeError(rec, http.StatusInternalServerError, "internal error", id)
+				}
+			}
+			d := time.Since(start)
+			s.metrics.observe(endpoint, rec.status, d)
+			s.log.Info("request",
+				"requestId", id,
+				"method", r.Method,
+				"path", r.URL.Path,
+				"status", rec.status,
+				"durationMs", float64(d)/float64(time.Millisecond),
+				"remote", r.RemoteAddr)
+		}()
+		h(rec, r)
+	})
+}
+
+// nextRequestID returns a process-unique request identifier: a
+// per-server nonce plus a sequence number.
+func (s *Server) nextRequestID() string {
+	return fmt.Sprintf("%s-%06d", s.nonce, s.reqSeq.Add(1))
+}
+
+// writeError emits the uniform JSON error body.
+func writeError(w http.ResponseWriter, status int, msg, reqID string) {
+	writeJSON(w, status, apiError{Error: msg, RequestID: reqID})
+}
+
+// defaultLogger builds the fallback structured logger (JSON to
+// stderr); tests inject a quiet one.
+func defaultLogger() *slog.Logger {
+	return slog.Default()
+}

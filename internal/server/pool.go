@@ -1,0 +1,81 @@
+package server
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// workerPool bounds the CPU-heavy work (planning, simulation, sweeps)
+// to a fixed number of goroutines with a bounded admission queue.
+// Overload therefore degrades by rejecting cheaply at the front door
+// (the handler turns a failed trySubmit into 429 + Retry-After)
+// instead of accumulating unbounded goroutines and memory — the
+// failure mode an unpooled handler exhibits under burst traffic.
+type workerPool struct {
+	jobs     chan func()
+	wg       sync.WaitGroup
+	mu       sync.Mutex
+	closed   bool
+	inFlight atomic.Int64
+}
+
+// newWorkerPool starts workers goroutines serving a queue of capacity
+// queueDepth (0 means admission requires an idle worker ready to
+// receive immediately).
+func newWorkerPool(workers, queueDepth int) *workerPool {
+	if workers < 1 {
+		workers = 1
+	}
+	if queueDepth < 0 {
+		queueDepth = 0
+	}
+	p := &workerPool{jobs: make(chan func(), queueDepth)}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go p.run()
+	}
+	return p
+}
+
+func (p *workerPool) run() {
+	defer p.wg.Done()
+	for job := range p.jobs {
+		p.inFlight.Add(1)
+		job()
+		p.inFlight.Add(-1)
+	}
+}
+
+// trySubmit enqueues job if the queue has room and the pool is open;
+// it never blocks. A false return is the admission-control signal.
+func (p *workerPool) trySubmit(job func()) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return false
+	}
+	select {
+	case p.jobs <- job:
+		return true
+	default:
+		return false
+	}
+}
+
+// close stops admission, drains queued jobs and waits for in-flight
+// ones. Safe to call more than once.
+func (p *workerPool) close() {
+	p.mu.Lock()
+	if !p.closed {
+		p.closed = true
+		close(p.jobs)
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+}
+
+// queueDepth returns the number of jobs admitted but not yet started.
+func (p *workerPool) queueDepth() int { return len(p.jobs) }
+
+// inFlightCount returns the number of jobs currently executing.
+func (p *workerPool) inFlightCount() int64 { return p.inFlight.Load() }

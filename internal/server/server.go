@@ -1,0 +1,192 @@
+// Package server implements budgetwfd, the scheduling-as-a-service
+// daemon: a stdlib-only HTTP/JSON layer over the budgetwf scheduling,
+// simulation and experiment engines.
+//
+// Endpoints:
+//
+//	POST /v1/schedule   workflow + platform + algorithm + budget → plan
+//	POST /v1/simulate   workflow + platform + plan → stochastic aggregates
+//	POST /v1/sweep      generator family + budget grid → Figure-1-style sweep
+//	GET  /v1/algorithms registered algorithms
+//	GET  /healthz       liveness
+//	GET  /readyz        readiness (503 while draining)
+//	GET  /metrics       this server's expvar metrics as JSON
+//
+// Production plumbing, which is the point of the package:
+//
+//   - a bounded worker pool with a bounded admission queue: overload
+//     yields 429 + Retry-After instead of goroutine/memory blow-up;
+//   - a content-addressed LRU plan cache keyed by canonical hashes of
+//     (workflow, platform, algorithm, budget), with hit/miss counters;
+//   - per-request timeouts threaded through context into the planning
+//     and simulation hot paths, and graceful shutdown that flips
+//     /readyz, stops admission and drains in-flight work;
+//   - panic-isolating middleware, structured request logs with request
+//     IDs, and expvar metrics (request/status/algorithm counters,
+//     per-endpoint latency histograms, cache hit rate, queue depth,
+//     in-flight gauge), plus optional net/http/pprof.
+package server
+
+import (
+	"context"
+	"expvar"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"runtime"
+	"sync/atomic"
+	"time"
+)
+
+// Config parameterizes a Server. The zero value is usable: every
+// field has a production-safe default.
+type Config struct {
+	// Addr is the listen address for ListenAndServe; default ":8080".
+	Addr string
+	// Workers bounds concurrently executing heavy requests; default
+	// GOMAXPROCS.
+	Workers int
+	// QueueDepth bounds requests admitted but not yet running; beyond
+	// it requests are rejected with 429. Default 64. Negative means 0
+	// (admission requires an idle worker).
+	QueueDepth int
+	// CacheSize bounds the plan cache entry count; default 512, ≤ 0
+	// after defaulting disables caching (set -1 to disable).
+	CacheSize int
+	// RequestTimeout bounds the server-side processing of one heavy
+	// request; default 30s, negative disables.
+	RequestTimeout time.Duration
+	// MaxBodyBytes bounds request bodies; default 32 MiB.
+	MaxBodyBytes int64
+	// EnablePprof mounts net/http/pprof under /debug/pprof/.
+	EnablePprof bool
+	// Logger receives structured request logs; default JSON to stderr.
+	Logger *slog.Logger
+}
+
+// withDefaults fills unset fields.
+func (c Config) withDefaults() Config {
+	if c.Addr == "" {
+		c.Addr = ":8080"
+	}
+	if c.Workers == 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 64
+	}
+	if c.QueueDepth < 0 {
+		c.QueueDepth = 0
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 512
+	}
+	if c.RequestTimeout == 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	if c.RequestTimeout < 0 {
+		c.RequestTimeout = 0
+	}
+	if c.MaxBodyBytes == 0 {
+		c.MaxBodyBytes = 32 << 20
+	}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	}
+	return c
+}
+
+// Server is one budgetwfd instance.
+type Server struct {
+	cfg     Config
+	log     *slog.Logger
+	pool    *workerPool
+	cache   *planCache
+	metrics *Metrics
+	mux     *http.ServeMux
+	ready   atomic.Bool
+	reqSeq  atomic.Uint64
+	nonce   string
+	httpSrv *http.Server
+}
+
+// New assembles a Server from the configuration. The returned server
+// is ready: Handler can be mounted in a test immediately, or
+// ListenAndServe called for real serving.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:   cfg,
+		log:   cfg.Logger,
+		pool:  newWorkerPool(cfg.Workers, cfg.QueueDepth),
+		cache: newPlanCache(cfg.CacheSize),
+		nonce: fmt.Sprintf("%x", time.Now().UnixNano()&0xffffff),
+	}
+	s.metrics = newMetrics(s.cache, s.pool)
+	s.mux = http.NewServeMux()
+	s.routes()
+	s.ready.Store(true)
+	return s
+}
+
+// routes mounts every endpoint behind the middleware stack.
+func (s *Server) routes() {
+	s.mux.Handle("GET /healthz", s.wrap("healthz", s.handleHealthz))
+	s.mux.Handle("GET /readyz", s.wrap("readyz", s.handleReadyz))
+	s.mux.Handle("GET /v1/algorithms", s.wrap("algorithms", s.handleAlgorithms))
+	s.mux.Handle("GET /metrics", s.wrap("metrics", s.handleMetrics))
+	s.mux.Handle("POST /v1/schedule", s.wrap("schedule", s.handleSchedule))
+	s.mux.Handle("POST /v1/simulate", s.wrap("simulate", s.handleSimulate))
+	s.mux.Handle("POST /v1/sweep", s.wrap("sweep", s.handleSweep))
+	if s.cfg.EnablePprof {
+		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
+}
+
+// Handler returns the root handler (for httptest and for embedding).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Metrics exposes the server's metrics (tests assert on cache
+// hit/miss counters through it).
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// PublishExpvar publishes the server's metrics map into the global
+// expvar namespace under the given name, once per process; repeated
+// calls (or name collisions from tests) are ignored rather than
+// panicking, as expvar.Publish would.
+func (s *Server) PublishExpvar(name string) {
+	if expvar.Get(name) == nil {
+		expvar.Publish(name, s.metrics.Var())
+	}
+}
+
+// ListenAndServe serves until Shutdown (which makes it return
+// http.ErrServerClosed) or a listener error.
+func (s *Server) ListenAndServe() error {
+	s.httpSrv = &http.Server{
+		Addr:              s.cfg.Addr,
+		Handler:           s.mux,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	return s.httpSrv.ListenAndServe()
+}
+
+// Shutdown drains the server gracefully: /readyz starts returning 503
+// (so load balancers stop routing here), the HTTP listener stops
+// accepting and waits for in-flight handlers within ctx, then the
+// worker pool stops admission and drains queued and running jobs.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.ready.Store(false)
+	var err error
+	if s.httpSrv != nil {
+		err = s.httpSrv.Shutdown(ctx)
+	}
+	s.pool.close()
+	return err
+}

@@ -1,0 +1,231 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+
+	"budgetwf/internal/plan"
+	"budgetwf/internal/platform"
+	"budgetwf/internal/stats"
+	"budgetwf/internal/wf"
+)
+
+// The wire types of the budgetwfd HTTP/JSON API. Workflows and
+// schedules reuse the repository's canonical on-disk formats
+// (internal/wf JSON, internal/plan JSON) verbatim, so a file produced
+// by cmd/wfgen posts unchanged and a schedule response feeds straight
+// into cmd/simulate.
+//
+// Error discipline: a request whose body is not syntactically valid
+// JSON (or has unknown top-level fields) is a 400; a body that parses
+// but describes something semantically unusable — a cyclic DAG, an
+// unknown algorithm, a negative budget, a schedule inconsistent with
+// its workflow — is a 422. Overload is a 429 with Retry-After, and a
+// server-side deadline expiry is a 504.
+
+// scheduleRequest is the body of POST /v1/schedule.
+type scheduleRequest struct {
+	// Workflow is required, in the internal/wf JSON format.
+	Workflow json.RawMessage `json:"workflow"`
+	// Platform is optional; omitted or null selects the paper's
+	// Table II default platform.
+	Platform json.RawMessage `json:"platform,omitempty"`
+	// Algorithm names one of the registered algorithms (see
+	// GET /v1/algorithms).
+	Algorithm string `json:"algorithm"`
+	// Budget is B_ini in dollars; ignored by the budget-blind
+	// baselines.
+	Budget float64 `json:"budget"`
+}
+
+// scheduleResponse is the body of a successful POST /v1/schedule.
+type scheduleResponse struct {
+	Algorithm string  `json:"algorithm"`
+	Budget    float64 `json:"budget"`
+	// Schedule is the plan in the internal/plan JSON format.
+	Schedule json.RawMessage `json:"schedule"`
+	NumVMs   int             `json:"numVMs"`
+	// EstMakespan and EstCost are authoritative deterministic-simulation
+	// values (conservative weights), not the planner's own estimates.
+	EstMakespan float64 `json:"estMakespan"`
+	EstCost     float64 `json:"estCost"`
+	// Cached reports whether the plan came from the content-addressed
+	// cache instead of a fresh planner run.
+	Cached     bool    `json:"cached"`
+	PlanMillis float64 `json:"planMillis"`
+	RequestID  string  `json:"requestId"`
+}
+
+// simulateRequest is the body of POST /v1/simulate.
+type simulateRequest struct {
+	Workflow json.RawMessage `json:"workflow"`
+	Platform json.RawMessage `json:"platform,omitempty"`
+	// Schedule is a plan previously returned by /v1/schedule (or
+	// written by cmd/schedule), in the internal/plan JSON format.
+	Schedule json.RawMessage `json:"schedule"`
+	// Replications is the number of stochastic executions; default 25
+	// (the paper's methodology), capped at maxReplications.
+	Replications int `json:"replications,omitempty"`
+	// Seed decorrelates the stochastic weight draws; default 0.
+	Seed uint64 `json:"seed,omitempty"`
+	// Budget, when positive, enables the validity accounting.
+	Budget float64 `json:"budget,omitempty"`
+}
+
+// summaryJSON mirrors stats.Summary on the wire.
+type summaryJSON struct {
+	N      int     `json:"n"`
+	Mean   float64 `json:"mean"`
+	StdDev float64 `json:"stdDev"`
+	Min    float64 `json:"min"`
+	Max    float64 `json:"max"`
+	Median float64 `json:"median"`
+}
+
+func toSummaryJSON(s stats.Summary) summaryJSON {
+	return summaryJSON{N: s.N, Mean: s.Mean, StdDev: s.StdDev, Min: s.Min, Max: s.Max, Median: s.Median}
+}
+
+// simulateResponse is the body of a successful POST /v1/simulate.
+type simulateResponse struct {
+	Replications int         `json:"replications"`
+	Makespan     summaryJSON `json:"makespan"`
+	Cost         summaryJSON `json:"cost"`
+	// ValidFrac is the fraction of executions whose realized cost
+	// respected Budget (1 when Budget is absent).
+	ValidFrac float64 `json:"validFrac"`
+	Budget    float64 `json:"budget"`
+	RequestID string  `json:"requestId"`
+}
+
+// sweepRequest is the body of POST /v1/sweep: a Figure-1-style budget
+// sweep over generated workflow instances.
+type sweepRequest struct {
+	// WorkflowType is a generator family name (cybershake, ligo,
+	// montage, epigenomics, sipht, random, chain, forkjoin, bagoftasks).
+	WorkflowType string `json:"workflowType"`
+	// N is the number of tasks per instance.
+	N int `json:"n"`
+	// SigmaRatio is σ/w̄; default 0.5 (the paper's central value).
+	SigmaRatio float64 `json:"sigmaRatio,omitempty"`
+	// Algorithms defaults to the paper's nine.
+	Algorithms []string `json:"algorithms,omitempty"`
+	// GridK is the number of budget levels; default 8.
+	GridK int `json:"gridK,omitempty"`
+	// Instances and Replications default to the paper's 5 and 25.
+	Instances    int    `json:"instances,omitempty"`
+	Replications int    `json:"replications,omitempty"`
+	Seed         uint64 `json:"seed,omitempty"`
+}
+
+// sweepPoint is one (algorithm, budget) cell of the sweep response.
+type sweepPoint struct {
+	Factor    float64     `json:"factor"`
+	Budget    float64     `json:"budget"`
+	Makespan  summaryJSON `json:"makespan"`
+	Cost      summaryJSON `json:"cost"`
+	NumVMs    summaryJSON `json:"numVMs"`
+	ValidFrac float64     `json:"validFrac"`
+}
+
+// sweepSeries is one algorithm's curve.
+type sweepSeries struct {
+	Algorithm string       `json:"algorithm"`
+	Points    []sweepPoint `json:"points"`
+}
+
+// sweepResponse is the body of a successful POST /v1/sweep.
+type sweepResponse struct {
+	WorkflowType     string        `json:"workflowType"`
+	N                int           `json:"n"`
+	SigmaRatio       float64       `json:"sigmaRatio"`
+	MinCostMakespan  float64       `json:"minCostMakespan"`
+	MinCostBudget    float64       `json:"minCostBudget"`
+	BaselineMakespan float64       `json:"baselineMakespan"`
+	Series           []sweepSeries `json:"series"`
+	RequestID        string        `json:"requestId"`
+}
+
+// algorithmInfo is one entry of GET /v1/algorithms.
+type algorithmInfo struct {
+	Name        string `json:"name"`
+	NeedsBudget bool   `json:"needsBudget"`
+}
+
+// apiError is every non-2xx JSON body.
+type apiError struct {
+	Error     string `json:"error"`
+	RequestID string `json:"requestId,omitempty"`
+}
+
+// decodeStrict decodes JSON from r into v, rejecting unknown fields
+// and trailing garbage. Errors from it are syntactic (HTTP 400).
+func decodeStrict(r io.Reader, v any) error {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	if dec.More() {
+		return fmt.Errorf("trailing data after JSON body")
+	}
+	return nil
+}
+
+// parseWorkflow parses and validates the workflow sub-object. Errors
+// from it are semantic (HTTP 422): the envelope already proved the
+// bytes are well-formed JSON.
+func parseWorkflow(raw json.RawMessage) (*wf.Workflow, error) {
+	if len(raw) == 0 {
+		return nil, fmt.Errorf("missing workflow")
+	}
+	w, err := wf.ReadJSON(bytes.NewReader(raw))
+	if err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// parsePlatform parses and validates the optional platform sub-object,
+// defaulting to the paper's Table II platform.
+func parsePlatform(raw json.RawMessage) (*platform.Platform, error) {
+	if len(raw) == 0 || bytes.Equal(bytes.TrimSpace(raw), []byte("null")) {
+		return platform.Default(), nil
+	}
+	var p platform.Platform
+	if err := decodeStrict(bytes.NewReader(raw), &p); err != nil {
+		return nil, fmt.Errorf("platform: %w", err)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &p, nil
+}
+
+// parseSchedule parses the schedule sub-object and validates it
+// against the workflow and platform it claims to schedule.
+func parseSchedule(raw json.RawMessage, w *wf.Workflow, p *platform.Platform) (*plan.Schedule, error) {
+	if len(raw) == 0 {
+		return nil, fmt.Errorf("missing schedule")
+	}
+	s, err := plan.ReadJSON(bytes.NewReader(raw))
+	if err != nil {
+		return nil, err
+	}
+	if err := s.Validate(w, p.NumCategories()); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// checkBudget rejects budgets the planners would refuse anyway, with a
+// clearer message and without spending a pool slot.
+func checkBudget(b float64) error {
+	if b < 0 || math.IsNaN(b) || math.IsInf(b, -1) {
+		return fmt.Errorf("invalid budget %v", b)
+	}
+	return nil
+}

@@ -1,0 +1,135 @@
+package wf
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"math"
+	"sort"
+)
+
+// CanonicalHash returns a hex-encoded SHA-256 digest identifying the
+// workflow's structure and parameters — tasks (weight distribution and
+// external I/O volumes), edges (endpoints and payload sizes) — in a
+// representation independent of task-insertion order. Two workflows
+// that differ only by the order in which AddTask/AddEdge were called,
+// or by a JSON save/load round-trip, hash identically; any change to a
+// weight, a data size, or the DAG shape changes the digest.
+//
+// Labels (the workflow Name and task Names) are deliberately excluded:
+// they do not influence any scheduling decision, so including them
+// would defeat content-addressed caching of plans (the primary use of
+// this hash) for structurally identical requests.
+//
+// The digest is computed by Weisfeiler–Leman-style refinement: each
+// task starts from a digest of its own parameters, then absorbs the
+// sorted digests of its neighborhood over hashRounds iterations, so
+// that position in the DAG — not just local content — is captured.
+// Float parameters are hashed through their IEEE-754 bit patterns,
+// which Go's encoding/json round-trips exactly.
+func (w *Workflow) CanonicalHash() string {
+	n := len(w.tasks)
+	cur := make([][]byte, n)
+	for i, t := range w.tasks {
+		h := sha256.New()
+		h.Write([]byte("task"))
+		writeF64(h, t.Weight.Mean)
+		writeF64(h, t.Weight.Sigma)
+		writeF64(h, t.ExternalIn)
+		writeF64(h, t.ExternalOut)
+		cur[i] = h.Sum(nil)
+	}
+
+	// Refine: absorb predecessor and successor digests (with edge
+	// payloads) as sorted multisets. hashRounds iterations capture
+	// hashRounds-hop neighborhoods, ample to distinguish any two
+	// non-isomorphic workflows that scheduling could treat differently;
+	// genuinely isomorphic ones should collide, by design.
+	next := make([][]byte, n)
+	for round := 0; round < hashRounds; round++ {
+		for i := range w.tasks {
+			h := sha256.New()
+			h.Write(cur[i])
+			h.Write([]byte("pred"))
+			writeSortedNeighborhood(h, w.edgesOf(w.pred[i]), cur, true)
+			h.Write([]byte("succ"))
+			writeSortedNeighborhood(h, w.edgesOf(w.succ[i]), cur, false)
+			next[i] = h.Sum(nil)
+		}
+		cur, next = next, cur
+	}
+
+	// Aggregate: the sorted multiset of final task digests plus the
+	// sorted multiset of edge digests.
+	taskDigests := make([]string, n)
+	for i, d := range cur {
+		taskDigests[i] = string(d)
+	}
+	sort.Strings(taskDigests)
+	edgeDigests := make([]string, len(w.edges))
+	for i, e := range w.edges {
+		h := sha256.New()
+		h.Write([]byte("edge"))
+		h.Write(cur[e.From])
+		h.Write(cur[e.To])
+		writeF64(h, e.Size)
+		edgeDigests[i] = string(h.Sum(nil))
+	}
+	sort.Strings(edgeDigests)
+
+	h := sha256.New()
+	h.Write([]byte("workflow"))
+	var count [8]byte
+	binary.BigEndian.PutUint64(count[:], uint64(n))
+	h.Write(count[:])
+	for _, d := range taskDigests {
+		h.Write([]byte(d))
+	}
+	for _, d := range edgeDigests {
+		h.Write([]byte(d))
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// hashRounds is the neighborhood radius of the refinement. Eight hops
+// separate every workflow shape the generators or the schedulers
+// distinguish; deep chains beyond that radius differ in their sorted
+// digest multisets anyway.
+const hashRounds = 8
+
+// edgesOf resolves edge indices to Edge values.
+func (w *Workflow) edgesOf(idxs []int) []Edge {
+	out := make([]Edge, len(idxs))
+	for i, e := range idxs {
+		out[i] = w.edges[e]
+	}
+	return out
+}
+
+// writeSortedNeighborhood hashes the multiset of (neighbor digest,
+// payload size) pairs in sorted order, so sibling enumeration order
+// cannot leak into the digest. fromSide selects which endpoint of each
+// edge is the neighbor.
+func writeSortedNeighborhood(h interface{ Write([]byte) (int, error) }, edges []Edge, digests [][]byte, fromSide bool) {
+	items := make([]string, len(edges))
+	for i, e := range edges {
+		neighbor := e.To
+		if fromSide {
+			neighbor = e.From
+		}
+		var size [8]byte
+		binary.BigEndian.PutUint64(size[:], math.Float64bits(e.Size))
+		items[i] = string(digests[neighbor]) + string(size[:])
+	}
+	sort.Strings(items)
+	for _, it := range items {
+		h.Write([]byte(it))
+	}
+}
+
+// writeF64 hashes the exact IEEE-754 bit pattern of v.
+func writeF64(h interface{ Write([]byte) (int, error) }, v float64) {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], math.Float64bits(v))
+	h.Write(b[:])
+}
