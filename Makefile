@@ -42,6 +42,7 @@ fuzz:
 	$(GO) test -fuzz FuzzReadJSON -fuzztime 30s ./internal/wf/
 	$(GO) test -fuzz FuzzReadDAX -fuzztime 30s ./internal/wf/
 	$(GO) test -fuzz FuzzReadJSON -fuzztime 30s ./internal/plan/
+	$(GO) test -fuzz FuzzSpecJSON -fuzztime 30s ./internal/fault/
 
 clean:
 	rm -rf results-quick

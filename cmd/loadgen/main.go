@@ -16,9 +16,12 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"os"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -26,13 +29,13 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "loadgen:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
 	baseURL := fs.String("url", "http://localhost:8080", "budgetwfd base URL")
 	total := fs.Int("n", 200, "total requests")
@@ -40,6 +43,8 @@ func run(args []string) error {
 	distinct := fs.Int("distinct", 4, "distinct workflows (repeats hit the cache)")
 	size := fs.Int("size", 30, "tasks per generated workflow")
 	alg := fs.String("alg", "heftbudg", "algorithm to request")
+	retries := fs.Int("retries", 3, "retries per request after a 429 (0 disables)")
+	retryCap := fs.Duration("retry-cap", 10*time.Second, "ceiling on a single retry backoff sleep")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -73,6 +78,7 @@ func run(args []string) error {
 	type result struct {
 		status  int
 		cached  bool
+		retried int
 		latency time.Duration
 		err     error
 	}
@@ -87,12 +93,29 @@ func run(args []string) error {
 		go func(i int) {
 			defer wg.Done()
 			defer func() { <-sem }()
+			rnd := rand.New(rand.NewSource(int64(i) + 1))
 			t0 := time.Now()
-			resp, err := client.Post(*baseURL+"/v1/schedule", "application/json",
-				bytes.NewReader(bodies[i%len(bodies)]))
-			if err != nil {
-				results[i] = result{err: err}
-				return
+			var resp *http.Response
+			var err error
+			retried := 0
+			for attempt := 0; ; attempt++ {
+				resp, err = client.Post(*baseURL+"/v1/schedule", "application/json",
+					bytes.NewReader(bodies[i%len(bodies)]))
+				if err != nil {
+					results[i] = result{err: err, retried: retried}
+					return
+				}
+				if resp.StatusCode != http.StatusTooManyRequests || attempt >= *retries {
+					break
+				}
+				// Admission control said no: honor its Retry-After under a
+				// capped exponential backoff with jitter, so a burst of
+				// rejected clients does not reconverge on the same instant.
+				retryAfter := resp.Header.Get("Retry-After")
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				time.Sleep(retryDelay(retryAfter, attempt, *retryCap, rnd))
+				retried++
 			}
 			var payload struct {
 				Cached bool `json:"cached"`
@@ -100,7 +123,7 @@ func run(args []string) error {
 			body, _ := io.ReadAll(resp.Body)
 			resp.Body.Close()
 			_ = json.Unmarshal(body, &payload)
-			results[i] = result{status: resp.StatusCode, cached: payload.Cached, latency: time.Since(t0)}
+			results[i] = result{status: resp.StatusCode, cached: payload.Cached, retried: retried, latency: time.Since(t0)}
 		}(i)
 	}
 	wg.Wait()
@@ -108,8 +131,13 @@ func run(args []string) error {
 
 	statuses := map[int]int{}
 	cached, errs := 0, 0
+	totalRetries, retriedReqs := 0, 0
 	var lats []time.Duration
 	for _, r := range results {
+		totalRetries += r.retried
+		if r.retried > 0 {
+			retriedReqs++
+		}
 		if r.err != nil {
 			errs++
 			continue
@@ -129,7 +157,7 @@ func run(args []string) error {
 		return lats[i]
 	}
 
-	fmt.Printf("loadgen: %d requests, concurrency %d, %d distinct workflows, %.2fs wall\n",
+	fmt.Fprintf(stdout, "loadgen: %d requests, concurrency %d, %d distinct workflows, %.2fs wall\n",
 		*total, *conc, *distinct, elapsed.Seconds())
 	var codes []int
 	for code := range statuses {
@@ -137,15 +165,36 @@ func run(args []string) error {
 	}
 	sort.Ints(codes)
 	for _, code := range codes {
-		fmt.Printf("  status %d: %d\n", code, statuses[code])
+		fmt.Fprintf(stdout, "  status %d: %d\n", code, statuses[code])
 	}
 	if errs > 0 {
-		fmt.Printf("  transport errors: %d\n", errs)
+		fmt.Fprintf(stdout, "  transport errors: %d\n", errs)
 	}
-	fmt.Printf("  cache hits (client-observed): %d\n", cached)
-	fmt.Printf("  latency p50=%v p90=%v p99=%v max=%v\n", pct(0.50), pct(0.90), pct(0.99), pct(1.0))
+	fmt.Fprintf(stdout, "  cache hits (client-observed): %d\n", cached)
+	fmt.Fprintf(stdout, "  429 retries: %d across %d requests\n", totalRetries, retriedReqs)
+	fmt.Fprintf(stdout, "  latency p50=%v p90=%v p99=%v max=%v\n", pct(0.50), pct(0.90), pct(0.99), pct(1.0))
 	if s5 := statuses[500]; s5 > 0 {
 		return fmt.Errorf("%d requests returned 500", s5)
 	}
 	return nil
+}
+
+// retryDelay computes the sleep before the (attempt+1)-th try of a
+// 429-rejected request: the server's Retry-After hint (default 100ms
+// when absent or unparseable) doubled per prior attempt, clamped to
+// cap, minus up to a quarter of random jitter so synchronized clients
+// spread out instead of stampeding back together.
+func retryDelay(retryAfter string, attempt int, cap time.Duration, rnd *rand.Rand) time.Duration {
+	base := 100 * time.Millisecond
+	if secs, err := strconv.Atoi(strings.TrimSpace(retryAfter)); err == nil && secs > 0 {
+		base = time.Duration(secs) * time.Second
+	}
+	d := base
+	for i := 0; i < attempt && d < cap; i++ {
+		d *= 2
+	}
+	if cap > 0 && d > cap {
+		d = cap
+	}
+	return d - time.Duration(rnd.Int63n(int64(d)/4+1))
 }

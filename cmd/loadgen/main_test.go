@@ -1,0 +1,84 @@
+package main
+
+import (
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRetryDelay(t *testing.T) {
+	rnd := rand.New(rand.NewSource(1))
+	cap := 2 * time.Second
+	for attempt := 0; attempt < 8; attempt++ {
+		for _, hdr := range []string{"", "1", "30", "soon", "-2"} {
+			d := retryDelay(hdr, attempt, cap, rnd)
+			if d < 0 || d > cap {
+				t.Fatalf("retryDelay(%q, %d) = %v, outside [0, %v]", hdr, attempt, d, cap)
+			}
+		}
+	}
+	// The Retry-After hint raises the base above the default.
+	if d := retryDelay("1", 0, time.Minute, rnd); d < 750*time.Millisecond {
+		t.Errorf("Retry-After: 1 yielded only %v", d)
+	}
+	// Without a hint the first backoff stays around the 100ms base.
+	if d := retryDelay("", 0, time.Minute, rnd); d > 100*time.Millisecond {
+		t.Errorf("default base backoff too large: %v", d)
+	}
+}
+
+// TestRunRetriesOn429 drives run() against a server that rejects every
+// other request with a 429 + Retry-After: each rejection must be
+// retried and reported, and every request must end in a 200.
+func TestRunRetriesOn429(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1)%2 == 1 {
+			w.Header().Set("Retry-After", "0") // keep the test fast; base backoff applies
+			w.WriteHeader(http.StatusTooManyRequests)
+			w.Write([]byte(`{"error":"server overloaded, retry later"}`))
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"cached":false}`))
+	}))
+	defer srv.Close()
+
+	var out strings.Builder
+	err := run([]string{"-url", srv.URL, "-n", "4", "-c", "1", "-distinct", "1",
+		"-size", "15", "-retries", "2", "-retry-cap", "200ms"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"status 200: 4", "429 retries: 4 across 4 requests"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+// TestRunReportsExhaustedRetries: when the server never relents, the
+// final status is the 429 itself.
+func TestRunReportsExhaustedRetries(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "0")
+		w.WriteHeader(http.StatusTooManyRequests)
+	}))
+	defer srv.Close()
+
+	var out strings.Builder
+	err := run([]string{"-url", srv.URL, "-n", "2", "-c", "2", "-distinct", "1",
+		"-size", "15", "-retries", "1", "-retry-cap", "50ms"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"status 429: 2", "429 retries: 2 across 2 requests"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}

@@ -12,6 +12,12 @@
 // in-process with -alg. Workflows come from -wf (JSON or DAX) or the
 // generator flags. -deadline additionally reports the bi-criteria
 // objective of Equation (3).
+//
+// The -fault-* flags inject VM crashes, boot failures and transient
+// task failures into the executions and report robustness metrics:
+//
+//	simulate -type montage -n 30 -alg heftbudg -fault-rate 0.1 -fault-recovery replicate
+//	simulate -type ligo -n 30 -fault-sweep 0,0.01,0.1,0.5 -fault-boot-fail 0.02
 package main
 
 import (
@@ -19,9 +25,12 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
 	"strings"
 
 	"budgetwf/internal/exp"
+	"budgetwf/internal/fault"
+	"budgetwf/internal/online"
 	"budgetwf/internal/plan"
 	"budgetwf/internal/platform"
 	"budgetwf/internal/rng"
@@ -59,9 +68,33 @@ func run(args []string, stdout io.Writer) error {
 		trace     = fs.Bool("trace", false, "print a per-task trace of the first execution")
 		chrome    = fs.String("chrome-trace", "", "write a Chrome trace-event JSON of the first execution here")
 		svgGantt  = fs.String("svg-gantt", "", "write an SVG Gantt chart of the first execution here")
+
+		faultRate     = fs.Float64("fault-rate", 0, "per-VM crash rate λ in crashes/hour (0 disables crashes)")
+		faultBoot     = fs.Float64("fault-boot-fail", 0, "probability a VM boot attempt fails")
+		faultTask     = fs.Float64("fault-task-fail", 0, "probability one task execution fails transiently")
+		faultSeed     = fs.Uint64("fault-seed", 1, "fault-trace RNG seed")
+		faultRecovery = fs.String("fault-recovery", "retry-same", "recovery policy: retry-same, resubmit-fastest or replicate")
+		faultRetries  = fs.Int("fault-retries", 0, "recovery attempts per task before it fails permanently (0 = default 3)")
+		faultBackoff  = fs.Float64("fault-backoff", 0, "reboot backoff in seconds for same-category recoveries")
+		faultSweep    = fs.String("fault-sweep", "", `comma-separated λ grid in crashes/hour (e.g. "0,0.01,0.1,0.5"): run a robustness sweep over generated instances`)
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	spec := &fault.Spec{
+		BootFailProb:     *faultBoot,
+		TaskFailProb:     *faultTask,
+		Seed:             *faultSeed,
+		Recovery:         *faultRecovery,
+		MaxRetries:       *faultRetries,
+		RebootBackoffSec: *faultBackoff,
+	}
+	if *faultSweep != "" {
+		if *wfPath != "" || *schedPath != "" {
+			return fmt.Errorf("-fault-sweep generates its own instances; it is incompatible with -wf and -sched")
+		}
+		return runFaultSweep(stdout, *faultSweep, *typ, *n, *sigma, *seed, *reps, *algName, *factor, spec)
 	}
 
 	w, err := loadWorkflow(*wfPath, *typ, *n, *seed, *sigma)
@@ -100,6 +133,14 @@ func run(args []string, stdout io.Writer) error {
 	}
 	if err := s.Validate(w, p.NumCategories()); err != nil {
 		return fmt.Errorf("schedule does not fit workflow: %w", err)
+	}
+
+	if *faultRate > 0 || *faultBoot > 0 || *faultTask > 0 {
+		if *gantt || *trace || *chrome != "" || *svgGantt != "" {
+			return fmt.Errorf("visualization flags are not supported under fault injection")
+		}
+		spec.CrashRatePerHour = []float64{*faultRate}
+		return runFaulty(stdout, w, p, s, spec, b, *reps, *simSeed)
 	}
 
 	obj := sim.Objective{Deadline: *deadline, Budget: b}
@@ -163,6 +204,114 @@ func run(args []string, stdout io.Writer) error {
 			100*objStats.Frac(objStats.DeadlineMet), *deadline, 100*objStats.Frac(objStats.BothMet))
 	}
 	return nil
+}
+
+// runFaulty replays the schedule reps times under fault injection and
+// reports robustness statistics. Budget-exhausted replications degrade
+// to partial results and lower the success rate; they are not errors.
+func runFaulty(stdout io.Writer, w *wf.Workflow, p *platform.Platform, s *plan.Schedule, spec *fault.Spec, budget float64, reps int, simSeed uint64) error {
+	stream := rng.New(simSeed)
+	var mk, cost []float64
+	var completed, inBudget int
+	var crashes, bootFails, taskFails, recov, vetoed int
+	var wasted float64
+	for i := 0; i < reps; i++ {
+		// Same weight streams as the fault-free path, so λ → 0
+		// reproduces the plain report.
+		weights := sim.SampleWeights(w, stream.Split(uint64(i)))
+		fs := *spec
+		fs.Seed = spec.Seed + uint64(i) // fresh fault trace per replication
+		r, err := online.ExecuteFaulty(w, p, s, weights, &fs, budget)
+		if err != nil {
+			return err
+		}
+		cost = append(cost, r.TotalCost)
+		if r.Completed {
+			completed++
+			mk = append(mk, r.Makespan)
+		}
+		if budget <= 0 || r.TotalCost <= budget {
+			inBudget++
+		}
+		crashes += r.Crashes
+		bootFails += r.BootFailures
+		taskFails += r.TaskFailures
+		recov += r.Recoveries
+		vetoed += r.RecoveriesVetoed
+		wasted += r.WastedSeconds
+	}
+	n := float64(reps)
+	fmt.Fprintf(stdout, "workflow   %s, schedule with %d VMs, %d fault-injected executions\n", w.Name, s.NumVMs(), reps)
+	fmt.Fprintf(stdout, "budget     $%.4f\n", budget)
+	fmt.Fprintf(stdout, "faults     λ=%g/hour, boot-fail %.3f, task-fail %.3f, recovery %s\n",
+		spec.CrashRatePerHour[0], spec.BootFailProb, spec.TaskFailProb, spec.RecoveryPolicy().Kind)
+	fmt.Fprintf(stdout, "success    %.1f%% completed all tasks; %.1f%% within budget\n",
+		100*float64(completed)/n, 100*float64(inBudget)/n)
+	fmt.Fprintf(stdout, "makespan   %s s (completed runs)\n", stats.Summarize(mk))
+	fmt.Fprintf(stdout, "cost       %s $\n", stats.Summarize(cost))
+	fmt.Fprintf(stdout, "failures   %.2f crashes, %.2f boot failures, %.2f transient failures per run\n",
+		float64(crashes)/n, float64(bootFails)/n, float64(taskFails)/n)
+	fmt.Fprintf(stdout, "recovery   %.2f recoveries, %.2f vetoed by the budget guard, %.1f s wasted per run\n",
+		float64(recov)/n, float64(vetoed)/n, wasted/n)
+	return nil
+}
+
+// runFaultSweep evaluates the generated scenario under a λ grid via
+// exp.RunFaultSweep and prints one row per crash rate.
+func runFaultSweep(stdout io.Writer, grid, typ string, n int, sigma float64, seed uint64, reps int, algName string, factor float64, spec *fault.Spec) error {
+	rates, err := parseRates(grid)
+	if err != nil {
+		return err
+	}
+	t, err := wfgen.ParseType(typ)
+	if err != nil {
+		return err
+	}
+	alg, err := sched.ByName(sched.Name(algName))
+	if err != nil {
+		return err
+	}
+	sc := exp.FaultScenario{
+		Scenario:     exp.Scenario{Type: t, N: n, SigmaRatio: sigma, Seed: seed, Reps: reps},
+		Rates:        rates,
+		Alg:          alg,
+		BudgetFactor: factor,
+		Spec:         *spec,
+	}
+	res, err := exp.RunFaultSweep(sc)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "fault sweep  %s n=%d, %d instances × %d reps per λ, mean budget $%.4f (β=%.2f), recovery %s\n",
+		typ, n, res.Scenario.Instances, res.Scenario.Reps, res.Budget, factor, spec.RecoveryPolicy().Kind)
+	fmt.Fprintf(stdout, "%8s %8s %9s %14s %12s %8s %8s %7s %7s %7s\n",
+		"λ/hour", "success", "inBudget", "makespan", "cost", "crashes", "recov", "vetoed", "mk×", "cost×")
+	for _, pt := range res.Points {
+		fmt.Fprintf(stdout, "%8g %7.1f%% %8.1f%% %14.1f %12.4f %8.2f %8.2f %7.2f %7.3f %7.3f\n",
+			pt.Rate, 100*pt.SuccessRate, 100*pt.WithinBudget, pt.Makespan.Mean, pt.Cost.Mean,
+			pt.Crashes, pt.Recoveries, pt.RecoveriesVetoed, pt.MakespanFactor, pt.CostFactor)
+	}
+	return nil
+}
+
+// parseRates parses a comma-separated λ grid.
+func parseRates(s string) ([]float64, error) {
+	var rates []float64
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		lam, err := strconv.ParseFloat(part, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad -fault-sweep entry %q: %w", part, err)
+		}
+		rates = append(rates, lam)
+	}
+	if len(rates) == 0 {
+		return nil, fmt.Errorf("-fault-sweep lists no rates")
+	}
+	return rates, nil
 }
 
 func loadWorkflow(path, typ string, n int, seed uint64, sigma float64) (*wf.Workflow, error) {

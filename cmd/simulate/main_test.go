@@ -133,3 +133,78 @@ func TestRunSVGGantt(t *testing.T) {
 		t.Errorf("not SVG: %.40s", data)
 	}
 }
+
+func TestRunFaultInjection(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-type", "montage", "-n", "30", "-alg", "heftbudg", "-reps", "5",
+		"-fault-rate", "0.5", "-fault-boot-fail", "0.05", "-fault-recovery", "replicate"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"fault-injected executions", "success", "recovery replicate", "budget guard"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunFaultInjectionZeroRateMatchesPlain(t *testing.T) {
+	// A spec with only transient failures at probability 0 still takes
+	// the fault path; its makespan line must agree with the plain run
+	// over the same -sim-seed streams.
+	var plain, faulty strings.Builder
+	common := []string{"-type", "ligo", "-n", "30", "-alg", "heftbudg", "-reps", "5"}
+	if err := run(common, &plain); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(append(append([]string{}, common...), "-fault-rate", "1e-12"), &faulty); err != nil {
+		t.Fatal(err)
+	}
+	pick := func(s, prefix string) string {
+		for _, line := range strings.Split(s, "\n") {
+			if strings.HasPrefix(line, prefix) {
+				return strings.TrimSuffix(strings.TrimSpace(strings.TrimPrefix(line, prefix)), " s (completed runs)")
+			}
+		}
+		return ""
+	}
+	want := strings.TrimSuffix(pick(plain.String(), "makespan"), " s")
+	got := pick(faulty.String(), "makespan")
+	if want == "" || got != want {
+		t.Errorf("fault path diverged at λ≈0: %q vs %q\nplain:\n%s\nfaulty:\n%s",
+			got, want, plain.String(), faulty.String())
+	}
+}
+
+func TestRunFaultSweepCLI(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-type", "montage", "-n", "12", "-reps", "3", "-fault-sweep", "0, 0.5"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"fault sweep", "success", "recovery retry-same"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+	if got := strings.Count(out.String(), "\n"); got != 4 { // header + column row + 2 rates
+		t.Errorf("want 4 lines, got %d:\n%s", got, out.String())
+	}
+}
+
+func TestRunFaultFlagErrors(t *testing.T) {
+	cases := [][]string{
+		{"-type", "montage", "-n", "12", "-fault-sweep", "0,0.5", "-wf", "nope.json"},
+		{"-type", "montage", "-n", "12", "-fault-sweep", " , "},
+		{"-type", "montage", "-n", "12", "-fault-sweep", "0,banana"},
+		{"-type", "montage", "-n", "12", "-reps", "1", "-fault-rate", "0.5", "-fault-recovery", "bogus"},
+		{"-type", "montage", "-n", "12", "-reps", "1", "-fault-boot-fail", "1.5"},
+		{"-type", "montage", "-n", "12", "-reps", "1", "-fault-rate", "0.5", "-gantt"},
+	}
+	for _, args := range cases {
+		var out strings.Builder
+		if err := run(args, &out); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}

@@ -1,0 +1,314 @@
+package exp
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+
+	"budgetwf/internal/fault"
+	"budgetwf/internal/online"
+	"budgetwf/internal/plan"
+	"budgetwf/internal/rng"
+	"budgetwf/internal/sched"
+	"budgetwf/internal/sim"
+	"budgetwf/internal/stats"
+	"budgetwf/internal/wf"
+)
+
+// DefaultFaultRates is the crash-rate grid (crashes per VM-hour) the
+// robustness experiments sweep by default.
+var DefaultFaultRates = []float64{0, 0.01, 0.1, 0.5}
+
+// FaultScenario describes a robustness sweep: one (workflow scenario,
+// algorithm, budget factor, recovery policy) condition replayed under
+// increasing per-VM crash rates. Weights and fault-trace seeds are
+// common random numbers across rates — replication r of instance i
+// sees the same realized task weights at every λ — so the degradation
+// curves are paired comparisons, not independent samples.
+type FaultScenario struct {
+	Scenario
+	// Rates is the λ grid in crashes per VM-hour. Empty defaults to
+	// DefaultFaultRates; a zero entry (the no-fault anchor of the
+	// degradation ratios) is prepended when absent.
+	Rates []float64
+	// Alg plans the schedule, once per instance. The zero value
+	// defaults to HEFTBUDG.
+	Alg sched.Algorithm
+	// BudgetFactor β sets each instance's budget to β × CheapCost;
+	// zero defaults to 1.5. Negative lifts the budget guard entirely.
+	BudgetFactor float64
+	// Spec is the fault-spec template. Its CrashRatePerHour and Seed
+	// fields are overridden per grid point and replication; boot- and
+	// task-failure probabilities, the recovery policy and the retry
+	// caps are taken as given.
+	Spec fault.Spec
+}
+
+// FaultPoint aggregates one crash rate across all instances and
+// replications.
+type FaultPoint struct {
+	// Rate is λ in crashes per VM-hour.
+	Rate float64
+	// SuccessRate is the fraction of executions that finished every
+	// task; the complement degraded to partial results under the
+	// budget guard or the retry caps.
+	SuccessRate float64
+	// WithinBudget is the fraction of executions whose realized spend
+	// stayed within the instance budget (1 when the guard is lifted).
+	WithinBudget float64
+	// Makespan summarizes completed executions only — a partial run's
+	// horizon is not a makespan. Cost summarizes every execution:
+	// spend is real whether or not the workflow finished.
+	Makespan stats.Summary
+	Cost     stats.Summary
+	// Mean per-execution fault and recovery counters.
+	Crashes          float64
+	BootFailures     float64
+	TaskFailures     float64
+	Recoveries       float64
+	RecoveriesVetoed float64
+	WastedSeconds    float64
+	// MakespanFactor and CostFactor are mean degradations relative to
+	// the λ = 0 point: mean makespan (over completed runs) and mean
+	// spend divided by the baseline's. 1 at the anchor; 0 when the
+	// point has no completed runs to compare.
+	MakespanFactor float64
+	CostFactor     float64
+}
+
+// FaultSweepResult is the full outcome of RunFaultSweep.
+type FaultSweepResult struct {
+	Scenario FaultScenario
+	// Budget is the mean actual budget across instances (0 when the
+	// guard is lifted).
+	Budget float64
+	// Points holds one entry per rate, in ascending λ; Points[0] is
+	// the λ = 0 anchor.
+	Points []FaultPoint
+}
+
+// faultCell is one unit of parallel work: every replication of one
+// instance at one crash rate.
+type faultCell struct {
+	instance int
+	rateIdx  int
+}
+
+type faultCellResult struct {
+	faultCell
+	makespans []float64 // completed runs only
+	costs     []float64 // all runs
+	completed int
+	inBudget  int
+	reps      int
+	crashes   int
+	bootFails int
+	taskFails int
+	recovered int
+	vetoed    int
+	wasted    float64
+	err       error
+}
+
+// RunFaultSweep evaluates the scenario's schedule under every crash
+// rate of the grid: per instance it plans once, then replays Reps
+// fault-injected executions per rate through the online executor with
+// the budget guard set to the instance budget. Budget-exhausted runs
+// degrade to partial results and lower SuccessRate — they are never
+// errors.
+func RunFaultSweep(sc FaultScenario) (*FaultSweepResult, error) {
+	return RunFaultSweepCtx(context.Background(), sc)
+}
+
+// RunFaultSweepCtx is RunFaultSweep under a context: cancellation is
+// polled before each (instance, rate) cell.
+func RunFaultSweepCtx(ctx context.Context, sc FaultScenario) (*FaultSweepResult, error) {
+	sc.Scenario = sc.Scenario.Defaults()
+	if len(sc.Rates) == 0 {
+		sc.Rates = append([]float64(nil), DefaultFaultRates...)
+	} else {
+		sc.Rates = append([]float64(nil), sc.Rates...)
+	}
+	sort.Float64s(sc.Rates)
+	if sc.Rates[0] != 0 {
+		sc.Rates = append([]float64{0}, sc.Rates...)
+	}
+	for _, lam := range sc.Rates {
+		if lam < 0 {
+			return nil, fmt.Errorf("exp: negative crash rate %g", lam)
+		}
+	}
+	if sc.BudgetFactor == 0 {
+		sc.BudgetFactor = 1.5
+	}
+	if sc.Alg.Plan == nil {
+		alg, err := sched.ByName(sched.NameHeftBudg)
+		if err != nil {
+			return nil, err
+		}
+		sc.Alg = alg
+	}
+	// The template's own rate grid is overridden per point; validate
+	// the fields that are taken as given.
+	tmpl := sc.Spec
+	tmpl.CrashRatePerHour = nil
+	if err := tmpl.Validate(sc.Platform.NumCategories()); err != nil {
+		return nil, err
+	}
+
+	// Plan once per instance.
+	type inst struct {
+		w      *wf.Workflow
+		s      *plan.Schedule
+		budget float64
+	}
+	instances := make([]inst, sc.Instances)
+	meanBudget := 0.0
+	for i := range instances {
+		w, err := sc.Instance(i)
+		if err != nil {
+			return nil, err
+		}
+		a, err := ComputeAnchors(w, sc.Platform)
+		if err != nil {
+			return nil, err
+		}
+		budget := sc.BudgetFactor * a.CheapCost
+		if sc.BudgetFactor < 0 {
+			budget = 0 // guard lifted
+		}
+		s, err := sc.Alg.Plan(w, sc.Platform, planBudget(budget, a.CheapCost))
+		if err != nil {
+			return nil, fmt.Errorf("exp: planning instance %d: %w", i, err)
+		}
+		instances[i] = inst{w: w, s: s, budget: budget}
+		meanBudget += budget / float64(sc.Instances)
+	}
+
+	// Enumerate cells and evaluate them on a bounded pool.
+	var cells []faultCell
+	for i := 0; i < sc.Instances; i++ {
+		for ri := range sc.Rates {
+			cells = append(cells, faultCell{instance: i, rateIdx: ri})
+		}
+	}
+	results := make([]faultCellResult, len(cells))
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for wkr := 0; wkr < sc.Workers; wkr++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ci := range work {
+				if err := ctx.Err(); err != nil {
+					results[ci] = faultCellResult{faultCell: cells[ci], err: err}
+					continue
+				}
+				c := cells[ci]
+				results[ci] = runFaultCell(sc, instances[c.instance].w,
+					instances[c.instance].s, instances[c.instance].budget, c)
+			}
+		}()
+	}
+	for ci := range cells {
+		work <- ci
+	}
+	close(work)
+	wg.Wait()
+
+	// Merge cells per rate.
+	out := &FaultSweepResult{Scenario: sc, Budget: meanBudget}
+	for ri, lam := range sc.Rates {
+		var agg faultCellResult
+		for _, r := range results {
+			if r.err != nil {
+				return nil, r.err
+			}
+			if r.rateIdx != ri {
+				continue
+			}
+			agg.makespans = append(agg.makespans, r.makespans...)
+			agg.costs = append(agg.costs, r.costs...)
+			agg.completed += r.completed
+			agg.inBudget += r.inBudget
+			agg.reps += r.reps
+			agg.crashes += r.crashes
+			agg.bootFails += r.bootFails
+			agg.taskFails += r.taskFails
+			agg.recovered += r.recovered
+			agg.vetoed += r.vetoed
+			agg.wasted += r.wasted
+		}
+		n := float64(agg.reps)
+		pt := FaultPoint{
+			Rate:             lam,
+			SuccessRate:      float64(agg.completed) / n,
+			WithinBudget:     float64(agg.inBudget) / n,
+			Makespan:         stats.Summarize(agg.makespans),
+			Cost:             stats.Summarize(agg.costs),
+			Crashes:          float64(agg.crashes) / n,
+			BootFailures:     float64(agg.bootFails) / n,
+			TaskFailures:     float64(agg.taskFails) / n,
+			Recoveries:       float64(agg.recovered) / n,
+			RecoveriesVetoed: float64(agg.vetoed) / n,
+			WastedSeconds:    agg.wasted / n,
+		}
+		out.Points = append(out.Points, pt)
+	}
+	base := out.Points[0]
+	for i := range out.Points {
+		out.Points[i].MakespanFactor = stats.Ratio(out.Points[i].Makespan.Mean, base.Makespan.Mean)
+		out.Points[i].CostFactor = stats.Ratio(out.Points[i].Cost.Mean, base.Cost.Mean)
+	}
+	return out, nil
+}
+
+// planBudget is the budget handed to the planner: when the guard is
+// lifted (budget 0) the planner still needs a finite budget to shape
+// the schedule, so it gets the cheap-cost anchor scaled by the default
+// factor.
+func planBudget(budget, cheapCost float64) float64 {
+	if budget > 0 {
+		return budget
+	}
+	return 1.5 * cheapCost
+}
+
+// runFaultCell replays every replication of one instance at one crash
+// rate. Weight streams and fault seeds are derived without the rate,
+// so the same replication index draws the same weights and the same
+// underlying fault randomness at every λ (common random numbers).
+func runFaultCell(sc FaultScenario, w *wf.Workflow, s *plan.Schedule, budget float64, c faultCell) faultCellResult {
+	res := faultCellResult{faultCell: c}
+	lam := sc.Rates[c.rateIdx]
+	weightStream := rng.New(sc.Seed).Split(uint64(c.instance)<<32 | hashName("fault-weights"))
+	seedStream := rng.New(sc.Seed).Split(uint64(c.instance)<<32 | hashName("fault-trace"))
+	for rep := 0; rep < sc.Reps; rep++ {
+		weights := sim.SampleWeights(w, weightStream.Split(uint64(rep)))
+		spec := sc.Spec
+		spec.CrashRatePerHour = []float64{lam} // broadcast over categories
+		spec.Seed = seedStream.Split(uint64(rep)).Uint64()
+		r, err := online.ExecuteFaulty(w, sc.Platform, s, weights, &spec, budget)
+		if err != nil {
+			res.err = fmt.Errorf("exp: instance %d rate %g rep %d: %w", c.instance, lam, rep, err)
+			return res
+		}
+		res.reps++
+		res.costs = append(res.costs, r.TotalCost)
+		if r.Completed {
+			res.completed++
+			res.makespans = append(res.makespans, r.Makespan)
+		}
+		if budget <= 0 || r.TotalCost <= budget {
+			res.inBudget++
+		}
+		res.crashes += r.Crashes
+		res.bootFails += r.BootFailures
+		res.taskFails += r.TaskFailures
+		res.recovered += r.Recoveries
+		res.vetoed += r.RecoveriesVetoed
+		res.wasted += r.WastedSeconds
+	}
+	return res
+}

@@ -1,0 +1,96 @@
+package fault
+
+import (
+	"math"
+
+	"budgetwf/internal/rng"
+)
+
+// Model samples the fault environment for one execution. The executor
+// calls NewVM once per VM provisioning, in provisioning order; a fresh
+// Model must be built per execution (see Spec.NewModel), so repeated
+// runs with the same seed replay the same trace.
+type Model interface {
+	// NewVM returns the sampled fault trace of the next provisioned VM
+	// of the given platform category.
+	NewVM(cat int) VMTrace
+}
+
+// VMTrace is the sampled fate of one provisioned VM.
+type VMTrace interface {
+	// BootFails reports whether this provisioning's boot attempt fails
+	// (decided once, at boot completion).
+	BootFails() bool
+	// TimeToCrash returns the VM uptime, measured from boot completion,
+	// at which the VM crash-stops. +Inf means it survives the run.
+	TimeToCrash() float64
+	// TaskFails reports whether the next task execution on this VM
+	// suffers a transient failure; called once per execution attempt,
+	// in execution order.
+	TaskFails() bool
+}
+
+// NoFaults is the identity model: boots succeed, VMs never crash,
+// tasks never fail. A nil Model is treated as NoFaults everywhere.
+var NoFaults Model = noFaults{}
+
+type noFaults struct{}
+
+func (noFaults) NewVM(int) VMTrace { return noTrace{} }
+
+type noTrace struct{}
+
+func (noTrace) BootFails() bool      { return false }
+func (noTrace) TimeToCrash() float64 { return math.Inf(1) }
+func (noTrace) TaskFails() bool      { return false }
+
+// NewModel builds a sampling model for one execution. The trace of the
+// i-th provisioned VM is a pure function of (spec seed, i), so fault
+// arrivals do not shift when recovery decisions change the downstream
+// provisioning sequence — the common-random-numbers property that
+// makes recovery policies comparable under one seed.
+func (s *Spec) NewModel() Model {
+	if s.IsZero() {
+		return NoFaults
+	}
+	return &model{spec: s, root: rng.New(s.Seed)}
+}
+
+type model struct {
+	spec *Spec
+	root *rng.RNG
+	next uint64 // provisioning counter
+}
+
+func (m *model) NewVM(cat int) VMTrace {
+	stream := m.root.Split(m.next)
+	m.next++
+	t := &trace{stream: stream}
+	// Sample eagerly, in a fixed order, so the trace does not depend on
+	// which of the three questions the executor asks first.
+	if p := m.spec.BootFailProb; p > 0 && stream.Float64() < p {
+		t.bootFails = true
+	}
+	t.crashAt = math.Inf(1)
+	if lam := m.spec.rateFor(cat); lam > 0 {
+		t.crashAt = stream.ExpFloat64() / (lam / 3600)
+	}
+	t.taskFailProb = m.spec.TaskFailProb
+	return t
+}
+
+type trace struct {
+	stream       *rng.RNG
+	bootFails    bool
+	crashAt      float64
+	taskFailProb float64
+}
+
+func (t *trace) BootFails() bool      { return t.bootFails }
+func (t *trace) TimeToCrash() float64 { return t.crashAt }
+func (t *trace) TaskFails() bool {
+	if t.taskFailProb <= 0 {
+		return false
+	}
+	return t.stream.Float64() < t.taskFailProb
+}

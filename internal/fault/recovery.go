@@ -1,0 +1,135 @@
+package fault
+
+import (
+	"fmt"
+	"math"
+)
+
+// RecoveryKind selects what the executor does with the work a failure
+// destroyed.
+type RecoveryKind int
+
+const (
+	// RetrySame reboots a VM of the same category — after a capped
+	// exponential backoff — and replays the lost tasks on it in their
+	// original order. The cheapest policy, and the slowest when the
+	// category itself is slow.
+	RetrySame RecoveryKind = iota
+	// ResubmitFastest books a fresh VM of the fastest category
+	// immediately: pay more per second to shorten the exposure window.
+	ResubmitFastest
+	// Replicate hedges: lost tasks are resubmitted to BOTH a same-
+	// category reboot and a fastest-category VM; per task, the first
+	// replica to finish wins and the other is cancelled. Doubles the
+	// recovery spend for the shortest expected recovery time.
+	Replicate
+)
+
+// String returns the wire name of the recovery kind.
+func (k RecoveryKind) String() string {
+	switch k {
+	case RetrySame:
+		return "retry-same"
+	case ResubmitFastest:
+		return "resubmit-fastest"
+	case Replicate:
+		return "replicate"
+	}
+	return fmt.Sprintf("RecoveryKind(%d)", int(k))
+}
+
+// ParseRecoveryKind parses a wire name.
+func ParseRecoveryKind(s string) (RecoveryKind, error) {
+	switch s {
+	case "retry-same", "":
+		return RetrySame, nil
+	case "resubmit-fastest":
+		return ResubmitFastest, nil
+	case "replicate":
+		return Replicate, nil
+	}
+	return 0, fmt.Errorf("fault: unknown recovery policy %q (want retry-same, resubmit-fastest or replicate)", s)
+}
+
+// Recovery configures failure recovery. The zero value retries on the
+// same category up to DefaultMaxRetries times with no backoff.
+type Recovery struct {
+	Kind RecoveryKind
+	// MaxRetries bounds re-runs per task; 0 means DefaultMaxRetries.
+	MaxRetries int
+	// RebootBackoff is the base reboot delay in seconds; it doubles
+	// with each consecutive retry of a task, capped at MaxBackoff.
+	RebootBackoff float64
+	// MaxBackoff caps the backoff; 0 means 16× RebootBackoff.
+	MaxBackoff float64
+}
+
+// DefaultMaxRetries is the per-task recovery allowance when
+// Recovery.MaxRetries is zero.
+const DefaultMaxRetries = 3
+
+// Retries resolves the per-task allowance.
+func (r Recovery) Retries() int {
+	if r.MaxRetries <= 0 {
+		return DefaultMaxRetries
+	}
+	return r.MaxRetries
+}
+
+// Backoff returns the reboot delay before the attempt-th retry
+// (attempt counts from 1): base × 2^(attempt−1), capped.
+func (r Recovery) Backoff(attempt int) float64 {
+	if r.RebootBackoff <= 0 {
+		return 0
+	}
+	if attempt < 1 {
+		attempt = 1
+	}
+	cap := r.MaxBackoff
+	if cap <= 0 {
+		cap = 16 * r.RebootBackoff
+	}
+	d := r.RebootBackoff * math.Pow(2, float64(attempt-1))
+	if d > cap {
+		d = cap
+	}
+	return d
+}
+
+// Injection bundles what the failure-aware executor needs: a sampled
+// model and the recovery configuration. A nil *Injection (or one with
+// a nil Model) disables fault injection entirely.
+type Injection struct {
+	Model    Model
+	Recovery Recovery
+}
+
+// NewInjection materializes a spec into a per-execution Injection.
+// Returns nil for a zero spec, which the executor treats as "no
+// faults" (and which a property test pins to internal/sim exactly).
+func (s *Spec) NewInjection() *Injection {
+	if s == nil {
+		return nil
+	}
+	return &Injection{Model: s.NewModel(), Recovery: s.RecoveryPolicy()}
+}
+
+// TaskStatus is the per-task outcome of a failure-aware execution.
+type TaskStatus int
+
+const (
+	// StatusDone: the task completed (possibly after retries).
+	StatusDone TaskStatus = iota
+	// StatusFailed: the task was abandoned — its retry allowance ran
+	// out, or the budget guard refused further recovery, or an
+	// ancestor failed. Its realized times are meaningless.
+	StatusFailed
+)
+
+// String returns a human-readable status.
+func (s TaskStatus) String() string {
+	if s == StatusDone {
+		return "done"
+	}
+	return "failed"
+}

@@ -5,8 +5,10 @@ import (
 	"fmt"
 	"math"
 
+	"budgetwf/internal/fault"
 	"budgetwf/internal/plan"
 	"budgetwf/internal/platform"
+	"budgetwf/internal/sim"
 	"budgetwf/internal/wf"
 )
 
@@ -18,15 +20,19 @@ const (
 	evComputeDone
 	evInterrupt
 	evUploadDone
+	evCrash
+	evWake
 )
 
 type event struct {
-	time float64
-	seq  int
-	kind eventKind
-	vm   int
-	task wf.TaskID
-	edge int // evUploadDone
+	time  float64
+	seq   int
+	kind  eventKind
+	vm    int
+	task  wf.TaskID
+	edge  int // evUploadDone
+	epoch int // evStageDone/evComputeDone/evInterrupt: stale if the VM moved on
+	useq  int // evUploadDone: stale if the upload was killed by a crash
 }
 
 type eventHeap []*event
@@ -72,6 +78,17 @@ type ovm struct {
 	computeStart float64
 	computing    bool
 	end          float64
+
+	// Fault mechanics. epoch invalidates the VM's in-flight activity
+	// events (staging, compute, interrupt) when a crash or a replica
+	// cancellation abandons them; crash events are validated against
+	// dead instead, so cancelling an activity never cancels the crash.
+	epoch      int
+	notBefore  float64 // reboot backoff: earliest booking instant
+	wakeQueued bool
+	dead       bool
+	bootFailed bool
+	trace      fault.VMTrace
 }
 
 type executor struct {
@@ -79,25 +96,34 @@ type executor struct {
 	p       *platform.Platform
 	weights []float64
 	policy  Policy
+	inj     *fault.Injection // nil: no fault injection
 
 	now    float64
 	seq    int
 	events eventHeap
 
 	vms    []ovm
-	curVM  []int // current VM of each task (may change on migration)
+	curVM  []int // current VM of each task (may change on migration/recovery)
 	edges  []wf.Edge
 	eState []edgeState
 	eLocal []int // VM holding the payload while edgeLocal
+	upSrc  []int // VM uploading the payload while edgeUploading
+	upSeq  []int // upload generation; bumped when a crash kills the transfer
 	inE    [][]int
 	outE   [][]int
 
-	done      []bool
-	finish    []float64
-	migCount  []int
-	doneCount int
-	maxTime   float64
-	fastest   int
+	done        []bool
+	failed      []bool
+	started     []bool
+	finish      []float64
+	migCount    []int
+	attempts    []int // failure-recovery re-runs per task
+	replicaVM   []int // second racing VM under Replicate, -1 if none
+	extDone     []float64
+	times       []sim.TaskTimes
+	doneCount   int
+	failedCount int
+	fastest     int
 
 	report Report
 }
@@ -117,19 +143,33 @@ func newExecutor(w *wf.Workflow, p *platform.Platform, s *plan.Schedule, weights
 	n := w.NumTasks()
 	e := &executor{
 		w: w, p: p, weights: weights, policy: policy,
-		curVM:    append([]int(nil), s.TaskVM...),
-		edges:    w.Edges(),
-		done:     make([]bool, n),
-		finish:   make([]float64, n),
-		migCount: make([]int, n),
-		fastest:  p.Fastest(),
+		curVM:     append([]int(nil), s.TaskVM...),
+		edges:     w.Edges(),
+		done:      make([]bool, n),
+		failed:    make([]bool, n),
+		started:   make([]bool, n),
+		finish:    make([]float64, n),
+		migCount:  make([]int, n),
+		attempts:  make([]int, n),
+		replicaVM: make([]int, n),
+		extDone:   make([]float64, n),
+		times:     make([]sim.TaskTimes, n),
+		fastest:   p.Fastest(),
 	}
-	e.vms = make([]ovm, s.NumVMs())
-	for i := range e.vms {
-		e.vms[i] = ovm{cat: s.VMCats[i], queue: append([]wf.TaskID(nil), s.Order[i]...)}
+	if policy.Faults != nil && policy.Faults.Model != nil {
+		e.inj = policy.Faults
+	}
+	for t := range e.replicaVM {
+		e.replicaVM[t] = -1
+	}
+	e.vms = make([]ovm, 0, s.NumVMs())
+	for i := 0; i < s.NumVMs(); i++ {
+		e.newVM(s.VMCats[i], s.Order[i], 0)
 	}
 	e.eState = make([]edgeState, len(e.edges))
 	e.eLocal = make([]int, len(e.edges))
+	e.upSrc = make([]int, len(e.edges))
+	e.upSeq = make([]int, len(e.edges))
 	e.inE = make([][]int, n)
 	e.outE = make([][]int, n)
 	for i, edge := range e.edges {
@@ -139,27 +179,34 @@ func newExecutor(w *wf.Workflow, p *platform.Platform, s *plan.Schedule, weights
 	return e, nil
 }
 
+// newVM appends a VM and samples its fault trace; traces are consumed
+// in provisioning order, so the i-th VM's fate is a pure function of
+// the fault seed and i.
+func (e *executor) newVM(cat int, queue []wf.TaskID, notBefore float64) int {
+	nv := len(e.vms)
+	vm := ovm{cat: cat, queue: append([]wf.TaskID(nil), queue...), notBefore: notBefore}
+	if e.inj != nil {
+		vm.trace = e.inj.Model.NewVM(cat)
+	}
+	e.vms = append(e.vms, vm)
+	return nv
+}
+
 func (e *executor) push(ev *event) {
 	ev.seq = e.seq
 	e.seq++
 	heap.Push(&e.events, ev)
 }
 
-func (e *executor) bump(t float64) {
-	if t > e.maxTime {
-		e.maxTime = t
-	}
-}
-
 // tryAdvance moves VM v forward if its head task can progress.
 func (e *executor) tryAdvance(v int) {
 	vm := &e.vms[v]
-	if vm.busy || vm.booting || vm.next >= len(vm.queue) {
+	if vm.dead || vm.busy || vm.booting || vm.next >= len(vm.queue) {
 		return
 	}
 	t := vm.queue[vm.next]
-	if e.curVM[t] != v {
-		// The task migrated away while queued; skip it.
+	if e.done[t] || e.failed[t] || (e.curVM[t] != v && e.replicaVM[t] != v) {
+		// Finished elsewhere, abandoned, or migrated away; skip it.
 		vm.next++
 		e.tryAdvance(v)
 		return
@@ -171,9 +218,16 @@ func (e *executor) tryAdvance(v int) {
 			return // wait for the producer / the upload
 		case edgeLocal:
 			if e.eLocal[ei] != v {
+				src := e.eLocal[ei]
+				if e.vms[src].dead {
+					// The payload died with its VM; wait for the
+					// producer's recovery to replace it.
+					return
+				}
 				// Data sits on another VM: ship it via the datacenter.
 				e.eState[ei] = edgeUploading
-				e.push(&event{time: e.now + e.edges[ei].Size/e.p.Bandwidth, kind: evUploadDone, edge: ei})
+				e.upSrc[ei] = src
+				e.push(&event{time: e.now + e.edges[ei].Size/e.p.Bandwidth, kind: evUploadDone, edge: ei, useq: e.upSeq[ei]})
 				return
 			}
 		case edgeAtDC:
@@ -181,6 +235,15 @@ func (e *executor) tryAdvance(v int) {
 		}
 	}
 	if !vm.booked {
+		if e.now < vm.notBefore {
+			// Reboot backoff: inputs are ready but the replacement VM
+			// may not be booked yet.
+			if !vm.wakeQueued {
+				vm.wakeQueued = true
+				e.push(&event{time: vm.notBefore, kind: evWake, vm: v})
+			}
+			return
+		}
 		vm.booked = true
 		vm.booting = true
 		vm.bookTime = e.now
@@ -190,8 +253,10 @@ func (e *executor) tryAdvance(v int) {
 	}
 	vm.busy = true
 	vm.current = t
+	e.started[t] = true
+	e.times[t].StageStart = e.now
 	if stage > 0 {
-		e.push(&event{time: e.now + stage/e.p.Bandwidth, kind: evStageDone, vm: v, task: t})
+		e.push(&event{time: e.now + stage/e.p.Bandwidth, kind: evStageDone, vm: v, task: t, epoch: vm.epoch})
 		return
 	}
 	e.startCompute(v, t)
@@ -201,13 +266,14 @@ func (e *executor) startCompute(v int, t wf.TaskID) {
 	vm := &e.vms[v]
 	vm.computing = true
 	vm.computeStart = e.now
+	e.times[t].ComputeStart = e.now
 	speed := e.p.Categories[vm.cat].Speed
 	dur := e.weights[t] / speed
 	if timeout, ok := e.timeoutFor(v, t); ok && dur > timeout {
-		e.push(&event{time: e.now + timeout, kind: evInterrupt, vm: v, task: t})
+		e.push(&event{time: e.now + timeout, kind: evInterrupt, vm: v, task: t, epoch: vm.epoch})
 		return
 	}
-	e.push(&event{time: e.now + dur, kind: evComputeDone, vm: v, task: t})
+	e.push(&event{time: e.now + dur, kind: evComputeDone, vm: v, task: t, epoch: vm.epoch})
 }
 
 // timeoutFor returns the monitoring timeout of task t on VM v, if
@@ -222,6 +288,9 @@ func (e *executor) timeoutFor(v int, t wf.TaskID) (float64, bool) {
 	}
 	if e.migCount[t] >= e.policy.maxMigrations() {
 		return 0, false
+	}
+	if e.replicaVM[t] >= 0 {
+		return 0, false // a replica is already hedging this task
 	}
 	task := e.w.Task(t)
 	quantile := task.Weight.Mean + e.policy.TimeoutSigma*task.Weight.Sigma
@@ -249,12 +318,25 @@ func (e *executor) finishCompute(v int, t wf.TaskID) {
 	e.done[t] = true
 	e.doneCount++
 	e.finish[t] = e.now
+	e.times[t].Finish = e.now
 	if e.now > vm.end {
 		vm.end = e.now
 	}
-	e.bump(e.now)
+	if rv := e.replicaVM[t]; rv >= 0 {
+		// First finisher wins; the losing replica is cancelled.
+		other := rv
+		if other == v {
+			other = e.curVM[t]
+		}
+		e.replicaVM[t] = -1
+		e.curVM[t] = v
+		e.cancelReplica(other, t)
+	}
 	for _, ei := range e.outE[t] {
 		edge := e.edges[ei]
+		if e.eState[ei] == edgeAtDC {
+			continue // checkpointed at the DC by an earlier run
+		}
 		if e.curVM[edge.To] == v {
 			e.eState[ei] = edgeLocal
 			e.eLocal[ei] = v
@@ -265,16 +347,54 @@ func (e *executor) finishCompute(v int, t wf.TaskID) {
 			continue
 		}
 		e.eState[ei] = edgeUploading
-		e.push(&event{time: e.now + edge.Size/e.p.Bandwidth, kind: evUploadDone, edge: ei})
+		e.upSrc[ei] = v
+		e.push(&event{time: e.now + edge.Size/e.p.Bandwidth, kind: evUploadDone, edge: ei, useq: e.upSeq[ei]})
 	}
 	if out := e.w.Task(t).ExternalOut; out > 0 {
 		arr := e.now + out/e.p.Bandwidth
+		e.extDone[t] = arr
 		if arr > vm.end {
 			vm.end = arr
 		}
-		e.bump(arr)
 	}
 	e.tryAdvanceAll()
+}
+
+// cancelReplica stops the losing copy of a replicated task. Time it
+// already burned stays billed; its VM proceeds with its queue.
+func (e *executor) cancelReplica(v int, t wf.TaskID) {
+	vm := &e.vms[v]
+	if vm.dead {
+		return
+	}
+	if vm.busy && vm.current == t {
+		vm.epoch++
+		if vm.computing {
+			e.report.WastedSeconds += e.now - vm.computeStart
+		}
+		vm.busy = false
+		vm.computing = false
+		vm.next++
+		if e.now > vm.end {
+			vm.end = e.now
+		}
+	}
+	// If it was merely queued, tryAdvance skips the finished task.
+}
+
+// abandonCurrent frees a VM whose in-flight task no longer needs it
+// (finished by a replica or declared failed while running).
+func (e *executor) abandonCurrent(v int) {
+	vm := &e.vms[v]
+	if vm.busy {
+		vm.busy = false
+		vm.computing = false
+		vm.next++
+		if e.now > vm.end {
+			vm.end = e.now
+		}
+	}
+	e.tryAdvance(v)
 }
 
 // interrupt handles a fired timeout: migrate to a fresh fastest-class
@@ -282,9 +402,10 @@ func (e *executor) finishCompute(v int, t wf.TaskID) {
 func (e *executor) interrupt(v int, t wf.TaskID) {
 	vm := &e.vms[v]
 	dur := e.weights[t] / e.p.Categories[vm.cat].Speed
-	if e.policy.Budget > 0 && e.projectedCostWithMigration(t) > e.policy.Budget {
+	plan := []vmPlan{{cat: e.fastest, tasks: []wf.TaskID{t}}}
+	if e.policy.Budget > 0 && e.projectedCost(plan, []wf.TaskID{t}) > e.policy.Budget {
 		e.report.Vetoed++
-		e.push(&event{time: vm.computeStart + dur, kind: evComputeDone, vm: v, task: t})
+		e.push(&event{time: vm.computeStart + dur, kind: evComputeDone, vm: v, task: t, epoch: vm.epoch})
 		return
 	}
 	// Abandon the computation: the VM proceeds with its queue.
@@ -296,8 +417,7 @@ func (e *executor) interrupt(v int, t wf.TaskID) {
 		vm.end = e.now
 	}
 	e.migCount[t]++
-	nv := len(e.vms)
-	e.vms = append(e.vms, ovm{cat: e.fastest, queue: []wf.TaskID{t}})
+	nv := e.newVM(e.fastest, []wf.TaskID{t}, 0)
 	e.curVM[t] = nv
 	e.report.Migrations = append(e.report.Migrations, Migration{
 		Task: t, FromVM: v, ToVM: nv, At: e.now, Wasted: wasted,
@@ -305,14 +425,28 @@ func (e *executor) interrupt(v int, t wf.TaskID) {
 	e.tryAdvanceAll()
 }
 
-// projectedCostWithMigration estimates the final invoice if task t is
-// restarted on a fresh fastest-category VM now. The estimate is
-// deliberately conservative: every already-booked VM is billed to at
-// least the current instant plus the conservative cost of the work
-// still queued on it, the fixed external traffic is charged in full,
-// and the new VM pays staging, the conservative compute time and its
-// output shipment.
-func (e *executor) projectedCostWithMigration(t wf.TaskID) float64 {
+// vmPlan describes one prospective VM for the cost projection.
+type vmPlan struct {
+	cat   int
+	tasks []wf.TaskID
+}
+
+// projectedCost estimates the final invoice if the planned VMs are
+// booked now. The estimate is deliberately conservative: every
+// already-booked VM is billed to at least the current instant plus the
+// conservative cost of the work still queued on it (excluding the
+// tasks being moved), the fixed external traffic is charged in full,
+// and each planned VM pays its setup fee, staging, the conservative
+// compute times and its output shipments.
+func (e *executor) projectedCost(plans []vmPlan, exclude []wf.TaskID) float64 {
+	excluded := func(t wf.TaskID) bool {
+		for _, x := range exclude {
+			if x == t {
+				return true
+			}
+		}
+		return false
+	}
 	total := 0.0
 	firstBook := math.Inf(1)
 	for i := range e.vms {
@@ -323,17 +457,24 @@ func (e *executor) projectedCostWithMigration(t wf.TaskID) float64 {
 		if vm.bookTime < firstBook {
 			firstBook = vm.bookTime
 		}
+		if vm.bootFailed {
+			total += e.p.Categories[vm.cat].InitCost
+			continue
+		}
 		end := vm.end
-		if end < e.now {
+		if !vm.dead && end < e.now {
 			end = e.now
 		}
 		total += e.p.VMCost(vm.cat, vm.bootDone, end)
+		if vm.dead {
+			continue // no future work runs here
+		}
 		// Work still committed to this VM: queued unfinished tasks at
 		// their conservative estimates, plus input staging.
 		cat := e.p.Categories[vm.cat]
 		for qi := vm.next; qi < len(vm.queue); qi++ {
 			u := vm.queue[qi]
-			if e.done[u] || e.curVM[u] != i || u == t {
+			if e.done[u] || e.failed[u] || e.curVM[u] != i || excluded(u) {
 				continue
 			}
 			task := e.w.Task(u)
@@ -349,23 +490,313 @@ func (e *executor) projectedCostWithMigration(t wf.TaskID) float64 {
 	if math.IsInf(firstBook, 1) {
 		firstBook = 0
 	}
-	task := e.w.Task(t)
-	fast := e.p.Categories[e.fastest]
-	inBytes := task.ExternalIn
-	for _, ei := range e.inE[t] {
-		inBytes += e.edges[ei].Size
+	maxNew := 0.0
+	for _, pl := range plans {
+		cat := e.p.Categories[pl.cat]
+		work := 0.0
+		for _, t := range pl.tasks {
+			task := e.w.Task(t)
+			inBytes := task.ExternalIn
+			for _, ei := range e.inE[t] {
+				inBytes += e.edges[ei].Size
+			}
+			outBytes := task.ExternalOut
+			for _, ei := range e.outE[t] {
+				outBytes += e.edges[ei].Size
+			}
+			work += (inBytes+outBytes)/e.p.Bandwidth + task.Weight.Conservative()/cat.Speed
+		}
+		total += work*cat.CostPerSec + cat.InitCost
+		if work > maxNew {
+			maxNew = work
+		}
 	}
-	outBytes := task.ExternalOut
-	for _, ei := range e.outE[t] {
-		outBytes += e.edges[ei].Size
-	}
-	newWork := (inBytes+outBytes)/e.p.Bandwidth + task.Weight.Conservative()/fast.Speed
-	total += newWork*fast.CostPerSec + fast.InitCost
 	ext := e.w.ExternalInSize() + e.w.ExternalOutSize()
-	span := e.now + e.p.BootTime + newWork - firstBook
+	span := e.now + e.p.BootTime + maxNew - firstBook
 	total += e.p.DCCost(ext, 0, 0, 0) // transfer part only
 	total += span * e.p.DCCostPerSec
 	return total
+}
+
+// bootFailure handles a boot attempt that the fault trace doomed. Only
+// the setup fee is billed (boot time itself is uncharged in the cost
+// model), and every task queued on the VM goes through recovery.
+func (e *executor) bootFailure(v int) {
+	vm := &e.vms[v]
+	e.report.BootFailures++
+	vm.dead = true
+	vm.bootFailed = true
+	vm.epoch++
+	vm.end = vm.bookTime
+	lost := e.collectLost(v, e.now)
+	e.recoverLost(v, lost)
+}
+
+// handleCrash kills VM v at instant tc: in-progress work and data that
+// never reached the datacenter are lost; the uptime — useful or not —
+// stays billed.
+func (e *executor) handleCrash(v int, tc float64) {
+	vm := &e.vms[v]
+	if !vm.busy {
+		// Skip queue entries that no longer concern this VM before
+		// deciding whether it still had work.
+		for vm.next < len(vm.queue) {
+			t := vm.queue[vm.next]
+			if e.done[t] || e.failed[t] || (e.curVM[t] != v && e.replicaVM[t] != v) {
+				vm.next++
+				continue
+			}
+			break
+		}
+	}
+	if !vm.busy && vm.next >= len(vm.queue) {
+		// The VM had already drained its queue and was released at its
+		// last activity; the crash strikes air.
+		return
+	}
+	e.report.Crashes++
+	if vm.busy {
+		e.report.WastedSeconds += tc - e.times[vm.current].StageStart
+	} else if w := tc - math.Max(vm.bootDone, vm.end); w > 0 {
+		e.report.WastedSeconds += w
+	}
+	vm.dead = true
+	vm.epoch++
+	vm.busy = false
+	vm.computing = false
+	vm.end = tc // the wasted uptime is billed
+	// In-flight uploads sourced here die with the machine.
+	for ei := range e.edges {
+		if e.eState[ei] == edgeUploading && e.upSrc[ei] == v {
+			e.eState[ei] = edgePending
+			e.upSeq[ei]++
+		}
+	}
+	lost := e.collectLost(v, tc)
+	e.recoverLost(v, lost)
+}
+
+// collectLost computes which of VM v's tasks the failure destroyed, in
+// queue (precedence) order. A finished task is lost when any of its
+// outputs existed only on v: an output still local to v whose consumer
+// has not finished, an upload the crash killed, or an external output
+// still in flight at tc. Outputs already at the datacenter survive —
+// checkpoint-on-upload — so their producers do not re-run. Unfinished
+// tasks assigned to v are lost unless a live replica still carries
+// them.
+func (e *executor) collectLost(v int, tc float64) []wf.TaskID {
+	vm := &e.vms[v]
+	lostFlag := make(map[wf.TaskID]bool)
+	// Walk the queue in reverse so each finished producer sees the
+	// verdict of its same-VM consumers (which sit later in the queue).
+	for i := len(vm.queue) - 1; i >= 0; i-- {
+		t := vm.queue[i]
+		if e.failed[t] {
+			continue
+		}
+		owns, isReplica := e.curVM[t] == v, e.replicaVM[t] == v
+		if !owns && !isReplica {
+			continue
+		}
+		if !e.done[t] {
+			if isReplica {
+				e.replicaVM[t] = -1 // the primary copy lives on
+				continue
+			}
+			if rv := e.replicaVM[t]; rv >= 0 && !e.vms[rv].dead {
+				e.curVM[t] = rv // the replica takes over
+				e.replicaVM[t] = -1
+				continue
+			}
+			e.replicaVM[t] = -1
+			lostFlag[t] = true
+			continue
+		}
+		task := e.w.Task(t)
+		lost := task.ExternalOut > 0 && e.extDone[t] > tc
+		for _, ei := range e.outE[t] {
+			switch e.eState[ei] {
+			case edgeAtDC:
+				// safe: the DC copy survives
+			case edgePending:
+				lost = true // the crash just killed this upload
+			case edgeLocal:
+				if e.eLocal[ei] != v {
+					break
+				}
+				u := e.edges[ei].To
+				if (!e.done[u] && !e.failed[u]) || lostFlag[u] {
+					lost = true
+				}
+			}
+		}
+		if lost {
+			lostFlag[t] = true
+		}
+	}
+	var out []wf.TaskID
+	for _, t := range vm.queue {
+		if lostFlag[t] {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// resetTask rolls a lost task back to not-run. Outputs already at the
+// datacenter are kept; everything else returns to pending.
+func (e *executor) resetTask(t wf.TaskID) {
+	if e.done[t] {
+		e.done[t] = false
+		e.doneCount--
+	}
+	for _, ei := range e.outE[t] {
+		if e.eState[ei] == edgeAtDC {
+			continue // checkpoint-on-upload: DC copies survive
+		}
+		e.eState[ei] = edgePending
+		e.upSeq[ei]++
+	}
+}
+
+// failTask declares t permanently failed and cascades to every
+// descendant that can no longer obtain its inputs. Consumers whose
+// edge payload already reached the datacenter are spared.
+func (e *executor) failTask(t wf.TaskID) {
+	if e.failed[t] {
+		return
+	}
+	if e.done[t] {
+		e.done[t] = false
+		e.doneCount--
+	}
+	e.failed[t] = true
+	e.failedCount++
+	e.replicaVM[t] = -1
+	for _, ei := range e.outE[t] {
+		if e.eState[ei] == edgeAtDC {
+			continue // the checkpointed copy still feeds the consumer
+		}
+		u := e.edges[ei].To
+		if !e.done[u] && !e.failed[u] {
+			e.failTask(u)
+		}
+	}
+}
+
+// recoverLost applies the recovery policy to the tasks a dead VM took
+// down. Tasks over their retry allowance fail permanently; the rest
+// are re-provisioned unless the budget guard projects the recovery to
+// bust the budget, in which case they fail too and the execution
+// degrades to a partial result.
+func (e *executor) recoverLost(v int, lost []wf.TaskID) {
+	if len(lost) == 0 {
+		e.tryAdvanceAll()
+		return
+	}
+	rec := e.inj.Recovery
+	// Roll the whole batch back first: a permanent failure decided
+	// below must see its lost consumers as pending — not still done —
+	// so its cascade takes them down with it.
+	for _, t := range lost {
+		e.attempts[t]++
+		e.resetTask(t)
+	}
+	maxAttempt := 0
+	var retry []wf.TaskID
+	for _, t := range lost {
+		if e.failed[t] {
+			continue // an exhausted ancestor's cascade got it
+		}
+		if e.attempts[t] > rec.Retries() {
+			e.failTask(t)
+			continue
+		}
+		if e.attempts[t] > maxAttempt {
+			maxAttempt = e.attempts[t]
+		}
+		retry = append(retry, t)
+	}
+	if len(retry) == 0 {
+		e.tryAdvanceAll()
+		return
+	}
+	sameCat := e.vms[v].cat
+	var plans []vmPlan
+	switch rec.Kind {
+	case fault.ResubmitFastest:
+		plans = []vmPlan{{cat: e.fastest, tasks: retry}}
+	case fault.Replicate:
+		plans = []vmPlan{{cat: sameCat, tasks: retry}, {cat: e.fastest, tasks: retry}}
+	default: // RetrySame
+		plans = []vmPlan{{cat: sameCat, tasks: retry}}
+	}
+	if e.policy.Budget > 0 && e.projectedCost(plans, retry) > e.policy.Budget {
+		e.report.RecoveriesVetoed++
+		for _, t := range retry {
+			e.failTask(t)
+		}
+		e.tryAdvanceAll()
+		return
+	}
+	e.report.Recoveries++
+	backoff := rec.Backoff(maxAttempt)
+	switch rec.Kind {
+	case fault.ResubmitFastest:
+		nv := e.newVM(e.fastest, retry, e.now)
+		for _, t := range retry {
+			e.curVM[t] = nv
+		}
+	case fault.Replicate:
+		a := e.newVM(sameCat, retry, e.now+backoff)
+		b := e.newVM(e.fastest, retry, e.now)
+		for _, t := range retry {
+			e.curVM[t] = a
+			e.replicaVM[t] = b
+		}
+	default: // RetrySame
+		nv := e.newVM(sameCat, retry, e.now+backoff)
+		for _, t := range retry {
+			e.curVM[t] = nv
+		}
+	}
+	e.tryAdvanceAll()
+}
+
+// taskFailure handles a transient execution failure at the instant the
+// task would have completed: the compute time is wasted (and billed)
+// and the task retries in place, subject to the retry allowance and
+// the budget guard.
+func (e *executor) taskFailure(v int, t wf.TaskID) {
+	vm := &e.vms[v]
+	e.report.TaskFailures++
+	e.report.WastedSeconds += e.now - vm.computeStart
+	if e.now > vm.end {
+		vm.end = e.now
+	}
+	e.attempts[t]++
+	retryable := e.attempts[t] <= e.inj.Recovery.Retries()
+	if retryable && e.policy.Budget > 0 && e.projectedCost(nil, nil) > e.policy.Budget {
+		e.report.RecoveriesVetoed++
+		retryable = false
+	}
+	if !retryable {
+		// Abandon this copy; a racing replica may still win.
+		vm.busy = false
+		vm.computing = false
+		vm.next++
+		if rv := e.replicaVM[t]; rv >= 0 {
+			if e.curVM[t] == v {
+				e.curVM[t] = rv
+			}
+			e.replicaVM[t] = -1
+		} else {
+			e.failTask(t)
+		}
+		e.tryAdvanceAll()
+		return
+	}
+	e.startCompute(v, t)
 }
 
 func (e *executor) tryAdvanceAll() {
@@ -377,15 +808,19 @@ func (e *executor) tryAdvanceAll() {
 func (e *executor) run() (*Report, error) {
 	n := e.w.NumTasks()
 	e.tryAdvanceAll()
+	retries := 0
+	if e.inj != nil {
+		retries = e.inj.Recovery.Retries()
+	}
 	guard := 0
-	maxSteps := 32 * (n + len(e.edges) + len(e.vms) + 16) * (e.policy.maxMigrations() + 1)
-	for e.doneCount < n {
+	for e.doneCount+e.failedCount < n {
 		guard++
+		maxSteps := 64 * (n + len(e.edges) + len(e.vms) + 16) * (e.policy.maxMigrations() + 1) * (retries + 1)
 		if guard > maxSteps {
 			return nil, fmt.Errorf("online: exceeded %d steps; execution is livelocked", maxSteps)
 		}
 		if e.events.Len() == 0 {
-			return nil, fmt.Errorf("online: deadlock with %d/%d tasks finished", e.doneCount, n)
+			return nil, fmt.Errorf("online: deadlock with %d/%d tasks finished\n%s", e.doneCount, n, e.stateDump())
 		}
 		ev := heap.Pop(&e.events).(*event)
 		if ev.time < e.now-1e-9 {
@@ -396,31 +831,105 @@ func (e *executor) run() (*Report, error) {
 		}
 		switch ev.kind {
 		case evBootDone:
-			e.vms[ev.vm].booting = false
+			vm := &e.vms[ev.vm]
+			vm.booting = false
+			if vm.trace != nil && vm.trace.BootFails() {
+				e.bootFailure(ev.vm)
+				break
+			}
+			if vm.trace != nil {
+				if ttc := vm.trace.TimeToCrash(); !math.IsInf(ttc, 1) {
+					e.push(&event{time: vm.bootDone + ttc, kind: evCrash, vm: ev.vm})
+				}
+			}
 			e.tryAdvance(ev.vm)
 		case evStageDone:
+			if ev.epoch != e.vms[ev.vm].epoch {
+				break
+			}
+			if e.done[ev.task] || e.failed[ev.task] {
+				e.abandonCurrent(ev.vm)
+				break
+			}
 			e.startCompute(ev.vm, ev.task)
 		case evComputeDone:
+			vm := &e.vms[ev.vm]
+			if ev.epoch != vm.epoch {
+				break
+			}
+			if e.done[ev.task] || e.failed[ev.task] {
+				e.abandonCurrent(ev.vm)
+				break
+			}
+			if vm.trace != nil && vm.trace.TaskFails() {
+				e.taskFailure(ev.vm, ev.task)
+				break
+			}
 			e.finishCompute(ev.vm, ev.task)
 		case evInterrupt:
+			vm := &e.vms[ev.vm]
+			if ev.epoch != vm.epoch || !vm.computing || vm.current != ev.task {
+				break
+			}
 			e.interrupt(ev.vm, ev.task)
+		case evCrash:
+			if e.vms[ev.vm].dead {
+				break
+			}
+			e.handleCrash(ev.vm, e.now)
+		case evWake:
+			e.vms[ev.vm].wakeQueued = false
+			if !e.vms[ev.vm].dead {
+				e.tryAdvance(ev.vm)
+			}
 		case evUploadDone:
 			ei := ev.edge
+			if ev.useq != e.upSeq[ei] || e.eState[ei] != edgeUploading {
+				break // a crash killed this transfer
+			}
 			e.eState[ei] = edgeAtDC
-			src := e.curVM[e.edges[ei].From]
+			src := e.upSrc[ei]
 			if e.vms[src].end < e.now {
 				e.vms[src].end = e.now
 			}
-			e.bump(e.now)
 			e.tryAdvanceAll()
 		}
+	}
+	if e.inj != nil {
+		e.drainUploads()
 	}
 	return e.collect(), nil
 }
 
+// drainUploads settles transfers still in flight when the last task
+// settled (possible when consumers failed permanently): the source VM
+// stays billed until its uplink is free.
+func (e *executor) drainUploads() {
+	for e.events.Len() > 0 {
+		ev := heap.Pop(&e.events).(*event)
+		if ev.kind != evUploadDone {
+			continue
+		}
+		ei := ev.edge
+		if ev.useq != e.upSeq[ei] || e.eState[ei] != edgeUploading {
+			continue
+		}
+		if ev.time > e.now {
+			e.now = ev.time
+		}
+		e.eState[ei] = edgeAtDC
+		src := e.upSrc[ei]
+		if e.vms[src].end < e.now {
+			e.vms[src].end = e.now
+		}
+	}
+}
+
 func (e *executor) collect() *Report {
 	r := &e.report
+	n := e.w.NumTasks()
 	firstBook := math.Inf(1)
+	lastEvent := 0.0
 	for i := range e.vms {
 		vm := &e.vms[i]
 		if !vm.booked {
@@ -430,13 +939,67 @@ func (e *executor) collect() *Report {
 		if vm.bookTime < firstBook {
 			firstBook = vm.bookTime
 		}
+		if vm.bootFailed {
+			// Boot never completed: only the setup fee is due.
+			r.TotalCost += e.p.Categories[vm.cat].InitCost
+			continue
+		}
 		r.TotalCost += e.p.VMCost(vm.cat, vm.bootDone, vm.end)
+		if vm.end > lastEvent {
+			lastEvent = vm.end
+		}
 	}
 	if math.IsInf(firstBook, 1) {
 		firstBook = 0
 	}
-	r.DCCost = e.p.DCCost(e.w.ExternalInSize(), e.w.ExternalOutSize(), firstBook, e.maxTime)
+	if lastEvent < firstBook {
+		lastEvent = firstBook
+	}
+	extIn, extOut := e.w.ExternalInSize(), e.w.ExternalOutSize()
+	if e.failedCount > 0 {
+		// Partial completion: only traffic that actually flowed is due.
+		extIn, extOut = 0, 0
+		for t := 0; t < n; t++ {
+			task := e.w.Task(wf.TaskID(t))
+			if e.started[t] {
+				extIn += task.ExternalIn
+			}
+			if e.done[t] {
+				extOut += task.ExternalOut
+			}
+		}
+	}
+	r.DCCost = e.p.DCCost(extIn, extOut, firstBook, lastEvent)
 	r.TotalCost += r.DCCost
-	r.Makespan = e.maxTime - firstBook
+	r.Makespan = lastEvent - firstBook
+	r.Completed = e.failedCount == 0
+	r.TasksDone = e.doneCount
+	r.TasksFailed = e.failedCount
+	r.TaskStatus = make([]fault.TaskStatus, n)
+	for t := range r.TaskStatus {
+		if !e.done[t] {
+			r.TaskStatus[t] = fault.StatusFailed
+		}
+	}
+	r.Tasks = append([]sim.TaskTimes(nil), e.times...)
 	return r
+}
+
+func (e *executor) stateDump() string {
+	s := ""
+	for t := 0; t < e.w.NumTasks(); t++ {
+		if e.done[t] || e.failed[t] {
+			continue
+		}
+		s += fmt.Sprintf("task %d: cur=%d rep=%d att=%d\n", t, e.curVM[t], e.replicaVM[t], e.attempts[t])
+	}
+	for v := range e.vms {
+		vm := &e.vms[v]
+		s += fmt.Sprintf("vm %d: cat=%d booked=%v booting=%v busy=%v dead=%v bf=%v next=%d/%d nb=%v wq=%v q=%v\n",
+			v, vm.cat, vm.booked, vm.booting, vm.busy, vm.dead, vm.bootFailed, vm.next, len(vm.queue), vm.notBefore, vm.wakeQueued, vm.queue)
+	}
+	for ei, st := range e.eState {
+		s += fmt.Sprintf("edge %d %d->%d: st=%d loc=%d src=%d\n", ei, e.edges[ei].From, e.edges[ei].To, st, e.eLocal[ei], e.upSrc[ei])
+	}
+	return s
 }

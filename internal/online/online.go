@@ -21,11 +21,23 @@
 // locally for a migrated consumer is uploaded to the datacenter on
 // demand, and the abandoned VM proceeds with its remaining queue.
 // The fluid datacenter-contention mode is not supported here.
+//
+// The executor is also the failure-aware engine behind internal/fault:
+// Policy.Faults injects VM crash-stops, boot failures and transient
+// task failures. A crash kills its VM mid-task — in-progress work and
+// data that never reached the datacenter are lost, while outputs
+// already uploaded survive (checkpoint-on-upload) — and the wasted
+// uptime stays billed against the budget. Lost tasks go through the
+// configured recovery policy under the same budget guard as
+// migrations; when the guard refuses a recovery, or a task exhausts
+// its retries, the execution degrades gracefully to a partial Report
+// with per-task statuses instead of an error.
 package online
 
 import (
 	"fmt"
 
+	"budgetwf/internal/fault"
 	"budgetwf/internal/plan"
 	"budgetwf/internal/platform"
 	"budgetwf/internal/rng"
@@ -55,6 +67,12 @@ type Policy struct {
 	// Budget is the initial budget B_ini the guard enforces; 0 lifts
 	// the guard.
 	Budget float64
+	// Faults, when non-nil, injects VM crashes, boot failures and
+	// transient task failures into the execution and applies the
+	// bundled recovery policy (see internal/fault). A nil Faults — or
+	// one whose model is fault.NoFaults with nothing to inject — keeps
+	// the execution identical to internal/sim.
+	Faults *fault.Injection
 }
 
 // DefaultPolicy returns the recommended configuration: 2σ timeouts
@@ -98,6 +116,34 @@ type Report struct {
 	// Vetoed counts timeouts where the budget guard (or the
 	// fastest-category check) blocked a migration.
 	Vetoed int
+
+	// Fault-injection outcome (zero values when Policy.Faults is nil).
+	// Crashes counts VM crash-stops that destroyed work, BootFailures
+	// failed boot attempts, TaskFailures transient task failures.
+	Crashes      int
+	BootFailures int
+	TaskFailures int
+	// Recoveries counts recovery provisionings; RecoveriesVetoed counts
+	// recoveries (or in-place retries) the budget guard refused.
+	Recoveries       int
+	RecoveriesVetoed int
+	// WastedSeconds totals VM time that was billed but produced nothing:
+	// computations and stagings a failure or a lost replica race threw
+	// away, plus idle uptime a crash cut short.
+	WastedSeconds float64
+
+	// Completed reports whether every task finished. When false the
+	// execution degraded gracefully to a partial result: TaskStatus
+	// records the per-task outcome and the spend covers everything that
+	// actually ran.
+	Completed   bool
+	TasksDone   int
+	TasksFailed int
+	// TaskStatus holds the per-task outcome, indexed by TaskID.
+	TaskStatus []fault.TaskStatus
+	// Tasks holds per-task realized times, indexed by TaskID; entries
+	// of failed tasks are meaningless.
+	Tasks []sim.TaskTimes
 }
 
 // Execute runs the schedule with the given realized weights under the
@@ -119,4 +165,15 @@ func Execute(w *wf.Workflow, p *platform.Platform, s *plan.Schedule, weights []f
 // ExecuteStochastic samples weights and runs one monitored execution.
 func ExecuteStochastic(w *wf.Workflow, p *platform.Platform, s *plan.Schedule, r *rng.RNG, policy Policy) (*Report, error) {
 	return Execute(w, p, s, sim.SampleWeights(w, r), policy)
+}
+
+// ExecuteFaulty validates a fault spec against the platform and runs
+// one execution under it with the budget guard set to budget (0 lifts
+// the guard). Budget-exhausted recoveries degrade the run to a partial
+// Report — they are not errors.
+func ExecuteFaulty(w *wf.Workflow, p *platform.Platform, s *plan.Schedule, weights []float64, spec *fault.Spec, budget float64) (*Report, error) {
+	if err := spec.Validate(p.NumCategories()); err != nil {
+		return nil, err
+	}
+	return Execute(w, p, s, weights, Policy{Budget: budget, Faults: spec.NewInjection()})
 }

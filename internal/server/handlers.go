@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"budgetwf/internal/exp"
+	"budgetwf/internal/online"
 	"budgetwf/internal/rng"
 	"budgetwf/internal/sched"
 	"budgetwf/internal/sim"
@@ -90,7 +91,7 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := checkBudget(req.Budget); err != nil {
-		writeError(w, http.StatusUnprocessableEntity, err.Error(), reqID)
+		writeError(w, http.StatusBadRequest, err.Error(), reqID)
 		return
 	}
 	s.metrics.observeAlgorithm(req.Algorithm)
@@ -175,8 +176,23 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := checkBudget(req.Budget); err != nil {
-		writeError(w, http.StatusUnprocessableEntity, err.Error(), reqID)
+		writeError(w, http.StatusBadRequest, err.Error(), reqID)
 		return
+	}
+	if err := checkTimeoutMillis(req.TimeoutMillis); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error(), reqID)
+		return
+	}
+	if req.Faults != nil {
+		if err := req.Faults.Validate(plat.NumCategories()); err != nil {
+			writeError(w, http.StatusBadRequest, err.Error(), reqID)
+			return
+		}
+		if plat.DCBandwidth > 0 {
+			writeError(w, http.StatusUnprocessableEntity,
+				"fault injection does not support the datacenter contention mode", reqID)
+			return
+		}
 	}
 	reps := req.Replications
 	if reps == 0 {
@@ -188,14 +204,42 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	resp, ok := s.runPooled(w, r, func(ctx context.Context) (any, error) {
+	resp, ok := s.runPooledTimeout(w, r, s.requestTimeout(req.TimeoutMillis), func(ctx context.Context) (any, error) {
 		stream := rng.New(req.Seed)
 		mk := make([]float64, 0, reps)
 		cost := make([]float64, 0, reps)
 		valid := 0
+		var fs faultSummaryJSON
 		for i := 0; i < reps; i++ {
 			if err := ctx.Err(); err != nil {
 				return nil, err
+			}
+			// The weight streams are the same with and without fault
+			// injection, so a zero fault spec reproduces the plain
+			// response.
+			if req.Faults != nil {
+				spec := *req.Faults
+				spec.Seed = req.Faults.Seed + uint64(i) // fresh fault trace per replication
+				res, err := online.ExecuteFaulty(wfl, plat, schedule,
+					sim.SampleWeights(wfl, stream.Split(uint64(i))), &spec, req.Budget)
+				if err != nil {
+					return nil, err
+				}
+				cost = append(cost, res.TotalCost)
+				if res.Completed {
+					fs.Completed++
+					mk = append(mk, res.Makespan)
+				}
+				if req.Budget <= 0 || res.TotalCost <= req.Budget {
+					valid++
+				}
+				fs.CrashesPerRun += float64(res.Crashes)
+				fs.BootFailuresPerRun += float64(res.BootFailures)
+				fs.TaskFailuresPerRun += float64(res.TaskFailures)
+				fs.RecoveriesPerRun += float64(res.Recoveries)
+				fs.RecoveriesVetoedPerRun += float64(res.RecoveriesVetoed)
+				fs.WastedSecondsPerRun += res.WastedSeconds
+				continue
 			}
 			res, err := sim.RunStochastic(wfl, plat, schedule, stream.Split(uint64(i)))
 			if err != nil {
@@ -207,14 +251,26 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 				valid++
 			}
 		}
-		return simulateResponse{
+		out := simulateResponse{
 			Replications: reps,
 			Makespan:     toSummaryJSON(stats.Summarize(mk)),
 			Cost:         toSummaryJSON(stats.Summarize(cost)),
 			ValidFrac:    float64(valid) / float64(reps),
 			Budget:       req.Budget,
 			RequestID:    reqID,
-		}, nil
+		}
+		if req.Faults != nil {
+			n := float64(reps)
+			fs.SuccessRate = float64(fs.Completed) / n
+			fs.CrashesPerRun /= n
+			fs.BootFailuresPerRun /= n
+			fs.TaskFailuresPerRun /= n
+			fs.RecoveriesPerRun /= n
+			fs.RecoveriesVetoedPerRun /= n
+			fs.WastedSecondsPerRun /= n
+			out.Faults = &fs
+		}
+		return out, nil
 	})
 	if ok {
 		writeJSON(w, http.StatusOK, resp)
@@ -316,17 +372,38 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// runPooled executes fn on the worker pool under the per-request
-// timeout and translates the admission/cancellation outcomes to HTTP.
-// It returns (response, true) when fn completed and the response
-// should be written, and (nil, false) when runPooled already wrote an
-// error (or the client is gone and nothing should be written).
+// requestTimeout resolves the effective processing deadline of one
+// request: the server-wide limit, tightened — never extended — by a
+// positive client-supplied timeoutMillis.
+func (s *Server) requestTimeout(timeoutMillis float64) time.Duration {
+	d := s.cfg.RequestTimeout
+	if timeoutMillis > 0 {
+		req := time.Duration(timeoutMillis * float64(time.Millisecond))
+		if d <= 0 || req < d {
+			d = req
+		}
+	}
+	return d
+}
+
+// runPooled executes fn on the worker pool under the server-wide
+// request timeout and translates the admission/cancellation outcomes
+// to HTTP. It returns (response, true) when fn completed and the
+// response should be written, and (nil, false) when runPooled already
+// wrote an error (or the client is gone and nothing should be
+// written).
 func (s *Server) runPooled(w http.ResponseWriter, r *http.Request, fn func(ctx context.Context) (any, error)) (any, bool) {
+	return s.runPooledTimeout(w, r, s.cfg.RequestTimeout, fn)
+}
+
+// runPooledTimeout is runPooled under an explicit timeout (≤ 0 means
+// no deadline).
+func (s *Server) runPooledTimeout(w http.ResponseWriter, r *http.Request, timeout time.Duration, fn func(ctx context.Context) (any, error)) (any, bool) {
 	reqID := requestID(r.Context())
 	ctx := r.Context()
 	cancel := context.CancelFunc(func() {})
-	if s.cfg.RequestTimeout > 0 {
-		ctx, cancel = context.WithTimeout(ctx, s.cfg.RequestTimeout)
+	if timeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, timeout)
 	}
 	defer cancel()
 

@@ -256,7 +256,6 @@ func TestScheduleSemanticErrorsAre422(t *testing.T) {
 	cases := map[string][]byte{
 		"cyclic DAG":        scheduleBody(t, json.RawMessage(cyclic), "heft", 10),
 		"unknown algorithm": scheduleBody(t, good, "speedy-mc-schedule-face", 10),
-		"negative budget":   scheduleBody(t, good, "heftbudg", -4),
 		"missing workflow":  []byte(`{"algorithm": "heft", "budget": 5}`),
 	}
 	for name, body := range cases {
@@ -264,6 +263,12 @@ func TestScheduleSemanticErrorsAre422(t *testing.T) {
 		if code != http.StatusUnprocessableEntity {
 			t.Errorf("%s: status = %d, want 422 (body %s)", name, code, data)
 		}
+	}
+
+	// A budget outside the field's domain is a malformed value: 400.
+	code, data, _ := post(t, ts, "/v1/schedule", scheduleBody(t, good, "heftbudg", -4))
+	if code != http.StatusBadRequest {
+		t.Errorf("negative budget: status = %d, want 400 (body %s)", code, data)
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 	"io"
 	"math"
 
+	"budgetwf/internal/fault"
 	"budgetwf/internal/plan"
 	"budgetwf/internal/platform"
 	"budgetwf/internal/stats"
@@ -20,11 +21,13 @@ import (
 // into cmd/simulate.
 //
 // Error discipline: a request whose body is not syntactically valid
-// JSON (or has unknown top-level fields) is a 400; a body that parses
-// but describes something semantically unusable — a cyclic DAG, an
-// unknown algorithm, a negative budget, a schedule inconsistent with
-// its workflow — is a 422. Overload is a 429 with Retry-After, and a
-// server-side deadline expiry is a 504.
+// JSON (or has unknown fields), or whose scalar fields are outside
+// their domain — a NaN, infinite or negative budget, a negative
+// timeout, an out-of-range fault-spec field — is a 400; a body whose
+// values are well-formed but that describes something semantically
+// unusable — a cyclic DAG, an unknown algorithm, a schedule
+// inconsistent with its workflow — is a 422. Overload is a 429 with
+// Retry-After, and a server-side deadline expiry is a 504.
 
 // scheduleRequest is the body of POST /v1/schedule.
 type scheduleRequest struct {
@@ -71,8 +74,20 @@ type simulateRequest struct {
 	Replications int `json:"replications,omitempty"`
 	// Seed decorrelates the stochastic weight draws; default 0.
 	Seed uint64 `json:"seed,omitempty"`
-	// Budget, when positive, enables the validity accounting.
+	// Budget, when positive, enables the validity accounting — and,
+	// under fault injection, arms the recovery budget guard.
 	Budget float64 `json:"budget,omitempty"`
+	// Faults, when present, injects VM crashes, boot failures and
+	// transient task failures into every replication (see
+	// internal/fault for the spec format). Invalid fields are 400s,
+	// named per field. Budget-exhausted replications degrade to
+	// partial results and lower the reported success rate; they never
+	// fail the request.
+	Faults *fault.Spec `json:"faults,omitempty"`
+	// TimeoutMillis, when positive, tightens the server's per-request
+	// processing deadline for this request (it cannot extend the
+	// server-wide limit). Negative values are 400s.
+	TimeoutMillis float64 `json:"timeoutMillis,omitempty"`
 }
 
 // summaryJSON mirrors stats.Summary on the wire.
@@ -91,14 +106,36 @@ func toSummaryJSON(s stats.Summary) summaryJSON {
 
 // simulateResponse is the body of a successful POST /v1/simulate.
 type simulateResponse struct {
-	Replications int         `json:"replications"`
-	Makespan     summaryJSON `json:"makespan"`
-	Cost         summaryJSON `json:"cost"`
+	Replications int `json:"replications"`
+	// Makespan summarizes completed replications only (all of them
+	// without fault injection); Cost summarizes every replication.
+	Makespan summaryJSON `json:"makespan"`
+	Cost     summaryJSON `json:"cost"`
 	// ValidFrac is the fraction of executions whose realized cost
 	// respected Budget (1 when Budget is absent).
 	ValidFrac float64 `json:"validFrac"`
 	Budget    float64 `json:"budget"`
-	RequestID string  `json:"requestId"`
+	// Faults aggregates the fault-injection outcomes; present only
+	// when the request carried a faults spec.
+	Faults    *faultSummaryJSON `json:"faults,omitempty"`
+	RequestID string            `json:"requestId"`
+}
+
+// faultSummaryJSON aggregates fault-injection outcomes across the
+// replications of one simulate request.
+type faultSummaryJSON struct {
+	// SuccessRate is the fraction of replications that completed every
+	// task; the complement degraded to partial results under the
+	// budget guard or the retry caps.
+	SuccessRate float64 `json:"successRate"`
+	Completed   int     `json:"completed"`
+	// Per-replication means.
+	CrashesPerRun          float64 `json:"crashesPerRun"`
+	BootFailuresPerRun     float64 `json:"bootFailuresPerRun"`
+	TaskFailuresPerRun     float64 `json:"taskFailuresPerRun"`
+	RecoveriesPerRun       float64 `json:"recoveriesPerRun"`
+	RecoveriesVetoedPerRun float64 `json:"recoveriesVetoedPerRun"`
+	WastedSecondsPerRun    float64 `json:"wastedSecondsPerRun"`
 }
 
 // sweepRequest is the body of POST /v1/sweep: a Figure-1-style budget
@@ -221,11 +258,22 @@ func parseSchedule(raw json.RawMessage, w *wf.Workflow, p *platform.Platform) (*
 	return s, nil
 }
 
-// checkBudget rejects budgets the planners would refuse anyway, with a
-// clearer message and without spending a pool slot.
+// checkBudget rejects budgets outside the field's domain — negative,
+// NaN or infinite in either direction — with a clearer message than
+// the planners' and without spending a pool slot. Errors from it are
+// malformed-value errors (HTTP 400).
 func checkBudget(b float64) error {
-	if b < 0 || math.IsNaN(b) || math.IsInf(b, -1) {
+	if b < 0 || math.IsNaN(b) || math.IsInf(b, 0) {
 		return fmt.Errorf("invalid budget %v", b)
+	}
+	return nil
+}
+
+// checkTimeoutMillis rejects malformed per-request timeouts (HTTP
+// 400). Zero means "server default"; positive values tighten it.
+func checkTimeoutMillis(ms float64) error {
+	if ms < 0 || math.IsNaN(ms) || math.IsInf(ms, 0) {
+		return fmt.Errorf("invalid timeoutMillis %v", ms)
 	}
 	return nil
 }
