@@ -2,7 +2,8 @@
 
 GO ?= go
 
-.PHONY: all build vet test bench figs figs-quick report fuzz serve loadtest clean
+.PHONY: all build vet test bench figs figs-quick report fuzz serve loadtest clean \
+	bench-json bench-json-check bench-json-smoke
 
 all: build vet test
 
@@ -19,6 +20,23 @@ test:
 logs:
 	$(GO) test ./... 2>&1 | tee test_output.txt
 	$(GO) test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
+
+# Regenerate the committed BENCH_*.json baselines at the repo root
+# (planner, sim and daemon suites; deterministic case list from the
+# fixed seed — only the measured numbers change between machines).
+bench-json:
+	$(GO) run ./cmd/bench -benchtime 3x -seed 1 -out .
+
+# Validate the committed baselines against the current suite
+# definitions (schema intact, case list unchanged). Run by CI.
+bench-json-check:
+	$(GO) run ./cmd/bench -check -seed 1 -out .
+
+# One-iteration smoke run of every suite into a scratch dir, then
+# validate what it wrote. Run by CI; does not touch committed files.
+bench-json-smoke:
+	rm -rf /tmp/bench-smoke && $(GO) run ./cmd/bench -benchtime 1x -seed 1 -out /tmp/bench-smoke
+	$(GO) run ./cmd/bench -check -seed 1 -out /tmp/bench-smoke
 
 # Full-scale reproduction of every figure/table (paper methodology).
 figs:

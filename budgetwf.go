@@ -261,11 +261,15 @@ func ReplicateBudgetContext(ctx context.Context, w *Workflow, p *Platform, s *Sc
 	stream := rng.New(seed)
 	var mk, cost []float64
 	valid := 0
+	runner, err := sim.NewRunner(w, p, s)
+	if err != nil {
+		return nil, err
+	}
 	for i := 0; i < n; i++ {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		r, err := sim.RunStochastic(w, p, s, stream.Split(uint64(i)))
+		r, err := runner.RunStochastic(stream.Split(uint64(i)))
 		if err != nil {
 			return nil, err
 		}

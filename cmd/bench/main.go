@@ -1,0 +1,124 @@
+// Command bench runs the repository's deterministic benchmark suites
+// and maintains the committed BENCH_*.json baselines at the repo root.
+//
+// Regenerate all baselines (what `make bench-json` does):
+//
+//	bench -benchtime 2x -out .
+//
+// Smoke-run one suite without touching files:
+//
+//	bench -suite sim -benchtime 1x -out /tmp/bench
+//
+// Validate committed baselines against the current suite definitions
+// (what CI does — schema intact, case list unchanged):
+//
+//	bench -check -out .
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"budgetwf/internal/bench"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
+	suite := fs.String("suite", "all", "suite to run: "+strings.Join(bench.SuiteNames(), ", ")+", or all")
+	benchtime := fs.String("benchtime", "2x", "per-case measuring budget (testing -benchtime syntax: 100ms, 1x, ...)")
+	out := fs.String("out", ".", "directory for BENCH_<suite>.json files")
+	check := fs.Bool("check", false, "validate existing BENCH files against the current suite definitions instead of running")
+	seed := fs.Uint64("seed", 1, "seed for workflow generation and weight sampling")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	suites, err := selectSuites(*suite)
+	if err != nil {
+		return err
+	}
+	if *check {
+		return checkFiles(*out, *seed, suites, stdout)
+	}
+	if err := bench.SetBenchtime(*benchtime); err != nil {
+		return fmt.Errorf("bad -benchtime: %w", err)
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		return err
+	}
+	for _, name := range suites {
+		cases, err := bench.Suites()[name](*seed)
+		if err != nil {
+			return fmt.Errorf("building suite %s: %w", name, err)
+		}
+		fmt.Fprintf(stdout, "suite %s: %d cases, benchtime %s\n", name, len(cases), *benchtime)
+		f, err := bench.RunSuite(name, *seed, cases, stdout)
+		if err != nil {
+			return err
+		}
+		path := benchPath(*out, name)
+		if err := f.WriteFile(path); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "wrote %s\n", path)
+	}
+	return nil
+}
+
+func benchPath(dir, suite string) string {
+	return filepath.Join(dir, "BENCH_"+suite+".json")
+}
+
+func selectSuites(arg string) ([]string, error) {
+	if arg == "all" {
+		return bench.SuiteNames(), nil
+	}
+	var out []string
+	for _, name := range strings.Split(arg, ",") {
+		name = strings.TrimSpace(name)
+		if _, ok := bench.Suites()[name]; !ok {
+			return nil, fmt.Errorf("unknown suite %q (have %s)", name, strings.Join(bench.SuiteNames(), ", "))
+		}
+		out = append(out, name)
+	}
+	return out, nil
+}
+
+// checkFiles validates each suite's committed baseline: parseable,
+// schema-consistent, and with exactly the case list the current code
+// defines — so a PR that changes a suite must regenerate its baseline.
+func checkFiles(dir string, seed uint64, suites []string, stdout io.Writer) error {
+	var failures []string
+	for _, name := range suites {
+		path := benchPath(dir, name)
+		cases, err := bench.Suites()[name](seed)
+		if err != nil {
+			return fmt.Errorf("building suite %s: %w", name, err)
+		}
+		f, err := bench.ReadFile(path)
+		if err != nil {
+			failures = append(failures, err.Error())
+			continue
+		}
+		if err := f.Validate(name, bench.CaseNames(cases)); err != nil {
+			failures = append(failures, fmt.Sprintf("%s: %v", path, err))
+			continue
+		}
+		fmt.Fprintf(stdout, "%s: ok (%d cases, %s, seed %d)\n", path, len(f.Results), f.GoVersion, f.Seed)
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("%d baseline(s) invalid:\n  %s", len(failures), strings.Join(failures, "\n  "))
+	}
+	return nil
+}

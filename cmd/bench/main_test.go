@@ -1,0 +1,82 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRunSimSuiteThenCheck is the end-to-end smoke path CI exercises:
+// run one suite at -benchtime=1x into a temp dir, then validate the
+// produced file with -check.
+func TestRunSimSuiteThenCheck(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real benchmark iterations")
+	}
+	dir := t.TempDir()
+	var out bytes.Buffer
+	if err := run([]string{"-suite", "sim", "-benchtime", "1x", "-out", dir}, &out); err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	path := filepath.Join(dir, "BENCH_sim.json")
+	if _, err := os.Stat(path); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if err := run([]string{"-check", "-suite", "sim", "-out", dir}, &out); err != nil {
+		t.Fatalf("check: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "ok (") {
+		t.Fatalf("check output: %s", out.String())
+	}
+
+	// A tampered baseline must fail the check.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := bytes.Replace(raw, []byte(`"suite": "sim"`), []byte(`"suite": "nope"`), 1)
+	if bytes.Equal(bad, raw) {
+		t.Fatal("tamper target not found in baseline")
+	}
+	if err := os.WriteFile(path, bad, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-check", "-suite", "sim", "-out", dir}, &out); err == nil {
+		t.Fatal("tampered baseline passed -check")
+	}
+}
+
+func TestCheckMissingFile(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-check", "-suite", "sim", "-out", t.TempDir()}, &out)
+	if err == nil {
+		t.Fatal("missing baseline passed -check")
+	}
+}
+
+func TestSelectSuites(t *testing.T) {
+	all, err := selectSuites("all")
+	if err != nil || len(all) != 3 {
+		t.Fatalf("all: %v %v", all, err)
+	}
+	two, err := selectSuites("sim, daemon")
+	if err != nil || len(two) != 2 || two[0] != "sim" || two[1] != "daemon" {
+		t.Fatalf("list: %v %v", two, err)
+	}
+	if _, err := selectSuites("bogus"); err == nil {
+		t.Fatal("unknown suite accepted")
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-suite", "bogus"}, &out); err == nil {
+		t.Fatal("unknown suite accepted")
+	}
+	if err := run([]string{"-suite", "sim", "-benchtime", "not-a-time", "-out", t.TempDir()}, &out); err == nil {
+		t.Fatal("bad benchtime accepted")
+	}
+}

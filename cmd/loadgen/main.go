@@ -114,7 +114,7 @@ func run(args []string, stdout io.Writer) error {
 				retryAfter := resp.Header.Get("Retry-After")
 				io.Copy(io.Discard, resp.Body)
 				resp.Body.Close()
-				time.Sleep(retryDelay(retryAfter, attempt, *retryCap, rnd))
+				time.Sleep(retryDelay(retryAfter, attempt, *retryCap, rnd, time.Now()))
 				retried++
 			}
 			var payload struct {
@@ -184,10 +184,24 @@ func run(args []string, stdout io.Writer) error {
 // when absent or unparseable) doubled per prior attempt, clamped to
 // cap, minus up to a quarter of random jitter so synchronized clients
 // spread out instead of stampeding back together.
-func retryDelay(retryAfter string, attempt int, cap time.Duration, rnd *rand.Rand) time.Duration {
+//
+// RFC 9110 §10.2.3 allows two Retry-After forms, and both are honored:
+// a non-negative integer of delta-seconds (0 meaning "retry now": no
+// backoff beyond the jitterless zero sleep), or an HTTP-date, whose
+// delta from now is used (a date in the past counts as 0). Negative
+// integers and anything unparseable fall back to the default base.
+func retryDelay(retryAfter string, attempt int, cap time.Duration, rnd *rand.Rand, now time.Time) time.Duration {
 	base := 100 * time.Millisecond
-	if secs, err := strconv.Atoi(strings.TrimSpace(retryAfter)); err == nil && secs > 0 {
+	if secs, err := strconv.Atoi(strings.TrimSpace(retryAfter)); err == nil && secs >= 0 {
 		base = time.Duration(secs) * time.Second
+	} else if at, err := http.ParseTime(strings.TrimSpace(retryAfter)); err == nil {
+		base = at.Sub(now)
+		if base < 0 {
+			base = 0
+		}
+	}
+	if cap > 0 && base > cap {
+		base = cap
 	}
 	d := base
 	for i := 0; i < attempt && d < cap; i++ {
@@ -195,6 +209,9 @@ func retryDelay(retryAfter string, attempt int, cap time.Duration, rnd *rand.Ran
 	}
 	if cap > 0 && d > cap {
 		d = cap
+	}
+	if d <= 0 {
+		return 0
 	}
 	return d - time.Duration(rnd.Int63n(int64(d)/4+1))
 }

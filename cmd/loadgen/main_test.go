@@ -12,22 +12,46 @@ import (
 
 func TestRetryDelay(t *testing.T) {
 	rnd := rand.New(rand.NewSource(1))
+	now := time.Date(2026, 8, 6, 12, 0, 0, 0, time.UTC)
 	cap := 2 * time.Second
 	for attempt := 0; attempt < 8; attempt++ {
-		for _, hdr := range []string{"", "1", "30", "soon", "-2"} {
-			d := retryDelay(hdr, attempt, cap, rnd)
+		for _, hdr := range []string{"", "0", "1", "30", "soon", "-2",
+			now.Add(3 * time.Second).UTC().Format(http.TimeFormat)} {
+			d := retryDelay(hdr, attempt, cap, rnd, now)
 			if d < 0 || d > cap {
 				t.Fatalf("retryDelay(%q, %d) = %v, outside [0, %v]", hdr, attempt, d, cap)
 			}
 		}
 	}
-	// The Retry-After hint raises the base above the default.
-	if d := retryDelay("1", 0, time.Minute, rnd); d < 750*time.Millisecond {
-		t.Errorf("Retry-After: 1 yielded only %v", d)
-	}
-	// Without a hint the first backoff stays around the 100ms base.
-	if d := retryDelay("", 0, time.Minute, rnd); d > 100*time.Millisecond {
-		t.Errorf("default base backoff too large: %v", d)
+
+	// RFC 9110 allows delta-seconds (including 0) and HTTP-dates; both
+	// must be honored, bounded by [0, cap], with the default base only
+	// for absent/invalid values.
+	httpDate := func(d time.Duration) string { return now.Add(d).UTC().Format(http.TimeFormat) }
+	for _, tc := range []struct {
+		name     string
+		header   string
+		attempt  int
+		cap      time.Duration
+		min, max time.Duration
+	}{
+		{"absent falls back to default base", "", 0, time.Minute, 75 * time.Millisecond, 100 * time.Millisecond},
+		{"unparseable falls back to default base", "soon", 0, time.Minute, 75 * time.Millisecond, 100 * time.Millisecond},
+		{"negative falls back to default base", "-2", 0, time.Minute, 75 * time.Millisecond, 100 * time.Millisecond},
+		{"delta-seconds raises the base", "1", 0, time.Minute, 750 * time.Millisecond, time.Second},
+		{"zero delta-seconds means retry now", "0", 0, time.Minute, 0, 0},
+		{"zero delta-seconds stays zero on later attempts", "0", 3, time.Minute, 0, 0},
+		{"delta-seconds clamps to cap", "30", 0, 2 * time.Second, 1500 * time.Millisecond, 2 * time.Second},
+		{"HTTP-date is honored", httpDate(4 * time.Second), 0, time.Minute, 3 * time.Second, 4 * time.Second},
+		{"HTTP-date in the past means retry now", httpDate(-10 * time.Second), 0, time.Minute, 0, 0},
+		{"HTTP-date clamps to cap", httpDate(time.Hour), 0, 2 * time.Second, 1500 * time.Millisecond, 2 * time.Second},
+		{"doubling respects cap", "1", 6, 2 * time.Second, 1500 * time.Millisecond, 2 * time.Second},
+	} {
+		d := retryDelay(tc.header, tc.attempt, tc.cap, rnd, now)
+		if d < tc.min || d > tc.max {
+			t.Errorf("%s: retryDelay(%q, attempt %d) = %v, want in [%v, %v]",
+				tc.name, tc.header, tc.attempt, d, tc.min, tc.max)
+		}
 	}
 }
 
@@ -38,7 +62,7 @@ func TestRunRetriesOn429(t *testing.T) {
 	var calls atomic.Int64
 	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if calls.Add(1)%2 == 1 {
-			w.Header().Set("Retry-After", "0") // keep the test fast; base backoff applies
+			w.Header().Set("Retry-After", "0") // retry immediately; keeps the test fast
 			w.WriteHeader(http.StatusTooManyRequests)
 			w.Write([]byte(`{"error":"server overloaded, retry later"}`))
 			return

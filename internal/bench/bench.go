@@ -1,0 +1,261 @@
+// Package bench is the repo's deterministic benchmark suite: named
+// benchmark cases over the planners, the Monte Carlo simulator and the
+// budgetwfd daemon, measured with testing.Benchmark and serialized to
+// the committed BENCH_*.json baselines at the repository root.
+//
+// The point of committing the baselines is PR-over-PR perf diffing:
+// the case list and the metric fields are deterministic functions of
+// the fixed seed (same seed → same workflows, same budgets, same case
+// names in the same order), so two BENCH files diff cleanly and any
+// regression shows up as a number change on a stable key. Absolute
+// numbers are machine-dependent — compare files from the same machine,
+// or ratios. Files deliberately carry no timestamp or hostname so
+// regeneration on an identical tree is a no-op diff apart from the
+// measured values.
+//
+// `make bench-json` regenerates the files; `cmd/bench -check`
+// validates committed files against the current suite definitions
+// (CI runs both in smoke mode, -benchtime=1x).
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"testing"
+)
+
+// SchemaVersion identifies the BENCH_*.json layout. Bump on any
+// incompatible field change and teach Validate about the old ones.
+const SchemaVersion = 1
+
+// Case is one named benchmark within a suite.
+type Case struct {
+	Name  string
+	Bench func(b *testing.B)
+}
+
+// Result is the measurement of one case.
+type Result struct {
+	Case        string  `json:"case"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	// OpsPerSec is the throughput view of NsPerOp (1e9/NsPerOp); for
+	// the daemon suite an "op" is one HTTP request, so this is the
+	// request throughput.
+	OpsPerSec float64 `json:"ops_per_sec"`
+}
+
+// File is one BENCH_<suite>.json baseline.
+type File struct {
+	SchemaVersion int      `json:"schema_version"`
+	Suite         string   `json:"suite"`
+	GoVersion     string   `json:"go_version"`
+	GOMAXPROCS    int      `json:"gomaxprocs"`
+	Seed          uint64   `json:"seed"`
+	Results       []Result `json:"results"`
+}
+
+var initOnce sync.Once
+
+// SetBenchtime sets the per-case measuring budget (testing's
+// -test.benchtime syntax: a duration like "100ms" or an iteration
+// count like "1x"). Callable from a non-test binary.
+func SetBenchtime(v string) error {
+	initOnce.Do(testing.Init)
+	return flag.Set("test.benchtime", v)
+}
+
+// RunSuite measures every case in order and assembles the baseline
+// file. Case panics propagate: a benchmark that cannot run is a bug,
+// not a measurement.
+func RunSuite(suite string, seed uint64, cases []Case, progress io.Writer) (*File, error) {
+	initOnce.Do(testing.Init)
+	if err := validateCaseList(cases); err != nil {
+		return nil, fmt.Errorf("bench: suite %s: %w", suite, err)
+	}
+	f := &File{
+		SchemaVersion: SchemaVersion,
+		Suite:         suite,
+		GoVersion:     runtime.Version(),
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		Seed:          seed,
+	}
+	for _, c := range cases {
+		if progress != nil {
+			fmt.Fprintf(progress, "  %s/%s...", suite, c.Name)
+		}
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			c.Bench(b)
+		})
+		if r.N == 0 {
+			return nil, fmt.Errorf("bench: case %s/%s did not run", suite, c.Name)
+		}
+		res := Result{
+			Case:        c.Name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		}
+		if res.NsPerOp > 0 {
+			res.OpsPerSec = 1e9 / res.NsPerOp
+		}
+		f.Results = append(f.Results, res)
+		if progress != nil {
+			fmt.Fprintf(progress, " %.0f ns/op, %d allocs/op\n", res.NsPerOp, res.AllocsPerOp)
+		}
+	}
+	return f, nil
+}
+
+// WriteJSON writes the baseline with stable formatting (two-space
+// indent, trailing newline) so regeneration produces minimal diffs.
+func (f *File) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(f)
+}
+
+// WriteFile atomically-ish writes the baseline to path.
+func (f *File) WriteFile(path string) error {
+	tmp, err := os.CreateTemp("", "bench-*.json")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if err := f.WriteJSON(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// ReadFile parses a committed baseline, rejecting unknown fields so a
+// drifted schema fails loudly.
+func ReadFile(path string) (*File, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f File
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&f); err != nil {
+		return nil, fmt.Errorf("bench: %s: %w", path, err)
+	}
+	return &f, nil
+}
+
+// Validate checks the baseline's internal consistency and, when
+// wantCases is non-nil, that the measured case list matches the
+// current suite definition exactly (same names, same order) — the
+// property PR-over-PR diffs rely on.
+func (f *File) Validate(wantSuite string, wantCases []string) error {
+	if f.SchemaVersion != SchemaVersion {
+		return fmt.Errorf("bench: schema_version %d, want %d", f.SchemaVersion, SchemaVersion)
+	}
+	if wantSuite != "" && f.Suite != wantSuite {
+		return fmt.Errorf("bench: suite %q, want %q", f.Suite, wantSuite)
+	}
+	if f.GoVersion == "" {
+		return fmt.Errorf("bench: missing go_version")
+	}
+	if f.GOMAXPROCS < 1 {
+		return fmt.Errorf("bench: gomaxprocs %d", f.GOMAXPROCS)
+	}
+	seen := map[string]bool{}
+	for i, r := range f.Results {
+		if r.Case == "" {
+			return fmt.Errorf("bench: result %d has no case name", i)
+		}
+		if seen[r.Case] {
+			return fmt.Errorf("bench: duplicate case %q", r.Case)
+		}
+		seen[r.Case] = true
+		if r.Iterations < 1 {
+			return fmt.Errorf("bench: case %q ran %d iterations", r.Case, r.Iterations)
+		}
+		if r.NsPerOp <= 0 {
+			return fmt.Errorf("bench: case %q has ns_per_op %v", r.Case, r.NsPerOp)
+		}
+		if r.BytesPerOp < 0 || r.AllocsPerOp < 0 {
+			return fmt.Errorf("bench: case %q has negative alloc metrics", r.Case)
+		}
+		if r.OpsPerSec <= 0 {
+			return fmt.Errorf("bench: case %q has ops_per_sec %v", r.Case, r.OpsPerSec)
+		}
+	}
+	if wantCases != nil {
+		if len(f.Results) != len(wantCases) {
+			return fmt.Errorf("bench: %d results, current suite defines %d cases", len(f.Results), len(wantCases))
+		}
+		for i, want := range wantCases {
+			if f.Results[i].Case != want {
+				return fmt.Errorf("bench: result %d is %q, current suite defines %q here", i, f.Results[i].Case, want)
+			}
+		}
+	}
+	return nil
+}
+
+// Suites is the registry of suite constructors, keyed by the name
+// that appears in the suite field and the BENCH_<name>.json filename.
+func Suites() map[string]func(seed uint64) ([]Case, error) {
+	return map[string]func(uint64) ([]Case, error){
+		"daemon":  Daemon,
+		"planner": Planner,
+		"sim":     Sim,
+	}
+}
+
+// SuiteNames lists the registered suites in deterministic order.
+func SuiteNames() []string {
+	names := make([]string, 0, len(Suites()))
+	for n := range Suites() {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// CaseNames extracts the names of a case list, in order.
+func CaseNames(cases []Case) []string {
+	out := make([]string, len(cases))
+	for i, c := range cases {
+		out[i] = c.Name
+	}
+	return out
+}
+
+func validateCaseList(cases []Case) error {
+	if len(cases) == 0 {
+		return fmt.Errorf("no cases")
+	}
+	seen := map[string]bool{}
+	for _, c := range cases {
+		if c.Name == "" || c.Bench == nil {
+			return fmt.Errorf("case with empty name or nil bench")
+		}
+		if seen[c.Name] {
+			return fmt.Errorf("duplicate case %q", c.Name)
+		}
+		seen[c.Name] = true
+	}
+	if !sort.StringsAreSorted(CaseNames(cases)) {
+		return fmt.Errorf("case names must be sorted for stable diffs")
+	}
+	return nil
+}

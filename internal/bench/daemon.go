@@ -1,0 +1,123 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sort"
+	"testing"
+
+	"budgetwf/internal/server"
+	"budgetwf/internal/wfgen"
+)
+
+func discardLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
+}
+
+// daemonWorkflowSize keeps a daemon op dominated by request handling
+// (decode, cache, encode) rather than planning, so the suite tracks
+// the serving stack's overhead.
+const daemonWorkflowSize = 50
+
+// Daemon builds the end-to-end budgetwfd suite: an in-process server
+// (httptest, no real network) driven over /v1/schedule.
+//
+//   - schedule-warm: the same request repeatedly — after the first op
+//     every response is a content-addressed cache hit, measuring the
+//     serving floor;
+//   - schedule-cold: caching disabled (CacheSize -1), so every op runs
+//     the planner — the cache-miss cost;
+//   - schedule-parallel-warm: the warm case under GOMAXPROCS
+//     concurrent clients via b.RunParallel, measuring request
+//     throughput under the worker-pool admission control (ops_per_sec
+//     is the aggregate request rate).
+func Daemon(seed uint64) ([]Case, error) {
+	body, err := scheduleBody(seed)
+	if err != nil {
+		return nil, err
+	}
+	cases := []Case{
+		{Name: "schedule-cold/montage/n0050", Bench: func(b *testing.B) {
+			benchServer(b, body, server.Config{Workers: runtime.GOMAXPROCS(0), QueueDepth: 1024, CacheSize: -1}, false)
+		}},
+		{Name: "schedule-parallel-warm/montage/n0050", Bench: func(b *testing.B) {
+			benchServer(b, body, server.Config{Workers: runtime.GOMAXPROCS(0), QueueDepth: 1024}, true)
+		}},
+		{Name: "schedule-warm/montage/n0050", Bench: func(b *testing.B) {
+			benchServer(b, body, server.Config{Workers: runtime.GOMAXPROCS(0), QueueDepth: 1024}, false)
+		}},
+	}
+	sort.Slice(cases, func(i, j int) bool { return cases[i].Name < cases[j].Name })
+	return cases, nil
+}
+
+// scheduleBody renders one /v1/schedule request for a seeded Montage
+// instance with a generous budget.
+func scheduleBody(seed uint64) ([]byte, error) {
+	w, err := wfgen.Generate(wfgen.Montage, daemonWorkflowSize, seed)
+	if err != nil {
+		return nil, err
+	}
+	var wbuf bytes.Buffer
+	if err := w.WithSigmaRatio(0.5).WriteJSON(&wbuf); err != nil {
+		return nil, err
+	}
+	return json.Marshal(map[string]any{
+		"workflow":  json.RawMessage(wbuf.Bytes()),
+		"algorithm": "heftbudg",
+		"budget":    100.0,
+	})
+}
+
+// benchServer measures POST /v1/schedule round trips against a fresh
+// in-process server. One op = one request, fully read and checked.
+func benchServer(b *testing.B, body []byte, cfg server.Config, parallel bool) {
+	b.Helper()
+	cfg.Logger = discardLogger()
+	s := server.New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	client := ts.Client()
+
+	post := func() error {
+		resp, err := client.Post(ts.URL+"/v1/schedule", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+			return err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("status %d", resp.StatusCode)
+		}
+		return nil
+	}
+	// Prime once outside the timed region: the warm variants measure
+	// steady-state hits, not the first miss.
+	if err := post(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	if parallel {
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				if err := post(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		return
+	}
+	for i := 0; i < b.N; i++ {
+		if err := post(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,67 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"budgetwf/internal/exp"
+	"budgetwf/internal/platform"
+	"budgetwf/internal/rng"
+	"budgetwf/internal/sched"
+	"budgetwf/internal/sim"
+	"budgetwf/internal/wfgen"
+)
+
+// simReps is the replication batch size per op — the paper's 25
+// stochastic executions per (instance, budget) cell, so one op here
+// costs exactly what one sweep cell's simulation phase costs.
+const simReps = 25
+
+var simSigmas = []float64{0, 0.5, 1.0}
+
+// Sim builds the Monte Carlo suite: batches of simReps stochastic
+// executions of a fixed HEFTBUDG schedule (Montage, n=300) at
+// σ/w̄ ∈ {0, 0.5, 1.0}, replayed through a sim.Runner exactly like the
+// experiment sweeps do. σ=0 isolates the engine (sampling degenerates
+// to the mean); larger σ adds the truncated-Gaussian sampling cost and
+// shifts the realized timelines.
+func Sim(seed uint64) ([]Case, error) {
+	var cases []Case
+	for _, sigma := range simSigmas {
+		w, err := wfgen.Generate(wfgen.Montage, 300, seed)
+		if err != nil {
+			return nil, err
+		}
+		w = w.WithSigmaRatio(sigma)
+		p := platform.Default()
+		anchors, err := exp.ComputeAnchors(w, p)
+		if err != nil {
+			return nil, err
+		}
+		s, err := sched.HeftBudg(w, p, (anchors.CheapCost+anchors.High)/2)
+		if err != nil {
+			return nil, err
+		}
+		cases = append(cases, Case{
+			Name: fmt.Sprintf("mc%d/montage/n0300/sigma%.2f", simReps, sigma),
+			Bench: func(b *testing.B) {
+				runner, err := sim.NewRunner(w, p, s)
+				if err != nil {
+					b.Fatal(err)
+				}
+				stream := rng.New(seed).Split(uint64(sigma * 100))
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					for rep := 0; rep < simReps; rep++ {
+						if _, err := runner.RunStochastic(stream.Split(uint64(rep))); err != nil {
+							b.Fatal(err)
+						}
+					}
+				}
+			},
+		})
+	}
+	sort.Slice(cases, func(i, j int) bool { return cases[i].Name < cases[j].Name })
+	return cases, nil
+}

@@ -73,8 +73,12 @@ func DeadlineFrontier(cfg FigureConfig, typ wfgen.Type, alg sched.Name) (*Table,
 				return nil, err
 			}
 			stream := rng.New(sc.Seed).Split(uint64(i)<<20 | uint64(b))
+			runner, err := sim.NewRunner(w, sc.Platform, s)
+			if err != nil {
+				return nil, err
+			}
 			for rep := 0; rep < sc.Reps; rep++ {
-				r, err := sim.RunStochastic(w, sc.Platform, s, stream.Split(uint64(rep)))
+				r, err := runner.RunStochastic(stream.Split(uint64(rep)))
 				if err != nil {
 					return nil, err
 				}

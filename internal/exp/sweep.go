@@ -181,7 +181,9 @@ func RunSweepCtx(ctx context.Context, sc Scenario, algs []sched.Algorithm, gridK
 		BaselineMakespan: baseMk,
 	}
 
-	// Enumerate cells.
+	// Enumerate cells. The slice is laid out so that the cell for
+	// (algIdx ai, instance i, budget b) sits at cellIndex(...): the
+	// aggregation below addresses results directly instead of scanning.
 	var cells []cell
 	for ai := range algs {
 		for i := 0; i < sc.Instances; i++ {
@@ -213,33 +215,47 @@ func RunSweepCtx(ctx context.Context, sc Scenario, algs []sched.Algorithm, gridK
 	close(work)
 	wg.Wait()
 
-	// Aggregate per (algorithm, budget index).
+	if err := aggregateCells(out, algs, sc.Instances, gridK, anchors, commonFactors, results); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// cellIndex locates the (algorithm, instance, budget) cell in the
+// enumeration order of RunSweepCtx.
+func cellIndex(ai, i, b, instances, gridK int) int {
+	return (ai*instances+i)*gridK + b
+}
+
+// aggregateCells folds per-cell results into per-(algorithm, budget)
+// Points. Cells are addressed by cellIndex, so the whole aggregation
+// is O(cells); a previous version rescanned the full results slice for
+// every (algorithm × instance × budget) triple, which made large
+// sweeps quadratic in the number of cells
+// (TestAggregateCellsLinearInCells pins the fix).
+func aggregateCells(out *SweepResult, algs []sched.Algorithm, instances, gridK int, anchors []*Anchors, commonFactors []float64, results []cellResult) error {
 	for ai, alg := range algs {
 		series := Series{Algorithm: alg.Name}
 		for b := 0; b < gridK; b++ {
 			var mk, cost, vms, pt []float64
 			valid, total := 0, 0
 			budgetSum := 0.0
-			for i := 0; i < sc.Instances; i++ {
-				for _, r := range results {
-					if r.algIdx != ai || r.instance != i || r.budgetIx != b {
-						continue
-					}
-					if r.err != nil {
-						return nil, fmt.Errorf("exp: %s instance %d budget %d: %w", alg.Name, i, b, r.err)
-					}
-					mk = append(mk, r.makespans...)
-					cost = append(cost, r.costs...)
-					vms = append(vms, r.numVMs)
-					pt = append(pt, r.planTime)
-					valid += r.valid
-					total += len(r.makespans)
-					budgetSum += commonFactors[b] * anchors[i].CheapCost
+			for i := 0; i < instances; i++ {
+				r := results[cellIndex(ai, i, b, instances, gridK)]
+				if r.err != nil {
+					return fmt.Errorf("exp: %s instance %d budget %d: %w", alg.Name, i, b, r.err)
 				}
+				mk = append(mk, r.makespans...)
+				cost = append(cost, r.costs...)
+				vms = append(vms, r.numVMs)
+				pt = append(pt, r.planTime)
+				valid += r.valid
+				total += len(r.makespans)
+				budgetSum += commonFactors[b] * anchors[i].CheapCost
 			}
 			p := Point{
 				Factor:   commonFactors[b],
-				Budget:   budgetSum / float64(sc.Instances),
+				Budget:   budgetSum / float64(instances),
 				Makespan: stats.Summarize(mk),
 				Cost:     stats.Summarize(cost),
 				NumVMs:   stats.Summarize(vms),
@@ -252,7 +268,7 @@ func RunSweepCtx(ctx context.Context, sc Scenario, algs []sched.Algorithm, gridK
 		}
 		out.Series = append(out.Series, series)
 	}
-	return out, nil
+	return nil
 }
 
 // runCell plans one instance at one budget and replays it Reps times
@@ -279,8 +295,13 @@ func runCell(sc Scenario, instances []*wf.Workflow, anchors []*Anchors, factors 
 	// interleavings: derived from scenario seed, instance, budget
 	// index and algorithm name.
 	stream := rng.New(sc.Seed).Split(uint64(c.instance)<<32 | uint64(c.budgetIx)<<16 | hashName(string(c.alg.Name)))
+	runner, err := sim.NewRunner(w, simP, s)
+	if err != nil {
+		res.err = err
+		return res
+	}
 	for rep := 0; rep < sc.Reps; rep++ {
-		r, err := sim.RunStochastic(w, simP, s, stream.Split(uint64(rep)))
+		r, err := runner.RunStochastic(stream.Split(uint64(rep)))
 		if err != nil {
 			res.err = err
 			return res

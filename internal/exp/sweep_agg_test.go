@@ -1,0 +1,130 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"budgetwf/internal/sched"
+)
+
+// syntheticSweepInputs builds a results slice in RunSweepCtx's cell
+// enumeration order, with per-cell values derived from the cell
+// coordinates so the aggregation can be checked exactly.
+func syntheticSweepInputs(numAlgs, instances, gridK int) ([]sched.Algorithm, []*Anchors, []float64, []cellResult) {
+	algs := make([]sched.Algorithm, numAlgs)
+	for ai := range algs {
+		algs[ai] = sched.Algorithm{Name: sched.Name(fmt.Sprintf("alg%d", ai))}
+	}
+	anchors := make([]*Anchors, instances)
+	for i := range anchors {
+		anchors[i] = &Anchors{CheapCost: 10 + float64(i)}
+	}
+	factors := make([]float64, gridK)
+	for b := range factors {
+		factors[b] = 1 + float64(b)
+	}
+	results := make([]cellResult, numAlgs*instances*gridK)
+	for ai := 0; ai < numAlgs; ai++ {
+		for i := 0; i < instances; i++ {
+			for b := 0; b < gridK; b++ {
+				base := float64(ai + i + b)
+				results[cellIndex(ai, i, b, instances, gridK)] = cellResult{
+					cell:      cell{algIdx: ai, instance: i, budgetIx: b},
+					makespans: []float64{base, base + 2},
+					costs:     []float64{base, base + 1},
+					numVMs:    float64(ai + 1),
+					valid:     1,
+					planTime:  0.5,
+				}
+			}
+		}
+	}
+	return algs, anchors, factors, results
+}
+
+func TestAggregateCellsValues(t *testing.T) {
+	const numAlgs, instances, gridK = 3, 4, 5
+	algs, anchors, factors, results := syntheticSweepInputs(numAlgs, instances, gridK)
+	out := &SweepResult{}
+	if err := aggregateCells(out, algs, instances, gridK, anchors, factors, results); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Series) != numAlgs {
+		t.Fatalf("series = %d, want %d", len(out.Series), numAlgs)
+	}
+	for ai, series := range out.Series {
+		if series.Algorithm != algs[ai].Name {
+			t.Errorf("series %d is %q, want %q", ai, series.Algorithm, algs[ai].Name)
+		}
+		if len(series.Points) != gridK {
+			t.Fatalf("series %d has %d points, want %d", ai, len(series.Points), gridK)
+		}
+		for b, p := range series.Points {
+			if p.Factor != factors[b] {
+				t.Errorf("alg %d point %d factor = %v, want %v", ai, b, p.Factor, factors[b])
+			}
+			// Each cell contributed 2 makespans with mean ai+i+b+1.
+			wantMean := 0.0
+			wantBudget := 0.0
+			for i := 0; i < instances; i++ {
+				wantMean += (float64(ai+i+b) + 1) / float64(instances)
+				wantBudget += factors[b] * anchors[i].CheapCost / float64(instances)
+			}
+			if diff := p.Makespan.Mean - wantMean; diff > 1e-9 || diff < -1e-9 {
+				t.Errorf("alg %d point %d makespan mean = %v, want %v", ai, b, p.Makespan.Mean, wantMean)
+			}
+			if diff := p.Budget - wantBudget; diff > 1e-9 || diff < -1e-9 {
+				t.Errorf("alg %d point %d budget = %v, want %v", ai, b, p.Budget, wantBudget)
+			}
+			// Each cell had 1 valid of 2 replications.
+			if p.ValidFrac != 0.5 {
+				t.Errorf("alg %d point %d validFrac = %v, want 0.5", ai, b, p.ValidFrac)
+			}
+			if p.PlanTime.Mean != 0.5 {
+				t.Errorf("alg %d point %d planTime mean = %v, want 0.5", ai, b, p.PlanTime.Mean)
+			}
+		}
+	}
+}
+
+func TestAggregateCellsPropagatesCellError(t *testing.T) {
+	algs, anchors, factors, results := syntheticSweepInputs(2, 3, 4)
+	results[cellIndex(1, 2, 3, 3, 4)].err = fmt.Errorf("boom")
+	out := &SweepResult{}
+	err := aggregateCells(out, algs, 3, 4, anchors, factors, results)
+	if err == nil {
+		t.Fatal("cell error not propagated")
+	}
+	if want := "alg1 instance 2 budget 3"; !strings.Contains(err.Error(), want) {
+		t.Errorf("error %q does not identify the cell (%s)", err, want)
+	}
+}
+
+// TestAggregateCellsLinearInCells is the regression test for the
+// O(cells²) aggregation: the previous implementation rescanned the
+// whole results slice inside the (algorithm × instance × budget)
+// triple loop, which on this 80 000-cell sweep costs ~6×10⁹ scan steps
+// (tens of seconds); the indexed aggregation does one pass and
+// finishes in milliseconds. The generous wall-clock bound fails the
+// quadratic code on any machine while staying far above CI noise.
+func TestAggregateCellsLinearInCells(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large synthetic sweep")
+	}
+	const numAlgs, instances, gridK = 10, 100, 80 // 80 000 cells
+	algs, anchors, factors, results := syntheticSweepInputs(numAlgs, instances, gridK)
+	out := &SweepResult{}
+	start := time.Now()
+	if err := aggregateCells(out, algs, instances, gridK, anchors, factors, results); err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	if elapsed > 5*time.Second {
+		t.Fatalf("aggregating %d cells took %v; aggregation has gone quadratic", len(results), elapsed)
+	}
+	if len(out.Series) != numAlgs || len(out.Series[0].Points) != gridK {
+		t.Fatalf("unexpected shape: %d series × %d points", len(out.Series), len(out.Series[0].Points))
+	}
+}

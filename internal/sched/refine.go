@@ -33,7 +33,12 @@ func refine(w *wf.Workflow, p *platform.Platform, budget float64, inverse bool, 
 	if err != nil {
 		return nil, err
 	}
-	res, err := sim.RunDeterministic(w, p, cur)
+	// One weights vector serves every candidate simulation below:
+	// refine evaluates O(n·(VMs+cats)) candidates, and re-deriving the
+	// conservative weights per candidate was a measurable share of its
+	// allocations.
+	weights := sim.ConservativeWeights(w)
+	res, err := sim.Run(w, p, cur, weights)
 	if err != nil {
 		return nil, fmt.Errorf("sched: simulating HEFTBUDG schedule: %w", err)
 	}
@@ -52,7 +57,7 @@ func refine(w *wf.Workflow, p *platform.Platform, budget float64, inverse bool, 
 			if err := opt.stopErr(); err != nil {
 				return nil, err
 			}
-			r, err := sim.RunDeterministic(w, p, cand)
+			r, err := sim.Run(w, p, cand, weights)
 			if err != nil {
 				// A malformed candidate (should not happen: moves keep
 				// ListT-derived orders topological) is simply skipped.

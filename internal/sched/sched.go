@@ -92,6 +92,9 @@ type context struct {
 	tasks []wf.Task
 	pred  [][]wf.Edge
 	succ  [][]wf.Edge
+	// meanSpeed caches p.MeanSpeed(), which averages over categories on
+	// every call and sits inside the rank computation's estimator.
+	meanSpeed float64
 }
 
 func newContext(w *wf.Workflow, p *platform.Platform) (*context, error) {
@@ -109,6 +112,7 @@ func newContext(w *wf.Workflow, p *platform.Platform) (*context, error) {
 		pred:  make([][]wf.Edge, n),
 		succ:  make([][]wf.Edge, n),
 	}
+	ctx.meanSpeed = p.MeanSpeed()
 	for _, t := range ctx.tasks {
 		ctx.cons[t.ID] = t.Weight.Conservative()
 		ctx.pred[t.ID] = w.Pred(t.ID)
@@ -120,7 +124,7 @@ func newContext(w *wf.Workflow, p *platform.Platform) (*context, error) {
 // execEstimate is the task duration estimator used for HEFT ranks and
 // the budget division: conservative weight over the mean speed (§IV-A).
 func (c *context) execEstimate(t wf.Task) float64 {
-	return t.Weight.Conservative() / c.p.MeanSpeed()
+	return t.Weight.Conservative() / c.meanSpeed
 }
 
 // commEstimate is the edge duration estimator: payload over the
@@ -292,7 +296,16 @@ func (s *state) candidatesInsertion(t wf.TaskID) []candidate {
 
 // bestHostInsertion is bestHost over insertion candidates.
 func (s *state) bestHostInsertion(t wf.TaskID, allowance float64) candidate {
-	return pickBest(s.candidatesInsertion(t), allowance)
+	sel := newSelector(allowance)
+	for i := range s.vms {
+		if c, ok := s.evalInsertion(t, i); ok {
+			sel.add(c)
+		}
+	}
+	for k := range s.ctx.p.Categories {
+		sel.add(s.eval(t, -1, k))
+	}
+	return sel.pick()
 }
 
 // bestHost implements getBestHost (Algorithm 2): the candidate with
@@ -300,11 +313,85 @@ func (s *state) bestHostInsertion(t wf.TaskID, allowance float64) candidate {
 // When no candidate fits, it falls back to the cheapest one (ties on
 // EFT): the schedule is always completed, and the overrun surfaces in
 // the simulated cost — exactly how the paper counts invalid schedules.
+// Candidates are folded through a selector as they are evaluated:
+// materializing the candidate slice per selection was the planners'
+// dominant allocation.
 func (s *state) bestHost(t wf.TaskID, allowance float64) candidate {
-	return pickBest(s.candidates(t), allowance)
+	sel := newSelector(allowance)
+	for i := range s.vms {
+		sel.add(s.eval(t, i, s.vms[i].cat))
+	}
+	for k := range s.ctx.p.Categories {
+		sel.add(s.eval(t, -1, k))
+	}
+	return sel.pick()
 }
 
-// pickBest applies Algorithm 2's selection rule to a candidate list.
+// selector streams Algorithm 2's selection rule over candidates in
+// enumeration order, replacing slice materialization on the hot path.
+// Feasible candidates (cost ≤ allowance) compete on less(); when none
+// is feasible the fallback fold minimizes the damage: the cheapest
+// candidate, ties preferring an existing VM over booting a fresh one
+// (a fresh VM's initialization cost is pre-reserved and thus absent
+// from ct, but when the budget is already blown the reserve is gone
+// too), then the earliest finish time.
+type selector struct {
+	allowance float64
+	best      candidate
+	hasBest   bool
+	cheapest  candidate
+	hasCheap  bool
+}
+
+func newSelector(allowance float64) selector {
+	return selector{allowance: allowance}
+}
+
+func (sel *selector) add(c candidate) {
+	if c.cost <= sel.allowance {
+		if !sel.hasBest || less(c, sel.best) {
+			sel.best, sel.hasBest = c, true
+		}
+		return
+	}
+	if sel.hasBest {
+		// The fallback fold's result is only consulted when no feasible
+		// candidate exists at all, so it can stop as soon as one does.
+		return
+	}
+	if !sel.hasCheap {
+		sel.cheapest, sel.hasCheap = c, true
+		return
+	}
+	b := sel.cheapest
+	switch {
+	case c.cost != b.cost:
+		if c.cost < b.cost {
+			sel.cheapest = c
+		}
+	case (c.vm >= 0) != (b.vm >= 0):
+		if c.vm >= 0 {
+			sel.cheapest = c
+		}
+	case c.eft < b.eft:
+		sel.cheapest = c
+	}
+}
+
+func (sel *selector) pick() candidate {
+	if sel.hasBest {
+		return sel.best
+	}
+	return sel.cheapest
+}
+
+// pickBest applies the selection rule to a pre-built candidate list.
+// MIN-MIN keeps per-task candidate lists cached across rounds and
+// re-picks from them O(n²) times, so this stays a hand-rolled
+// index-based scan — folding through selector.add here (a non-inlined
+// call copying each candidate) measurably slowed MIN-MINBUDG down.
+// The semantics must match selector exactly; TestPickBestMatchesSelector
+// pins the equivalence.
 func pickBest(cands []candidate, allowance float64) candidate {
 	best := -1
 	for i, c := range cands {
@@ -318,11 +405,6 @@ func pickBest(cands []candidate, allowance float64) candidate {
 	if best >= 0 {
 		return cands[best]
 	}
-	// Infeasible everywhere: minimize the damage. Prefer the cheapest
-	// candidate; on ties prefer reusing an existing VM over booting a
-	// fresh one (a fresh VM's initialization cost is pre-reserved and
-	// thus absent from ct, but when the budget is already blown the
-	// reserve is gone too), then the earliest finish time.
 	cheapest := 0
 	for i, c := range cands[1:] {
 		b := cands[cheapest]
@@ -392,7 +474,7 @@ func (s *state) extract(listT []wf.TaskID) *plan.Schedule {
 	}
 	makespan := 0.0
 	for t := range s.finish {
-		end := s.finish[t] + s.ctx.w.Task(wf.TaskID(t)).ExternalOut/s.ctx.p.Bandwidth
+		end := s.finish[t] + s.ctx.tasks[t].ExternalOut/s.ctx.p.Bandwidth
 		if end > makespan {
 			makespan = end
 		}

@@ -1,0 +1,52 @@
+package sched
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestPickBestMatchesSelector: the index-based pickBest (used on
+// MIN-MIN's cached candidate slices) and the streaming selector (used
+// by bestHost/bestHostInsertion) implement the same selection rule.
+// Random candidate lists, with deliberate duplicate costs/EFTs to
+// exercise every tie-breaking branch, must agree on all of feasible
+// selection, the all-infeasible fallback, and first-wins ordering.
+func TestPickBestMatchesSelector(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	someVals := []float64{0, 1, 2.5, 7, 7, 13} // duplicates force ties
+	for trial := 0; trial < 5000; trial++ {
+		n := 1 + r.Intn(8)
+		cands := make([]candidate, n)
+		for i := range cands {
+			vm := -1
+			if r.Float64() < 0.6 {
+				vm = r.Intn(4)
+			}
+			cands[i] = candidate{
+				vm:   vm,
+				cat:  r.Intn(3),
+				eft:  someVals[r.Intn(len(someVals))],
+				cost: someVals[r.Intn(len(someVals))],
+				slot: -1,
+			}
+		}
+		allowance := someVals[r.Intn(len(someVals))]
+		if r.Float64() < 0.2 {
+			allowance = -1 // force the all-infeasible fallback
+		}
+		if r.Float64() < 0.1 {
+			allowance = math.Inf(1) // budget-blind path
+		}
+		a := pickBest(cands, allowance)
+		sel := newSelector(allowance)
+		for _, c := range cands {
+			sel.add(c)
+		}
+		b := sel.pick()
+		if a != b {
+			t.Fatalf("trial %d: pickBest=%+v selector=%+v (allowance %v, cands %+v)",
+				trial, a, b, allowance, cands)
+		}
+	}
+}

@@ -48,9 +48,13 @@ func newPlanCache(capacity int) *planCache {
 }
 
 // get returns the entry for key, promoting it to most-recently-used.
+// A disabled cache reports neither hits nor misses: counting every
+// lookup as a miss would make /metrics show a 0% hit rate with nonzero
+// lookup traffic on a server that has no cache at all, which reads as
+// a cache problem instead of a configuration fact (the enabled gauge
+// carries that fact instead).
 func (c *planCache) get(key string) (*cacheEntry, bool) {
 	if c.cap <= 0 {
-		c.misses.Add(1)
 		return nil, false
 	}
 	c.mu.Lock()
@@ -98,6 +102,10 @@ func (c *planCache) Len() int {
 	defer c.mu.Unlock()
 	return c.ll.Len()
 }
+
+// Enabled reports whether caching is active (capacity > 0). When
+// false, lookups bypass the hit/miss counters entirely.
+func (c *planCache) Enabled() bool { return c.cap > 0 }
 
 // Hits and Misses expose the lookup counters.
 func (c *planCache) Hits() uint64   { return c.hits.Load() }

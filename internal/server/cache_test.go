@@ -53,13 +53,42 @@ func TestPlanCacheUpdateRefreshesRecency(t *testing.T) {
 }
 
 func TestPlanCacheDisabled(t *testing.T) {
-	c := newPlanCache(0)
-	c.put(&cacheEntry{key: "a"})
-	if _, ok := c.get("a"); ok {
-		t.Fatal("disabled cache returned a hit")
+	for _, capacity := range []int{0, -1} {
+		c := newPlanCache(capacity)
+		c.put(&cacheEntry{key: "a"})
+		if _, ok := c.get("a"); ok {
+			t.Fatal("disabled cache returned a hit")
+		}
+		if c.Len() != 0 {
+			t.Fatal("disabled cache stored an entry")
+		}
+		if c.Enabled() {
+			t.Errorf("Enabled() = true for capacity %d", capacity)
+		}
 	}
-	if c.Len() != 0 {
-		t.Fatal("disabled cache stored an entry")
+}
+
+// TestPlanCacheDisabledCountsNothing pins the disabled-state counter
+// semantics: a cache-off server must not report its lookup traffic as
+// misses, or /metrics shows a misleading 0% hit rate under load.
+func TestPlanCacheDisabledCountsNothing(t *testing.T) {
+	c := newPlanCache(0)
+	for i := 0; i < 10; i++ {
+		c.get(fmt.Sprintf("key%d", i))
+	}
+	if h, m := c.Hits(), c.Misses(); h != 0 || m != 0 {
+		t.Errorf("disabled cache counted hits/misses = %d/%d, want 0/0", h, m)
+	}
+	if rate := c.HitRate(); rate != 0 {
+		t.Errorf("disabled cache hit rate = %v, want 0", rate)
+	}
+	enabled := newPlanCache(4)
+	if !enabled.Enabled() {
+		t.Fatal("Enabled() = false for capacity 4")
+	}
+	enabled.get("nope")
+	if enabled.Misses() != 1 {
+		t.Errorf("enabled cache misses = %d, want 1", enabled.Misses())
 	}
 }
 

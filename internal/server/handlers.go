@@ -210,6 +210,16 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		cost := make([]float64, 0, reps)
 		valid := 0
 		var fs faultSummaryJSON
+		// Plain replications reuse one simulation engine across the
+		// whole batch; the fault path re-plans recoveries and keeps the
+		// one-shot API.
+		var runner *sim.Runner
+		if req.Faults == nil {
+			var err error
+			if runner, err = sim.NewRunner(wfl, plat, schedule); err != nil {
+				return nil, err
+			}
+		}
 		for i := 0; i < reps; i++ {
 			if err := ctx.Err(); err != nil {
 				return nil, err
@@ -241,7 +251,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 				fs.WastedSecondsPerRun += res.WastedSeconds
 				continue
 			}
-			res, err := sim.RunStochastic(wfl, plat, schedule, stream.Split(uint64(i)))
+			res, err := runner.RunStochastic(stream.Split(uint64(i)))
 			if err != nil {
 				return nil, err
 			}

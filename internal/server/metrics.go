@@ -45,6 +45,7 @@ func newMetrics(cache *planCache, pool *workerPool) *Metrics {
 	m.root.Set("panics", &m.panics)
 	m.root.Set("cache", expvar.Func(func() any {
 		return map[string]any{
+			"enabled": cache.Enabled(),
 			"hits":    cache.Hits(),
 			"misses":  cache.Misses(),
 			"hitRate": cache.HitRate(),

@@ -218,6 +218,54 @@ func TestScheduleHappyPathAndCache(t *testing.T) {
 	}
 }
 
+// TestMetricsCacheDisabledServer: a cache-off server (CacheSize -1)
+// must report enabled=false with zero hit/miss counters even under
+// schedule traffic — not a misleading 0% hit rate over nonzero
+// lookups.
+func TestMetricsCacheDisabledServer(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1, CacheSize: -1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	body := scheduleBody(t, workflowJSON(t, 20, 7), "heftbudg", 50)
+	for i := 0; i < 2; i++ {
+		code, data, _ := post(t, ts, "/v1/schedule", body)
+		if code != http.StatusOK {
+			t.Fatalf("schedule = %d, body %s", code, data)
+		}
+		var resp scheduleResponse
+		if err := json.Unmarshal(data, &resp); err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if resp.Cached {
+			t.Error("cache-disabled server served a cached response")
+		}
+	}
+
+	code, metrics := get(t, ts, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("metrics = %d", code)
+	}
+	var mv struct {
+		Cache struct {
+			Enabled bool    `json:"enabled"`
+			Hits    uint64  `json:"hits"`
+			Misses  uint64  `json:"misses"`
+			HitRate float64 `json:"hitRate"`
+		} `json:"cache"`
+	}
+	if err := json.Unmarshal(metrics, &mv); err != nil {
+		t.Fatalf("metrics JSON: %v", err)
+	}
+	if mv.Cache.Enabled {
+		t.Error("expvar cache.enabled = true, want false")
+	}
+	if mv.Cache.Hits != 0 || mv.Cache.Misses != 0 {
+		t.Errorf("expvar cache hits/misses = %d/%d, want 0/0 on a disabled cache",
+			mv.Cache.Hits, mv.Cache.Misses)
+	}
+}
+
 func TestScheduleMalformedJSONIs400(t *testing.T) {
 	s := newTestServer(t, Config{Workers: 1})
 	ts := httptest.NewServer(s.Handler())

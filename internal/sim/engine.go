@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 
@@ -28,24 +27,58 @@ type event struct {
 	flow *flow
 }
 
-type eventHeap []*event
+// eventHeap is a hand-rolled binary min-heap of event values ordered
+// by (time, seq). container/heap would box every Push/Pop through
+// interface{}, allocating per event on the Monte Carlo hot path; this
+// keeps events in one reusable backing array.
+type eventHeap []event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+func (h eventHeap) before(i, j int) bool {
 	if h[i].time != h[j].time {
 		return h[i].time < h[j].time
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
+
+func (h *eventHeap) push(ev event) {
+	*h = append(*h, ev)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s.before(i, parent) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
+}
+
+func (h *eventHeap) pop() event {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s[n] = event{} // drop the flow pointer
+	s = s[:n]
+	*h = s
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && s.before(l, smallest) {
+			smallest = l
+		}
+		if r < n && s.before(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		s[i], s[smallest] = s[smallest], s[i]
+		i = smallest
+	}
+	return top
 }
 
 // flowKind discriminates data movements.
@@ -86,92 +119,173 @@ type vmState struct {
 	busyTime float64 // accumulated staging + compute time
 }
 
-type engine struct {
-	w       *wf.Workflow
-	p       *platform.Platform
-	s       *plan.Schedule
-	weights []float64
+// engineStatic is the schedule-dependent, run-independent part of the
+// engine: cached graph structure, staging volumes and the validation
+// outcome. A Runner computes it once and replays many executions
+// against it; the one-shot entry points build it per call.
+type engineStatic struct {
+	w     *wf.Workflow
+	p     *platform.Platform
+	s     *plan.Schedule
+	fluid bool
 
-	now    float64
-	seq    int
-	events eventHeap
-	flows  []*flow // active fluid flows (fluid mode only)
-	fluid  bool
-
-	vms []vmState
-
-	// Per-task bookkeeping.
-	outEdges     [][]wf.Edge // cached successor edges (wf.Succ allocates)
-	extOut       []float64   // cached external output volumes
-	crossIn      [][]wf.Edge // input edges whose producer runs on another VM
-	stageSize    []float64   // bytes to stage before computing (incl. external in)
-	missing      []int       // crossing inputs not yet at the datacenter
-	dcReadyTime  []float64
-	dcReadyPred  []wf.TaskID
-	hasDCPred    []bool
-	times        []TaskTimes
-	blames       []Blame
-	doneCount    int
-	started      []bool
-	finishedTask []bool
+	outEdges  [][]wf.Edge // cached successor edges (wf.Succ allocates)
+	extOut    []float64   // cached external output volumes
+	stageSize []float64   // bytes to stage before computing (incl. external in)
+	missing0  []int       // initial count of crossing inputs per task
+	flowCap   int         // upper bound on flows per run, sizing the arena
+	maxSteps  int
 }
 
-func newEngine(w *wf.Workflow, p *platform.Platform, s *plan.Schedule, weights []float64) (*engine, error) {
+func newEngineStatic(w *wf.Workflow, p *platform.Platform, s *plan.Schedule) (*engineStatic, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
 	if err := s.Validate(w, p.NumCategories()); err != nil {
 		return nil, err
 	}
-	for t, wt := range weights {
-		if wt <= 0 || math.IsNaN(wt) || math.IsInf(wt, 0) {
-			return nil, fmt.Errorf("sim: task %d has invalid weight %v", t, wt)
+	n := w.NumTasks()
+	st := &engineStatic{
+		w:         w,
+		p:         p,
+		s:         s,
+		fluid:     p.DCBandwidth > 0,
+		outEdges:  make([][]wf.Edge, n),
+		extOut:    make([]float64, n),
+		stageSize: make([]float64, n),
+		missing0:  make([]int, n),
+		maxSteps:  16 * (n + w.NumEdges() + s.NumVMs() + 16),
+	}
+	crossEdges := 0
+	for t := 0; t < n; t++ {
+		task := w.Task(wf.TaskID(t))
+		st.stageSize[t] = task.ExternalIn
+		st.extOut[t] = task.ExternalOut
+		st.outEdges[t] = w.Succ(wf.TaskID(t))
+		for _, edge := range w.Pred(wf.TaskID(t)) {
+			if s.TaskVM[edge.From] != s.TaskVM[edge.To] {
+				st.stageSize[t] += edge.Size
+				st.missing0[t]++
+				crossEdges++
+			}
 		}
 	}
-	n := w.NumTasks()
-	e := &engine{
-		w:            w,
-		p:            p,
-		s:            s,
-		weights:      weights,
-		fluid:        p.DCBandwidth > 0,
-		crossIn:      make([][]wf.Edge, n),
-		stageSize:    make([]float64, n),
+	// One staging flow per task, one upload per crossing edge, one
+	// external-output upload per task, at most.
+	st.flowCap = 2*n + crossEdges
+	return st, nil
+}
+
+// engine is the per-run mutable state. Reset() rewinds it so one
+// allocation of every buffer serves a whole replication batch.
+type engine struct {
+	st      *engineStatic
+	weights []float64
+
+	now       float64
+	seq       int
+	events    eventHeap
+	flows     []*flow // active fluid flows (fluid mode only)
+	flowArena []flow  // backing store; cap is fixed so pointers stay stable
+	doneBuf   []*flow // scratch for advanceFlows
+
+	vms []vmState
+
+	// Per-task bookkeeping.
+	missing      []int // crossing inputs not yet at the datacenter
+	dcReadyTime  []float64
+	dcReadyPred  []wf.TaskID
+	hasDCPred    []bool
+	times        []TaskTimes
+	blames       []Blame
+	doneCount    int
+	finishedTask []bool
+
+	result Result // reused by collect()
+}
+
+func newEngineFromStatic(st *engineStatic) *engine {
+	n := st.w.NumTasks()
+	return &engine{
+		st:           st,
+		flowArena:    make([]flow, 0, st.flowCap),
+		vms:          make([]vmState, st.s.NumVMs()),
 		missing:      make([]int, n),
 		dcReadyTime:  make([]float64, n),
 		dcReadyPred:  make([]wf.TaskID, n),
 		hasDCPred:    make([]bool, n),
 		times:        make([]TaskTimes, n),
 		blames:       make([]Blame, n),
-		started:      make([]bool, n),
 		finishedTask: make([]bool, n),
 	}
-	e.vms = make([]vmState, s.NumVMs())
-	for i := range e.vms {
-		e.vms[i] = vmState{cat: s.VMCats[i], queue: s.Order[i]}
+}
+
+func newEngine(w *wf.Workflow, p *platform.Platform, s *plan.Schedule, weights []float64) (*engine, error) {
+	st, err := newEngineStatic(w, p, s)
+	if err != nil {
+		return nil, err
 	}
-	e.outEdges = make([][]wf.Edge, n)
-	e.extOut = make([]float64, n)
-	for t := 0; t < n; t++ {
-		task := w.Task(wf.TaskID(t))
-		e.stageSize[t] = task.ExternalIn
-		e.extOut[t] = task.ExternalOut
-		e.outEdges[t] = w.Succ(wf.TaskID(t))
-		for _, edge := range w.Pred(wf.TaskID(t)) {
-			if s.TaskVM[edge.From] != s.TaskVM[edge.To] {
-				e.crossIn[t] = append(e.crossIn[t], edge)
-				e.stageSize[t] += edge.Size
-				e.missing[t]++
-			}
-		}
+	e := newEngineFromStatic(st)
+	if err := e.reset(weights); err != nil {
+		return nil, err
 	}
 	return e, nil
 }
 
-func (e *engine) push(ev *event) {
+// reset rewinds the engine to time zero with the given realized
+// weights, reusing every buffer allocated by newEngineFromStatic.
+func (e *engine) reset(weights []float64) error {
+	for t, wt := range weights {
+		if wt <= 0 || math.IsNaN(wt) || math.IsInf(wt, 0) {
+			return fmt.Errorf("sim: task %d has invalid weight %v", t, wt)
+		}
+	}
+	e.weights = weights
+	e.now = 0
+	e.seq = 0
+	e.events = e.events[:0]
+	e.flows = e.flows[:0]
+	e.flowArena = e.flowArena[:0]
+	e.doneCount = 0
+	s := e.st.s
+	for i := range e.vms {
+		e.vms[i] = vmState{cat: s.VMCats[i], queue: s.Order[i]}
+	}
+	copy(e.missing, e.st.missing0)
+	for t := range e.dcReadyTime {
+		e.dcReadyTime[t] = 0
+		e.dcReadyPred[t] = 0
+		e.hasDCPred[t] = false
+		e.times[t] = TaskTimes{}
+		e.blames[t] = Blame{}
+		e.finishedTask[t] = false
+	}
+	return nil
+}
+
+func (e *engine) push(ev event) {
 	ev.seq = e.seq
 	e.seq++
-	heap.Push(&e.events, ev)
+	e.events.push(ev)
+}
+
+// newFlow places f in the arena and returns a stable pointer. The
+// arena capacity bounds the flows any run can create, so append never
+// reallocates; the defensive overflow branch heap-allocates instead of
+// invalidating existing pointers.
+func (e *engine) newFlow(f flow) *flow {
+	var p *flow
+	if len(e.flowArena) < cap(e.flowArena) {
+		e.flowArena = e.flowArena[:len(e.flowArena)+1]
+		p = &e.flowArena[len(e.flowArena)-1]
+	} else {
+		p = new(flow)
+	}
+	// Copy through the pointer rather than returning &f: taking the
+	// parameter's address would force a heap allocation at every call
+	// site, arena hit or not.
+	*p = f
+	return p
 }
 
 // startFlow begins a data movement of size bytes. Zero-size flows
@@ -180,8 +294,8 @@ func (e *engine) push(ev *event) {
 func (e *engine) startFlow(f *flow) {
 	f.seq = e.seq
 	e.seq++
-	if !e.fluid {
-		e.push(&event{time: e.now + f.remaining/e.p.Bandwidth, kind: evFlowDone, flow: f})
+	if !e.st.fluid {
+		e.push(event{time: e.now + f.remaining/e.st.p.Bandwidth, kind: evFlowDone, flow: f})
 		return
 	}
 	e.flows = append(e.flows, f)
@@ -195,8 +309,8 @@ func (e *engine) assignRates() {
 	if k == 0 {
 		return
 	}
-	share := e.p.DCBandwidth / float64(k)
-	rate := math.Min(e.p.Bandwidth, share)
+	share := e.st.p.DCBandwidth / float64(k)
+	rate := math.Min(e.st.p.Bandwidth, share)
 	// If the per-link cap binds for every flow, the aggregate is under
 	// the DC cap and everyone gets the link rate; otherwise the equal
 	// DC share applies (all flows have the same cap, so max-min fair
@@ -207,9 +321,10 @@ func (e *engine) assignRates() {
 }
 
 // advanceFlows moves fluid flows forward by dt and returns those that
-// completed, preserving creation order for determinism.
+// completed, preserving creation order for determinism. The returned
+// slice is scratch, valid until the next call.
 func (e *engine) advanceFlows(dt float64) []*flow {
-	var done []*flow
+	done := e.doneBuf[:0]
 	remainingFlows := e.flows[:0]
 	for _, f := range e.flows {
 		f.remaining -= f.rate * dt
@@ -222,6 +337,7 @@ func (e *engine) advanceFlows(dt float64) []*flow {
 		}
 	}
 	e.flows = remainingFlows
+	e.doneBuf = done
 	return done
 }
 
@@ -241,17 +357,16 @@ func (e *engine) tryAdvance(v int) {
 		vm.booked = true
 		vm.booting = true
 		vm.bookTime = e.now
-		vm.bootDone = e.now + e.p.BootTime
-		e.push(&event{time: vm.bootDone, kind: evBootDone, vm: v})
+		vm.bootDone = e.now + e.st.p.BootTime
+		e.push(event{time: vm.bootDone, kind: evBootDone, vm: v})
 		return
 	}
 	// VM is booted and idle: start staging (or compute directly).
 	vm.busy = true
-	e.started[t] = true
 	e.times[t].StageStart = e.now
 	e.blames[t] = e.blameFor(v, t)
-	if e.stageSize[t] > 0 {
-		e.startFlow(&flow{kind: flowStaging, vm: v, task: t, edge: -1, remaining: e.stageSize[t]})
+	if e.st.stageSize[t] > 0 {
+		e.startFlow(e.newFlow(flow{kind: flowStaging, vm: v, task: t, edge: -1, remaining: e.st.stageSize[t]}))
 		return
 	}
 	e.startCompute(v, t)
@@ -278,8 +393,8 @@ func (e *engine) blameFor(v int, t wf.TaskID) Blame {
 
 func (e *engine) startCompute(v int, t wf.TaskID) {
 	e.times[t].ComputeStart = e.now
-	dur := e.weights[t] / e.p.Categories[e.vms[v].cat].Speed
-	e.push(&event{time: e.now + dur, kind: evComputeDone, vm: v, task: t})
+	dur := e.weights[t] / e.st.p.Categories[e.vms[v].cat].Speed
+	e.push(event{time: e.now + dur, kind: evComputeDone, vm: v, task: t})
 }
 
 func (e *engine) finishCompute(v int, t wf.TaskID) {
@@ -296,18 +411,18 @@ func (e *engine) finishCompute(v int, t wf.TaskID) {
 		vm.end = e.now
 	}
 	// Launch uploads for consumers on other VMs and external outputs.
-	for ei, edge := range e.outEdges[t] {
-		if e.s.TaskVM[edge.From] == e.s.TaskVM[edge.To] {
+	for ei, edge := range e.st.outEdges[t] {
+		if e.st.s.TaskVM[edge.From] == e.st.s.TaskVM[edge.To] {
 			continue // data stays local
 		}
 		if edge.Size == 0 {
 			e.uploadArrived(v, edge)
 			continue
 		}
-		e.startFlow(&flow{kind: flowUpload, vm: v, task: t, edge: ei, remaining: edge.Size})
+		e.startFlow(e.newFlow(flow{kind: flowUpload, vm: v, task: t, edge: ei, remaining: edge.Size}))
 	}
-	if out := e.extOut[t]; out > 0 {
-		e.startFlow(&flow{kind: flowUpload, vm: v, task: t, edge: -1, remaining: out})
+	if out := e.st.extOut[t]; out > 0 {
+		e.startFlow(e.newFlow(flow{kind: flowUpload, vm: v, task: t, edge: -1, remaining: out}))
 	}
 	vm.next++
 	e.tryAdvance(v)
@@ -327,7 +442,7 @@ func (e *engine) uploadArrived(srcVM int, edge wf.Edge) {
 		e.hasDCPred[t] = true
 	}
 	if e.missing[t] == 0 {
-		e.tryAdvance(e.s.TaskVM[t])
+		e.tryAdvance(e.st.s.TaskVM[t])
 	}
 }
 
@@ -338,7 +453,7 @@ func (e *engine) handleFlowDone(f *flow) {
 	}
 	// Upload.
 	if f.edge >= 0 {
-		edges := e.outEdges[f.task]
+		edges := e.st.outEdges[f.task]
 		e.uploadArrived(f.vm, edges[f.edge])
 		return
 	}
@@ -349,22 +464,22 @@ func (e *engine) handleFlowDone(f *flow) {
 }
 
 func (e *engine) run() (*Result, error) {
-	n := e.w.NumTasks()
+	n := e.st.w.NumTasks()
 	for v := range e.vms {
 		e.tryAdvance(v)
 	}
 	guard := 0
-	maxSteps := 16 * (n + e.w.NumEdges() + len(e.vms) + 16)
-	for e.doneCount < n || len(e.flows) > 0 || e.events.Len() > 0 {
+	maxSteps := e.st.maxSteps
+	for e.doneCount < n || len(e.flows) > 0 || len(e.events) > 0 {
 		guard++
 		if guard > maxSteps {
 			return nil, fmt.Errorf("sim: exceeded %d steps; schedule is livelocked", maxSteps)
 		}
 		var nextFixed float64 = math.Inf(1)
-		if e.events.Len() > 0 {
+		if len(e.events) > 0 {
 			nextFixed = e.events[0].time
 		}
-		if e.fluid && len(e.flows) > 0 {
+		if e.st.fluid && len(e.flows) > 0 {
 			e.assignRates()
 			nextFlow := math.Inf(1)
 			for _, f := range e.flows {
@@ -389,13 +504,13 @@ func (e *engine) run() (*Result, error) {
 				}
 			}
 		}
-		if e.events.Len() == 0 {
+		if len(e.events) == 0 {
 			if e.doneCount < n && len(e.flows) == 0 {
 				return nil, fmt.Errorf("sim: deadlock with %d/%d tasks finished", e.doneCount, n)
 			}
 			continue
 		}
-		ev := heap.Pop(&e.events).(*event)
+		ev := e.events.pop()
 		if ev.time < e.now-1e-9 {
 			return nil, fmt.Errorf("sim: time went backwards: %v -> %v", e.now, ev.time)
 		}
@@ -420,8 +535,12 @@ func (e *engine) run() (*Result, error) {
 	return e.collect(), nil
 }
 
+// collect assembles the engine's reused Result. Its slices alias the
+// engine's buffers: valid until the engine is reset (one-shot entry
+// points never reset, so their Results are stable).
 func (e *engine) collect() *Result {
-	res := &Result{Tasks: e.times, Blames: e.blames}
+	res := &e.result
+	*res = Result{Tasks: e.times, Blames: e.blames, VMs: res.VMs[:0]}
 	firstBook := math.Inf(1)
 	lastEvent := 0.0
 	for i := range e.vms {
@@ -437,7 +556,7 @@ func (e *engine) collect() *Result {
 		if vm.end > lastEvent {
 			lastEvent = vm.end
 		}
-		cost := e.p.VMCost(vm.cat, vm.bootDone, vm.end)
+		cost := e.st.p.VMCost(vm.cat, vm.bootDone, vm.end)
 		res.VMs = append(res.VMs, VMUsage{
 			Cat:      vm.cat,
 			Book:     vm.bookTime,
@@ -454,7 +573,7 @@ func (e *engine) collect() *Result {
 	res.FirstBook = firstBook
 	res.LastEvent = lastEvent
 	res.Makespan = lastEvent - firstBook
-	res.DCCost = e.p.DCCost(e.w.ExternalInSize(), e.w.ExternalOutSize(), firstBook, lastEvent)
+	res.DCCost = e.st.p.DCCost(e.st.w.ExternalInSize(), e.st.w.ExternalOutSize(), firstBook, lastEvent)
 	res.TotalCost = res.DCCost + res.VMCost()
 	return res
 }

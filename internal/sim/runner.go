@@ -1,0 +1,86 @@
+package sim
+
+import (
+	"fmt"
+
+	"budgetwf/internal/plan"
+	"budgetwf/internal/platform"
+	"budgetwf/internal/rng"
+	"budgetwf/internal/stoch"
+	"budgetwf/internal/wf"
+)
+
+// Runner replays one schedule many times without re-allocating the
+// engine: the graph caches, event heap, flow arena and result buffers
+// are built once and rewound per execution. Monte Carlo replication
+// loops (exp sweeps, the daemon's /v1/simulate, replication-based
+// objectives) should prefer a Runner over the package-level Run*
+// functions, which pay the full engine construction per call.
+//
+// A Runner is NOT safe for concurrent use, and each *Result it returns
+// aliases the Runner's internal buffers: it is valid only until the
+// next Run/RunStochastic call. Callers that need to keep a Result
+// across replications must copy the fields they care about (the usual
+// pattern — appending r.Makespan, r.TotalCost, r.NumVMs() to
+// accumulators — never retains the Result).
+type Runner struct {
+	eng   *engine
+	dists []stoch.Dist // per-task weight distributions, cached once
+	buf   []float64    // scratch realized weights for RunStochastic
+}
+
+// NewRunner validates the (workflow, platform, schedule) triple once
+// and returns a Runner for repeated executions of that schedule.
+func NewRunner(w *wf.Workflow, p *platform.Platform, s *plan.Schedule) (*Runner, error) {
+	st, err := newEngineStatic(w, p, s)
+	if err != nil {
+		return nil, err
+	}
+	r := &Runner{
+		eng:   newEngineFromStatic(st),
+		dists: make([]stoch.Dist, w.NumTasks()),
+		buf:   make([]float64, w.NumTasks()),
+	}
+	for _, t := range w.Tasks() {
+		r.dists[t.ID] = t.Weight
+	}
+	return r, nil
+}
+
+// Run simulates one execution under the given realized weights. The
+// weights slice is only read during the call.
+func (r *Runner) Run(weights []float64) (*Result, error) {
+	if len(weights) != len(r.buf) {
+		return nil, fmt.Errorf("sim: %d weights for %d tasks", len(weights), len(r.buf))
+	}
+	if err := r.eng.reset(weights); err != nil {
+		return nil, err
+	}
+	return r.eng.run()
+}
+
+// RunStochastic samples every task weight from its distribution and
+// simulates one execution.
+func (r *Runner) RunStochastic(rand *rng.RNG) (*Result, error) {
+	for t, d := range r.dists {
+		r.buf[t] = d.Sample(rand)
+	}
+	return r.Run(r.buf)
+}
+
+// RunStochasticOutliers is RunStochastic under the heavy-tail outlier
+// model (see stoch.Outliers).
+func (r *Runner) RunStochasticOutliers(rand *rng.RNG, o stoch.Outliers) (*Result, error) {
+	for t, d := range r.dists {
+		r.buf[t] = o.Sample(d, rand)
+	}
+	return r.Run(r.buf)
+}
+
+// RunDeterministic simulates under conservative weights (w̄+σ).
+func (r *Runner) RunDeterministic() (*Result, error) {
+	for t, d := range r.dists {
+		r.buf[t] = d.Conservative()
+	}
+	return r.Run(r.buf)
+}

@@ -1,0 +1,139 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"budgetwf/internal/rng"
+)
+
+// TestRunnerMatchesOneShot: replaying a schedule through one Runner
+// must give bit-identical results to the allocating package-level
+// entry points, replication after replication — the buffer reuse must
+// be invisible.
+func TestRunnerMatchesOneShot(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		w, s, p := randomCase(r)
+		runner, err := NewRunner(w, p, s)
+		if err != nil {
+			t.Logf("seed %d: NewRunner: %v", seed, err)
+			return false
+		}
+		// Two independent but identically-seeded streams: one for the
+		// Runner, one for the one-shot API.
+		sa := rng.New(uint64(seed)).Split(7)
+		sb := rng.New(uint64(seed)).Split(7)
+		for rep := 0; rep < 5; rep++ {
+			ra, err1 := runner.RunStochastic(sa.Split(uint64(rep)))
+			rb, err2 := RunStochastic(w, p, s, sb.Split(uint64(rep)))
+			if err1 != nil || err2 != nil {
+				t.Logf("seed %d rep %d: %v / %v", seed, rep, err1, err2)
+				return false
+			}
+			if ra.Makespan != rb.Makespan || ra.TotalCost != rb.TotalCost ||
+				ra.DCCost != rb.DCCost || ra.NumVMs() != rb.NumVMs() ||
+				ra.FirstBook != rb.FirstBook || ra.LastEvent != rb.LastEvent {
+				t.Logf("seed %d rep %d: runner %+v != one-shot %+v", seed, rep, ra, rb)
+				return false
+			}
+			for i := range rb.Tasks {
+				if ra.Tasks[i] != rb.Tasks[i] || ra.Blames[i] != rb.Blames[i] {
+					t.Logf("seed %d rep %d: task %d diverged", seed, rep, i)
+					return false
+				}
+			}
+			for v := range rb.VMs {
+				if ra.VMs[v] != rb.VMs[v] {
+					t.Logf("seed %d rep %d: VM %d diverged", seed, rep, v)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRunnerDeterministicMatches: Runner.RunDeterministic equals
+// RunDeterministic, and explicit-weights Run equals package Run.
+func TestRunnerDeterministicMatches(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	w, s, p := randomCase(r)
+	runner, err := NewRunner(w, p, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := runner.RunDeterministic()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunDeterministic(w, p, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Makespan != b.Makespan || a.TotalCost != b.TotalCost {
+		t.Errorf("deterministic: runner (%v, %v) != one-shot (%v, %v)",
+			a.Makespan, a.TotalCost, b.Makespan, b.TotalCost)
+	}
+	weights := MeanWeights(w)
+	a, err = runner.Run(weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err = Run(w, p, s, weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Makespan != b.Makespan || a.TotalCost != b.TotalCost {
+		t.Errorf("explicit weights: runner (%v, %v) != one-shot (%v, %v)",
+			a.Makespan, a.TotalCost, b.Makespan, b.TotalCost)
+	}
+}
+
+// TestRunnerRejectsBadWeights: wrong count and non-positive weights
+// fail cleanly, and the Runner still works afterwards.
+func TestRunnerRejectsBadWeights(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	w, s, p := randomCase(r)
+	runner, err := NewRunner(w, p, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := runner.Run(make([]float64, w.NumTasks()+1)); err == nil {
+		t.Error("wrong weight count accepted")
+	}
+	bad := MeanWeights(w)
+	bad[0] = -1
+	if _, err := runner.Run(bad); err == nil {
+		t.Error("negative weight accepted")
+	}
+	if _, err := runner.RunDeterministic(); err != nil {
+		t.Errorf("runner unusable after rejected input: %v", err)
+	}
+}
+
+// TestRunnerResultAliased documents the Result lifetime: the next call
+// overwrites the previous Result in place.
+func TestRunnerResultAliased(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	w, s, p := randomCase(r)
+	runner, err := NewRunner(w, p, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := runner.RunDeterministic()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := runner.RunDeterministic()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("Runner should reuse one Result value across calls")
+	}
+}

@@ -67,7 +67,13 @@ func (d Dist) Sample(r *rng.RNG) float64 {
 
 // SampleN draws n independent realizations.
 func (d Dist) SampleN(r *rng.RNG, n int) []float64 {
-	out := make([]float64, n)
+	return d.SampleNInto(r, make([]float64, n))
+}
+
+// SampleNInto fills out with len(out) independent realizations and
+// returns it. Replication loops use it to reuse one buffer instead of
+// allocating per batch.
+func (d Dist) SampleNInto(r *rng.RNG, out []float64) []float64 {
 	for i := range out {
 		out[i] = d.Sample(r)
 	}

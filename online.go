@@ -21,8 +21,12 @@ type ObjectiveStats = sim.ObjectiveStats
 func ReplicateObjective(w *Workflow, p *Platform, s *Schedule, n int, seed uint64, obj Objective) (*ObjectiveStats, error) {
 	stream := rng.New(seed)
 	var stats ObjectiveStats
+	runner, err := sim.NewRunner(w, p, s)
+	if err != nil {
+		return nil, err
+	}
 	for i := 0; i < n; i++ {
-		r, err := sim.RunStochastic(w, p, s, stream.Split(uint64(i)))
+		r, err := runner.RunStochastic(stream.Split(uint64(i)))
 		if err != nil {
 			return nil, err
 		}
