@@ -7,7 +7,8 @@
 // Usage:
 //
 //	budgetwfd -addr :8080 -workers 4 -queue 64 -cache-size 512 -timeout 30s
-//	budgetwfd -pprof              # also mount /debug/pprof/
+//	budgetwfd -pprof                     # also mount /debug/pprof/ on the API listener
+//	budgetwfd -debug-addr 127.0.0.1:6060 # pprof + expvar on a separate private listener
 //
 // The daemon applies admission control (429 + Retry-After when the
 // worker queue is full), caches plans by content hash, publishes
@@ -17,9 +18,11 @@ package main
 
 import (
 	"context"
+	"expvar"
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -43,6 +46,8 @@ func run(args []string) error {
 	cacheSize := fs.Int("cache-size", 512, "plan cache entries (-1 = disable)")
 	timeout := fs.Duration("timeout", 30*time.Second, "per-request timeout (-1s = none)")
 	pprofOn := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+	debugAddr := fs.String("debug-addr", "", "serve net/http/pprof and expvar on this separate listener (unauthenticated; bind to localhost or a private interface only)")
+	traceRing := fs.Int("trace-ring", 64, "recent request traces retained for GET /v1/traces/{id} (-1 = disable retention)")
 	drain := fs.Duration("drain", 10*time.Second, "graceful shutdown grace period")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -55,8 +60,20 @@ func run(args []string) error {
 		CacheSize:      *cacheSize,
 		RequestTimeout: *timeout,
 		EnablePprof:    *pprofOn,
+		TraceRingSize:  *traceRing,
 	})
 	srv.PublishExpvar("budgetwfd")
+
+	if *debugAddr != "" {
+		dbg := newDebugServer(*debugAddr)
+		go func() {
+			if err := dbg.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintf(os.Stderr, "budgetwfd: debug listener: %v\n", err)
+			}
+		}()
+		defer dbg.Close()
+		fmt.Fprintf(os.Stderr, "budgetwfd: debug endpoints (pprof, expvar) on %s\n", *debugAddr)
+	}
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
@@ -79,4 +96,20 @@ func run(args []string) error {
 		}
 		return nil
 	}
+}
+
+// newDebugServer builds the optional -debug-addr listener: the full
+// net/http/pprof surface plus the process's expvar page (which carries
+// the daemon's "budgetwfd" metrics map). It is mounted on its own
+// http.Server so the profiling surface never shares a port with the
+// public API; nothing here is authenticated.
+func newDebugServer(addr string) *http.Server {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	return &http.Server{Addr: addr, Handler: mux, ReadHeaderTimeout: 10 * time.Second}
 }

@@ -1,0 +1,37 @@
+package main
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestDebugServerEndpoints: the -debug-addr mux serves the pprof index
+// and the expvar page, and nothing else (in particular not the API).
+func TestDebugServerEndpoints(t *testing.T) {
+	dbg := newDebugServer("127.0.0.1:0")
+	ts := httptest.NewServer(dbg.Handler)
+	defer ts.Close()
+
+	fetch := func(path string) (int, string) {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	if code, body := fetch("/debug/pprof/"); code != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Errorf("pprof index: code %d, body %.60q", code, body)
+	}
+	if code, body := fetch("/debug/vars"); code != http.StatusOK || !strings.HasPrefix(strings.TrimSpace(body), "{") {
+		t.Errorf("expvar page: code %d, body %.60q", code, body)
+	}
+	if code, _ := fetch("/v1/schedule"); code != http.StatusNotFound {
+		t.Errorf("debug listener serves API paths: /v1/schedule = %d, want 404", code)
+	}
+}

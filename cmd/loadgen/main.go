@@ -149,13 +149,7 @@ func run(args []string, stdout io.Writer) error {
 		lats = append(lats, r.latency)
 	}
 	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
-	pct := func(p float64) time.Duration {
-		if len(lats) == 0 {
-			return 0
-		}
-		i := int(p * float64(len(lats)-1))
-		return lats[i]
-	}
+	pct := func(p float64) time.Duration { return percentile(lats, p) }
 
 	fmt.Fprintf(stdout, "loadgen: %d requests, concurrency %d, %d distinct workflows, %.2fs wall\n",
 		*total, *conc, *distinct, elapsed.Seconds())
@@ -177,6 +171,29 @@ func run(args []string, stdout io.Writer) error {
 		return fmt.Errorf("%d requests returned 500", s5)
 	}
 	return nil
+}
+
+// percentile returns the p-quantile (0 ≤ p ≤ 1) of an ascending-sorted
+// latency sample by linear interpolation between the two nearest order
+// statistics (the same estimator numpy and most load tools default
+// to). An empty sample reports 0; p outside [0,1] is clamped.
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p * float64(len(sorted)-1)
+	lo := int(rank)
+	frac := rank - float64(lo)
+	if lo+1 >= len(sorted) {
+		return sorted[lo]
+	}
+	return sorted[lo] + time.Duration(frac*float64(sorted[lo+1]-sorted[lo]))
 }
 
 // retryDelay computes the sleep before the (attempt+1)-th try of a

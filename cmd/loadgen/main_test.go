@@ -106,3 +106,37 @@ func TestRunReportsExhaustedRetries(t *testing.T) {
 		}
 	}
 }
+
+// TestPercentile pins the interpolating percentile estimator against
+// hand-computed values.
+func TestPercentile(t *testing.T) {
+	ms := func(v float64) time.Duration { return time.Duration(v * float64(time.Millisecond)) }
+	four := []time.Duration{ms(10), ms(20), ms(30), ms(40)}
+	cases := []struct {
+		name   string
+		sorted []time.Duration
+		p      float64
+		want   time.Duration
+	}{
+		{"empty", nil, 0.5, 0},
+		{"single", []time.Duration{ms(7)}, 0.99, ms(7)},
+		{"min", four, 0, ms(10)},
+		{"max", four, 1, ms(40)},
+		{"clamp-low", four, -0.5, ms(10)},
+		{"clamp-high", four, 1.5, ms(40)},
+		// rank 0.5*(4-1)=1.5 → halfway between 20 and 30.
+		{"median-interpolated", four, 0.5, ms(25)},
+		// rank 0.9*3=2.7 → 30 + 0.7*(40-30).
+		{"p90", four, 0.9, ms(37)},
+		// odd length: rank 0.5*2=1 lands exactly on an element.
+		{"median-exact", []time.Duration{ms(1), ms(2), ms(100)}, 0.5, ms(2)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := percentile(tc.sorted, tc.p)
+			if diff := got - tc.want; diff < -time.Microsecond || diff > time.Microsecond {
+				t.Errorf("percentile(%v, %g) = %v, want %v", tc.sorted, tc.p, got, tc.want)
+			}
+		})
+	}
+}

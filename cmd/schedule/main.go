@@ -7,15 +7,19 @@
 //	schedule -wf montage90.json -alg heftbudg -budget 12.5 -out sched.json
 //	schedule -type ligo -n 30 -sigma 0.5 -alg heftbudg+ -budget-factor 1.5
 //	schedule -wf workflow.dax -alg heftbudg -budget 5
+//	schedule -type montage -n 50 -alg heftbudg+ -trace plan-trace.json
 //
 // A workflow comes either from -wf (JSON, or Pegasus DAX when the file
 // ends in .dax/.xml) or from the generator flags (-type/-n/-seed/
 // -sigma). The budget comes either from -budget (dollars) or from
 // -budget-factor (a multiple of the instance's cheapest-schedule
-// cost).
+// cost). -trace records the planner's decision process — per-task
+// candidate evaluations, budget-guard verdicts, refinement upgrades —
+// as Chrome trace-event JSON, loadable in chrome://tracing or Perfetto.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -23,6 +27,7 @@ import (
 	"strings"
 
 	"budgetwf/internal/exp"
+	"budgetwf/internal/obs"
 	"budgetwf/internal/platform"
 	"budgetwf/internal/sched"
 	"budgetwf/internal/wf"
@@ -48,6 +53,7 @@ func run(args []string, stdout io.Writer) error {
 		budget  = fs.Float64("budget", 0, "budget in dollars")
 		factor  = fs.Float64("budget-factor", 1.5, "budget as a multiple of the cheapest-schedule cost (used when -budget is 0)")
 		out     = fs.String("out", "", "write the schedule JSON here")
+		traceTo = fs.String("trace", "", "write a Chrome trace-event JSON of the planner's decisions here")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -71,7 +77,14 @@ func run(args []string, stdout io.Writer) error {
 		b = *factor * anchors.CheapCost
 	}
 
-	s, err := alg.Plan(w, p, b)
+	var tr *obs.Trace
+	ctx := context.Background()
+	if *traceTo != "" {
+		tr = obs.New("schedule")
+		tr.Root().Set(obs.Str("workflow", w.Name), obs.Int("tasks", w.NumTasks()))
+		ctx = obs.WithSpan(ctx, tr.Root())
+	}
+	s, err := sched.PlanContext(ctx, alg.Name, w, p, b)
 	if err != nil {
 		return err
 	}
@@ -100,6 +113,21 @@ func run(args []string, stdout io.Writer) error {
 			return err
 		}
 		fmt.Fprintf(stdout, "schedule saved to %s\n", *out)
+	}
+	if tr != nil {
+		tr.EndAll()
+		f, err := os.Create(*traceTo)
+		if err != nil {
+			return err
+		}
+		if err := tr.WriteChrome(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "planner trace written to %s (load in chrome://tracing)\n", *traceTo)
 	}
 	return nil
 }

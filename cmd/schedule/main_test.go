@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"strings"
 	"testing"
@@ -79,4 +80,44 @@ func writeGenerated(path string) error {
 		return err
 	}
 	return w.SaveFile(path)
+}
+
+func TestRunWritesPlannerTrace(t *testing.T) {
+	path := t.TempDir() + "/plan-trace.json"
+	var out strings.Builder
+	err := run([]string{"-type", "montage", "-n", "20", "-alg", "heftbudg+", "-budget-factor", "2", "-trace", path}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "planner trace written to") {
+		t.Errorf("no trace confirmation:\n%s", out.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("trace file is not Chrome trace-event JSON: %v", err)
+	}
+	guards, planSpans := 0, 0
+	for _, e := range doc.TraceEvents {
+		if e.Name == "budget-guard" && e.Ph == "i" {
+			guards++
+		}
+		if e.Name == "plan:heftbudg+" && e.Ph == "X" {
+			planSpans++
+		}
+	}
+	if guards != 20 {
+		t.Errorf("trace has %d budget-guard instants, want 20", guards)
+	}
+	if planSpans != 1 {
+		t.Errorf("trace has %d plan:heftbudg+ spans, want 1", planSpans)
+	}
 }

@@ -6,12 +6,17 @@
 //
 //	simulate -wf montage90.json -sched sched.json -reps 25 -budget 12.5
 //	simulate -type ligo -n 30 -sigma 0.5 -alg heftbudg -budget-factor 1.5 -reps 100
-//	simulate -type montage -n 30 -alg heftbudg -gantt -trace
+//	simulate -type montage -n 30 -alg heftbudg -gantt -print-trace
+//	simulate -type montage -n 30 -alg heftbudg -trace spans.json
 //
 // Either load a schedule produced by cmd/schedule (-sched), or plan
 // in-process with -alg. Workflows come from -wf (JSON or DAX) or the
 // generator flags. -deadline additionally reports the bi-criteria
-// objective of Equation (3).
+// objective of Equation (3). -trace writes the run's span tree —
+// planner decisions when planning in-process, one span per
+// replication, and under fault injection the crash/recovery event
+// stream — as Chrome trace-event JSON (chrome://tracing / Perfetto);
+// -chrome-trace instead renders the first execution's per-VM timeline.
 //
 // The -fault-* flags inject VM crashes, boot failures and transient
 // task failures into the executions and report robustness metrics:
@@ -21,6 +26,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -30,6 +36,7 @@ import (
 
 	"budgetwf/internal/exp"
 	"budgetwf/internal/fault"
+	"budgetwf/internal/obs"
 	"budgetwf/internal/online"
 	"budgetwf/internal/plan"
 	"budgetwf/internal/platform"
@@ -65,8 +72,9 @@ func run(args []string, stdout io.Writer) error {
 		reps      = fs.Int("reps", 25, "number of stochastic executions")
 		simSeed   = fs.Uint64("sim-seed", 42, "simulation RNG seed")
 		gantt     = fs.Bool("gantt", false, "render an ASCII Gantt chart of the first execution")
-		trace     = fs.Bool("trace", false, "print a per-task trace of the first execution")
-		chrome    = fs.String("chrome-trace", "", "write a Chrome trace-event JSON of the first execution here")
+		prTrace   = fs.Bool("print-trace", false, "print a per-task trace of the first execution")
+		traceTo   = fs.String("trace", "", "write a Chrome trace-event JSON of the run's span tree here")
+		chrome    = fs.String("chrome-trace", "", "write a Chrome trace-event JSON of the first execution's VM timeline here")
 		svgGantt  = fs.String("svg-gantt", "", "write an SVG Gantt chart of the first execution here")
 
 		faultRate     = fs.Float64("fault-rate", 0, "per-VM crash rate λ in crashes/hour (0 disables crashes)")
@@ -111,6 +119,12 @@ func run(args []string, stdout io.Writer) error {
 		b = *factor * anchors.CheapCost
 	}
 
+	var tr *obs.Trace
+	if *traceTo != "" {
+		tr = obs.New("simulate")
+		tr.Root().Set(obs.Str("workflow", w.Name), obs.Int("tasks", w.NumTasks()))
+	}
+
 	var s *plan.Schedule
 	if *schedPath != "" {
 		f, err := os.Open(*schedPath)
@@ -127,7 +141,11 @@ func run(args []string, stdout io.Writer) error {
 		if err != nil {
 			return err
 		}
-		if s, err = alg.Plan(w, p, b); err != nil {
+		ctx := context.Background()
+		if tr != nil {
+			ctx = obs.WithSpan(ctx, tr.Root())
+		}
+		if s, err = sched.PlanContext(ctx, alg.Name, w, p, b); err != nil {
 			return err
 		}
 	}
@@ -136,19 +154,29 @@ func run(args []string, stdout io.Writer) error {
 	}
 
 	if *faultRate > 0 || *faultBoot > 0 || *faultTask > 0 {
-		if *gantt || *trace || *chrome != "" || *svgGantt != "" {
+		if *gantt || *prTrace || *chrome != "" || *svgGantt != "" {
 			return fmt.Errorf("visualization flags are not supported under fault injection")
 		}
 		spec.CrashRatePerHour = []float64{*faultRate}
-		return runFaulty(stdout, w, p, s, spec, b, *reps, *simSeed)
+		if err := runFaulty(stdout, w, p, s, spec, b, *reps, *simSeed, tr); err != nil {
+			return err
+		}
+		return writeSpanTrace(stdout, tr, *traceTo)
 	}
 
 	obj := sim.Objective{Deadline: *deadline, Budget: b}
 	var objStats sim.ObjectiveStats
 	stream := rng.New(*simSeed)
+	runner, err := sim.NewRunner(w, p, s)
+	if err != nil {
+		return err
+	}
+	if tr != nil {
+		runner.SetSpan(tr.Root())
+	}
 	var mk, cost []float64
 	for i := 0; i < *reps; i++ {
-		r, err := sim.RunStochastic(w, p, s, stream.Split(uint64(i)))
+		r, err := runner.RunStochastic(stream.Split(uint64(i)))
 		if err != nil {
 			return err
 		}
@@ -157,7 +185,7 @@ func run(args []string, stdout io.Writer) error {
 				return err
 			}
 		}
-		if i == 0 && *trace {
+		if i == 0 && *prTrace {
 			if err := r.WriteTrace(stdout, w, s); err != nil {
 				return err
 			}
@@ -203,13 +231,35 @@ func run(args []string, stdout io.Writer) error {
 		fmt.Fprintf(stdout, "deadline   %.1f%% met the %.0f s deadline; %.1f%% met the full objective (Eq. 3)\n",
 			100*objStats.Frac(objStats.DeadlineMet), *deadline, 100*objStats.Frac(objStats.BothMet))
 	}
+	return writeSpanTrace(stdout, tr, *traceTo)
+}
+
+// writeSpanTrace closes the tracer and writes its span tree as Chrome
+// trace-event JSON. A nil tracer is a no-op.
+func writeSpanTrace(stdout io.Writer, tr *obs.Trace, path string) error {
+	if tr == nil {
+		return nil
+	}
+	tr.EndAll()
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteChrome(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "span trace written to %s (load in chrome://tracing)\n", path)
 	return nil
 }
 
 // runFaulty replays the schedule reps times under fault injection and
 // reports robustness statistics. Budget-exhausted replications degrade
 // to partial results and lower the success rate; they are not errors.
-func runFaulty(stdout io.Writer, w *wf.Workflow, p *platform.Platform, s *plan.Schedule, spec *fault.Spec, budget float64, reps int, simSeed uint64) error {
+func runFaulty(stdout io.Writer, w *wf.Workflow, p *platform.Platform, s *plan.Schedule, spec *fault.Spec, budget float64, reps int, simSeed uint64, tr *obs.Trace) error {
 	stream := rng.New(simSeed)
 	var mk, cost []float64
 	var completed, inBudget int
@@ -221,7 +271,13 @@ func runFaulty(stdout io.Writer, w *wf.Workflow, p *platform.Platform, s *plan.S
 		weights := sim.SampleWeights(w, stream.Split(uint64(i)))
 		fs := *spec
 		fs.Seed = spec.Seed + uint64(i) // fresh fault trace per replication
-		r, err := online.ExecuteFaulty(w, p, s, weights, &fs, budget)
+		var repSpan *obs.Span
+		if tr != nil {
+			repSpan = tr.Root().Child("replication")
+			repSpan.Set(obs.Int("rep", i))
+		}
+		r, err := online.ExecuteFaultySpan(w, p, s, weights, &fs, budget, repSpan)
+		repSpan.End()
 		if err != nil {
 			return err
 		}

@@ -35,7 +35,7 @@ func TestRunWithDeadline(t *testing.T) {
 
 func TestRunGanttAndTrace(t *testing.T) {
 	var out strings.Builder
-	err := run([]string{"-type", "montage", "-n", "30", "-alg", "heftbudg", "-reps", "2", "-gantt", "-trace"}, &out)
+	err := run([]string{"-type", "montage", "-n", "30", "-alg", "heftbudg", "-reps", "2", "-gantt", "-print-trace"}, &out)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -205,6 +205,46 @@ func TestRunFaultFlagErrors(t *testing.T) {
 		var out strings.Builder
 		if err := run(args, &out); err == nil {
 			t.Errorf("args %v accepted", args)
+		}
+	}
+}
+
+func TestRunWritesSpanTrace(t *testing.T) {
+	path := t.TempDir() + "/spans.json"
+	var out strings.Builder
+	err := run([]string{"-type", "montage", "-n", "20", "-alg", "heftbudg", "-reps", "3", "-trace", path}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := readFileHelper(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"traceEvents", "plan:heftbudg", "budget-guard", "replication"} {
+		if !strings.Contains(data, want) {
+			t.Errorf("span trace missing %q", want)
+		}
+	}
+	if got := strings.Count(data, `"replication"`); got != 3 {
+		t.Errorf("span trace has %d replication events, want 3", got)
+	}
+}
+
+func TestRunWritesFaultSpanTrace(t *testing.T) {
+	path := t.TempDir() + "/fault-spans.json"
+	var out strings.Builder
+	err := run([]string{"-type", "montage", "-n", "20", "-alg", "heftbudg", "-reps", "3",
+		"-fault-boot-fail", "0.9", "-fault-retries", "1", "-trace", path}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := readFileHelper(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"traceEvents", "replication", "boot-failure"} {
+		if !strings.Contains(data, want) {
+			t.Errorf("fault span trace missing %q", want)
 		}
 	}
 }

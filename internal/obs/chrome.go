@@ -1,0 +1,90 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"time"
+)
+
+// The Chrome trace-event format: the JSON document consumed by
+// chrome://tracing and https://ui.perfetto.dev. These types are the
+// single definition in the repository — internal/sim's VM-timeline
+// exporter builds the same document from simulation timestamps.
+
+// ChromeEvent is one entry of the trace-event array. Durations use
+// the "X" (complete) phase, instants the "i" phase; timestamps are
+// microseconds.
+type ChromeEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat,omitempty"`
+	Ph    string         `json:"ph"`
+	TS    float64        `json:"ts"`
+	Dur   float64        `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// ChromeTrace is the document root.
+type ChromeTrace struct {
+	TraceEvents     []ChromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// Write encodes the document as JSON.
+func (c *ChromeTrace) Write(w io.Writer) error {
+	return json.NewEncoder(w).Encode(c)
+}
+
+// MetaThreadName returns the metadata event that names a timeline row.
+func MetaThreadName(pid, tid int, name string) ChromeEvent {
+	return ChromeEvent{Name: "thread_name", Ph: "M", PID: pid, TID: tid,
+		Args: map[string]any{"name": name}}
+}
+
+// ChromeTrace renders the span tree as a trace-event document: every
+// span becomes an "X" complete event and every event an "i" instant,
+// all on one thread track (the viewer nests same-track slices by
+// their timestamps, reproducing the tree).
+func (t *Trace) ChromeTrace() *ChromeTrace {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	now := t.now()
+	doc := &ChromeTrace{DisplayTimeUnit: "ms"}
+	doc.TraceEvents = append(doc.TraceEvents,
+		MetaThreadName(0, 0, t.name))
+	t.root.chrome(doc, now)
+	return doc
+}
+
+// WriteChrome writes the span tree in the Chrome trace-event format;
+// the output loads in chrome://tracing and Perfetto.
+func (t *Trace) WriteChrome(w io.Writer) error {
+	return t.ChromeTrace().Write(w)
+}
+
+// chrome appends one span's events (caller holds the trace mutex).
+func (s *Span) chrome(doc *ChromeTrace, now time.Duration) {
+	const us = float64(time.Microsecond)
+	end := s.end
+	if !s.ended {
+		end = now
+	}
+	doc.TraceEvents = append(doc.TraceEvents, ChromeEvent{
+		Name: s.name, Cat: "span", Ph: "X",
+		TS:   float64(s.start) / us,
+		Dur:  float64(end-s.start) / us,
+		Args: attrMap(s.attrs),
+	})
+	for _, e := range s.events {
+		doc.TraceEvents = append(doc.TraceEvents, ChromeEvent{
+			Name: e.Name, Cat: "event", Ph: "i", Scope: "t",
+			TS:   float64(e.At) / us,
+			Args: attrMap(e.Attrs),
+		})
+	}
+	for _, c := range s.children {
+		c.chrome(doc, now)
+	}
+}

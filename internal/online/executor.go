@@ -6,6 +6,7 @@ import (
 	"math"
 
 	"budgetwf/internal/fault"
+	"budgetwf/internal/obs"
 	"budgetwf/internal/plan"
 	"budgetwf/internal/platform"
 	"budgetwf/internal/sim"
@@ -97,6 +98,7 @@ type executor struct {
 	weights []float64
 	policy  Policy
 	inj     *fault.Injection // nil: no fault injection
+	span    *obs.Span        // nil: tracing disabled (Policy.Span)
 
 	now    float64
 	seq    int
@@ -159,6 +161,7 @@ func newExecutor(w *wf.Workflow, p *platform.Platform, s *plan.Schedule, weights
 	if policy.Faults != nil && policy.Faults.Model != nil {
 		e.inj = policy.Faults
 	}
+	e.span = policy.Span
 	for t := range e.replicaVM {
 		e.replicaVM[t] = -1
 	}
@@ -405,6 +408,10 @@ func (e *executor) interrupt(v int, t wf.TaskID) {
 	plan := []vmPlan{{cat: e.fastest, tasks: []wf.TaskID{t}}}
 	if e.policy.Budget > 0 && e.projectedCost(plan, []wf.TaskID{t}) > e.policy.Budget {
 		e.report.Vetoed++
+		if e.span != nil {
+			e.span.Event("migration-vetoed",
+				obs.Int("task", int(t)), obs.Int("vm", v), obs.Float("at", e.now))
+		}
 		e.push(&event{time: vm.computeStart + dur, kind: evComputeDone, vm: v, task: t, epoch: vm.epoch})
 		return
 	}
@@ -422,6 +429,11 @@ func (e *executor) interrupt(v int, t wf.TaskID) {
 	e.report.Migrations = append(e.report.Migrations, Migration{
 		Task: t, FromVM: v, ToVM: nv, At: e.now, Wasted: wasted,
 	})
+	if e.span != nil {
+		e.span.Event("migration",
+			obs.Int("task", int(t)), obs.Int("fromVM", v), obs.Int("toVM", nv),
+			obs.Float("at", e.now), obs.Float("wasted", wasted))
+	}
 	e.tryAdvanceAll()
 }
 
@@ -528,6 +540,10 @@ func (e *executor) bootFailure(v int) {
 	vm.bootFailed = true
 	vm.epoch++
 	vm.end = vm.bookTime
+	if e.span != nil {
+		e.span.Event("boot-failure",
+			obs.Int("vm", v), obs.Int("cat", vm.cat), obs.Float("at", e.now))
+	}
 	lost := e.collectLost(v, e.now)
 	e.recoverLost(v, lost)
 }
@@ -573,6 +589,11 @@ func (e *executor) handleCrash(v int, tc float64) {
 		}
 	}
 	lost := e.collectLost(v, tc)
+	if e.span != nil {
+		e.span.Event("crash",
+			obs.Int("vm", v), obs.Int("cat", vm.cat), obs.Float("at", tc),
+			obs.Int("tasksLost", len(lost)))
+	}
 	e.recoverLost(v, lost)
 }
 
@@ -652,7 +673,14 @@ func (e *executor) resetTask(t wf.TaskID) {
 	}
 	for _, ei := range e.outE[t] {
 		if e.eState[ei] == edgeAtDC {
-			continue // checkpoint-on-upload: DC copies survive
+			// checkpoint-on-upload: DC copies survive and feed consumers
+			// without re-running the producer.
+			if e.span != nil {
+				e.span.Event("checkpoint-restore",
+					obs.Int("task", int(t)), obs.Int("consumer", int(e.edges[ei].To)),
+					obs.Float("at", e.now))
+			}
+			continue
 		}
 		e.eState[ei] = edgePending
 		e.upSeq[ei]++
@@ -700,6 +728,11 @@ func (e *executor) recoverLost(v int, lost []wf.TaskID) {
 	// so its cascade takes them down with it.
 	for _, t := range lost {
 		e.attempts[t]++
+		if e.span != nil {
+			e.span.Event("task-lost",
+				obs.Int("task", int(t)), obs.Int("vm", v),
+				obs.Int("attempt", e.attempts[t]), obs.Float("at", e.now))
+		}
 		e.resetTask(t)
 	}
 	maxAttempt := 0
@@ -733,6 +766,11 @@ func (e *executor) recoverLost(v int, lost []wf.TaskID) {
 	}
 	if e.policy.Budget > 0 && e.projectedCost(plans, retry) > e.policy.Budget {
 		e.report.RecoveriesVetoed++
+		if e.span != nil {
+			e.span.Event("recovery-vetoed",
+				obs.Str("policy", rec.Kind.String()), obs.Int("tasks", len(retry)),
+				obs.Float("at", e.now))
+		}
 		for _, t := range retry {
 			e.failTask(t)
 		}
@@ -741,6 +779,11 @@ func (e *executor) recoverLost(v int, lost []wf.TaskID) {
 	}
 	e.report.Recoveries++
 	backoff := rec.Backoff(maxAttempt)
+	if e.span != nil {
+		e.span.Event("recovery",
+			obs.Str("policy", rec.Kind.String()), obs.Int("tasks", len(retry)),
+			obs.Float("backoff", backoff), obs.Float("at", e.now))
+	}
 	switch rec.Kind {
 	case fault.ResubmitFastest:
 		nv := e.newVM(e.fastest, retry, e.now)
@@ -779,6 +822,12 @@ func (e *executor) taskFailure(v int, t wf.TaskID) {
 	if retryable && e.policy.Budget > 0 && e.projectedCost(nil, nil) > e.policy.Budget {
 		e.report.RecoveriesVetoed++
 		retryable = false
+	}
+	if e.span != nil {
+		e.span.Event("task-failure",
+			obs.Int("task", int(t)), obs.Int("vm", v),
+			obs.Int("attempt", e.attempts[t]), obs.Bool("retrying", retryable),
+			obs.Float("at", e.now))
 	}
 	if !retryable {
 		// Abandon this copy; a racing replica may still win.
@@ -982,6 +1031,17 @@ func (e *executor) collect() *Report {
 		}
 	}
 	r.Tasks = append([]sim.TaskTimes(nil), e.times...)
+	if e.span != nil {
+		e.span.Set(
+			obs.Float("makespan", r.Makespan), obs.Float("cost", r.TotalCost),
+			obs.Int("vms", r.NumVMs), obs.Bool("completed", r.Completed),
+			obs.Int("tasksDone", r.TasksDone), obs.Int("tasksFailed", r.TasksFailed),
+			obs.Int("crashes", r.Crashes), obs.Int("bootFailures", r.BootFailures),
+			obs.Int("taskFailures", r.TaskFailures), obs.Int("recoveries", r.Recoveries),
+			obs.Int("recoveriesVetoed", r.RecoveriesVetoed),
+			obs.Int("migrations", len(r.Migrations)), obs.Int("migrationsVetoed", r.Vetoed),
+			obs.Float("wastedSeconds", r.WastedSeconds))
+	}
 	return r
 }
 

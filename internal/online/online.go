@@ -38,6 +38,7 @@ import (
 	"fmt"
 
 	"budgetwf/internal/fault"
+	"budgetwf/internal/obs"
 	"budgetwf/internal/plan"
 	"budgetwf/internal/platform"
 	"budgetwf/internal/rng"
@@ -73,6 +74,12 @@ type Policy struct {
 	// one whose model is fault.NoFaults with nothing to inject — keeps
 	// the execution identical to internal/sim.
 	Faults *fault.Injection
+	// Span, when non-nil, receives the execution's fault-lifecycle
+	// trace (internal/obs): crash, boot-failure, task-failure,
+	// task-lost, recovery and migration events with their budget-guard
+	// vetoes, plus summary attributes when the run settles. A nil Span
+	// keeps every emission site at a single pointer check.
+	Span *obs.Span
 }
 
 // DefaultPolicy returns the recommended configuration: 2σ timeouts
@@ -172,8 +179,15 @@ func ExecuteStochastic(w *wf.Workflow, p *platform.Platform, s *plan.Schedule, r
 // the guard). Budget-exhausted recoveries degrade the run to a partial
 // Report — they are not errors.
 func ExecuteFaulty(w *wf.Workflow, p *platform.Platform, s *plan.Schedule, weights []float64, spec *fault.Spec, budget float64) (*Report, error) {
+	return ExecuteFaultySpan(w, p, s, weights, spec, budget, nil)
+}
+
+// ExecuteFaultySpan is ExecuteFaulty with a tracing span attached:
+// the execution's fault-lifecycle events land on span (see
+// Policy.Span). A nil span is exactly ExecuteFaulty.
+func ExecuteFaultySpan(w *wf.Workflow, p *platform.Platform, s *plan.Schedule, weights []float64, spec *fault.Spec, budget float64, span *obs.Span) (*Report, error) {
 	if err := spec.Validate(p.NumCategories()); err != nil {
 		return nil, err
 	}
-	return Execute(w, p, s, weights, Policy{Budget: budget, Faults: spec.NewInjection()})
+	return Execute(w, p, s, weights, Policy{Budget: budget, Faults: spec.NewInjection(), Span: span})
 }

@@ -5,6 +5,7 @@ package sched
 import (
 	stdcontext "context"
 
+	"budgetwf/internal/obs"
 	"budgetwf/internal/plan"
 	"budgetwf/internal/platform"
 	"budgetwf/internal/wf"
@@ -20,11 +21,27 @@ import (
 //
 // A background context makes PlanContext equivalent to
 // ByName(name).Plan — the hook then costs one nil check per step.
+//
+// When the context carries an obs span (obs.WithSpan), PlanContext
+// opens a child span named "plan:<algorithm>" and the planners emit
+// their decision trace into it: per-task candidate evaluations with
+// EFT and charged cost, budget-guard admit/reject verdicts with the
+// remaining pot, the Algorithm 1 budget decomposition, and the
+// refinement upgrades of HEFTBUDG+/+INV. Without a span in the
+// context the instrumentation is a nil check per placement step.
 func PlanContext(ctx stdcontext.Context, name Name, w *wf.Workflow, p *platform.Platform, budget float64) (*plan.Schedule, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	opt := Options{stop: ctx.Err}
+	if parent := obs.SpanFromContext(ctx); parent != nil {
+		span := parent.Child("plan:" + string(name))
+		span.Set(obs.Str("algorithm", string(name)),
+			obs.Int("tasks", w.NumTasks()),
+			obs.Float("budget", budget))
+		defer span.End()
+		opt.span = span
+	}
 	switch name {
 	case NameMinMin:
 		return minMinPlan(w, p, nil, opt)

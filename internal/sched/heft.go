@@ -44,6 +44,15 @@ func heftPlan(w *wf.Workflow, p *platform.Platform, info *BudgetInfo, opt Option
 		if info != nil {
 			allowance = account.allowance(info.Shares[t])
 		}
+		if opt.span != nil {
+			// Re-enumerate off the hot selector: the cost is only paid
+			// when a trace was requested.
+			if opt.Insertion {
+				traceCandidates(opt.span, st.candidatesInsertion(t), t, allowance)
+			} else {
+				traceCandidates(opt.span, st.candidates(t), t, allowance)
+			}
+		}
 		var c candidate
 		if opt.Insertion {
 			c = st.bestHostInsertion(t, allowance)
@@ -54,6 +63,12 @@ func heftPlan(w *wf.Workflow, p *platform.Platform, info *BudgetInfo, opt Option
 		totalCost += c.cost
 		if info != nil {
 			account.settle(allowance, c.cost)
+		}
+		if opt.span != nil {
+			if info != nil {
+				traceGuard(opt.span, t, c, allowance, account.pot.value)
+			}
+			tracePlace(opt.span, t, c)
 		}
 	}
 	var out *plan.Schedule

@@ -90,10 +90,21 @@ func minMinPlan(w *wf.Workflow, p *platform.Platform, info *BudgetInfo, opt Opti
 			// Cannot happen on a validated DAG; defensive.
 			return nil, errNoReadyTask(w.Name, len(listT), n)
 		}
+		if opt.span != nil {
+			// The winning task's cached candidate column is exactly what
+			// the min-min selection saw this round.
+			traceCandidates(opt.span, cands[bestTask], bestTask, bestAllowance)
+		}
 		vmIdx := st.assign(bestTask, bestCand)
 		totalCost += bestCand.cost
 		if info != nil {
 			account.settle(bestAllowance, bestCand.cost)
+		}
+		if opt.span != nil {
+			if info != nil {
+				traceGuard(opt.span, bestTask, bestCand, bestAllowance, account.pot.value)
+			}
+			tracePlace(opt.span, bestTask, bestCand)
 		}
 		ready[bestTask] = false
 		cands[bestTask] = nil

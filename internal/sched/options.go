@@ -3,6 +3,7 @@ package sched
 import (
 	"math"
 
+	"budgetwf/internal/obs"
 	"budgetwf/internal/plan"
 	"budgetwf/internal/platform"
 	"budgetwf/internal/wf"
@@ -36,6 +37,13 @@ type Options struct {
 	// cancellation into the planning hot paths; external callers
 	// cannot — and need not — set it.
 	stop func() error
+
+	// span, when non-nil, receives the planner's decision trace:
+	// per-task candidate evaluations, budget-guard verdicts and
+	// refinement upgrades (see internal/obs). It is set by PlanContext
+	// from the context's span; a nil span keeps every instrumentation
+	// site at a single pointer check.
+	span *obs.Span
 }
 
 // stopErr polls the cancellation hook, if any.
@@ -66,6 +74,15 @@ func HeftBudgOpt(w *wf.Workflow, p *platform.Platform, budget float64, opt Optio
 
 // computeBudgetOpt runs Algorithm 1 under the given ablations.
 func computeBudgetOpt(w *wf.Workflow, p *platform.Platform, budget float64, opt Options) (*BudgetInfo, error) {
+	info, err := computeBudgetAblated(w, p, budget, opt)
+	if err == nil && opt.span != nil {
+		traceBudgetInfo(opt.span, info)
+	}
+	return info, err
+}
+
+// computeBudgetAblated is computeBudgetOpt without the tracing hook.
+func computeBudgetAblated(w *wf.Workflow, p *platform.Platform, budget float64, opt Options) (*BudgetInfo, error) {
 	target := w
 	if opt.PlanWithMeanWeights {
 		target = w.WithSigmaRatio(0)

@@ -3,6 +3,7 @@ package sched
 import (
 	"fmt"
 
+	"budgetwf/internal/obs"
 	"budgetwf/internal/plan"
 	"budgetwf/internal/platform"
 	"budgetwf/internal/sim"
@@ -29,7 +30,7 @@ func HeftBudgPlusInv(w *wf.Workflow, p *platform.Platform, budget float64) (*pla
 }
 
 func refine(w *wf.Workflow, p *platform.Platform, budget float64, inverse bool, opt Options) (*plan.Schedule, error) {
-	cur, err := HeftBudgOpt(w, p, budget, Options{stop: opt.stop})
+	cur, err := HeftBudgOpt(w, p, budget, Options{stop: opt.stop, span: opt.span})
 	if err != nil {
 		return nil, err
 	}
@@ -44,6 +45,10 @@ func refine(w *wf.Workflow, p *platform.Platform, budget float64, inverse bool, 
 	}
 	minMakespan := res.Makespan
 
+	span := opt.span.Child("refine")
+	span.Set(obs.Bool("inverse", inverse), obs.Float("baseMakespan", minMakespan))
+	defer span.End()
+
 	order := append([]wf.TaskID(nil), cur.ListT...)
 	if inverse {
 		for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
@@ -51,12 +56,14 @@ func refine(w *wf.Workflow, p *platform.Platform, budget float64, inverse bool, 
 		}
 	}
 
+	moves, upgrades := 0, 0
 	for _, t := range order {
 		best := cur
 		for _, cand := range moveCandidates(cur, t, p.NumCategories()) {
 			if err := opt.stopErr(); err != nil {
 				return nil, err
 			}
+			moves++
 			r, err := sim.Run(w, p, cand, weights)
 			if err != nil {
 				// A malformed candidate (should not happen: moves keep
@@ -65,11 +72,22 @@ func refine(w *wf.Workflow, p *platform.Platform, budget float64, inverse bool, 
 			}
 			if r.Makespan < minMakespan && r.TotalCost < budget {
 				best = cand
+				if span != nil {
+					upgrades++
+					span.Event("upgrade",
+						obs.Int("task", int(t)),
+						obs.Int("toVM", best.TaskVM[t]),
+						obs.Float("makespanBefore", minMakespan),
+						obs.Float("makespanAfter", r.Makespan),
+						obs.Float("cost", r.TotalCost))
+				}
 				minMakespan = r.Makespan
 			}
 		}
 		cur = best
 	}
+	span.Set(obs.Int("movesTried", moves), obs.Int("upgrades", upgrades),
+		obs.Float("finalMakespan", minMakespan))
 	cur.EstMakespan = minMakespan
 	return cur, nil
 }

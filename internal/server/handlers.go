@@ -10,9 +10,11 @@ import (
 	"math"
 	"net/http"
 	"strconv"
+	"strings"
 	"time"
 
 	"budgetwf/internal/exp"
+	"budgetwf/internal/obs"
 	"budgetwf/internal/online"
 	"budgetwf/internal/rng"
 	"budgetwf/internal/sched"
@@ -58,11 +60,36 @@ func (s *Server) handleAlgorithms(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"algorithms": out})
 }
 
-// handleMetrics serves this server's expvar map as JSON (the same
-// content cmd/budgetwfd publishes under /debug/vars).
+// handleMetrics serves this server's metrics. The default body is the
+// expvar map as JSON (the same content cmd/budgetwfd publishes under
+// /debug/vars); ?format=prometheus — or an Accept header asking for
+// text/plain or OpenMetrics — selects the Prometheus text exposition
+// instead. The explicit query parameter wins over the header.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if wantsPrometheus(r) {
+		w.Header().Set("Content-Type", prometheusContentType)
+		s.metrics.WritePrometheus(w)
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
 	io.WriteString(w, s.metrics.Var().String())
+}
+
+// wantsPrometheus decides the /metrics rendering: the format query
+// parameter is authoritative when present; otherwise an Accept header
+// naming text/plain or an openmetrics media type opts in. Anything
+// else — including Accept: */* — keeps the JSON default, so existing
+// consumers are unaffected.
+func wantsPrometheus(r *http.Request) bool {
+	switch r.URL.Query().Get("format") {
+	case "prometheus":
+		return true
+	case "json":
+		return false
+	}
+	accept := strings.ToLower(r.Header.Get("Accept"))
+	return strings.Contains(accept, "text/plain") ||
+		strings.Contains(accept, "openmetrics")
 }
 
 // handleSchedule plans one workflow: the daemon's hot endpoint, and
@@ -96,9 +123,14 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 	}
 	s.metrics.observeAlgorithm(req.Algorithm)
 
+	root := rootSpan(r.Context())
+	root.Set(obs.Str("algorithm", req.Algorithm))
+	deep := traceRequested(r)
+
 	key := cacheKey(wfl.CanonicalHash(), plat.CanonicalHash(), req.Algorithm, req.Budget)
 	if e, ok := s.cache.get(key); ok {
-		writeJSON(w, http.StatusOK, scheduleResponse{
+		root.Event("cache-hit", obs.Str("algorithm", req.Algorithm))
+		resp := any(scheduleResponse{
 			Algorithm:   req.Algorithm,
 			Budget:      req.Budget,
 			Schedule:    json.RawMessage(e.scheduleJSON),
@@ -108,18 +140,33 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 			Cached:      true,
 			RequestID:   reqID,
 		})
+		if deep {
+			resp = attachTrace(resp, requestTrace(r.Context()))
+		}
+		writeJSON(w, http.StatusOK, resp)
 		return
 	}
+	root.Event("cache-miss", obs.Str("algorithm", req.Algorithm))
 
 	resp, ok := s.runPooled(w, r, func(ctx context.Context) (any, error) {
 		start := time.Now()
+		planSpan := root.Child("plan")
+		if deep {
+			// Deep tracing: the planner emits its per-task decision trace
+			// (candidate evaluations, budget-guard verdicts, refinement
+			// upgrades) under this span.
+			ctx = obs.WithSpan(ctx, planSpan)
+		}
 		schedule, err := sched.PlanContext(ctx, alg.Name, wfl, plat, req.Budget)
+		planSpan.End()
 		if err != nil {
 			return nil, err
 		}
 		// The planner's own estimates are heuristic; the deterministic
 		// simulation is the authoritative conservative-weight outcome.
+		simSpan := root.Child("simulate-deterministic")
 		det, err := sim.RunDeterministic(wfl, plat, schedule)
+		simSpan.End()
 		if err != nil {
 			return nil, err
 		}
@@ -147,6 +194,9 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 		}, nil
 	})
 	if ok {
+		if deep {
+			resp = attachTrace(resp, requestTrace(r.Context()))
+		}
 		writeJSON(w, http.StatusOK, resp)
 	}
 }
@@ -204,7 +254,13 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	root := rootSpan(r.Context())
+	deep := traceRequested(r)
+
 	resp, ok := s.runPooledTimeout(w, r, s.requestTimeout(req.TimeoutMillis), func(ctx context.Context) (any, error) {
+		batchSpan := root.Child("simulate-batch")
+		batchSpan.Set(obs.Int("replications", reps), obs.Bool("faults", req.Faults != nil))
+		defer batchSpan.End()
 		stream := rng.New(req.Seed)
 		mk := make([]float64, 0, reps)
 		cost := make([]float64, 0, reps)
@@ -219,6 +275,10 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 			if runner, err = sim.NewRunner(wfl, plat, schedule); err != nil {
 				return nil, err
 			}
+			if deep {
+				// Deep tracing: one replication child span per execution.
+				runner.SetSpan(batchSpan)
+			}
 		}
 		for i := 0; i < reps; i++ {
 			if err := ctx.Err(); err != nil {
@@ -230,8 +290,14 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 			if req.Faults != nil {
 				spec := *req.Faults
 				spec.Seed = req.Faults.Seed + uint64(i) // fresh fault trace per replication
-				res, err := online.ExecuteFaulty(wfl, plat, schedule,
-					sim.SampleWeights(wfl, stream.Split(uint64(i))), &spec, req.Budget)
+				var repSpan *obs.Span
+				if deep {
+					repSpan = batchSpan.Child("replication")
+					repSpan.Set(obs.Int("rep", i))
+				}
+				res, err := online.ExecuteFaultySpan(wfl, plat, schedule,
+					sim.SampleWeights(wfl, stream.Split(uint64(i))), &spec, req.Budget, repSpan)
+				repSpan.End()
 				if err != nil {
 					return nil, err
 				}
@@ -283,6 +349,9 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		return out, nil
 	})
 	if ok {
+		if deep {
+			resp = attachTrace(resp, requestTrace(r.Context()))
+		}
 		writeJSON(w, http.StatusOK, resp)
 	}
 }

@@ -120,18 +120,25 @@ func (m *Metrics) StatusCount(status int) int64 {
 var latencyBoundsMs = []float64{1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000}
 
 // latencyHist is a fixed-bucket latency histogram implementing
-// expvar.Var. All fields are manipulated atomically; String renders a
-// consistent-enough snapshot for monitoring purposes.
+// expvar.Var. All fields are manipulated atomically. There is
+// deliberately no separate count field: the count is derived from the
+// bucket sums at snapshot time, so a reader can never observe a count
+// that disagrees with the buckets it just read (the earlier design
+// kept an independent counter, and String could render count=N with
+// N-1 bucketed observations mid-update). The sum is kept in
+// nanoseconds: sub-microsecond requests (healthz under load) must
+// advance the sum, not silently add zero.
 type latencyHist struct {
-	count   atomic.Uint64
-	sumUs   atomic.Uint64
+	sumNs   atomic.Uint64
 	buckets [13]atomic.Uint64 // len(latencyBoundsMs) + 1 overflow
 }
 
 func (h *latencyHist) observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.sumNs.Add(uint64(d))
 	ms := float64(d) / float64(time.Millisecond)
-	h.count.Add(1)
-	h.sumUs.Add(uint64(d / time.Microsecond))
 	for i, bound := range latencyBoundsMs {
 		if ms <= bound {
 			h.buckets[i].Add(1)
@@ -141,14 +148,61 @@ func (h *latencyHist) observe(d time.Duration) {
 	h.buckets[len(latencyBoundsMs)].Add(1)
 }
 
-// String renders the histogram as JSON, as expvar requires.
-func (h *latencyHist) String() string {
-	var b strings.Builder
-	fmt.Fprintf(&b, `{"count":%d,"sumMs":%.3f`, h.count.Load(), float64(h.sumUs.Load())/1e3)
-	for i, bound := range latencyBoundsMs {
-		fmt.Fprintf(&b, `,"le%g":%d`, bound, h.buckets[i].Load())
+// histSnapshot is one self-consistent view of a latencyHist, shared by
+// the JSON (String) and Prometheus renderers. Buckets holds per-bucket
+// (non-cumulative) counts; Count is exactly their sum.
+type histSnapshot struct {
+	Count   uint64
+	SumMs   float64
+	Buckets [13]uint64
+}
+
+// Snapshot reads the histogram once. Concurrent observes may land
+// between bucket loads, but Count always equals the sum of the Buckets
+// returned — the renderers can never disagree with themselves.
+func (h *latencyHist) Snapshot() histSnapshot {
+	var s histSnapshot
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+		s.Count += s.Buckets[i]
 	}
-	fmt.Fprintf(&b, `,"inf":%d`, h.buckets[len(latencyBoundsMs)].Load())
+	s.SumMs = float64(h.sumNs.Load()) / 1e6
+	return s
+}
+
+// Quantile estimates the q-quantile (0 < q < 1) in milliseconds by
+// linear interpolation within the bucket containing the rank. The
+// overflow bucket reports the last finite bound (the histogram cannot
+// see past it).
+func (s histSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	rank := q * float64(s.Count)
+	cum, lower := 0.0, 0.0
+	for i, bound := range latencyBoundsMs {
+		c := float64(s.Buckets[i])
+		if c > 0 && cum+c >= rank {
+			return lower + (rank-cum)/c*(bound-lower)
+		}
+		cum += c
+		lower = bound
+	}
+	return lower
+}
+
+// String renders the histogram as JSON, as expvar requires, including
+// estimated p50/p95/p99.
+func (h *latencyHist) String() string {
+	s := h.Snapshot()
+	var b strings.Builder
+	fmt.Fprintf(&b, `{"count":%d,"sumMs":%.3f`, s.Count, s.SumMs)
+	for i, bound := range latencyBoundsMs {
+		fmt.Fprintf(&b, `,"le%g":%d`, bound, s.Buckets[i])
+	}
+	fmt.Fprintf(&b, `,"inf":%d`, s.Buckets[len(latencyBoundsMs)])
+	fmt.Fprintf(&b, `,"p50":%.3f,"p95":%.3f,"p99":%.3f`,
+		s.Quantile(0.50), s.Quantile(0.95), s.Quantile(0.99))
 	b.WriteString("}")
 	return b.String()
 }

@@ -1,0 +1,305 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestLatencyHistSnapshotConsistency: the count reported by a snapshot
+// is, by construction, the sum of its buckets — even while writers are
+// racing the reader. (The earlier implementation kept an independent
+// count atomic, so a reader could see count ≠ Σ buckets.)
+func TestLatencyHistSnapshotConsistency(t *testing.T) {
+	h := &latencyHist{}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			d := time.Duration(g+1) * 700 * time.Microsecond
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					h.observe(d)
+				}
+			}
+		}(g)
+	}
+	for i := 0; i < 1000; i++ {
+		s := h.Snapshot()
+		var sum uint64
+		for _, b := range s.Buckets {
+			sum += b
+		}
+		if s.Count != sum {
+			t.Fatalf("snapshot count %d != bucket sum %d", s.Count, sum)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestLatencyHistSubMicrosecond: durations under a microsecond must
+// still advance the sum (the old µs-granular sum added zero for them).
+func TestLatencyHistSubMicrosecond(t *testing.T) {
+	h := &latencyHist{}
+	for i := 0; i < 1000; i++ {
+		h.observe(100 * time.Nanosecond)
+	}
+	s := h.Snapshot()
+	if s.Count != 1000 {
+		t.Fatalf("count = %d, want 1000", s.Count)
+	}
+	wantMs := 1000 * 100e-9 * 1e3 // 0.1 ms
+	if math.Abs(s.SumMs-wantMs) > 1e-9 {
+		t.Errorf("sumMs = %g, want %g (sub-µs observations must accumulate)", s.SumMs, wantMs)
+	}
+}
+
+// TestHistSnapshotQuantile checks the interpolated quantiles against
+// hand-computed values.
+func TestHistSnapshotQuantile(t *testing.T) {
+	cases := []struct {
+		name    string
+		observe []time.Duration
+		q       float64
+		want    float64 // ms
+	}{
+		// 10 obs in (1,2]: rank 5 of 10 → halfway through the bucket.
+		{"uniform-one-bucket", repeat(1500*time.Microsecond, 10), 0.5, 1.5},
+		// 9 in (0,1], 1 in (1000,2500]: p50 lands in the first bucket at
+		// rank 5 of 9 → 5/9 ms; p99 rank 9.9 → 0.9 into the big bucket.
+		{"skewed-p50", append(repeat(500*time.Microsecond, 9), 2*time.Second), 0.5, 5.0 / 9.0},
+		{"skewed-p99", append(repeat(500*time.Microsecond, 9), 2*time.Second), 0.99, 1000 + 0.9*1500},
+		// Everything beyond the last bound: clamp to it.
+		{"overflow", repeat(10*time.Second, 4), 0.95, 5000},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			h := &latencyHist{}
+			for _, d := range tc.observe {
+				h.observe(d)
+			}
+			got := h.Snapshot().Quantile(tc.q)
+			if math.Abs(got-tc.want) > 1e-9 {
+				t.Errorf("Quantile(%g) = %g ms, want %g ms", tc.q, got, tc.want)
+			}
+		})
+	}
+	if got := (histSnapshot{}).Quantile(0.5); got != 0 {
+		t.Errorf("empty snapshot quantile = %g, want 0", got)
+	}
+}
+
+func repeat(d time.Duration, n int) []time.Duration {
+	out := make([]time.Duration, n)
+	for i := range out {
+		out[i] = d
+	}
+	return out
+}
+
+// TestMetricsJSONHasQuantiles: the JSON /metrics body now carries
+// estimated percentiles per endpoint.
+func TestMetricsJSONHasQuantiles(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	if code, _ := get(t, ts, "/healthz"); code != http.StatusOK {
+		t.Fatal("healthz failed")
+	}
+	code, data := get(t, ts, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("metrics = %d", code)
+	}
+	var root struct {
+		LatencyMs map[string]struct {
+			Count uint64  `json:"count"`
+			P50   float64 `json:"p50"`
+			P95   float64 `json:"p95"`
+			P99   float64 `json:"p99"`
+		} `json:"latencyMs"`
+	}
+	if err := json.Unmarshal(data, &root); err != nil {
+		t.Fatalf("metrics body is not JSON: %v\n%s", err, data)
+	}
+	h, ok := root.LatencyMs["healthz"]
+	if !ok {
+		t.Fatalf("latencyMs has no healthz histogram: %s", data)
+	}
+	if h.Count == 0 {
+		t.Errorf("healthz histogram empty after a request")
+	}
+	if h.P50 < 0 || h.P95 < h.P50 || h.P99 < h.P95 {
+		t.Errorf("quantiles not monotone: p50=%g p95=%g p99=%g", h.P50, h.P95, h.P99)
+	}
+}
+
+// TestPrometheusExposition drives traffic through the server, scrapes
+// ?format=prometheus and checks the exposition-format invariants:
+// HELP/TYPE pairs, expected counter series, and cumulative histogram
+// buckets terminated by +Inf whose final value equals _count.
+func TestPrometheusExposition(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	wfJSON := workflowJSON(t, 15, 4)
+	body := scheduleBody(t, wfJSON, "heftbudg", 50)
+	for i := 0; i < 2; i++ { // second one is a cache hit
+		if code, data, _ := post(t, ts, "/v1/schedule", body); code != http.StatusOK {
+			t.Fatalf("schedule = %d: %s", code, data)
+		}
+	}
+
+	req, _ := http.NewRequest("GET", ts.URL+"/metrics?format=prometheus", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if got := resp.Header.Get("Content-Type"); got != prometheusContentType {
+		t.Errorf("Content-Type = %q, want %q", got, prometheusContentType)
+	}
+
+	lines := map[string]bool{}
+	var order []string
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		lines[sc.Text()] = true
+		order = append(order, sc.Text())
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, want := range []string{
+		"# TYPE budgetwfd_requests_total counter",
+		"# TYPE budgetwfd_responses_total counter",
+		"# TYPE budgetwfd_schedule_algorithms_total counter",
+		"# TYPE budgetwfd_panics_total counter",
+		"# TYPE budgetwfd_request_duration_seconds histogram",
+		"# TYPE budgetwfd_cache_hits_total counter",
+		"# TYPE budgetwfd_pool_queue_depth gauge",
+		`budgetwfd_requests_total{endpoint="schedule"} 2`,
+		`budgetwfd_responses_total{status="200"} 2`,
+		`budgetwfd_schedule_algorithms_total{algorithm="heftbudg"} 2`,
+		"budgetwfd_panics_total 0",
+		"budgetwfd_cache_hits_total 1",
+		"budgetwfd_cache_misses_total 1",
+		"budgetwfd_cache_enabled 1",
+	} {
+		if !lines[want] {
+			t.Errorf("exposition missing line %q", want)
+		}
+	}
+
+	// Every # HELP must be followed (eventually, same family) by a
+	// # TYPE; cheaper: count them equal.
+	help, typ := 0, 0
+	for _, l := range order {
+		if strings.HasPrefix(l, "# HELP ") {
+			help++
+		}
+		if strings.HasPrefix(l, "# TYPE ") {
+			typ++
+		}
+	}
+	if help == 0 || help != typ {
+		t.Errorf("HELP lines (%d) != TYPE lines (%d)", help, typ)
+	}
+
+	// Histogram invariants for the schedule endpoint: buckets
+	// cumulative, +Inf bucket present and equal to _count.
+	var prev int64 = -1
+	var infVal, countVal int64 = -1, -2
+	for _, l := range order {
+		if strings.HasPrefix(l, `budgetwfd_request_duration_seconds_bucket{endpoint="schedule",`) {
+			fields := strings.Fields(l)
+			v, err := strconv.ParseInt(fields[len(fields)-1], 10, 64)
+			if err != nil {
+				t.Fatalf("bad bucket line %q: %v", l, err)
+			}
+			if v < prev {
+				t.Errorf("buckets not cumulative: %q after %d", l, prev)
+			}
+			prev = v
+			if strings.Contains(l, `le="+Inf"`) {
+				infVal = v
+			}
+		}
+		if strings.HasPrefix(l, `budgetwfd_request_duration_seconds_count{endpoint="schedule"}`) {
+			fields := strings.Fields(l)
+			v, err := strconv.ParseInt(fields[len(fields)-1], 10, 64)
+			if err != nil {
+				t.Fatalf("bad count line %q: %v", l, err)
+			}
+			countVal = v
+		}
+	}
+	if infVal < 0 {
+		t.Fatalf("no +Inf bucket for schedule endpoint")
+	}
+	if infVal != countVal {
+		t.Errorf("+Inf bucket %d != _count %d", infVal, countVal)
+	}
+	if countVal != 2 {
+		t.Errorf("schedule _count = %d, want 2", countVal)
+	}
+}
+
+// TestMetricsContentNegotiation: the Accept header selects the
+// exposition when no format parameter is present, and the parameter
+// overrides the header in both directions.
+func TestMetricsContentNegotiation(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	fetch := func(path, accept string) (string, string) {
+		req, _ := http.NewRequest("GET", ts.URL+path, nil)
+		if accept != "" {
+			req.Header.Set("Accept", accept)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var b strings.Builder
+		sc := bufio.NewScanner(resp.Body)
+		for sc.Scan() {
+			b.WriteString(sc.Text())
+			b.WriteString("\n")
+		}
+		return resp.Header.Get("Content-Type"), b.String()
+	}
+
+	if ct, body := fetch("/metrics", ""); ct != "application/json" || !strings.HasPrefix(body, "{") {
+		t.Errorf("default /metrics: ct=%q bodyPrefix=%.20q, want JSON", ct, body)
+	}
+	if ct, _ := fetch("/metrics", "text/plain; version=0.0.4"); ct != prometheusContentType {
+		t.Errorf("Accept: text/plain got ct=%q, want exposition", ct)
+	}
+	if ct, _ := fetch("/metrics", "application/openmetrics-text"); ct != prometheusContentType {
+		t.Errorf("Accept: openmetrics got ct=%q, want exposition", ct)
+	}
+	if ct, _ := fetch("/metrics?format=json", "text/plain"); ct != "application/json" {
+		t.Errorf("format=json must override Accept, got ct=%q", ct)
+	}
+	if ct, _ := fetch("/metrics?format=prometheus", "application/json"); ct != prometheusContentType {
+		t.Errorf("format=prometheus must override Accept, got ct=%q", ct)
+	}
+}

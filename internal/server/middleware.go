@@ -7,6 +7,8 @@ import (
 	"net/http"
 	"runtime/debug"
 	"time"
+
+	"budgetwf/internal/obs"
 )
 
 // requestIDKey is the context key under which the request ID travels.
@@ -51,6 +53,15 @@ func (s *Server) wrap(endpoint string, h http.HandlerFunc) http.Handler {
 		start := time.Now()
 		id := s.nextRequestID()
 		ctx := context.WithValue(r.Context(), requestIDKey{}, id)
+		// Every request gets a root span (a handful of nodes unless the
+		// handler opted into deep tracing); only the heavy endpoints'
+		// traces are retained in the ring.
+		tr := obs.New(endpoint)
+		tr.SetID(id)
+		root := tr.Root()
+		root.Set(obs.Str("requestId", id), obs.Str("method", r.Method),
+			obs.Str("path", r.URL.Path))
+		ctx = context.WithValue(ctx, traceKey{}, tr)
 		r = r.WithContext(ctx)
 		w.Header().Set("X-Request-Id", id)
 		if r.Body != nil && s.cfg.MaxBodyBytes > 0 {
@@ -70,6 +81,12 @@ func (s *Server) wrap(endpoint string, h http.HandlerFunc) http.Handler {
 			}
 			d := time.Since(start)
 			s.metrics.observe(endpoint, rec.status, d)
+			root.Set(obs.Int("status", rec.status))
+			tr.EndAll()
+			if ringEndpoints[endpoint] {
+				s.traces.Add(tr)
+			}
+			tr.Log(s.log)
 			s.log.Info("request",
 				"requestId", id,
 				"method", r.Method,

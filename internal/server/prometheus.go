@@ -1,0 +1,147 @@
+package server
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Prometheus text exposition (version 0.0.4) for the daemon's metrics.
+// The JSON /metrics body remains the default; this renderer is
+// selected with ?format=prometheus or an Accept header preferring
+// text/plain (see handleMetrics). Everything here reads the same
+// counters the JSON path reads — there is no second bookkeeping
+// layer — and histograms go through latencyHist.Snapshot so the
+// _count, _sum and _bucket series of one scrape are mutually
+// consistent.
+
+// prometheusContentType is the exposition-format content type scrapers
+// expect.
+const prometheusContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// escapeLabelValue escapes a Prometheus label value per the exposition
+// format: backslash, double quote and newline.
+func escapeLabelValue(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// mapCounters snapshots an expvar.Map of expvar.Int counters into
+// sorted (key, value) pairs, so the exposition is deterministic.
+func mapCounters(m *expvar.Map) []struct {
+	Key   string
+	Value int64
+} {
+	var out []struct {
+		Key   string
+		Value int64
+	}
+	m.Do(func(kv expvar.KeyValue) {
+		if v, ok := kv.Value.(*expvar.Int); ok {
+			out = append(out, struct {
+				Key   string
+				Value int64
+			}{kv.Key, v.Value()})
+		}
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// WritePrometheus renders every metric in Prometheus text exposition
+// format. Series within a family are sorted by label value.
+func (m *Metrics) WritePrometheus(w io.Writer) {
+	fmt.Fprintln(w, "# HELP budgetwfd_requests_total Requests received, by endpoint.")
+	fmt.Fprintln(w, "# TYPE budgetwfd_requests_total counter")
+	for _, c := range mapCounters(m.requests) {
+		fmt.Fprintf(w, "budgetwfd_requests_total{endpoint=%q} %d\n", escapeLabelValue(c.Key), c.Value)
+	}
+
+	fmt.Fprintln(w, "# HELP budgetwfd_responses_total Responses sent, by HTTP status.")
+	fmt.Fprintln(w, "# TYPE budgetwfd_responses_total counter")
+	for _, c := range mapCounters(m.statuses) {
+		fmt.Fprintf(w, "budgetwfd_responses_total{status=%q} %d\n", escapeLabelValue(c.Key), c.Value)
+	}
+
+	fmt.Fprintln(w, "# HELP budgetwfd_schedule_algorithms_total Schedule requests (cache hits included), by algorithm.")
+	fmt.Fprintln(w, "# TYPE budgetwfd_schedule_algorithms_total counter")
+	for _, c := range mapCounters(m.algorithms) {
+		fmt.Fprintf(w, "budgetwfd_schedule_algorithms_total{algorithm=%q} %d\n", escapeLabelValue(c.Key), c.Value)
+	}
+
+	fmt.Fprintln(w, "# HELP budgetwfd_panics_total Handler panics recovered by the middleware.")
+	fmt.Fprintln(w, "# TYPE budgetwfd_panics_total counter")
+	fmt.Fprintf(w, "budgetwfd_panics_total %d\n", m.panics.Value())
+
+	m.writePrometheusHistograms(w)
+
+	fmt.Fprintln(w, "# HELP budgetwfd_cache_hits_total Plan-cache hits.")
+	fmt.Fprintln(w, "# TYPE budgetwfd_cache_hits_total counter")
+	fmt.Fprintf(w, "budgetwfd_cache_hits_total %d\n", m.cache.Hits())
+	fmt.Fprintln(w, "# HELP budgetwfd_cache_misses_total Plan-cache misses.")
+	fmt.Fprintln(w, "# TYPE budgetwfd_cache_misses_total counter")
+	fmt.Fprintf(w, "budgetwfd_cache_misses_total %d\n", m.cache.Misses())
+	fmt.Fprintln(w, "# HELP budgetwfd_cache_entries Plan-cache resident entries.")
+	fmt.Fprintln(w, "# TYPE budgetwfd_cache_entries gauge")
+	fmt.Fprintf(w, "budgetwfd_cache_entries %d\n", m.cache.Len())
+	fmt.Fprintln(w, "# HELP budgetwfd_cache_enabled Whether the plan cache is enabled (1) or disabled (0).")
+	fmt.Fprintln(w, "# TYPE budgetwfd_cache_enabled gauge")
+	enabled := 0
+	if m.cache.Enabled() {
+		enabled = 1
+	}
+	fmt.Fprintf(w, "budgetwfd_cache_enabled %d\n", enabled)
+
+	fmt.Fprintln(w, "# HELP budgetwfd_pool_queue_depth Admitted requests waiting for a worker.")
+	fmt.Fprintln(w, "# TYPE budgetwfd_pool_queue_depth gauge")
+	fmt.Fprintf(w, "budgetwfd_pool_queue_depth %d\n", m.pool.queueDepth())
+	fmt.Fprintln(w, "# HELP budgetwfd_pool_in_flight Requests currently executing on a worker.")
+	fmt.Fprintln(w, "# TYPE budgetwfd_pool_in_flight gauge")
+	fmt.Fprintf(w, "budgetwfd_pool_in_flight %d\n", m.pool.inFlightCount())
+}
+
+// writePrometheusHistograms renders the per-endpoint latency
+// histograms as one Prometheus histogram family with an endpoint
+// label, in seconds, with the cumulative _bucket/_sum/_count series
+// the format requires.
+func (m *Metrics) writePrometheusHistograms(w io.Writer) {
+	type entry struct {
+		endpoint string
+		snap     histSnapshot
+	}
+	var hists []entry
+	m.latencies.Do(func(kv expvar.KeyValue) {
+		if h, ok := kv.Value.(*latencyHist); ok {
+			hists = append(hists, entry{kv.Key, h.Snapshot()})
+		}
+	})
+	sort.Slice(hists, func(i, j int) bool { return hists[i].endpoint < hists[j].endpoint })
+
+	fmt.Fprintln(w, "# HELP budgetwfd_request_duration_seconds Request latency, by endpoint.")
+	fmt.Fprintln(w, "# TYPE budgetwfd_request_duration_seconds histogram")
+	for _, e := range hists {
+		ep := escapeLabelValue(e.endpoint)
+		cum := uint64(0)
+		for i, boundMs := range latencyBoundsMs {
+			cum += e.snap.Buckets[i]
+			fmt.Fprintf(w, "budgetwfd_request_duration_seconds_bucket{endpoint=%q,le=%q} %d\n",
+				ep, formatSeconds(boundMs/1e3), cum)
+		}
+		cum += e.snap.Buckets[len(latencyBoundsMs)]
+		fmt.Fprintf(w, "budgetwfd_request_duration_seconds_bucket{endpoint=%q,le=\"+Inf\"} %d\n", ep, cum)
+		fmt.Fprintf(w, "budgetwfd_request_duration_seconds_sum{endpoint=%q} %g\n", ep, e.snap.SumMs/1e3)
+		fmt.Fprintf(w, "budgetwfd_request_duration_seconds_count{endpoint=%q} %d\n", ep, e.snap.Count)
+	}
+}
+
+// formatSeconds renders a bucket bound the way Prometheus clients
+// expect: a plain decimal with no exponent and no trailing zeros
+// ("0.001", "0.25", "5").
+func formatSeconds(s float64) string {
+	out := fmt.Sprintf("%.3f", s)
+	out = strings.TrimRight(out, "0")
+	out = strings.TrimSuffix(out, ".")
+	return out
+}

@@ -38,6 +38,8 @@ import (
 	"runtime"
 	"sync/atomic"
 	"time"
+
+	"budgetwf/internal/obs"
 )
 
 // Config parameterizes a Server. The zero value is usable: every
@@ -62,6 +64,10 @@ type Config struct {
 	MaxBodyBytes int64
 	// EnablePprof mounts net/http/pprof under /debug/pprof/.
 	EnablePprof bool
+	// TraceRingSize bounds how many recent request traces are retained
+	// for GET /v1/traces/{requestId}; default 64, -1 disables retention
+	// (inline ?trace=1 responses still work).
+	TraceRingSize int
 	// Logger receives structured request logs; default JSON to stderr.
 	Logger *slog.Logger
 }
@@ -92,6 +98,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxBodyBytes == 0 {
 		c.MaxBodyBytes = 32 << 20
 	}
+	if c.TraceRingSize == 0 {
+		c.TraceRingSize = 64
+	}
 	if c.Logger == nil {
 		c.Logger = slog.New(slog.NewJSONHandler(os.Stderr, nil))
 	}
@@ -105,6 +114,7 @@ type Server struct {
 	pool    *workerPool
 	cache   *planCache
 	metrics *Metrics
+	traces  *obs.Ring
 	mux     *http.ServeMux
 	ready   atomic.Bool
 	reqSeq  atomic.Uint64
@@ -118,11 +128,12 @@ type Server struct {
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:   cfg,
-		log:   cfg.Logger,
-		pool:  newWorkerPool(cfg.Workers, cfg.QueueDepth),
-		cache: newPlanCache(cfg.CacheSize),
-		nonce: fmt.Sprintf("%x", time.Now().UnixNano()&0xffffff),
+		cfg:    cfg,
+		log:    cfg.Logger,
+		pool:   newWorkerPool(cfg.Workers, cfg.QueueDepth),
+		cache:  newPlanCache(cfg.CacheSize),
+		traces: obs.NewRing(cfg.TraceRingSize),
+		nonce:  fmt.Sprintf("%x", time.Now().UnixNano()&0xffffff),
 	}
 	s.metrics = newMetrics(s.cache, s.pool)
 	s.mux = http.NewServeMux()
@@ -137,6 +148,8 @@ func (s *Server) routes() {
 	s.mux.Handle("GET /readyz", s.wrap("readyz", s.handleReadyz))
 	s.mux.Handle("GET /v1/algorithms", s.wrap("algorithms", s.handleAlgorithms))
 	s.mux.Handle("GET /metrics", s.wrap("metrics", s.handleMetrics))
+	s.mux.Handle("GET /v1/traces", s.wrap("traces", s.handleTraceList))
+	s.mux.Handle("GET /v1/traces/{id}", s.wrap("traces", s.handleTraceGet))
 	s.mux.Handle("POST /v1/schedule", s.wrap("schedule", s.handleSchedule))
 	s.mux.Handle("POST /v1/simulate", s.wrap("simulate", s.handleSimulate))
 	s.mux.Handle("POST /v1/sweep", s.wrap("sweep", s.handleSweep))

@@ -1,0 +1,255 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"budgetwf/internal/obs"
+)
+
+// spanNames collects every span name in the tree, depth-first.
+func spanNames(s *obs.SpanJSON, into *[]string) {
+	*into = append(*into, s.Name)
+	for _, c := range s.Children {
+		spanNames(c, into)
+	}
+}
+
+// countEvents tallies events named name across the tree.
+func countEvents(s *obs.SpanJSON, name string) int {
+	n := 0
+	for _, e := range s.Events {
+		if e.Name == name {
+			n++
+		}
+	}
+	for _, c := range s.Children {
+		n += countEvents(c, name)
+	}
+	return n
+}
+
+func hasSpan(s *obs.SpanJSON, name string) bool {
+	if s.Name == name {
+		return true
+	}
+	for _, c := range s.Children {
+		if hasSpan(c, name) {
+			return true
+		}
+	}
+	return false
+}
+
+// TestScheduleTraceRoundtrip is the daemon acceptance roundtrip: a
+// traced schedule request returns the span tree inline — root span,
+// plan child, the planner's per-task budget-guard events — and the
+// same tree is retrievable afterwards via GET /v1/traces/{requestId}.
+func TestScheduleTraceRoundtrip(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	const n = 20
+	wfJSON := workflowJSON(t, n, 5)
+	code, data, _ := post(t, ts, "/v1/schedule?trace=1", scheduleBody(t, wfJSON, "heftbudg+", 50))
+	if code != http.StatusOK {
+		t.Fatalf("schedule = %d: %s", code, data)
+	}
+	var resp scheduleResponse
+	if err := json.Unmarshal(data, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Trace == nil || resp.Trace.Root == nil {
+		t.Fatalf("?trace=1 response has no trace: %s", data)
+	}
+	if resp.Trace.ID != resp.RequestID {
+		t.Errorf("trace id %q != request id %q", resp.Trace.ID, resp.RequestID)
+	}
+	for _, want := range []string{"schedule", "plan", "plan:heftbudg+", "refine", "simulate-deterministic"} {
+		if !hasSpan(resp.Trace.Root, want) {
+			var names []string
+			spanNames(resp.Trace.Root, &names)
+			t.Fatalf("inline trace missing span %q (have %v)", want, names)
+		}
+	}
+	if got := countEvents(resp.Trace.Root, "budget-guard"); got != n {
+		t.Errorf("inline trace has %d budget-guard events, want %d", got, n)
+	}
+
+	// The same tree, by request ID, after the response went out.
+	code, data = get(t, ts, "/v1/traces/"+resp.RequestID)
+	if code != http.StatusOK {
+		t.Fatalf("GET /v1/traces/%s = %d: %s", resp.RequestID, code, data)
+	}
+	var stored obs.TraceJSON
+	if err := json.Unmarshal(data, &stored); err != nil {
+		t.Fatal(err)
+	}
+	var inlineNames, storedNames []string
+	spanNames(resp.Trace.Root, &inlineNames)
+	spanNames(stored.Root, &storedNames)
+	if len(inlineNames) != len(storedNames) {
+		t.Fatalf("stored tree shape differs: inline %v vs stored %v", inlineNames, storedNames)
+	}
+	for i := range inlineNames {
+		if inlineNames[i] != storedNames[i] {
+			t.Fatalf("stored tree shape differs at %d: %q vs %q", i, inlineNames[i], storedNames[i])
+		}
+	}
+	if got := countEvents(stored.Root, "budget-guard"); got != n {
+		t.Errorf("stored trace has %d budget-guard events, want %d", got, n)
+	}
+
+	// The listing names the request.
+	code, data = get(t, ts, "/v1/traces")
+	if code != http.StatusOK {
+		t.Fatalf("GET /v1/traces = %d", code)
+	}
+	var list struct {
+		Traces []string `json:"traces"`
+	}
+	if err := json.Unmarshal(data, &list); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, id := range list.Traces {
+		if id == resp.RequestID {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("trace list %v does not name %s", list.Traces, resp.RequestID)
+	}
+
+	// Unknown IDs are 404s.
+	if code, _ := get(t, ts, "/v1/traces/nope"); code != http.StatusNotFound {
+		t.Errorf("GET /v1/traces/nope = %d, want 404", code)
+	}
+}
+
+// TestScheduleWithoutTraceOmitsTree: the default path carries no trace
+// field, and a cache hit with ?trace=1 reports the hit as an event.
+func TestScheduleWithoutTraceOmitsTree(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	wfJSON := workflowJSON(t, 15, 6)
+	body := scheduleBody(t, wfJSON, "heftbudg", 50)
+	code, data, _ := post(t, ts, "/v1/schedule", body)
+	if code != http.StatusOK {
+		t.Fatalf("schedule = %d: %s", code, data)
+	}
+	var raw map[string]json.RawMessage
+	if err := json.Unmarshal(data, &raw); err != nil {
+		t.Fatal(err)
+	}
+	if _, present := raw["trace"]; present {
+		t.Errorf("untraced response carries a trace field")
+	}
+
+	// Identical request → cache hit; traced, the hit shows as an event.
+	code, data, _ = post(t, ts, "/v1/schedule?trace=1", body)
+	if code != http.StatusOK {
+		t.Fatalf("schedule (cached) = %d: %s", code, data)
+	}
+	var resp scheduleResponse
+	if err := json.Unmarshal(data, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Cached {
+		t.Fatalf("second identical request not cached")
+	}
+	if resp.Trace == nil || countEvents(resp.Trace.Root, "cache-hit") != 1 {
+		t.Errorf("cached traced response lacks the cache-hit event")
+	}
+}
+
+// TestSimulateFaultTraceHasCrashEvents: a traced fault-injection
+// simulate carries per-replication spans whose events include the
+// fault lifecycle (here: boot failures and vetoed recoveries).
+func TestSimulateFaultTraceHasCrashEvents(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	wfJSON, schedJSON := plannedPair(t, ts, 15, 11)
+	body, _ := json.Marshal(map[string]any{
+		"workflow":     wfJSON,
+		"schedule":     schedJSON,
+		"replications": 3,
+		"seed":         42,
+		"budget":       0.0001,
+		"faults": map[string]any{
+			"bootFailProb": 0.999,
+			"maxRetries":   1,
+			"seed":         7,
+		},
+	})
+	code, data, _ := post(t, ts, "/v1/simulate?trace=1", body)
+	if code != http.StatusOK {
+		t.Fatalf("simulate = %d: %s", code, data)
+	}
+	var resp simulateResponse
+	if err := json.Unmarshal(data, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Trace == nil {
+		t.Fatalf("traced simulate has no trace")
+	}
+	if !hasSpan(resp.Trace.Root, "simulate-batch") || !hasSpan(resp.Trace.Root, "replication") {
+		var names []string
+		spanNames(resp.Trace.Root, &names)
+		t.Fatalf("simulate trace lacks batch/replication spans: %v", names)
+	}
+	if got := countEvents(resp.Trace.Root, "boot-failure"); got == 0 {
+		t.Errorf("doomed boots produced no boot-failure events")
+	}
+	if got := countEvents(resp.Trace.Root, "recovery-vetoed"); got == 0 {
+		t.Errorf("tight budget produced no recovery-vetoed events")
+	}
+}
+
+// TestSimulatePlainTraceHasReplicationSpans: without faults the traced
+// batch uses the Runner's per-replication spans.
+func TestSimulatePlainTraceHasReplicationSpans(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	wfJSON, schedJSON := plannedPair(t, ts, 15, 3)
+	body, _ := json.Marshal(map[string]any{
+		"workflow":     wfJSON,
+		"schedule":     schedJSON,
+		"replications": 4,
+		"seed":         1,
+	})
+	code, data, _ := post(t, ts, "/v1/simulate?trace=1", body)
+	if code != http.StatusOK {
+		t.Fatalf("simulate = %d: %s", code, data)
+	}
+	var resp simulateResponse
+	if err := json.Unmarshal(data, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Trace == nil {
+		t.Fatalf("traced simulate has no trace")
+	}
+	reps := 0
+	var count func(s *obs.SpanJSON)
+	count = func(s *obs.SpanJSON) {
+		if s.Name == "replication" {
+			reps++
+		}
+		for _, c := range s.Children {
+			count(c)
+		}
+	}
+	count(resp.Trace.Root)
+	if reps != 4 {
+		t.Errorf("replication spans = %d, want 4", reps)
+	}
+}

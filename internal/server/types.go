@@ -8,6 +8,7 @@ import (
 	"math"
 
 	"budgetwf/internal/fault"
+	"budgetwf/internal/obs"
 	"budgetwf/internal/plan"
 	"budgetwf/internal/platform"
 	"budgetwf/internal/stats"
@@ -60,6 +61,11 @@ type scheduleResponse struct {
 	Cached     bool    `json:"cached"`
 	PlanMillis float64 `json:"planMillis"`
 	RequestID  string  `json:"requestId"`
+	// Trace is the request's span tree — including the planner's
+	// per-task decision events — present only when the request asked
+	// for it with ?trace=1. The same tree is retrievable afterwards via
+	// GET /v1/traces/{requestId}.
+	Trace *obs.TraceJSON `json:"trace,omitempty"`
 }
 
 // simulateRequest is the body of POST /v1/simulate.
@@ -119,6 +125,10 @@ type simulateResponse struct {
 	// when the request carried a faults spec.
 	Faults    *faultSummaryJSON `json:"faults,omitempty"`
 	RequestID string            `json:"requestId"`
+	// Trace is the request's span tree — per-replication spans, and
+	// under fault injection the crash/recovery event stream — present
+	// only when the request asked for it with ?trace=1.
+	Trace *obs.TraceJSON `json:"trace,omitempty"`
 }
 
 // faultSummaryJSON aggregates fault-injection outcomes across the

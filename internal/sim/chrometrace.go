@@ -1,49 +1,33 @@
 package sim
 
 import (
-	"encoding/json"
 	"fmt"
 	"io"
 
+	"budgetwf/internal/obs"
 	"budgetwf/internal/plan"
 	"budgetwf/internal/wf"
 )
 
-// chromeEvent is one entry of the Chrome trace-event format, the JSON
-// consumed by chrome://tracing and Perfetto. Durations use the "X"
-// (complete event) phase; timestamps are microseconds.
-type chromeEvent struct {
-	Name string                 `json:"name"`
-	Cat  string                 `json:"cat,omitempty"`
-	Ph   string                 `json:"ph"`
-	TS   float64                `json:"ts"`
-	Dur  float64                `json:"dur,omitempty"`
-	PID  int                    `json:"pid"`
-	TID  int                    `json:"tid"`
-	Args map[string]interface{} `json:"args,omitempty"`
-}
-
-type chromeTrace struct {
-	TraceEvents     []chromeEvent `json:"traceEvents"`
-	DisplayTimeUnit string        `json:"displayTimeUnit"`
-}
-
 // WriteChromeTrace exports the execution as a Chrome trace-event JSON
 // document: one timeline row per VM, with boot, staging and compute
 // intervals, loadable in chrome://tracing or https://ui.perfetto.dev.
+// The document types are shared with the span tracer (internal/obs),
+// so a planner trace and a VM timeline can be merged into one file.
 func (r *Result) WriteChromeTrace(w io.Writer, workflow *wf.Workflow, s *plan.Schedule) error {
+	return r.ChromeTrace(workflow, s).Write(w)
+}
+
+// ChromeTrace builds the VM-timeline trace-event document.
+func (r *Result) ChromeTrace(workflow *wf.Workflow, s *plan.Schedule) *obs.ChromeTrace {
 	const us = 1e6 // simulation seconds → trace microseconds
-	trace := chromeTrace{DisplayTimeUnit: "ms"}
+	trace := &obs.ChromeTrace{DisplayTimeUnit: "ms"}
 
 	for vmIdx, vm := range r.VMs {
-		trace.TraceEvents = append(trace.TraceEvents, chromeEvent{
-			Name: "thread_name", Ph: "M", PID: 0, TID: vmIdx,
-			Args: map[string]interface{}{
-				"name": fmt.Sprintf("vm%d (cat %d)", vmIdx, vm.Cat),
-			},
-		})
+		trace.TraceEvents = append(trace.TraceEvents,
+			obs.MetaThreadName(0, vmIdx, fmt.Sprintf("vm%d (cat %d)", vmIdx, vm.Cat)))
 		if vm.Start > vm.Book {
-			trace.TraceEvents = append(trace.TraceEvents, chromeEvent{
+			trace.TraceEvents = append(trace.TraceEvents, obs.ChromeEvent{
 				Name: "boot", Cat: "vm", Ph: "X",
 				TS: vm.Book * us, Dur: (vm.Start - vm.Book) * us,
 				PID: 0, TID: vmIdx,
@@ -55,19 +39,18 @@ func (r *Result) WriteChromeTrace(w io.Writer, workflow *wf.Workflow, s *plan.Sc
 		vm := s.TaskVM[t]
 		name := workflow.Task(wf.TaskID(t)).Name
 		if tt.ComputeStart > tt.StageStart {
-			trace.TraceEvents = append(trace.TraceEvents, chromeEvent{
+			trace.TraceEvents = append(trace.TraceEvents, obs.ChromeEvent{
 				Name: name + " (stage)", Cat: "staging", Ph: "X",
 				TS: tt.StageStart * us, Dur: (tt.ComputeStart - tt.StageStart) * us,
 				PID: 0, TID: vm,
 			})
 		}
-		trace.TraceEvents = append(trace.TraceEvents, chromeEvent{
+		trace.TraceEvents = append(trace.TraceEvents, obs.ChromeEvent{
 			Name: name, Cat: "compute", Ph: "X",
 			TS: tt.ComputeStart * us, Dur: (tt.Finish - tt.ComputeStart) * us,
 			PID: 0, TID: vm,
-			Args: map[string]interface{}{"task": t},
+			Args: map[string]any{"task": t},
 		})
 	}
-	enc := json.NewEncoder(w)
-	return enc.Encode(trace)
+	return trace
 }

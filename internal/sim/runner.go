@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 
+	"budgetwf/internal/obs"
 	"budgetwf/internal/plan"
 	"budgetwf/internal/platform"
 	"budgetwf/internal/rng"
@@ -27,6 +28,18 @@ type Runner struct {
 	eng   *engine
 	dists []stoch.Dist // per-task weight distributions, cached once
 	buf   []float64    // scratch realized weights for RunStochastic
+
+	span *obs.Span // optional tracing parent, see SetSpan
+	reps int       // executions since SetSpan, numbers the children
+}
+
+// SetSpan attaches a tracing span to the Runner: every subsequent
+// execution opens a numbered "replication" child span recording the
+// realized makespan, total cost and VM count (internal/obs). A nil
+// span — the default — keeps Run at a single pointer check.
+func (r *Runner) SetSpan(s *obs.Span) {
+	r.span = s
+	r.reps = 0
 }
 
 // NewRunner validates the (workflow, platform, schedule) triple once
@@ -56,7 +69,22 @@ func (r *Runner) Run(weights []float64) (*Result, error) {
 	if err := r.eng.reset(weights); err != nil {
 		return nil, err
 	}
-	return r.eng.run()
+	if r.span == nil {
+		return r.eng.run()
+	}
+	sp := r.span.Child("replication")
+	sp.Set(obs.Int("rep", r.reps))
+	r.reps++
+	res, err := r.eng.run()
+	if err != nil {
+		sp.Set(obs.Str("error", err.Error()))
+	} else {
+		sp.Set(obs.Float("makespan", res.Makespan),
+			obs.Float("cost", res.TotalCost),
+			obs.Int("vms", res.NumVMs()))
+	}
+	sp.End()
+	return res, err
 }
 
 // RunStochastic samples every task weight from its distribution and

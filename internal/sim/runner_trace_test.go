@@ -1,0 +1,60 @@
+package sim
+
+import (
+	"testing"
+
+	"budgetwf/internal/obs"
+	"budgetwf/internal/plan"
+	"budgetwf/internal/stoch"
+	"budgetwf/internal/wf"
+)
+
+// TestRunnerReplicationSpans checks that a Runner with an attached
+// span opens one numbered "replication" child per execution carrying
+// the realized makespan, and that detaching returns the hot path to a
+// pointer check.
+func TestRunnerReplicationSpans(t *testing.T) {
+	w := wf.New("r")
+	a := w.AddTask("a", stoch.Dist{Mean: 100})
+	b := w.AddTask("b", stoch.Dist{Mean: 50})
+	w.MustAddEdge(a, b, 40)
+	s := plan.New(2)
+	s.ListT = []wf.TaskID{a, b}
+	s.Assign(a, s.AddVM(0))
+	s.Assign(b, s.AddVM(0))
+
+	r, err := NewRunner(w, testPlatform(), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := obs.New("batch")
+	r.SetSpan(tr.Root())
+	const reps = 3
+	for i := 0; i < reps; i++ {
+		if _, err := r.RunDeterministic(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r.SetSpan(nil)
+	if _, err := r.RunDeterministic(); err != nil {
+		t.Fatal(err)
+	}
+	tr.EndAll()
+
+	root := tr.Tree().Root
+	if len(root.Children) != reps {
+		t.Fatalf("replication children = %d, want %d", len(root.Children), reps)
+	}
+	for i, c := range root.Children {
+		if c.Name != "replication" {
+			t.Fatalf("child %d named %q", i, c.Name)
+		}
+		if got := c.Attrs["rep"]; got != int64(i) {
+			t.Errorf("child %d rep attr = %v (%T)", i, got, got)
+		}
+		ms, ok := c.Attrs["makespan"].(float64)
+		if !ok || ms <= 0 {
+			t.Errorf("child %d makespan attr = %v", i, c.Attrs["makespan"])
+		}
+	}
+}
