@@ -10,10 +10,23 @@
 //	budgetwfd -pprof                     # also mount /debug/pprof/ on the API listener
 //	budgetwfd -debug-addr 127.0.0.1:6060 # pprof + expvar on a separate private listener
 //
+// Cluster mode (see README "Running a cluster"): start shard workers
+// and point a coordinator at them —
+//
+//	budgetwfd -addr :9090 -worker                        # on each worker host
+//	budgetwfd -addr :8080 -peers http://w1:9090,http://w2:9090 -journal jobs.jsonl
+//
+// The coordinator decomposes campaigns POSTed to /v1/jobs into
+// deterministic shards, fans them out over the peers' POST /v1/shards,
+// and merges the partial aggregates bit-identically to a
+// single-process run. -worker only widens the default -timeout to 10m
+// (shards are long-running); every daemon always serves /v1/shards.
+//
 // The daemon applies admission control (429 + Retry-After when the
 // worker queue is full), caches plans by content hash, publishes
 // expvar metrics under "budgetwfd" (also at GET /metrics), and drains
-// gracefully on SIGINT/SIGTERM.
+// gracefully on SIGINT/SIGTERM — in-flight async jobs are re-queued to
+// the -journal so the next start resumes them.
 package main
 
 import (
@@ -25,6 +38,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -49,8 +63,15 @@ func run(args []string) error {
 	debugAddr := fs.String("debug-addr", "", "serve net/http/pprof and expvar on this separate listener (unauthenticated; bind to localhost or a private interface only)")
 	traceRing := fs.Int("trace-ring", 64, "recent request traces retained for GET /v1/traces/{id} (-1 = disable retention)")
 	drain := fs.Duration("drain", 10*time.Second, "graceful shutdown grace period")
+	workerMode := fs.Bool("worker", false, "shard-worker mode: widen the default -timeout to 10m for long-running shards")
+	peers := fs.String("peers", "", "comma-separated worker base URLs to shard async jobs across (e.g. http://w1:9090,http://w2:9090)")
+	journal := fs.String("journal", "", "async-job journal path; jobs survive crashes and draining restarts")
+	maxJobs := fs.Int("max-jobs", 0, "retained async-job records (0 = default 256)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *workerMode && !flagSet(fs, "timeout") {
+		*timeout = 10 * time.Minute
 	}
 
 	srv := server.New(server.Config{
@@ -61,8 +82,17 @@ func run(args []string) error {
 		RequestTimeout: *timeout,
 		EnablePprof:    *pprofOn,
 		TraceRingSize:  *traceRing,
+		Peers:          splitPeers(*peers),
+		JournalPath:    *journal,
+		MaxJobs:        *maxJobs,
 	})
 	srv.PublishExpvar("budgetwfd")
+	if ps := splitPeers(*peers); len(ps) > 0 {
+		fmt.Fprintf(os.Stderr, "budgetwfd: coordinating %d shard workers: %s\n", len(ps), strings.Join(ps, ", "))
+	}
+	if *workerMode {
+		fmt.Fprintf(os.Stderr, "budgetwfd: worker mode, request timeout %s\n", *timeout)
+	}
 
 	if *debugAddr != "" {
 		dbg := newDebugServer(*debugAddr)
@@ -96,6 +126,29 @@ func run(args []string) error {
 		}
 		return nil
 	}
+}
+
+// splitPeers parses the -peers list, trimming blanks so a trailing
+// comma is harmless.
+func splitPeers(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, strings.TrimRight(p, "/"))
+		}
+	}
+	return out
+}
+
+// flagSet reports whether the user set the named flag explicitly.
+func flagSet(fs *flag.FlagSet, name string) bool {
+	set := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
 }
 
 // newDebugServer builds the optional -debug-addr listener: the full

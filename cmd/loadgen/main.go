@@ -5,9 +5,16 @@
 // admission control (429s under a small pool) and the plan cache
 // (most repeats served as hits).
 //
+// With -jobs it instead exercises the async-job subsystem: it submits
+// sweep campaigns to POST /v1/jobs, polls each job with the same
+// capped+jittered backoff it uses for 429s until the job is terminal,
+// and reports end-to-end job latency percentiles plus the dedupe rate
+// (repeated specs collapse onto one job, like cache hits).
+//
 // Usage:
 //
 //	loadgen -url http://localhost:8080 -n 200 -c 16 -distinct 4
+//	loadgen -url http://localhost:8080 -jobs -n 8 -c 4 -distinct 4
 package main
 
 import (
@@ -45,11 +52,16 @@ func run(args []string, stdout io.Writer) error {
 	alg := fs.String("alg", "heftbudg", "algorithm to request")
 	retries := fs.Int("retries", 3, "retries per request after a 429 (0 disables)")
 	retryCap := fs.Duration("retry-cap", 10*time.Second, "ceiling on a single retry backoff sleep")
+	jobsMode := fs.Bool("jobs", false, "async-job mode: submit sweep campaigns to /v1/jobs and poll to completion")
+	jobTimeout := fs.Duration("job-timeout", 5*time.Minute, "give up polling a job after this long")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *distinct < 1 {
 		*distinct = 1
+	}
+	if *jobsMode {
+		return runJobs(stdout, *baseURL, *total, *conc, *distinct, *size, *retryCap, *jobTimeout)
 	}
 
 	// Pre-render the request bodies: distinct Montage instances, each
@@ -169,6 +181,143 @@ func run(args []string, stdout io.Writer) error {
 	fmt.Fprintf(stdout, "  latency p50=%v p90=%v p99=%v max=%v\n", pct(0.50), pct(0.90), pct(0.99), pct(1.0))
 	if s5 := statuses[500]; s5 > 0 {
 		return fmt.Errorf("%d requests returned 500", s5)
+	}
+	return nil
+}
+
+// runJobs is the -jobs mode: n async sweep-job submissions with
+// distinct seed specs (repeats past -distinct dedupe server-side onto
+// the same job id), each polled to a terminal state with the shared
+// capped+jittered backoff, reporting end-to-end job latency.
+func runJobs(stdout io.Writer, baseURL string, total, conc, distinct, size int, retryCap, jobTimeout time.Duration) error {
+	type jobResult struct {
+		state   string
+		deduped bool
+		polls   int
+		latency time.Duration
+		err     error
+	}
+	client := &http.Client{Timeout: 60 * time.Second}
+	results := make([]jobResult, total)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, conc)
+	start := time.Now()
+	for i := 0; i < total; i++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			rnd := rand.New(rand.NewSource(int64(i) + 1))
+			// A deliberately small sweep so the run is about the job
+			// machinery, not the experiment; the seed cycles through
+			// -distinct values so repeats hit the dedupe path.
+			body, _ := json.Marshal(map[string]any{
+				"kind": "sweep",
+				"sweep": map[string]any{
+					"workflowType": "montage",
+					"n":            size,
+					"gridK":        2,
+					"instances":    1,
+					"replications": 2,
+					"seed":         1000 + i%distinct,
+				},
+			})
+			t0 := time.Now()
+			resp, err := client.Post(baseURL+"/v1/jobs", "application/json", bytes.NewReader(body))
+			if err != nil {
+				results[i] = jobResult{err: err}
+				return
+			}
+			var sub struct {
+				JobID   string `json:"jobId"`
+				Deduped bool   `json:"deduped"`
+			}
+			raw, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusAccepted {
+				results[i] = jobResult{err: fmt.Errorf("submit: status %d: %s", resp.StatusCode, raw)}
+				return
+			}
+			if err := json.Unmarshal(raw, &sub); err != nil || sub.JobID == "" {
+				results[i] = jobResult{err: fmt.Errorf("submit: bad body %q", raw)}
+				return
+			}
+			// Poll with the same backoff schedule used for 429s: no
+			// Retry-After hint, so 100ms doubling to the cap, jittered.
+			deadline := time.Now().Add(jobTimeout)
+			for attempt := 0; ; attempt++ {
+				if time.Now().After(deadline) {
+					results[i] = jobResult{state: "timeout", deduped: sub.Deduped, polls: attempt, err: fmt.Errorf("job %s: not terminal after %v", sub.JobID, jobTimeout)}
+					return
+				}
+				time.Sleep(retryDelay("", attempt, retryCap, rnd, time.Now()))
+				st, err := client.Get(baseURL + "/v1/jobs/" + sub.JobID)
+				if err != nil {
+					results[i] = jobResult{err: err, polls: attempt + 1}
+					return
+				}
+				var view struct {
+					State string `json:"state"`
+					Error string `json:"error"`
+				}
+				raw, _ := io.ReadAll(st.Body)
+				st.Body.Close()
+				if err := json.Unmarshal(raw, &view); err != nil {
+					results[i] = jobResult{err: fmt.Errorf("poll: bad body %q", raw), polls: attempt + 1}
+					return
+				}
+				switch view.State {
+				case "done", "failed", "cancelled":
+					r := jobResult{state: view.State, deduped: sub.Deduped, polls: attempt + 1, latency: time.Since(t0)}
+					if view.Error != "" {
+						r.err = fmt.Errorf("job %s: %s", sub.JobID, view.Error)
+					}
+					results[i] = r
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	states := map[string]int{}
+	deduped, errs, polls := 0, 0, 0
+	var lats []time.Duration
+	for _, r := range results {
+		polls += r.polls
+		if r.deduped {
+			deduped++
+		}
+		if r.err != nil {
+			errs++
+		}
+		if r.state != "" {
+			states[r.state]++
+		}
+		if r.state == "done" {
+			lats = append(lats, r.latency)
+		}
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	pct := func(p float64) time.Duration { return percentile(lats, p) }
+
+	fmt.Fprintf(stdout, "loadgen -jobs: %d submissions, concurrency %d, %d distinct specs, %.2fs wall\n",
+		total, conc, distinct, elapsed.Seconds())
+	var names []string
+	for s := range states {
+		names = append(names, s)
+	}
+	sort.Strings(names)
+	for _, s := range names {
+		fmt.Fprintf(stdout, "  %s: %d\n", s, states[s])
+	}
+	fmt.Fprintf(stdout, "  deduped submissions: %d\n", deduped)
+	fmt.Fprintf(stdout, "  polls: %d total\n", polls)
+	fmt.Fprintf(stdout, "  job e2e latency p50=%v p90=%v p99=%v max=%v\n", pct(0.50), pct(0.90), pct(0.99), pct(1.0))
+	if errs > 0 {
+		return fmt.Errorf("%d jobs errored", errs)
 	}
 	return nil
 }

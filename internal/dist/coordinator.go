@@ -1,0 +1,521 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"budgetwf/internal/exp"
+	"budgetwf/internal/obs"
+	"budgetwf/internal/sched"
+)
+
+// Coordinator decomposes a campaign into deterministic shards and
+// farms them out to workers over HTTP. The zero value (no Workers)
+// executes everything locally through the same shard path, so results
+// are byte-for-byte independent of the fleet size — including zero.
+//
+// Failure policy, in escalation order: a failed or slow worker is
+// benched with capped jittered exponential backoff (a 429 benches it
+// for exactly its Retry-After); the failed shard is split in half when
+// it spans more than one unit, so its work redistributes across the
+// surviving fleet; and a shard that exhausts MaxAttempts runs on the
+// coordinator itself. The local fallback is what closes the guarantee
+// that a killed worker never loses a shard.
+type Coordinator struct {
+	// Workers is the base URLs of shard workers ("http://host:9090").
+	// Empty means run everything locally.
+	Workers []string
+	// Client issues the shard requests; nil uses http.DefaultClient.
+	Client *http.Client
+	// MaxInFlight bounds concurrently dispatched shards; default
+	// 2×len(Workers).
+	MaxInFlight int
+	// UnitsPerShard sets the shard granularity; default sizes shards
+	// so each worker receives about four.
+	UnitsPerShard int
+	// RepBlock is the replication-block size of the unit grid; 0 keeps
+	// each cell's replications together (coarsest split).
+	RepBlock int
+	// MaxAttempts is the remote attempts per shard before the local
+	// fallback; default 3.
+	MaxAttempts int
+	// RetryBase and RetryCap shape the per-worker backoff bench;
+	// defaults 200ms and 10s.
+	RetryBase time.Duration
+	RetryCap  time.Duration
+	// ShardTimeout bounds one remote shard attempt; default 10m.
+	ShardTimeout time.Duration
+	// LocalWorkers bounds local execution parallelism (fallback and
+	// the no-workers path); 0 means GOMAXPROCS.
+	LocalWorkers int
+	// Logf, when set, receives retry/split/fallback diagnostics.
+	Logf func(format string, args ...any)
+
+	pick int64      // round-robin cursor
+	mu   sync.Mutex // guards bench
+	// bench maps worker index → time before which it is not offered
+	// work again.
+	bench map[int]time.Time
+}
+
+// RunOptions attaches observability to one coordinator run.
+type RunOptions struct {
+	// Span, when non-nil, becomes the parent of one child span per
+	// shard attempt.
+	Span *obs.Span
+	// Progress, when non-nil, is called after each shard completes
+	// with cumulative finished units.
+	Progress func(doneUnits, totalUnits int)
+}
+
+// RunSweep executes the sweep across the fleet and merges the partial
+// aggregates; the result is bit-identical to exp.RunSweepCtx on the
+// same spec.
+func (c *Coordinator) RunSweep(ctx context.Context, spec *SweepSpec, opt RunOptions) (*exp.SweepResult, error) {
+	s := *spec
+	s.normalize()
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	sc, algs, gridK, err := s.Scenario()
+	if err != nil {
+		return nil, err
+	}
+	g := exp.SweepGridFor(sc, len(algs), gridK, c.RepBlock)
+	base := ShardRequest{Kind: KindSweep, Sweep: &s, RepBlock: c.RepBlock}
+	resp, err := c.runShards(ctx, base, g.Units(), opt)
+	if err != nil {
+		return nil, err
+	}
+	sc.Workers = 1 // merge is sequential; keep the echo deterministic
+	return exp.MergeSweepUnits(sc, algs, gridK, c.RepBlock, resp.SweepUnits)
+}
+
+// RunFaultSweep is RunSweep for λ-grid robustness sweeps.
+func (c *Coordinator) RunFaultSweep(ctx context.Context, spec *FaultSweepSpec, opt RunOptions) (*exp.FaultSweepResult, error) {
+	s := *spec
+	s.normalize()
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	sc, err := s.Scenario()
+	if err != nil {
+		return nil, err
+	}
+	g, err := exp.FaultGridFor(sc, c.RepBlock)
+	if err != nil {
+		return nil, err
+	}
+	base := ShardRequest{Kind: KindFaultSweep, FaultSweep: &s, RepBlock: c.RepBlock}
+	resp, err := c.runShards(ctx, base, g.Units(), opt)
+	if err != nil {
+		return nil, err
+	}
+	sc.Workers = 1
+	return exp.MergeFaultSweepUnits(sc, c.RepBlock, resp.FaultUnits)
+}
+
+// SweepRunner adapts the coordinator to exp.SweepRunner so figure
+// campaigns (exp.RunFigureSweepsUsing, cmd/paperfigs -workers) spread
+// their per-family sweeps over the fleet.
+func (c *Coordinator) SweepRunner(ctx context.Context, opt RunOptions) exp.SweepRunner {
+	return func(sc exp.Scenario, algs []sched.Algorithm, gridK int) (*exp.SweepResult, error) {
+		return c.RunSweep(ctx, SpecFromScenario(sc, algs, gridK), opt)
+	}
+}
+
+// SpecFromScenario builds the wire spec describing an in-process
+// scenario. Workers is deliberately dropped: local parallelism is each
+// executor's own business and never part of a campaign's identity.
+func SpecFromScenario(sc exp.Scenario, algs []sched.Algorithm, gridK int) *SweepSpec {
+	names := make([]string, len(algs))
+	for i, a := range algs {
+		names[i] = string(a.Name)
+	}
+	return &SweepSpec{
+		WorkflowType: string(sc.Type),
+		N:            sc.N,
+		SigmaRatio:   sc.SigmaRatio,
+		Algorithms:   names,
+		GridK:        gridK,
+		Instances:    sc.Instances,
+		Replications: sc.Reps,
+		Seed:         sc.Seed,
+		Platform:     sc.Platform,
+	}
+}
+
+func (c *Coordinator) logf(format string, args ...any) {
+	if c.Logf != nil {
+		c.Logf(format, args...)
+	}
+}
+
+func (c *Coordinator) maxAttempts() int {
+	if c.MaxAttempts > 0 {
+		return c.MaxAttempts
+	}
+	return 3
+}
+
+func (c *Coordinator) retryBase() time.Duration {
+	if c.RetryBase > 0 {
+		return c.RetryBase
+	}
+	return 200 * time.Millisecond
+}
+
+func (c *Coordinator) retryCap() time.Duration {
+	if c.RetryCap > 0 {
+		return c.RetryCap
+	}
+	return 10 * time.Second
+}
+
+func (c *Coordinator) shardTimeout() time.Duration {
+	if c.ShardTimeout > 0 {
+		return c.ShardTimeout
+	}
+	return 10 * time.Minute
+}
+
+func (c *Coordinator) client() *http.Client {
+	if c.Client != nil {
+		return c.Client
+	}
+	return http.DefaultClient
+}
+
+// backoff is the capped, jittered exponential bench for a worker with
+// fails consecutive failures: base·2^(fails-1), capped, with the upper
+// half jittered so a fleet of benched workers doesn't thunder back in
+// lockstep.
+func (c *Coordinator) backoff(fails int) time.Duration {
+	d := c.retryBase()
+	for i := 1; i < fails; i++ {
+		d *= 2
+		if d >= c.retryCap() {
+			break
+		}
+	}
+	if d > c.retryCap() {
+		d = c.retryCap()
+	}
+	half := d / 2
+	return half + time.Duration(rand.Int63n(int64(half)+1))
+}
+
+// shard is one outstanding unit range with its remote attempt count.
+type shard struct {
+	start, end int
+	attempts   int
+}
+
+// runShards drives the dispatch loop: a bounded set of dispatcher
+// goroutines pull shards from a shared queue, place them on benched-
+// aware round-robin workers, and feed failures back as retries,
+// splits, or local fallbacks. It returns only when every unit of
+// [0, total) has been computed exactly once, or on the first
+// unrecoverable error.
+func (c *Coordinator) runShards(ctx context.Context, base ShardRequest, total int, opt RunOptions) (*ShardResponse, error) {
+	merged := &ShardResponse{}
+	if total == 0 {
+		return merged, nil
+	}
+
+	// No fleet: one local shard over everything.
+	if len(c.Workers) == 0 {
+		span := opt.Span.Child("shard")
+		span.Set(obs.Str("mode", "local"), obs.Int("start", 0), obs.Int("end", total))
+		req := base
+		req.Start, req.End = 0, total
+		resp, err := ExecuteShard(ctx, &req, c.LocalWorkers)
+		span.End()
+		if err != nil {
+			return nil, err
+		}
+		if opt.Progress != nil {
+			opt.Progress(total, total)
+		}
+		return resp, nil
+	}
+
+	unitsPerShard := c.UnitsPerShard
+	if unitsPerShard <= 0 {
+		unitsPerShard = (total + 4*len(c.Workers) - 1) / (4 * len(c.Workers))
+	}
+	if unitsPerShard < 1 {
+		unitsPerShard = 1
+	}
+	inFlight := c.MaxInFlight
+	if inFlight <= 0 {
+		inFlight = 2 * len(c.Workers)
+	}
+
+	var (
+		mu          sync.Mutex
+		cond        = sync.NewCond(&mu)
+		queue       []shard
+		outstanding int
+		doneUnits   int
+		firstErr    error
+		stopped     bool
+	)
+	for start := 0; start < total; start += unitsPerShard {
+		end := start + unitsPerShard
+		if end > total {
+			end = total
+		}
+		queue = append(queue, shard{start: start, end: end})
+		outstanding++
+	}
+
+	watch := make(chan struct{})
+	defer close(watch)
+	go func() {
+		select {
+		case <-ctx.Done():
+			mu.Lock()
+			stopped = true
+			mu.Unlock()
+			cond.Broadcast()
+		case <-watch:
+		}
+	}()
+
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+		cond.Broadcast()
+	}
+	finish := func(sh shard, resp *ShardResponse) {
+		mu.Lock()
+		merged.SweepUnits = append(merged.SweepUnits, resp.SweepUnits...)
+		merged.FaultUnits = append(merged.FaultUnits, resp.FaultUnits...)
+		outstanding--
+		doneUnits += sh.end - sh.start
+		done, progress := doneUnits, opt.Progress
+		mu.Unlock()
+		cond.Broadcast()
+		if progress != nil {
+			progress(done, total)
+		}
+	}
+	requeue := func(shs ...shard) {
+		mu.Lock()
+		queue = append(queue, shs...)
+		outstanding += len(shs) - 1 // one shard became len(shs)
+		mu.Unlock()
+		cond.Broadcast()
+	}
+
+	var wg sync.WaitGroup
+	for i := 0; i < inFlight; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				for len(queue) == 0 && outstanding > 0 && !stopped && firstErr == nil {
+					cond.Wait()
+				}
+				if stopped || firstErr != nil || outstanding == 0 {
+					mu.Unlock()
+					return
+				}
+				sh := queue[len(queue)-1]
+				queue = queue[:len(queue)-1]
+				mu.Unlock()
+
+				c.dispatch(ctx, base, sh, opt, finish, requeue, fail)
+			}
+		}()
+	}
+	wg.Wait()
+
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return merged, nil
+}
+
+// dispatch places one shard: remote while attempts remain, splitting
+// multi-unit shards on failure so their work redistributes, then the
+// local fallback. Exactly one of finish/requeue/fail is called.
+func (c *Coordinator) dispatch(ctx context.Context, base ShardRequest, sh shard, opt RunOptions,
+	finish func(shard, *ShardResponse), requeue func(...shard), fail func(error)) {
+
+	req := base
+	req.Start, req.End = sh.start, sh.end
+
+	if sh.attempts >= c.maxAttempts() {
+		// Remote attempts exhausted: the shard runs here, so no worker
+		// failure mode can lose it.
+		span := opt.Span.Child("shard")
+		span.Set(obs.Str("mode", "fallback"), obs.Int("start", sh.start), obs.Int("end", sh.end))
+		c.logf("dist: shard [%d,%d) exhausted %d remote attempts; running locally", sh.start, sh.end, sh.attempts)
+		resp, err := ExecuteShard(ctx, &req, c.LocalWorkers)
+		span.End()
+		if err != nil {
+			fail(fmt.Errorf("dist: local fallback for shard [%d,%d): %w", sh.start, sh.end, err))
+			return
+		}
+		finish(sh, resp)
+		return
+	}
+
+	wi, wait := c.pickWorker()
+	if wait > 0 {
+		// Whole fleet benched: wait for the first worker to come back.
+		if err := sleepCtx(ctx, wait); err != nil {
+			fail(err)
+			return
+		}
+	}
+
+	span := opt.Span.Child("shard")
+	span.Set(obs.Str("worker", c.Workers[wi]),
+		obs.Int("start", sh.start), obs.Int("end", sh.end), obs.Int("attempt", sh.attempts+1))
+	resp, retryAfter, err := c.callWorker(ctx, c.Workers[wi], &req)
+	if err == nil {
+		span.End()
+		c.unbench(wi)
+		finish(sh, resp)
+		return
+	}
+	span.Set(obs.Str("error", err.Error()))
+	span.End()
+	if ctx.Err() != nil {
+		fail(ctx.Err())
+		return
+	}
+
+	c.benchWorker(wi, retryAfter)
+	sh.attempts++
+	c.logf("dist: shard [%d,%d) attempt %d on %s failed: %v", sh.start, sh.end, sh.attempts, c.Workers[wi], err)
+	if n := sh.end - sh.start; n > 1 {
+		// Re-shard: halves redistribute over the surviving fleet.
+		mid := sh.start + n/2
+		requeue(shard{start: sh.start, end: mid, attempts: sh.attempts},
+			shard{start: mid, end: sh.end, attempts: sh.attempts})
+		return
+	}
+	requeue(sh)
+}
+
+// pickWorker returns the next available worker (benched-aware round
+// robin). When every worker is benched it returns the one that comes
+// back first and how long until then.
+func (c *Coordinator) pickWorker() (int, time.Duration) {
+	now := time.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := len(c.Workers)
+	best, bestUntil := -1, time.Time{}
+	for off := 0; off < n; off++ {
+		i := int((c.pick + int64(off)) % int64(n))
+		until := c.bench[i]
+		if !until.After(now) {
+			c.pick = int64(i) + 1
+			return i, 0
+		}
+		if best == -1 || until.Before(bestUntil) {
+			best, bestUntil = i, until
+		}
+	}
+	c.pick = int64(best) + 1
+	return best, bestUntil.Sub(now)
+}
+
+// benchWorker takes a worker out of rotation after a failure. A 429's
+// Retry-After is honored exactly; otherwise the bench grows with the
+// worker's consecutive-failure streak (tracked as the remaining bench).
+func (c *Coordinator) benchWorker(i int, retryAfter time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.bench == nil {
+		c.bench = make(map[int]time.Time)
+	}
+	d := retryAfter
+	if d <= 0 {
+		// Double the previous bench (jittered, capped) — consecutive
+		// failures push the worker further out of rotation.
+		prev := time.Until(c.bench[i])
+		fails := 1
+		for b := c.retryBase(); b < prev && b < c.retryCap(); b *= 2 {
+			fails++
+		}
+		d = c.backoff(fails)
+	}
+	c.bench[i] = time.Now().Add(d)
+}
+
+// unbench restores a worker to rotation after a success.
+func (c *Coordinator) unbench(i int) {
+	c.mu.Lock()
+	delete(c.bench, i)
+	c.mu.Unlock()
+}
+
+// callWorker does one POST /v1/shards round trip. On a 429 the second
+// result carries the server's Retry-After.
+func (c *Coordinator) callWorker(ctx context.Context, baseURL string, req *ShardRequest) (*ShardResponse, time.Duration, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, 0, err
+	}
+	ctx, cancel := context.WithTimeout(ctx, c.shardTimeout())
+	defer cancel()
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, baseURL+"/v1/shards", bytes.NewReader(body))
+	if err != nil {
+		return nil, 0, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	hresp, err := c.client().Do(hreq)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer hresp.Body.Close()
+	if hresp.StatusCode == http.StatusTooManyRequests {
+		ra, _ := strconv.Atoi(hresp.Header.Get("Retry-After"))
+		io.Copy(io.Discard, hresp.Body)
+		return nil, time.Duration(ra) * time.Second, fmt.Errorf("dist: worker %s busy (429)", baseURL)
+	}
+	if hresp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(hresp.Body, 512))
+		return nil, 0, fmt.Errorf("dist: worker %s: status %d: %s", baseURL, hresp.StatusCode, bytes.TrimSpace(msg))
+	}
+	var resp ShardResponse
+	if err := json.NewDecoder(hresp.Body).Decode(&resp); err != nil {
+		return nil, 0, fmt.Errorf("dist: worker %s: decoding shard response: %w", baseURL, err)
+	}
+	if got, want := len(resp.SweepUnits)+len(resp.FaultUnits), req.Units(); got != want {
+		return nil, 0, fmt.Errorf("dist: worker %s returned %d units for shard of %d", baseURL, got, want)
+	}
+	return &resp, 0, nil
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}

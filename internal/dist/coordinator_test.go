@@ -1,0 +1,207 @@
+package dist
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"budgetwf/internal/exp"
+	"budgetwf/internal/stats"
+)
+
+// testWorker serves POST /v1/shards the way budgetwfd does: decode,
+// normalize, execute locally, encode.
+func testWorker(t *testing.T) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var req ShardRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		req.Normalize()
+		resp, err := ExecuteShard(r.Context(), &req, 1)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(resp)
+	}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func testSweepSpec() *SweepSpec {
+	return &SweepSpec{
+		WorkflowType: "chain",
+		N:            8,
+		SigmaRatio:   0.4,
+		Algorithms:   []string{"heft", "heftbudg"},
+		GridK:        3,
+		Instances:    2,
+		Replications: 4,
+		Seed:         42,
+	}
+}
+
+// stripTiming zeroes plan wall-time and the local-parallelism echo,
+// the only observables that legitimately differ between a distributed
+// and a single-process run.
+func stripTiming(r *exp.SweepResult) *exp.SweepResult {
+	r.Scenario.Workers = 0
+	for si := range r.Series {
+		for pi := range r.Series[si].Points {
+			r.Series[si].Points[pi].PlanTime = stats.Summary{}
+		}
+	}
+	return r
+}
+
+// monolithic runs the same spec through exp.RunSweepCtx in-process.
+func monolithic(t *testing.T, spec *SweepSpec) *exp.SweepResult {
+	t.Helper()
+	s := *spec
+	s.normalize()
+	sc, algs, gridK, err := s.Scenario()
+	if err != nil {
+		t.Fatalf("scenario: %v", err)
+	}
+	want, err := exp.RunSweepCtx(context.Background(), sc, algs, gridK)
+	if err != nil {
+		t.Fatalf("monolithic sweep: %v", err)
+	}
+	return want
+}
+
+// TestCoordinatorMatchesLocalRun: sharding a sweep over two live HTTP
+// workers merges to the bit-identical single-process result, and the
+// progress callback walks monotonically to the full unit count.
+func TestCoordinatorMatchesLocalRun(t *testing.T) {
+	w1, w2 := testWorker(t), testWorker(t)
+	c := &Coordinator{
+		Workers:       []string{w1.URL, w2.URL},
+		UnitsPerShard: 2,
+		RetryBase:     time.Millisecond,
+		RetryCap:      5 * time.Millisecond,
+	}
+	var lastDone, lastTotal atomic.Int64
+	monotonic := true
+	got, err := c.RunSweep(context.Background(), testSweepSpec(), RunOptions{
+		Progress: func(done, total int) {
+			if int64(done) < lastDone.Load() {
+				monotonic = false
+			}
+			lastDone.Store(int64(done))
+			lastTotal.Store(int64(total))
+		},
+	})
+	if err != nil {
+		t.Fatalf("RunSweep: %v", err)
+	}
+	want := monolithic(t, testSweepSpec())
+	if !reflect.DeepEqual(stripTiming(got), stripTiming(want)) {
+		t.Fatal("distributed sweep differs from single-process run")
+	}
+	if !monotonic {
+		t.Error("progress went backwards")
+	}
+	if lastDone.Load() != lastTotal.Load() || lastTotal.Load() == 0 {
+		t.Errorf("final progress %d/%d, want full coverage", lastDone.Load(), lastTotal.Load())
+	}
+}
+
+// TestCoordinatorSurvivesWorkerDeath: one worker drops every
+// connection mid-request (a kill -9 as the coordinator sees it); the
+// sweep still completes, bit-identical — its shards re-shard onto the
+// surviving worker.
+func TestCoordinatorSurvivesWorkerDeath(t *testing.T) {
+	healthy := testWorker(t)
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hj, ok := w.(http.Hijacker)
+		if !ok {
+			t.Error("response writer is not a Hijacker")
+			return
+		}
+		conn, _, err := hj.Hijack()
+		if err != nil {
+			return
+		}
+		conn.Close() // mid-request TCP reset, no HTTP response
+	}))
+	t.Cleanup(dead.Close)
+
+	c := &Coordinator{
+		Workers:       []string{dead.URL, healthy.URL},
+		UnitsPerShard: 3,
+		RetryBase:     time.Millisecond,
+		RetryCap:      5 * time.Millisecond,
+	}
+	got, err := c.RunSweep(context.Background(), testSweepSpec(), RunOptions{})
+	if err != nil {
+		t.Fatalf("RunSweep with a dead worker: %v", err)
+	}
+	want := monolithic(t, testSweepSpec())
+	if !reflect.DeepEqual(stripTiming(got), stripTiming(want)) {
+		t.Fatal("sweep after worker death differs from single-process run")
+	}
+}
+
+// TestCoordinatorLocalFallback: with every worker failing every
+// attempt, shards exhaust their remote attempts and run on the
+// coordinator itself — no shard is ever lost, and the result still
+// matches.
+func TestCoordinatorLocalFallback(t *testing.T) {
+	broken := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "disk on fire", http.StatusInternalServerError)
+	}))
+	t.Cleanup(broken.Close)
+
+	c := &Coordinator{
+		Workers:       []string{broken.URL},
+		UnitsPerShard: 4,
+		MaxAttempts:   2,
+		RetryBase:     time.Millisecond,
+		RetryCap:      2 * time.Millisecond,
+		LocalWorkers:  1,
+	}
+	got, err := c.RunSweep(context.Background(), testSweepSpec(), RunOptions{})
+	if err != nil {
+		t.Fatalf("RunSweep with all workers broken: %v", err)
+	}
+	want := monolithic(t, testSweepSpec())
+	if !reflect.DeepEqual(stripTiming(got), stripTiming(want)) {
+		t.Fatal("fallback sweep differs from single-process run")
+	}
+}
+
+// TestCoordinatorZeroWorkers: the zero-value coordinator runs
+// everything locally through the same shard path.
+func TestCoordinatorZeroWorkers(t *testing.T) {
+	c := &Coordinator{LocalWorkers: 2}
+	got, err := c.RunSweep(context.Background(), testSweepSpec(), RunOptions{})
+	if err != nil {
+		t.Fatalf("RunSweep: %v", err)
+	}
+	want := monolithic(t, testSweepSpec())
+	if !reflect.DeepEqual(stripTiming(got), stripTiming(want)) {
+		t.Fatal("local coordinator run differs from exp.RunSweepCtx")
+	}
+}
+
+// TestCoordinatorCancellation: a cancelled context aborts the run with
+// the context's error rather than hanging or fabricating a result.
+func TestCoordinatorCancellation(t *testing.T) {
+	w := testWorker(t)
+	c := &Coordinator{Workers: []string{w.URL}, UnitsPerShard: 1}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := c.RunSweep(ctx, testSweepSpec(), RunOptions{}); err == nil {
+		t.Fatal("RunSweep with cancelled context succeeded")
+	}
+}

@@ -1,0 +1,146 @@
+package dist
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Journal is the append-only job log: one JSON record per line, one
+// line per job state transition. Replaying it reconstructs the job
+// store after a crash — finished jobs come back with their results,
+// unfinished ones re-enter the run queue. Appends are synchronous and
+// line-atomic; a torn final line (crash mid-write) is skipped on
+// replay.
+type Journal struct {
+	mu sync.Mutex
+	f  *os.File
+}
+
+// Journal operations. submit carries the spec; done/failed/cancelled
+// are terminal; requeue marks a job interrupted by a draining
+// shutdown, to be resumed by the next process.
+const (
+	opSubmit    = "submit"
+	opDone      = "done"
+	opFailed    = "failed"
+	opCancelled = "cancelled"
+	opRequeue   = "requeue"
+)
+
+type journalRecord struct {
+	Op     string          `json:"op"`
+	ID     string          `json:"id"`
+	Hash   string          `json:"hash,omitempty"`
+	Spec   *JobSpec        `json:"spec,omitempty"`
+	Error  string          `json:"error,omitempty"`
+	Result json.RawMessage `json:"result,omitempty"`
+	Time   time.Time       `json:"time"`
+}
+
+// RestoredJob is one job reconstructed from a journal replay.
+type RestoredJob struct {
+	ID        string
+	Seq       int
+	Hash      string
+	Spec      JobSpec
+	State     State
+	Submitted time.Time
+	Finished  time.Time
+	Error     string
+	Result    json.RawMessage
+}
+
+// OpenJournal opens (creating if needed) the journal at path, replays
+// its records, and returns the journal ready for appending plus the
+// reconstructed jobs in submission order. Records for jobs whose
+// submit line is missing or torn are dropped.
+func OpenJournal(path string) (*Journal, []RestoredJob, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("dist: opening journal: %w", err)
+	}
+	byID := make(map[string]*RestoredJob)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 64*1024*1024)
+	for sc.Scan() {
+		var rec journalRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			continue // torn or corrupt line
+		}
+		switch rec.Op {
+		case opSubmit:
+			if rec.Spec == nil {
+				continue
+			}
+			byID[rec.ID] = &RestoredJob{
+				ID:        rec.ID,
+				Seq:       seqOf(rec.ID),
+				Hash:      rec.Hash,
+				Spec:      *rec.Spec,
+				State:     StatePending,
+				Submitted: rec.Time,
+			}
+		case opDone:
+			if j := byID[rec.ID]; j != nil {
+				j.State, j.Result, j.Finished = StateDone, rec.Result, rec.Time
+			}
+		case opFailed:
+			if j := byID[rec.ID]; j != nil {
+				j.State, j.Error, j.Finished = StateFailed, rec.Error, rec.Time
+			}
+		case opCancelled:
+			if j := byID[rec.ID]; j != nil {
+				j.State, j.Finished = StateCancelled, rec.Time
+			}
+		case opRequeue:
+			if j := byID[rec.ID]; j != nil {
+				j.State, j.Finished, j.Error, j.Result = StatePending, time.Time{}, "", nil
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("dist: replaying journal: %w", err)
+	}
+	jobs := make([]RestoredJob, 0, len(byID))
+	for _, j := range byID {
+		jobs = append(jobs, *j)
+	}
+	sort.Slice(jobs, func(i, k int) bool { return jobs[i].Seq < jobs[k].Seq })
+	return &Journal{f: f}, jobs, nil
+}
+
+// Append writes one record and syncs it to disk before returning, so
+// an acknowledged submit survives an immediate crash.
+func (j *Journal) Append(rec journalRecord) error {
+	b, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, err := j.f.Write(b); err != nil {
+		return err
+	}
+	return j.f.Sync()
+}
+
+// Close closes the underlying file.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.f.Close()
+}
+
+// seqOf recovers the sequence number from a job id ("j00042-ab12cd34").
+func seqOf(id string) int {
+	var seq int
+	fmt.Sscanf(id, "j%d-", &seq)
+	return seq
+}

@@ -1,0 +1,69 @@
+package dist
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestSpecValidateSemantics: scalar-domain violations carry
+// Semantic=false (the HTTP layer's 400s), semantic ones Semantic=true
+// (422s).
+func TestSpecValidateSemantics(t *testing.T) {
+	cases := []struct {
+		name     string
+		spec     JobSpec
+		semantic bool
+	}{
+		{"gridK over cap", JobSpec{Kind: KindSweep, Sweep: &SweepSpec{WorkflowType: "chain", N: 6, GridK: MaxGridK + 1}}, false},
+		{"replications over cap", JobSpec{Kind: KindSweep, Sweep: &SweepSpec{WorkflowType: "chain", N: 6, Replications: MaxReplications + 1}}, false},
+		{"unknown workflow type", JobSpec{Kind: KindSweep, Sweep: &SweepSpec{WorkflowType: "escher", N: 6}}, true},
+		{"unknown algorithm", JobSpec{Kind: KindSweep, Sweep: &SweepSpec{WorkflowType: "chain", N: 6, Algorithms: []string{"nope"}}}, true},
+		{"generator constraint", JobSpec{Kind: KindSweep, Sweep: &SweepSpec{WorkflowType: "montage", N: 5}}, true},
+		{"unknown figure", JobSpec{Kind: KindFigure, Figure: &FigureSpec{Figure: 9}}, true},
+	}
+	for _, tc := range cases {
+		spec := tc.spec
+		spec.Normalize()
+		err := spec.Validate()
+		if err == nil {
+			t.Errorf("%s: Validate() = nil, want error", tc.name)
+			continue
+		}
+		var fe *FieldError
+		if !errors.As(err, &fe) {
+			t.Errorf("%s: error %v is not a *FieldError", tc.name, err)
+			continue
+		}
+		if fe.Semantic != tc.semantic {
+			t.Errorf("%s: Semantic = %v, want %v (%v)", tc.name, fe.Semantic, tc.semantic, err)
+		}
+	}
+
+	// Envelope violations.
+	if err := (&JobSpec{Kind: "nope"}).Validate(); err == nil {
+		t.Error("unknown kind validated")
+	}
+	if err := (&JobSpec{Kind: KindSweep}).Validate(); err == nil {
+		t.Error("missing payload validated")
+	}
+}
+
+// TestSpecHashNormalization: the canonical hash identifies the
+// campaign — defaults spelled out and defaults left blank hash alike
+// after normalization, distinct campaigns differently.
+func TestSpecHashNormalization(t *testing.T) {
+	implicit := JobSpec{Kind: KindSweep, Sweep: &SweepSpec{WorkflowType: "chain", N: 6}}
+	implicit.Normalize()
+	explicit := JobSpec{Kind: KindSweep, Sweep: &SweepSpec{
+		WorkflowType: "chain", N: 6, SigmaRatio: 0.5, GridK: 8, Instances: 5, Replications: 25,
+	}}
+	explicit.Normalize()
+	if implicit.Hash() != explicit.Hash() {
+		t.Error("normalized defaults hash differently from explicit defaults")
+	}
+	other := JobSpec{Kind: KindSweep, Sweep: &SweepSpec{WorkflowType: "chain", N: 7}}
+	other.Normalize()
+	if other.Hash() == implicit.Hash() {
+		t.Error("distinct campaigns share a hash")
+	}
+}

@@ -1,0 +1,480 @@
+package dist
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// State is a job's lifecycle state.
+type State string
+
+const (
+	StatePending   State = "pending"
+	StateRunning   State = "running"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// ErrStoreFull is returned by Submit when the store holds MaxJobs jobs
+// and none is terminal (evictable). The HTTP layer maps it to 429.
+var ErrStoreFull = errors.New("dist: job store full")
+
+// ErrNotAccepting is returned by Submit after StopAccepting — the
+// coordinator is draining. The HTTP layer maps it to 503.
+var ErrNotAccepting = errors.New("dist: not accepting jobs")
+
+// RunFunc executes one job's spec and returns its result (marshalled
+// to JSON for the job record). progress reports cumulative finished
+// units.
+type RunFunc func(ctx context.Context, spec JobSpec, progress func(done, total int)) (any, error)
+
+// job is the store's internal record.
+type job struct {
+	id        string
+	spec      JobSpec
+	hash      string
+	state     State
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+	unitsDone int
+	unitsTot  int
+	errMsg    string
+	result    json.RawMessage
+	cancel    context.CancelFunc
+	// requeued marks a job whose run was interrupted by a draining
+	// shutdown: it journals as re-queued (resumed on restart) rather
+	// than cancelled or failed.
+	requeued bool
+}
+
+// JobView is the JSON snapshot of a job, as served by GET /v1/jobs.
+type JobView struct {
+	ID        string     `json:"id"`
+	Kind      JobKind    `json:"kind"`
+	SpecHash  string     `json:"specHash"`
+	State     State      `json:"state"`
+	Submitted time.Time  `json:"submitted"`
+	Started   *time.Time `json:"started,omitempty"`
+	Finished  *time.Time `json:"finished,omitempty"`
+	// UnitsDone/UnitsTotal is shard-merge progress: how many units of
+	// the campaign's deterministic enumeration have been computed and
+	// folded into the partial aggregate.
+	UnitsDone  int             `json:"unitsDone"`
+	UnitsTotal int             `json:"unitsTotal"`
+	Error      string          `json:"error,omitempty"`
+	Result     json.RawMessage `json:"result,omitempty"`
+	Spec       JobSpec         `json:"spec"`
+}
+
+func (j *job) view() JobView {
+	v := JobView{
+		ID:         j.id,
+		Kind:       j.spec.Kind,
+		SpecHash:   j.hash,
+		State:      j.state,
+		Submitted:  j.submitted,
+		UnitsDone:  j.unitsDone,
+		UnitsTotal: j.unitsTot,
+		Error:      j.errMsg,
+		Result:     j.result,
+		Spec:       j.spec,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		v.Started = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		v.Finished = &t
+	}
+	return v
+}
+
+// StoreOptions configures a Store.
+type StoreOptions struct {
+	// Run executes submitted specs. Required.
+	Run RunFunc
+	// MaxConcurrent bounds jobs executing at once; default 1 (a job
+	// already fans out internally — across shard workers or the local
+	// pool — so the default keeps jobs from fighting for the machine).
+	MaxConcurrent int
+	// MaxJobs bounds retained job records; default 256. Oldest
+	// terminal jobs are evicted to make room; if every record is live
+	// Submit returns ErrStoreFull.
+	MaxJobs int
+	// Journal, when non-nil, persists the job log for crash resume.
+	Journal *Journal
+	// Logf, when set, receives journal-write diagnostics.
+	Logf func(format string, args ...any)
+}
+
+// Store owns asynchronous jobs: it validates nothing (callers validate
+// specs first), dedupes by canonical spec hash, executes with bounded
+// concurrency, snapshots progress, cancels, journals, and drains.
+type Store struct {
+	run     RunFunc
+	maxJobs int
+	journal *Journal
+	logf    func(string, ...any)
+
+	mu        sync.Mutex
+	jobs      map[string]*job
+	order     []string          // submission order, for eviction
+	byHash    map[string]string // spec hash → live or done job id
+	seq       int
+	accepting bool
+	wg        sync.WaitGroup
+	sem       chan struct{}
+}
+
+// NewStore builds a Store. Call Restore to replay a journal's jobs.
+func NewStore(opts StoreOptions) *Store {
+	if opts.Run == nil {
+		panic("dist: StoreOptions.Run is required")
+	}
+	conc := opts.MaxConcurrent
+	if conc <= 0 {
+		conc = 1
+	}
+	maxJobs := opts.MaxJobs
+	if maxJobs <= 0 {
+		maxJobs = 256
+	}
+	logf := opts.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	return &Store{
+		run:       opts.Run,
+		maxJobs:   maxJobs,
+		journal:   opts.Journal,
+		logf:      logf,
+		jobs:      make(map[string]*job),
+		byHash:    make(map[string]string),
+		accepting: true,
+		sem:       make(chan struct{}, conc),
+	}
+}
+
+// Submit registers a normalized, validated spec and starts it in the
+// background. Identical specs (same canonical hash) dedupe: if a
+// pending, running or done job already covers the spec, its view is
+// returned with created=false — results being deterministic, a done
+// job is a content-addressed cache hit. Failed and cancelled jobs do
+// not block resubmission.
+func (s *Store) Submit(spec JobSpec) (JobView, bool, error) {
+	hash := spec.Hash()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.accepting {
+		return JobView{}, false, ErrNotAccepting
+	}
+	if id, ok := s.byHash[hash]; ok {
+		if j, ok := s.jobs[id]; ok && (j.state == StatePending || j.state == StateRunning || j.state == StateDone) {
+			return j.view(), false, nil
+		}
+	}
+	if err := s.evictLocked(); err != nil {
+		return JobView{}, false, err
+	}
+	s.seq++
+	j := &job{
+		id:        fmt.Sprintf("j%05d-%s", s.seq, hash[:8]),
+		spec:      spec,
+		hash:      hash,
+		state:     StatePending,
+		submitted: time.Now().UTC(),
+	}
+	s.insertLocked(j)
+	s.append(journalRecord{Op: opSubmit, ID: j.id, Hash: j.hash, Spec: &j.spec, Time: j.submitted})
+	s.startLocked(j)
+	return j.view(), true, nil
+}
+
+// insertLocked adds the job to the maps and hash index.
+func (s *Store) insertLocked(j *job) {
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	s.byHash[j.hash] = j.id
+}
+
+// evictLocked frees one slot if the store is at capacity, preferring
+// the oldest terminal job.
+func (s *Store) evictLocked() error {
+	if len(s.jobs) < s.maxJobs {
+		return nil
+	}
+	for i, id := range s.order {
+		j, ok := s.jobs[id]
+		if !ok {
+			continue
+		}
+		if j.state.Terminal() {
+			delete(s.jobs, id)
+			if s.byHash[j.hash] == id {
+				delete(s.byHash, j.hash)
+			}
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			return nil
+		}
+	}
+	return ErrStoreFull
+}
+
+// startLocked launches the job's runner goroutine.
+func (s *Store) startLocked(j *job) {
+	ctx, cancel := context.WithCancel(context.Background())
+	j.cancel = cancel
+	s.wg.Add(1)
+	go s.runJob(ctx, j)
+}
+
+func (s *Store) runJob(ctx context.Context, j *job) {
+	defer s.wg.Done()
+	// Bounded execution: wait for a slot, bailing out on cancel.
+	select {
+	case s.sem <- struct{}{}:
+		defer func() { <-s.sem }()
+	case <-ctx.Done():
+		s.finishJob(j, nil, ctx.Err())
+		return
+	}
+	s.mu.Lock()
+	if j.state != StatePending { // cancelled while queued
+		s.mu.Unlock()
+		return
+	}
+	j.state = StateRunning
+	j.started = time.Now().UTC()
+	s.mu.Unlock()
+
+	progress := func(done, total int) {
+		s.mu.Lock()
+		j.unitsDone, j.unitsTot = done, total
+		s.mu.Unlock()
+	}
+	result, err := s.run(ctx, j.spec, progress)
+	s.finishJob(j, result, err)
+}
+
+// finishJob records the outcome and journals it. Interrupted jobs
+// resolve to cancelled — or back to pending when a draining shutdown
+// re-queued them for the next process.
+func (s *Store) finishJob(j *job, result any, err error) {
+	now := time.Now().UTC()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if j.state.Terminal() {
+		return
+	}
+	switch {
+	case err == nil:
+		raw, merr := json.Marshal(result)
+		if merr != nil {
+			j.state = StateFailed
+			j.errMsg = fmt.Sprintf("marshalling result: %v", merr)
+		} else {
+			j.state = StateDone
+			j.result = raw
+			j.unitsDone = j.unitsTot
+		}
+	case j.requeued:
+		// Draining shutdown: the journal already holds the re-queue
+		// record; the next process resumes the job from pending.
+		j.state = StatePending
+		j.started = time.Time{}
+		j.unitsDone = 0
+		return
+	case errors.Is(err, context.Canceled):
+		j.state = StateCancelled
+	default:
+		j.state = StateFailed
+		j.errMsg = err.Error()
+	}
+	j.finished = now
+	switch j.state {
+	case StateDone:
+		s.append(journalRecord{Op: opDone, ID: j.id, Result: j.result, Time: now})
+	case StateFailed:
+		s.append(journalRecord{Op: opFailed, ID: j.id, Error: j.errMsg, Time: now})
+		if s.byHash[j.hash] == j.id {
+			delete(s.byHash, j.hash)
+		}
+	case StateCancelled:
+		s.append(journalRecord{Op: opCancelled, ID: j.id, Time: now})
+		if s.byHash[j.hash] == j.id {
+			delete(s.byHash, j.hash)
+		}
+	}
+}
+
+// Get snapshots one job.
+func (s *Store) Get(id string) (JobView, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return JobView{}, false
+	}
+	return j.view(), true
+}
+
+// List snapshots every job in submission order.
+func (s *Store) List() []JobView {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]JobView, 0, len(s.jobs))
+	for _, id := range s.order {
+		if j, ok := s.jobs[id]; ok {
+			out = append(out, j.view())
+		}
+	}
+	return out
+}
+
+// Cancel requests cancellation. Pending jobs cancel immediately;
+// running jobs cancel via their context (state settles when the runner
+// observes it). Returns the post-request view.
+func (s *Store) Cancel(id string) (JobView, bool) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	if !ok {
+		s.mu.Unlock()
+		return JobView{}, false
+	}
+	var cancel context.CancelFunc
+	if j.state == StatePending {
+		j.state = StateCancelled
+		j.finished = time.Now().UTC()
+		s.append(journalRecord{Op: opCancelled, ID: j.id, Time: j.finished})
+		if s.byHash[j.hash] == j.id {
+			delete(s.byHash, j.hash)
+		}
+		cancel = j.cancel
+	} else if j.state == StateRunning {
+		cancel = j.cancel
+	}
+	v := j.view()
+	s.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+	return v, true
+}
+
+// Counts reports jobs per state, for metrics.
+func (s *Store) Counts() map[State]int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[State]int, 5)
+	for _, j := range s.jobs {
+		out[j.state]++
+	}
+	return out
+}
+
+// StopAccepting flips the store to draining: Submit returns
+// ErrNotAccepting from here on.
+func (s *Store) StopAccepting() {
+	s.mu.Lock()
+	s.accepting = false
+	s.mu.Unlock()
+}
+
+// Drain stops accepting and waits for in-flight jobs. If ctx expires
+// first, the stragglers are re-queued to the journal — so the next
+// process resumes them — and then interrupted. A drained store never
+// loses a submitted job: it is either finished (journalled terminal)
+// or journalled as re-queued.
+func (s *Store) Drain(ctx context.Context) error {
+	s.StopAccepting()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+	}
+	// Requeue and interrupt the stragglers.
+	s.mu.Lock()
+	var cancels []context.CancelFunc
+	for _, j := range s.jobs {
+		if j.state == StatePending || j.state == StateRunning {
+			j.requeued = true
+			s.append(journalRecord{Op: opRequeue, ID: j.id, Time: time.Now().UTC()})
+			if j.cancel != nil {
+				cancels = append(cancels, j.cancel)
+			}
+		}
+	}
+	s.mu.Unlock()
+	for _, cancel := range cancels {
+		cancel()
+	}
+	<-done
+	return ctx.Err()
+}
+
+// Restore replays journalled jobs into the store: terminal jobs come
+// back as records, unfinished ones re-enter the run queue. Call once,
+// before serving traffic.
+func (s *Store) Restore(entries []RestoredJob) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, e := range entries {
+		if _, ok := s.jobs[e.ID]; ok {
+			continue
+		}
+		j := &job{
+			id:        e.ID,
+			spec:      e.Spec,
+			hash:      e.Hash,
+			state:     e.State,
+			submitted: e.Submitted,
+			finished:  e.Finished,
+			errMsg:    e.Error,
+			result:    e.Result,
+		}
+		if j.state == StateDone {
+			j.unitsDone, j.unitsTot = 1, 1
+		}
+		// Keep seq ahead of restored ids so new ids never collide.
+		if e.Seq > s.seq {
+			s.seq = e.Seq
+		}
+		s.insertLocked(j)
+		if j.state == StateFailed || j.state == StateCancelled {
+			if s.byHash[j.hash] == j.id {
+				delete(s.byHash, j.hash)
+			}
+		}
+		if j.state == StatePending {
+			s.startLocked(j)
+		}
+	}
+}
+
+// append writes a journal record, logging (not failing) on error: a
+// full disk should degrade durability, not reject sweeps.
+func (s *Store) append(rec journalRecord) {
+	if s.journal == nil {
+		return
+	}
+	if err := s.journal.Append(rec); err != nil {
+		s.logf("dist: journal append (%s %s): %v", rec.Op, rec.ID, err)
+	}
+}

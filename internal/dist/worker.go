@@ -1,0 +1,109 @@
+package dist
+
+import (
+	"context"
+
+	"budgetwf/internal/exp"
+)
+
+// ShardRequest is the body of POST /v1/shards: one contiguous unit
+// range [Start, End) of a campaign's deterministic enumeration (see
+// exp.SweepGrid / exp.FaultGrid). The worker recomputes the full
+// scenario state from the spec, so a shard is self-contained — any
+// worker, stateless, can evaluate any shard.
+type ShardRequest struct {
+	Kind       JobKind         `json:"kind"` // sweep or faultSweep
+	Sweep      *SweepSpec      `json:"sweep,omitempty"`
+	FaultSweep *FaultSweepSpec `json:"faultSweep,omitempty"`
+	// RepBlock is the replication-block size of the unit grid; it must
+	// match the coordinator's or the unit indices mean different work.
+	RepBlock int `json:"repBlock,omitempty"`
+	Start    int `json:"start"`
+	End      int `json:"end"`
+}
+
+// Normalize resolves the payload spec's defaults in place, so a hand-
+// written shard request and a coordinator-built one validate alike.
+func (r *ShardRequest) Normalize() {
+	switch r.Kind {
+	case KindSweep:
+		if r.Sweep != nil {
+			r.Sweep.normalize()
+		}
+	case KindFaultSweep:
+		if r.FaultSweep != nil {
+			r.FaultSweep.normalize()
+		}
+	}
+}
+
+// Validate checks the envelope and spec, returning *FieldError values.
+func (r *ShardRequest) Validate() error {
+	switch r.Kind {
+	case KindSweep:
+		if r.Sweep == nil {
+			return fieldErrf("sweep", "required for kind %q", r.Kind)
+		}
+		if err := r.Sweep.Validate(); err != nil {
+			return prefixField("sweep", err)
+		}
+	case KindFaultSweep:
+		if r.FaultSweep == nil {
+			return fieldErrf("faultSweep", "required for kind %q", r.Kind)
+		}
+		if err := r.FaultSweep.Validate(); err != nil {
+			return prefixField("faultSweep", err)
+		}
+	default:
+		return fieldErrf("kind", "unknown shard kind %q (want sweep or faultSweep)", r.Kind)
+	}
+	if r.Start < 0 || r.End <= r.Start {
+		return fieldErrf("start", "want 0 <= start < end, got [%d, %d)", r.Start, r.End)
+	}
+	return nil
+}
+
+// Units is the number of units the shard covers.
+func (r *ShardRequest) Units() int { return r.End - r.Start }
+
+// ShardResponse carries the mergeable partial aggregates back to the
+// coordinator. Exactly one slice is populated, matching the request
+// kind. encoding/json round-trips float64 exactly, so the transport
+// cannot perturb the merge.
+type ShardResponse struct {
+	SweepUnits []exp.SweepUnitResult `json:"sweepUnits,omitempty"`
+	FaultUnits []exp.FaultUnitResult `json:"faultUnits,omitempty"`
+}
+
+// ExecuteShard evaluates the shard on the local machine with at most
+// workers goroutines (0 means GOMAXPROCS). It is both the worker half
+// of POST /v1/shards and the coordinator's local fallback, which is
+// what makes the "a killed worker never loses a shard" guarantee
+// closed: work that exhausts its remote attempts runs here.
+func ExecuteShard(ctx context.Context, req *ShardRequest, workers int) (*ShardResponse, error) {
+	switch req.Kind {
+	case KindSweep:
+		sc, algs, gridK, err := req.Sweep.Scenario()
+		if err != nil {
+			return nil, err
+		}
+		sc.Workers = workers
+		units, err := exp.RunSweepUnitsCtx(ctx, sc, algs, gridK, req.RepBlock, req.Start, req.End)
+		if err != nil {
+			return nil, err
+		}
+		return &ShardResponse{SweepUnits: units}, nil
+	case KindFaultSweep:
+		sc, err := req.FaultSweep.Scenario()
+		if err != nil {
+			return nil, err
+		}
+		sc.Workers = workers
+		units, err := exp.RunFaultSweepUnitsCtx(ctx, sc, req.RepBlock, req.Start, req.End)
+		if err != nil {
+			return nil, err
+		}
+		return &ShardResponse{FaultUnits: units}, nil
+	}
+	return nil, fieldErrf("kind", "unknown shard kind %q", req.Kind)
+}

@@ -45,6 +45,48 @@ type FaultScenario struct {
 	Spec fault.Spec
 }
 
+// Normalize resolves every defaulted field deterministically: the
+// rate grid is copied, sorted and anchored at λ = 0, the budget factor
+// and algorithm defaults applied, and the spec template validated. It
+// is exported because a distributed worker must normalize the same
+// wire spec to exactly the coordinator's scenario before indexing into
+// the unit enumeration (shard.go).
+func (sc FaultScenario) Normalize() (FaultScenario, error) {
+	sc.Scenario = sc.Scenario.Defaults()
+	if len(sc.Rates) == 0 {
+		sc.Rates = append([]float64(nil), DefaultFaultRates...)
+	} else {
+		sc.Rates = append([]float64(nil), sc.Rates...)
+	}
+	sort.Float64s(sc.Rates)
+	if sc.Rates[0] != 0 {
+		sc.Rates = append([]float64{0}, sc.Rates...)
+	}
+	for _, lam := range sc.Rates {
+		if lam < 0 {
+			return sc, fmt.Errorf("exp: negative crash rate %g", lam)
+		}
+	}
+	if sc.BudgetFactor == 0 {
+		sc.BudgetFactor = 1.5
+	}
+	if sc.Alg.Plan == nil {
+		alg, err := sched.ByName(sched.NameHeftBudg)
+		if err != nil {
+			return sc, err
+		}
+		sc.Alg = alg
+	}
+	// The template's own rate grid is overridden per point; validate
+	// the fields that are taken as given.
+	tmpl := sc.Spec
+	tmpl.CrashRatePerHour = nil
+	if err := tmpl.Validate(sc.Platform.NumCategories()); err != nil {
+		return sc, err
+	}
+	return sc, nil
+}
+
 // FaultPoint aggregates one crash rate across all instances and
 // replications.
 type FaultPoint struct {
@@ -111,61 +153,31 @@ type faultCellResult struct {
 	err       error
 }
 
-// RunFaultSweep evaluates the scenario's schedule under every crash
-// rate of the grid: per instance it plans once, then replays Reps
-// fault-injected executions per rate through the online executor with
-// the budget guard set to the instance budget. Budget-exhausted runs
-// degrade to partial results and lower SuccessRate — they are never
-// errors.
-func RunFaultSweep(sc FaultScenario) (*FaultSweepResult, error) {
-	return RunFaultSweepCtx(context.Background(), sc)
+// faultInst is one planned instance of a fault sweep.
+type faultInst struct {
+	w      *wf.Workflow
+	s      *plan.Schedule
+	budget float64
 }
 
-// RunFaultSweepCtx is RunFaultSweep under a context: cancellation is
-// polled before each (instance, rate) cell.
-func RunFaultSweepCtx(ctx context.Context, sc FaultScenario) (*FaultSweepResult, error) {
-	sc.Scenario = sc.Scenario.Defaults()
-	if len(sc.Rates) == 0 {
-		sc.Rates = append([]float64(nil), DefaultFaultRates...)
-	} else {
-		sc.Rates = append([]float64(nil), sc.Rates...)
-	}
-	sort.Float64s(sc.Rates)
-	if sc.Rates[0] != 0 {
-		sc.Rates = append([]float64{0}, sc.Rates...)
-	}
-	for _, lam := range sc.Rates {
-		if lam < 0 {
-			return nil, fmt.Errorf("exp: negative crash rate %g", lam)
-		}
-	}
-	if sc.BudgetFactor == 0 {
-		sc.BudgetFactor = 1.5
-	}
-	if sc.Alg.Plan == nil {
-		alg, err := sched.ByName(sched.NameHeftBudg)
-		if err != nil {
-			return nil, err
-		}
-		sc.Alg = alg
-	}
-	// The template's own rate grid is overridden per point; validate
-	// the fields that are taken as given.
-	tmpl := sc.Spec
-	tmpl.CrashRatePerHour = nil
-	if err := tmpl.Validate(sc.Platform.NumCategories()); err != nil {
+// faultPrep is the deterministic per-scenario state of a fault sweep:
+// the normalized scenario and the per-instance plans. Like sweepPrep,
+// it is a pure function of the FaultScenario, so distributed workers
+// recompute it identically from the wire spec.
+type faultPrep struct {
+	sc         FaultScenario // after Normalize()
+	instances  []faultInst
+	meanBudget float64
+}
+
+// prepFaultSweep normalizes the scenario and plans every instance.
+func prepFaultSweep(sc FaultScenario) (*faultPrep, error) {
+	sc, err := sc.Normalize()
+	if err != nil {
 		return nil, err
 	}
-
-	// Plan once per instance.
-	type inst struct {
-		w      *wf.Workflow
-		s      *plan.Schedule
-		budget float64
-	}
-	instances := make([]inst, sc.Instances)
-	meanBudget := 0.0
-	for i := range instances {
+	p := &faultPrep{sc: sc, instances: make([]faultInst, sc.Instances)}
+	for i := range p.instances {
 		w, err := sc.Instance(i)
 		if err != nil {
 			return nil, err
@@ -182,21 +194,46 @@ func RunFaultSweepCtx(ctx context.Context, sc FaultScenario) (*FaultSweepResult,
 		if err != nil {
 			return nil, fmt.Errorf("exp: planning instance %d: %w", i, err)
 		}
-		instances[i] = inst{w: w, s: s, budget: budget}
-		meanBudget += budget / float64(sc.Instances)
+		p.instances[i] = faultInst{w: w, s: s, budget: budget}
+		p.meanBudget += budget / float64(sc.Instances)
 	}
+	return p, nil
+}
 
-	// Enumerate cells and evaluate them on a bounded pool.
-	var cells []faultCell
-	for i := 0; i < sc.Instances; i++ {
-		for ri := range sc.Rates {
-			cells = append(cells, faultCell{instance: i, rateIdx: ri})
+// cells enumerates the cell space in the canonical order
+// (instance-major, then rate index).
+func (p *faultPrep) cells() []faultCell {
+	out := make([]faultCell, 0, p.sc.Instances*len(p.sc.Rates))
+	for i := 0; i < p.sc.Instances; i++ {
+		for ri := range p.sc.Rates {
+			out = append(out, faultCell{instance: i, rateIdx: ri})
 		}
 	}
+	return out
+}
+
+// RunFaultSweep evaluates the scenario's schedule under every crash
+// rate of the grid: per instance it plans once, then replays Reps
+// fault-injected executions per rate through the online executor with
+// the budget guard set to the instance budget. Budget-exhausted runs
+// degrade to partial results and lower SuccessRate — they are never
+// errors.
+func RunFaultSweep(sc FaultScenario) (*FaultSweepResult, error) {
+	return RunFaultSweepCtx(context.Background(), sc)
+}
+
+// RunFaultSweepCtx is RunFaultSweep under a context: cancellation is
+// polled before each (instance, rate) cell.
+func RunFaultSweepCtx(ctx context.Context, sc FaultScenario) (*FaultSweepResult, error) {
+	p, err := prepFaultSweep(sc)
+	if err != nil {
+		return nil, err
+	}
+	cells := p.cells()
 	results := make([]faultCellResult, len(cells))
 	var wg sync.WaitGroup
 	work := make(chan int)
-	for wkr := 0; wkr < sc.Workers; wkr++ {
+	for wkr := 0; wkr < p.sc.Workers; wkr++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -205,9 +242,7 @@ func RunFaultSweepCtx(ctx context.Context, sc FaultScenario) (*FaultSweepResult,
 					results[ci] = faultCellResult{faultCell: cells[ci], err: err}
 					continue
 				}
-				c := cells[ci]
-				results[ci] = runFaultCell(sc, instances[c.instance].w,
-					instances[c.instance].s, instances[c.instance].budget, c)
+				results[ci] = runFaultCellRange(p, cells[ci], 0, p.sc.Reps)
 			}
 		}()
 	}
@@ -217,8 +252,16 @@ func RunFaultSweepCtx(ctx context.Context, sc FaultScenario) (*FaultSweepResult,
 	close(work)
 	wg.Wait()
 
-	// Merge cells per rate.
-	out := &FaultSweepResult{Scenario: sc, Budget: meanBudget}
+	return aggregateFaultCells(p, results)
+}
+
+// aggregateFaultCells merges per-cell results into per-rate points.
+// The iteration order — every cell in enumeration order, filtered per
+// rate — fixes the order observations enter each summary, so a merged
+// distributed run aggregates identically to the single-process path.
+func aggregateFaultCells(p *faultPrep, results []faultCellResult) (*FaultSweepResult, error) {
+	sc := p.sc
+	out := &FaultSweepResult{Scenario: sc, Budget: p.meanBudget}
 	for ri, lam := range sc.Rates {
 		var agg faultCellResult
 		for _, r := range results {
@@ -275,21 +318,27 @@ func planBudget(budget, cheapCost float64) float64 {
 	return 1.5 * cheapCost
 }
 
-// runFaultCell replays every replication of one instance at one crash
-// rate. Weight streams and fault seeds are derived without the rate,
-// so the same replication index draws the same weights and the same
-// underlying fault randomness at every λ (common random numbers).
-func runFaultCell(sc FaultScenario, w *wf.Workflow, s *plan.Schedule, budget float64, c faultCell) faultCellResult {
+// runFaultCellRange replays replications [repStart, repEnd) of one
+// instance at one crash rate. Weight streams and fault seeds are
+// derived without the rate, so the same replication index draws the
+// same weights and the same underlying fault randomness at every λ
+// (common random numbers) — and, because each replication's streams
+// are split by index from a stream fixed per (instance), a rep range
+// computed in isolation is bit-identical to the same range inside a
+// full-cell run (the sharding guarantee).
+func runFaultCellRange(p *faultPrep, c faultCell, repStart, repEnd int) faultCellResult {
+	sc := p.sc
+	inst := p.instances[c.instance]
 	res := faultCellResult{faultCell: c}
 	lam := sc.Rates[c.rateIdx]
 	weightStream := rng.New(sc.Seed).Split(uint64(c.instance)<<32 | hashName("fault-weights"))
 	seedStream := rng.New(sc.Seed).Split(uint64(c.instance)<<32 | hashName("fault-trace"))
-	for rep := 0; rep < sc.Reps; rep++ {
-		weights := sim.SampleWeights(w, weightStream.Split(uint64(rep)))
+	for rep := repStart; rep < repEnd; rep++ {
+		weights := sim.SampleWeights(inst.w, weightStream.Split(uint64(rep)))
 		spec := sc.Spec
 		spec.CrashRatePerHour = []float64{lam} // broadcast over categories
 		spec.Seed = seedStream.Split(uint64(rep)).Uint64()
-		r, err := online.ExecuteFaulty(w, sc.Platform, s, weights, &spec, budget)
+		r, err := online.ExecuteFaulty(inst.w, sc.Platform, inst.s, weights, &spec, inst.budget)
 		if err != nil {
 			res.err = fmt.Errorf("exp: instance %d rate %g rep %d: %w", c.instance, lam, rep, err)
 			return res
@@ -300,7 +349,7 @@ func runFaultCell(sc FaultScenario, w *wf.Workflow, s *plan.Schedule, budget flo
 			res.completed++
 			res.makespans = append(res.makespans, r.Makespan)
 		}
-		if budget <= 0 || r.TotalCost <= budget {
+		if inst.budget <= 0 || r.TotalCost <= inst.budget {
 			res.inBudget++
 		}
 		res.crashes += r.Crashes

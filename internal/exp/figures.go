@@ -48,11 +48,25 @@ func (c FigureConfig) scenario(t wfgen.Type) Scenario {
 	}
 }
 
+// SweepRunner evaluates one scenario over a budget grid. The default
+// is the in-process RunSweep; cmd/paperfigs substitutes a
+// dist.Coordinator-backed runner to spread figure campaigns over a
+// worker cluster (the results are bit-identical either way).
+type SweepRunner func(sc Scenario, algs []sched.Algorithm, gridK int) (*SweepResult, error)
+
 // RunFigureSweeps runs the given algorithm set on all three paper
 // workflow families and returns the raw sweep results, one per family
 // in AllPaperTypes order — the data behind both the tables and the
 // SVG panels.
 func RunFigureSweeps(cfg FigureConfig, names []sched.Name) ([]*SweepResult, error) {
+	return RunFigureSweepsUsing(cfg, names, func(sc Scenario, algs []sched.Algorithm, gridK int) (*SweepResult, error) {
+		return RunSweep(sc, algs, gridK)
+	})
+}
+
+// RunFigureSweepsUsing is RunFigureSweeps with the per-scenario sweep
+// delegated to run.
+func RunFigureSweepsUsing(cfg FigureConfig, names []sched.Name, run SweepRunner) ([]*SweepResult, error) {
 	cfg = cfg.Defaults()
 	algs := make([]sched.Algorithm, 0, len(names))
 	for _, n := range names {
@@ -64,7 +78,7 @@ func RunFigureSweeps(cfg FigureConfig, names []sched.Name) ([]*SweepResult, erro
 	}
 	var out []*SweepResult
 	for _, typ := range wfgen.AllPaperTypes() {
-		res, err := RunSweep(cfg.scenario(typ), algs, cfg.GridK)
+		res, err := run(cfg.scenario(typ), algs, cfg.GridK)
 		if err != nil {
 			return nil, fmt.Errorf("exp: sweep on %s: %w", typ, err)
 		}

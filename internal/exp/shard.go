@@ -1,0 +1,395 @@
+// Sharding support: the sweep and fault-sweep cell spaces are exposed
+// as deterministic, independently computable *units* so a distributed
+// coordinator (internal/dist) can decompose a campaign into shards,
+// farm them out to workers, and merge the partial aggregates into a
+// result bit-identical to the single-process RunSweepCtx /
+// RunFaultSweepCtx paths.
+//
+// A unit is one (algorithm, instance, budget) cell — or (instance,
+// rate) cell for fault sweeps — restricted to one contiguous block of
+// replications. The enumeration is a pure function of the normalized
+// scenario: unit u covers cell u/blocks and replications
+// [(u%blocks)·repBlock, …). Every replication's random streams are
+// split by index from per-cell parents, so a unit computed on any
+// worker, in any order, produces exactly the bytes the same
+// replications produce inside a monolithic run. MergeSweepUnits then
+// reassembles cells in enumeration order and reuses the same O(cells)
+// aggregation, which closes the bit-identity argument end to end
+// (pinned by TestShardMergeMatchesMonolithic).
+package exp
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+
+	"budgetwf/internal/sched"
+)
+
+// SweepGrid describes the deterministic unit decomposition of one
+// sweep. All counts are post-default values; build one with
+// SweepGridFor so normalization matches the run/merge paths.
+type SweepGrid struct {
+	Algs      int `json:"algs"`
+	Instances int `json:"instances"`
+	GridK     int `json:"gridK"`
+	Reps      int `json:"reps"`
+	// RepBlock is the number of replications per unit; Reps means one
+	// unit per cell.
+	RepBlock int `json:"repBlock"`
+}
+
+// SweepGridFor normalizes the scenario exactly as RunSweepCtx does and
+// returns the resulting unit grid. repBlock ≤ 0 (or > Reps) selects
+// one block per cell.
+func SweepGridFor(sc Scenario, numAlgs, gridK, repBlock int) SweepGrid {
+	sc = sc.Defaults()
+	if gridK <= 0 {
+		gridK = 8
+	}
+	if repBlock <= 0 || repBlock > sc.Reps {
+		repBlock = sc.Reps
+	}
+	return SweepGrid{Algs: numAlgs, Instances: sc.Instances, GridK: gridK, Reps: sc.Reps, RepBlock: repBlock}
+}
+
+// BlocksPerCell is the number of replication blocks each cell splits
+// into.
+func (g SweepGrid) BlocksPerCell() int {
+	if g.RepBlock <= 0 {
+		return 1
+	}
+	return (g.Reps + g.RepBlock - 1) / g.RepBlock
+}
+
+// Cells is the number of (algorithm, instance, budget) cells.
+func (g SweepGrid) Cells() int { return g.Algs * g.Instances * g.GridK }
+
+// Units is the total number of schedulable units.
+func (g SweepGrid) Units() int { return g.Cells() * g.BlocksPerCell() }
+
+// Unit maps a unit index to its cell index and replication range.
+func (g SweepGrid) Unit(u int) (cellIdx, repStart, repEnd int) {
+	blocks := g.BlocksPerCell()
+	cellIdx = u / blocks
+	block := u % blocks
+	repStart = block * g.RepBlock
+	repEnd = repStart + g.RepBlock
+	if repEnd > g.Reps {
+		repEnd = g.Reps
+	}
+	return cellIdx, repStart, repEnd
+}
+
+// SweepUnitResult is the mergeable partial aggregate of one sweep
+// unit: the raw per-replication observations of its rep range plus the
+// per-cell plan facts. It is the shard wire format (JSON round-trips
+// float64 exactly, so transport cannot perturb the merge).
+type SweepUnitResult struct {
+	Unit        int       `json:"unit"`
+	Makespans   []float64 `json:"makespans"`
+	Costs       []float64 `json:"costs"`
+	NumVMs      float64   `json:"numVMs"`
+	Valid       int       `json:"valid"`
+	PlanSeconds float64   `json:"planSeconds"`
+}
+
+// RunSweepUnitsCtx evaluates units [start, end) of the scenario's
+// enumeration on a bounded local pool (sc.Workers goroutines) and
+// returns their outcomes ordered by unit index. It is the worker half
+// of a distributed sweep; RunSweepCtx is equivalent to running all
+// units and merging.
+func RunSweepUnitsCtx(ctx context.Context, sc Scenario, algs []sched.Algorithm, gridK, repBlock, start, end int) ([]SweepUnitResult, error) {
+	p, err := prepSweep(sc, gridK)
+	if err != nil {
+		return nil, err
+	}
+	g := SweepGridFor(sc, len(algs), gridK, repBlock)
+	if start < 0 || end > g.Units() || start > end {
+		return nil, fmt.Errorf("exp: unit range [%d, %d) outside [0, %d)", start, end, g.Units())
+	}
+	cells := p.cells(algs)
+	out := make([]SweepUnitResult, end-start)
+	var wg sync.WaitGroup
+	work := make(chan int)
+	var firstErr error
+	var mu sync.Mutex
+	for wkr := 0; wkr < p.sc.Workers; wkr++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for u := range work {
+				if err := ctx.Err(); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					continue
+				}
+				ci, r0, r1 := g.Unit(u)
+				r := runCellRange(p, cells[ci], r0, r1)
+				if r.err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = r.err
+					}
+					mu.Unlock()
+					continue
+				}
+				out[u-start] = SweepUnitResult{
+					Unit:        u,
+					Makespans:   r.makespans,
+					Costs:       r.costs,
+					NumVMs:      r.numVMs,
+					Valid:       r.valid,
+					PlanSeconds: r.planTime,
+				}
+			}
+		}()
+	}
+	for u := start; u < end; u++ {
+		work <- u
+	}
+	close(work)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}
+
+// MergeSweepUnits reassembles unit outcomes — arriving in any order,
+// from any mix of workers — into the SweepResult the single-process
+// RunSweepCtx produces for the same scenario. Every unit of the grid
+// must be present exactly once. The merged PlanTime summaries use the
+// first block's measurement per cell (plan wall-time is the one
+// inherently non-deterministic observable; everything else is
+// bit-identical).
+func MergeSweepUnits(sc Scenario, algs []sched.Algorithm, gridK, repBlock int, units []SweepUnitResult) (*SweepResult, error) {
+	p, err := prepSweep(sc, gridK)
+	if err != nil {
+		return nil, err
+	}
+	g := SweepGridFor(sc, len(algs), gridK, repBlock)
+	if len(units) != g.Units() {
+		return nil, fmt.Errorf("exp: merge got %d units, want %d", len(units), g.Units())
+	}
+	ordered := append([]SweepUnitResult(nil), units...)
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].Unit < ordered[j].Unit })
+	for i, u := range ordered {
+		if u.Unit != i {
+			return nil, fmt.Errorf("exp: merge missing or duplicate unit %d (got %d)", i, u.Unit)
+		}
+	}
+
+	cells := p.cells(algs)
+	results := make([]cellResult, len(cells))
+	blocks := g.BlocksPerCell()
+	for ci := range cells {
+		r := cellResult{cell: cells[ci]}
+		for b := 0; b < blocks; b++ {
+			u := ordered[ci*blocks+b]
+			r.makespans = append(r.makespans, u.Makespans...)
+			r.costs = append(r.costs, u.Costs...)
+			r.valid += u.Valid
+			if b == 0 {
+				r.numVMs = u.NumVMs
+				r.planTime = u.PlanSeconds
+			}
+		}
+		results[ci] = r
+	}
+	out := p.result()
+	if err := aggregateCells(out, algs, p.sc.Instances, p.gridK, p.anchors, p.common, results); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// FaultGrid describes the unit decomposition of one fault sweep
+// (cells are (instance, rate) pairs).
+type FaultGrid struct {
+	Instances int `json:"instances"`
+	Rates     int `json:"rates"`
+	Reps      int `json:"reps"`
+	RepBlock  int `json:"repBlock"`
+}
+
+// FaultGridFor normalizes the scenario exactly as RunFaultSweepCtx
+// does and returns the resulting unit grid.
+func FaultGridFor(sc FaultScenario, repBlock int) (FaultGrid, error) {
+	n, err := sc.Normalize()
+	if err != nil {
+		return FaultGrid{}, err
+	}
+	if repBlock <= 0 || repBlock > n.Reps {
+		repBlock = n.Reps
+	}
+	return FaultGrid{Instances: n.Instances, Rates: len(n.Rates), Reps: n.Reps, RepBlock: repBlock}, nil
+}
+
+// BlocksPerCell is the number of replication blocks each cell splits
+// into.
+func (g FaultGrid) BlocksPerCell() int {
+	if g.RepBlock <= 0 {
+		return 1
+	}
+	return (g.Reps + g.RepBlock - 1) / g.RepBlock
+}
+
+// Cells is the number of (instance, rate) cells.
+func (g FaultGrid) Cells() int { return g.Instances * g.Rates }
+
+// Units is the total number of schedulable units.
+func (g FaultGrid) Units() int { return g.Cells() * g.BlocksPerCell() }
+
+// Unit maps a unit index to its cell index and replication range.
+func (g FaultGrid) Unit(u int) (cellIdx, repStart, repEnd int) {
+	blocks := g.BlocksPerCell()
+	cellIdx = u / blocks
+	block := u % blocks
+	repStart = block * g.RepBlock
+	repEnd = repStart + g.RepBlock
+	if repEnd > g.Reps {
+		repEnd = g.Reps
+	}
+	return cellIdx, repStart, repEnd
+}
+
+// FaultUnitResult is the mergeable partial aggregate of one fault-
+// sweep unit.
+type FaultUnitResult struct {
+	Unit          int       `json:"unit"`
+	Makespans     []float64 `json:"makespans"` // completed runs only
+	Costs         []float64 `json:"costs"`     // all runs
+	Completed     int       `json:"completed"`
+	InBudget      int       `json:"inBudget"`
+	Reps          int       `json:"reps"`
+	Crashes       int       `json:"crashes"`
+	BootFailures  int       `json:"bootFailures"`
+	TaskFailures  int       `json:"taskFailures"`
+	Recoveries    int       `json:"recoveries"`
+	Vetoed        int       `json:"vetoed"`
+	WastedSeconds float64   `json:"wastedSeconds"`
+}
+
+// RunFaultSweepUnitsCtx evaluates units [start, end) of the fault
+// sweep's enumeration and returns their outcomes ordered by unit
+// index.
+func RunFaultSweepUnitsCtx(ctx context.Context, sc FaultScenario, repBlock, start, end int) ([]FaultUnitResult, error) {
+	p, err := prepFaultSweep(sc)
+	if err != nil {
+		return nil, err
+	}
+	g, err := FaultGridFor(sc, repBlock)
+	if err != nil {
+		return nil, err
+	}
+	if start < 0 || end > g.Units() || start > end {
+		return nil, fmt.Errorf("exp: unit range [%d, %d) outside [0, %d)", start, end, g.Units())
+	}
+	cells := p.cells()
+	out := make([]FaultUnitResult, end-start)
+	var wg sync.WaitGroup
+	work := make(chan int)
+	var firstErr error
+	var mu sync.Mutex
+	for wkr := 0; wkr < p.sc.Workers; wkr++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for u := range work {
+				if err := ctx.Err(); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					continue
+				}
+				ci, r0, r1 := g.Unit(u)
+				r := runFaultCellRange(p, cells[ci], r0, r1)
+				if r.err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = r.err
+					}
+					mu.Unlock()
+					continue
+				}
+				out[u-start] = FaultUnitResult{
+					Unit:          u,
+					Makespans:     r.makespans,
+					Costs:         r.costs,
+					Completed:     r.completed,
+					InBudget:      r.inBudget,
+					Reps:          r.reps,
+					Crashes:       r.crashes,
+					BootFailures:  r.bootFails,
+					TaskFailures:  r.taskFails,
+					Recoveries:    r.recovered,
+					Vetoed:        r.vetoed,
+					WastedSeconds: r.wasted,
+				}
+			}
+		}()
+	}
+	for u := start; u < end; u++ {
+		work <- u
+	}
+	close(work)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}
+
+// MergeFaultSweepUnits reassembles fault-sweep unit outcomes into the
+// FaultSweepResult the single-process RunFaultSweepCtx produces for
+// the same scenario.
+func MergeFaultSweepUnits(sc FaultScenario, repBlock int, units []FaultUnitResult) (*FaultSweepResult, error) {
+	p, err := prepFaultSweep(sc)
+	if err != nil {
+		return nil, err
+	}
+	g, err := FaultGridFor(sc, repBlock)
+	if err != nil {
+		return nil, err
+	}
+	if len(units) != g.Units() {
+		return nil, fmt.Errorf("exp: merge got %d units, want %d", len(units), g.Units())
+	}
+	ordered := append([]FaultUnitResult(nil), units...)
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].Unit < ordered[j].Unit })
+	for i, u := range ordered {
+		if u.Unit != i {
+			return nil, fmt.Errorf("exp: merge missing or duplicate unit %d (got %d)", i, u.Unit)
+		}
+	}
+
+	cells := p.cells()
+	results := make([]faultCellResult, len(cells))
+	blocks := g.BlocksPerCell()
+	for ci := range cells {
+		r := faultCellResult{faultCell: cells[ci]}
+		for b := 0; b < blocks; b++ {
+			u := ordered[ci*blocks+b]
+			r.makespans = append(r.makespans, u.Makespans...)
+			r.costs = append(r.costs, u.Costs...)
+			r.completed += u.Completed
+			r.inBudget += u.InBudget
+			r.reps += u.Reps
+			r.crashes += u.Crashes
+			r.bootFails += u.BootFailures
+			r.taskFails += u.TaskFailures
+			r.recovered += u.Recoveries
+			r.vetoed += u.Vetoed
+			r.wasted += u.WastedSeconds
+		}
+		results[ci] = r
+	}
+	return aggregateFaultCells(p, results)
+}

@@ -129,6 +129,86 @@ type cellResult struct {
 	err       error
 }
 
+// sweepPrep is the deterministic per-scenario state every cell
+// evaluation needs: the materialized workflow instances, their budget
+// anchors and the common budget-factor grid. Because it is a pure
+// function of (Scenario, gridK), a distributed worker recomputing it
+// from the spec arrives at exactly the state the coordinator holds —
+// the foundation of the bit-identical sharding in shard.go.
+type sweepPrep struct {
+	sc        Scenario // after Defaults()
+	gridK     int
+	instances []*wf.Workflow
+	anchors   []*Anchors
+	common    []float64
+	minCostMk float64
+	minCostB  float64
+	baseMk    float64
+}
+
+// prepSweep normalizes the scenario and materializes instances,
+// anchors and the factor grid.
+func prepSweep(sc Scenario, gridK int) (*sweepPrep, error) {
+	sc = sc.Defaults()
+	if gridK <= 0 {
+		gridK = 8
+	}
+	p := &sweepPrep{
+		sc:        sc,
+		gridK:     gridK,
+		instances: make([]*wf.Workflow, sc.Instances),
+		anchors:   make([]*Anchors, sc.Instances),
+	}
+	factorGrid := make([][]float64, sc.Instances)
+	for i := range p.instances {
+		w, err := sc.Instance(i)
+		if err != nil {
+			return nil, err
+		}
+		a, err := ComputeAnchors(w, sc.Platform)
+		if err != nil {
+			return nil, err
+		}
+		p.instances[i] = w
+		p.anchors[i] = a
+		factorGrid[i] = a.BudgetFactors(gridK)
+		if p.common == nil || factorGrid[i][gridK-1] > p.common[gridK-1] {
+			p.common = factorGrid[i]
+		}
+		p.minCostMk += a.CheapMakespan / float64(sc.Instances)
+		p.minCostB += a.CheapCost / float64(sc.Instances)
+		p.baseMk += a.BaselineMakespan / float64(sc.Instances)
+	}
+	return p, nil
+}
+
+// cells enumerates the full cell space in the canonical order
+// (algorithm-major, then instance, then budget index). The order is a
+// pure function of the counts — never of scheduling, worker
+// interleaving or GOMAXPROCS — which is what makes shard
+// decomposition deterministic.
+func (p *sweepPrep) cells(algs []sched.Algorithm) []cell {
+	out := make([]cell, 0, len(algs)*p.sc.Instances*p.gridK)
+	for ai := range algs {
+		for i := 0; i < p.sc.Instances; i++ {
+			for b := 0; b < p.gridK; b++ {
+				out = append(out, cell{alg: algs[ai], algIdx: ai, instance: i, budgetIx: b})
+			}
+		}
+	}
+	return out
+}
+
+// result assembles the SweepResult envelope around aggregated series.
+func (p *sweepPrep) result() *SweepResult {
+	return &SweepResult{
+		Scenario:         p.sc,
+		MinCostMakespan:  p.minCostMk,
+		MinCostBudget:    p.minCostB,
+		BaselineMakespan: p.baseMk,
+	}
+}
+
 // RunSweep evaluates the given algorithms over a normalized budget
 // grid with gridK points, reproducing the paper's methodology: per
 // (type, size) it generates Instances workflows, plans once per
@@ -143,60 +223,15 @@ func RunSweep(sc Scenario, algs []sched.Algorithm, gridK int) (*SweepResult, err
 // timed-out or abandoned sweep request stops burning the worker pool
 // within one cell. The first context error aborts the whole sweep.
 func RunSweepCtx(ctx context.Context, sc Scenario, algs []sched.Algorithm, gridK int) (*SweepResult, error) {
-	sc = sc.Defaults()
-	if gridK <= 0 {
-		gridK = 8
+	p, err := prepSweep(sc, gridK)
+	if err != nil {
+		return nil, err
 	}
-
-	// Materialize instances and their anchors up front.
-	instances := make([]*wf.Workflow, sc.Instances)
-	anchors := make([]*Anchors, sc.Instances)
-	factorGrid := make([][]float64, sc.Instances)
-	minCostMk, minCostB, baseMk := 0.0, 0.0, 0.0
-	var commonFactors []float64
-	for i := range instances {
-		w, err := sc.Instance(i)
-		if err != nil {
-			return nil, err
-		}
-		a, err := ComputeAnchors(w, sc.Platform)
-		if err != nil {
-			return nil, err
-		}
-		instances[i] = w
-		anchors[i] = a
-		factorGrid[i] = a.BudgetFactors(gridK)
-		if commonFactors == nil || factorGrid[i][gridK-1] > commonFactors[gridK-1] {
-			commonFactors = factorGrid[i]
-		}
-		minCostMk += a.CheapMakespan / float64(sc.Instances)
-		minCostB += a.CheapCost / float64(sc.Instances)
-		baseMk += a.BaselineMakespan / float64(sc.Instances)
-	}
-
-	out := &SweepResult{
-		Scenario:         sc,
-		MinCostMakespan:  minCostMk,
-		MinCostBudget:    minCostB,
-		BaselineMakespan: baseMk,
-	}
-
-	// Enumerate cells. The slice is laid out so that the cell for
-	// (algIdx ai, instance i, budget b) sits at cellIndex(...): the
-	// aggregation below addresses results directly instead of scanning.
-	var cells []cell
-	for ai := range algs {
-		for i := 0; i < sc.Instances; i++ {
-			for b := 0; b < gridK; b++ {
-				cells = append(cells, cell{alg: algs[ai], algIdx: ai, instance: i, budgetIx: b})
-			}
-		}
-	}
-
+	cells := p.cells(algs)
 	results := make([]cellResult, len(cells))
 	var wg sync.WaitGroup
 	work := make(chan int)
-	for wkr := 0; wkr < sc.Workers; wkr++ {
+	for wkr := 0; wkr < p.sc.Workers; wkr++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -205,7 +240,7 @@ func RunSweepCtx(ctx context.Context, sc Scenario, algs []sched.Algorithm, gridK
 					results[ci] = cellResult{cell: cells[ci], err: err}
 					continue
 				}
-				results[ci] = runCell(sc, instances, anchors, commonFactors, cells[ci])
+				results[ci] = runCellRange(p, cells[ci], 0, p.sc.Reps)
 			}
 		}()
 	}
@@ -215,7 +250,8 @@ func RunSweepCtx(ctx context.Context, sc Scenario, algs []sched.Algorithm, gridK
 	close(work)
 	wg.Wait()
 
-	if err := aggregateCells(out, algs, sc.Instances, gridK, anchors, commonFactors, results); err != nil {
+	out := p.result()
+	if err := aggregateCells(out, algs, p.sc.Instances, p.gridK, p.anchors, p.common, results); err != nil {
 		return nil, err
 	}
 	return out, nil
@@ -271,12 +307,19 @@ func aggregateCells(out *SweepResult, algs []sched.Algorithm, instances, gridK i
 	return nil
 }
 
-// runCell plans one instance at one budget and replays it Reps times
-// with stochastic weights.
-func runCell(sc Scenario, instances []*wf.Workflow, anchors []*Anchors, factors []float64, c cell) cellResult {
+// runCellRange plans one instance at one budget and replays the
+// replications [repStart, repEnd) with stochastic weights. Each
+// replication's weight stream is derived solely from the scenario seed
+// and the (instance, budget, algorithm, rep) coordinates — never from
+// which block, worker or process computes it — so a cell evaluated as
+// several disjoint rep ranges concatenates to exactly the full-cell
+// run (the bit-identical sharding guarantee, pinned by the property
+// test in shard_test.go).
+func runCellRange(p *sweepPrep, c cell, repStart, repEnd int) cellResult {
+	sc := p.sc
 	res := cellResult{cell: c}
-	w := instances[c.instance]
-	budget := factors[c.budgetIx] * anchors[c.instance].CheapCost
+	w := p.instances[c.instance]
+	budget := p.common[c.budgetIx] * p.anchors[c.instance].CheapCost
 
 	start := time.Now()
 	s, err := c.alg.Plan(w, sc.Platform, budget)
@@ -300,7 +343,7 @@ func runCell(sc Scenario, instances []*wf.Workflow, anchors []*Anchors, factors 
 		res.err = err
 		return res
 	}
-	for rep := 0; rep < sc.Reps; rep++ {
+	for rep := repStart; rep < repEnd; rep++ {
 		r, err := runner.RunStochastic(stream.Split(uint64(rep)))
 		if err != nil {
 			res.err = err

@@ -24,13 +24,16 @@ import (
 )
 
 // Request-size ceilings: semantic validation limits that keep one
-// request from monopolizing the pool. Violations are 422s.
+// request from monopolizing the pool. Violations are 422s, except the
+// grid dimensions (gridK, replications): those are plain scalar-domain
+// checks and get per-field 400s, mirroring internal/dist job-spec
+// validation, which shares the same 400 ceilings.
 const (
 	maxReplications  = 10000
 	maxSweepTasks    = 500
-	maxSweepGridK    = 64
+	maxSweepGridK    = 400
 	maxSweepRuns     = 10  // instances
-	maxSweepReps     = 200 // replications per cell
+	maxSweepReps     = 400 // replications per cell
 	maxMaxSigmaRatio = 10.0
 )
 
@@ -372,15 +375,20 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusUnprocessableEntity, err.Error(), reqID)
 		return
 	}
+	// Grid dimensions are scalar-domain violations: per-field 400s.
+	switch {
+	case req.GridK < 0 || req.GridK > maxSweepGridK:
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("gridK: must be in [1, %d]", maxSweepGridK), reqID)
+		return
+	case req.Replications < 0 || req.Replications > maxSweepReps:
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("replications: must be in [1, %d]", maxSweepReps), reqID)
+		return
+	}
 	switch {
 	case req.N < 4 || req.N > maxSweepTasks:
 		err = fmt.Errorf("n must be in [4, %d]", maxSweepTasks)
-	case req.GridK < 0 || req.GridK > maxSweepGridK:
-		err = fmt.Errorf("gridK must be in [1, %d]", maxSweepGridK)
 	case req.Instances < 0 || req.Instances > maxSweepRuns:
 		err = fmt.Errorf("instances must be in [1, %d]", maxSweepRuns)
-	case req.Replications < 0 || req.Replications > maxSweepReps:
-		err = fmt.Errorf("replications must be in [1, %d]", maxSweepReps)
 	case req.SigmaRatio < 0 || req.SigmaRatio > maxMaxSigmaRatio || math.IsNaN(req.SigmaRatio):
 		err = fmt.Errorf("sigmaRatio must be in [0, %v]", maxMaxSigmaRatio)
 	}
@@ -421,30 +429,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			return nil, err
 		}
-		out := sweepResponse{
-			WorkflowType:     string(typ),
-			N:                req.N,
-			SigmaRatio:       res.Scenario.SigmaRatio,
-			MinCostMakespan:  res.MinCostMakespan,
-			MinCostBudget:    res.MinCostBudget,
-			BaselineMakespan: res.BaselineMakespan,
-			RequestID:        reqID,
-		}
-		for _, series := range res.Series {
-			ss := sweepSeries{Algorithm: string(series.Algorithm)}
-			for _, p := range series.Points {
-				ss.Points = append(ss.Points, sweepPoint{
-					Factor:    p.Factor,
-					Budget:    p.Budget,
-					Makespan:  toSummaryJSON(p.Makespan),
-					Cost:      toSummaryJSON(p.Cost),
-					NumVMs:    toSummaryJSON(p.NumVMs),
-					ValidFrac: p.ValidFrac,
-				})
-			}
-			out.Series = append(out.Series, ss)
-		}
-		return out, nil
+		return sweepResponseFrom(res, reqID), nil
 	})
 	if ok {
 		writeJSON(w, http.StatusOK, resp)

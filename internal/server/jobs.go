@@ -1,0 +1,369 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"strconv"
+
+	"budgetwf/internal/dist"
+	"budgetwf/internal/exp"
+	"budgetwf/internal/obs"
+	"budgetwf/internal/sched"
+	"budgetwf/internal/wfgen"
+)
+
+// The async-job and shard endpoints (internal/dist glue):
+//
+//	POST   /v1/jobs       submit a sweep/faultSweep/figure campaign → 202 {jobId}
+//	GET    /v1/jobs       list jobs (results elided)
+//	GET    /v1/jobs/{id}  state, unit progress, result when done
+//	DELETE /v1/jobs/{id}  cancel
+//	POST   /v1/shards     evaluate one unit range (the worker side)
+//
+// A job executes outside the request worker pool — submission costs a
+// 202, not a pool slot — through the server's dist.Coordinator, which
+// shards it across Config.Peers (or runs locally without peers).
+// Identical specs dedupe to one job by canonical hash, and because
+// results are deterministic a finished job doubles as a content-
+// addressed cache for its spec.
+
+// jobSubmitResponse is the body of a successful POST /v1/jobs.
+type jobSubmitResponse struct {
+	JobID    string     `json:"jobId"`
+	State    dist.State `json:"state"`
+	SpecHash string     `json:"specHash"`
+	// Deduped reports that an equivalent job already existed and its
+	// id was returned instead of starting a duplicate.
+	Deduped bool `json:"deduped"`
+	// TraceID names the job's span tree (one span per shard attempt)
+	// for GET /v1/traces/{traceId} once the job has run.
+	TraceID   string `json:"traceId"`
+	RequestID string `json:"requestId"`
+}
+
+// faultSweepPoint is one λ grid point of a fault-sweep job result.
+type faultSweepPoint struct {
+	Rate                   float64     `json:"rate"`
+	SuccessRate            float64     `json:"successRate"`
+	WithinBudget           float64     `json:"withinBudget"`
+	Makespan               summaryJSON `json:"makespan"`
+	Cost                   summaryJSON `json:"cost"`
+	CrashesPerRun          float64     `json:"crashesPerRun"`
+	BootFailuresPerRun     float64     `json:"bootFailuresPerRun"`
+	TaskFailuresPerRun     float64     `json:"taskFailuresPerRun"`
+	RecoveriesPerRun       float64     `json:"recoveriesPerRun"`
+	RecoveriesVetoedPerRun float64     `json:"recoveriesVetoedPerRun"`
+	WastedSecondsPerRun    float64     `json:"wastedSecondsPerRun"`
+	MakespanFactor         float64     `json:"makespanFactor"`
+	CostFactor             float64     `json:"costFactor"`
+}
+
+// faultSweepResponse is the result payload of a faultSweep job.
+type faultSweepResponse struct {
+	WorkflowType string            `json:"workflowType"`
+	N            int               `json:"n"`
+	Algorithm    string            `json:"algorithm"`
+	Budget       float64           `json:"budget"`
+	Points       []faultSweepPoint `json:"points"`
+}
+
+// figureJobResponse is the result payload of a figure job: one sweep
+// per paper workflow family, in exp.AllPaperTypes order.
+type figureJobResponse struct {
+	Figure int             `json:"figure"`
+	Sweeps []sweepResponse `json:"sweeps"`
+}
+
+// sweepResponseFrom maps an experiment-harness sweep result onto the
+// wire format shared by POST /v1/sweep and the job results (the CI
+// cluster smoke test diffs the two byte-for-byte).
+func sweepResponseFrom(res *exp.SweepResult, reqID string) sweepResponse {
+	out := sweepResponse{
+		WorkflowType:     string(res.Scenario.Type),
+		N:                res.Scenario.N,
+		SigmaRatio:       res.Scenario.SigmaRatio,
+		MinCostMakespan:  res.MinCostMakespan,
+		MinCostBudget:    res.MinCostBudget,
+		BaselineMakespan: res.BaselineMakespan,
+		RequestID:        reqID,
+	}
+	for _, series := range res.Series {
+		ss := sweepSeries{Algorithm: string(series.Algorithm)}
+		for _, p := range series.Points {
+			ss.Points = append(ss.Points, sweepPoint{
+				Factor:    p.Factor,
+				Budget:    p.Budget,
+				Makespan:  toSummaryJSON(p.Makespan),
+				Cost:      toSummaryJSON(p.Cost),
+				NumVMs:    toSummaryJSON(p.NumVMs),
+				ValidFrac: p.ValidFrac,
+			})
+		}
+		out.Series = append(out.Series, ss)
+	}
+	return out
+}
+
+// faultSweepResponseFrom maps a fault-sweep result onto the wire.
+func faultSweepResponseFrom(res *exp.FaultSweepResult) faultSweepResponse {
+	out := faultSweepResponse{
+		WorkflowType: string(res.Scenario.Type),
+		N:            res.Scenario.N,
+		Algorithm:    string(res.Scenario.Alg.Name),
+		Budget:       res.Budget,
+	}
+	for _, p := range res.Points {
+		out.Points = append(out.Points, faultSweepPoint{
+			Rate:                   p.Rate,
+			SuccessRate:            p.SuccessRate,
+			WithinBudget:           p.WithinBudget,
+			Makespan:               toSummaryJSON(p.Makespan),
+			Cost:                   toSummaryJSON(p.Cost),
+			CrashesPerRun:          p.Crashes,
+			BootFailuresPerRun:     p.BootFailures,
+			TaskFailuresPerRun:     p.TaskFailures,
+			RecoveriesPerRun:       p.Recoveries,
+			RecoveriesVetoedPerRun: p.RecoveriesVetoed,
+			WastedSecondsPerRun:    p.WastedSeconds,
+			MakespanFactor:         p.MakespanFactor,
+			CostFactor:             p.CostFactor,
+		})
+	}
+	return out
+}
+
+// jobTraceID derives the job's trace id from its canonical spec hash:
+// content-addressed, like the job itself.
+func jobTraceID(spec *dist.JobSpec) string { return "job-" + spec.Hash()[:12] }
+
+// writeFieldError maps a dist validation error onto the repo's error
+// discipline: scalar-domain violations are per-field 400s, semantic
+// ones (unknown algorithm, unsatisfiable generator constraint) 422s.
+func writeFieldError(w http.ResponseWriter, err error, reqID string) {
+	status := http.StatusBadRequest
+	var fe *dist.FieldError
+	if errors.As(err, &fe) && fe.Semantic {
+		status = http.StatusUnprocessableEntity
+	}
+	writeError(w, status, err.Error(), reqID)
+}
+
+// handleJobSubmit accepts one campaign spec and returns 202 with the
+// job id — freshly started, or deduplicated onto an equivalent
+// existing job.
+func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
+	reqID := requestID(r.Context())
+	var spec dist.JobSpec
+	if err := decodeStrict(r.Body, &spec); err != nil {
+		writeError(w, http.StatusBadRequest, "malformed request body: "+err.Error(), reqID)
+		return
+	}
+	spec.Normalize()
+	if err := spec.Validate(); err != nil {
+		writeFieldError(w, err, reqID)
+		return
+	}
+	view, created, err := s.jobs.Submit(spec)
+	switch {
+	case errors.Is(err, dist.ErrNotAccepting):
+		writeError(w, http.StatusServiceUnavailable, "draining, not accepting jobs", reqID)
+		return
+	case errors.Is(err, dist.ErrStoreFull):
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+		writeError(w, http.StatusTooManyRequests, "job store full, retry later", reqID)
+		return
+	case err != nil:
+		s.log.Error("job submit failed", "requestId", reqID, "error", err.Error())
+		writeError(w, http.StatusInternalServerError, "internal error", reqID)
+		return
+	}
+	s.metrics.observeJob("submitted")
+	if !created {
+		s.metrics.observeJob("deduped")
+	}
+	writeJSON(w, http.StatusAccepted, jobSubmitResponse{
+		JobID:     view.ID,
+		State:     view.State,
+		SpecHash:  view.SpecHash,
+		Deduped:   !created,
+		TraceID:   jobTraceID(&view.Spec),
+		RequestID: reqID,
+	})
+}
+
+// handleJobList lists every retained job, results elided (a figure
+// job's result is megabytes; fetch it per id).
+func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
+	views := s.jobs.List()
+	for i := range views {
+		views[i].Result = nil
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": views})
+}
+
+// handleJobGet reports one job: state, unit-merge progress, error or
+// result.
+func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	view, ok := s.jobs.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such job", requestID(r.Context()))
+		return
+	}
+	writeJSON(w, http.StatusOK, view)
+}
+
+// handleJobCancel cancels a job through its context. Pending jobs
+// cancel immediately; running jobs stop at the next shard boundary.
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	view, ok := s.jobs.Cancel(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such job", requestID(r.Context()))
+		return
+	}
+	s.metrics.observeJob("cancelRequested")
+	writeJSON(w, http.StatusOK, view)
+}
+
+// handleShard evaluates one unit range on this instance — the worker
+// side of distributed sweeps. Shards occupy one pool slot each, so a
+// worker's admission control (429 + Retry-After) throttles an eager
+// coordinator, which honors it.
+func (s *Server) handleShard(w http.ResponseWriter, r *http.Request) {
+	reqID := requestID(r.Context())
+	var req dist.ShardRequest
+	if err := decodeStrict(r.Body, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "malformed request body: "+err.Error(), reqID)
+		return
+	}
+	req.Normalize()
+	if err := req.Validate(); err != nil {
+		writeFieldError(w, err, reqID)
+		return
+	}
+	units, err := shardUnits(&req)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err.Error(), reqID)
+		return
+	}
+	if req.End > units {
+		writeError(w, http.StatusUnprocessableEntity,
+			"end: shard range ["+strconv.Itoa(req.Start)+", "+strconv.Itoa(req.End)+") exceeds the grid's "+strconv.Itoa(units)+" units", reqID)
+		return
+	}
+
+	root := rootSpan(r.Context())
+	root.Set(obs.Str("kind", string(req.Kind)), obs.Int("start", req.Start), obs.Int("end", req.End))
+	resp, ok := s.runPooled(w, r, func(ctx context.Context) (any, error) {
+		// Workers=1: like /v1/sweep, concurrency across shards is the
+		// pool's job; one shard occupies exactly one slot.
+		out, err := dist.ExecuteShard(ctx, &req, 1)
+		if err != nil {
+			return nil, err
+		}
+		s.metrics.observeShard()
+		return out, nil
+	})
+	if ok {
+		writeJSON(w, http.StatusOK, resp)
+	}
+}
+
+// shardUnits sizes the request's unit grid for range validation.
+func shardUnits(req *dist.ShardRequest) (int, error) {
+	switch req.Kind {
+	case dist.KindSweep:
+		sc, algs, gridK, err := req.Sweep.Scenario()
+		if err != nil {
+			return 0, err
+		}
+		return exp.SweepGridFor(sc, len(algs), gridK, req.RepBlock).Units(), nil
+	case dist.KindFaultSweep:
+		sc, err := req.FaultSweep.Scenario()
+		if err != nil {
+			return 0, err
+		}
+		g, err := exp.FaultGridFor(sc, req.RepBlock)
+		if err != nil {
+			return 0, err
+		}
+		return g.Units(), nil
+	}
+	return 0, errors.New("unknown shard kind")
+}
+
+// runJob is the store's RunFunc: it executes one campaign through the
+// coordinator — sharded across Config.Peers, or locally without any —
+// and shapes the result into the public wire formats. Each run records
+// a span tree (root → one span per shard attempt) retained in the
+// trace ring under the job's content-addressed trace id.
+func (s *Server) runJob(ctx context.Context, spec dist.JobSpec, progress func(done, total int)) (any, error) {
+	tr := obs.New("job:" + string(spec.Kind))
+	tr.SetID(jobTraceID(&spec))
+	defer func() {
+		tr.EndAll()
+		s.traces.Add(tr)
+	}()
+	opt := dist.RunOptions{Span: tr.Root(), Progress: progress}
+
+	switch spec.Kind {
+	case dist.KindSweep:
+		res, err := s.coord.RunSweep(ctx, spec.Sweep, opt)
+		if err != nil {
+			s.metrics.observeJob("failed")
+			return nil, err
+		}
+		s.metrics.observeJob("completed")
+		return sweepResponseFrom(res, ""), nil
+
+	case dist.KindFaultSweep:
+		res, err := s.coord.RunFaultSweep(ctx, spec.FaultSweep, opt)
+		if err != nil {
+			s.metrics.observeJob("failed")
+			return nil, err
+		}
+		s.metrics.observeJob("completed")
+		return faultSweepResponseFrom(res), nil
+
+	case dist.KindFigure:
+		f := spec.Figure
+		names, err := exp.FigureAlgorithms(f.Figure)
+		if err != nil {
+			return nil, err
+		}
+		cfg := exp.FigureConfig{
+			N: f.N, SigmaRatio: f.SigmaRatio, Instances: f.Instances,
+			Reps: f.Replications, GridK: f.GridK, Seed: f.Seed,
+		}
+		// The three family sweeps have identical grids; progress spans
+		// all of them.
+		perFam := exp.SweepGridFor(exp.Scenario{
+			Type: wfgen.AllPaperTypes()[0], N: f.N, SigmaRatio: f.SigmaRatio,
+			Instances: f.Instances, Reps: f.Replications, Seed: f.Seed,
+		}, len(names), f.GridK, s.coord.RepBlock).Units()
+		total := len(wfgen.AllPaperTypes()) * perFam
+		offset := 0
+		runner := func(sc exp.Scenario, algs []sched.Algorithm, gridK int) (*exp.SweepResult, error) {
+			famOpt := opt
+			famOpt.Progress = func(d, _ int) { progress(offset+d, total) }
+			res, err := s.coord.RunSweep(ctx, dist.SpecFromScenario(sc, algs, gridK), famOpt)
+			if err == nil {
+				offset += perFam
+				progress(offset, total)
+			}
+			return res, err
+		}
+		sweeps, err := exp.RunFigureSweepsUsing(cfg, names, runner)
+		if err != nil {
+			s.metrics.observeJob("failed")
+			return nil, err
+		}
+		out := figureJobResponse{Figure: f.Figure}
+		for _, res := range sweeps {
+			out.Sweeps = append(out.Sweeps, sweepResponseFrom(res, ""))
+		}
+		s.metrics.observeJob("completed")
+		return out, nil
+	}
+	return nil, errors.New("unknown job kind")
+}

@@ -20,12 +20,15 @@ type Metrics struct {
 	statuses   *expvar.Map // HTTP status → response count
 	algorithms *expvar.Map // algorithm → schedule requests (hits + plans)
 	latencies  *expvar.Map // endpoint → latency histogram
+	jobs       *expvar.Map // async-job lifecycle event → count
+	shards     expvar.Int  // shards served via POST /v1/shards
 	panics     expvar.Int
 
-	mu    sync.Mutex // guards lazy histogram creation
-	cache *planCache
-	pool  *workerPool
-	root  *expvar.Map
+	mu        sync.Mutex // guards lazy histogram creation
+	cache     *planCache
+	pool      *workerPool
+	root      *expvar.Map
+	jobStates func() map[string]int // live job-state gauge, nil until set
 }
 
 func newMetrics(cache *planCache, pool *workerPool) *Metrics {
@@ -34,6 +37,7 @@ func newMetrics(cache *planCache, pool *workerPool) *Metrics {
 		statuses:   new(expvar.Map).Init(),
 		algorithms: new(expvar.Map).Init(),
 		latencies:  new(expvar.Map).Init(),
+		jobs:       new(expvar.Map).Init(),
 		cache:      cache,
 		pool:       pool,
 	}
@@ -42,6 +46,8 @@ func newMetrics(cache *planCache, pool *workerPool) *Metrics {
 	m.root.Set("statuses", m.statuses)
 	m.root.Set("algorithms", m.algorithms)
 	m.root.Set("latencyMs", m.latencies)
+	m.root.Set("jobs", m.jobs)
+	m.root.Set("shardsServed", &m.shards)
 	m.root.Set("panics", &m.panics)
 	m.root.Set("cache", expvar.Func(func() any {
 		return map[string]any{
@@ -73,6 +79,29 @@ func (m *Metrics) observe(endpoint string, status int, d time.Duration) {
 
 // observeAlgorithm counts one /v1/schedule request per algorithm.
 func (m *Metrics) observeAlgorithm(name string) { m.algorithms.Add(name, 1) }
+
+// observeJob counts one async-job lifecycle event (submitted, deduped,
+// completed, failed, cancelRequested).
+func (m *Metrics) observeJob(event string) { m.jobs.Add(event, 1) }
+
+// observeShard counts one shard served via POST /v1/shards.
+func (m *Metrics) observeShard() { m.shards.Add(1) }
+
+// setJobStates installs the live job-state gauge (state → count) and
+// publishes it under "jobStates" in the expvar map.
+func (m *Metrics) setJobStates(fn func() map[string]int) {
+	m.jobStates = fn
+	m.root.Set("jobStates", expvar.Func(func() any { return fn() }))
+}
+
+// JobEventCount returns the number of observed job lifecycle events of
+// one kind (tests assert on submissions and dedupes through it).
+func (m *Metrics) JobEventCount(event string) int64 {
+	if v, ok := m.jobs.Get(event).(*expvar.Int); ok {
+		return v.Value()
+	}
+	return 0
+}
 
 // observePanic counts one recovered handler panic.
 func (m *Metrics) observePanic() { m.panics.Add(1) }

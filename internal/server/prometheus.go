@@ -71,6 +71,30 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 		fmt.Fprintf(w, "budgetwfd_schedule_algorithms_total{algorithm=%q} %d\n", escapeLabelValue(c.Key), c.Value)
 	}
 
+	fmt.Fprintln(w, "# HELP budgetwfd_jobs_total Async-job lifecycle events, by event.")
+	fmt.Fprintln(w, "# TYPE budgetwfd_jobs_total counter")
+	for _, c := range mapCounters(m.jobs) {
+		fmt.Fprintf(w, "budgetwfd_jobs_total{event=%q} %d\n", escapeLabelValue(c.Key), c.Value)
+	}
+
+	if m.jobStates != nil {
+		fmt.Fprintln(w, "# HELP budgetwfd_jobs Retained async jobs, by state.")
+		fmt.Fprintln(w, "# TYPE budgetwfd_jobs gauge")
+		states := m.jobStates()
+		keys := make([]string, 0, len(states))
+		for k := range states {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(w, "budgetwfd_jobs{state=%q} %d\n", escapeLabelValue(k), states[k])
+		}
+	}
+
+	fmt.Fprintln(w, "# HELP budgetwfd_shards_served_total Shards evaluated via POST /v1/shards.")
+	fmt.Fprintln(w, "# TYPE budgetwfd_shards_served_total counter")
+	fmt.Fprintf(w, "budgetwfd_shards_served_total %d\n", m.shards.Value())
+
 	fmt.Fprintln(w, "# HELP budgetwfd_panics_total Handler panics recovered by the middleware.")
 	fmt.Fprintln(w, "# TYPE budgetwfd_panics_total counter")
 	fmt.Fprintf(w, "budgetwfd_panics_total %d\n", m.panics.Value())

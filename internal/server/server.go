@@ -7,6 +7,11 @@
 //	POST /v1/schedule   workflow + platform + algorithm + budget → plan
 //	POST /v1/simulate   workflow + platform + plan → stochastic aggregates
 //	POST /v1/sweep      generator family + budget grid → Figure-1-style sweep
+//	POST /v1/jobs       async campaign (sweep/faultSweep/figure) → 202 {jobId}
+//	GET  /v1/jobs       list async jobs
+//	GET  /v1/jobs/{id}  job state, progress, result
+//	DELETE /v1/jobs/{id} cancel a job
+//	POST /v1/shards     evaluate one shard (worker side of distributed sweeps)
 //	GET  /v1/algorithms registered algorithms
 //	GET  /healthz       liveness
 //	GET  /readyz        readiness (503 while draining)
@@ -39,6 +44,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"budgetwf/internal/dist"
 	"budgetwf/internal/obs"
 )
 
@@ -68,6 +74,16 @@ type Config struct {
 	// for GET /v1/traces/{requestId}; default 64, -1 disables retention
 	// (inline ?trace=1 responses still work).
 	TraceRingSize int
+	// Peers lists worker base URLs ("http://host:9090") the async-job
+	// coordinator shards campaigns across. Empty means jobs run
+	// locally, in-process.
+	Peers []string
+	// JournalPath, when set, persists the async-job log there so
+	// acknowledged jobs survive a crash or a draining restart.
+	JournalPath string
+	// MaxJobs bounds retained async-job records (running + terminal);
+	// default 256.
+	MaxJobs int
 	// Logger receives structured request logs; default JSON to stderr.
 	Logger *slog.Logger
 }
@@ -115,6 +131,9 @@ type Server struct {
 	cache   *planCache
 	metrics *Metrics
 	traces  *obs.Ring
+	jobs    *dist.Store
+	coord   *dist.Coordinator
+	journal *dist.Journal
 	mux     *http.ServeMux
 	ready   atomic.Bool
 	reqSeq  atomic.Uint64
@@ -136,8 +155,43 @@ func New(cfg Config) *Server {
 		nonce:  fmt.Sprintf("%x", time.Now().UnixNano()&0xffffff),
 	}
 	s.metrics = newMetrics(s.cache, s.pool)
+	s.coord = &dist.Coordinator{
+		Workers:      cfg.Peers,
+		LocalWorkers: cfg.Workers,
+		Logf: func(format string, args ...any) {
+			s.log.Warn("coordinator: " + fmt.Sprintf(format, args...))
+		},
+	}
+	// A journal that fails to open is logged, not fatal: the daemon
+	// still serves, jobs just won't survive a restart.
+	var restored []dist.RestoredJob
+	if cfg.JournalPath != "" {
+		j, rs, err := dist.OpenJournal(cfg.JournalPath)
+		if err != nil {
+			s.log.Error("job journal unavailable", "path", cfg.JournalPath, "error", err.Error())
+		} else {
+			s.journal = j
+			restored = rs
+		}
+	}
+	s.jobs = dist.NewStore(dist.StoreOptions{
+		Run:     s.runJob,
+		MaxJobs: cfg.MaxJobs,
+		Journal: s.journal,
+		Logf: func(format string, args ...any) {
+			s.log.Warn("jobs: " + fmt.Sprintf(format, args...))
+		},
+	})
+	s.metrics.setJobStates(func() map[string]int {
+		out := make(map[string]int)
+		for st, n := range s.jobs.Counts() {
+			out[string(st)] = n
+		}
+		return out
+	})
 	s.mux = http.NewServeMux()
 	s.routes()
+	s.jobs.Restore(restored)
 	s.ready.Store(true)
 	return s
 }
@@ -153,6 +207,11 @@ func (s *Server) routes() {
 	s.mux.Handle("POST /v1/schedule", s.wrap("schedule", s.handleSchedule))
 	s.mux.Handle("POST /v1/simulate", s.wrap("simulate", s.handleSimulate))
 	s.mux.Handle("POST /v1/sweep", s.wrap("sweep", s.handleSweep))
+	s.mux.Handle("POST /v1/jobs", s.wrap("jobs", s.handleJobSubmit))
+	s.mux.Handle("GET /v1/jobs", s.wrap("jobs", s.handleJobList))
+	s.mux.Handle("GET /v1/jobs/{id}", s.wrap("jobs", s.handleJobGet))
+	s.mux.Handle("DELETE /v1/jobs/{id}", s.wrap("jobs", s.handleJobCancel))
+	s.mux.Handle("POST /v1/shards", s.wrap("shards", s.handleShard))
 	if s.cfg.EnablePprof {
 		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
 		s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
@@ -191,15 +250,23 @@ func (s *Server) ListenAndServe() error {
 }
 
 // Shutdown drains the server gracefully: /readyz starts returning 503
-// (so load balancers stop routing here), the HTTP listener stops
-// accepting and waits for in-flight handlers within ctx, then the
-// worker pool stops admission and drains queued and running jobs.
+// (so load balancers stop routing here) and job submission closes,
+// then in-flight async jobs get until ctx to finish — any still
+// running are re-queued to the journal for the next process — then
+// the HTTP listener stops accepting and waits for in-flight handlers
+// within ctx, and finally the worker pool drains.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.ready.Store(false)
+	if jerr := s.jobs.Drain(ctx); jerr != nil {
+		s.log.Warn("drain: interrupted jobs re-queued to journal", "error", jerr.Error())
+	}
 	var err error
 	if s.httpSrv != nil {
 		err = s.httpSrv.Shutdown(ctx)
 	}
 	s.pool.close()
+	if s.journal != nil {
+		s.journal.Close()
+	}
 	return err
 }

@@ -410,18 +410,24 @@ func TestSweepValidation(t *testing.T) {
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 
-	cases := map[string]map[string]any{
-		"unknown type": {"workflowType": "escher", "n": 10},
-		"n too small":  {"workflowType": "montage", "n": 2},
-		"n too large":  {"workflowType": "montage", "n": 100000},
-		"bad alg":      {"workflowType": "montage", "n": 15, "algorithms": []string{"nope"}},
-		"reps too big": {"workflowType": "montage", "n": 15, "replications": 100000},
+	// Semantic violations are 422s; grid-dimension (scalar-domain)
+	// violations are per-field 400s.
+	cases := map[string]struct {
+		body map[string]any
+		want int
+	}{
+		"unknown type":  {map[string]any{"workflowType": "escher", "n": 10}, http.StatusUnprocessableEntity},
+		"n too small":   {map[string]any{"workflowType": "montage", "n": 2}, http.StatusUnprocessableEntity},
+		"n too large":   {map[string]any{"workflowType": "montage", "n": 100000}, http.StatusUnprocessableEntity},
+		"bad alg":       {map[string]any{"workflowType": "montage", "n": 15, "algorithms": []string{"nope"}}, http.StatusUnprocessableEntity},
+		"reps too big":  {map[string]any{"workflowType": "montage", "n": 15, "replications": 100000}, http.StatusBadRequest},
+		"gridK too big": {map[string]any{"workflowType": "montage", "n": 15, "gridK": 100000}, http.StatusBadRequest},
 	}
-	for name, m := range cases {
-		body, _ := json.Marshal(m)
+	for name, tc := range cases {
+		body, _ := json.Marshal(tc.body)
 		code, data, _ := post(t, ts, "/v1/sweep", body)
-		if code != http.StatusUnprocessableEntity {
-			t.Errorf("%s: status = %d, want 422 (body %s)", name, code, data)
+		if code != tc.want {
+			t.Errorf("%s: status = %d, want %d (body %s)", name, code, tc.want, data)
 		}
 	}
 }
