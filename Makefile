@@ -2,8 +2,8 @@
 
 GO ?= go
 
-.PHONY: all build vet test bench figs figs-quick report fuzz serve loadtest clean \
-	bench-json bench-json-check bench-json-smoke
+.PHONY: all build vet test bench figs figs-quick report fuzz serve serve-pool \
+	loadtest loadtest-tenants clean bench-json bench-json-check bench-json-smoke
 
 all: build vet test
 
@@ -50,11 +50,22 @@ figs-quick:
 serve:
 	$(GO) run ./cmd/budgetwfd -addr :8080
 
+# Run the daemon with the multi-tenant shared VM pool enabled:
+# POST /v1/submit, GET /v1/tenants, budgetwfd_tenant_* metrics.
+serve-pool:
+	$(GO) run ./cmd/budgetwfd -addr :8080 -pool -time-to-shutdown 360
+
 # Drive a running daemon with concurrent /v1/schedule traffic
 # (repeats across a few distinct workflows, so the plan cache and the
 # admission control both show up in the report).
 loadtest:
 	$(GO) run ./cmd/loadgen -url http://localhost:8080 -n 200 -c 16 -distinct 4
+
+# Drive a pool-enabled daemon (make serve-pool) with three tenants'
+# workflow streams; the report includes per-tenant billing ledgers and
+# the cross-tenant VM reuse the shared pool achieved.
+loadtest-tenants:
+	$(GO) run ./cmd/loadgen -url http://localhost:8080 -tenants 3 -n 30 -c 4
 
 fuzz:
 	$(GO) test -fuzz FuzzReadJSON -fuzztime 30s ./internal/wf/

@@ -22,6 +22,17 @@
 // single-process run. -worker only widens the default -timeout to 10m
 // (shards are long-running); every daemon always serves /v1/shards.
 //
+// Multi-tenant mode (see README "Multi-tenant service") mounts a
+// continuously-running shared VM pool —
+//
+//	budgetwfd -pool -time-to-shutdown 360 -tenant-max-vms 16
+//
+// Tenants POST workflows to /v1/submit; idle VMs are leased across
+// tenants within their already-paid billing period and deprovisioned
+// when the next billing boundary is closer than -time-to-shutdown.
+// Per-tenant billing ledgers appear at GET /v1/tenants and as
+// budgetwfd_tenant_* series in GET /metrics?format=prometheus.
+//
 // The daemon applies admission control (429 + Retry-After when the
 // worker queue is full), caches plans by content hash, publishes
 // expvar metrics under "budgetwfd" (also at GET /metrics), and drains
@@ -67,6 +78,12 @@ func run(args []string) error {
 	peers := fs.String("peers", "", "comma-separated worker base URLs to shard async jobs across (e.g. http://w1:9090,http://w2:9090)")
 	journal := fs.String("journal", "", "async-job journal path; jobs survive crashes and draining restarts")
 	maxJobs := fs.Int("max-jobs", 0, "retained async-job records (0 = default 256)")
+	poolOn := fs.Bool("pool", false, "enable the multi-tenant shared-pool service (POST /v1/submit, GET /v1/tenants)")
+	timeToShutdown := fs.Float64("time-to-shutdown", 0, "idle-VM release threshold in virtual seconds; an idle pooled VM is deprovisioned when the time to its next billing boundary drops below this (0 = 10% of -billing-quantum)")
+	billingQuantum := fs.Float64("billing-quantum", 3600, "billing granularity of the shared pool's platform, in virtual seconds (VM lifetimes are billed in whole quanta; 0 = continuous per-second billing, which disables reuse)")
+	tenantMaxVMs := fs.Int("tenant-max-vms", 16, "default fair-share cap on a tenant's concurrently provisioned VMs")
+	tenantMaxQueued := fs.Int("tenant-max-queued", 8, "default fair-share cap on a tenant's concurrently queued-or-running workflows")
+	poolSeed := fs.Uint64("pool-seed", 0, "seed for the shared pool's stochastic task-weight sampling")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -85,6 +102,13 @@ func run(args []string) error {
 		Peers:          splitPeers(*peers),
 		JournalPath:    *journal,
 		MaxJobs:        *maxJobs,
+
+		EnablePool:         *poolOn,
+		PoolTimeToShutdown: *timeToShutdown,
+		PoolBillingQuantum: *billingQuantum,
+		TenantMaxVMs:       *tenantMaxVMs,
+		TenantMaxQueued:    *tenantMaxQueued,
+		PoolSeed:           *poolSeed,
 	})
 	srv.PublishExpvar("budgetwfd")
 	if ps := splitPeers(*peers); len(ps) > 0 {
@@ -92,6 +116,10 @@ func run(args []string) error {
 	}
 	if *workerMode {
 		fmt.Fprintf(os.Stderr, "budgetwfd: worker mode, request timeout %s\n", *timeout)
+	}
+	if *poolOn {
+		fmt.Fprintf(os.Stderr, "budgetwfd: shared pool enabled (billing quantum %gs, time to shutdown %gs, tenant caps %d VMs / %d queued)\n",
+			*billingQuantum, *timeToShutdown, *tenantMaxVMs, *tenantMaxQueued)
 	}
 
 	if *debugAddr != "" {

@@ -11,10 +11,18 @@
 // and reports end-to-end job latency percentiles plus the dedupe rate
 // (repeated specs collapse onto one job, like cache hits).
 //
+// With -tenants it drives the multi-tenant shared-pool service of a
+// daemon started with -pool: submissions are spread round-robin over
+// that many tenant identities against POST /v1/submit, and the report
+// includes per-tenant billing ledgers from GET /v1/tenants — how many
+// VMs each tenant leased from other tenants' already-paid billing
+// periods, and how much provisioning cost the sharing saved.
+//
 // Usage:
 //
 //	loadgen -url http://localhost:8080 -n 200 -c 16 -distinct 4
 //	loadgen -url http://localhost:8080 -jobs -n 8 -c 4 -distinct 4
+//	loadgen -url http://localhost:8080 -tenants 3 -n 30 -c 4
 package main
 
 import (
@@ -54,6 +62,7 @@ func run(args []string, stdout io.Writer) error {
 	retryCap := fs.Duration("retry-cap", 10*time.Second, "ceiling on a single retry backoff sleep")
 	jobsMode := fs.Bool("jobs", false, "async-job mode: submit sweep campaigns to /v1/jobs and poll to completion")
 	jobTimeout := fs.Duration("job-timeout", 5*time.Minute, "give up polling a job after this long")
+	tenants := fs.Int("tenants", 0, "multi-tenant mode: spread submissions over this many tenants against POST /v1/submit of a pool-enabled daemon (budgetwfd -pool)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -62,6 +71,9 @@ func run(args []string, stdout io.Writer) error {
 	}
 	if *jobsMode {
 		return runJobs(stdout, *baseURL, *total, *conc, *distinct, *size, *retryCap, *jobTimeout)
+	}
+	if *tenants > 0 {
+		return runTenants(stdout, *baseURL, *total, *conc, *tenants, *size, *alg, *retries, *retryCap)
 	}
 
 	// Pre-render the request bodies: distinct Montage instances, each

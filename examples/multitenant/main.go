@@ -1,0 +1,93 @@
+// Multi-tenant shared pool vs private pools: the economic argument
+// for the tentpole service. Three tenants stream Poisson-arriving
+// workflows at one scheduler. In the shared configuration an idle VM
+// whose billing quantum is already paid is leased to whichever tenant
+// arrives next, and only deprovisioned when the next billing boundary
+// is closer than the time-to-shutdown threshold. The baseline sets
+// time-to-shutdown to a full quantum, which releases every VM the
+// moment its workflow settles — each workflow then provisions its own
+// private pool, exactly like running internal/online once per
+// submission.
+//
+// Both runs execute the identical submission trace (same seed, same
+// workflows, same arrival times), so the difference in total billed
+// cost is attributable to reuse alone: leased VMs skip the
+// provisioning fee and boot delay, and tail ends of already-paid
+// quanta do work instead of expiring idle.
+//
+// Run with: go run ./examples/multitenant
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"budgetwf/internal/online"
+	"budgetwf/internal/platform"
+	"budgetwf/internal/pool"
+)
+
+func main() {
+	spec := pool.TraceSpec{
+		Seed: 42,
+		Tenants: []pool.TenantTraffic{
+			{Tenant: pool.TenantSpec{ID: "astro"}, Rate: 2, Count: 6,
+				WorkflowType: "montage", Tasks: 20, Budget: 5, Algorithm: "heftbudg"},
+			{Tenant: pool.TenantSpec{ID: "seismo"}, Rate: 3, Count: 6,
+				WorkflowType: "cybershake", Tasks: 16, Budget: 5, Algorithm: "heftbudg"},
+			{Tenant: pool.TenantSpec{ID: "batch"}, Rate: 1, Count: 4,
+				WorkflowType: "chain", Tasks: 8, Algorithm: "heft"},
+		},
+	}
+
+	quantum := 3600.0
+	run := func(label string, tts float64) *pool.TraceResult {
+		plat := platform.Default()
+		plat.BillingQuantum = quantum
+		res, err := pool.RunTrace(pool.Config{
+			Platform:       plat,
+			TimeToShutdown: tts,
+			Policy:         online.DefaultPolicy(0),
+			Seed:           7,
+		}, spec, nil)
+		if err != nil {
+			log.Fatalf("%s: %v", label, err)
+		}
+		return res
+	}
+
+	// Private baseline: tts = quantum means "remaining paid time <=
+	// time-to-shutdown" holds the instant a VM goes idle, so nothing is
+	// ever kept for the next arrival.
+	private := run("private", quantum)
+	// Shared pool: keep idle VMs until 10% of the quantum remains.
+	shared := run("shared", 0.1*quantum)
+
+	fmt.Println("Identical 16-workflow trace, 3 tenants, billing quantum 3600s:")
+	fmt.Println()
+	row := func(label string, s pool.Stats) {
+		fmt.Printf("  %-22s provisioned=%3d reused=%3d billed=%8.4f savedInit=%.4f idleWaste=%.0fs\n",
+			label, s.Provisioned, s.Reused, s.BilledTotal, s.SavedInitCost, s.IdleWasteSeconds)
+	}
+	row("private pools", private.Stats)
+	row("shared pool (tts=360)", shared.Stats)
+	fmt.Println()
+
+	fmt.Println("Per-tenant bills:")
+	fmt.Printf("  %-8s %12s %12s %10s %10s\n", "tenant", "private", "shared", "reusedVMs", "savedInit")
+	for i, tv := range shared.Tenants {
+		fmt.Printf("  %-8s %12.4f %12.4f %10d %10.4f\n",
+			tv.ID, private.Tenants[i].Billed, tv.Billed, tv.ReusedVMs, tv.SavedInitCost)
+	}
+	fmt.Println()
+
+	saving := private.Stats.BilledTotal - shared.Stats.BilledTotal
+	fmt.Printf("Shared pool bills %.4f less in total (%.1f%% of the private bill):\n",
+		saving, 100*saving/private.Stats.BilledTotal)
+	fmt.Printf("  %d of %d VM acquisitions were leases of already-paid VMs,\n",
+		shared.Stats.Reused, shared.Stats.Reused+shared.Stats.Provisioned)
+	fmt.Printf("  each skipping the provisioning fee and the boot delay.\n")
+	if shared.Stats.BilledTotal >= private.Stats.BilledTotal {
+		log.Fatal("expected the shared pool to be cheaper")
+	}
+}

@@ -1,0 +1,131 @@
+// Package evloop is the deterministic discrete-event substrate shared
+// by the single-workflow online executor (internal/online) and the
+// multi-tenant shared-pool service (internal/pool).
+//
+// Determinism is the whole point: events are dispatched in strict
+// (time, insertion-sequence) order, so two runs that push the same
+// events in the same order dispatch them in the same order, tied
+// instants included. The insertion sequence is assigned by Push — the
+// caller never supplies it — which makes the tie-break a pure function
+// of program order and lets a host loop (the pool) interleave events
+// from many producers (one hosted executor per in-flight workflow,
+// plus its own billing-boundary and deprovision timers) while keeping
+// every producer's internal order intact. That property is what makes
+// a single-tenant pool run bit-identical to a standalone
+// internal/online execution: same events, same relative order, same
+// floating-point arithmetic.
+package evloop
+
+import "fmt"
+
+// Item is one schedulable event. When is the virtual instant the event
+// fires; EvSeq/SetEvSeq expose the loop-assigned insertion sequence
+// used to break ties deterministically.
+type Item interface {
+	When() float64
+	EvSeq() int
+	SetEvSeq(int)
+}
+
+// Loop is a deterministic event loop: a binary min-heap ordered by
+// (When, EvSeq) plus a monotonic virtual clock. The zero value is
+// ready to use. Loop is not safe for concurrent use; hosts serialize
+// access (the pool's HTTP service holds a mutex across a drain).
+type Loop[E Item] struct {
+	now float64
+	seq int
+	h   []E
+}
+
+// Now returns the virtual clock.
+func (l *Loop[E]) Now() float64 { return l.now }
+
+// Len returns the number of pending events.
+func (l *Loop[E]) Len() int { return len(l.h) }
+
+// Push schedules an event, assigning it the next insertion sequence.
+// Scheduling in the past is legal at push time (the error surfaces at
+// Advance, where the contract is actually violated).
+func (l *Loop[E]) Push(e E) {
+	e.SetEvSeq(l.seq)
+	l.seq++
+	l.h = append(l.h, e)
+	l.up(len(l.h) - 1)
+}
+
+// Pop removes and returns the earliest pending event.
+func (l *Loop[E]) Pop() (E, bool) {
+	var zero E
+	if len(l.h) == 0 {
+		return zero, false
+	}
+	top := l.h[0]
+	last := len(l.h) - 1
+	l.h[0] = l.h[last]
+	l.h[last] = zero // release the reference
+	l.h = l.h[:last]
+	if len(l.h) > 0 {
+		l.down(0)
+	}
+	return top, true
+}
+
+// Peek returns the earliest pending event without removing it.
+func (l *Loop[E]) Peek() (E, bool) {
+	var zero E
+	if len(l.h) == 0 {
+		return zero, false
+	}
+	return l.h[0], true
+}
+
+// Advance moves the clock to t. Moving backwards (beyond a small
+// absolute tolerance for float noise on tied instants) is a corrupted
+// heap or a mis-timed push, never a legal schedule: it fails loudly.
+func (l *Loop[E]) Advance(t float64) error {
+	if t < l.now-1e-9 {
+		return fmt.Errorf("evloop: time went backwards: %v -> %v", l.now, t)
+	}
+	if t > l.now {
+		l.now = t
+	}
+	return nil
+}
+
+func (l *Loop[E]) less(i, j int) bool {
+	ti, tj := l.h[i].When(), l.h[j].When()
+	if ti != tj {
+		return ti < tj
+	}
+	return l.h[i].EvSeq() < l.h[j].EvSeq()
+}
+
+func (l *Loop[E]) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !l.less(i, parent) {
+			return
+		}
+		l.h[i], l.h[parent] = l.h[parent], l.h[i]
+		i = parent
+	}
+}
+
+func (l *Loop[E]) down(i int) {
+	n := len(l.h)
+	for {
+		left, right := 2*i+1, 2*i+2
+		smallest := i
+		if left < n && l.less(left, smallest) {
+			smallest = left
+		}
+		if right < n && l.less(right, smallest) {
+			smallest = right
+		}
+		if smallest == i {
+			return
+		}
+		l.h[i], l.h[smallest] = l.h[smallest], l.h[i]
+		i = smallest
+	}
+}

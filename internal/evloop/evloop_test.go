@@ -1,0 +1,101 @@
+package evloop
+
+import (
+	"testing"
+
+	"budgetwf/internal/rng"
+)
+
+type testEv struct {
+	at  float64
+	seq int
+	id  int
+}
+
+func (e *testEv) When() float64  { return e.at }
+func (e *testEv) EvSeq() int     { return e.seq }
+func (e *testEv) SetEvSeq(s int) { e.seq = s }
+
+func TestOrdersByTimeThenInsertion(t *testing.T) {
+	var l Loop[*testEv]
+	// Three tied instants interleaved with distinct ones; ties must
+	// come out in push order.
+	l.Push(&testEv{at: 5, id: 0})
+	l.Push(&testEv{at: 1, id: 1})
+	l.Push(&testEv{at: 5, id: 2})
+	l.Push(&testEv{at: 3, id: 3})
+	l.Push(&testEv{at: 5, id: 4})
+	want := []int{1, 3, 0, 2, 4}
+	for i, w := range want {
+		ev, ok := l.Pop()
+		if !ok {
+			t.Fatalf("pop %d: empty", i)
+		}
+		if ev.id != w {
+			t.Fatalf("pop %d: got id %d, want %d", i, ev.id, w)
+		}
+	}
+	if _, ok := l.Pop(); ok {
+		t.Fatal("pop on empty loop succeeded")
+	}
+}
+
+func TestAdvanceMonotonic(t *testing.T) {
+	var l Loop[*testEv]
+	if err := l.Advance(10); err != nil {
+		t.Fatal(err)
+	}
+	if l.Now() != 10 {
+		t.Fatalf("Now() = %v, want 10", l.Now())
+	}
+	// Same instant and tiny backwards noise are fine.
+	if err := l.Advance(10); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Advance(10 - 1e-12); err != nil {
+		t.Fatal(err)
+	}
+	if l.Now() != 10 {
+		t.Fatalf("Now() = %v, want clock unmoved at 10", l.Now())
+	}
+	if err := l.Advance(9); err == nil {
+		t.Fatal("Advance(9) after Advance(10) should fail")
+	}
+}
+
+func TestHeapPropertyRandomized(t *testing.T) {
+	r := rng.New(42)
+	for trial := 0; trial < 50; trial++ {
+		var l Loop[*testEv]
+		n := 1 + r.Intn(200)
+		for i := 0; i < n; i++ {
+			// Coarse times force plenty of ties.
+			l.Push(&testEv{at: float64(r.Intn(20)), id: i})
+		}
+		lastT, lastSeq := -1.0, -1
+		for l.Len() > 0 {
+			ev, _ := l.Pop()
+			if ev.at < lastT || (ev.at == lastT && ev.seq < lastSeq) {
+				t.Fatalf("trial %d: out of order: (%v,%d) after (%v,%d)",
+					trial, ev.at, ev.seq, lastT, lastSeq)
+			}
+			lastT, lastSeq = ev.at, ev.seq
+		}
+	}
+}
+
+func TestPeek(t *testing.T) {
+	var l Loop[*testEv]
+	if _, ok := l.Peek(); ok {
+		t.Fatal("peek on empty loop succeeded")
+	}
+	l.Push(&testEv{at: 2, id: 0})
+	l.Push(&testEv{at: 1, id: 1})
+	ev, ok := l.Peek()
+	if !ok || ev.id != 1 {
+		t.Fatalf("peek = (%v, %v), want id 1", ev, ok)
+	}
+	if l.Len() != 2 {
+		t.Fatalf("peek consumed an event: len %d", l.Len())
+	}
+}

@@ -1,10 +1,10 @@
 package online
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 
+	"budgetwf/internal/evloop"
 	"budgetwf/internal/fault"
 	"budgetwf/internal/obs"
 	"budgetwf/internal/plan"
@@ -36,25 +36,11 @@ type event struct {
 	useq  int // evUploadDone: stale if the upload was killed by a crash
 }
 
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].time != h[j].time {
-		return h[i].time < h[j].time
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
-}
+// event implements evloop.Item so the executor's events can live
+// either in its own loop (standalone) or in a host's loop (pooled).
+func (e *event) When() float64  { return e.time }
+func (e *event) EvSeq() int     { return e.seq }
+func (e *event) SetEvSeq(s int) { e.seq = s }
 
 // edgeState tracks where one edge's payload currently lives.
 type edgeState int
@@ -80,6 +66,15 @@ type ovm struct {
 	computing    bool
 	end          float64
 
+	// Lease mechanics (hosted executions only). A leased VM comes from
+	// the host's shared pool already booted: booking skips the boot
+	// delay and billing charges lifetime *extensions* past the
+	// already-paid billing units instead of a fresh Equation (1)
+	// invoice. leaseAge is the VM's age — time since its original boot
+	// completed — at the lease instant.
+	leased   bool
+	leaseAge float64
+
 	// Fault mechanics. epoch invalidates the VM's in-flight activity
 	// events (staging, compute, interrupt) when a crash or a replica
 	// cancellation abandons them; crash events are validated against
@@ -100,9 +95,19 @@ type executor struct {
 	inj     *fault.Injection // nil: no fault injection
 	span    *obs.Span        // nil: tracing disabled (Policy.Span)
 
-	now    float64
-	seq    int
-	events eventHeap
+	// now mirrors loop's clock (updated only through stepTo) so the
+	// dispatch paths keep their e.now reads.
+	now  float64
+	loop evloop.Loop[*event]
+
+	// Host hooks, all nil for a standalone execution. emit diverts
+	// pushed events to the host's loop instead of the executor's own;
+	// acquire offers an already-booted pooled VM at booking time;
+	// onProvision observes every booking (fresh or leased) so the host
+	// can account VMs against the submitting tenant.
+	emit        func(*event)
+	acquire     func(cat int, now float64) (Lease, bool)
+	onProvision func(now float64, vm, cat int, leased bool, bootDone float64)
 
 	vms    []ovm
 	curVM  []int // current VM of each task (may change on migration/recovery)
@@ -196,9 +201,20 @@ func (e *executor) newVM(cat int, queue []wf.TaskID, notBefore float64) int {
 }
 
 func (e *executor) push(ev *event) {
-	ev.seq = e.seq
-	e.seq++
-	heap.Push(&e.events, ev)
+	if e.emit != nil {
+		e.emit(ev)
+		return
+	}
+	e.loop.Push(ev)
+}
+
+// stepTo advances the executor's clock to an event's instant.
+func (e *executor) stepTo(t float64) error {
+	if err := e.loop.Advance(t); err != nil {
+		return fmt.Errorf("online: %w", err)
+	}
+	e.now = e.loop.Now()
+	return nil
 }
 
 // tryAdvance moves VM v forward if its head task can progress.
@@ -250,8 +266,26 @@ func (e *executor) tryAdvance(v int) {
 		vm.booked = true
 		vm.booting = true
 		vm.bookTime = e.now
+		if e.acquire != nil && e.inj == nil {
+			// A pooled VM is already booted: the lease takes effect
+			// immediately, and evBootDone fires at the current instant so
+			// the dispatch sequence keeps its shape.
+			if lease, ok := e.acquire(vm.cat, e.now); ok {
+				vm.leased = true
+				vm.leaseAge = lease.Age
+				vm.bootDone = e.now
+				e.push(&event{time: vm.bootDone, kind: evBootDone, vm: v})
+				if e.onProvision != nil {
+					e.onProvision(e.now, v, vm.cat, true, vm.bootDone)
+				}
+				return
+			}
+		}
 		vm.bootDone = e.now + e.p.BootTime
 		e.push(&event{time: vm.bootDone, kind: evBootDone, vm: v})
+		if e.onProvision != nil {
+			e.onProvision(e.now, v, vm.cat, false, vm.bootDone)
+		}
 		return
 	}
 	vm.busy = true
@@ -437,6 +471,16 @@ func (e *executor) interrupt(v int, t wf.TaskID) {
 	e.tryAdvanceAll()
 }
 
+// vmInvoice is the billed cost of one VM alive through end: a fresh VM
+// pays Equation (1) in full, while a leased pooled VM pays only the
+// billing units beyond those its previous holders already covered.
+func (e *executor) vmInvoice(vm *ovm, end float64) float64 {
+	if vm.leased {
+		return e.p.ExtensionCost(vm.cat, vm.leaseAge, vm.leaseAge+(end-vm.bootDone))
+	}
+	return e.p.VMCost(vm.cat, vm.bootDone, end)
+}
+
 // vmPlan describes one prospective VM for the cost projection.
 type vmPlan struct {
 	cat   int
@@ -477,7 +521,7 @@ func (e *executor) projectedCost(plans []vmPlan, exclude []wf.TaskID) float64 {
 		if !vm.dead && end < e.now {
 			end = e.now
 		}
-		total += e.p.VMCost(vm.cat, vm.bootDone, end)
+		total += e.vmInvoice(vm, end)
 		if vm.dead {
 			continue // no future work runs here
 		}
@@ -854,95 +898,39 @@ func (e *executor) tryAdvanceAll() {
 	}
 }
 
-func (e *executor) run() (*Report, error) {
-	n := e.w.NumTasks()
-	e.tryAdvanceAll()
+// maxSteps bounds the dispatch count of one execution; exceeding it
+// means a livelock, not a long workflow.
+func (e *executor) maxSteps() int {
 	retries := 0
 	if e.inj != nil {
 		retries = e.inj.Recovery.Retries()
 	}
+	n := e.w.NumTasks()
+	return 64 * (n + len(e.edges) + len(e.vms) + 16) * (e.policy.maxMigrations() + 1) * (retries + 1)
+}
+
+// settled reports whether every task has reached a terminal state.
+func (e *executor) settled() bool {
+	return e.doneCount+e.failedCount >= e.w.NumTasks()
+}
+
+func (e *executor) run() (*Report, error) {
+	n := e.w.NumTasks()
+	e.tryAdvanceAll()
 	guard := 0
-	for e.doneCount+e.failedCount < n {
+	for !e.settled() {
 		guard++
-		maxSteps := 64 * (n + len(e.edges) + len(e.vms) + 16) * (e.policy.maxMigrations() + 1) * (retries + 1)
-		if guard > maxSteps {
+		if maxSteps := e.maxSteps(); guard > maxSteps {
 			return nil, fmt.Errorf("online: exceeded %d steps; execution is livelocked", maxSteps)
 		}
-		if e.events.Len() == 0 {
+		if e.loop.Len() == 0 {
 			return nil, fmt.Errorf("online: deadlock with %d/%d tasks finished\n%s", e.doneCount, n, e.stateDump())
 		}
-		ev := heap.Pop(&e.events).(*event)
-		if ev.time < e.now-1e-9 {
-			return nil, fmt.Errorf("online: time went backwards: %v -> %v", e.now, ev.time)
+		ev, _ := e.loop.Pop()
+		if err := e.stepTo(ev.time); err != nil {
+			return nil, err
 		}
-		if ev.time > e.now {
-			e.now = ev.time
-		}
-		switch ev.kind {
-		case evBootDone:
-			vm := &e.vms[ev.vm]
-			vm.booting = false
-			if vm.trace != nil && vm.trace.BootFails() {
-				e.bootFailure(ev.vm)
-				break
-			}
-			if vm.trace != nil {
-				if ttc := vm.trace.TimeToCrash(); !math.IsInf(ttc, 1) {
-					e.push(&event{time: vm.bootDone + ttc, kind: evCrash, vm: ev.vm})
-				}
-			}
-			e.tryAdvance(ev.vm)
-		case evStageDone:
-			if ev.epoch != e.vms[ev.vm].epoch {
-				break
-			}
-			if e.done[ev.task] || e.failed[ev.task] {
-				e.abandonCurrent(ev.vm)
-				break
-			}
-			e.startCompute(ev.vm, ev.task)
-		case evComputeDone:
-			vm := &e.vms[ev.vm]
-			if ev.epoch != vm.epoch {
-				break
-			}
-			if e.done[ev.task] || e.failed[ev.task] {
-				e.abandonCurrent(ev.vm)
-				break
-			}
-			if vm.trace != nil && vm.trace.TaskFails() {
-				e.taskFailure(ev.vm, ev.task)
-				break
-			}
-			e.finishCompute(ev.vm, ev.task)
-		case evInterrupt:
-			vm := &e.vms[ev.vm]
-			if ev.epoch != vm.epoch || !vm.computing || vm.current != ev.task {
-				break
-			}
-			e.interrupt(ev.vm, ev.task)
-		case evCrash:
-			if e.vms[ev.vm].dead {
-				break
-			}
-			e.handleCrash(ev.vm, e.now)
-		case evWake:
-			e.vms[ev.vm].wakeQueued = false
-			if !e.vms[ev.vm].dead {
-				e.tryAdvance(ev.vm)
-			}
-		case evUploadDone:
-			ei := ev.edge
-			if ev.useq != e.upSeq[ei] || e.eState[ei] != edgeUploading {
-				break // a crash killed this transfer
-			}
-			e.eState[ei] = edgeAtDC
-			src := e.upSrc[ei]
-			if e.vms[src].end < e.now {
-				e.vms[src].end = e.now
-			}
-			e.tryAdvanceAll()
-		}
+		e.dispatch(ev)
 	}
 	if e.inj != nil {
 		e.drainUploads()
@@ -950,12 +938,83 @@ func (e *executor) run() (*Report, error) {
 	return e.collect(), nil
 }
 
+// dispatch handles one event at the current instant: the state machine
+// shared verbatim between the standalone run loop and a hosted
+// (pooled) execution, which is what keeps the two bit-identical.
+func (e *executor) dispatch(ev *event) {
+	switch ev.kind {
+	case evBootDone:
+		vm := &e.vms[ev.vm]
+		vm.booting = false
+		if vm.trace != nil && vm.trace.BootFails() {
+			e.bootFailure(ev.vm)
+			break
+		}
+		if vm.trace != nil {
+			if ttc := vm.trace.TimeToCrash(); !math.IsInf(ttc, 1) {
+				e.push(&event{time: vm.bootDone + ttc, kind: evCrash, vm: ev.vm})
+			}
+		}
+		e.tryAdvance(ev.vm)
+	case evStageDone:
+		if ev.epoch != e.vms[ev.vm].epoch {
+			break
+		}
+		if e.done[ev.task] || e.failed[ev.task] {
+			e.abandonCurrent(ev.vm)
+			break
+		}
+		e.startCompute(ev.vm, ev.task)
+	case evComputeDone:
+		vm := &e.vms[ev.vm]
+		if ev.epoch != vm.epoch {
+			break
+		}
+		if e.done[ev.task] || e.failed[ev.task] {
+			e.abandonCurrent(ev.vm)
+			break
+		}
+		if vm.trace != nil && vm.trace.TaskFails() {
+			e.taskFailure(ev.vm, ev.task)
+			break
+		}
+		e.finishCompute(ev.vm, ev.task)
+	case evInterrupt:
+		vm := &e.vms[ev.vm]
+		if ev.epoch != vm.epoch || !vm.computing || vm.current != ev.task {
+			break
+		}
+		e.interrupt(ev.vm, ev.task)
+	case evCrash:
+		if e.vms[ev.vm].dead {
+			break
+		}
+		e.handleCrash(ev.vm, e.now)
+	case evWake:
+		e.vms[ev.vm].wakeQueued = false
+		if !e.vms[ev.vm].dead {
+			e.tryAdvance(ev.vm)
+		}
+	case evUploadDone:
+		ei := ev.edge
+		if ev.useq != e.upSeq[ei] || e.eState[ei] != edgeUploading {
+			break // a crash killed this transfer
+		}
+		e.eState[ei] = edgeAtDC
+		src := e.upSrc[ei]
+		if e.vms[src].end < e.now {
+			e.vms[src].end = e.now
+		}
+		e.tryAdvanceAll()
+	}
+}
+
 // drainUploads settles transfers still in flight when the last task
 // settled (possible when consumers failed permanently): the source VM
 // stays billed until its uplink is free.
 func (e *executor) drainUploads() {
-	for e.events.Len() > 0 {
-		ev := heap.Pop(&e.events).(*event)
+	for e.loop.Len() > 0 {
+		ev, _ := e.loop.Pop()
 		if ev.kind != evUploadDone {
 			continue
 		}
@@ -993,7 +1052,7 @@ func (e *executor) collect() *Report {
 			r.TotalCost += e.p.Categories[vm.cat].InitCost
 			continue
 		}
-		r.TotalCost += e.p.VMCost(vm.cat, vm.bootDone, vm.end)
+		r.TotalCost += e.vmInvoice(vm, vm.end)
 		if vm.end > lastEvent {
 			lastEvent = vm.end
 		}

@@ -1,0 +1,175 @@
+package online
+
+import (
+	"fmt"
+
+	"budgetwf/internal/plan"
+	"budgetwf/internal/platform"
+	"budgetwf/internal/wf"
+)
+
+// This file is the hosting surface of the executor: the API
+// internal/pool uses to run many workflow executions inside one shared
+// event loop. A hosted execution is the very same state machine as
+// Execute — same dispatch function, same event kinds, same arithmetic —
+// with its event queue externalized: instead of popping from its own
+// loop, the executor hands every pushed event to the host (Emit) and
+// the host feeds events back one at a time (Step) in the host loop's
+// global (time, sequence) order. Because evloop assigns sequence
+// numbers in push order, a host running a single submission dispatches
+// the exact event sequence Execute would, which is what pins the
+// pool's single-tenant runs bit-for-bit to this package (see
+// internal/pool's property tests).
+
+// Lease hands an already-booted shared-pool VM to a hosted execution
+// at booking time. Age is the VM's age — seconds since its original
+// boot completed — at the lease instant; billing for the hosted
+// execution charges only lifetime extensions past the billing units
+// already paid through that age (platform.ExtensionCost).
+type Lease struct {
+	Age float64
+}
+
+// Ev is one opaque pending event of a hosted execution, handed out
+// through HostHooks.Emit and returned through Step. The host orders
+// them; it never inspects them.
+type Ev struct {
+	ev *event
+}
+
+// HostHooks connects a hosted execution to its host loop. Emit is
+// required; the rest are optional.
+type HostHooks struct {
+	// Emit receives every event the execution schedules, stamped with
+	// the execution-relative instant it must dispatch at. The host
+	// queues it and later returns it through Step.
+	Emit func(at float64, ev Ev)
+	// Acquire, when non-nil, is consulted at VM booking time: returning
+	// (lease, true) substitutes an already-booted pooled VM of the
+	// requested category for a fresh provision (no boot delay, no setup
+	// fee, extension-only billing).
+	Acquire func(cat int, at float64) (Lease, bool)
+	// OnProvision observes every booking — fresh or leased — so the
+	// host can charge VM counts and setup fees to the right tenant.
+	// bootDone is when the VM becomes usable (the booking instant
+	// itself for a leased VM).
+	OnProvision func(at float64, vm, cat int, leased bool, bootDone float64)
+}
+
+// Hosted is one workflow execution driven by an external event loop.
+// Not safe for concurrent use; the host serializes all calls.
+type Hosted struct {
+	e     *executor
+	steps int
+}
+
+// NewHosted builds a hosted execution. Fault injection is not
+// supported under a host (the shared pool's lease lifecycle and the
+// crash/recovery machinery have no defined interaction yet), and the
+// datacenter-contention mode is rejected exactly as Execute rejects
+// it.
+func NewHosted(w *wf.Workflow, p *platform.Platform, s *plan.Schedule, weights []float64, policy Policy, hooks HostHooks) (*Hosted, error) {
+	if p.DCBandwidth > 0 {
+		return nil, fmt.Errorf("online: datacenter contention mode is not supported")
+	}
+	if len(weights) != w.NumTasks() {
+		return nil, fmt.Errorf("online: %d weights for %d tasks", len(weights), w.NumTasks())
+	}
+	if policy.Faults != nil && policy.Faults.Model != nil {
+		return nil, fmt.Errorf("online: fault injection is not supported in hosted executions")
+	}
+	if hooks.Emit == nil {
+		return nil, fmt.Errorf("online: hosted execution requires an Emit hook")
+	}
+	policy.Faults = nil
+	e, err := newExecutor(w, p, s, weights, policy)
+	if err != nil {
+		return nil, err
+	}
+	e.emit = func(ev *event) { hooks.Emit(ev.time, Ev{ev: ev}) }
+	e.acquire = hooks.Acquire
+	e.onProvision = hooks.OnProvision
+	return &Hosted{e: e}, nil
+}
+
+// Start performs the initial scheduling pass (booking VMs whose first
+// inputs are ready), emitting the first events to the host.
+func (h *Hosted) Start() { h.e.tryAdvanceAll() }
+
+// Step dispatches one event previously emitted to the host. The host
+// must deliver events in nondecreasing time order (its loop's order);
+// a livelocked execution fails rather than spinning.
+func (h *Hosted) Step(ev Ev) error {
+	h.steps++
+	if maxSteps := h.e.maxSteps(); h.steps > maxSteps {
+		return fmt.Errorf("online: exceeded %d steps; execution is livelocked", maxSteps)
+	}
+	if err := h.e.stepTo(ev.ev.time); err != nil {
+		return err
+	}
+	h.e.dispatch(ev.ev)
+	return nil
+}
+
+// Settled reports whether every task has reached a terminal state.
+func (h *Hosted) Settled() bool { return h.e.settled() }
+
+// Now returns the execution-relative clock.
+func (h *Hosted) Now() float64 { return h.e.now }
+
+// Finish collects the Report — identical in shape and, for a lone
+// submission on an empty pool, in every bit to Execute's. Call it
+// exactly once, after Settled.
+func (h *Hosted) Finish() *Report { return h.e.collect() }
+
+// Release describes one VM the execution booked, for return to the
+// host's pool when the execution settles. All instants are
+// execution-relative.
+type Release struct {
+	// VM is the executor-local VM index (matching OnProvision's vm).
+	VM  int
+	Cat int
+	// Leased reports whether the VM came from the pool; LeaseAge is
+	// its age at the lease instant (0 for fresh VMs).
+	Leased   bool
+	LeaseAge float64
+	// BookedAt is the booking instant, BootDone when the VM became
+	// usable, End when its last activity (compute or upload) finished.
+	BookedAt float64
+	BootDone float64
+	End      float64
+	// AgeAtEnd is the VM's age since its original boot at End — the
+	// age the pool's billing horizon is computed from.
+	AgeAtEnd float64
+}
+
+// Releases lists every VM the execution actually booked, in
+// provisioning order. Valid once the execution has settled.
+func (h *Hosted) Releases() []Release {
+	var out []Release
+	for v := range h.e.vms {
+		vm := &h.e.vms[v]
+		if !vm.booked || vm.bootFailed || vm.dead {
+			continue
+		}
+		end := vm.end
+		if end < vm.bootDone {
+			end = vm.bootDone
+		}
+		out = append(out, Release{
+			VM:       v,
+			Cat:      vm.cat,
+			Leased:   vm.leased,
+			LeaseAge: vm.leaseAge,
+			BookedAt: vm.bookTime,
+			BootDone: vm.bootDone,
+			End:      end,
+			AgeAtEnd: vm.leaseAge + (end - vm.bootDone),
+		})
+	}
+	return out
+}
+
+// Dump renders the execution's internal state for deadlock
+// diagnostics.
+func (h *Hosted) Dump() string { return h.e.stateDump() }

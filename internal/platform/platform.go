@@ -170,6 +170,47 @@ func (p *Platform) VMCost(k int, start, end float64) float64 {
 	return span*c.CostPerSec + c.InitCost
 }
 
+// PaidHorizon returns how far a provisioned VM's lifetime is already
+// paid for, as an age (seconds since end of boot), given that it has
+// been alive for age seconds: the billed span of Equation (1) rounded
+// up to the billing quantum. With continuous billing (quantum 0)
+// nothing beyond the consumed age is paid, so the horizon is the age
+// itself. This is what a shared pool uses to decide how long an idle
+// VM may be kept around for free.
+func (p *Platform) PaidHorizon(age float64) float64 {
+	if age < 0 {
+		age = 0
+	}
+	q := p.BillingQuantum
+	if q <= 0 {
+		return age
+	}
+	units := math.Ceil(age / q)
+	if units == 0 {
+		units = 1 // a provisioned VM is billed at least one unit
+	}
+	return units * q
+}
+
+// ExtensionCost returns the incremental cost of keeping a VM of
+// category k alive from age `from` to age `to` (ages in seconds since
+// end of boot), given that everything through PaidHorizon(from) has
+// already been billed to previous holders. There is no setup fee: the
+// VM is already running. With continuous billing it is the plain
+// per-second charge for the added lifetime; with a quantum only the
+// newly crossed billing units are due.
+func (p *Platform) ExtensionCost(k int, from, to float64) float64 {
+	if to < from {
+		to = from
+	}
+	c := p.Categories[k]
+	q := p.BillingQuantum
+	if q <= 0 {
+		return (to - from) * c.CostPerSec
+	}
+	return (p.PaidHorizon(to) - p.PaidHorizon(from)) * c.CostPerSec
+}
+
 // DCCost returns C_DC per Equation (2) given the external traffic
 // volumes and the span [firstStart, lastEnd] of the execution.
 func (p *Platform) DCCost(externalIn, externalOut, firstStart, lastEnd float64) float64 {

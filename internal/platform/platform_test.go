@@ -159,3 +159,48 @@ func TestHomogeneous(t *testing.T) {
 		t.Error("homogeneous platform misconfigured")
 	}
 }
+
+func TestPaidHorizonAndExtensionCost(t *testing.T) {
+	p := Default()
+	p.BillingQuantum = 3600
+	c := p.Categories[0]
+	// A provisioned VM has always paid at least one unit, even at age 0.
+	if got := p.PaidHorizon(0); got != 3600 {
+		t.Errorf("PaidHorizon(0) = %v, want 3600", got)
+	}
+	if got := p.PaidHorizon(3600); got != 3600 {
+		t.Errorf("PaidHorizon(3600) = %v, want 3600", got)
+	}
+	if got := p.PaidHorizon(3601); got != 7200 {
+		t.Errorf("PaidHorizon(3601) = %v, want 7200", got)
+	}
+	// Staying inside the paid unit is free and carries no setup fee.
+	if got := p.ExtensionCost(0, 100, 3600); got != 0 {
+		t.Errorf("within-unit ExtensionCost = %v, want 0", got)
+	}
+	// Crossing into a new unit bills exactly the new units.
+	got := p.ExtensionCost(0, 100, 3601)
+	want := 3600 * c.CostPerSec
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("one-unit ExtensionCost = %v, want %v", got, want)
+	}
+	got = p.ExtensionCost(0, 3600, 3*3600+1)
+	want = 3 * 3600 * c.CostPerSec
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("multi-unit ExtensionCost = %v, want %v", got, want)
+	}
+	// Continuous billing degenerates to the per-second charge.
+	p.BillingQuantum = 0
+	got = p.ExtensionCost(0, 50, 150)
+	want = 100 * c.CostPerSec
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("continuous ExtensionCost = %v, want %v", got, want)
+	}
+	if got := p.PaidHorizon(123); got != 123 {
+		t.Errorf("continuous PaidHorizon(123) = %v, want 123", got)
+	}
+	// to < from clamps to zero rather than refunding.
+	if got := p.ExtensionCost(0, 100, 50); got != 0 {
+		t.Errorf("backwards ExtensionCost = %v, want 0", got)
+	}
+}

@@ -1,0 +1,480 @@
+package pool
+
+import (
+	"context"
+	"errors"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"budgetwf/internal/online"
+	"budgetwf/internal/platform"
+	"budgetwf/internal/rng"
+	"budgetwf/internal/sched"
+	"budgetwf/internal/sim"
+	"budgetwf/internal/wfgen"
+)
+
+// testPlatform returns the default platform with a billing quantum —
+// the regime where a shared pool has anything to share.
+func testPlatform(quantum float64) *platform.Platform {
+	p := platform.Default()
+	p.BillingQuantum = quantum
+	return p
+}
+
+func testPolicy() online.Policy {
+	return online.Policy{TimeoutSigma: 2, GainFactor: 1, MaxMigrations: 1}
+}
+
+// TestSingleSubmissionMatchesOnline pins the tentpole equivalence: a
+// single-tenant, single-workflow run through the shared pool produces
+// a Report bit-identical to internal/online's standalone executor on
+// the same workflow, weights, platform and budget.
+func TestSingleSubmissionMatchesOnline(t *testing.T) {
+	for _, family := range []wfgen.Type{wfgen.Montage, wfgen.CyberShake, wfgen.Chain} {
+		w, err := wfgen.Generate(family, 20, 11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := testPlatform(3600)
+		const budget = 5.0
+		schedule, err := sched.PlanContext(context.Background(), sched.NameHeftBudg, w, p, budget)
+		if err != nil {
+			t.Fatal(err)
+		}
+		weights := sim.SampleWeights(w, rng.New(99))
+
+		pol := testPolicy()
+		pol.Budget = budget
+		want, err := online.Execute(w, p, schedule, weights, pol)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		res, err := RunSubmissions(Config{Platform: p, Policy: testPolicy()}, []Submission{{
+			Tenant:    TenantSpec{ID: "solo"},
+			Workflow:  w,
+			Algorithm: string(sched.NameHeftBudg),
+			Budget:    budget,
+			Weights:   weights,
+		}}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		o := res.Outcomes[0]
+		if o.State != StateDone {
+			t.Fatalf("%s: outcome %s (%s), want done", family, o.State, o.Reason)
+		}
+		if !reflect.DeepEqual(want, o.Report) {
+			t.Errorf("%s: pooled Report differs from online.Execute:\nonline: %+v\npooled: %+v",
+				family, want, o.Report)
+		}
+	}
+}
+
+// renderDecisions joins the decision log into the byte sequence the
+// determinism property compares.
+func renderDecisions(ds []Decision) string {
+	var b strings.Builder
+	for _, d := range ds {
+		b.WriteString(d.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func testTrace() TraceSpec {
+	return TraceSpec{
+		Seed: 7,
+		Tenants: []TenantTraffic{
+			{Tenant: TenantSpec{ID: "alice"}, Rate: 2, Count: 4, WorkflowType: "montage", Tasks: 12, Budget: 5, Algorithm: "heftbudg"},
+			{Tenant: TenantSpec{ID: "bob"}, Rate: 3, Count: 4, WorkflowType: "chain", Tasks: 8, Algorithm: "heft"},
+			{Tenant: TenantSpec{ID: "carol", Budget: 50}, Rate: 1, Count: 3, WorkflowType: "cybershake", Tasks: 12, Budget: 8, Algorithm: "heftbudg+"},
+		},
+	}
+}
+
+// TestTraceDeterminism: a fixed seed and a fixed submission trace
+// yield a byte-identical sequence of scheduling decisions, run to run.
+func TestTraceDeterminism(t *testing.T) {
+	cfg := Config{Platform: testPlatform(3600), Policy: testPolicy(), Seed: 7}
+	a, err := RunTrace(cfg, testTrace(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunTrace(cfg, testTrace(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	da, db := renderDecisions(a.Decisions), renderDecisions(b.Decisions)
+	if da != db {
+		t.Fatalf("decision logs differ between identical runs:\n--- run A\n%s\n--- run B\n%s", da, db)
+	}
+	if len(a.Decisions) == 0 {
+		t.Fatal("empty decision log")
+	}
+	if !reflect.DeepEqual(a.Stats, b.Stats) {
+		t.Fatalf("stats differ: %+v vs %+v", a.Stats, b.Stats)
+	}
+	for i := range a.Outcomes {
+		if !reflect.DeepEqual(a.Outcomes[i], b.Outcomes[i]) {
+			t.Fatalf("outcome %d differs: %+v vs %+v", i, a.Outcomes[i], b.Outcomes[i])
+		}
+	}
+}
+
+// twoChainSubs is a minimal reuse scenario: the same tenant (or two
+// tenants) submit two small chains back to back, the second arriving
+// after the first settles.
+func twoChainSubs(t *testing.T, tenantA, tenantB string, secondAt float64) []Submission {
+	t.Helper()
+	w1, err := wfgen.Generate(wfgen.Chain, 6, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, err := wfgen.Generate(wfgen.Chain, 6, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []Submission{
+		{At: 0, Tenant: TenantSpec{ID: tenantA}, Workflow: w1, Algorithm: "heft"},
+		{At: secondAt, Tenant: TenantSpec{ID: tenantB}, Workflow: w2, Algorithm: "heft"},
+	}
+}
+
+// TestBillingBoundaryDeprovision is the keep/release table: an idle VM
+// is kept while its remaining paid time exceeds TimeToShutdown and
+// released otherwise, with the wasted idle tail billed to the tenant
+// that provisioned it.
+func TestBillingBoundaryDeprovision(t *testing.T) {
+	const quantum = 1e7 // huge: the first workflow ends far from the boundary
+	base := Config{Platform: testPlatform(quantum), Policy: testPolicy(), Seed: 1}
+
+	// Probe run with a tiny threshold: the VM must be kept idle and
+	// reused; record its remaining paid time at release.
+	keep := base
+	keep.TimeToShutdown = 1
+	res, err := RunSubmissions(keep, twoChainSubs(t, "alice", "bob", 1000), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var remaining float64
+	for _, d := range res.Decisions {
+		if d.Kind == "release" {
+			remaining = d.Amount
+			break
+		}
+	}
+	if remaining <= 0 {
+		t.Fatalf("no release decision in keep run:\n%s", renderDecisions(res.Decisions))
+	}
+	if res.Stats.Reused == 0 {
+		t.Fatalf("keep run: expected reuse, got stats %+v", res.Stats)
+	}
+	bob, _ := findTenant(res.Tenants, "bob")
+	if bob.ReusedVMs == 0 || bob.SavedInitCost <= 0 {
+		t.Fatalf("keep run: bob should have reused alice's VM: %+v", bob)
+	}
+	// The idle gap before bob leased the VM is alice's waste.
+	alice, _ := findTenant(res.Tenants, "alice")
+	if alice.IdleWasteSeconds <= 0 {
+		t.Fatalf("keep run: idle gap not attributed to provisioning tenant: %+v", alice)
+	}
+
+	// The deprovision timer fires at paidUntil - tts, i.e. roughly
+	// (remaining - tts) after the first settlement; the second
+	// submission arrives 1000s after the first, so:
+	cases := []struct {
+		name     string
+		tts      float64
+		wantKept bool
+	}{
+		{"still idle at second arrival: kept", remaining - 2000, true},
+		{"timer fires before second arrival: released", remaining - 500, false},
+		{"below threshold at settle: released immediately", remaining + 1, false},
+		{"threshold at a full quantum: released immediately", quantum, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := base
+			cfg.TimeToShutdown = tc.tts
+			res, err := RunSubmissions(cfg, twoChainSubs(t, "alice", "bob", 1000), nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			reused := res.Stats.Reused > 0
+			if reused != tc.wantKept {
+				t.Fatalf("tts=%v: reused=%v, want kept=%v\n%s",
+					tc.tts, reused, tc.wantKept, renderDecisions(res.Decisions))
+			}
+			alice, _ := findTenant(res.Tenants, "alice")
+			bobV, _ := findTenant(res.Tenants, "bob")
+			if !tc.wantKept {
+				// The whole paid tail is alice's waste; bob pays full
+				// setup on a fresh VM.
+				if alice.IdleWasteSeconds < remaining-2 {
+					t.Fatalf("tts=%v: released VM's paid tail (%v) not billed to alice: %+v",
+						tc.tts, remaining, alice)
+				}
+				if bobV.SavedInitCost != 0 {
+					t.Fatalf("tts=%v: bob saved setup without reuse: %+v", tc.tts, bobV)
+				}
+			}
+		})
+	}
+}
+
+func findTenant(vs []TenantView, id string) (TenantView, bool) {
+	for _, v := range vs {
+		if v.ID == id {
+			return v, true
+		}
+	}
+	return TenantView{}, false
+}
+
+// TestSharedPoolCheaperThanPrivatePools: on a multi-tenant trace with
+// a billing quantum, shared-pool reuse measurably lowers the total
+// billed cost versus per-workflow private pools (reuse disabled by a
+// threshold of a full quantum).
+func TestSharedPoolCheaperThanPrivatePools(t *testing.T) {
+	spec := testTrace()
+	pooled := Config{Platform: testPlatform(3600), Policy: testPolicy(), Seed: 7, TimeToShutdown: 360}
+	private := pooled
+	private.TimeToShutdown = 3600 // every released VM is instantly below threshold
+
+	rp, err := RunTrace(pooled, spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr, err := RunTrace(private, spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr.Stats.Reused != 0 {
+		t.Fatalf("private baseline reused VMs: %+v", rr.Stats)
+	}
+	if rp.Stats.Reused == 0 {
+		t.Fatalf("pooled run never reused a VM: %+v", rp.Stats)
+	}
+	if rp.Stats.BilledTotal >= rr.Stats.BilledTotal {
+		t.Fatalf("shared pool did not lower billed cost: pooled %v >= private %v",
+			rp.Stats.BilledTotal, rr.Stats.BilledTotal)
+	}
+}
+
+// TestAdmission covers the fair-share rejections: concurrent-workflow
+// cap, VM cap, exhausted tenant budget.
+func TestAdmission(t *testing.T) {
+	p := testPlatform(3600)
+
+	t.Run("queue cap", func(t *testing.T) {
+		subs := twoChainSubs(t, "a", "a", 0) // both arrive at t=0
+		subs[0].Tenant.MaxQueued = 1
+		subs[1].Tenant.MaxQueued = 1
+		res, err := RunSubmissions(Config{Platform: p, Policy: testPolicy()}, subs, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Outcomes[0].State != StateDone || res.Outcomes[1].State != StateRejected {
+			t.Fatalf("outcomes: %+v / %+v", res.Outcomes[0], res.Outcomes[1])
+		}
+		if !strings.Contains(res.Outcomes[1].Reason, "concurrent-workflow cap") {
+			t.Fatalf("reason: %q", res.Outcomes[1].Reason)
+		}
+	})
+
+	t.Run("vm cap", func(t *testing.T) {
+		subs := twoChainSubs(t, "a", "a", 0)
+		subs[0].Tenant.MaxVMs = 1
+		subs[1].Tenant.MaxVMs = 1
+		res, err := RunSubmissions(Config{Platform: p, Policy: testPolicy()}, subs, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Outcomes[1].State != StateRejected || !strings.Contains(res.Outcomes[1].Reason, "VM cap") {
+			t.Fatalf("outcome: %+v", res.Outcomes[1])
+		}
+	})
+
+	t.Run("budget exhausted", func(t *testing.T) {
+		subs := twoChainSubs(t, "a", "a", 1e6) // second arrives after first settles
+		subs[0].Tenant.Budget = 1e-9
+		subs[1].Tenant.Budget = 1e-9
+		res, err := RunSubmissions(Config{Platform: p, Policy: testPolicy()}, subs, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Outcomes[1].State != StateRejected || !strings.Contains(res.Outcomes[1].Reason, "budget exhausted") {
+			t.Fatalf("outcome: %+v", res.Outcomes[1])
+		}
+	})
+}
+
+// TestEnqueueValidation classifies spec defects: scalar-domain
+// violations as *ValidationError, unusable specs as *SemanticError.
+func TestEnqueueValidation(t *testing.T) {
+	w, err := wfgen.Generate(wfgen.Chain, 6, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := New(Config{Platform: testPlatform(3600)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	good := Submission{Tenant: TenantSpec{ID: "t"}, Workflow: w, Algorithm: "heft"}
+
+	cases := []struct {
+		name       string
+		mutate     func(*Submission)
+		wantField  string // non-empty → *ValidationError with this field
+		wantSemErr bool
+	}{
+		{"nan budget", func(s *Submission) { s.Budget = math.NaN() }, "budget", false},
+		{"inf budget", func(s *Submission) { s.Budget = math.Inf(1) }, "budget", false},
+		{"negative budget", func(s *Submission) { s.Budget = -1 }, "budget", false},
+		{"nan tenant budget", func(s *Submission) { s.Tenant.Budget = math.NaN() }, "tenant.budget", false},
+		{"missing tenant id", func(s *Submission) { s.Tenant.ID = "" }, "tenant.id", false},
+		{"negative arrival", func(s *Submission) { s.At = -5 }, "at", false},
+		{"bad weights length", func(s *Submission) { s.Weights = []float64{1} }, "weights", false},
+		{"unknown algorithm", func(s *Submission) { s.Algorithm = "nope" }, "", true},
+		{"missing workflow", func(s *Submission) { s.Workflow = nil }, "", true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sub := good
+			tc.mutate(&sub)
+			_, err := pl.Enqueue(ctx, sub)
+			if err == nil {
+				t.Fatal("no error")
+			}
+			var ve *ValidationError
+			var se *SemanticError
+			switch {
+			case tc.wantField != "":
+				if !errors.As(err, &ve) || ve.Field != tc.wantField {
+					t.Fatalf("want ValidationError on %q, got %v", tc.wantField, err)
+				}
+			case tc.wantSemErr:
+				if !errors.As(err, &se) {
+					t.Fatalf("want SemanticError, got %v", err)
+				}
+			}
+		})
+	}
+
+	// Conflicting re-registration of a tenant is semantic.
+	if _, err := pl.Enqueue(ctx, good); err != nil {
+		t.Fatal(err)
+	}
+	conflict := good
+	conflict.Tenant.MaxVMs = 3
+	var se *SemanticError
+	if _, err := pl.Enqueue(ctx, conflict); !errors.As(err, &se) {
+		t.Fatalf("conflicting tenant limits: want SemanticError, got %v", err)
+	}
+}
+
+// TestTraceSpecValidation mirrors the sweep validation style:
+// per-field 400-class errors and semantic 422-class errors.
+func TestTraceSpecValidation(t *testing.T) {
+	base := testTrace()
+	t.Run("zero rate", func(t *testing.T) {
+		spec := base
+		spec.Tenants = append([]TenantTraffic(nil), base.Tenants...)
+		spec.Tenants[1].Rate = 0
+		var ve *ValidationError
+		if err := spec.Validate(); !errors.As(err, &ve) || ve.Field != "tenants[1].rate" {
+			t.Fatalf("got %v", err)
+		}
+	})
+	t.Run("nan tenant budget", func(t *testing.T) {
+		spec := base
+		spec.Tenants = append([]TenantTraffic(nil), base.Tenants...)
+		spec.Tenants[0].Tenant.Budget = math.Inf(1)
+		var ve *ValidationError
+		if err := spec.Validate(); !errors.As(err, &ve) || ve.Field != "tenants[0].tenant.budget" {
+			t.Fatalf("got %v", err)
+		}
+	})
+	t.Run("duplicate tenant ids", func(t *testing.T) {
+		spec := base
+		spec.Tenants = append([]TenantTraffic(nil), base.Tenants...)
+		spec.Tenants[1].Tenant.ID = spec.Tenants[0].Tenant.ID
+		var se *SemanticError
+		if err := spec.Validate(); !errors.As(err, &se) {
+			t.Fatalf("got %v", err)
+		}
+	})
+	t.Run("unknown family", func(t *testing.T) {
+		spec := base
+		spec.Tenants = append([]TenantTraffic(nil), base.Tenants...)
+		spec.Tenants[0].WorkflowType = "spiral"
+		var se *SemanticError
+		if err := spec.Validate(); !errors.As(err, &se) {
+			t.Fatalf("got %v", err)
+		}
+	})
+	t.Run("valid", func(t *testing.T) {
+		if err := base.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestServiceConcurrentSubmits exercises the locked front under the
+// race detector: concurrent submitters, consistent ledgers.
+func TestServiceConcurrentSubmits(t *testing.T) {
+	svc, err := NewService(Config{Platform: testPlatform(3600), Policy: testPolicy(), TimeToShutdown: 360})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 6
+	done := make(chan *Outcome, n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			w, err := wfgen.Generate(wfgen.Chain, 6, uint64(i))
+			if err != nil {
+				t.Error(err)
+				done <- nil
+				return
+			}
+			o, err := svc.Submit(context.Background(), Submission{
+				Tenant:    TenantSpec{ID: []string{"a", "b"}[i%2]},
+				Workflow:  w,
+				Algorithm: "heft",
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			done <- o
+		}(i)
+	}
+	completed := 0
+	for i := 0; i < n; i++ {
+		if o := <-done; o != nil && o.State == StateDone {
+			completed++
+		}
+	}
+	if completed != n {
+		t.Fatalf("completed %d of %d submissions", completed, n)
+	}
+	st := svc.Stats()
+	if st.Completed != n || st.ActiveVMs != 0 {
+		t.Fatalf("stats after drain: %+v", st)
+	}
+	views := svc.Tenants()
+	if len(views) != 2 {
+		t.Fatalf("tenants: %+v", views)
+	}
+	var billed float64
+	for _, v := range views {
+		billed += v.Billed
+	}
+	if math.Abs(billed-st.BilledTotal) > 1e-9 {
+		t.Fatalf("tenant billed sum %v != pool total %v", billed, st.BilledTotal)
+	}
+}

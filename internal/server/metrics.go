@@ -7,6 +7,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"budgetwf/internal/pool"
 )
 
 // Metrics aggregates the daemon's observability counters as expvar
@@ -29,6 +31,10 @@ type Metrics struct {
 	pool      *workerPool
 	root      *expvar.Map
 	jobStates func() map[string]int // live job-state gauge, nil until set
+
+	// Shared-pool gauges, nil unless the multi-tenant service is on.
+	poolStats   func() pool.Stats
+	poolTenants func() []pool.TenantView
 }
 
 func newMetrics(cache *planCache, pool *workerPool) *Metrics {
@@ -92,6 +98,17 @@ func (m *Metrics) observeShard() { m.shards.Add(1) }
 func (m *Metrics) setJobStates(fn func() map[string]int) {
 	m.jobStates = fn
 	m.root.Set("jobStates", expvar.Func(func() any { return fn() }))
+}
+
+// setSharedPool installs the multi-tenant pool gauges: the pool-wide
+// snapshot under "sharedPool" and the per-tenant billing ledgers under
+// "tenants" in the expvar map, plus the budgetwfd_shared_pool_* and
+// budgetwfd_tenant_* families in the Prometheus exposition.
+func (m *Metrics) setSharedPool(stats func() pool.Stats, tenants func() []pool.TenantView) {
+	m.poolStats = stats
+	m.poolTenants = tenants
+	m.root.Set("sharedPool", expvar.Func(func() any { return stats() }))
+	m.root.Set("tenants", expvar.Func(func() any { return tenants() }))
 }
 
 // JobEventCount returns the number of observed job lifecycle events of

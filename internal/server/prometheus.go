@@ -6,6 +6,8 @@ import (
 	"io"
 	"sort"
 	"strings"
+
+	"budgetwf/internal/pool"
 )
 
 // Prometheus text exposition (version 0.0.4) for the daemon's metrics.
@@ -124,6 +126,70 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 	fmt.Fprintln(w, "# HELP budgetwfd_pool_in_flight Requests currently executing on a worker.")
 	fmt.Fprintln(w, "# TYPE budgetwfd_pool_in_flight gauge")
 	fmt.Fprintf(w, "budgetwfd_pool_in_flight %d\n", m.pool.inFlightCount())
+
+	m.writePrometheusSharedPool(w)
+}
+
+// writePrometheusSharedPool renders the multi-tenant shared-pool
+// families: pool-wide counters/gauges and the per-tenant billing
+// ledgers, labelled by tenant ID and sorted for a deterministic
+// exposition. Absent entirely when the pool is disabled.
+func (m *Metrics) writePrometheusSharedPool(w io.Writer) {
+	if m.poolStats == nil {
+		return
+	}
+	st := m.poolStats()
+	poolScalars := []struct {
+		name, help, typ string
+		value           string
+	}{
+		{"budgetwfd_shared_pool_submissions_total", "Workflow submissions accepted by the shared pool.", "counter", fmt.Sprintf("%d", st.Submissions)},
+		{"budgetwfd_shared_pool_completed_total", "Submissions settled successfully.", "counter", fmt.Sprintf("%d", st.Completed)},
+		{"budgetwfd_shared_pool_rejected_total", "Submissions rejected by fair-share admission.", "counter", fmt.Sprintf("%d", st.Rejected)},
+		{"budgetwfd_shared_pool_failed_total", "Submissions that failed during execution.", "counter", fmt.Sprintf("%d", st.Failed)},
+		{"budgetwfd_shared_pool_provisioned_total", "Fresh VMs provisioned.", "counter", fmt.Sprintf("%d", st.Provisioned)},
+		{"budgetwfd_shared_pool_reused_total", "Idle VMs leased to a new submission within their paid billing period.", "counter", fmt.Sprintf("%d", st.Reused)},
+		{"budgetwfd_shared_pool_deprovisioned_total", "VMs released at (or below) the time-to-shutdown threshold.", "counter", fmt.Sprintf("%d", st.Deprovisioned)},
+		{"budgetwfd_shared_pool_active_vms", "VMs currently held by running submissions.", "gauge", fmt.Sprintf("%d", st.ActiveVMs)},
+		{"budgetwfd_shared_pool_idle_vms", "Idle VMs parked inside an already-paid billing period.", "gauge", fmt.Sprintf("%d", st.IdleVMs)},
+		{"budgetwfd_shared_pool_billed_total", "Total amount billed across all tenants.", "counter", fmt.Sprintf("%g", st.BilledTotal)},
+		{"budgetwfd_shared_pool_saved_init_cost_total", "Setup fees avoided by VM reuse.", "counter", fmt.Sprintf("%g", st.SavedInitCost)},
+		{"budgetwfd_shared_pool_idle_waste_seconds_total", "Paid-but-idle VM seconds.", "counter", fmt.Sprintf("%g", st.IdleWasteSeconds)},
+		{"budgetwfd_shared_pool_virtual_now_seconds", "The pool's virtual-time frontier.", "gauge", fmt.Sprintf("%g", st.Now)},
+	}
+	for _, s := range poolScalars {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %s\n", s.name, s.help, s.name, s.typ, s.name, s.value)
+	}
+
+	tenants := m.poolTenants()
+	sort.Slice(tenants, func(i, j int) bool { return tenants[i].ID < tenants[j].ID })
+	tenantFamilies := []struct {
+		name, help, typ string
+		value           func(v pool.TenantView) string
+	}{
+		{"budgetwfd_tenant_billed", "Amount billed to the tenant (authoritative, from settled Reports).", "counter",
+			func(v pool.TenantView) string { return fmt.Sprintf("%g", v.Billed) }},
+		{"budgetwfd_tenant_live_spend", "Live billing estimate for the tenant's in-flight executions.", "gauge",
+			func(v pool.TenantView) string { return fmt.Sprintf("%g", v.LiveSpend) }},
+		{"budgetwfd_tenant_submissions_total", "Workflow submissions by the tenant.", "counter",
+			func(v pool.TenantView) string { return fmt.Sprintf("%d", v.Submissions) }},
+		{"budgetwfd_tenant_rejected_total", "Submissions rejected by fair-share admission.", "counter",
+			func(v pool.TenantView) string { return fmt.Sprintf("%d", v.Rejected) }},
+		{"budgetwfd_tenant_active_vms", "VMs currently held by the tenant's executions.", "gauge",
+			func(v pool.TenantView) string { return fmt.Sprintf("%d", v.ActiveVMs) }},
+		{"budgetwfd_tenant_reused_vms_total", "Pooled VMs the tenant leased within their paid billing period.", "counter",
+			func(v pool.TenantView) string { return fmt.Sprintf("%d", v.ReusedVMs) }},
+		{"budgetwfd_tenant_saved_init_cost_total", "Setup fees the tenant avoided through reuse.", "counter",
+			func(v pool.TenantView) string { return fmt.Sprintf("%g", v.SavedInitCost) }},
+		{"budgetwfd_tenant_idle_waste_seconds_total", "Paid-but-idle VM seconds attributed to the tenant.", "counter",
+			func(v pool.TenantView) string { return fmt.Sprintf("%g", v.IdleWasteSeconds) }},
+	}
+	for _, f := range tenantFamilies {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, f.typ)
+		for _, v := range tenants {
+			fmt.Fprintf(w, "%s{tenant=%q} %s\n", f.name, escapeLabelValue(v.ID), f.value(v))
+		}
+	}
 }
 
 // writePrometheusHistograms renders the per-endpoint latency

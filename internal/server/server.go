@@ -46,6 +46,9 @@ import (
 
 	"budgetwf/internal/dist"
 	"budgetwf/internal/obs"
+	"budgetwf/internal/online"
+	"budgetwf/internal/platform"
+	"budgetwf/internal/pool"
 )
 
 // Config parameterizes a Server. The zero value is usable: every
@@ -84,6 +87,26 @@ type Config struct {
 	// MaxJobs bounds retained async-job records (running + terminal);
 	// default 256.
 	MaxJobs int
+	// EnablePool mounts the multi-tenant shared-pool service
+	// (POST /v1/submit, GET /v1/tenants): a continuously-running
+	// virtual-time executor sharing billing-period VMs across tenants.
+	// Off by default — the pool accumulates long-lived state a
+	// stateless planning daemon should not hold by surprise.
+	EnablePool bool
+	// PoolTimeToShutdown is the idle-VM release threshold in virtual
+	// seconds; 0 defaults to 10% of the billing quantum.
+	PoolTimeToShutdown float64
+	// PoolBillingQuantum is the billing granularity of the pool's
+	// platform in virtual seconds; default 3600 (hourly billing, the
+	// regime where sharing pays).
+	PoolBillingQuantum float64
+	// TenantMaxVMs and TenantMaxQueued are the default per-tenant
+	// fair-share caps (concurrent VMs, concurrent queued-or-running
+	// workflows) for tenants that don't set their own; defaults 16, 8.
+	TenantMaxVMs    int
+	TenantMaxQueued int
+	// PoolSeed drives the pool's stochastic weight sampling.
+	PoolSeed uint64
 	// Logger receives structured request logs; default JSON to stderr.
 	Logger *slog.Logger
 }
@@ -117,6 +140,9 @@ func (c Config) withDefaults() Config {
 	if c.TraceRingSize == 0 {
 		c.TraceRingSize = 64
 	}
+	if c.EnablePool && c.PoolBillingQuantum == 0 {
+		c.PoolBillingQuantum = 3600
+	}
 	if c.Logger == nil {
 		c.Logger = slog.New(slog.NewJSONHandler(os.Stderr, nil))
 	}
@@ -134,6 +160,7 @@ type Server struct {
 	jobs    *dist.Store
 	coord   *dist.Coordinator
 	journal *dist.Journal
+	poolSvc *pool.Service
 	mux     *http.ServeMux
 	ready   atomic.Bool
 	reqSeq  atomic.Uint64
@@ -189,6 +216,25 @@ func New(cfg Config) *Server {
 		}
 		return out
 	})
+	if cfg.EnablePool {
+		plat := platform.Default()
+		plat.BillingQuantum = cfg.PoolBillingQuantum
+		svc, err := pool.NewService(pool.Config{
+			Platform:         plat,
+			TimeToShutdown:   cfg.PoolTimeToShutdown,
+			DefaultMaxVMs:    cfg.TenantMaxVMs,
+			DefaultMaxQueued: cfg.TenantMaxQueued,
+			Policy:           online.DefaultPolicy(0),
+			Seed:             cfg.PoolSeed,
+		})
+		if err != nil {
+			// A misconfigured pool disables the surface, not the daemon.
+			s.log.Error("shared pool unavailable", "error", err.Error())
+		} else {
+			s.poolSvc = svc
+			s.metrics.setSharedPool(svc.Stats, svc.Tenants)
+		}
+	}
 	s.mux = http.NewServeMux()
 	s.routes()
 	s.jobs.Restore(restored)
@@ -212,6 +258,11 @@ func (s *Server) routes() {
 	s.mux.Handle("GET /v1/jobs/{id}", s.wrap("jobs", s.handleJobGet))
 	s.mux.Handle("DELETE /v1/jobs/{id}", s.wrap("jobs", s.handleJobCancel))
 	s.mux.Handle("POST /v1/shards", s.wrap("shards", s.handleShard))
+	if s.poolSvc != nil {
+		s.mux.Handle("POST /v1/submit", s.wrap("submit", s.handleSubmit))
+		s.mux.Handle("GET /v1/tenants", s.wrap("tenants", s.handleTenants))
+		s.mux.Handle("GET /v1/tenants/{id}", s.wrap("tenants", s.handleTenantGet))
+	}
 	if s.cfg.EnablePprof {
 		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
 		s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)

@@ -45,6 +45,7 @@ var ringEndpoints = map[string]bool{
 	"schedule": true,
 	"simulate": true,
 	"sweep":    true,
+	"submit":   true,
 }
 
 // handleTraceList serves GET /v1/traces: the retained request IDs,
