@@ -3,7 +3,7 @@
 GO ?= go
 
 .PHONY: all build vet test bench figs figs-quick report fuzz serve serve-pool \
-	loadtest loadtest-tenants clean bench-json bench-json-check bench-json-smoke
+	loadtest loadtest-tenants chaos clean bench-json bench-json-check bench-json-smoke
 
 all: build vet test
 
@@ -66,6 +66,12 @@ loadtest:
 # the cross-tenant VM reuse the shared pool achieved.
 loadtest-tenants:
 	$(GO) run ./cmd/loadgen -url http://localhost:8080 -tenants 3 -n 30 -c 4
+
+# Chaos harness: boot a real 3-process cluster, SIGKILL a worker and
+# kill-restart the coordinator mid-sweep, and verify the merged result
+# is byte-identical to an undisturbed run (see internal/dist/chaostest).
+chaos:
+	$(GO) run ./cmd/loadgen -chaos
 
 fuzz:
 	$(GO) test -fuzz FuzzReadJSON -fuzztime 30s ./internal/wf/

@@ -10,17 +10,23 @@
 //	budgetwfd -pprof                     # also mount /debug/pprof/ on the API listener
 //	budgetwfd -debug-addr 127.0.0.1:6060 # pprof + expvar on a separate private listener
 //
-// Cluster mode (see README "Running a cluster"): start shard workers
-// and point a coordinator at them —
+// Cluster mode (see README "Operating the cluster"): start shard
+// workers that register with the coordinator and heartbeat —
 //
-//	budgetwfd -addr :9090 -worker                        # on each worker host
-//	budgetwfd -addr :8080 -peers http://w1:9090,http://w2:9090 -journal jobs.jsonl
+//	budgetwfd -addr :9091 -worker -coordinator http://c:8080 -advertise http://w1:9091
+//	budgetwfd -addr :8080 -journal jobs.jsonl            # the coordinator
 //
 // The coordinator decomposes campaigns POSTed to /v1/jobs into
-// deterministic shards, fans them out over the peers' POST /v1/shards,
-// and merges the partial aggregates bit-identically to a
-// single-process run. -worker only widens the default -timeout to 10m
-// (shards are long-running); every daemon always serves /v1/shards.
+// deterministic shards, fans them out over the live fleet's
+// POST /v1/shards (workers silent past -heartbeat-ttl stop receiving
+// shards and their in-flight ones are speculatively re-issued), and
+// merges the partial aggregates bit-identically to a single-process
+// run. Static -peers still works and combines with dynamic
+// registration. -worker widens the default -timeout to 10m (shards are
+// long-running); every daemon always serves /v1/shards. A crashed
+// coordinator restarted on the same -journal (or a standby started
+// with -takeover) replays snapshot + tail and re-issues only the
+// shards no worker acknowledged.
 //
 // Multi-tenant mode (see README "Multi-tenant service") mounts a
 // continuously-running shared VM pool —
@@ -53,6 +59,7 @@ import (
 	"syscall"
 	"time"
 
+	"budgetwf/internal/dist"
 	"budgetwf/internal/server"
 )
 
@@ -76,7 +83,14 @@ func run(args []string) error {
 	drain := fs.Duration("drain", 10*time.Second, "graceful shutdown grace period")
 	workerMode := fs.Bool("worker", false, "shard-worker mode: widen the default -timeout to 10m for long-running shards")
 	peers := fs.String("peers", "", "comma-separated worker base URLs to shard async jobs across (e.g. http://w1:9090,http://w2:9090)")
+	coordinator := fs.String("coordinator", "", "comma-separated coordinator base URLs to register this worker with (requires -advertise)")
+	advertise := fs.String("advertise", "", "base URL other daemons should reach this one at (e.g. http://w1:9091)")
+	heartbeatInterval := fs.Duration("heartbeat-interval", 2*time.Second, "worker registration heartbeat interval")
+	heartbeatTTL := fs.Duration("heartbeat-ttl", 10*time.Second, "coordinator side: worker liveness TTL; silent workers turn suspect and their shards are re-issued")
+	stealAfter := fs.Duration("steal-after", 30*time.Second, "coordinator side: in-flight shards older than this are speculatively re-executed elsewhere")
 	journal := fs.String("journal", "", "async-job journal path; jobs survive crashes and draining restarts")
+	takeover := fs.Bool("takeover", false, "adopt the -journal even if its lock names a live process (standby coordinator failover)")
+	snapshotEvery := fs.Int("snapshot-every", 0, "compact the journal after this many tail records (0 = default 512, -1 = never)")
 	maxJobs := fs.Int("max-jobs", 0, "retained async-job records (0 = default 256)")
 	poolOn := fs.Bool("pool", false, "enable the multi-tenant shared-pool service (POST /v1/submit, GET /v1/tenants)")
 	timeToShutdown := fs.Float64("time-to-shutdown", 0, "idle-VM release threshold in virtual seconds; an idle pooled VM is deprovisioned when the time to its next billing boundary drops below this (0 = 10% of -billing-quantum)")
@@ -90,18 +104,25 @@ func run(args []string) error {
 	if *workerMode && !flagSet(fs, "timeout") {
 		*timeout = 10 * time.Minute
 	}
+	if *coordinator != "" && *advertise == "" {
+		return fmt.Errorf("-coordinator requires -advertise (the URL coordinators should dispatch shards to)")
+	}
 
 	srv := server.New(server.Config{
-		Addr:           *addr,
-		Workers:        *workers,
-		QueueDepth:     *queue,
-		CacheSize:      *cacheSize,
-		RequestTimeout: *timeout,
-		EnablePprof:    *pprofOn,
-		TraceRingSize:  *traceRing,
-		Peers:          splitPeers(*peers),
-		JournalPath:    *journal,
-		MaxJobs:        *maxJobs,
+		Addr:            *addr,
+		Workers:         *workers,
+		QueueDepth:      *queue,
+		CacheSize:       *cacheSize,
+		RequestTimeout:  *timeout,
+		EnablePprof:     *pprofOn,
+		TraceRingSize:   *traceRing,
+		Peers:           splitPeers(*peers),
+		HeartbeatTTL:    *heartbeatTTL,
+		StealAfter:      *stealAfter,
+		JournalPath:     *journal,
+		JournalTakeover: *takeover,
+		SnapshotEvery:   *snapshotEvery,
+		MaxJobs:         *maxJobs,
 
 		EnablePool:         *poolOn,
 		PoolTimeToShutdown: *timeToShutdown,
@@ -133,6 +154,32 @@ func run(args []string) error {
 		fmt.Fprintf(os.Stderr, "budgetwfd: debug endpoints (pprof, expvar) on %s\n", *debugAddr)
 	}
 
+	// Worker-side membership: register with every coordinator and keep
+	// heartbeating so this daemon stays in the live fleet.
+	var hbDone chan struct{}
+	var hbCancel context.CancelFunc
+	if *coordinator != "" {
+		hbCtx, cancel := context.WithCancel(context.Background())
+		hbCancel = cancel
+		hbDone = make(chan struct{})
+		hb := &dist.Heartbeat{
+			Coordinators: splitPeers(*coordinator),
+			Self:         strings.TrimRight(*advertise, "/"),
+			Interval:     *heartbeatInterval,
+		}
+		go func() { hb.Run(hbCtx); close(hbDone) }()
+		fmt.Fprintf(os.Stderr, "budgetwfd: heartbeating to %s as %s every %s\n",
+			strings.Join(splitPeers(*coordinator), ", "), *advertise, *heartbeatInterval)
+	}
+	stopHeartbeat := func() {
+		if hbCancel != nil {
+			hbCancel()
+			<-hbDone // waits for the best-effort deregistration
+			hbCancel = nil
+		}
+	}
+	defer stopHeartbeat()
+
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
 	fmt.Fprintf(os.Stderr, "budgetwfd: listening on %s\n", *addr)
@@ -144,6 +191,7 @@ func run(args []string) error {
 		return err
 	case sig := <-sigc:
 		fmt.Fprintf(os.Stderr, "budgetwfd: %v, draining\n", sig)
+		stopHeartbeat() // leave the fleet before shards stop being served
 		ctx, cancel := context.WithTimeout(context.Background(), *drain)
 		defer cancel()
 		if err := srv.Shutdown(ctx); err != nil {

@@ -18,11 +18,19 @@
 // VMs each tenant leased from other tenants' already-paid billing
 // periods, and how much provisioning cost the sharing saved.
 //
+// With -chaos it ignores -url, builds budgetwfd from the enclosing
+// module, boots a real multi-process cluster (one journal-backed
+// coordinator plus -chaos-workers shard workers), submits a sweep job,
+// SIGKILLs a random worker and kill-restarts the coordinator mid-run,
+// and verifies the merged result is byte-identical to an undisturbed
+// single-process /v1/sweep (see internal/dist/chaostest).
+//
 // Usage:
 //
 //	loadgen -url http://localhost:8080 -n 200 -c 16 -distinct 4
 //	loadgen -url http://localhost:8080 -jobs -n 8 -c 4 -distinct 4
 //	loadgen -url http://localhost:8080 -tenants 3 -n 30 -c 4
+//	loadgen -chaos -chaos-workers 3 -size 60
 package main
 
 import (
@@ -63,11 +71,24 @@ func run(args []string, stdout io.Writer) error {
 	jobsMode := fs.Bool("jobs", false, "async-job mode: submit sweep campaigns to /v1/jobs and poll to completion")
 	jobTimeout := fs.Duration("job-timeout", 5*time.Minute, "give up polling a job after this long")
 	tenants := fs.Int("tenants", 0, "multi-tenant mode: spread submissions over this many tenants against POST /v1/submit of a pool-enabled daemon (budgetwfd -pool)")
+	chaos := fs.Bool("chaos", false, "chaos mode: boot a local multi-process cluster, kill a worker and restart the coordinator mid-sweep, and byte-diff the merged result against an undisturbed run")
+	chaosWorkers := fs.Int("chaos-workers", 3, "shard workers in the -chaos cluster")
+	chaosSeed := fs.Int64("chaos-seed", 1, "seed picking which worker dies in -chaos mode")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *distinct < 1 {
 		*distinct = 1
+	}
+	if *chaos {
+		// -size defaults to 30 for the schedule modes; chaos needs a
+		// sweep heavy enough that the kills land mid-run, so only an
+		// explicit -size overrides the harness default sizing.
+		chaosSize := 0
+		if flagWasSet(fs, "size") {
+			chaosSize = *size
+		}
+		return runChaos(stdout, *chaosWorkers, chaosSize, *chaosSeed, *jobTimeout)
 	}
 	if *jobsMode {
 		return runJobs(stdout, *baseURL, *total, *conc, *distinct, *size, *retryCap, *jobTimeout)
@@ -201,13 +222,21 @@ func run(args []string, stdout io.Writer) error {
 // distinct seed specs (repeats past -distinct dedupe server-side onto
 // the same job id), each polled to a terminal state with the shared
 // capped+jittered backoff, reporting end-to-end job latency.
+//
+// Transport errors on submit or poll (connection refused/reset — the
+// coordinator restarting mid-run) are treated exactly like a 503:
+// retried under the capped+jittered backoff until the -job-timeout
+// deadline, never surfaced as failures, and counted as reconnects in
+// the summary. A journal-backed coordinator restores the job on
+// restart, so the same job id resolves once it is back.
 func runJobs(stdout io.Writer, baseURL string, total, conc, distinct, size int, retryCap, jobTimeout time.Duration) error {
 	type jobResult struct {
-		state   string
-		deduped bool
-		polls   int
-		latency time.Duration
-		err     error
+		state      string
+		deduped    bool
+		polls      int
+		reconnects int
+		latency    time.Duration
+		err        error
 	}
 	client := &http.Client{Timeout: 60 * time.Second}
 	results := make([]jobResult, total)
@@ -236,52 +265,71 @@ func runJobs(stdout io.Writer, baseURL string, total, conc, distinct, size int, 
 				},
 			})
 			t0 := time.Now()
-			resp, err := client.Post(baseURL+"/v1/jobs", "application/json", bytes.NewReader(body))
-			if err != nil {
-				results[i] = jobResult{err: err}
-				return
-			}
+			deadline := time.Now().Add(jobTimeout)
+			reconnects := 0
 			var sub struct {
 				JobID   string `json:"jobId"`
 				Deduped bool   `json:"deduped"`
 			}
-			raw, _ := io.ReadAll(resp.Body)
-			resp.Body.Close()
-			if resp.StatusCode != http.StatusAccepted {
-				results[i] = jobResult{err: fmt.Errorf("submit: status %d: %s", resp.StatusCode, raw)}
-				return
-			}
-			if err := json.Unmarshal(raw, &sub); err != nil || sub.JobID == "" {
-				results[i] = jobResult{err: fmt.Errorf("submit: bad body %q", raw)}
-				return
+			for attempt := 0; ; attempt++ {
+				resp, err := client.Post(baseURL+"/v1/jobs", "application/json", bytes.NewReader(body))
+				if err != nil || transientStatus(resp.StatusCode) {
+					retryAfter := ""
+					if err == nil {
+						retryAfter = resp.Header.Get("Retry-After")
+						io.Copy(io.Discard, resp.Body)
+						resp.Body.Close()
+					}
+					if time.Now().After(deadline) {
+						results[i] = jobResult{reconnects: reconnects, err: fmt.Errorf("submit: coordinator unreachable for %v: %v", jobTimeout, err)}
+						return
+					}
+					reconnects++
+					time.Sleep(retryDelay(retryAfter, attempt, retryCap, rnd, time.Now()))
+					continue
+				}
+				raw, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusAccepted {
+					results[i] = jobResult{reconnects: reconnects, err: fmt.Errorf("submit: status %d: %s", resp.StatusCode, raw)}
+					return
+				}
+				if err := json.Unmarshal(raw, &sub); err != nil || sub.JobID == "" {
+					results[i] = jobResult{reconnects: reconnects, err: fmt.Errorf("submit: bad body %q", raw)}
+					return
+				}
+				break
 			}
 			// Poll with the same backoff schedule used for 429s: no
 			// Retry-After hint, so 100ms doubling to the cap, jittered.
-			deadline := time.Now().Add(jobTimeout)
 			for attempt := 0; ; attempt++ {
 				if time.Now().After(deadline) {
-					results[i] = jobResult{state: "timeout", deduped: sub.Deduped, polls: attempt, err: fmt.Errorf("job %s: not terminal after %v", sub.JobID, jobTimeout)}
+					results[i] = jobResult{state: "timeout", deduped: sub.Deduped, polls: attempt, reconnects: reconnects, err: fmt.Errorf("job %s: not terminal after %v", sub.JobID, jobTimeout)}
 					return
 				}
 				time.Sleep(retryDelay("", attempt, retryCap, rnd, time.Now()))
 				st, err := client.Get(baseURL + "/v1/jobs/" + sub.JobID)
 				if err != nil {
-					results[i] = jobResult{err: err, polls: attempt + 1}
-					return
+					reconnects++
+					continue
+				}
+				raw, _ := io.ReadAll(st.Body)
+				st.Body.Close()
+				if transientStatus(st.StatusCode) {
+					reconnects++
+					continue
 				}
 				var view struct {
 					State string `json:"state"`
 					Error string `json:"error"`
 				}
-				raw, _ := io.ReadAll(st.Body)
-				st.Body.Close()
 				if err := json.Unmarshal(raw, &view); err != nil {
-					results[i] = jobResult{err: fmt.Errorf("poll: bad body %q", raw), polls: attempt + 1}
+					results[i] = jobResult{err: fmt.Errorf("poll: bad body %q", raw), polls: attempt + 1, reconnects: reconnects}
 					return
 				}
 				switch view.State {
 				case "done", "failed", "cancelled":
-					r := jobResult{state: view.State, deduped: sub.Deduped, polls: attempt + 1, latency: time.Since(t0)}
+					r := jobResult{state: view.State, deduped: sub.Deduped, polls: attempt + 1, reconnects: reconnects, latency: time.Since(t0)}
 					if view.Error != "" {
 						r.err = fmt.Errorf("job %s: %s", sub.JobID, view.Error)
 					}
@@ -295,10 +343,11 @@ func runJobs(stdout io.Writer, baseURL string, total, conc, distinct, size int, 
 	elapsed := time.Since(start)
 
 	states := map[string]int{}
-	deduped, errs, polls := 0, 0, 0
+	deduped, errs, polls, reconnects := 0, 0, 0, 0
 	var lats []time.Duration
 	for _, r := range results {
 		polls += r.polls
+		reconnects += r.reconnects
 		if r.deduped {
 			deduped++
 		}
@@ -327,11 +376,36 @@ func runJobs(stdout io.Writer, baseURL string, total, conc, distinct, size int, 
 	}
 	fmt.Fprintf(stdout, "  deduped submissions: %d\n", deduped)
 	fmt.Fprintf(stdout, "  polls: %d total\n", polls)
+	fmt.Fprintf(stdout, "  reconnects (transport errors / 5xx retried): %d\n", reconnects)
 	fmt.Fprintf(stdout, "  job e2e latency p50=%v p90=%v p99=%v max=%v\n", pct(0.50), pct(0.90), pct(0.99), pct(1.0))
 	if errs > 0 {
 		return fmt.Errorf("%d jobs errored", errs)
 	}
 	return nil
+}
+
+// transientStatus reports whether an HTTP status from the coordinator
+// should be retried like a connection failure: 502/503/504 cover a
+// restarting or draining daemon (and any proxy in front of it), and
+// 429 is the admission queue asking for backoff.
+func transientStatus(code int) bool {
+	switch code {
+	case http.StatusTooManyRequests, http.StatusBadGateway,
+		http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		return true
+	}
+	return false
+}
+
+// flagWasSet reports whether the user set the named flag explicitly.
+func flagWasSet(fs *flag.FlagSet, name string) bool {
+	set := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
 }
 
 // percentile returns the p-quantile (0 ≤ p ≤ 1) of an ascending-sorted

@@ -1,0 +1,48 @@
+package chaostest
+
+import (
+	"os/exec"
+	"testing"
+)
+
+// TestChaosCluster is the automated survivable-crash property test: a
+// real 3-process-worker cluster runs a fixed-seed sweep job while one
+// seed-chosen worker is SIGKILLed and the coordinator is
+// kill-restarted on its journal, both strictly mid-run. Run enforces
+// the contract — the merged result must be byte-identical to an
+// undisturbed single-process /v1/sweep, the restarted coordinator must
+// resume the same job id, and the journal must have compacted to a
+// snapshot plus a tail bounded by the snapshot-every threshold.
+func TestChaosCluster(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos cluster test compiles and boots real processes; skipped in -short")
+	}
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skipf("go toolchain not on PATH: %v", err)
+	}
+	rep, err := Run(Scenario{
+		Workers: 3,
+		Seed:    1,
+		Logf:    t.Logf,
+	})
+	if err != nil {
+		if rep != nil && rep.Dir != "" {
+			t.Logf("scratch dir preserved for post-mortem: %s", rep.Dir)
+		}
+		t.Fatal(err)
+	}
+	if !rep.Identical {
+		t.Fatalf("merged result not byte-identical (job %s)", rep.JobID)
+	}
+	if rep.Reconnects == 0 {
+		t.Errorf("expected polls to ride through the coordinator outage, saw 0 reconnects")
+	}
+	if rep.SnapshotBytes <= 0 || rep.TailRecords > 8 {
+		t.Errorf("journal not compacted to snapshot+bounded tail: snapshot %dB, tail %d records",
+			rep.SnapshotBytes, rep.TailRecords)
+	}
+	t.Logf("job %s: %d units in %v; worker%d killed, coordinator restarted, %d reconnects; "+
+		"journal snapshot %dB + %d tail records; dispatched %d, requeued %d, stolen %d, duplicates %d",
+		rep.JobID, rep.UnitsTotal, rep.Elapsed, rep.KilledWorker, rep.Reconnects,
+		rep.SnapshotBytes, rep.TailRecords, rep.Dispatched, rep.Requeued, rep.Stolen, rep.Duplicates)
+}

@@ -1,0 +1,333 @@
+package chaostest
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"time"
+)
+
+// Scenario describes one chaos run: a sweep job on a fresh cluster
+// with a worker SIGKILLed once the sweep is under way and the
+// coordinator kill-restarted once it is partly merged.
+type Scenario struct {
+	// Workers is the cluster size (default 3).
+	Workers int
+	// Sweep is the sweep spec, as the JSON object POST /v1/sweep
+	// accepts. It must be big enough that the failures land mid-run;
+	// DefaultSweep(size) is tuned for a few seconds of wall clock.
+	Sweep map[string]any
+	// Seed picks which worker dies (default 1).
+	Seed int64
+	// Timeout bounds the whole scenario (default 3m).
+	Timeout time.Duration
+	// Logf receives progress lines; nil discards them.
+	Logf func(format string, args ...any)
+
+	// KeepDir preserves the scratch directory (logs, journal) instead
+	// of removing it on success. Failures always preserve it.
+	KeepDir bool
+}
+
+// Report is the outcome of one chaos scenario.
+type Report struct {
+	JobID        string
+	UnitsTotal   int
+	KilledWorker int           // index of the SIGKILLed worker
+	Reconnects   int           // polls retried across the coordinator restart
+	Polls        int           // total status polls
+	Elapsed      time.Duration // submit → terminal state
+	Identical    bool          // merged result byte-identical to the reference
+	ResultBytes  int           // size of the normalized merged result
+	Dir          string        // scratch dir (empty if removed)
+
+	// Journal durability, observed after completion.
+	TailRecords   int   // journal tail length (≤ SnapshotEvery: compaction bounds it)
+	SnapshotBytes int64 // snapshot size (> 0: at least one compaction ran)
+
+	// Coordinator dispatch counters after completion (post-restart
+	// incarnation only — counters do not survive the kill).
+	Dispatched int64
+	Requeued   int64
+	Stolen     int64
+	Duplicates int64
+}
+
+// DefaultSweep returns a sweep spec sized so a 3-worker cluster chews
+// on it for a few seconds — long enough that a worker SIGKILL and a
+// coordinator restart both land strictly mid-run.
+func DefaultSweep(size int) map[string]any {
+	if size <= 0 {
+		size = 60
+	}
+	return map[string]any{
+		"workflowType": "montage",
+		"n":            size,
+		"algorithms":   []string{"heft", "heftbudg"},
+		"gridK":        6,
+		"instances":    2,
+		"replications": 300,
+		"seed":         42,
+	}
+}
+
+// Run executes the scenario against a freshly started cluster:
+//
+//  1. submit the sweep as an async job to the coordinator,
+//  2. once the first units are merged, SIGKILL a seed-chosen worker,
+//  3. once a third of the units are merged, SIGKILL the coordinator
+//     and restart it on the same journal,
+//  4. poll the same job id through the outage until it completes,
+//  5. byte-compare the merged result against an undisturbed
+//     synchronous /v1/sweep on a surviving worker, and
+//  6. check the journal was compacted: a snapshot exists and the tail
+//     is bounded by the snapshot-every threshold.
+//
+// Any violated property is an error; a nil error means the
+// survivable-crash contract held.
+func Run(sc Scenario) (*Report, error) {
+	if sc.Workers == 0 {
+		sc.Workers = 3
+	}
+	if sc.Sweep == nil {
+		sc.Sweep = DefaultSweep(0)
+	}
+	if sc.Seed == 0 {
+		sc.Seed = 1
+	}
+	if sc.Timeout == 0 {
+		sc.Timeout = 3 * time.Minute
+	}
+	logf := sc.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+
+	cluster, err := StartCluster(ClusterConfig{Workers: sc.Workers, Logf: sc.Logf})
+	if err != nil {
+		return nil, err
+	}
+	defer cluster.Stop()
+	rep := &Report{Dir: cluster.Config.Dir}
+	keepDir := true
+	defer func() {
+		if !keepDir && !sc.KeepDir {
+			os.RemoveAll(cluster.Config.Dir)
+			rep.Dir = ""
+		}
+	}()
+
+	client := &http.Client{Timeout: 30 * time.Second}
+	deadline := time.Now().Add(sc.Timeout)
+
+	// 1. Submit the sweep as an async job.
+	body, err := json.Marshal(map[string]any{"kind": "sweep", "sweep": sc.Sweep})
+	if err != nil {
+		return rep, err
+	}
+	resp, err := client.Post(cluster.CoordURL()+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return rep, fmt.Errorf("submit: %w", err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		return rep, fmt.Errorf("submit: status %d: %s", resp.StatusCode, raw)
+	}
+	var sub struct {
+		JobID string `json:"jobId"`
+	}
+	if err := json.Unmarshal(raw, &sub); err != nil || sub.JobID == "" {
+		return rep, fmt.Errorf("submit: bad body %q", raw)
+	}
+	rep.JobID = sub.JobID
+	start := time.Now()
+	logf("chaostest: job %s submitted", sub.JobID)
+
+	// 2–4. Poll the job, injecting the failures at unit thresholds so
+	// they land strictly mid-run. Transport errors while the
+	// coordinator is down are expected and retried.
+	victim := rand.New(rand.NewSource(sc.Seed)).Intn(sc.Workers)
+	rep.KilledWorker = victim
+	killedWorker, restarted := false, false
+	var result json.RawMessage
+	for {
+		if time.Now().After(deadline) {
+			return rep, fmt.Errorf("job %s not terminal after %v (worker killed: %v, coordinator restarted: %v)",
+				sub.JobID, sc.Timeout, killedWorker, restarted)
+		}
+		time.Sleep(50 * time.Millisecond)
+		rep.Polls++
+		st, err := client.Get(cluster.CoordURL() + "/v1/jobs/" + sub.JobID)
+		if err != nil {
+			rep.Reconnects++
+			continue
+		}
+		raw, _ := io.ReadAll(st.Body)
+		st.Body.Close()
+		if st.StatusCode != http.StatusOK {
+			rep.Reconnects++
+			continue
+		}
+		var view struct {
+			State      string          `json:"state"`
+			Error      string          `json:"error"`
+			UnitsDone  int             `json:"unitsDone"`
+			UnitsTotal int             `json:"unitsTotal"`
+			Result     json.RawMessage `json:"result"`
+		}
+		if err := json.Unmarshal(raw, &view); err != nil {
+			return rep, fmt.Errorf("poll: bad body %q", raw)
+		}
+		rep.UnitsTotal = view.UnitsTotal
+
+		if !killedWorker && view.UnitsDone >= 1 {
+			cluster.KillWorker(victim)
+			killedWorker = true
+			logf("chaostest: killed worker%d at %d/%d units", victim, view.UnitsDone, view.UnitsTotal)
+		}
+		if killedWorker && !restarted && view.UnitsTotal > 0 && view.UnitsDone >= view.UnitsTotal/3 {
+			// Kill first, poll the dead coordinator, then restart: the
+			// poll is guaranteed to land inside the outage window, so the
+			// scenario always exercises the reconnect path a polling
+			// client (loadgen -jobs) must survive.
+			cluster.KillCoordinator()
+			rep.Polls++
+			if st, err := client.Get(cluster.CoordURL() + "/v1/jobs/" + sub.JobID); err != nil {
+				rep.Reconnects++
+			} else {
+				io.Copy(io.Discard, st.Body)
+				st.Body.Close()
+				return rep, fmt.Errorf("poll of the killed coordinator answered with status %d", st.StatusCode)
+			}
+			if err := cluster.StartCoordinator(); err != nil {
+				return rep, fmt.Errorf("coordinator restart: %w", err)
+			}
+			restarted = true
+			logf("chaostest: coordinator kill-restarted at %d/%d units", view.UnitsDone, view.UnitsTotal)
+		}
+
+		switch view.State {
+		case "done":
+			if !killedWorker || !restarted {
+				return rep, fmt.Errorf("job finished before chaos landed (worker killed: %v, coordinator restarted: %v) — enlarge the sweep spec",
+					killedWorker, restarted)
+			}
+			rep.Elapsed = time.Since(start)
+			result = view.Result
+		case "failed", "cancelled":
+			return rep, fmt.Errorf("job %s: state %s: %s", sub.JobID, view.State, view.Error)
+		default:
+			continue
+		}
+		break
+	}
+	logf("chaostest: job done in %v (%d polls, %d reconnects)", rep.Elapsed, rep.Polls, rep.Reconnects)
+
+	// 5. Reference: the same sweep, synchronously, on a worker that
+	// was never touched — a pure single-process exp.RunSweepCtx run.
+	survivor := cluster.WorkerProcs[(victim+1)%sc.Workers]
+	if survivor == nil {
+		return rep, fmt.Errorf("no surviving worker for the reference run")
+	}
+	specBody, _ := json.Marshal(sc.Sweep)
+	refResp, err := client.Post(survivor.URL+"/v1/sweep", "application/json", bytes.NewReader(specBody))
+	if err != nil {
+		return rep, fmt.Errorf("reference sweep: %w", err)
+	}
+	refRaw, _ := io.ReadAll(refResp.Body)
+	refResp.Body.Close()
+	if refResp.StatusCode != http.StatusOK {
+		return rep, fmt.Errorf("reference sweep: status %d: %s", refResp.StatusCode, refRaw)
+	}
+	got, err := normalizeResponse(result)
+	if err != nil {
+		return rep, fmt.Errorf("normalizing job result: %w", err)
+	}
+	want, err := normalizeResponse(refRaw)
+	if err != nil {
+		return rep, fmt.Errorf("normalizing reference: %w", err)
+	}
+	rep.Identical = bytes.Equal(got, want)
+	rep.ResultBytes = len(got)
+	if !rep.Identical {
+		return rep, fmt.Errorf("merged result differs from the undisturbed run (%d vs %d normalized bytes; logs in %s)",
+			len(got), len(want), cluster.Config.Dir)
+	}
+
+	// 6. Journal durability: compaction must have produced a snapshot
+	// and bounded the tail.
+	stats, err := fetchClusterStats(client, cluster.CoordURL())
+	if err != nil {
+		return rep, err
+	}
+	rep.TailRecords = stats.Journal.TailRecords
+	rep.SnapshotBytes = stats.Journal.SnapshotBytes
+	rep.Dispatched = stats.Coordinator.Dispatched
+	rep.Requeued = stats.Coordinator.Requeued
+	rep.Stolen = stats.Coordinator.Stolen
+	rep.Duplicates = stats.Coordinator.LateDuplicates + stats.LateShards
+	if rep.SnapshotBytes <= 0 {
+		return rep, fmt.Errorf("journal was never compacted (snapshotBytes %d)", rep.SnapshotBytes)
+	}
+	if rep.TailRecords > cluster.Config.SnapshotEvery {
+		return rep, fmt.Errorf("journal tail %d records exceeds the snapshot-every bound %d",
+			rep.TailRecords, cluster.Config.SnapshotEvery)
+	}
+	if _, err := os.Stat(cluster.SnapshotPath()); err != nil {
+		return rep, fmt.Errorf("snapshot file: %w", err)
+	}
+	keepDir = false
+	return rep, nil
+}
+
+// normalizeResponse strips the request-scoped requestId from a sweep
+// response and re-marshals it with sorted keys, so a job result and a
+// synchronous /v1/sweep body can be compared byte for byte. Both sides
+// round-trip through the same map encoding, so any difference left is
+// a real difference in the merged data.
+func normalizeResponse(raw []byte) ([]byte, error) {
+	var m map[string]any
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return nil, err
+	}
+	delete(m, "requestId")
+	return json.Marshal(m)
+}
+
+// clusterStats mirrors the "cluster" entry of GET /metrics.
+type clusterStats struct {
+	Coordinator struct {
+		Dispatched     int64 `json:"dispatched"`
+		Requeued       int64 `json:"requeued"`
+		Stolen         int64 `json:"stolen"`
+		LateDuplicates int64 `json:"lateDuplicates"`
+	} `json:"coordinator"`
+	LateShards int64 `json:"lateShards"`
+	Journal    struct {
+		TailRecords   int   `json:"tailRecords"`
+		SnapshotBytes int64 `json:"snapshotBytes"`
+	} `json:"journal"`
+}
+
+// fetchClusterStats reads the coordinator's /metrics JSON and decodes
+// its cluster section.
+func fetchClusterStats(client *http.Client, baseURL string) (*clusterStats, error) {
+	resp, err := client.Get(baseURL + "/metrics")
+	if err != nil {
+		return nil, fmt.Errorf("metrics: %w", err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var root struct {
+		Cluster clusterStats `json:"cluster"`
+	}
+	if err := json.Unmarshal(raw, &root); err != nil {
+		return nil, fmt.Errorf("metrics: %w", err)
+	}
+	return &root.Cluster, nil
+}

@@ -10,6 +10,7 @@ import (
 	"net/http"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"budgetwf/internal/exp"
@@ -18,25 +19,39 @@ import (
 )
 
 // Coordinator decomposes a campaign into deterministic shards and
-// farms them out to workers over HTTP. The zero value (no Workers)
-// executes everything locally through the same shard path, so results
-// are byte-for-byte independent of the fleet size — including zero.
+// farms them out to workers over HTTP. The zero value (no Workers, no
+// Members) executes everything locally through the same shard path, so
+// results are byte-for-byte independent of the fleet size — including
+// zero.
+//
+// The fleet is the static Workers list plus, when Members is set, the
+// live dynamically-registered workers it reports — consulted afresh on
+// every dispatch, so workers joining mid-sweep receive shards and
+// workers leaving stop receiving them.
 //
 // Failure policy, in escalation order: a failed or slow worker is
 // benched with capped jittered exponential backoff (a 429 benches it
 // for exactly its Retry-After); the failed shard is split in half when
 // it spans more than one unit, so its work redistributes across the
-// surviving fleet; and a shard that exhausts MaxAttempts runs on the
-// coordinator itself. The local fallback is what closes the guarantee
-// that a killed worker never loses a shard.
+// surviving fleet; a shard in flight longer than StealAfter — or on a
+// worker that dropped out of the live fleet — is speculatively
+// re-issued to another worker (work stealing; first result wins, the
+// loser is dropped by unit-coverage dedupe); and a shard that exhausts
+// MaxAttempts runs on the coordinator itself. The local fallback is
+// what closes the guarantee that no failure mode loses a shard.
 type Coordinator struct {
-	// Workers is the base URLs of shard workers ("http://host:9090").
-	// Empty means run everything locally.
+	// Workers is the base URLs of statically configured shard workers
+	// ("http://host:9090"). Empty with nil Members means run
+	// everything locally.
 	Workers []string
+	// Members, when non-nil, reports the live dynamically-registered
+	// fleet (typically Registry.Live). It is consulted on every
+	// dispatch and merged with Workers.
+	Members func() []string
 	// Client issues the shard requests; nil uses http.DefaultClient.
 	Client *http.Client
 	// MaxInFlight bounds concurrently dispatched shards; default
-	// 2×len(Workers).
+	// 2×fleet size (min 2).
 	MaxInFlight int
 	// UnitsPerShard sets the shard granularity; default sizes shards
 	// so each worker receives about four.
@@ -53,20 +68,61 @@ type Coordinator struct {
 	RetryCap  time.Duration
 	// ShardTimeout bounds one remote shard attempt; default 10m.
 	ShardTimeout time.Duration
+	// StealAfter is how long a dispatched shard may stay in flight
+	// before it is speculatively re-issued to another worker; default
+	// 30s. Shards on workers that left the live fleet are re-issued
+	// immediately.
+	StealAfter time.Duration
 	// LocalWorkers bounds local execution parallelism (fallback and
 	// the no-workers path); 0 means GOMAXPROCS.
 	LocalWorkers int
-	// Logf, when set, receives retry/split/fallback diagnostics.
+	// Logf, when set, receives retry/split/steal/fallback diagnostics.
 	Logf func(format string, args ...any)
 
 	pick int64      // round-robin cursor
 	mu   sync.Mutex // guards bench
-	// bench maps worker index → time before which it is not offered
+	// bench maps worker URL → time before which it is not offered
 	// work again.
-	bench map[int]time.Time
+	bench map[string]time.Time
+
+	statDispatched atomic.Int64
+	statRequeued   atomic.Int64
+	statStolen     atomic.Int64
+	statLateDup    atomic.Int64
+	statLocalFB    atomic.Int64
 }
 
-// RunOptions attaches observability to one coordinator run.
+// CoordStats counts dispatch events over the coordinator's lifetime,
+// for metrics.
+type CoordStats struct {
+	// Dispatched is remote shard attempts issued.
+	Dispatched int64 `json:"dispatched"`
+	// Requeued is failed shard attempts fed back into the queue
+	// (splits count once).
+	Requeued int64 `json:"requeued"`
+	// Stolen is speculative re-issues of slow or orphaned shards.
+	Stolen int64 `json:"stolen"`
+	// LateDuplicates is results dropped because their units were
+	// already covered (steal-race losers).
+	LateDuplicates int64 `json:"lateDuplicates"`
+	// LocalFallbacks is shards that exhausted remote attempts and ran
+	// on the coordinator.
+	LocalFallbacks int64 `json:"localFallbacks"`
+}
+
+// Stats snapshots the dispatch counters.
+func (c *Coordinator) Stats() CoordStats {
+	return CoordStats{
+		Dispatched:     c.statDispatched.Load(),
+		Requeued:       c.statRequeued.Load(),
+		Stolen:         c.statStolen.Load(),
+		LateDuplicates: c.statLateDup.Load(),
+		LocalFallbacks: c.statLocalFB.Load(),
+	}
+}
+
+// RunOptions attaches observability and resume state to one
+// coordinator run.
 type RunOptions struct {
 	// Span, when non-nil, becomes the parent of one child span per
 	// shard attempt.
@@ -74,6 +130,18 @@ type RunOptions struct {
 	// Progress, when non-nil, is called after each shard completes
 	// with cumulative finished units.
 	Progress func(doneUnits, totalUnits int)
+	// Completed holds shard results journalled by a previous
+	// incarnation of this job: their units are folded into the merge
+	// up front and never recomputed. Malformed or overlapping entries
+	// are ignored (recomputed), so a corrupt journal degrades to extra
+	// work, not a wrong result.
+	Completed []ShardResult
+	// OnShard, when non-nil, receives every newly accepted shard
+	// result (its units marshalled), in completion order — the hook
+	// the job store uses to journal shard progress.
+	OnShard func(ShardResult)
+	// Epoch tags OnShard results with the run incarnation.
+	Epoch int
 }
 
 // RunSweep executes the sweep across the fleet and merges the partial
@@ -187,11 +255,38 @@ func (c *Coordinator) shardTimeout() time.Duration {
 	return 10 * time.Minute
 }
 
+func (c *Coordinator) stealAfter() time.Duration {
+	if c.StealAfter > 0 {
+		return c.StealAfter
+	}
+	return 30 * time.Second
+}
+
 func (c *Coordinator) client() *http.Client {
 	if c.Client != nil {
 		return c.Client
 	}
 	return http.DefaultClient
+}
+
+// fleet is the current dispatch target list: static workers in
+// declared order, then live dynamic members not already present.
+func (c *Coordinator) fleet() []string {
+	out := append([]string(nil), c.Workers...)
+	if c.Members == nil {
+		return out
+	}
+	seen := make(map[string]bool, len(out))
+	for _, w := range out {
+		seen[w] = true
+	}
+	for _, m := range c.Members() {
+		if !seen[m] {
+			out = append(out, m)
+			seen[m] = true
+		}
+	}
+	return out
 }
 
 // backoff is the capped, jittered exponential bench for a worker with
@@ -214,69 +309,152 @@ func (c *Coordinator) backoff(fails int) time.Duration {
 }
 
 // shard is one outstanding unit range with its remote attempt count.
+// A speculative shard is a duplicate of a still-in-flight primary: on
+// success the first result wins; on failure it is dropped silently,
+// because its primary still owns the range.
 type shard struct {
-	start, end int
-	attempts   int
+	start, end  int
+	attempts    int
+	speculative bool
+	// parent is the flight id of the primary a speculation shadows, so
+	// a failed speculation can re-arm the primary for stealing.
+	parent int64
+	// avoid is the worker the primary is stuck on: a speculation is
+	// pointless on the same worker, so dispatch prefers any other.
+	avoid string
+}
+
+// flight is one in-flight remote dispatch, tracked for stealing.
+type flight struct {
+	sh         shard
+	worker     string
+	started    time.Time
+	speculated bool
 }
 
 // runShards drives the dispatch loop: a bounded set of dispatcher
 // goroutines pull shards from a shared queue, place them on benched-
-// aware round-robin workers, and feed failures back as retries,
-// splits, or local fallbacks. It returns only when every unit of
-// [0, total) has been computed exactly once, or on the first
-// unrecoverable error.
+// aware round-robin workers (the live fleet, re-evaluated every
+// dispatch), and feed failures back as retries, splits, speculative
+// steals, or local fallbacks. Unit coverage is the single source of
+// truth: a result is accepted only if none of its units are covered
+// yet, so duplicates from steals or previous incarnations can never
+// double-merge. It returns only when every unit of [0, total) is
+// covered exactly once, or on the first unrecoverable error.
 func (c *Coordinator) runShards(ctx context.Context, base ShardRequest, total int, opt RunOptions) (*ShardResponse, error) {
 	merged := &ShardResponse{}
 	if total == 0 {
 		return merged, nil
 	}
 
-	// No fleet: one local shard over everything.
-	if len(c.Workers) == 0 {
-		span := opt.Span.Child("shard")
-		span.Set(obs.Str("mode", "local"), obs.Int("start", 0), obs.Int("end", total))
-		req := base
-		req.Start, req.End = 0, total
-		resp, err := ExecuteShard(ctx, &req, c.LocalWorkers)
-		span.End()
-		if err != nil {
-			return nil, err
+	// Fold in shard results journalled by a previous incarnation:
+	// their units are covered up front and never recomputed.
+	covered := make([]bool, total)
+	coveredCount := 0
+	for _, sr := range opt.Completed {
+		if sr.Start < 0 || sr.End > total || sr.End <= sr.Start {
+			continue
 		}
+		var resp ShardResponse
+		if err := json.Unmarshal(sr.Units, &resp); err != nil {
+			continue
+		}
+		if len(resp.SweepUnits)+len(resp.FaultUnits) != sr.End-sr.Start {
+			continue
+		}
+		overlap := false
+		for i := sr.Start; i < sr.End; i++ {
+			if covered[i] {
+				overlap = true
+				break
+			}
+		}
+		if overlap {
+			continue
+		}
+		for i := sr.Start; i < sr.End; i++ {
+			covered[i] = true
+		}
+		coveredCount += sr.End - sr.Start
+		merged.SweepUnits = append(merged.SweepUnits, resp.SweepUnits...)
+		merged.FaultUnits = append(merged.FaultUnits, resp.FaultUnits...)
+	}
+	if coveredCount > 0 {
+		c.logf("dist: resuming with %d/%d units from journalled shards", coveredCount, total)
 		if opt.Progress != nil {
-			opt.Progress(total, total)
+			opt.Progress(coveredCount, total)
 		}
-		return resp, nil
+	}
+	if coveredCount == total {
+		return merged, nil
 	}
 
+	// No fleet and no membership: run the gaps locally.
+	if len(c.Workers) == 0 && c.Members == nil {
+		for _, gap := range uncoveredGaps(covered) {
+			span := opt.Span.Child("shard")
+			span.Set(obs.Str("mode", "local"), obs.Int("start", gap.start), obs.Int("end", gap.end))
+			req := base
+			req.Start, req.End = gap.start, gap.end
+			resp, err := ExecuteShard(ctx, &req, c.LocalWorkers)
+			span.End()
+			if err != nil {
+				return nil, err
+			}
+			merged.SweepUnits = append(merged.SweepUnits, resp.SweepUnits...)
+			merged.FaultUnits = append(merged.FaultUnits, resp.FaultUnits...)
+			coveredCount += gap.end - gap.start
+			emitShard(opt, gap.start, gap.end, resp)
+			if opt.Progress != nil {
+				opt.Progress(coveredCount, total)
+			}
+		}
+		return merged, nil
+	}
+
+	fleetLen := len(c.fleet())
+	if fleetLen < 1 {
+		fleetLen = 1
+	}
 	unitsPerShard := c.UnitsPerShard
 	if unitsPerShard <= 0 {
-		unitsPerShard = (total + 4*len(c.Workers) - 1) / (4 * len(c.Workers))
+		unitsPerShard = (total + 4*fleetLen - 1) / (4 * fleetLen)
 	}
 	if unitsPerShard < 1 {
 		unitsPerShard = 1
 	}
 	inFlight := c.MaxInFlight
 	if inFlight <= 0 {
-		inFlight = 2 * len(c.Workers)
+		inFlight = 2 * fleetLen
+	}
+	if inFlight < 2 {
+		inFlight = 2
 	}
 
 	var (
-		mu          sync.Mutex
-		cond        = sync.NewCond(&mu)
-		queue       []shard
-		outstanding int
-		doneUnits   int
-		firstErr    error
-		stopped     bool
+		mu       sync.Mutex
+		cond     = sync.NewCond(&mu)
+		queue    []shard
+		flights  = make(map[int64]*flight)
+		flightID int64
+		firstErr error
+		stopped  bool
 	)
-	for start := 0; start < total; start += unitsPerShard {
-		end := start + unitsPerShard
-		if end > total {
-			end = total
+	for _, gap := range uncoveredGaps(covered) {
+		for start := gap.start; start < gap.end; start += unitsPerShard {
+			end := start + unitsPerShard
+			if end > gap.end {
+				end = gap.end
+			}
+			queue = append(queue, shard{start: start, end: end})
 		}
-		queue = append(queue, shard{start: start, end: end})
-		outstanding++
 	}
+
+	// runCtx cancels lingering dispatches the moment the run settles
+	// (complete or failed), so a hung speculative call can't hold the
+	// loop open for a full ShardTimeout.
+	runCtx, cancelRun := context.WithCancel(ctx)
+	defer cancelRun()
 
 	watch := make(chan struct{})
 	defer close(watch)
@@ -297,28 +475,100 @@ func (c *Coordinator) runShards(ctx context.Context, base ShardRequest, total in
 			firstErr = err
 		}
 		mu.Unlock()
+		cancelRun()
 		cond.Broadcast()
 	}
-	finish := func(sh shard, resp *ShardResponse) {
+	// accept merges a completed shard's units unless any are already
+	// covered — the (job, shard range, epoch) dedupe that makes steal
+	// races and previous-incarnation stragglers harmless.
+	accept := func(sh shard, resp *ShardResponse) {
 		mu.Lock()
+		for i := sh.start; i < sh.end; i++ {
+			if covered[i] {
+				mu.Unlock()
+				c.statLateDup.Add(1)
+				c.logf("dist: dropping late duplicate shard [%d,%d)", sh.start, sh.end)
+				return
+			}
+		}
+		for i := sh.start; i < sh.end; i++ {
+			covered[i] = true
+		}
+		coveredCount += sh.end - sh.start
 		merged.SweepUnits = append(merged.SweepUnits, resp.SweepUnits...)
 		merged.FaultUnits = append(merged.FaultUnits, resp.FaultUnits...)
-		outstanding--
-		doneUnits += sh.end - sh.start
-		done, progress := doneUnits, opt.Progress
+		done := coveredCount
+		complete := coveredCount == total
 		mu.Unlock()
+		if complete {
+			cancelRun()
+		}
 		cond.Broadcast()
-		if progress != nil {
-			progress(done, total)
+		emitShard(opt, sh.start, sh.end, resp)
+		if opt.Progress != nil {
+			opt.Progress(done, total)
 		}
 	}
 	requeue := func(shs ...shard) {
 		mu.Lock()
 		queue = append(queue, shs...)
-		outstanding += len(shs) - 1 // one shard became len(shs)
 		mu.Unlock()
+		c.statRequeued.Add(1)
 		cond.Broadcast()
 	}
+
+	// Steal scanner: speculatively re-issue shards stuck in flight past
+	// StealAfter, and immediately re-issue shards whose worker left the
+	// live fleet (heartbeat TTL expiry).
+	tick := c.stealAfter() / 8
+	if tick < 50*time.Millisecond {
+		tick = 50 * time.Millisecond
+	}
+	if tick > time.Second {
+		tick = time.Second
+	}
+	scanDone := make(chan struct{})
+	var scanWG sync.WaitGroup
+	scanWG.Add(1)
+	go func() {
+		defer scanWG.Done()
+		t := time.NewTicker(tick)
+		defer t.Stop()
+		for {
+			select {
+			case <-scanDone:
+				return
+			case <-t.C:
+			}
+			live := make(map[string]bool)
+			for _, w := range c.fleet() {
+				live[w] = true
+			}
+			now := time.Now()
+			var stolen []shard
+			mu.Lock()
+			for id, f := range flights {
+				if f.speculated || f.sh.speculative {
+					continue
+				}
+				slow := now.Sub(f.started) > c.stealAfter()
+				orphaned := !live[f.worker]
+				if !slow && !orphaned {
+					continue
+				}
+				f.speculated = true
+				stolen = append(stolen, shard{start: f.sh.start, end: f.sh.end, speculative: true, parent: id, avoid: f.worker})
+				c.logf("dist: stealing shard [%d,%d) from %s (slow=%v orphaned=%v)",
+					f.sh.start, f.sh.end, f.worker, slow, orphaned)
+			}
+			queue = append(queue, stolen...)
+			mu.Unlock()
+			if len(stolen) > 0 {
+				c.statStolen.Add(int64(len(stolen)))
+				cond.Broadcast()
+			}
+		}
+	}()
 
 	var wg sync.WaitGroup
 	for i := 0; i < inFlight; i++ {
@@ -327,22 +577,65 @@ func (c *Coordinator) runShards(ctx context.Context, base ShardRequest, total in
 			defer wg.Done()
 			for {
 				mu.Lock()
-				for len(queue) == 0 && outstanding > 0 && !stopped && firstErr == nil {
+				for len(queue) == 0 && coveredCount < total && !stopped && firstErr == nil {
 					cond.Wait()
 				}
-				if stopped || firstErr != nil || outstanding == 0 {
+				if stopped || firstErr != nil || coveredCount == total {
 					mu.Unlock()
 					return
 				}
 				sh := queue[len(queue)-1]
 				queue = queue[:len(queue)-1]
+				// A queued shard whose units got covered in the
+				// meantime (a steal winner beat it) is obsolete.
+				obsolete := true
+				for i := sh.start; i < sh.end; i++ {
+					if !covered[i] {
+						obsolete = false
+						break
+					}
+				}
 				mu.Unlock()
+				if obsolete {
+					continue
+				}
 
-				c.dispatch(ctx, base, sh, opt, finish, requeue, fail)
+				c.dispatch(runCtx, ctx, base, sh, opt, dispatchHooks{
+					accept:  accept,
+					requeue: requeue,
+					fail:    fail,
+					track: func(f *flight) int64 {
+						mu.Lock()
+						flightID++
+						id := flightID
+						flights[id] = f
+						mu.Unlock()
+						return id
+					},
+					untrack: func(id int64) {
+						mu.Lock()
+						delete(flights, id)
+						mu.Unlock()
+					},
+					unspeculate: func(parent int64) {
+						mu.Lock()
+						if f, ok := flights[parent]; ok {
+							f.speculated = false
+						}
+						mu.Unlock()
+					},
+					settled: func() bool {
+						mu.Lock()
+						defer mu.Unlock()
+						return stopped || firstErr != nil || coveredCount == total
+					},
+				})
 			}
 		}()
 	}
 	wg.Wait()
+	close(scanDone)
+	scanWG.Wait()
 
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -353,121 +646,223 @@ func (c *Coordinator) runShards(ctx context.Context, base ShardRequest, total in
 	return merged, nil
 }
 
-// dispatch places one shard: remote while attempts remain, splitting
-// multi-unit shards on failure so their work redistributes, then the
-// local fallback. Exactly one of finish/requeue/fail is called.
-func (c *Coordinator) dispatch(ctx context.Context, base ShardRequest, sh shard, opt RunOptions,
-	finish func(shard, *ShardResponse), requeue func(...shard), fail func(error)) {
+// dispatchHooks is the dispatcher's channel back into the run state.
+type dispatchHooks struct {
+	accept      func(shard, *ShardResponse)
+	requeue     func(...shard)
+	fail        func(error)
+	track       func(*flight) int64
+	untrack     func(int64)
+	unspeculate func(parent int64)
+	settled     func() bool
+}
 
+// gap is a maximal uncovered unit range.
+type gap struct{ start, end int }
+
+// uncoveredGaps lists the maximal runs of uncovered units.
+func uncoveredGaps(covered []bool) []gap {
+	var out []gap
+	i := 0
+	for i < len(covered) {
+		if covered[i] {
+			i++
+			continue
+		}
+		j := i
+		for j < len(covered) && !covered[j] {
+			j++
+		}
+		out = append(out, gap{start: i, end: j})
+		i = j
+	}
+	return out
+}
+
+// emitShard delivers one accepted shard result to the OnShard hook.
+func emitShard(opt RunOptions, start, end int, resp *ShardResponse) {
+	if opt.OnShard == nil {
+		return
+	}
+	raw, err := json.Marshal(resp)
+	if err != nil {
+		return
+	}
+	opt.OnShard(ShardResult{Start: start, End: end, Epoch: opt.Epoch, Units: raw})
+}
+
+// dispatch places one shard: remote while attempts remain, splitting
+// multi-unit primaries on failure so their work redistributes, then
+// the local fallback. Speculative shards drop silently on failure —
+// their primary still owns the range. runCtx bounds the remote call
+// (it cancels when the run settles); ctx is the caller's context, used
+// to distinguish real cancellation from settle cleanup.
+func (c *Coordinator) dispatch(runCtx, ctx context.Context, base ShardRequest, sh shard, opt RunOptions, h dispatchHooks) {
 	req := base
 	req.Start, req.End = sh.start, sh.end
 
 	if sh.attempts >= c.maxAttempts() {
+		if sh.speculative {
+			return
+		}
 		// Remote attempts exhausted: the shard runs here, so no worker
 		// failure mode can lose it.
 		span := opt.Span.Child("shard")
 		span.Set(obs.Str("mode", "fallback"), obs.Int("start", sh.start), obs.Int("end", sh.end))
 		c.logf("dist: shard [%d,%d) exhausted %d remote attempts; running locally", sh.start, sh.end, sh.attempts)
-		resp, err := ExecuteShard(ctx, &req, c.LocalWorkers)
+		c.statLocalFB.Add(1)
+		resp, err := ExecuteShard(runCtx, &req, c.LocalWorkers)
 		span.End()
 		if err != nil {
-			fail(fmt.Errorf("dist: local fallback for shard [%d,%d): %w", sh.start, sh.end, err))
+			if h.settled() {
+				return
+			}
+			h.fail(fmt.Errorf("dist: local fallback for shard [%d,%d): %w", sh.start, sh.end, err))
 			return
 		}
-		finish(sh, resp)
+		h.accept(sh, resp)
 		return
 	}
 
-	wi, wait := c.pickWorker()
+	fleet := c.fleet()
+	if len(fleet) == 0 {
+		// No live workers right now: wait a beat for one to register,
+		// burning an attempt so a forever-empty fleet still converges
+		// to the local fallback.
+		if err := sleepCtx(runCtx, 250*time.Millisecond); err != nil {
+			if h.settled() {
+				return
+			}
+			h.fail(err)
+			return
+		}
+		sh.attempts++
+		h.requeue(sh)
+		return
+	}
+
+	worker, wait := c.pickWorker(fleet, sh.avoid)
 	if wait > 0 {
 		// Whole fleet benched: wait for the first worker to come back.
-		if err := sleepCtx(ctx, wait); err != nil {
-			fail(err)
+		if err := sleepCtx(runCtx, wait); err != nil {
+			if h.settled() {
+				return
+			}
+			h.fail(err)
 			return
 		}
 	}
 
 	span := opt.Span.Child("shard")
-	span.Set(obs.Str("worker", c.Workers[wi]),
+	span.Set(obs.Str("worker", worker),
 		obs.Int("start", sh.start), obs.Int("end", sh.end), obs.Int("attempt", sh.attempts+1))
-	resp, retryAfter, err := c.callWorker(ctx, c.Workers[wi], &req)
+	if sh.speculative {
+		span.Set(obs.Bool("speculative", true))
+	}
+	id := h.track(&flight{sh: sh, worker: worker, started: time.Now()})
+	c.statDispatched.Add(1)
+	resp, retryAfter, err := c.callWorker(runCtx, worker, &req)
+	h.untrack(id)
 	if err == nil {
 		span.End()
-		c.unbench(wi)
-		finish(sh, resp)
+		c.unbench(worker)
+		h.accept(sh, resp)
 		return
 	}
 	span.Set(obs.Str("error", err.Error()))
 	span.End()
+	if h.settled() {
+		return
+	}
 	if ctx.Err() != nil {
-		fail(ctx.Err())
+		h.fail(ctx.Err())
 		return
 	}
 
-	c.benchWorker(wi, retryAfter)
+	if sh.speculative {
+		// The primary still owns this range; just re-arm it for a
+		// future steal.
+		c.logf("dist: speculative shard [%d,%d) on %s failed: %v", sh.start, sh.end, worker, err)
+		h.unspeculate(sh.parent)
+		return
+	}
+
+	c.benchWorker(worker, retryAfter)
 	sh.attempts++
-	c.logf("dist: shard [%d,%d) attempt %d on %s failed: %v", sh.start, sh.end, sh.attempts, c.Workers[wi], err)
+	c.logf("dist: shard [%d,%d) attempt %d on %s failed: %v", sh.start, sh.end, sh.attempts, worker, err)
 	if n := sh.end - sh.start; n > 1 {
 		// Re-shard: halves redistribute over the surviving fleet.
 		mid := sh.start + n/2
-		requeue(shard{start: sh.start, end: mid, attempts: sh.attempts},
+		h.requeue(shard{start: sh.start, end: mid, attempts: sh.attempts},
 			shard{start: mid, end: sh.end, attempts: sh.attempts})
 		return
 	}
-	requeue(sh)
+	h.requeue(sh)
 }
 
-// pickWorker returns the next available worker (benched-aware round
-// robin). When every worker is benched it returns the one that comes
-// back first and how long until then.
-func (c *Coordinator) pickWorker() (int, time.Duration) {
+// pickWorker returns the next available worker from the fleet
+// (benched-aware round robin). avoid, when non-empty, is used only if
+// no other worker is available — a speculation re-issued to the worker
+// it was stolen from would just hang twice. When every worker is
+// benched it returns the one that comes back first and how long until
+// then.
+func (c *Coordinator) pickWorker(fleet []string, avoid string) (string, time.Duration) {
 	now := time.Now()
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	n := len(c.Workers)
+	n := len(fleet)
 	best, bestUntil := -1, time.Time{}
+	avoided := -1
 	for off := 0; off < n; off++ {
 		i := int((c.pick + int64(off)) % int64(n))
-		until := c.bench[i]
+		until := c.bench[fleet[i]]
 		if !until.After(now) {
+			if fleet[i] == avoid {
+				avoided = i
+				continue
+			}
 			c.pick = int64(i) + 1
-			return i, 0
+			return fleet[i], 0
 		}
 		if best == -1 || until.Before(bestUntil) {
 			best, bestUntil = i, until
 		}
 	}
+	if avoided >= 0 {
+		c.pick = int64(avoided) + 1
+		return fleet[avoided], 0
+	}
 	c.pick = int64(best) + 1
-	return best, bestUntil.Sub(now)
+	return fleet[best], bestUntil.Sub(now)
 }
 
 // benchWorker takes a worker out of rotation after a failure. A 429's
 // Retry-After is honored exactly; otherwise the bench grows with the
 // worker's consecutive-failure streak (tracked as the remaining bench).
-func (c *Coordinator) benchWorker(i int, retryAfter time.Duration) {
+func (c *Coordinator) benchWorker(worker string, retryAfter time.Duration) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.bench == nil {
-		c.bench = make(map[int]time.Time)
+		c.bench = make(map[string]time.Time)
 	}
 	d := retryAfter
 	if d <= 0 {
 		// Double the previous bench (jittered, capped) — consecutive
 		// failures push the worker further out of rotation.
-		prev := time.Until(c.bench[i])
+		prev := time.Until(c.bench[worker])
 		fails := 1
 		for b := c.retryBase(); b < prev && b < c.retryCap(); b *= 2 {
 			fails++
 		}
 		d = c.backoff(fails)
 	}
-	c.bench[i] = time.Now().Add(d)
+	c.bench[worker] = time.Now().Add(d)
 }
 
 // unbench restores a worker to rotation after a success.
-func (c *Coordinator) unbench(i int) {
+func (c *Coordinator) unbench(worker string) {
 	c.mu.Lock()
-	delete(c.bench, i)
+	delete(c.bench, worker)
 	c.mu.Unlock()
 }
 

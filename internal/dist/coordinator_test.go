@@ -14,24 +14,29 @@ import (
 	"budgetwf/internal/stats"
 )
 
-// testWorker serves POST /v1/shards the way budgetwfd does: decode,
-// normalize, execute locally, encode.
+// testWorkerHandler serves one POST /v1/shards the way budgetwfd
+// does: decode, normalize, execute locally, encode.
+func testWorkerHandler(t *testing.T, w http.ResponseWriter, r *http.Request) {
+	var req ShardRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	req.Normalize()
+	resp, err := ExecuteShard(r.Context(), &req, 1)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(resp)
+}
+
+// testWorker is an httptest server around testWorkerHandler.
 func testWorker(t *testing.T) *httptest.Server {
 	t.Helper()
 	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		var req ShardRequest
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
-			return
-		}
-		req.Normalize()
-		resp, err := ExecuteShard(r.Context(), &req, 1)
-		if err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
-			return
-		}
-		w.Header().Set("Content-Type", "application/json")
-		json.NewEncoder(w).Encode(resp)
+		testWorkerHandler(t, w, r)
 	}))
 	t.Cleanup(srv.Close)
 	return srv

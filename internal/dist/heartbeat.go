@@ -1,0 +1,124 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"time"
+)
+
+// RegisterRequest is the body of POST /v1/workers: a worker announcing
+// itself (and then heartbeating) to a coordinator.
+type RegisterRequest struct {
+	// URL is the worker's advertised base URL, e.g. "http://host:9091".
+	URL string `json:"url"`
+	// Nonce identifies the worker process; a new process sends a new
+	// nonce, which the coordinator reads as a restart (epoch bump).
+	Nonce string `json:"nonce"`
+}
+
+// Heartbeat is the worker-side membership loop: it registers the
+// worker with every coordinator and re-registers on an interval well
+// inside the TTL, so a healthy worker never turns suspect. Send
+// failures are logged and retried on the next tick — a coordinator
+// restart just costs a missed beat.
+type Heartbeat struct {
+	// Coordinators are coordinator base URLs to register with.
+	Coordinators []string
+	// Self is this worker's advertised base URL.
+	Self string
+	// Interval between beats; default TTL-safe 2s.
+	Interval time.Duration
+	// Client for registration posts; default 5s-timeout client.
+	Client *http.Client
+	// Logf, when set, receives delivery diagnostics.
+	Logf func(format string, args ...any)
+
+	nonce string
+}
+
+// NewNonce returns a fresh process-identity nonce.
+func NewNonce() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return fmt.Sprintf("t%d", time.Now().UnixNano())
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// Run beats until ctx is cancelled, then best-effort deregisters.
+func (h *Heartbeat) Run(ctx context.Context) {
+	interval := h.Interval
+	if interval <= 0 {
+		interval = 2 * time.Second
+	}
+	client := h.Client
+	if client == nil {
+		client = &http.Client{Timeout: 5 * time.Second}
+	}
+	logf := h.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	if h.nonce == "" {
+		h.nonce = NewNonce()
+	}
+	body, _ := json.Marshal(RegisterRequest{URL: h.Self, Nonce: h.nonce})
+
+	h.beat(ctx, client, body, logf)
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			h.deregister(client)
+			return
+		case <-t.C:
+			h.beat(ctx, client, body, logf)
+		}
+	}
+}
+
+func (h *Heartbeat) beat(ctx context.Context, client *http.Client, body []byte, logf func(string, ...any)) {
+	for _, coord := range h.Coordinators {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, coord+"/v1/workers", bytes.NewReader(body))
+		if err != nil {
+			logf("dist: heartbeat to %s: %v", coord, err)
+			continue
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := client.Do(req)
+		if err != nil {
+			logf("dist: heartbeat to %s: %v", coord, err)
+			continue
+		}
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		resp.Body.Close()
+		if resp.StatusCode/100 != 2 {
+			logf("dist: heartbeat to %s: status %d", coord, resp.StatusCode)
+		}
+	}
+}
+
+// deregister tells each coordinator this worker is leaving (clean
+// shutdown); best effort with a short deadline.
+func (h *Heartbeat) deregister(client *http.Client) {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	for _, coord := range h.Coordinators {
+		req, err := http.NewRequestWithContext(ctx, http.MethodDelete, coord+"/v1/workers?url="+url.QueryEscape(h.Self), nil)
+		if err != nil {
+			continue
+		}
+		if resp, err := client.Do(req); err == nil {
+			io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+			resp.Body.Close()
+		}
+	}
+}

@@ -1,0 +1,159 @@
+package dist
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// WorkerState classifies a registered worker by heartbeat freshness.
+type WorkerState string
+
+const (
+	// WorkerLive workers heartbeated within the TTL and receive shards.
+	WorkerLive WorkerState = "live"
+	// WorkerSuspect workers missed their TTL: no new shards are routed
+	// to them and their in-flight shards are speculatively re-issued;
+	// a heartbeat brings them straight back to live.
+	WorkerSuspect WorkerState = "suspect"
+)
+
+// WorkerInfo is the registry's view of one worker, as served by
+// GET /v1/workers.
+type WorkerInfo struct {
+	URL string `json:"url"`
+	// Epoch counts process incarnations: it bumps when the worker
+	// re-registers with a new nonce (i.e. after a restart), so late
+	// results from a previous incarnation are attributable.
+	Epoch      int         `json:"epoch"`
+	State      WorkerState `json:"state"`
+	Registered time.Time   `json:"registered"`
+	LastSeen   time.Time   `json:"lastSeen"`
+}
+
+type workerEntry struct {
+	epoch      int
+	nonce      string
+	registered time.Time
+	lastSeen   time.Time
+}
+
+// Registry tracks dynamic worker membership by heartbeat: workers
+// register (and keep re-registering) over HTTP; entries silent past
+// the TTL turn suspect, and past forgetAfter (3×TTL) are dropped
+// entirely. Expiry is evaluated lazily on read — no background
+// goroutine — so a Registry is safe to embed anywhere.
+type Registry struct {
+	ttl         time.Duration
+	forgetAfter time.Duration
+	now         func() time.Time // test hook
+
+	mu      sync.Mutex
+	workers map[string]*workerEntry
+}
+
+// NewRegistry builds a registry with the given heartbeat TTL
+// (default 10s when non-positive).
+func NewRegistry(ttl time.Duration) *Registry {
+	if ttl <= 0 {
+		ttl = 10 * time.Second
+	}
+	return &Registry{
+		ttl:         ttl,
+		forgetAfter: 3 * ttl,
+		now:         time.Now,
+		workers:     make(map[string]*workerEntry),
+	}
+}
+
+// TTL reports the heartbeat TTL.
+func (r *Registry) TTL() time.Duration { return r.ttl }
+
+// Register records a heartbeat from the worker at url. nonce
+// identifies the worker process (any value stable for the process
+// lifetime); a changed nonce means the worker restarted, bumping its
+// epoch. Returns the worker's current info.
+func (r *Registry) Register(url, nonce string) WorkerInfo {
+	now := r.now()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	w := r.workers[url]
+	if w == nil {
+		w = &workerEntry{epoch: 1, nonce: nonce, registered: now}
+		r.workers[url] = w
+	} else if w.nonce != nonce {
+		w.epoch++
+		w.nonce = nonce
+		w.registered = now
+	}
+	w.lastSeen = now
+	return WorkerInfo{URL: url, Epoch: w.epoch, State: WorkerLive, Registered: w.registered, LastSeen: w.lastSeen}
+}
+
+// Deregister removes the worker immediately (clean shutdown).
+func (r *Registry) Deregister(url string) {
+	r.mu.Lock()
+	delete(r.workers, url)
+	r.mu.Unlock()
+}
+
+// Live lists URLs of workers whose heartbeat is within the TTL,
+// sorted for deterministic routing.
+func (r *Registry) Live() []string {
+	now := r.now()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.expireLocked(now)
+	out := make([]string, 0, len(r.workers))
+	for url, w := range r.workers {
+		if now.Sub(w.lastSeen) <= r.ttl {
+			out = append(out, url)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Snapshot lists every known worker (live and suspect), sorted by URL.
+func (r *Registry) Snapshot() []WorkerInfo {
+	now := r.now()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.expireLocked(now)
+	out := make([]WorkerInfo, 0, len(r.workers))
+	for url, w := range r.workers {
+		state := WorkerLive
+		if now.Sub(w.lastSeen) > r.ttl {
+			state = WorkerSuspect
+		}
+		out = append(out, WorkerInfo{URL: url, Epoch: w.epoch, State: state, Registered: w.registered, LastSeen: w.lastSeen})
+	}
+	sort.Slice(out, func(i, k int) bool { return out[i].URL < out[k].URL })
+	return out
+}
+
+// Counts reports live and suspect worker totals, for metrics.
+func (r *Registry) Counts() (live, suspect int) {
+	now := r.now()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.expireLocked(now)
+	for _, w := range r.workers {
+		if now.Sub(w.lastSeen) <= r.ttl {
+			live++
+		} else {
+			suspect++
+		}
+	}
+	return live, suspect
+}
+
+// expireLocked forgets workers silent past forgetAfter. Caller holds
+// r.mu.
+func (r *Registry) expireLocked(now time.Time) {
+	for url, w := range r.workers {
+		if now.Sub(w.lastSeen) > r.forgetAfter {
+			delete(r.workers, url)
+		}
+	}
+}

@@ -1,0 +1,161 @@
+package dist
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// TestRegistryLifecycle drives one worker through the full membership
+// state machine with an injected clock: live within the TTL, suspect
+// past it, forgotten past 3×TTL.
+func TestRegistryLifecycle(t *testing.T) {
+	clock := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	r := NewRegistry(10 * time.Second)
+	r.now = func() time.Time { return clock }
+
+	info := r.Register("http://w1:9091", "nonce-a")
+	if info.Epoch != 1 || info.State != WorkerLive {
+		t.Fatalf("initial register = %+v, want epoch 1 live", info)
+	}
+	if live := r.Live(); len(live) != 1 || live[0] != "http://w1:9091" {
+		t.Fatalf("Live() = %v, want the registered worker", live)
+	}
+
+	// Silent past the TTL: suspect, no longer routed to.
+	clock = clock.Add(11 * time.Second)
+	if live := r.Live(); len(live) != 0 {
+		t.Fatalf("Live() after TTL = %v, want empty", live)
+	}
+	snap := r.Snapshot()
+	if len(snap) != 1 || snap[0].State != WorkerSuspect {
+		t.Fatalf("Snapshot() after TTL = %+v, want one suspect", snap)
+	}
+	if live, suspect := r.Counts(); live != 0 || suspect != 1 {
+		t.Fatalf("Counts() = %d live %d suspect, want 0/1", live, suspect)
+	}
+
+	// A heartbeat brings a suspect straight back to live.
+	r.Register("http://w1:9091", "nonce-a")
+	if live, _ := r.Counts(); live != 1 {
+		t.Fatal("heartbeat did not revive suspect worker")
+	}
+
+	// Silent past forgetAfter (3×TTL): dropped entirely.
+	clock = clock.Add(31 * time.Second)
+	if snap := r.Snapshot(); len(snap) != 0 {
+		t.Fatalf("Snapshot() past forgetAfter = %+v, want forgotten", snap)
+	}
+}
+
+// TestRegistryEpochBumpsOnNewNonce: a re-register with a different
+// nonce is a process restart and bumps the incarnation epoch; the same
+// nonce is just a heartbeat.
+func TestRegistryEpochBumpsOnNewNonce(t *testing.T) {
+	r := NewRegistry(time.Second)
+	if got := r.Register("http://w:1", "a"); got.Epoch != 1 {
+		t.Fatalf("first epoch = %d, want 1", got.Epoch)
+	}
+	if got := r.Register("http://w:1", "a"); got.Epoch != 1 {
+		t.Fatalf("same-nonce heartbeat epoch = %d, want 1", got.Epoch)
+	}
+	if got := r.Register("http://w:1", "b"); got.Epoch != 2 {
+		t.Fatalf("restarted-worker epoch = %d, want 2", got.Epoch)
+	}
+}
+
+// TestRegistryDeregisterAndOrdering: clean shutdown removes a worker
+// immediately, and Live() is sorted for deterministic routing.
+func TestRegistryDeregisterAndOrdering(t *testing.T) {
+	r := NewRegistry(time.Minute)
+	r.Register("http://w2:1", "n2")
+	r.Register("http://w1:1", "n1")
+	r.Register("http://w3:1", "n3")
+	live := r.Live()
+	if len(live) != 3 || live[0] != "http://w1:1" || live[2] != "http://w3:1" {
+		t.Fatalf("Live() = %v, want sorted w1,w2,w3", live)
+	}
+	r.Deregister("http://w2:1")
+	if live := r.Live(); len(live) != 2 {
+		t.Fatalf("Live() after deregister = %v, want 2 workers", live)
+	}
+}
+
+// TestHeartbeatRegistersAndDeregisters runs the worker-side loop
+// against a fake coordinator: it beats immediately and then on the
+// interval with a stable nonce, and on shutdown sends a DELETE naming
+// its own URL.
+func TestHeartbeatRegistersAndDeregisters(t *testing.T) {
+	type event struct {
+		method string
+		req    RegisterRequest // for POST
+		url    string          // for DELETE ?url=
+	}
+	events := make(chan event, 64)
+	coord := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.Method {
+		case http.MethodPost:
+			var rr RegisterRequest
+			if err := json.NewDecoder(r.Body).Decode(&rr); err != nil {
+				t.Errorf("bad register body: %v", err)
+			}
+			events <- event{method: "POST", req: rr}
+		case http.MethodDelete:
+			events <- event{method: "DELETE", url: r.URL.Query().Get("url")}
+		}
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer coord.Close()
+
+	h := &Heartbeat{
+		Coordinators: []string{coord.URL},
+		Self:         "http://127.0.0.1:19091",
+		Interval:     10 * time.Millisecond,
+		Logf:         t.Logf,
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() { h.Run(ctx); close(done) }()
+
+	next := func() event {
+		t.Helper()
+		select {
+		case ev := <-events:
+			return ev
+		case <-time.After(5 * time.Second):
+			t.Fatal("timed out waiting for a heartbeat event")
+			return event{}
+		}
+	}
+	first := next()
+	second := next()
+	for _, ev := range []event{first, second} {
+		if ev.method != "POST" || ev.req.URL != h.Self || ev.req.Nonce == "" {
+			t.Fatalf("beat = %+v, want POST with self URL and nonce", ev)
+		}
+	}
+	if first.req.Nonce != second.req.Nonce {
+		t.Fatal("nonce changed between beats of one process")
+	}
+
+	cancel()
+	<-done
+	// Drain any beats queued before the cancel; the final event must be
+	// the clean-shutdown deregister.
+	var last event
+	for {
+		select {
+		case ev := <-events:
+			last = ev
+			continue
+		default:
+		}
+		break
+	}
+	if last.method != "DELETE" || last.url != h.Self {
+		t.Fatalf("final event = %+v, want DELETE of own URL", last)
+	}
+}

@@ -33,10 +33,30 @@ var ErrStoreFull = errors.New("dist: job store full")
 // coordinator is draining. The HTTP layer maps it to 503.
 var ErrNotAccepting = errors.New("dist: not accepting jobs")
 
-// RunFunc executes one job's spec and returns its result (marshalled
-// to JSON for the job record). progress reports cumulative finished
-// units.
-type RunFunc func(ctx context.Context, spec JobSpec, progress func(done, total int)) (any, error)
+// JobRun is everything a RunFunc needs to execute one incarnation of a
+// job: its identity and epoch, shard results persisted by previous
+// incarnations (the runner pre-merges them and computes only the
+// gaps), a progress sink, and a shard-completion sink that journals
+// each finished shard so the *next* incarnation can skip it too.
+type JobRun struct {
+	ID    string
+	Epoch int
+	Spec  JobSpec
+	// Shards holds results journalled by previous incarnations of this
+	// job, each covering a distinct unit range.
+	Shards []ShardResult
+	// Progress reports cumulative finished units (merged + computed).
+	Progress func(done, total int)
+	// CompleteShard persists one finished shard through the journal.
+	// It reports false when the shard was a late duplicate — its range
+	// already covered by an accepted result (a stolen shard's loser or
+	// a previous incarnation racing this one) — and was dropped.
+	CompleteShard func(res ShardResult) bool
+}
+
+// RunFunc executes one job incarnation and returns its result
+// (marshalled to JSON for the job record).
+type RunFunc func(ctx context.Context, run JobRun) (any, error)
 
 // job is the store's internal record.
 type job struct {
@@ -52,6 +72,14 @@ type job struct {
 	errMsg    string
 	result    json.RawMessage
 	cancel    context.CancelFunc
+	// epoch counts run incarnations: it bumps (and journals) every
+	// time a runner picks the job up, so late shard results can be
+	// attributed to the incarnation that computed them.
+	epoch int
+	// shards holds the completed-shard results journalled so far for
+	// the in-flight run; cleared when the job reaches a terminal state
+	// (the result supersedes them), kept across drain re-queues.
+	shards []ShardResult
 	// requeued marks a job whose run was interrupted by a draining
 	// shutdown: it journals as re-queued (resumed on restart) rather
 	// than cancelled or failed.
@@ -70,8 +98,12 @@ type JobView struct {
 	// UnitsDone/UnitsTotal is shard-merge progress: how many units of
 	// the campaign's deterministic enumeration have been computed and
 	// folded into the partial aggregate.
-	UnitsDone  int             `json:"unitsDone"`
-	UnitsTotal int             `json:"unitsTotal"`
+	UnitsDone  int `json:"unitsDone"`
+	UnitsTotal int `json:"unitsTotal"`
+	// Epoch counts run incarnations (crash-restart resumes bump it).
+	Epoch int `json:"epoch,omitempty"`
+	// ShardsDone counts journalled shard results for the current run.
+	ShardsDone int             `json:"shardsDone,omitempty"`
 	Error      string          `json:"error,omitempty"`
 	Result     json.RawMessage `json:"result,omitempty"`
 	Spec       JobSpec         `json:"spec"`
@@ -86,6 +118,8 @@ func (j *job) view() JobView {
 		Submitted:  j.submitted,
 		UnitsDone:  j.unitsDone,
 		UnitsTotal: j.unitsTot,
+		Epoch:      j.epoch,
+		ShardsDone: len(j.shards),
 		Error:      j.errMsg,
 		Result:     j.result,
 		Spec:       j.spec,
@@ -99,6 +133,29 @@ func (j *job) view() JobView {
 		v.Finished = &t
 	}
 	return v
+}
+
+// restored converts the job to its snapshot/restore form. A running
+// job snapshots as pending — on restore it re-enters the run queue and
+// resumes from its journalled shards.
+func (j *job) restored() RestoredJob {
+	state := j.state
+	if state == StateRunning {
+		state = StatePending
+	}
+	return RestoredJob{
+		ID:        j.id,
+		Seq:       seqOf(j.id),
+		Hash:      j.hash,
+		Spec:      j.spec,
+		State:     state,
+		Submitted: j.submitted,
+		Finished:  j.finished,
+		Error:     j.errMsg,
+		Result:    j.result,
+		Epoch:     j.epoch,
+		Shards:    append([]ShardResult(nil), j.shards...),
+	}
 }
 
 // StoreOptions configures a Store.
@@ -115,6 +172,11 @@ type StoreOptions struct {
 	MaxJobs int
 	// Journal, when non-nil, persists the job log for crash resume.
 	Journal *Journal
+	// SnapshotEvery compacts the journal once its tail reaches this
+	// many records: the store state is checkpointed to <journal>.snap
+	// and the journal truncated, bounding restart replay. Default 512;
+	// negative disables compaction.
+	SnapshotEvery int
 	// Logf, when set, receives journal-write diagnostics.
 	Logf func(format string, args ...any)
 }
@@ -123,19 +185,21 @@ type StoreOptions struct {
 // specs first), dedupes by canonical spec hash, executes with bounded
 // concurrency, snapshots progress, cancels, journals, and drains.
 type Store struct {
-	run     RunFunc
-	maxJobs int
-	journal *Journal
-	logf    func(string, ...any)
+	run           RunFunc
+	maxJobs       int
+	journal       *Journal
+	snapshotEvery int
+	logf          func(string, ...any)
 
-	mu        sync.Mutex
-	jobs      map[string]*job
-	order     []string          // submission order, for eviction
-	byHash    map[string]string // spec hash → live or done job id
-	seq       int
-	accepting bool
-	wg        sync.WaitGroup
-	sem       chan struct{}
+	mu         sync.Mutex
+	jobs       map[string]*job
+	order      []string          // submission order, for eviction
+	byHash     map[string]string // spec hash → live or done job id
+	seq        int
+	accepting  bool
+	lateShards int64
+	wg         sync.WaitGroup
+	sem        chan struct{}
 }
 
 // NewStore builds a Store. Call Restore to replay a journal's jobs.
@@ -151,19 +215,24 @@ func NewStore(opts StoreOptions) *Store {
 	if maxJobs <= 0 {
 		maxJobs = 256
 	}
+	snapEvery := opts.SnapshotEvery
+	if snapEvery == 0 {
+		snapEvery = 512
+	}
 	logf := opts.Logf
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
 	return &Store{
-		run:       opts.Run,
-		maxJobs:   maxJobs,
-		journal:   opts.Journal,
-		logf:      logf,
-		jobs:      make(map[string]*job),
-		byHash:    make(map[string]string),
-		accepting: true,
-		sem:       make(chan struct{}, conc),
+		run:           opts.Run,
+		maxJobs:       maxJobs,
+		journal:       opts.Journal,
+		snapshotEvery: snapEvery,
+		logf:          logf,
+		jobs:          make(map[string]*job),
+		byHash:        make(map[string]string),
+		accepting:     true,
+		sem:           make(chan struct{}, conc),
 	}
 }
 
@@ -257,15 +326,49 @@ func (s *Store) runJob(ctx context.Context, j *job) {
 	}
 	j.state = StateRunning
 	j.started = time.Now().UTC()
+	// New incarnation: bump and journal the epoch so results from the
+	// previous run (or process) are attributable.
+	j.epoch++
+	s.append(journalRecord{Op: opStart, ID: j.id, Epoch: j.epoch, Time: j.started})
+	run := JobRun{
+		ID:     j.id,
+		Epoch:  j.epoch,
+		Spec:   j.spec,
+		Shards: append([]ShardResult(nil), j.shards...),
+		Progress: func(done, total int) {
+			s.mu.Lock()
+			j.unitsDone, j.unitsTot = done, total
+			s.mu.Unlock()
+		},
+		CompleteShard: func(res ShardResult) bool { return s.completeShard(j, res) },
+	}
 	s.mu.Unlock()
 
-	progress := func(done, total int) {
-		s.mu.Lock()
-		j.unitsDone, j.unitsTot = done, total
-		s.mu.Unlock()
-	}
-	result, err := s.run(ctx, j.spec, progress)
+	result, err := s.run(ctx, run)
 	s.finishJob(j, result, err)
+}
+
+// completeShard accepts one finished shard: dedupes against already
+// accepted ranges (first result wins — losers of a steal race and
+// stragglers from previous incarnations are dropped), journals the
+// winner, and triggers compaction when the journal tail is due.
+func (s *Store) completeShard(j *job, res ShardResult) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if j.state != StateRunning {
+		return false
+	}
+	if res.End <= res.Start || overlapsShards(j.shards, res.Start, res.End) {
+		s.lateShards++
+		return false
+	}
+	j.shards = append(j.shards, res)
+	s.append(journalRecord{
+		Op: opShard, ID: j.id, Epoch: res.Epoch,
+		Start: res.Start, End: res.End, Units: res.Units,
+		Time: time.Now().UTC(),
+	})
+	return true
 }
 
 // finishJob records the outcome and journals it. Interrupted jobs
@@ -291,7 +394,8 @@ func (s *Store) finishJob(j *job, result any, err error) {
 		}
 	case j.requeued:
 		// Draining shutdown: the journal already holds the re-queue
-		// record; the next process resumes the job from pending.
+		// record; the next process resumes the job from pending, with
+		// its journalled shards intact so it computes only the gaps.
 		j.state = StatePending
 		j.started = time.Time{}
 		j.unitsDone = 0
@@ -303,6 +407,7 @@ func (s *Store) finishJob(j *job, result any, err error) {
 		j.errMsg = err.Error()
 	}
 	j.finished = now
+	j.shards = nil // the terminal record supersedes partial results
 	switch j.state {
 	case StateDone:
 		s.append(journalRecord{Op: opDone, ID: j.id, Result: j.result, Time: now})
@@ -357,6 +462,7 @@ func (s *Store) Cancel(id string) (JobView, bool) {
 	if j.state == StatePending {
 		j.state = StateCancelled
 		j.finished = time.Now().UTC()
+		j.shards = nil
 		s.append(journalRecord{Op: opCancelled, ID: j.id, Time: j.finished})
 		if s.byHash[j.hash] == j.id {
 			delete(s.byHash, j.hash)
@@ -382,6 +488,14 @@ func (s *Store) Counts() map[State]int {
 		out[j.state]++
 	}
 	return out
+}
+
+// LateShards reports how many shard results were dropped as late
+// duplicates (steal-race losers, previous-incarnation stragglers).
+func (s *Store) LateShards() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lateShards
 }
 
 // StopAccepting flips the store to draining: Submit returns
@@ -430,8 +544,9 @@ func (s *Store) Drain(ctx context.Context) error {
 }
 
 // Restore replays journalled jobs into the store: terminal jobs come
-// back as records, unfinished ones re-enter the run queue. Call once,
-// before serving traffic.
+// back as records, unfinished ones re-enter the run queue carrying
+// the shard results their previous incarnation already journalled.
+// Call once, before serving traffic.
 func (s *Store) Restore(entries []RestoredJob) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -448,6 +563,8 @@ func (s *Store) Restore(entries []RestoredJob) {
 			finished:  e.Finished,
 			errMsg:    e.Error,
 			result:    e.Result,
+			epoch:     e.Epoch,
+			shards:    append([]ShardResult(nil), e.Shards...),
 		}
 		if j.state == StateDone {
 			j.unitsDone, j.unitsTot = 1, 1
@@ -469,12 +586,32 @@ func (s *Store) Restore(entries []RestoredJob) {
 }
 
 // append writes a journal record, logging (not failing) on error: a
-// full disk should degrade durability, not reject sweeps.
+// full disk should degrade durability, not reject sweeps. When the
+// tail crosses the compaction threshold, the store checkpoints itself
+// and truncates the journal — all appends happen under s.mu, so the
+// snapshot is a consistent cut.
 func (s *Store) append(rec journalRecord) {
 	if s.journal == nil {
 		return
 	}
 	if err := s.journal.Append(rec); err != nil {
 		s.logf("dist: journal append (%s %s): %v", rec.Op, rec.ID, err)
+	}
+	if s.snapshotEvery > 0 && s.journal.TailRecords() >= s.snapshotEvery {
+		s.compactLocked()
+	}
+}
+
+// compactLocked checkpoints every job to the snapshot file and
+// truncates the journal. Caller holds s.mu.
+func (s *Store) compactLocked() {
+	jobs := make([]RestoredJob, 0, len(s.order))
+	for _, id := range s.order {
+		if j, ok := s.jobs[id]; ok {
+			jobs = append(jobs, j.restored())
+		}
+	}
+	if err := s.journal.Compact(jobs); err != nil {
+		s.logf("dist: journal compact: %v", err)
 	}
 }

@@ -12,11 +12,11 @@ import (
 // blockingRun returns a RunFunc that parks until release is closed (or
 // the job context ends), so tests control exactly when jobs finish.
 func blockingRun(release <-chan struct{}) RunFunc {
-	return func(ctx context.Context, spec JobSpec, progress func(done, total int)) (any, error) {
-		progress(0, 2)
+	return func(ctx context.Context, run JobRun) (any, error) {
+		run.Progress(0, 2)
 		select {
 		case <-release:
-			progress(2, 2)
+			run.Progress(2, 2)
 			return map[string]string{"ok": "yes"}, nil
 		case <-ctx.Done():
 			return nil, ctx.Err()

@@ -292,19 +292,39 @@ func shardUnits(req *dist.ShardRequest) (int, error) {
 	return 0, errors.New("unknown shard kind")
 }
 
-// runJob is the store's RunFunc: it executes one campaign through the
-// coordinator — sharded across Config.Peers, or locally without any —
-// and shapes the result into the public wire formats. Each run records
-// a span tree (root → one span per shard attempt) retained in the
-// trace ring under the job's content-addressed trace id.
-func (s *Server) runJob(ctx context.Context, spec dist.JobSpec, progress func(done, total int)) (any, error) {
+// runJob is the store's RunFunc: it executes one campaign incarnation
+// through the coordinator — sharded across the fleet (static peers +
+// registered workers), or locally without any — and shapes the result
+// into the public wire formats. Each run records a span tree (root →
+// one span per shard attempt) retained in the trace ring under the
+// job's content-addressed trace id.
+//
+// Sweep and fault-sweep runs resume: shard results journalled by a
+// previous incarnation arrive in run.Shards and are pre-merged, and
+// every newly completed shard is journalled through run.CompleteShard,
+// so a crash-restarted coordinator re-issues only unacknowledged
+// shards. Figure jobs deliberately skip shard persistence — each
+// family sweep has its own unit numbering, so per-family ranges would
+// collide in one job-level journal; an interrupted figure job re-runs
+// from scratch.
+func (s *Server) runJob(ctx context.Context, run dist.JobRun) (any, error) {
+	spec := run.Spec
+	progress := run.Progress
 	tr := obs.New("job:" + string(spec.Kind))
 	tr.SetID(jobTraceID(&spec))
 	defer func() {
 		tr.EndAll()
 		s.traces.Add(tr)
 	}()
-	opt := dist.RunOptions{Span: tr.Root(), Progress: progress}
+	opt := dist.RunOptions{
+		Span:     tr.Root(),
+		Progress: progress,
+		Epoch:    run.Epoch,
+	}
+	if spec.Kind == dist.KindSweep || spec.Kind == dist.KindFaultSweep {
+		opt.Completed = run.Shards
+		opt.OnShard = func(res dist.ShardResult) { run.CompleteShard(res) }
+	}
 
 	switch spec.Kind {
 	case dist.KindSweep:

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"budgetwf/internal/dist"
 	"budgetwf/internal/pool"
 )
 
@@ -35,6 +36,24 @@ type Metrics struct {
 	// Shared-pool gauges, nil unless the multi-tenant service is on.
 	poolStats   func() pool.Stats
 	poolTenants func() []pool.TenantView
+
+	// Cluster control-plane gauges (worker membership, shard dispatch,
+	// journal durability), nil until set.
+	cluster func() clusterStats
+}
+
+// clusterStats is one consistent snapshot of the cluster control
+// plane, feeding the "cluster" expvar entry and the budgetwfd_workers/
+// budgetwfd_shards/budgetwfd_journal Prometheus families.
+type clusterStats struct {
+	WorkersLive    int             `json:"workersLive"`
+	WorkersSuspect int             `json:"workersSuspect"`
+	Coordinator    dist.CoordStats `json:"coordinator"`
+	// LateShards is shard results the job store dropped as duplicates
+	// (previous-incarnation stragglers).
+	LateShards int64             `json:"lateShards"`
+	Journal    dist.JournalStats `json:"journal"`
+	HasJournal bool              `json:"hasJournal"`
 }
 
 func newMetrics(cache *planCache, pool *workerPool) *Metrics {
@@ -98,6 +117,15 @@ func (m *Metrics) observeShard() { m.shards.Add(1) }
 func (m *Metrics) setJobStates(fn func() map[string]int) {
 	m.jobStates = fn
 	m.root.Set("jobStates", expvar.Func(func() any { return fn() }))
+}
+
+// setCluster installs the cluster control-plane gauge and publishes it
+// under "cluster" in the expvar map, plus the budgetwfd_workers_*,
+// budgetwfd_shards_*_total and budgetwfd_journal_snapshot_* families
+// in the Prometheus exposition.
+func (m *Metrics) setCluster(fn func() clusterStats) {
+	m.cluster = fn
+	m.root.Set("cluster", expvar.Func(func() any { return fn() }))
 }
 
 // setSharedPool installs the multi-tenant pool gauges: the pool-wide

@@ -6,6 +6,7 @@ import (
 	"io"
 	"sort"
 	"strings"
+	"time"
 
 	"budgetwf/internal/pool"
 )
@@ -97,6 +98,8 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 	fmt.Fprintln(w, "# TYPE budgetwfd_shards_served_total counter")
 	fmt.Fprintf(w, "budgetwfd_shards_served_total %d\n", m.shards.Value())
 
+	m.writePrometheusCluster(w)
+
 	fmt.Fprintln(w, "# HELP budgetwfd_panics_total Handler panics recovered by the middleware.")
 	fmt.Fprintln(w, "# TYPE budgetwfd_panics_total counter")
 	fmt.Fprintf(w, "budgetwfd_panics_total %d\n", m.panics.Value())
@@ -128,6 +131,51 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 	fmt.Fprintf(w, "budgetwfd_pool_in_flight %d\n", m.pool.inFlightCount())
 
 	m.writePrometheusSharedPool(w)
+}
+
+// writePrometheusCluster renders the cluster control-plane families:
+// worker membership, shard-dispatch counters, and the journal's
+// durability posture. Absent entirely until the gauge is installed.
+func (m *Metrics) writePrometheusCluster(w io.Writer) {
+	if m.cluster == nil {
+		return
+	}
+	cs := m.cluster()
+	scalars := []struct {
+		name, help, typ string
+		value           string
+	}{
+		{"budgetwfd_workers_live", "Registered workers with a heartbeat inside the TTL.", "gauge", fmt.Sprintf("%d", cs.WorkersLive)},
+		{"budgetwfd_workers_suspect", "Registered workers past their heartbeat TTL.", "gauge", fmt.Sprintf("%d", cs.WorkersSuspect)},
+		{"budgetwfd_shards_dispatched_total", "Remote shard attempts issued by the coordinator.", "counter", fmt.Sprintf("%d", cs.Coordinator.Dispatched)},
+		{"budgetwfd_shards_requeued_total", "Failed shard attempts fed back into the dispatch queue.", "counter", fmt.Sprintf("%d", cs.Coordinator.Requeued)},
+		{"budgetwfd_shards_stolen_total", "Slow or orphaned shards speculatively re-issued to another worker.", "counter", fmt.Sprintf("%d", cs.Coordinator.Stolen)},
+		{"budgetwfd_shards_duplicate_dropped_total", "Shard results dropped because their units were already covered.", "counter", fmt.Sprintf("%d", cs.Coordinator.LateDuplicates+cs.LateShards)},
+		{"budgetwfd_shards_local_fallback_total", "Shards that exhausted remote attempts and ran on the coordinator.", "counter", fmt.Sprintf("%d", cs.Coordinator.LocalFallbacks)},
+	}
+	for _, s := range scalars {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %s\n", s.name, s.help, s.name, s.typ, s.name, s.value)
+	}
+	if !cs.HasJournal {
+		return
+	}
+	js := cs.Journal
+	fmt.Fprintln(w, "# HELP budgetwfd_journal_tail_records Journal records a restart would replay on top of the snapshot.")
+	fmt.Fprintln(w, "# TYPE budgetwfd_journal_tail_records gauge")
+	fmt.Fprintf(w, "budgetwfd_journal_tail_records %d\n", js.TailRecords)
+	fmt.Fprintln(w, "# HELP budgetwfd_journal_tail_bytes Size of the live journal tail.")
+	fmt.Fprintln(w, "# TYPE budgetwfd_journal_tail_bytes gauge")
+	fmt.Fprintf(w, "budgetwfd_journal_tail_bytes %d\n", js.TailBytes)
+	fmt.Fprintln(w, "# HELP budgetwfd_journal_snapshot_bytes Size of the last journal snapshot.")
+	fmt.Fprintln(w, "# TYPE budgetwfd_journal_snapshot_bytes gauge")
+	fmt.Fprintf(w, "budgetwfd_journal_snapshot_bytes %d\n", js.SnapshotBytes)
+	fmt.Fprintln(w, "# HELP budgetwfd_journal_snapshot_age_seconds Seconds since the last journal snapshot (-1 if none).")
+	fmt.Fprintln(w, "# TYPE budgetwfd_journal_snapshot_age_seconds gauge")
+	if js.SnapshotTime.IsZero() {
+		fmt.Fprintln(w, "budgetwfd_journal_snapshot_age_seconds -1")
+	} else {
+		fmt.Fprintf(w, "budgetwfd_journal_snapshot_age_seconds %g\n", time.Since(js.SnapshotTime).Seconds())
+	}
 }
 
 // writePrometheusSharedPool renders the multi-tenant shared-pool

@@ -12,6 +12,9 @@
 //	GET  /v1/jobs/{id}  job state, progress, result
 //	DELETE /v1/jobs/{id} cancel a job
 //	POST /v1/shards     evaluate one shard (worker side of distributed sweeps)
+//	POST /v1/workers    register/heartbeat a worker (dynamic membership)
+//	GET  /v1/workers    list registered workers and their health
+//	DELETE /v1/workers  deregister a worker (?url=...)
 //	GET  /v1/algorithms registered algorithms
 //	GET  /healthz       liveness
 //	GET  /readyz        readiness (503 while draining)
@@ -78,12 +81,27 @@ type Config struct {
 	// (inline ?trace=1 responses still work).
 	TraceRingSize int
 	// Peers lists worker base URLs ("http://host:9090") the async-job
-	// coordinator shards campaigns across. Empty means jobs run
-	// locally, in-process.
+	// coordinator shards campaigns across, in addition to any workers
+	// that register dynamically via POST /v1/workers. Empty with no
+	// registrations means jobs run locally, in-process.
 	Peers []string
+	// HeartbeatTTL is how long a registered worker stays live without a
+	// heartbeat before it is marked suspect (no new shards, in-flight
+	// ones speculatively re-issued); default 10s.
+	HeartbeatTTL time.Duration
+	// StealAfter is how long a dispatched shard may stay in flight
+	// before an idle worker speculatively re-executes it; default 30s.
+	StealAfter time.Duration
 	// JournalPath, when set, persists the async-job log there so
 	// acknowledged jobs survive a crash or a draining restart.
 	JournalPath string
+	// JournalTakeover adopts the journal even when its lock file names
+	// a live process — the standby-coordinator failover path.
+	JournalTakeover bool
+	// SnapshotEvery compacts the journal (checkpoint to <path>.snap +
+	// truncate) once its tail reaches this many records, bounding
+	// restart replay; default 512, negative disables.
+	SnapshotEvery int
 	// MaxJobs bounds retained async-job records (running + terminal);
 	// default 256.
 	MaxJobs int
@@ -151,21 +169,22 @@ func (c Config) withDefaults() Config {
 
 // Server is one budgetwfd instance.
 type Server struct {
-	cfg     Config
-	log     *slog.Logger
-	pool    *workerPool
-	cache   *planCache
-	metrics *Metrics
-	traces  *obs.Ring
-	jobs    *dist.Store
-	coord   *dist.Coordinator
-	journal *dist.Journal
-	poolSvc *pool.Service
-	mux     *http.ServeMux
-	ready   atomic.Bool
-	reqSeq  atomic.Uint64
-	nonce   string
-	httpSrv *http.Server
+	cfg      Config
+	log      *slog.Logger
+	pool     *workerPool
+	cache    *planCache
+	metrics  *Metrics
+	traces   *obs.Ring
+	jobs     *dist.Store
+	coord    *dist.Coordinator
+	journal  *dist.Journal
+	registry *dist.Registry
+	poolSvc  *pool.Service
+	mux      *http.ServeMux
+	ready    atomic.Bool
+	reqSeq   atomic.Uint64
+	nonce    string
+	httpSrv  *http.Server
 }
 
 // New assembles a Server from the configuration. The returned server
@@ -182,18 +201,23 @@ func New(cfg Config) *Server {
 		nonce:  fmt.Sprintf("%x", time.Now().UnixNano()&0xffffff),
 	}
 	s.metrics = newMetrics(s.cache, s.pool)
+	s.registry = dist.NewRegistry(cfg.HeartbeatTTL)
 	s.coord = &dist.Coordinator{
 		Workers:      cfg.Peers,
+		Members:      s.registry.Live,
+		StealAfter:   cfg.StealAfter,
 		LocalWorkers: cfg.Workers,
 		Logf: func(format string, args ...any) {
 			s.log.Warn("coordinator: " + fmt.Sprintf(format, args...))
 		},
 	}
 	// A journal that fails to open is logged, not fatal: the daemon
-	// still serves, jobs just won't survive a restart.
+	// still serves, jobs just won't survive a restart. A journal held
+	// by a live process is the exception — refusing to serve beats two
+	// coordinators corrupting one log (-takeover overrides).
 	var restored []dist.RestoredJob
 	if cfg.JournalPath != "" {
-		j, rs, err := dist.OpenJournal(cfg.JournalPath)
+		j, rs, err := dist.OpenJournalWith(cfg.JournalPath, dist.JournalOptions{Takeover: cfg.JournalTakeover})
 		if err != nil {
 			s.log.Error("job journal unavailable", "path", cfg.JournalPath, "error", err.Error())
 		} else {
@@ -202,9 +226,10 @@ func New(cfg Config) *Server {
 		}
 	}
 	s.jobs = dist.NewStore(dist.StoreOptions{
-		Run:     s.runJob,
-		MaxJobs: cfg.MaxJobs,
-		Journal: s.journal,
+		Run:           s.runJob,
+		MaxJobs:       cfg.MaxJobs,
+		Journal:       s.journal,
+		SnapshotEvery: cfg.SnapshotEvery,
 		Logf: func(format string, args ...any) {
 			s.log.Warn("jobs: " + fmt.Sprintf(format, args...))
 		},
@@ -215,6 +240,20 @@ func New(cfg Config) *Server {
 			out[string(st)] = n
 		}
 		return out
+	})
+	s.metrics.setCluster(func() clusterStats {
+		live, suspect := s.registry.Counts()
+		cs := clusterStats{
+			WorkersLive:    live,
+			WorkersSuspect: suspect,
+			Coordinator:    s.coord.Stats(),
+			LateShards:     s.jobs.LateShards(),
+		}
+		if s.journal != nil {
+			cs.Journal = s.journal.Stats()
+			cs.HasJournal = true
+		}
+		return cs
 	})
 	if cfg.EnablePool {
 		plat := platform.Default()
@@ -258,6 +297,9 @@ func (s *Server) routes() {
 	s.mux.Handle("GET /v1/jobs/{id}", s.wrap("jobs", s.handleJobGet))
 	s.mux.Handle("DELETE /v1/jobs/{id}", s.wrap("jobs", s.handleJobCancel))
 	s.mux.Handle("POST /v1/shards", s.wrap("shards", s.handleShard))
+	s.mux.Handle("POST /v1/workers", s.wrap("workers", s.handleWorkerRegister))
+	s.mux.Handle("GET /v1/workers", s.wrap("workers", s.handleWorkerList))
+	s.mux.Handle("DELETE /v1/workers", s.wrap("workers", s.handleWorkerDeregister))
 	if s.poolSvc != nil {
 		s.mux.Handle("POST /v1/submit", s.wrap("submit", s.handleSubmit))
 		s.mux.Handle("GET /v1/tenants", s.wrap("tenants", s.handleTenants))
