@@ -3,7 +3,8 @@
 GO ?= go
 
 .PHONY: all build vet test bench figs figs-quick report fuzz serve serve-pool \
-	loadtest loadtest-tenants chaos clean bench-json bench-json-check bench-json-smoke
+	loadtest loadtest-tenants chaos clean bench-json bench-json-check bench-json-smoke \
+	bench-est
 
 all: build vet test
 
@@ -22,10 +23,17 @@ logs:
 	$(GO) test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
 
 # Regenerate the committed BENCH_*.json baselines at the repo root
-# (planner, sim and daemon suites; deterministic case list from the
-# fixed seed — only the measured numbers change between machines).
+# (planner, sim, est and daemon suites; deterministic case list from
+# the fixed seed — only the measured numbers change between machines).
 bench-json:
 	$(GO) run ./cmd/bench -benchtime 3x -seed 1 -out .
+
+# Regenerate and validate only the analytic-estimator suite — the
+# per-cell counterpart of the sim suite; the sim/est ratio of matching
+# cases is the sweep hot-path speedup.
+bench-est:
+	$(GO) run ./cmd/bench -suite est -benchtime 3x -seed 1 -out .
+	$(GO) run ./cmd/bench -check -suite est -seed 1 -out .
 
 # Validate the committed baselines against the current suite
 # definitions (schema intact, case list unchanged). Run by CI.

@@ -59,7 +59,7 @@ func TestCheckMissingFile(t *testing.T) {
 
 func TestSelectSuites(t *testing.T) {
 	all, err := selectSuites("all")
-	if err != nil || len(all) != 3 {
+	if err != nil || len(all) != 4 {
 		t.Fatalf("all: %v %v", all, err)
 	}
 	two, err := selectSuites("sim, daemon")

@@ -8,6 +8,13 @@
 //	simulate -type ligo -n 30 -sigma 0.5 -alg heftbudg -budget-factor 1.5 -reps 100
 //	simulate -type montage -n 30 -alg heftbudg -gantt -print-trace
 //	simulate -type montage -n 30 -alg heftbudg -trace spans.json
+//	simulate -type montage -n 30 -alg heftbudg -estimator analytic
+//
+// -estimator analytic replaces the Monte Carlo replications with the
+// moment-propagation estimator (internal/est): one deterministic pass
+// whose report reads the replications off the fitted quantile grid. It
+// is incompatible with fault injection, the visualization flags and
+// -deadline, all of which need realized executions.
 //
 // Either load a schedule produced by cmd/schedule (-sched), or plan
 // in-process with -alg. Workflows come from -wf (JSON or DAX) or the
@@ -34,6 +41,7 @@ import (
 	"strconv"
 	"strings"
 
+	"budgetwf/internal/est"
 	"budgetwf/internal/exp"
 	"budgetwf/internal/fault"
 	"budgetwf/internal/obs"
@@ -71,6 +79,7 @@ func run(args []string, stdout io.Writer) error {
 		deadline  = fs.Float64("deadline", 0, "deadline in seconds (0 = unconstrained)")
 		reps      = fs.Int("reps", 25, "number of stochastic executions")
 		simSeed   = fs.Uint64("sim-seed", 42, "simulation RNG seed")
+		estName   = fs.String("estimator", "mc", `estimator: "mc" (Monte Carlo replication) or "analytic" (moment propagation, internal/est)`)
 		gantt     = fs.Bool("gantt", false, "render an ASCII Gantt chart of the first execution")
 		prTrace   = fs.Bool("print-trace", false, "print a per-task trace of the first execution")
 		traceTo   = fs.String("trace", "", "write a Chrome trace-event JSON of the run's span tree here")
@@ -88,6 +97,23 @@ func run(args []string, stdout io.Writer) error {
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if !exp.ValidEstimator(*estName) {
+		return fmt.Errorf("-estimator: must be %q or %q", exp.EstimatorMC, exp.EstimatorAnalytic)
+	}
+	if *estName == exp.EstimatorAnalytic {
+		// The analytic estimator produces distributions, not executions:
+		// there is no realized timeline to visualize, no fault trace, and
+		// no joint (makespan, cost) sample for the bi-criteria objective.
+		switch {
+		case *faultSweep != "" || *faultRate > 0 || *faultBoot > 0 || *faultTask > 0:
+			return fmt.Errorf("-estimator analytic is incompatible with fault injection; use -estimator mc")
+		case *gantt || *prTrace || *chrome != "" || *svgGantt != "":
+			return fmt.Errorf("visualization flags need a realized execution; use -estimator mc")
+		case *deadline > 0:
+			return fmt.Errorf("-deadline (the Eq. 3 bi-criteria objective) needs joint samples; use -estimator mc")
+		}
 	}
 
 	spec := &fault.Spec{
@@ -161,6 +187,34 @@ func run(args []string, stdout io.Writer) error {
 		if err := runFaulty(stdout, w, p, s, spec, b, *reps, *simSeed, tr); err != nil {
 			return err
 		}
+		return writeSpanTrace(stdout, tr, *traceTo)
+	}
+
+	if *estName == exp.EstimatorAnalytic {
+		e, err := est.Compute(w, p, s)
+		if err != nil {
+			return err
+		}
+		// Pseudo-samples off the fitted quantile grid — the same
+		// construction the sweep harness and /v1/simulate use, so the
+		// summaries below aggregate identically everywhere.
+		var mk, cost []float64
+		valid := 0
+		for i := 0; i < *reps; i++ {
+			q := (float64(i) + 0.5) / float64(*reps)
+			c := e.CostQuantile(q)
+			mk = append(mk, e.MakespanQuantile(q))
+			cost = append(cost, c)
+			if b <= 0 || c <= b {
+				valid++
+			}
+		}
+		fmt.Fprintf(stdout, "workflow   %s, schedule with %d VMs, analytic estimate over %d quantile samples\n", w.Name, s.NumVMs(), *reps)
+		fmt.Fprintf(stdout, "budget     $%.4f\n", b)
+		fmt.Fprintf(stdout, "makespan   %s s\n", stats.Summarize(mk))
+		fmt.Fprintf(stdout, "cost       %s $\n", stats.Summarize(cost))
+		fmt.Fprintf(stdout, "valid      %.1f%% of quantile samples within budget (P(cost > budget) = %.3f)\n",
+			100*float64(valid)/float64(*reps), e.OverrunProb(b))
 		return writeSpanTrace(stdout, tr, *traceTo)
 	}
 

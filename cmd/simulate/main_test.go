@@ -248,3 +248,41 @@ func TestRunWritesFaultSpanTrace(t *testing.T) {
 		}
 	}
 }
+
+func TestRunAnalyticEstimator(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-type", "montage", "-n", "30", "-alg", "heftbudg", "-reps", "8", "-estimator", "analytic"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"analytic estimate", "quantile samples", "P(cost > budget)"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+	// Deterministic: a second run reproduces the report byte for byte.
+	var again strings.Builder
+	if err := run([]string{"-type", "montage", "-n", "30", "-alg", "heftbudg", "-reps", "8", "-estimator", "analytic"}, &again); err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != again.String() {
+		t.Errorf("analytic report not deterministic:\n%s\nvs\n%s", out.String(), again.String())
+	}
+}
+
+func TestRunAnalyticEstimatorFlagErrors(t *testing.T) {
+	cases := map[string][]string{
+		"unknown estimator": {"-type", "montage", "-n", "30", "-estimator", "montecarlo"},
+		"with gantt":        {"-type", "montage", "-n", "30", "-estimator", "analytic", "-gantt"},
+		"with svg":          {"-type", "montage", "-n", "30", "-estimator", "analytic", "-svg-gantt", "x.svg"},
+		"with faults":       {"-type", "montage", "-n", "30", "-estimator", "analytic", "-fault-rate", "0.1"},
+		"with fault sweep":  {"-type", "montage", "-n", "30", "-estimator", "analytic", "-fault-sweep", "0,0.1"},
+		"with deadline":     {"-type", "montage", "-n", "30", "-estimator", "analytic", "-deadline", "100"},
+	}
+	for name, args := range cases {
+		var out strings.Builder
+		if err := run(args, &out); err == nil {
+			t.Errorf("%s: run succeeded, want an error", name)
+		}
+	}
+}

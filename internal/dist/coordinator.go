@@ -218,6 +218,7 @@ func SpecFromScenario(sc exp.Scenario, algs []sched.Algorithm, gridK int) *Sweep
 		Replications: sc.Reps,
 		Seed:         sc.Seed,
 		Platform:     sc.Platform,
+		Estimator:    sc.Estimator,
 	}
 }
 

@@ -105,6 +105,10 @@ type SweepSpec struct {
 	Seed         uint64 `json:"seed,omitempty"`
 	// Platform optionally overrides the paper's Table II platform.
 	Platform *platform.Platform `json:"platform,omitempty"`
+	// Estimator selects how each cell's samples are produced: "mc"
+	// (Monte Carlo replication, the default) or "analytic"
+	// (moment-propagation quantile grid, internal/est).
+	Estimator string `json:"estimator,omitempty"`
 }
 
 // normalize fills defaults in place so that equivalent specs hash
@@ -128,6 +132,9 @@ func (s *SweepSpec) normalize() {
 			s.Algorithms = append(s.Algorithms, string(a.Name))
 		}
 	}
+	if s.Estimator == "" {
+		s.Estimator = exp.EstimatorMC
+	}
 }
 
 // Validate checks every field, returning *FieldError values.
@@ -147,6 +154,8 @@ func (s *SweepSpec) Validate() error {
 		return fieldErrf("replications", "must be in [1, %d]", MaxReplications)
 	case s.SigmaRatio < 0 || s.SigmaRatio > 10 || s.SigmaRatio != s.SigmaRatio:
 		return fieldErrf("sigmaRatio", "must be in [0, 10]")
+	case !exp.ValidEstimator(s.Estimator):
+		return fieldErrf("estimator", "must be %q or %q", exp.EstimatorMC, exp.EstimatorAnalytic)
 	}
 	for _, name := range s.Algorithms {
 		if _, err := sched.ByName(sched.Name(name)); err != nil {
@@ -156,6 +165,12 @@ func (s *SweepSpec) Validate() error {
 	if s.Platform != nil {
 		if err := s.Platform.Validate(); err != nil {
 			return semErrf("platform", "%v", err)
+		}
+		// The analytic estimator refuses fluid bandwidth sharing
+		// (est.ErrContention); reject the combination at submission
+		// rather than mid-job.
+		if s.Estimator == exp.EstimatorAnalytic && s.Platform.DCBandwidth > 0 {
+			return semErrf("estimator", "analytic estimator cannot model bandwidth contention (platform.dcBandwidth > 0)")
 		}
 	}
 	// Probe the generator: family-specific constraints (e.g. Montage
@@ -188,6 +203,7 @@ func (s *SweepSpec) Scenario() (exp.Scenario, []sched.Algorithm, int, error) {
 		Instances:  s.Instances,
 		Reps:       s.Replications,
 		Seed:       s.Seed,
+		Estimator:  s.Estimator,
 	}
 	return sc, algs, s.GridK, nil
 }
@@ -320,6 +336,8 @@ type FigureSpec struct {
 	Instances    int     `json:"instances,omitempty"`
 	Replications int     `json:"replications,omitempty"`
 	Seed         uint64  `json:"seed,omitempty"`
+	// Estimator is "mc" (default) or "analytic", as in SweepSpec.
+	Estimator string `json:"estimator,omitempty"`
 }
 
 func (s *FigureSpec) normalize() {
@@ -337,6 +355,9 @@ func (s *FigureSpec) normalize() {
 	}
 	if s.Replications == 0 {
 		s.Replications = 25
+	}
+	if s.Estimator == "" {
+		s.Estimator = exp.EstimatorMC
 	}
 }
 
@@ -357,6 +378,8 @@ func (s *FigureSpec) Validate() error {
 		return fieldErrf("replications", "must be in [1, %d]", MaxReplications)
 	case s.SigmaRatio < 0 || s.SigmaRatio > 10 || s.SigmaRatio != s.SigmaRatio:
 		return fieldErrf("sigmaRatio", "must be in [0, 10]")
+	case !exp.ValidEstimator(s.Estimator):
+		return fieldErrf("estimator", "must be %q or %q", exp.EstimatorMC, exp.EstimatorAnalytic)
 	}
 	return nil
 }

@@ -3,7 +3,17 @@ package dist
 import (
 	"errors"
 	"testing"
+
+	"budgetwf/internal/platform"
 )
+
+// contendedPlatform is a valid platform with fluid bandwidth sharing
+// enabled — the one regime the analytic estimator refuses.
+func contendedPlatform() *platform.Platform {
+	p := platform.Default()
+	p.DCBandwidth = 1e9
+	return p
+}
 
 // TestSpecValidateSemantics: scalar-domain violations carry
 // Semantic=false (the HTTP layer's 400s), semantic ones Semantic=true
@@ -20,6 +30,11 @@ func TestSpecValidateSemantics(t *testing.T) {
 		{"unknown algorithm", JobSpec{Kind: KindSweep, Sweep: &SweepSpec{WorkflowType: "chain", N: 6, Algorithms: []string{"nope"}}}, true},
 		{"generator constraint", JobSpec{Kind: KindSweep, Sweep: &SweepSpec{WorkflowType: "montage", N: 5}}, true},
 		{"unknown figure", JobSpec{Kind: KindFigure, Figure: &FigureSpec{Figure: 9}}, true},
+		{"unknown estimator", JobSpec{Kind: KindSweep, Sweep: &SweepSpec{WorkflowType: "chain", N: 6, Estimator: "montecarlo"}}, false},
+		{"unknown figure estimator", JobSpec{Kind: KindFigure, Figure: &FigureSpec{Figure: 1, Estimator: "montecarlo"}}, false},
+		{"analytic with contention", JobSpec{Kind: KindSweep, Sweep: &SweepSpec{
+			WorkflowType: "chain", N: 6, Estimator: "analytic", Platform: contendedPlatform(),
+		}}, true},
 	}
 	for _, tc := range cases {
 		spec := tc.spec
@@ -65,5 +80,17 @@ func TestSpecHashNormalization(t *testing.T) {
 	other.Normalize()
 	if other.Hash() == implicit.Hash() {
 		t.Error("distinct campaigns share a hash")
+	}
+	// Estimator participates in the campaign's identity: the default
+	// "mc" (implicit or explicit) and "analytic" are distinct jobs.
+	mc := JobSpec{Kind: KindSweep, Sweep: &SweepSpec{WorkflowType: "chain", N: 6, Estimator: "mc"}}
+	mc.Normalize()
+	if mc.Hash() != implicit.Hash() {
+		t.Error("explicit estimator=mc hashes differently from the default")
+	}
+	analytic := JobSpec{Kind: KindSweep, Sweep: &SweepSpec{WorkflowType: "chain", N: 6, Estimator: "analytic"}}
+	analytic.Normalize()
+	if analytic.Hash() == implicit.Hash() {
+		t.Error("estimator=analytic shares a hash with estimator=mc")
 	}
 }

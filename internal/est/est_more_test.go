@@ -1,0 +1,186 @@
+// Behavioural tests of Compute beyond the MC-tracking harness:
+// refusal paths, quantized billing, overrun monotonicity, and a
+// property sweep over random cells.
+package est_test
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"budgetwf/internal/est"
+	"budgetwf/internal/exp"
+	"budgetwf/internal/plan"
+	"budgetwf/internal/platform"
+	"budgetwf/internal/rng"
+	"budgetwf/internal/sched"
+	"budgetwf/internal/stats"
+	"budgetwf/internal/stoch"
+	"budgetwf/internal/wf"
+	"budgetwf/internal/wfgen"
+)
+
+// TestContentionRefused: a fluid-bandwidth platform cannot be modeled
+// analytically; Compute must return ErrContention rather than a wrong
+// number.
+func TestContentionRefused(t *testing.T) {
+	p := platform.Default()
+	w, s, _ := planned(t, wfgen.Montage, 20, 0.5, 1)
+	p.DCBandwidth = 1e9
+	if _, err := est.Compute(w, p, s); !errors.Is(err, est.ErrContention) {
+		t.Fatalf("Compute on a contended platform: err = %v, want ErrContention", err)
+	}
+}
+
+// TestDeadlockDetected: a schedule whose chain edges close a cycle
+// with the precedence edges passes plan.Validate (each VM's order is
+// locally consistent) but can never execute; the simulator deadlocks
+// on it and the estimator must refuse it, not hang or emit garbage.
+func TestDeadlockDetected(t *testing.T) {
+	w := wf.New("cycle")
+	d := stoch.Dist{Mean: 1e9}
+	a := w.AddTask("a", d)
+	b := w.AddTask("b", d)
+	c := w.AddTask("c", d)
+	e := w.AddTask("e", d)
+	w.MustAddEdge(a, b, 0)
+	w.MustAddEdge(c, e, 0)
+
+	s := plan.New(w.NumTasks())
+	v0 := s.AddVM(0)
+	v1 := s.AddVM(0)
+	// VM0 runs e before a, VM1 runs b before c: a waits for its chain
+	// predecessor e, e for its producer c, c for its chain predecessor
+	// b, and b for its producer a.
+	s.Assign(a, v0)
+	s.Assign(e, v0)
+	s.Assign(b, v1)
+	s.Assign(c, v1)
+	s.Order = [][]wf.TaskID{{e, a}, {b, c}}
+
+	p := platform.Default()
+	if err := s.Validate(w, p.NumCategories()); err != nil {
+		t.Fatalf("schedule unexpectedly invalid: %v", err)
+	}
+	_, err := est.Compute(w, p, s)
+	if err == nil || !strings.Contains(err.Error(), "deadlock") {
+		t.Fatalf("Compute on a deadlocked schedule: err = %v, want deadlock error", err)
+	}
+}
+
+// TestQuantizedCostTracksMC exercises the billing-quantum path: with
+// hourly billing the per-VM cost is a ceil of the span, and the
+// analytic expectation E[units] = 1 + Σ P(span > jq) must track the
+// simulator.
+func TestQuantizedCostTracksMC(t *testing.T) {
+	p := platform.Default()
+	p.BillingQuantum = 600
+	for _, sigma := range []float64{0, 0.5, 1.0} {
+		w, s, budget := planned(t, wfgen.Epigenomics, 50, sigma, 1)
+		e, err := est.Compute(w, p, s)
+		if err != nil {
+			t.Fatalf("σ=%v: %v", sigma, err)
+		}
+		_, costs, _ := mcRef(t, w, p, s, 1000, budget, 7)
+		cs := stats.Summarize(costs)
+		if rel := math.Abs(e.Cost.Mean-cs.Mean) / cs.Mean; rel > 0.02 {
+			t.Errorf("σ=%v: quantized cost mean %.4f vs MC %.4f (rel %.3f)", sigma, e.Cost.Mean, cs.Mean, rel)
+		}
+		if sigma == 0 && e.Cost.Var != 0 {
+			t.Errorf("σ=0: quantized cost must be deterministic, got var %v", e.Cost.Var)
+		}
+	}
+}
+
+// TestOverrunMonotoneInSigma: for a budget above the expected cost,
+// more task-duration noise can only increase the probability of
+// exceeding it. The analytic estimate must preserve that ordering
+// across the σ grid (this is the property the sweep's budget-overrun
+// curves rely on).
+func TestOverrunMonotoneInSigma(t *testing.T) {
+	p := platform.Default()
+	w0, s, _ := planned(t, wfgen.Ligo, 50, 0.5, 1)
+	// Budget pinned above the σ=1 expected cost so every overrun
+	// probability is a genuine upper-tail value.
+	eTop, err := est.Compute(w0.WithSigmaRatio(1.0), p, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	budget := eTop.Cost.Mean + 0.5*eTop.Cost.Sigma()
+	prev := -1.0
+	for _, sigma := range []float64{0, 0.25, 0.5, 0.75, 1.0} {
+		e, err := est.Compute(w0.WithSigmaRatio(sigma), p, s)
+		if err != nil {
+			t.Fatalf("σ=%v: %v", sigma, err)
+		}
+		ov := e.OverrunProb(budget)
+		if ov < prev-1e-12 {
+			t.Errorf("σ=%v: overrun prob %v dropped below %v at lower σ", sigma, ov, prev)
+		}
+		prev = ov
+	}
+	if prev <= 0 {
+		t.Errorf("overrun prob at σ=1 should be positive near the mean budget, got %v", prev)
+	}
+}
+
+// TestPropertyAnalyticVsMC sweeps ≥100 random (family, n, σ, budget
+// factor) cells and checks the analytic makespan mean against a
+// 300-replication MC reference. The tolerance is wider than the
+// acceptance harness (the reference itself carries ~1% noise at 300
+// reps) but bounds the estimator across the whole operating envelope,
+// not just the hand-picked cells.
+func TestPropertyAnalyticVsMC(t *testing.T) {
+	if testing.Short() {
+		t.Skip("property sweep is long")
+	}
+	p := platform.Default()
+	fams := []wfgen.Type{wfgen.CyberShake, wfgen.Ligo, wfgen.Montage, wfgen.Epigenomics}
+	r := rng.New(2024)
+	const cells = 100
+	worst := 0.0
+	for i := 0; i < cells; i++ {
+		fam := fams[r.Intn(len(fams))]
+		n := 20 + 10*r.Intn(9) // 20..100 in steps of 10, valid for every family
+		sigma := 0.25 + 0.75*r.Float64()
+		w, s, budget := plannedFactor(t, fam, n, sigma, uint64(i+1), 0.1+0.9*r.Float64())
+		e, err := est.Compute(w, p, s)
+		if err != nil {
+			t.Fatalf("cell %d (%s n=%d σ=%.2f): %v", i, fam, n, sigma, err)
+		}
+		mks, _, _ := mcRef(t, w, p, s, 300, budget, uint64(1000+i))
+		ms := stats.Summarize(mks)
+		rel := math.Abs(e.Makespan.Mean-ms.Mean) / ms.Mean
+		if rel > worst {
+			worst = rel
+		}
+		if rel > 0.06 {
+			t.Errorf("cell %d (%s n=%d σ=%.2f): analytic mean %.1f vs MC %.1f (%.2f%%)",
+				i, fam, n, sigma, e.Makespan.Mean, ms.Mean, 100*rel)
+		}
+	}
+	t.Logf("worst makespan mean error across %d random cells: %.2f%%", cells, 100*worst)
+}
+
+// plannedFactor is planned with an explicit budget factor in (0, 1]
+// interpolating between the cheap-plan cost and the high anchor.
+func plannedFactor(t *testing.T, fam wfgen.Type, n int, sigma float64, seed uint64, factor float64) (*wf.Workflow, *plan.Schedule, float64) {
+	t.Helper()
+	p := platform.Default()
+	w := wfgen.MustGenerate(fam, n, seed).WithSigmaRatio(sigma)
+	a, err := exp.ComputeAnchors(w, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	budget := a.CheapCost + factor*(a.High-a.CheapCost)
+	alg, err := sched.ByName(sched.NameHeftBudg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := alg.Plan(w, p, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w, s, budget
+}

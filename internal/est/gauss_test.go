@@ -1,0 +1,105 @@
+package est
+
+import (
+	"math"
+	"testing"
+
+	"budgetwf/internal/rng"
+)
+
+func TestGaussAlgebra(t *testing.T) {
+	g := Gauss{Mean: 3, Var: 4}
+	if got := g.Add(2); got.Mean != 5 || got.Var != 4 {
+		t.Errorf("Add: %+v", got)
+	}
+	if got := g.Plus(Gauss{Mean: 1, Var: 9}); got.Mean != 4 || got.Var != 13 {
+		t.Errorf("Plus: %+v", got)
+	}
+	if got := g.Scale(3); got.Mean != 9 || got.Var != 36 {
+		t.Errorf("Scale: %+v", got)
+	}
+	if g.Sigma() != 2 {
+		t.Errorf("Sigma: %v", g.Sigma())
+	}
+}
+
+func TestMaxDeterministic(t *testing.T) {
+	a := Gauss{Mean: 5}
+	b := Gauss{Mean: 7}
+	if got := Max(a, b); got != b {
+		t.Errorf("Max point masses: %+v", got)
+	}
+	if got := Min(a, b); got != a {
+		t.Errorf("Min point masses: %+v", got)
+	}
+	// Domination shortcut: a point mass far below a stochastic operand
+	// must not perturb it (this is what keeps σ=0 paths exact even when
+	// joined against stochastic ones).
+	c := Gauss{Mean: 100, Var: 1}
+	if got := Max(a, c); got != c {
+		t.Errorf("Max dominated: %+v", got)
+	}
+}
+
+// TestMaxAgainstMC checks Clark's approximation against brute-force
+// maxima of independent Gaussian samples across regimes (close means,
+// far means, unequal variances).
+func TestMaxAgainstMC(t *testing.T) {
+	cases := []struct{ a, b Gauss }{
+		{Gauss{Mean: 0, Var: 1}, Gauss{Mean: 0, Var: 1}},
+		{Gauss{Mean: 0, Var: 1}, Gauss{Mean: 1, Var: 4}},
+		{Gauss{Mean: 10, Var: 9}, Gauss{Mean: 12, Var: 1}},
+		{Gauss{Mean: 5, Var: 0}, Gauss{Mean: 5, Var: 2}},
+		{Gauss{Mean: 0, Var: 1}, Gauss{Mean: 3, Var: 1}},
+	}
+	r := rng.New(17)
+	const n = 400000
+	for _, c := range cases {
+		got := Max(c.a, c.b)
+		sum, sumSq := 0.0, 0.0
+		for i := 0; i < n; i++ {
+			x := c.a.Mean + c.a.Sigma()*r.NormFloat64()
+			y := c.b.Mean + c.b.Sigma()*r.NormFloat64()
+			m := math.Max(x, y)
+			sum += m
+			sumSq += m * m
+		}
+		mean := sum / n
+		variance := sumSq/n - mean*mean
+		scale := math.Max(1, math.Abs(mean))
+		if math.Abs(got.Mean-mean)/scale > 0.01 {
+			t.Errorf("Max(%+v, %+v) mean %.4f, MC %.4f", c.a, c.b, got.Mean, mean)
+		}
+		// Clark matches the first two moments of the true max exactly for
+		// two operands; the tolerance covers MC noise only.
+		if vScale := math.Max(0.05, variance); math.Abs(got.Var-variance)/vScale > 0.05 {
+			t.Errorf("Max(%+v, %+v) var %.4f, MC %.4f", c.a, c.b, got.Var, variance)
+		}
+	}
+}
+
+func TestQuantileTailRoundTrip(t *testing.T) {
+	g := Gauss{Mean: 10, Var: 4}
+	for _, p := range []float64{0.01, 0.25, 0.5, 0.9, 0.99} {
+		x := g.Quantile(p)
+		if back := 1 - g.Tail(x); math.Abs(back-p) > 1e-9 {
+			t.Errorf("Tail(Quantile(%v)) = %v", p, 1-back)
+		}
+	}
+	if g.Quantile(0.5) != 10 {
+		t.Errorf("median %v", g.Quantile(0.5))
+	}
+	// Point mass: quantiles collapse to the location, the tail is a step
+	// with P(X > Mean) = 0 so exactly meeting a budget is not an overrun.
+	pm := Gauss{Mean: 7}
+	if pm.Quantile(0.01) != 7 || pm.Quantile(0.99) != 7 {
+		t.Errorf("point-mass quantiles %v %v", pm.Quantile(0.01), pm.Quantile(0.99))
+	}
+	if pm.Tail(6.9) != 1 || pm.Tail(7) != 0 || pm.Tail(7.1) != 0 {
+		t.Errorf("point-mass tail %v %v %v", pm.Tail(6.9), pm.Tail(7), pm.Tail(7.1))
+	}
+	// Extreme p values are clamped, not infinite.
+	if math.IsInf(g.Quantile(0), 0) || math.IsInf(g.Quantile(1), 0) {
+		t.Error("Quantile(0)/Quantile(1) must be finite")
+	}
+}

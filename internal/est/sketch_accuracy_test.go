@@ -1,0 +1,89 @@
+package est_test
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"budgetwf/internal/est"
+	"budgetwf/internal/exp"
+	"budgetwf/internal/platform"
+	"budgetwf/internal/rng"
+	"budgetwf/internal/sched"
+	"budgetwf/internal/sim"
+	"budgetwf/internal/wfgen"
+)
+
+// TestSketchAccuracyN300 spot-checks the sketch regime (n >
+// exactTrackLimit: round-robin signed buckets, soft-dominated joins)
+// against Monte Carlo on the paper's workflow families at n = 300.
+//
+// The tolerance is deliberately looser than the exact-regime grid in
+// validate_test.go: sketch collisions alias distinct task noises, the
+// resulting spurious covariance makes Clark's maxima undershoot, and
+// soft domination trades a bounded variance error for speed. Measured
+// on this grid at 1000 replications the worst makespan mean error is
+// ≈3.3% (cost means stay within 2%); the 6% bound below is the
+// regression fence, not the typical error.
+func TestSketchAccuracyN300(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sketch accuracy sweep in -short mode")
+	}
+	const (
+		n       = 300
+		reps    = 400
+		meanTol = 6.0 // percent, makespan and cost means
+	)
+	for _, fam := range []wfgen.Type{wfgen.Montage, wfgen.Ligo, wfgen.CyberShake, wfgen.Epigenomics} {
+		for _, sigma := range []float64{0.5, 1.0} {
+			t.Run(fmt.Sprintf("%s/sigma%.2f", fam, sigma), func(t *testing.T) {
+				w, err := wfgen.Generate(fam, n, 1)
+				if err != nil {
+					t.Fatal(err)
+				}
+				w = w.WithSigmaRatio(sigma)
+				p := platform.Default()
+				anchors, err := exp.ComputeAnchors(w, p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				budget := (anchors.CheapCost + anchors.High) / 2
+				s, err := sched.HeftBudg(w, p, budget)
+				if err != nil {
+					t.Fatal(err)
+				}
+				e, err := est.Compute(w, p, s)
+				if err != nil {
+					t.Fatal(err)
+				}
+				runner, err := sim.NewRunner(w, p, s)
+				if err != nil {
+					t.Fatal(err)
+				}
+				stream := rng.New(12345)
+				var mkSum, costSum float64
+				for r := 0; r < reps; r++ {
+					res, err := runner.RunStochastic(stream.Split(uint64(r)))
+					if err != nil {
+						t.Fatal(err)
+					}
+					mkSum += res.Makespan
+					costSum += res.TotalCost
+				}
+				mcMean := mkSum / reps
+				mcCost := costSum / reps
+				meanErr := (e.Makespan.Mean - mcMean) / mcMean * 100
+				costErr := (e.Cost.Mean - mcCost) / mcCost * 100
+				t.Logf("makespan mean %+0.2f%%, cost mean %+0.2f%% vs %d-rep MC", meanErr, costErr, reps)
+				if math.Abs(meanErr) > meanTol {
+					t.Errorf("sketch makespan mean off by %+0.2f%% (tolerance %.0f%%): est %.1f, MC %.1f",
+						meanErr, meanTol, e.Makespan.Mean, mcMean)
+				}
+				if math.Abs(costErr) > meanTol {
+					t.Errorf("sketch cost mean off by %+0.2f%% (tolerance %.0f%%): est %.2f, MC %.2f",
+						costErr, meanTol, e.Cost.Mean, mcCost)
+				}
+			})
+		}
+	}
+}

@@ -19,6 +19,10 @@ type FigureConfig struct {
 	GridK      int
 	Workers    int
 	Seed       uint64
+	// Estimator selects the per-cell evaluation backend for every
+	// sweep of the figure: Scenario's EstimatorMC (default) or
+	// EstimatorAnalytic.
+	Estimator string
 }
 
 // Defaults fills zero fields with the paper's values.
@@ -45,6 +49,7 @@ func (c FigureConfig) scenario(t wfgen.Type) Scenario {
 	return Scenario{
 		Type: t, N: c.N, SigmaRatio: c.SigmaRatio,
 		Instances: c.Instances, Reps: c.Reps, Workers: c.Workers, Seed: c.Seed,
+		Estimator: c.Estimator,
 	}
 }
 

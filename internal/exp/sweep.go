@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"budgetwf/internal/est"
 	"budgetwf/internal/platform"
 	"budgetwf/internal/rng"
 	"budgetwf/internal/sched"
@@ -40,6 +41,31 @@ type Scenario struct {
 	Workers int
 	// Seed decorrelates the whole scenario; experiments default to 0.
 	Seed uint64
+	// Estimator selects how each cell's stochastic outcomes are
+	// produced: EstimatorMC (the default) replays Reps Monte Carlo
+	// executions per cell; EstimatorAnalytic computes the closed-form
+	// makespan/cost distribution once per cell (internal/est) and
+	// derives Reps deterministic pseudo-samples from its quantiles, so
+	// downstream aggregation — and distributed shard merging — is
+	// byte-identical in shape to the MC path while skipping the
+	// simulation hot loop entirely.
+	Estimator string
+}
+
+// Estimator values for Scenario.Estimator.
+const (
+	EstimatorMC       = "mc"
+	EstimatorAnalytic = "analytic"
+)
+
+// ValidEstimator reports whether the name is a known estimator
+// (the empty string defaults to EstimatorMC).
+func ValidEstimator(name string) bool {
+	switch name {
+	case "", EstimatorMC, EstimatorAnalytic:
+		return true
+	}
+	return false
 }
 
 // Defaults fills zero fields with the paper's methodology values.
@@ -58,6 +84,9 @@ func (sc Scenario) Defaults() Scenario {
 	}
 	if sc.Workers == 0 {
 		sc.Workers = runtime.GOMAXPROCS(0)
+	}
+	if sc.Estimator == "" {
+		sc.Estimator = EstimatorMC
 	}
 	return sc
 }
@@ -150,6 +179,9 @@ type sweepPrep struct {
 // anchors and the factor grid.
 func prepSweep(sc Scenario, gridK int) (*sweepPrep, error) {
 	sc = sc.Defaults()
+	if !ValidEstimator(sc.Estimator) {
+		return nil, fmt.Errorf("exp: unknown estimator %q (want %q or %q)", sc.Estimator, EstimatorMC, EstimatorAnalytic)
+	}
 	if gridK <= 0 {
 		gridK = 8
 	}
@@ -332,6 +364,30 @@ func runCellRange(p *sweepPrep, c cell, repStart, repEnd int) cellResult {
 	simP := sc.Platform
 	if sc.SimPlatform != nil {
 		simP = sc.SimPlatform
+	}
+
+	if sc.Estimator == EstimatorAnalytic {
+		// One closed-form propagation per cell instead of Reps simulated
+		// executions. Pseudo-samples are the estimate's quantiles at the
+		// rep midpoints (rep + ½)/Reps — a deterministic function of the
+		// cell coordinates alone, so disjoint rep ranges concatenate to
+		// exactly the full-cell run, the same sharding contract the MC
+		// path gets from its split RNG streams.
+		e, err := est.Compute(w, simP, s)
+		if err != nil {
+			res.err = err
+			return res
+		}
+		for rep := repStart; rep < repEnd; rep++ {
+			q := (float64(rep) + 0.5) / float64(sc.Reps)
+			cost := e.CostQuantile(q)
+			res.makespans = append(res.makespans, e.MakespanQuantile(q))
+			res.costs = append(res.costs, cost)
+			if cost <= budget {
+				res.valid++
+			}
+		}
+		return res
 	}
 
 	// One decorrelated stream per cell, stable across worker

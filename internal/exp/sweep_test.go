@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -174,4 +175,105 @@ func TestRunSweepWorkerCountInvariance(t *testing.T) {
 			}
 		}
 	}
+}
+
+// TestAnalyticSweepShapes: estimator=analytic must produce a result
+// with exactly the MC path's shape — same series, points, observation
+// counts — while replacing replications with quantile pseudo-samples.
+func TestAnalyticSweepShapes(t *testing.T) {
+	sc := quickScenario(wfgen.Montage)
+	sc.Estimator = EstimatorAnalytic
+	algs := []sched.Algorithm{mustAlg(t, sched.NameHeftBudg)}
+	res, err := RunSweep(sc, algs, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series) != 1 || len(res.Series[0].Points) != 5 {
+		t.Fatalf("unexpected shape: %d series", len(res.Series))
+	}
+	for i, p := range res.Series[0].Points {
+		if p.Makespan.N != 2*4 {
+			t.Errorf("point %d: want 8 pseudo-samples, got %d", i, p.Makespan.N)
+		}
+		if p.Makespan.Mean <= 0 || p.Cost.Mean <= 0 {
+			t.Errorf("point %d: non-positive aggregates", i)
+		}
+		if p.ValidFrac < 0 || p.ValidFrac > 1 {
+			t.Errorf("point %d: ValidFrac %v out of range", i, p.ValidFrac)
+		}
+	}
+}
+
+// TestAnalyticSweepTracksMC: the analytic sweep's mean-makespan curve
+// must track a higher-replication MC sweep of the same scenario.
+func TestAnalyticSweepTracksMC(t *testing.T) {
+	mc := quickScenario(wfgen.Montage)
+	mc.Reps = 200
+	algs := []sched.Algorithm{mustAlg(t, sched.NameHeftBudg)}
+	ref, err := RunSweep(mc, algs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	an := quickScenario(wfgen.Montage)
+	an.Estimator = EstimatorAnalytic
+	got, err := RunSweep(an, algs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ref.Series[0].Points {
+		r, g := ref.Series[0].Points[i], got.Series[0].Points[i]
+		if rel := abs(g.Makespan.Mean-r.Makespan.Mean) / r.Makespan.Mean; rel > 0.05 {
+			t.Errorf("point %d: analytic makespan mean %.1f vs MC %.1f (%.1f%%)",
+				i, g.Makespan.Mean, r.Makespan.Mean, 100*rel)
+		}
+		if rel := abs(g.Cost.Mean-r.Cost.Mean) / r.Cost.Mean; rel > 0.05 {
+			t.Errorf("point %d: analytic cost mean %.4f vs MC %.4f (%.1f%%)",
+				i, g.Cost.Mean, r.Cost.Mean, 100*rel)
+		}
+	}
+}
+
+// TestAnalyticSweepShardIdentity: splitting analytic cells into
+// replication blocks and merging must be bit-identical to the
+// monolithic run — the pseudo-samples depend only on (rep, Reps).
+func TestAnalyticSweepShardIdentity(t *testing.T) {
+	sc := quickScenario(wfgen.CyberShake)
+	sc.Estimator = EstimatorAnalytic
+	algs := []sched.Algorithm{mustAlg(t, sched.NameHeftBudg)}
+	mono, err := RunSweep(sc, algs, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	units, err := RunSweepUnitsCtx(context.Background(), sc, algs, 3, 1, 0, SweepGridFor(sc, len(algs), 3, 1).Units())
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged, err := MergeSweepUnits(sc, algs, 3, 1, units)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for si := range mono.Series {
+		for pi := range mono.Series[si].Points {
+			a, b := mono.Series[si].Points[pi], merged.Series[si].Points[pi]
+			if a.Makespan != b.Makespan || a.Cost != b.Cost || a.ValidFrac != b.ValidFrac {
+				t.Fatalf("series %d point %d: sharded run diverges from monolithic", si, pi)
+			}
+		}
+	}
+}
+
+// TestUnknownEstimatorRejected: a typo'd estimator must fail fast.
+func TestUnknownEstimatorRejected(t *testing.T) {
+	sc := quickScenario(wfgen.Montage)
+	sc.Estimator = "montecarlo"
+	if _, err := RunSweep(sc, []sched.Algorithm{mustAlg(t, sched.NameHeftBudg)}, 3); err == nil || !strings.Contains(err.Error(), "estimator") {
+		t.Fatalf("want estimator error, got %v", err)
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
 }

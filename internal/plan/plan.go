@@ -200,7 +200,7 @@ func (s *Schedule) Validate(w *wf.Workflow, numCats int) error {
 			pos[t] = i
 		}
 	}
-	for _, e := range w.Edges() {
+	for _, e := range w.EdgesView() {
 		if s.TaskVM[e.From] == s.TaskVM[e.To] && pos[e.From] >= pos[e.To] {
 			return fmt.Errorf("plan: VM %d runs task %d before its predecessor %d", s.TaskVM[e.To], e.To, e.From)
 		}

@@ -13,6 +13,7 @@ import (
 	"strings"
 	"time"
 
+	"budgetwf/internal/est"
 	"budgetwf/internal/exp"
 	"budgetwf/internal/obs"
 	"budgetwf/internal/online"
@@ -236,6 +237,11 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error(), reqID)
 		return
 	}
+	estimator, err := normalizeEstimator(req.Estimator)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error(), reqID)
+		return
+	}
 	if req.Faults != nil {
 		if err := req.Faults.Validate(plat.NumCategories()); err != nil {
 			writeError(w, http.StatusBadRequest, err.Error(), reqID)
@@ -246,6 +252,16 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 				"fault injection does not support the datacenter contention mode", reqID)
 			return
 		}
+		if estimator == exp.EstimatorAnalytic {
+			writeError(w, http.StatusUnprocessableEntity,
+				"estimator: fault injection requires the Monte Carlo estimator", reqID)
+			return
+		}
+	}
+	if estimator == exp.EstimatorAnalytic && plat.DCBandwidth > 0 {
+		writeError(w, http.StatusUnprocessableEntity,
+			"estimator: the analytic estimator cannot model bandwidth contention (platform dcBandwidth > 0)", reqID)
+		return
 	}
 	reps := req.Replications
 	if reps == 0 {
@@ -256,9 +272,53 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 			fmt.Sprintf("replications must be in [1, %d]", maxReplications), reqID)
 		return
 	}
+	s.metrics.observeEstimator(estimator)
 
 	root := rootSpan(r.Context())
+	root.Set(obs.Str("estimator", estimator))
 	deep := traceRequested(r)
+
+	if estimator == exp.EstimatorAnalytic {
+		resp, ok := s.runPooledTimeout(w, r, s.requestTimeout(req.TimeoutMillis), func(ctx context.Context) (any, error) {
+			span := root.Child("estimate-analytic")
+			span.Set(obs.Int("replications", reps))
+			e, err := est.Compute(wfl, plat, schedule)
+			span.End()
+			if err != nil {
+				return nil, err
+			}
+			// The replications are deterministic pseudo-samples read off
+			// the fitted quantile grid — the same construction the sweep
+			// harness uses, so summaries aggregate identically.
+			mk := make([]float64, 0, reps)
+			cost := make([]float64, 0, reps)
+			valid := 0
+			for i := 0; i < reps; i++ {
+				q := (float64(i) + 0.5) / float64(reps)
+				c := e.CostQuantile(q)
+				mk = append(mk, e.MakespanQuantile(q))
+				cost = append(cost, c)
+				if req.Budget <= 0 || c <= req.Budget {
+					valid++
+				}
+			}
+			return simulateResponse{
+				Replications: reps,
+				Makespan:     toSummaryJSON(stats.Summarize(mk)),
+				Cost:         toSummaryJSON(stats.Summarize(cost)),
+				ValidFrac:    float64(valid) / float64(reps),
+				Budget:       req.Budget,
+				RequestID:    reqID,
+			}, nil
+		})
+		if ok {
+			if deep {
+				resp = attachTrace(resp, requestTrace(r.Context()))
+			}
+			writeJSON(w, http.StatusOK, resp)
+		}
+		return
+	}
 
 	resp, ok := s.runPooledTimeout(w, r, s.requestTimeout(req.TimeoutMillis), func(ctx context.Context) (any, error) {
 		batchSpan := root.Child("simulate-batch")
@@ -384,6 +444,11 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Sprintf("replications: must be in [1, %d]", maxSweepReps), reqID)
 		return
 	}
+	estimator, err := normalizeEstimator(req.Estimator)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error(), reqID)
+		return
+	}
 	switch {
 	case req.N < 4 || req.N > maxSweepTasks:
 		err = fmt.Errorf("n must be in [4, %d]", maxSweepTasks)
@@ -415,6 +480,9 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
+	s.metrics.observeEstimator(estimator)
+	rootSpan(r.Context()).Set(obs.Str("estimator", estimator))
+
 	resp, ok := s.runPooled(w, r, func(ctx context.Context) (any, error) {
 		sc := exp.Scenario{
 			Type:       typ,
@@ -424,6 +492,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			Reps:       req.Replications,
 			Seed:       req.Seed,
 			Workers:    1, // concurrency is the pool's job, not the sweep's
+			Estimator:  estimator,
 		}
 		res, err := exp.RunSweepCtx(ctx, sc, algs, req.GridK)
 		if err != nil {

@@ -354,6 +354,7 @@ func (s *Server) runJob(ctx context.Context, run dist.JobRun) (any, error) {
 		cfg := exp.FigureConfig{
 			N: f.N, SigmaRatio: f.SigmaRatio, Instances: f.Instances,
 			Reps: f.Replications, GridK: f.GridK, Seed: f.Seed,
+			Estimator: f.Estimator,
 		}
 		// The three family sweeps have identical grids; progress spans
 		// all of them.

@@ -22,6 +22,7 @@ type Metrics struct {
 	requests   *expvar.Map // endpoint → request count
 	statuses   *expvar.Map // HTTP status → response count
 	algorithms *expvar.Map // algorithm → schedule requests (hits + plans)
+	estimators *expvar.Map // estimator (mc, analytic) → simulate/sweep requests
 	latencies  *expvar.Map // endpoint → latency histogram
 	jobs       *expvar.Map // async-job lifecycle event → count
 	shards     expvar.Int  // shards served via POST /v1/shards
@@ -61,6 +62,7 @@ func newMetrics(cache *planCache, pool *workerPool) *Metrics {
 		requests:   new(expvar.Map).Init(),
 		statuses:   new(expvar.Map).Init(),
 		algorithms: new(expvar.Map).Init(),
+		estimators: new(expvar.Map).Init(),
 		latencies:  new(expvar.Map).Init(),
 		jobs:       new(expvar.Map).Init(),
 		cache:      cache,
@@ -70,6 +72,7 @@ func newMetrics(cache *planCache, pool *workerPool) *Metrics {
 	m.root.Set("requests", m.requests)
 	m.root.Set("statuses", m.statuses)
 	m.root.Set("algorithms", m.algorithms)
+	m.root.Set("estimators", m.estimators)
 	m.root.Set("latencyMs", m.latencies)
 	m.root.Set("jobs", m.jobs)
 	m.root.Set("shardsServed", &m.shards)
@@ -104,6 +107,19 @@ func (m *Metrics) observe(endpoint string, status int, d time.Duration) {
 
 // observeAlgorithm counts one /v1/schedule request per algorithm.
 func (m *Metrics) observeAlgorithm(name string) { m.algorithms.Add(name, 1) }
+
+// observeEstimator counts one /v1/simulate or /v1/sweep request per
+// resolved estimator ("mc" or "analytic").
+func (m *Metrics) observeEstimator(name string) { m.estimators.Add(name, 1) }
+
+// EstimatorCount returns the number of simulate/sweep requests served
+// with the given estimator (tests assert the counter moves).
+func (m *Metrics) EstimatorCount(name string) int64 {
+	if v, ok := m.estimators.Get(name).(*expvar.Int); ok {
+		return v.Value()
+	}
+	return 0
+}
 
 // observeJob counts one async-job lifecycle event (submitted, deduped,
 // completed, failed, cancelRequested).

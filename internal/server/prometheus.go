@@ -74,6 +74,12 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 		fmt.Fprintf(w, "budgetwfd_schedule_algorithms_total{algorithm=%q} %d\n", escapeLabelValue(c.Key), c.Value)
 	}
 
+	fmt.Fprintln(w, "# HELP budgetwfd_estimator_requests_total Simulate/sweep requests, by estimator (mc, analytic).")
+	fmt.Fprintln(w, "# TYPE budgetwfd_estimator_requests_total counter")
+	for _, c := range mapCounters(m.estimators) {
+		fmt.Fprintf(w, "budgetwfd_estimator_requests_total{estimator=%q} %d\n", escapeLabelValue(c.Key), c.Value)
+	}
+
 	fmt.Fprintln(w, "# HELP budgetwfd_jobs_total Async-job lifecycle events, by event.")
 	fmt.Fprintln(w, "# TYPE budgetwfd_jobs_total counter")
 	for _, c := range mapCounters(m.jobs) {

@@ -7,6 +7,7 @@ import (
 	"io"
 	"math"
 
+	"budgetwf/internal/exp"
 	"budgetwf/internal/fault"
 	"budgetwf/internal/obs"
 	"budgetwf/internal/plan"
@@ -94,6 +95,13 @@ type simulateRequest struct {
 	// processing deadline for this request (it cannot extend the
 	// server-wide limit). Negative values are 400s.
 	TimeoutMillis float64 `json:"timeoutMillis,omitempty"`
+	// Estimator selects how the replication samples are produced:
+	// "mc" (Monte Carlo, the default) replays the schedule under
+	// sampled weights; "analytic" (internal/est) propagates moments
+	// once and reads the replications off the fitted quantile grid.
+	// The analytic estimator is incompatible with fault injection and
+	// with bandwidth contention (422s).
+	Estimator string `json:"estimator,omitempty"`
 }
 
 // summaryJSON mirrors stats.Summary on the wire.
@@ -166,6 +174,8 @@ type sweepRequest struct {
 	Instances    int    `json:"instances,omitempty"`
 	Replications int    `json:"replications,omitempty"`
 	Seed         uint64 `json:"seed,omitempty"`
+	// Estimator is "mc" (default) or "analytic", as in /v1/simulate.
+	Estimator string `json:"estimator,omitempty"`
 }
 
 // sweepPoint is one (algorithm, budget) cell of the sweep response.
@@ -277,6 +287,19 @@ func checkBudget(b float64) error {
 		return fmt.Errorf("invalid budget %v", b)
 	}
 	return nil
+}
+
+// normalizeEstimator resolves an optional estimator field to its
+// canonical name (empty defaults to "mc"). Unknown names are
+// malformed-value errors (HTTP 400), named per field.
+func normalizeEstimator(name string) (string, error) {
+	if name == "" {
+		return exp.EstimatorMC, nil
+	}
+	if !exp.ValidEstimator(name) {
+		return "", fmt.Errorf("estimator: must be %q or %q", exp.EstimatorMC, exp.EstimatorAnalytic)
+	}
+	return name, nil
 }
 
 // checkTimeoutMillis rejects malformed per-request timeouts (HTTP

@@ -217,11 +217,14 @@ func SampleWeights(w *wf.Workflow, r *rng.RNG) []float64 {
 
 // SampleWeightsOutliers draws realizations under the heavy-tail
 // outlier model of stoch.Outliers — the regime the online-rescheduling
-// extension targets.
+// extension targets. Outlier fire/no-fire decisions come from a
+// dedicated stream split off r, so the weight draws consumed from r
+// are identical to SampleWeights for any Prob (common random numbers).
 func SampleWeightsOutliers(w *wf.Workflow, r *rng.RNG, o stoch.Outliers) []float64 {
+	decisions := r.Split(stoch.OutlierStreamLabel)
 	out := make([]float64, w.NumTasks())
 	for _, t := range w.Tasks() {
-		out[t.ID] = o.Sample(t.Weight, r)
+		out[t.ID] = o.Sample(t.Weight, r, decisions)
 	}
 	return out
 }

@@ -97,10 +97,12 @@ func (r *Runner) RunStochastic(rand *rng.RNG) (*Result, error) {
 }
 
 // RunStochasticOutliers is RunStochastic under the heavy-tail outlier
-// model (see stoch.Outliers).
+// model (see stoch.Outliers). Decisions draw from a stream split off
+// rand so the weight stream matches RunStochastic exactly (CRN).
 func (r *Runner) RunStochasticOutliers(rand *rng.RNG, o stoch.Outliers) (*Result, error) {
+	decisions := rand.Split(stoch.OutlierStreamLabel)
 	for t, d := range r.dists {
-		r.buf[t] = o.Sample(d, rand)
+		r.buf[t] = o.Sample(d, rand, decisions)
 	}
 	return r.Run(r.buf)
 }

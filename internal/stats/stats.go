@@ -125,14 +125,27 @@ func Percentile(xs []float64, p float64) float64 {
 	if len(xs) == 0 {
 		return 0
 	}
+	if math.IsNaN(p) {
+		return math.NaN()
+	}
 	if p < 0 {
 		p = 0
 	}
 	if p > 100 {
 		p = 100
 	}
-	sorted := make([]float64, len(xs))
-	copy(sorted, xs)
+	// NaN elements are dropped rather than sorted: sort.Float64s gives
+	// no ordering guarantee for NaN, and a single propagated NaN would
+	// otherwise poison an arbitrary quantile. All-NaN input returns NaN.
+	sorted := make([]float64, 0, len(xs))
+	for _, x := range xs {
+		if !math.IsNaN(x) {
+			sorted = append(sorted, x)
+		}
+	}
+	if len(sorted) == 0 {
+		return math.NaN()
+	}
 	sort.Float64s(sorted)
 	if len(sorted) == 1 {
 		return sorted[0]

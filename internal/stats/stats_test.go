@@ -181,3 +181,42 @@ func TestSummaryString(t *testing.T) {
 		t.Errorf("String() = %q", got)
 	}
 }
+
+// TestPercentileEdgeCases pins the boundary behaviour: the extreme
+// percentiles are the min/max, a single sample is every percentile,
+// out-of-range p clamps, and NaN (in p or in the data) never silently
+// poisons an arbitrary rank.
+func TestPercentileEdgeCases(t *testing.T) {
+	nan := math.NaN()
+	cases := []struct {
+		name string
+		xs   []float64
+		p    float64
+		want float64 // NaN means "want NaN"
+	}{
+		{"p0 is min", []float64{3, 1, 2}, 0, 1},
+		{"p100 is max", []float64{3, 1, 2}, 100, 3},
+		{"p clamped below", []float64{3, 1, 2}, -5, 1},
+		{"p clamped above", []float64{3, 1, 2}, 200, 3},
+		{"single sample p0", []float64{7}, 0, 7},
+		{"single sample p50", []float64{7}, 50, 7},
+		{"single sample p100", []float64{7}, 100, 7},
+		{"empty", nil, 50, 0},
+		{"NaN p", []float64{1, 2}, nan, nan},
+		{"NaN element ignored", []float64{1, nan, 3}, 100, 3},
+		{"all NaN", []float64{nan, nan}, 50, nan},
+		{"interpolates", []float64{0, 10}, 25, 2.5},
+	}
+	for _, c := range cases {
+		got := Percentile(c.xs, c.p)
+		if math.IsNaN(c.want) {
+			if !math.IsNaN(got) {
+				t.Errorf("%s: Percentile = %v, want NaN", c.name, got)
+			}
+			continue
+		}
+		if got != c.want {
+			t.Errorf("%s: Percentile = %v, want %v", c.name, got, c.want)
+		}
+	}
+}

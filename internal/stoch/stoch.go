@@ -3,6 +3,21 @@
 // law with mean w̄ and standard deviation σ. Schedulers never see the
 // realized weight; they plan with the conservative estimate w̄ + σ
 // (§IV-A), while the simulator samples realizations at execution time.
+//
+// Truncation and who sees which moments: Sample rejects draws below
+// MinWeightFraction·Mean, so the distribution actually executed is a
+// left-truncated Gaussian whose true mean and variance differ from the
+// nominal (Mean, Sigma) — at σ/w̄ = 1.0 the realized mean is ≈ 29%
+// above w̄. This split is deliberate:
+//
+//   - Planners keep using the untruncated parameters: Conservative()
+//     returns w̄ + σ exactly as the paper specifies (§IV-A), and the
+//     planning-side bias is part of the reproduced methodology.
+//   - Estimators of *realized* outcomes (internal/est, or anything
+//     comparing against Monte Carlo) must use TruncatedMoments(), the
+//     exact moments of the distribution Sample draws from; using
+//     (Mean, Sigma²) instead introduces a bias that grows with σ/w̄
+//     across the paper's grid {0.25 … 1.00}.
 package stoch
 
 import (
@@ -65,6 +80,69 @@ func (d Dist) Sample(r *rng.RNG) float64 {
 	return floor
 }
 
+// TruncatedMoments returns the exact mean and variance of the
+// left-truncated Gaussian that Sample actually draws from: a normal
+// with parameters (Mean, Sigma) conditioned on exceeding the floor
+// MinWeightFraction·Mean. With Sigma == 0 it returns (Mean, 0).
+//
+// Writing α = (floor − μ)/σ and λ = φ(α)/(1 − Φ(α)) (the inverse
+// Mills ratio), the truncated moments are
+//
+//	E[W | W ≥ floor]   = μ + σ·λ
+//	Var[W | W ≥ floor] = σ²·(1 + α·λ − λ²)
+//
+// Both exceed/undershoot the nominal parameters increasingly as σ/μ
+// grows; TestTruncationBias pins the deviation at σ/w̄ = 1.0.
+func (d Dist) TruncatedMoments() (mean, variance float64) {
+	if d.Sigma == 0 {
+		return d.Mean, 0
+	}
+	floor := d.Mean * MinWeightFraction
+	alpha := (floor - d.Mean) / d.Sigma
+	lambda := normPDF(alpha) / (1 - normCDF(alpha))
+	mean = d.Mean + d.Sigma*lambda
+	variance = d.Sigma * d.Sigma * (1 + alpha*lambda - lambda*lambda)
+	if variance < 0 {
+		variance = 0 // numeric noise for extreme α; the exact value is tiny
+	}
+	return mean, variance
+}
+
+// TruncatedSkewness returns the skewness (standardized third central
+// moment) of the left-truncated Gaussian that Sample draws from. It is
+// scale-invariant, so a weight divided by a VM speed keeps it. With
+// the raw-moment recursion M_k = α^{k−1}·λ + (k−1)·M_{k−2} of the
+// standardized truncated normal, the third central moment is
+//
+//	m₃ = λ·(2λ² − 3αλ + α² − 1),  skew = m₃ / m₂^{3/2}
+//
+// Left truncation always skews right: the value is ≈0.59 at the top
+// of the paper's grid (σ/w̄ = 1.0) and vanishes as σ/w̄ → 0.
+func (d Dist) TruncatedSkewness() float64 {
+	if d.Sigma == 0 {
+		return 0
+	}
+	floor := d.Mean * MinWeightFraction
+	alpha := (floor - d.Mean) / d.Sigma
+	lambda := normPDF(alpha) / (1 - normCDF(alpha))
+	m2 := 1 + alpha*lambda - lambda*lambda
+	if m2 <= 0 {
+		return 0
+	}
+	m3 := lambda * (2*lambda*lambda - 3*alpha*lambda + alpha*alpha - 1)
+	return m3 / math.Pow(m2, 1.5)
+}
+
+// normPDF is the standard normal density φ.
+func normPDF(x float64) float64 {
+	return math.Exp(-x*x/2) / math.Sqrt(2*math.Pi)
+}
+
+// normCDF is the standard normal distribution function Φ.
+func normCDF(x float64) float64 {
+	return 0.5 * (1 + math.Erf(x/math.Sqrt2))
+}
+
 // SampleN draws n independent realizations.
 func (d Dist) SampleN(r *rng.RNG, n int) []float64 {
 	return d.SampleNInto(r, make([]float64, n))
@@ -103,10 +181,29 @@ type Outliers struct {
 	Factor float64
 }
 
-// Sample draws a weight from d, subject to the outlier model.
-func (o Outliers) Sample(d Dist, r *rng.RNG) float64 {
-	w := d.Sample(r)
-	if o.Prob > 0 && r.Float64() < o.Prob {
+// OutlierStreamLabel derives the dedicated outlier-decision stream
+// from a weight stream: decisions := weights.Split(OutlierStreamLabel).
+// Callers that loop over tasks split once and pass both streams to
+// Sample.
+const OutlierStreamLabel = 0x6f75746c69657273 // "outliers"
+
+// Sample draws a weight from d using the weight stream, subject to the
+// outlier model whose fire/no-fire decisions come from the separate
+// decisions stream.
+//
+// Keeping the two streams apart is what preserves common-random-number
+// pairing: the weight stream consumes exactly the draws Dist.Sample
+// consumes, whatever Prob is, so an Outliers{Prob: 0} run reproduces a
+// plain Dist.Sample run draw for draw, and runs at different Prob
+// values realize identical weights and differ only in which tasks the
+// outlier multiplier hits. A previous version drew the decision
+// uniform from the weight stream whenever Prob > 0 — one extra draw
+// per task even when the outlier did not fire — which desynchronized
+// the weight stream between paired runs (TestOutlierStreamAlignment
+// pins the fix).
+func (o Outliers) Sample(d Dist, weights, decisions *rng.RNG) float64 {
+	w := d.Sample(weights)
+	if o.Prob > 0 && decisions.Float64() < o.Prob {
 		w *= o.Factor
 	}
 	return w

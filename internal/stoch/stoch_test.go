@@ -123,6 +123,125 @@ func TestEstimateErrors(t *testing.T) {
 	}
 }
 
+// TestTruncationBias is the regression test for the truncation-bias
+// fix: at σ/w̄ = 1.0 the floor at MinWeightFraction·Mean cuts ≈16% of
+// the Gaussian's mass, so the distribution Sample actually draws from
+// has a mean well above the nominal Mean. An estimator using the
+// untruncated (Mean, Sigma²) — what the pre-fix code offered — is off
+// by ≈29% here; TruncatedMoments() must match the empirical moments.
+func TestTruncationBias(t *testing.T) {
+	d := Dist{Mean: 1000, Sigma: 1000} // σ/w̄ = 1.0, the top of the paper's grid
+	r := rng.New(21)
+	const n = 400000
+	sum, sumSq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		x := d.Sample(r)
+		sum += x
+		sumSq += x * x
+	}
+	empMean := sum / n
+	empVar := sumSq/n - empMean*empMean
+
+	// The bias is real: the realized mean clearly exceeds the nominal
+	// parameter. (With untruncated moments this margin is what an
+	// analytic estimator silently drops.)
+	if empMean <= d.Mean*1.2 {
+		t.Fatalf("empirical mean %.1f does not show the truncation bias above Mean=%v", empMean, d.Mean)
+	}
+
+	mean, variance := d.TruncatedMoments()
+	// Analytic reference: α = (floor−μ)/σ = -0.99, λ = φ(α)/(1−Φ(α)).
+	if relErr := math.Abs(empMean-mean) / mean; relErr > 0.005 {
+		t.Errorf("TruncatedMoments mean %.2f vs empirical %.2f (rel err %.4f)", mean, empMean, relErr)
+	}
+	if relErr := math.Abs(empVar-variance) / variance; relErr > 0.02 {
+		t.Errorf("TruncatedMoments variance %.1f vs empirical %.1f (rel err %.4f)", variance, empVar, relErr)
+	}
+	// The untruncated parameters must NOT match — this is the assertion
+	// that fails against the pre-fix package, where (Mean, Sigma²) was
+	// the only moment pair available.
+	if math.Abs(empMean-d.Mean)/d.Mean < 0.05 {
+		t.Errorf("empirical mean %.2f unexpectedly matches untruncated Mean %v", empMean, d.Mean)
+	}
+	if math.Abs(empVar-d.Sigma*d.Sigma)/(d.Sigma*d.Sigma) < 0.05 {
+		t.Errorf("empirical variance %.1f unexpectedly matches untruncated Sigma² %v", empVar, d.Sigma*d.Sigma)
+	}
+}
+
+// TestTruncatedMomentsSigmaZero: the degenerate distribution is its own
+// truncation.
+func TestTruncatedMomentsSigmaZero(t *testing.T) {
+	mean, variance := Dist{Mean: 42}.TruncatedMoments()
+	if mean != 42 || variance != 0 {
+		t.Fatalf("TruncatedMoments(σ=0) = (%v, %v)", mean, variance)
+	}
+}
+
+// TestTruncatedMomentsSmallSigma: with σ/w̄ = 0.25 the floor is ~4
+// standard deviations below the mean, so the truncated moments are
+// numerically indistinguishable from the nominal parameters.
+func TestTruncatedMomentsSmallSigma(t *testing.T) {
+	d := Dist{Mean: 1000, Sigma: 250}
+	mean, variance := d.TruncatedMoments()
+	if math.Abs(mean-d.Mean)/d.Mean > 1e-3 {
+		t.Errorf("mean %v strays from %v at σ/w̄=0.25", mean, d.Mean)
+	}
+	if math.Abs(variance-d.Sigma*d.Sigma)/(d.Sigma*d.Sigma) > 1e-2 {
+		t.Errorf("variance %v strays from %v at σ/w̄=0.25", variance, d.Sigma*d.Sigma)
+	}
+	if mean <= d.Mean {
+		t.Errorf("truncated mean %v must still exceed nominal %v", mean, d.Mean)
+	}
+}
+
+// TestOutlierStreamAlignment pins the CRN contract of Outliers.Sample:
+// the weight stream consumes exactly what plain Dist.Sample consumes,
+// so Outliers{Prob: 0} reproduces the unwrapped stream draw for draw,
+// and changing Prob changes which draws are scaled — never the draws
+// themselves.
+func TestOutlierStreamAlignment(t *testing.T) {
+	d := Dist{Mean: 100, Sigma: 50}
+	const n = 2000
+
+	plain := make([]float64, n)
+	r := rng.New(5)
+	for i := range plain {
+		plain[i] = d.Sample(r)
+	}
+
+	sample := func(o Outliers) []float64 {
+		weights := rng.New(5)
+		decisions := weights.Split(OutlierStreamLabel)
+		out := make([]float64, n)
+		for i := range out {
+			out[i] = o.Sample(d, weights, decisions)
+		}
+		return out
+	}
+
+	zero := sample(Outliers{Prob: 0, Factor: 10})
+	for i := range zero {
+		if zero[i] != plain[i] {
+			t.Fatalf("draw %d: Outliers{Prob:0} %v != plain %v", i, zero[i], plain[i])
+		}
+	}
+
+	hot := sample(Outliers{Prob: 0.1, Factor: 10})
+	fired := 0
+	for i := range hot {
+		switch hot[i] {
+		case plain[i]:
+		case plain[i] * 10:
+			fired++
+		default:
+			t.Fatalf("draw %d: %v is neither the paired weight %v nor 10× it", i, hot[i], plain[i])
+		}
+	}
+	if fired == 0 || fired == n {
+		t.Fatalf("outlier fired %d/%d times; expected a nontrivial fraction near 10%%", fired, n)
+	}
+}
+
 // Property: samples are always at least the truncation floor, for any
 // valid (mean, sigma) pair.
 func TestSampleFloorProperty(t *testing.T) {

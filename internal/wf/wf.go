@@ -154,6 +154,16 @@ func (w *Workflow) Edges() []Edge {
 	return out
 }
 
+// EdgesView returns the workflow's edge list without copying. The
+// caller must treat the returned slice as read-only; hot paths (the
+// analytic estimator, schedule validation) use it to walk every edge
+// without an allocation per call.
+func (w *Workflow) EdgesView() []Edge { return w.edges }
+
+// TasksView returns the workflow's task list without copying, indexed
+// by TaskID. The caller must treat the returned slice as read-only.
+func (w *Workflow) TasksView() []Task { return w.tasks }
+
 // Succ returns the outgoing edges of a task.
 func (w *Workflow) Succ(id TaskID) []Edge {
 	if err := w.checkID(id); err != nil {
