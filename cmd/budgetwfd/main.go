@@ -60,6 +60,7 @@ import (
 	"time"
 
 	"budgetwf/internal/dist"
+	"budgetwf/internal/obs"
 	"budgetwf/internal/server"
 )
 
@@ -162,10 +163,20 @@ func run(args []string) error {
 		hbCtx, cancel := context.WithCancel(context.Background())
 		hbCancel = cancel
 		hbDone = make(chan struct{})
+		// The worker's process-level flight recorder: heartbeat delivery
+		// events accumulate on it, and its id rides every beat so
+		// coordinators can correlate. It lives in this worker's own
+		// trace ring under the fixed id "worker", queryable even after
+		// every coordinator has forgotten this process.
+		wt := obs.New("worker:" + strings.TrimRight(*advertise, "/"))
+		wt.SetID("worker")
+		wt.Root().Set(obs.Str("advertise", strings.TrimRight(*advertise, "/")))
+		srv.Traces().Add(wt)
 		hb := &dist.Heartbeat{
 			Coordinators: splitPeers(*coordinator),
 			Self:         strings.TrimRight(*advertise, "/"),
 			Interval:     *heartbeatInterval,
+			Span:         wt.Root(),
 		}
 		go func() { hb.Run(hbCtx); close(hbDone) }()
 		fmt.Fprintf(os.Stderr, "budgetwfd: heartbeating to %s as %s every %s\n",

@@ -38,5 +38,7 @@ func runChaos(stdout io.Writer, workers, size int, seed int64, timeout time.Dura
 	fmt.Fprintf(stdout, "  journal: snapshot %dB + %d tail records\n", rep.SnapshotBytes, rep.TailRecords)
 	fmt.Fprintf(stdout, "  dispatch: %d shards, %d requeued, %d stolen, %d duplicates dropped\n",
 		rep.Dispatched, rep.Requeued, rep.Stolen, rep.Duplicates)
+	fmt.Fprintf(stdout, "  trace: %d spans stitched across coordinator + %d worker processes\n",
+		rep.TraceSpans, rep.TraceWorkerPids)
 	return nil
 }

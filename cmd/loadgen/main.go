@@ -233,6 +233,7 @@ func runJobs(stdout io.Writer, baseURL string, total, conc, distinct, size int, 
 	type jobResult struct {
 		state      string
 		deduped    bool
+		traceID    string
 		polls      int
 		reconnects int
 		latency    time.Duration
@@ -270,6 +271,7 @@ func runJobs(stdout io.Writer, baseURL string, total, conc, distinct, size int, 
 			var sub struct {
 				JobID   string `json:"jobId"`
 				Deduped bool   `json:"deduped"`
+				TraceID string `json:"traceId"`
 			}
 			for attempt := 0; ; attempt++ {
 				resp, err := client.Post(baseURL+"/v1/jobs", "application/json", bytes.NewReader(body))
@@ -329,7 +331,7 @@ func runJobs(stdout io.Writer, baseURL string, total, conc, distinct, size int, 
 				}
 				switch view.State {
 				case "done", "failed", "cancelled":
-					r := jobResult{state: view.State, deduped: sub.Deduped, polls: attempt + 1, reconnects: reconnects, latency: time.Since(t0)}
+					r := jobResult{state: view.State, deduped: sub.Deduped, traceID: sub.TraceID, polls: attempt + 1, reconnects: reconnects, latency: time.Since(t0)}
 					if view.Error != "" {
 						r.err = fmt.Errorf("job %s: %s", sub.JobID, view.Error)
 					}
@@ -378,6 +380,13 @@ func runJobs(stdout io.Writer, baseURL string, total, conc, distinct, size int, 
 	fmt.Fprintf(stdout, "  polls: %d total\n", polls)
 	fmt.Fprintf(stdout, "  reconnects (transport errors / 5xx retried): %d\n", reconnects)
 	fmt.Fprintf(stdout, "  job e2e latency p50=%v p90=%v p99=%v max=%v\n", pct(0.50), pct(0.90), pct(0.99), pct(1.0))
+	// Per-phase latency from one sampled done job's stitched trace.
+	for _, r := range results {
+		if r.state == "done" && r.traceID != "" {
+			reportJobPhases(stdout, client, baseURL, r.traceID)
+			break
+		}
+	}
 	if errs > 0 {
 		return fmt.Errorf("%d jobs errored", errs)
 	}

@@ -1,0 +1,103 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"time"
+
+	"budgetwf/internal/obs"
+)
+
+// Per-phase latency from a stitched job trace (-jobs mode): the
+// coordinator's GET /v1/traces/{traceId} returns the job's span tree
+// with each worker's compute subtree grafted under its dispatch span,
+// so the dispatch overhead (queueing, HTTP, retries) separates cleanly
+// from the worker-side compute time, and the root's tail past the last
+// shard is the merge.
+
+// jobPhases is the breakdown parsed from one stitched job trace.
+type jobPhases struct {
+	shards      int           // stitched shard spans contributing
+	dispatchP50 time.Duration // median shard overhead beyond worker compute
+	computeP50  time.Duration // median worker compute duration
+	merge       time.Duration // root tail after the last shard finished
+}
+
+// extractPhases walks the job trace: every "shard" child of the root
+// with a grafted "compute" subtree contributes one dispatch/compute
+// sample; shards that ran locally (no remote subtree) are skipped.
+func extractPhases(tr *obs.TraceJSON) (jobPhases, error) {
+	if tr == nil || tr.Root == nil {
+		return jobPhases{}, fmt.Errorf("empty trace")
+	}
+	us := func(v float64) time.Duration { return time.Duration(v * float64(time.Microsecond)) }
+	var disp, comp []time.Duration
+	lastEndUs := 0.0
+	for _, c := range tr.Root.Children {
+		if c.Name != "shard" {
+			continue
+		}
+		if end := c.StartUs + c.DurUs; end > lastEndUs {
+			lastEndUs = end
+		}
+		computeUs := 0.0
+		for _, cc := range c.Children {
+			if cc.Name == "compute" {
+				computeUs += cc.DurUs
+			}
+		}
+		if computeUs <= 0 || computeUs > c.DurUs {
+			continue
+		}
+		comp = append(comp, us(computeUs))
+		disp = append(disp, us(c.DurUs-computeUs))
+	}
+	if len(comp) == 0 {
+		return jobPhases{}, fmt.Errorf("no stitched shard spans in trace %q", tr.ID)
+	}
+	sort.Slice(disp, func(i, j int) bool { return disp[i] < disp[j] })
+	sort.Slice(comp, func(i, j int) bool { return comp[i] < comp[j] })
+	merge := us(tr.Root.DurUs - lastEndUs)
+	if merge < 0 {
+		merge = 0
+	}
+	return jobPhases{
+		shards:      len(comp),
+		dispatchP50: percentile(disp, 0.50),
+		computeP50:  percentile(comp, 0.50),
+		merge:       merge,
+	}, nil
+}
+
+// reportJobPhases fetches one sampled job's stitched trace and prints
+// the per-phase breakdown. A missing or unstitched trace (the ring
+// evicted it, or the job ran without remote workers) is reported as a
+// note, never as an error — the phases are a bonus, not the result.
+func reportJobPhases(stdout io.Writer, client *http.Client, baseURL, traceID string) {
+	resp, err := client.Get(baseURL + "/v1/traces/" + traceID)
+	if err != nil {
+		fmt.Fprintf(stdout, "  phases: trace %s unavailable (%v)\n", traceID, err)
+		return
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		fmt.Fprintf(stdout, "  phases: trace %s unavailable (status %d)\n", traceID, resp.StatusCode)
+		return
+	}
+	var tr obs.TraceJSON
+	if err := json.Unmarshal(raw, &tr); err != nil {
+		fmt.Fprintf(stdout, "  phases: trace %s unreadable (%v)\n", traceID, err)
+		return
+	}
+	ph, err := extractPhases(&tr)
+	if err != nil {
+		fmt.Fprintf(stdout, "  phases: %v (job ran without remote workers?)\n", err)
+		return
+	}
+	fmt.Fprintf(stdout, "  phases (trace %s, %d stitched shards): dispatch p50=%v compute p50=%v merge=%v\n",
+		traceID, ph.shards, ph.dispatchP50, ph.computeP50, ph.merge)
+}

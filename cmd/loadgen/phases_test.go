@@ -1,0 +1,57 @@
+package main
+
+import (
+	"testing"
+	"time"
+
+	"budgetwf/internal/obs"
+)
+
+func TestExtractPhases(t *testing.T) {
+	// Root runs [0, 1000]; two remote shards with stitched compute
+	// subtrees, one local shard (no compute child, skipped), and a
+	// 100µs merge tail after the last shard ends at 900.
+	tr := &obs.TraceJSON{
+		ID: "job-x",
+		Root: &obs.SpanJSON{
+			Name: "job:sweep", StartUs: 0, DurUs: 1000,
+			Children: []*obs.SpanJSON{
+				{Name: "shard", StartUs: 0, DurUs: 500, Children: []*obs.SpanJSON{
+					{Name: "compute", StartUs: 100, DurUs: 300},
+				}},
+				{Name: "shard", StartUs: 200, DurUs: 700, Children: []*obs.SpanJSON{
+					{Name: "compute", StartUs: 300, DurUs: 500},
+				}},
+				{Name: "shard", StartUs: 0, DurUs: 50}, // local: no compute
+			},
+		},
+	}
+	ph, err := extractPhases(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ph.shards != 2 {
+		t.Errorf("shards = %d, want 2", ph.shards)
+	}
+	// compute samples: 300µs, 500µs → p50 = 400µs; dispatch overhead:
+	// 200µs, 200µs → p50 = 200µs; merge tail: 1000 − 900 = 100µs.
+	if want := 400 * time.Microsecond; ph.computeP50 != want {
+		t.Errorf("compute p50 = %v, want %v", ph.computeP50, want)
+	}
+	if want := 200 * time.Microsecond; ph.dispatchP50 != want {
+		t.Errorf("dispatch p50 = %v, want %v", ph.dispatchP50, want)
+	}
+	if want := 100 * time.Microsecond; ph.merge != want {
+		t.Errorf("merge = %v, want %v", ph.merge, want)
+	}
+
+	// All-local traces are an error the caller downgrades to a note.
+	local := &obs.TraceJSON{Root: &obs.SpanJSON{Name: "job:sweep", DurUs: 10,
+		Children: []*obs.SpanJSON{{Name: "shard", DurUs: 5}}}}
+	if _, err := extractPhases(local); err == nil {
+		t.Error("unstitched trace must not yield phases")
+	}
+	if _, err := extractPhases(nil); err == nil {
+		t.Error("nil trace must not yield phases")
+	}
+}

@@ -55,6 +55,10 @@ type Report struct {
 	Requeued   int64
 	Stolen     int64
 	Duplicates int64
+
+	// Stitched job trace, fetched from the restarted coordinator.
+	TraceSpans      int // "X" events in the Chrome export
+	TraceWorkerPids int // distinct non-coordinator pids among them
 }
 
 // DefaultSweep returns a sweep spec sized so a 3-worker cluster chews
@@ -85,7 +89,10 @@ func DefaultSweep(size int) map[string]any {
 //  5. byte-compare the merged result against an undisturbed
 //     synchronous /v1/sweep on a surviving worker, and
 //  6. check the journal was compacted: a snapshot exists and the tail
-//     is bounded by the snapshot-every threshold.
+//     is bounded by the snapshot-every threshold, and
+//  7. fetch the job's stitched trace from the restarted coordinator
+//     and check it carries spans from the coordinator and from at
+//     least two distinct surviving workers.
 //
 // Any violated property is an error; a nil error means the
 // survivable-crash contract held.
@@ -139,7 +146,8 @@ func Run(sc Scenario) (*Report, error) {
 		return rep, fmt.Errorf("submit: status %d: %s", resp.StatusCode, raw)
 	}
 	var sub struct {
-		JobID string `json:"jobId"`
+		JobID   string `json:"jobId"`
+		TraceID string `json:"traceId"`
 	}
 	if err := json.Unmarshal(raw, &sub); err != nil || sub.JobID == "" {
 		return rep, fmt.Errorf("submit: bad body %q", raw)
@@ -281,8 +289,73 @@ func Run(sc Scenario) (*Report, error) {
 	if _, err := os.Stat(cluster.SnapshotPath()); err != nil {
 		return rep, fmt.Errorf("snapshot file: %w", err)
 	}
+
+	// 7. Cluster-wide tracing: the restarted coordinator re-ran the job
+	// under the same content-addressed trace id, so its ring must hold a
+	// stitched trace whose Chrome export shows the coordinator lane plus
+	// one lane per surviving worker that served a shard.
+	if sub.TraceID == "" {
+		return rep, fmt.Errorf("submit response carried no traceId")
+	}
+	spans, workerPids, coordSeen, err := fetchStitchedTrace(client, cluster.CoordURL(), sub.TraceID)
+	if err != nil {
+		return rep, err
+	}
+	rep.TraceSpans = spans
+	rep.TraceWorkerPids = workerPids
+	if !coordSeen {
+		return rep, fmt.Errorf("stitched trace %s has no coordinator (pid 0) spans", sub.TraceID)
+	}
+	minWorkers := 2
+	if sc.Workers < 3 {
+		// With fewer than three workers only one survives the kill.
+		minWorkers = 1
+	}
+	if workerPids < minWorkers {
+		return rep, fmt.Errorf("stitched trace %s attributes spans to %d worker processes, want >= %d",
+			sub.TraceID, workerPids, minWorkers)
+	}
+	logf("chaostest: stitched trace %s: %d spans across coordinator + %d workers", sub.TraceID, spans, workerPids)
 	keepDir = false
 	return rep, nil
+}
+
+// fetchStitchedTrace pulls the Chrome export of one trace and reduces
+// it to what the chaos contract checks: the number of complete ("X")
+// span events, how many distinct non-zero pids (remote workers) they
+// span, and whether pid 0 (the coordinator) contributed any.
+func fetchStitchedTrace(client *http.Client, baseURL, traceID string) (spans, workerPids int, coordSeen bool, err error) {
+	resp, err := client.Get(baseURL + "/v1/traces/" + traceID + "?format=chrome")
+	if err != nil {
+		return 0, 0, false, fmt.Errorf("trace fetch: %w", err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, 0, false, fmt.Errorf("trace fetch: status %d: %s", resp.StatusCode, raw)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Ph  string `json:"ph"`
+			PID int    `json:"pid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return 0, 0, false, fmt.Errorf("trace fetch: bad body: %w", err)
+	}
+	pids := map[int]bool{}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph != "X" {
+			continue
+		}
+		spans++
+		if ev.PID == 0 {
+			coordSeen = true
+		} else {
+			pids[ev.PID] = true
+		}
+	}
+	return spans, len(pids), coordSeen, nil
 }
 
 // normalizeResponse strips the request-scoped requestId from a sweep

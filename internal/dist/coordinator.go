@@ -90,6 +90,7 @@ type Coordinator struct {
 	statStolen     atomic.Int64
 	statLateDup    atomic.Int64
 	statLocalFB    atomic.Int64
+	statStitched   atomic.Int64
 }
 
 // CoordStats counts dispatch events over the coordinator's lifetime,
@@ -108,6 +109,9 @@ type CoordStats struct {
 	// LocalFallbacks is shards that exhausted remote attempts and ran
 	// on the coordinator.
 	LocalFallbacks int64 `json:"localFallbacks"`
+	// SpansStitched is worker-exported trace spans grafted into job
+	// traces.
+	SpansStitched int64 `json:"spansStitched"`
 }
 
 // Stats snapshots the dispatch counters.
@@ -118,6 +122,7 @@ func (c *Coordinator) Stats() CoordStats {
 		Stolen:         c.statStolen.Load(),
 		LateDuplicates: c.statLateDup.Load(),
 		LocalFallbacks: c.statLocalFB.Load(),
+		SpansStitched:  c.statStitched.Load(),
 	}
 }
 
@@ -481,15 +486,17 @@ func (c *Coordinator) runShards(ctx context.Context, base ShardRequest, total in
 	}
 	// accept merges a completed shard's units unless any are already
 	// covered — the (job, shard range, epoch) dedupe that makes steal
-	// races and previous-incarnation stragglers harmless.
-	accept := func(sh shard, resp *ShardResponse) {
+	// races and previous-incarnation stragglers harmless. It reports
+	// whether the result was merged, so the dispatcher can tag the
+	// shard's span as a dropped duplicate.
+	accept := func(sh shard, resp *ShardResponse) bool {
 		mu.Lock()
 		for i := sh.start; i < sh.end; i++ {
 			if covered[i] {
 				mu.Unlock()
 				c.statLateDup.Add(1)
 				c.logf("dist: dropping late duplicate shard [%d,%d)", sh.start, sh.end)
-				return
+				return false
 			}
 		}
 		for i := sh.start; i < sh.end; i++ {
@@ -509,6 +516,7 @@ func (c *Coordinator) runShards(ctx context.Context, base ShardRequest, total in
 		if opt.Progress != nil {
 			opt.Progress(done, total)
 		}
+		return true
 	}
 	requeue := func(shs ...shard) {
 		mu.Lock()
@@ -649,7 +657,7 @@ func (c *Coordinator) runShards(ctx context.Context, base ShardRequest, total in
 
 // dispatchHooks is the dispatcher's channel back into the run state.
 type dispatchHooks struct {
-	accept      func(shard, *ShardResponse)
+	accept      func(shard, *ShardResponse) bool
 	requeue     func(...shard)
 	fail        func(error)
 	track       func(*flight) int64
@@ -721,7 +729,9 @@ func (c *Coordinator) dispatch(runCtx, ctx context.Context, base ShardRequest, s
 			h.fail(fmt.Errorf("dist: local fallback for shard [%d,%d): %w", sh.start, sh.end, err))
 			return
 		}
-		h.accept(sh, resp)
+		if !h.accept(sh, resp) {
+			span.Set(obs.Bool("duplicateDropped", true))
+		}
 		return
 	}
 
@@ -757,17 +767,37 @@ func (c *Coordinator) dispatch(runCtx, ctx context.Context, base ShardRequest, s
 	span := opt.Span.Child("shard")
 	span.Set(obs.Str("worker", worker),
 		obs.Int("start", sh.start), obs.Int("end", sh.end), obs.Int("attempt", sh.attempts+1))
-	if sh.speculative {
-		span.Set(obs.Bool("speculative", true))
+	if opt.Epoch != 0 {
+		span.Set(obs.Int("epoch", opt.Epoch))
 	}
+	if sh.attempts > 0 {
+		span.Set(obs.Bool("retry", true))
+	}
+	if sh.speculative {
+		span.Set(obs.Bool("speculative", true), obs.Bool("stolen", true))
+	}
+	// Ask the worker for its compute subtree and hand it our span
+	// context, so the response stitches under this dispatch span.
+	req.Trace = span.Enabled()
+	sctx := span.SpanContext()
+	sctx.Epoch = opt.Epoch
 	id := h.track(&flight{sh: sh, worker: worker, started: time.Now()})
 	c.statDispatched.Add(1)
-	resp, retryAfter, err := c.callWorker(runCtx, worker, &req)
+	resp, retryAfter, err := c.callWorker(runCtx, worker, &req, sctx)
 	h.untrack(id)
 	if err == nil {
+		if resp.Trace != nil {
+			// Stitch the worker's subtree under the still-open dispatch
+			// span (its envelope is the clock-alignment anchor), then
+			// strip it: the merge and the journal carry payload only.
+			c.statStitched.Add(int64(span.GraftRemote(resp.Trace, worker)))
+			resp.Trace = nil
+		}
 		span.End()
 		c.unbench(worker)
-		h.accept(sh, resp)
+		if !h.accept(sh, resp) {
+			span.Set(obs.Bool("duplicateDropped", true))
+		}
 		return
 	}
 	span.Set(obs.Str("error", err.Error()))
@@ -867,9 +897,10 @@ func (c *Coordinator) unbench(worker string) {
 	c.mu.Unlock()
 }
 
-// callWorker does one POST /v1/shards round trip. On a 429 the second
+// callWorker does one POST /v1/shards round trip, propagating the
+// dispatch span's context as a request header. On a 429 the second
 // result carries the server's Retry-After.
-func (c *Coordinator) callWorker(ctx context.Context, baseURL string, req *ShardRequest) (*ShardResponse, time.Duration, error) {
+func (c *Coordinator) callWorker(ctx context.Context, baseURL string, req *ShardRequest, sctx obs.SpanContext) (*ShardResponse, time.Duration, error) {
 	body, err := json.Marshal(req)
 	if err != nil {
 		return nil, 0, err
@@ -881,6 +912,7 @@ func (c *Coordinator) callWorker(ctx context.Context, baseURL string, req *Shard
 		return nil, 0, err
 	}
 	hreq.Header.Set("Content-Type", "application/json")
+	obs.Inject(hreq.Header, sctx)
 	hresp, err := c.client().Do(hreq)
 	if err != nil {
 		return nil, 0, err

@@ -11,6 +11,8 @@ import (
 	"net/http"
 	"net/url"
 	"time"
+
+	"budgetwf/internal/obs"
 )
 
 // RegisterRequest is the body of POST /v1/workers: a worker announcing
@@ -39,8 +41,14 @@ type Heartbeat struct {
 	Client *http.Client
 	// Logf, when set, receives delivery diagnostics.
 	Logf func(format string, args ...any)
+	// Span, when set, is the worker's process-level flight-recorder
+	// span: its context rides every beat (obs.TraceHeader), and
+	// delivery failures plus the first success per coordinator are
+	// recorded as events on it.
+	Span *obs.Span
 
-	nonce string
+	nonce      string
+	registered map[string]bool // coordinators that have acked a beat
 }
 
 // NewNonce returns a fresh process-identity nonce.
@@ -86,6 +94,7 @@ func (h *Heartbeat) Run(ctx context.Context) {
 }
 
 func (h *Heartbeat) beat(ctx context.Context, client *http.Client, body []byte, logf func(string, ...any)) {
+	sctx := h.Span.SpanContext()
 	for _, coord := range h.Coordinators {
 		req, err := http.NewRequestWithContext(ctx, http.MethodPost, coord+"/v1/workers", bytes.NewReader(body))
 		if err != nil {
@@ -93,15 +102,28 @@ func (h *Heartbeat) beat(ctx context.Context, client *http.Client, body []byte, 
 			continue
 		}
 		req.Header.Set("Content-Type", "application/json")
+		obs.Inject(req.Header, sctx)
 		resp, err := client.Do(req)
 		if err != nil {
 			logf("dist: heartbeat to %s: %v", coord, err)
+			h.Span.Event("heartbeat-error",
+				obs.Str("coordinator", coord), obs.Str("error", err.Error()))
 			continue
 		}
 		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
 		resp.Body.Close()
 		if resp.StatusCode/100 != 2 {
 			logf("dist: heartbeat to %s: status %d", coord, resp.StatusCode)
+			h.Span.Event("heartbeat-rejected",
+				obs.Str("coordinator", coord), obs.Int("status", resp.StatusCode))
+			continue
+		}
+		if !h.registered[coord] {
+			if h.registered == nil {
+				h.registered = make(map[string]bool)
+			}
+			h.registered[coord] = true
+			h.Span.Event("registered", obs.Str("coordinator", coord))
 		}
 	}
 }

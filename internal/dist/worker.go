@@ -4,6 +4,7 @@ import (
 	"context"
 
 	"budgetwf/internal/exp"
+	"budgetwf/internal/obs"
 )
 
 // ShardRequest is the body of POST /v1/shards: one contiguous unit
@@ -20,6 +21,9 @@ type ShardRequest struct {
 	RepBlock int `json:"repBlock,omitempty"`
 	Start    int `json:"start"`
 	End      int `json:"end"`
+	// Trace asks the worker to export its compute span subtree in the
+	// response so the coordinator can stitch it into the job trace.
+	Trace bool `json:"trace,omitempty"`
 }
 
 // Normalize resolves the payload spec's defaults in place, so a hand-
@@ -73,6 +77,11 @@ func (r *ShardRequest) Units() int { return r.End - r.Start }
 type ShardResponse struct {
 	SweepUnits []exp.SweepUnitResult `json:"sweepUnits,omitempty"`
 	FaultUnits []exp.FaultUnitResult `json:"faultUnits,omitempty"`
+	// Trace is the worker's exported compute subtree (when the request
+	// set Trace): timestamps are the worker's own monotonic anchors,
+	// which the coordinator's stitcher aligns. The coordinator strips
+	// it before merging/journalling the payload.
+	Trace *obs.SpanWire `json:"trace,omitempty"`
 }
 
 // ExecuteShard evaluates the shard on the local machine with at most

@@ -114,11 +114,16 @@ type Event struct {
 // Span is one node of the trace tree. The zero of *Span (nil) is the
 // disabled tracer: every method on a nil receiver is a no-op.
 type Span struct {
-	trace    *Trace
-	name     string
-	start    time.Duration
-	end      time.Duration
-	ended    bool
+	trace *Trace
+	id    int // per-trace serial, root = 1; serialized in SpanContext
+	name  string
+	start time.Duration
+	end   time.Duration
+	ended bool
+	// frozen marks a span imported from another process (Graft): its
+	// end timestamp is authoritative even while InFlight, so exporters
+	// must not substitute the snapshot instant.
+	frozen   bool
 	attrs    []Attr
 	events   []Event
 	children []*Span
@@ -134,6 +139,7 @@ type Trace struct {
 	epoch   time.Time
 	root    *Span
 	nodes   int
+	seq     int // last span id handed out
 	dropped int
 }
 
@@ -142,8 +148,9 @@ type Trace struct {
 // meaningful durations, though exporters tolerate open spans.
 func New(name string) *Trace {
 	t := &Trace{name: name, epoch: time.Now()}
-	t.root = &Span{trace: t, name: name}
+	t.root = &Span{trace: t, id: 1, name: name}
 	t.nodes = 1
+	t.seq = 1
 	return t
 }
 
@@ -189,9 +196,11 @@ func (s *Span) Child(name string) *Span {
 	defer t.mu.Unlock()
 	if t.nodes >= maxNodes {
 		t.dropped++
+		droppedTotal.Add(1)
 		return nil
 	}
-	c := &Span{trace: t, name: name, start: t.now()}
+	t.seq++
+	c := &Span{trace: t, id: t.seq, name: name, start: t.now()}
 	s.children = append(s.children, c)
 	t.nodes++
 	return c
@@ -217,6 +226,7 @@ func (s *Span) Event(name string, attrs ...Attr) {
 	defer t.mu.Unlock()
 	if t.nodes >= maxNodes {
 		t.dropped++
+		droppedTotal.Add(1)
 		return
 	}
 	s.events = append(s.events, Event{Name: name, At: t.now(), Attrs: attrs})
@@ -289,14 +299,23 @@ func (t *Trace) Tree() *TraceJSON {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	now := t.now()
-	return &TraceJSON{ID: t.id, Name: t.name, Dropped: t.dropped, Root: t.root.tree(now)}
+	root := t.root.tree(now)
+	if t.dropped > 0 {
+		// Surface truncation on the tree itself, not only in the
+		// envelope: a grafted or re-exported root keeps the signal.
+		if root.Attrs == nil {
+			root.Attrs = make(map[string]any, 1)
+		}
+		root.Attrs[DroppedAttr] = t.dropped
+	}
+	return &TraceJSON{ID: t.id, Name: t.name, Dropped: t.dropped, Root: root}
 }
 
 // tree renders one span (caller holds the trace mutex).
 func (s *Span) tree(now time.Duration) *SpanJSON {
 	end := s.end
 	inFlight := !s.ended
-	if inFlight {
+	if inFlight && !s.frozen {
 		end = now
 	}
 	out := &SpanJSON{

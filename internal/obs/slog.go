@@ -30,7 +30,7 @@ func (s *Span) log(l *slog.Logger, id, path string, now time.Duration) {
 		path = path + "/" + s.name
 	}
 	end := s.end
-	if !s.ended {
+	if !s.ended && !s.frozen {
 		end = now
 	}
 	args := []any{

@@ -257,9 +257,19 @@ func (s *Server) handleShard(w http.ResponseWriter, r *http.Request) {
 	resp, ok := s.runPooled(w, r, func(ctx context.Context) (any, error) {
 		// Workers=1: like /v1/sweep, concurrency across shards is the
 		// pool's job; one shard occupies exactly one slot.
+		sp := root.Child("compute")
 		out, err := dist.ExecuteShard(ctx, &req, 1)
+		sp.End()
 		if err != nil {
 			return nil, err
+		}
+		if req.Trace {
+			// Export the compute subtree for the coordinator's stitcher;
+			// timestamps stay on this process's monotonic clock.
+			if wire := sp.Export(); wire != nil {
+				out.Trace = wire
+				s.metrics.observeTraceExported(wire.Nodes())
+			}
 		}
 		s.metrics.observeShard()
 		return out, nil

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"budgetwf/internal/dist"
+	"budgetwf/internal/obs"
 	"budgetwf/internal/pool"
 )
 
@@ -26,7 +27,10 @@ type Metrics struct {
 	latencies  *expvar.Map // endpoint → latency histogram
 	jobs       *expvar.Map // async-job lifecycle event → count
 	shards     expvar.Int  // shards served via POST /v1/shards
-	panics     expvar.Int
+	// traceExported counts spans exported into shard responses for
+	// coordinator-side stitching.
+	traceExported expvar.Int
+	panics        expvar.Int
 
 	mu        sync.Mutex // guards lazy histogram creation
 	cache     *planCache
@@ -76,6 +80,12 @@ func newMetrics(cache *planCache, pool *workerPool) *Metrics {
 	m.root.Set("latencyMs", m.latencies)
 	m.root.Set("jobs", m.jobs)
 	m.root.Set("shardsServed", &m.shards)
+	m.root.Set("traces", expvar.Func(func() any {
+		return map[string]any{
+			"spansExported": m.traceExported.Value(),
+			"spansDropped":  obs.DroppedTotal(),
+		}
+	}))
 	m.root.Set("panics", &m.panics)
 	m.root.Set("cache", expvar.Func(func() any {
 		return map[string]any{
@@ -127,6 +137,12 @@ func (m *Metrics) observeJob(event string) { m.jobs.Add(event, 1) }
 
 // observeShard counts one shard served via POST /v1/shards.
 func (m *Metrics) observeShard() { m.shards.Add(1) }
+
+// observeTraceExported counts spans exported into a shard response.
+func (m *Metrics) observeTraceExported(n int) { m.traceExported.Add(int64(n)) }
+
+// TraceSpansExported returns the exported-span counter (tests).
+func (m *Metrics) TraceSpansExported() int64 { return m.traceExported.Value() }
 
 // setJobStates installs the live job-state gauge (state → count) and
 // publishes it under "jobStates" in the expvar map.

@@ -6,6 +6,7 @@ import (
 	"log/slog"
 	"net/http"
 	"runtime/debug"
+	"strconv"
 	"time"
 
 	"budgetwf/internal/obs"
@@ -61,6 +62,14 @@ func (s *Server) wrap(endpoint string, h http.HandlerFunc) http.Handler {
 		root := tr.Root()
 		root.Set(obs.Str("requestId", id), obs.Str("method", r.Method),
 			obs.Str("path", r.URL.Path))
+		if rc, ok := obs.Extract(r.Header); ok {
+			// A coordinator sent its span context: record the linkage and
+			// key the local trace by it, so this worker's flight-recorder
+			// ring is greppable by the originating job trace.
+			root.Set(obs.Str("parentTrace", rc.TraceID),
+				obs.Int("parentSpan", rc.SpanID), obs.Int("epoch", rc.Epoch))
+			tr.SetID(rc.TraceID + "." + strconv.Itoa(rc.SpanID) + "." + id)
+		}
 		ctx = context.WithValue(ctx, traceKey{}, tr)
 		r = r.WithContext(ctx)
 		w.Header().Set("X-Request-Id", id)

@@ -8,6 +8,7 @@ import (
 	"strings"
 	"time"
 
+	"budgetwf/internal/obs"
 	"budgetwf/internal/pool"
 )
 
@@ -104,6 +105,8 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 	fmt.Fprintln(w, "# TYPE budgetwfd_shards_served_total counter")
 	fmt.Fprintf(w, "budgetwfd_shards_served_total %d\n", m.shards.Value())
 
+	m.writePrometheusTraces(w)
+
 	m.writePrometheusCluster(w)
 
 	fmt.Fprintln(w, "# HELP budgetwfd_panics_total Handler panics recovered by the middleware.")
@@ -137,6 +140,26 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 	fmt.Fprintf(w, "budgetwfd_pool_in_flight %d\n", m.pool.inFlightCount())
 
 	m.writePrometheusSharedPool(w)
+}
+
+// writePrometheusTraces renders the distributed-tracing families:
+// spans exported into shard responses (a worker-side counter), spans
+// stitched into job traces (coordinator-side, when the cluster gauge
+// is installed), and spans dropped at the per-trace node cap.
+func (m *Metrics) writePrometheusTraces(w io.Writer) {
+	fmt.Fprintln(w, "# HELP budgetwfd_trace_spans_exported_total Spans exported into shard responses for coordinator-side stitching.")
+	fmt.Fprintln(w, "# TYPE budgetwfd_trace_spans_exported_total counter")
+	fmt.Fprintf(w, "budgetwfd_trace_spans_exported_total %d\n", m.traceExported.Value())
+	var stitched int64
+	if m.cluster != nil {
+		stitched = m.cluster().Coordinator.SpansStitched
+	}
+	fmt.Fprintln(w, "# HELP budgetwfd_trace_spans_stitched_total Worker spans grafted into stitched job traces.")
+	fmt.Fprintln(w, "# TYPE budgetwfd_trace_spans_stitched_total counter")
+	fmt.Fprintf(w, "budgetwfd_trace_spans_stitched_total %d\n", stitched)
+	fmt.Fprintln(w, "# HELP budgetwfd_trace_spans_dropped_total Spans/events discarded at the per-trace node cap, process-wide.")
+	fmt.Fprintln(w, "# TYPE budgetwfd_trace_spans_dropped_total counter")
+	fmt.Fprintf(w, "budgetwfd_trace_spans_dropped_total %d\n", obs.DroppedTotal())
 }
 
 // writePrometheusCluster renders the cluster control-plane families:

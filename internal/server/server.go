@@ -321,6 +321,10 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // hit/miss counters through it).
 func (s *Server) Metrics() *Metrics { return s.metrics }
 
+// Traces exposes the server's trace ring, so the daemon can seed it
+// with process-level traces (a worker's heartbeat flight recorder).
+func (s *Server) Traces() *obs.Ring { return s.traces }
+
 // PublishExpvar publishes the server's metrics map into the global
 // expvar namespace under the given name, once per process; repeated
 // calls (or name collisions from tests) are ignored rather than

@@ -46,6 +46,10 @@ var ringEndpoints = map[string]bool{
 	"simulate": true,
 	"sweep":    true,
 	"submit":   true,
+	// shards makes a worker's ring a local flight recorder: each shard
+	// it computed stays queryable (keyed by the coordinator's trace id)
+	// even after the coordinator forgot the job.
+	"shards": true,
 }
 
 // handleTraceList serves GET /v1/traces: the retained request IDs,
@@ -59,12 +63,22 @@ func (s *Server) handleTraceList(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleTraceGet serves GET /v1/traces/{id}: the stored span tree of
-// a recent request.
+// a recent request. ?format=chrome returns the Chrome trace-event
+// document instead — for a stitched job trace it renders one swimlane
+// per worker (see obs.ChromeTrace).
 func (s *Server) handleTraceGet(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	tr, ok := s.traces.Get(id)
 	if !ok {
 		writeError(w, http.StatusNotFound, "no trace retained for request "+id, requestID(r.Context()))
+		return
+	}
+	if r.URL.Query().Get("format") == "chrome" {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		if err := tr.WriteChrome(w); err != nil {
+			s.log.Error("writing chrome trace", "error", err)
+		}
 		return
 	}
 	writeJSON(w, http.StatusOK, tr.Tree())

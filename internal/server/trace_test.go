@@ -1,11 +1,15 @@
 package server
 
 import (
+	"bytes"
 	"encoding/json"
+	"io"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"testing"
 
+	"budgetwf/internal/dist"
 	"budgetwf/internal/obs"
 )
 
@@ -210,6 +214,218 @@ func TestSimulateFaultTraceHasCrashEvents(t *testing.T) {
 	}
 	if got := countEvents(resp.Trace.Root, "recovery-vetoed"); got == 0 {
 		t.Errorf("tight budget produced no recovery-vetoed events")
+	}
+}
+
+// TestShardTraceExportAndFlightRecorder: a traced POST /v1/shards
+// carries the remote span context in the header, returns the worker's
+// exported compute subtree, and leaves the request trace in the ring
+// under an id derived from the coordinator's context — the worker-side
+// flight recorder.
+func TestShardTraceExportAndFlightRecorder(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	body, _ := json.Marshal(map[string]any{
+		"kind": "sweep",
+		"sweep": map[string]any{
+			"workflowType": "chain", "n": 6, "algorithms": []string{"heft"},
+			"gridK": 2, "instances": 1, "replications": 2, "seed": 3,
+		},
+		"start": 0, "end": 2, "trace": true,
+	})
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/shards", bytes.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(obs.TraceHeader, "job-abc;3;1")
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("shards = %d: %s", resp.StatusCode, data)
+	}
+	var out dist.ShardResponse
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Trace == nil || out.Trace.Name != "compute" {
+		t.Fatalf("traced shard response lacks the compute subtree: %s", data)
+	}
+	if out.Trace.EndNs < out.Trace.StartNs {
+		t.Errorf("exported compute span runs backwards: [%d,%d]", out.Trace.StartNs, out.Trace.EndNs)
+	}
+	if got := s.Metrics().TraceSpansExported(); got < 1 {
+		t.Errorf("TraceSpansExported = %d, want >= 1", got)
+	}
+
+	// The flight recorder retains the request trace under the derived
+	// id <parentTrace>.<parentSpan>.<requestId>.
+	code, data := get(t, ts, "/v1/traces")
+	if code != http.StatusOK {
+		t.Fatalf("GET /v1/traces = %d", code)
+	}
+	var list struct {
+		Traces []string `json:"traces"`
+	}
+	if err := json.Unmarshal(data, &list); err != nil {
+		t.Fatal(err)
+	}
+	var derived string
+	for _, id := range list.Traces {
+		if strings.HasPrefix(id, "job-abc.3.") {
+			derived = id
+		}
+	}
+	if derived == "" {
+		t.Fatalf("trace list %v has no id derived from job-abc;3;1", list.Traces)
+	}
+	code, data = get(t, ts, "/v1/traces/"+derived)
+	if code != http.StatusOK {
+		t.Fatalf("GET /v1/traces/%s = %d", derived, code)
+	}
+	var stored obs.TraceJSON
+	if err := json.Unmarshal(data, &stored); err != nil {
+		t.Fatal(err)
+	}
+	if !hasSpan(stored.Root, "compute") {
+		var names []string
+		spanNames(stored.Root, &names)
+		t.Fatalf("flight-recorder trace lacks the compute span: %v", names)
+	}
+	if stored.Root.Attrs["parentTrace"] != "job-abc" || stored.Root.Attrs["parentSpan"] != float64(3) {
+		t.Errorf("root attrs %v lack the remote parent context", stored.Root.Attrs)
+	}
+
+	// An untraced shard request exports nothing.
+	body, _ = json.Marshal(map[string]any{
+		"kind": "sweep",
+		"sweep": map[string]any{
+			"workflowType": "chain", "n": 6, "algorithms": []string{"heft"},
+			"gridK": 2, "instances": 1, "replications": 2, "seed": 3,
+		},
+		"start": 0, "end": 2,
+	})
+	code, data, _ = post(t, ts, "/v1/shards", body)
+	if code != http.StatusOK {
+		t.Fatalf("untraced shards = %d", code)
+	}
+	var raw map[string]json.RawMessage
+	json.Unmarshal(data, &raw)
+	if _, present := raw["trace"]; present {
+		t.Errorf("untraced shard response carries a trace field")
+	}
+}
+
+// TestClusterJobStitchedTrace is the end-to-end acceptance path: a job
+// sharded over two worker daemons yields one stitched trace on the
+// coordinator, every compute span attributed to its worker, and the
+// Chrome export lanes the three processes separately.
+func TestClusterJobStitchedTrace(t *testing.T) {
+	w1 := newTestServer(t, Config{Workers: 1})
+	w2 := newTestServer(t, Config{Workers: 1})
+	tw1 := httptest.NewServer(w1.Handler())
+	defer tw1.Close()
+	tw2 := httptest.NewServer(w2.Handler())
+	defer tw2.Close()
+	coord := newTestServer(t, Config{Workers: 1, Peers: []string{tw1.URL, tw2.URL}})
+	tc := httptest.NewServer(coord.Handler())
+	defer tc.Close()
+
+	code, data, _ := post(t, tc, "/v1/jobs", sweepJobBody(77))
+	if code != http.StatusAccepted {
+		t.Fatalf("submit = %d (%s)", code, data)
+	}
+	var sub struct {
+		JobID   string `json:"jobId"`
+		TraceID string `json:"traceId"`
+	}
+	json.Unmarshal(data, &sub)
+	if sub.TraceID == "" {
+		t.Fatalf("submit response has no traceId: %s", data)
+	}
+	if view := pollJob(t, tc, sub.JobID); view.State != dist.StateDone {
+		t.Fatalf("job = %s (%s), want done", view.State, view.Error)
+	}
+
+	code, data = get(t, tc, "/v1/traces/"+sub.TraceID)
+	if code != http.StatusOK {
+		t.Fatalf("GET /v1/traces/%s = %d", sub.TraceID, code)
+	}
+	var tr obs.TraceJSON
+	if err := json.Unmarshal(data, &tr); err != nil {
+		t.Fatal(err)
+	}
+	procs := map[any]int{}
+	for _, sh := range tr.Root.Children {
+		if sh.Name != "shard" {
+			continue
+		}
+		for _, c := range sh.Children {
+			if c.Name == "compute" {
+				procs[c.Attrs[obs.ProcessAttr]]++
+				if _, ok := sh.Attrs["clockOffsetUs"]; !ok {
+					t.Errorf("stitched shard span lacks clockOffsetUs: %v", sh.Attrs)
+				}
+			}
+		}
+	}
+	if len(procs) < 2 || procs[tw1.URL] == 0 || procs[tw2.URL] == 0 {
+		t.Fatalf("stitched compute spans per process = %v, want both %s and %s", procs, tw1.URL, tw2.URL)
+	}
+
+	// Chrome export: one process_name meta per process, spans laned
+	// under distinct non-zero pids for the workers.
+	code, data = get(t, tc, "/v1/traces/"+sub.TraceID+"?format=chrome")
+	if code != http.StatusOK {
+		t.Fatalf("chrome export = %d", code)
+	}
+	var doc obs.ChromeTrace
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatal(err)
+	}
+	metas, workerPids, coordSpans := 0, map[int]bool{}, 0
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "M" && ev.Name == "process_name" {
+			metas++
+		}
+		if ev.Ph == "X" {
+			if ev.PID == 0 {
+				coordSpans++
+			} else {
+				workerPids[ev.PID] = true
+			}
+		}
+	}
+	if metas != 3 {
+		t.Errorf("process_name metas = %d, want 3 (coordinator + 2 workers)", metas)
+	}
+	if coordSpans == 0 || len(workerPids) != 2 {
+		t.Errorf("chrome lanes: %d coordinator spans, %d worker pids; want >0 and 2", coordSpans, len(workerPids))
+	}
+
+	// Each worker's flight recorder kept its shard traces, keyed by the
+	// job's trace id.
+	for _, tw := range []*httptest.Server{tw1, tw2} {
+		code, data = get(t, tw, "/v1/traces")
+		if code != http.StatusOK {
+			t.Fatalf("worker GET /v1/traces = %d", code)
+		}
+		var list struct {
+			Traces []string `json:"traces"`
+		}
+		json.Unmarshal(data, &list)
+		found := false
+		for _, id := range list.Traces {
+			if strings.HasPrefix(id, sub.TraceID+".") {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("worker flight recorder %v retains nothing for %s", list.Traces, sub.TraceID)
+		}
 	}
 }
 
