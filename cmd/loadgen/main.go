@@ -72,6 +72,7 @@ func run(args []string, stdout io.Writer) error {
 	jobTimeout := fs.Duration("job-timeout", 5*time.Minute, "give up polling a job after this long")
 	tenants := fs.Int("tenants", 0, "multi-tenant mode: spread submissions over this many tenants against POST /v1/submit of a pool-enabled daemon (budgetwfd -pool)")
 	chaos := fs.Bool("chaos", false, "chaos mode: boot a local multi-process cluster, kill a worker and restart the coordinator mid-sweep, and byte-diff the merged result against an undisturbed run")
+	spot := fs.Bool("spot", false, "spot-market mode: sweep a two-provider spot market via POST /v1/sweep and report revocation and rework-cost aggregates")
 	chaosWorkers := fs.Int("chaos-workers", 3, "shard workers in the -chaos cluster")
 	chaosSeed := fs.Int64("chaos-seed", 1, "seed picking which worker dies in -chaos mode")
 	if err := fs.Parse(args); err != nil {
@@ -89,6 +90,19 @@ func run(args []string, stdout io.Writer) error {
 			chaosSize = *size
 		}
 		return runChaos(stdout, *chaosWorkers, chaosSize, *chaosSeed, *jobTimeout)
+	}
+	if *spot {
+		// Sweeps are far heavier than single schedules; only an explicit
+		// -n overrides a spot-sized default request count.
+		spotTotal := 8
+		if flagWasSet(fs, "n") {
+			spotTotal = *total
+		}
+		spotSize := 20
+		if flagWasSet(fs, "size") {
+			spotSize = *size
+		}
+		return runSpot(stdout, *baseURL, spotTotal, *conc, spotSize, *retries, *retryCap)
 	}
 	if *jobsMode {
 		return runJobs(stdout, *baseURL, *total, *conc, *distinct, *size, *retryCap, *jobTimeout)

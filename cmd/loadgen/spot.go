@@ -1,0 +1,211 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// The -spot mode: fire spot-market sweep requests at POST /v1/sweep
+// and fold the per-point spot aggregates — VM bookings, revocations,
+// rework cost — into the run summary. Each request sweeps the same
+// two-provider market under a distinct seed, so the daemon's spot
+// metric families (budgetwfd_spot_*_total) advance measurably while
+// the client-side report cross-checks what the server accounted.
+
+// spotSweepMarket is the market swept by every -spot request: two
+// providers, a revocable spot twin on the home provider's small
+// category, and a priced cross-provider transfer link.
+const spotSweepMarket = `{
+  "providers": [
+    {"name": "alpha", "categories": [
+      {"name": "small", "speed": 1e9, "costPerSec": 6.444e-6, "initCost": 0.0001,
+       "spot": {"discount": 0.6, "revocationsPerHour": 4}},
+      {"name": "large", "speed": 4e9, "costPerSec": 5.155e-5, "initCost": 0.0001}
+    ]},
+    {"name": "beta", "categories": [
+      {"name": "std", "speed": 2e9, "costPerSec": 1.823e-5, "initCost": 0.0001}
+    ]}
+  ],
+  "transfer": [[{}, {"costPerGB": 0.02, "latencySec": 0.5}],
+               [{"costPerGB": 0.02, "latencySec": 0.5}, {}]]
+}`
+
+// spotAggregates are the spot outcomes parsed from one /v1/sweep
+// response: sums of the per-execution means over every (algorithm,
+// budget) point, plus the worst completion fraction across points.
+type spotAggregates struct {
+	Points      int
+	SpotVMs     float64
+	Revocations float64
+	ReworkCost  float64
+	MinSuccess  float64
+}
+
+// parseSpotAggregates folds a sweep response body into spotAggregates.
+// A response without any points is an error: a spot sweep that
+// produced nothing to aggregate means the request was wrong, not that
+// the market was calm.
+func parseSpotAggregates(body []byte) (spotAggregates, error) {
+	var resp struct {
+		Series []struct {
+			Points []struct {
+				SuccessFrac float64 `json:"successFrac"`
+				SpotVMs     float64 `json:"spotVMs"`
+				Revocations float64 `json:"revocations"`
+				ReworkCost  float64 `json:"reworkCost"`
+			} `json:"points"`
+		} `json:"series"`
+	}
+	if err := json.Unmarshal(body, &resp); err != nil {
+		return spotAggregates{}, err
+	}
+	agg := spotAggregates{MinSuccess: 1}
+	for _, s := range resp.Series {
+		for _, p := range s.Points {
+			agg.Points++
+			agg.SpotVMs += p.SpotVMs
+			agg.Revocations += p.Revocations
+			agg.ReworkCost += p.ReworkCost
+			if p.SuccessFrac < agg.MinSuccess {
+				agg.MinSuccess = p.SuccessFrac
+			}
+		}
+	}
+	if agg.Points == 0 {
+		return spotAggregates{}, fmt.Errorf("no sweep points in response")
+	}
+	return agg, nil
+}
+
+// runSpot drives the -spot mode: total spot-market sweeps against
+// POST /v1/sweep with the shared 429 backoff, each under its own seed,
+// summarized with the parsed spot aggregates.
+func runSpot(stdout io.Writer, baseURL string, total, conc, size int, retries int, retryCap time.Duration) error {
+	type result struct {
+		status  int
+		agg     spotAggregates
+		parsed  bool
+		retried int
+		latency time.Duration
+		err     error
+	}
+	results := make([]result, total)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, conc)
+	client := &http.Client{Timeout: 5 * time.Minute}
+	start := time.Now()
+	for i := 0; i < total; i++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			rnd := rand.New(rand.NewSource(int64(i) + 1))
+			body, _ := json.Marshal(map[string]any{
+				"workflowType": "montage",
+				"n":            size,
+				"algorithms":   []string{"heftbudg-spot"},
+				"gridK":        3,
+				"instances":    1,
+				"replications": 4,
+				"seed":         2000 + i,
+				"market":       json.RawMessage(spotSweepMarket),
+			})
+			t0 := time.Now()
+			var resp *http.Response
+			var err error
+			retried := 0
+			for attempt := 0; ; attempt++ {
+				resp, err = client.Post(baseURL+"/v1/sweep", "application/json", bytes.NewReader(body))
+				if err != nil {
+					results[i] = result{err: err, retried: retried}
+					return
+				}
+				if resp.StatusCode != http.StatusTooManyRequests || attempt >= retries {
+					break
+				}
+				retryAfter := resp.Header.Get("Retry-After")
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				time.Sleep(retryDelay(retryAfter, attempt, retryCap, rnd, time.Now()))
+				retried++
+			}
+			raw, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			r := result{status: resp.StatusCode, retried: retried, latency: time.Since(t0)}
+			if resp.StatusCode == http.StatusOK {
+				if agg, err := parseSpotAggregates(raw); err == nil {
+					r.agg, r.parsed = agg, true
+				} else {
+					r.err = fmt.Errorf("parse sweep response: %w", err)
+				}
+			}
+			results[i] = r
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	statuses := map[int]int{}
+	errs, totalRetries := 0, 0
+	var agg spotAggregates
+	agg.MinSuccess = 1
+	parsed := 0
+	var lats []time.Duration
+	for _, r := range results {
+		totalRetries += r.retried
+		if r.err != nil {
+			errs++
+		}
+		if r.status != 0 {
+			statuses[r.status]++
+		}
+		if r.parsed {
+			parsed++
+			agg.Points += r.agg.Points
+			agg.SpotVMs += r.agg.SpotVMs
+			agg.Revocations += r.agg.Revocations
+			agg.ReworkCost += r.agg.ReworkCost
+			if r.agg.MinSuccess < agg.MinSuccess {
+				agg.MinSuccess = r.agg.MinSuccess
+			}
+			lats = append(lats, r.latency)
+		}
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	pct := func(p float64) time.Duration { return percentile(lats, p) }
+
+	fmt.Fprintf(stdout, "loadgen -spot: %d spot sweeps, concurrency %d, %.2fs wall\n", total, conc, elapsed.Seconds())
+	var codes []int
+	for code := range statuses {
+		codes = append(codes, code)
+	}
+	sort.Ints(codes)
+	for _, code := range codes {
+		fmt.Fprintf(stdout, "  status %d: %d\n", code, statuses[code])
+	}
+	if errs > 0 {
+		fmt.Fprintf(stdout, "  errors: %d\n", errs)
+	}
+	fmt.Fprintf(stdout, "  429 retries: %d\n", totalRetries)
+	if parsed > 0 {
+		pts := float64(agg.Points)
+		fmt.Fprintf(stdout, "  sweep points aggregated: %d\n", agg.Points)
+		fmt.Fprintf(stdout, "  spot VMs per execution (mean over points): %.3f\n", agg.SpotVMs/pts)
+		fmt.Fprintf(stdout, "  revocations per execution (mean over points): %.3f\n", agg.Revocations/pts)
+		fmt.Fprintf(stdout, "  rework cost per execution (mean over points): $%.6f\n", agg.ReworkCost/pts)
+		fmt.Fprintf(stdout, "  worst success fraction: %.3f\n", agg.MinSuccess)
+	}
+	fmt.Fprintf(stdout, "  latency p50=%v p90=%v p99=%v max=%v\n", pct(0.50), pct(0.90), pct(0.99), pct(1.0))
+	if errs > 0 {
+		return fmt.Errorf("%d spot sweeps errored", errs)
+	}
+	return nil
+}

@@ -1,0 +1,105 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestParseSpotAggregates pins the sweep-response parser: per-point
+// spot fields sum across every series, the worst success fraction is
+// kept, and bodies with no points are rejected.
+func TestParseSpotAggregates(t *testing.T) {
+	body := []byte(`{
+		"series": [
+			{"algorithm": "heftbudg-spot", "points": [
+				{"budget": 0.01, "successFrac": 0.75, "spotVMs": 2, "revocations": 1.5, "reworkCost": 0.002},
+				{"budget": 0.02, "successFrac": 1}
+			]},
+			{"algorithm": "heftbudg", "points": [
+				{"budget": 0.01, "successFrac": 0.5, "spotVMs": 1, "revocations": 0.25, "reworkCost": 0.0005}
+			]}
+		]
+	}`)
+	agg, err := parseSpotAggregates(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.Points != 3 {
+		t.Errorf("Points = %d, want 3", agg.Points)
+	}
+	close := func(got, want float64) bool { return math.Abs(got-want) < 1e-12 }
+	if !close(agg.SpotVMs, 3) {
+		t.Errorf("SpotVMs = %g, want 3", agg.SpotVMs)
+	}
+	if !close(agg.Revocations, 1.75) {
+		t.Errorf("Revocations = %g, want 1.75", agg.Revocations)
+	}
+	if !close(agg.ReworkCost, 0.0025) {
+		t.Errorf("ReworkCost = %g, want 0.0025", agg.ReworkCost)
+	}
+	if !close(agg.MinSuccess, 0.5) {
+		t.Errorf("MinSuccess = %g, want 0.5", agg.MinSuccess)
+	}
+
+	if _, err := parseSpotAggregates([]byte(`{"series": []}`)); err == nil {
+		t.Error("pointless response: want error, got nil")
+	}
+	if _, err := parseSpotAggregates([]byte(`{"series": [{`)); err == nil {
+		t.Error("malformed JSON: want error, got nil")
+	}
+}
+
+// TestRunSpot drives the -spot mode against a fake sweep endpoint and
+// checks that the request carries the spot market and that the summary
+// reports the aggregated revocation and rework-cost lines.
+func TestRunSpot(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/sweep" {
+			t.Errorf("unexpected path %q", r.URL.Path)
+		}
+		raw, _ := io.ReadAll(r.Body)
+		var req struct {
+			Algorithms []string        `json:"algorithms"`
+			Market     json.RawMessage `json:"market"`
+		}
+		if err := json.Unmarshal(raw, &req); err != nil {
+			t.Errorf("request body: %v", err)
+		}
+		if len(req.Algorithms) != 1 || req.Algorithms[0] != "heftbudg-spot" {
+			t.Errorf("algorithms = %v, want [heftbudg-spot]", req.Algorithms)
+		}
+		if len(req.Market) == 0 {
+			t.Error("request missing market spec")
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"series": [{"algorithm": "heftbudg-spot", "points": [
+			{"budget": 0.01, "successFrac": 0.75, "spotVMs": 2, "revocations": 0.5, "reworkCost": 0.001},
+			{"budget": 0.02, "successFrac": 1, "spotVMs": 1, "revocations": 0.25, "reworkCost": 0.0005}
+		]}]}`))
+	}))
+	defer srv.Close()
+
+	var out strings.Builder
+	err := run([]string{"-url", srv.URL, "-spot", "-n", "2", "-c", "2"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"loadgen -spot: 2 spot sweeps",
+		"status 200: 2",
+		"sweep points aggregated: 4",
+		"spot VMs per execution (mean over points): 1.500",
+		"revocations per execution (mean over points): 0.375",
+		"rework cost per execution (mean over points): $0.000750",
+		"worst success fraction: 0.750",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}

@@ -38,6 +38,7 @@ import (
 
 	"budgetwf/internal/exp"
 	"budgetwf/internal/fault"
+	"budgetwf/internal/market"
 	"budgetwf/internal/platform"
 	"budgetwf/internal/sched"
 	"budgetwf/internal/wfgen"
@@ -105,6 +106,11 @@ type SweepSpec struct {
 	Seed         uint64 `json:"seed,omitempty"`
 	// Platform optionally overrides the paper's Table II platform.
 	Platform *platform.Platform `json:"platform,omitempty"`
+	// Market optionally describes a multi-provider market (price
+	// sheets, transfer matrix, spot categories; see internal/market)
+	// that compiles into the sweep's platform. Mutually exclusive with
+	// Platform.
+	Market *market.Spec `json:"market,omitempty"`
 	// Estimator selects how each cell's samples are produced: "mc"
 	// (Monte Carlo replication, the default) or "analytic"
 	// (moment-propagation quantile grid, internal/est).
@@ -162,6 +168,9 @@ func (s *SweepSpec) Validate() error {
 			return semErrf("algorithms", "%v", err)
 		}
 	}
+	if s.Market != nil && s.Platform != nil {
+		return fieldErrf("market", "mutually exclusive with platform")
+	}
 	if s.Platform != nil {
 		if err := s.Platform.Validate(); err != nil {
 			return semErrf("platform", "%v", err)
@@ -171,6 +180,18 @@ func (s *SweepSpec) Validate() error {
 		// rather than mid-job.
 		if s.Estimator == exp.EstimatorAnalytic && s.Platform.DCBandwidth > 0 {
 			return semErrf("estimator", "analytic estimator cannot model bandwidth contention (platform.dcBandwidth > 0)")
+		}
+		if s.Estimator == exp.EstimatorAnalytic && s.Platform.MarketDistinct() {
+			return semErrf("estimator", "analytic estimator cannot model market platforms (est.ErrMarket); use estimator=mc")
+		}
+	}
+	if s.Market != nil {
+		p, err := s.Market.Compile()
+		if err != nil {
+			return marketFieldError(err)
+		}
+		if s.Estimator == exp.EstimatorAnalytic && p.MarketDistinct() {
+			return semErrf("estimator", "analytic estimator cannot model market platforms (est.ErrMarket); use estimator=mc")
 		}
 	}
 	// Probe the generator: family-specific constraints (e.g. Montage
@@ -205,7 +226,23 @@ func (s *SweepSpec) Scenario() (exp.Scenario, []sched.Algorithm, int, error) {
 		Seed:       s.Seed,
 		Estimator:  s.Estimator,
 	}
+	if s.Market != nil {
+		p, err := s.Market.Compile()
+		if err != nil {
+			return exp.Scenario{}, nil, 0, err
+		}
+		sc.Platform = p
+	}
 	return sc, algs, s.GridK, nil
+}
+
+// marketFieldError maps a market.FieldError onto the dist error shape,
+// keeping the per-field path and the 400-vs-422 class.
+func marketFieldError(err error) error {
+	if me, ok := err.(*market.FieldError); ok {
+		return &FieldError{Field: "market." + me.Field, Msg: me.Msg, Semantic: me.Semantic}
+	}
+	return semErrf("market", "%v", err)
 }
 
 // FaultSweepSpec is the wire description of one λ-grid robustness

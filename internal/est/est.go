@@ -16,6 +16,13 @@ import (
 // precedence structure cannot represent. Use Monte Carlo there.
 var ErrContention = fmt.Errorf("est: analytic estimator requires unbounded datacenter bandwidth (Platform.DCBandwidth == 0); use estimator=mc")
 
+// ErrMarket marks multi-provider market platforms (internal/market):
+// per-provider bandwidth and latency, transfer surcharges and spot
+// revocations make completion times and invoices depend on stochastic
+// preemption events that moment propagation does not model. Use Monte
+// Carlo there.
+var ErrMarket = fmt.Errorf("est: analytic estimator does not support market platforms (providers, transfer matrices, spot categories); use estimator=mc")
+
 // Estimate is the analytic distribution estimate for one schedule.
 type Estimate struct {
 	// Makespan approximates the distribution of Result.Makespan
@@ -166,7 +173,8 @@ func newArena(n, nVMs, m, maxEdges int) *arena {
 // engine's timing rules (VM booked when the head task's cross-VM
 // inputs reach the datacenter, boot delay, serialized staging before
 // compute, asynchronous uploads extending VM life), and returns
-// ErrContention for fluid-bandwidth platforms.
+// ErrContention for fluid-bandwidth platforms and ErrMarket for
+// multi-provider or spot market platforms.
 func Compute(w *wf.Workflow, p *platform.Platform, s *plan.Schedule) (*Estimate, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
@@ -176,6 +184,9 @@ func Compute(w *wf.Workflow, p *platform.Platform, s *plan.Schedule) (*Estimate,
 	}
 	if p.DCBandwidth > 0 {
 		return nil, ErrContention
+	}
+	if p.MarketDistinct() {
+		return nil, ErrMarket
 	}
 	tablesOnce.Do(buildTables)
 

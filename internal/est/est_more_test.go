@@ -33,6 +33,28 @@ func TestContentionRefused(t *testing.T) {
 	}
 }
 
+// TestMarketRefused: a market platform (spot categories, providers,
+// transfer matrices) cannot be modeled analytically; Compute must
+// return ErrMarket, and the error body is pinned because the daemon
+// surfaces it verbatim in 422 responses.
+func TestMarketRefused(t *testing.T) {
+	p := platform.Default()
+	w, s, _ := planned(t, wfgen.Montage, 20, 0.5, 1)
+	p.Categories[0].Spot = true
+	p.Categories[0].RevocationRatePerHour = 6
+	if err := p.Validate(); err != nil {
+		t.Fatalf("spot platform invalid: %v", err)
+	}
+	_, err := est.Compute(w, p, s)
+	if !errors.Is(err, est.ErrMarket) {
+		t.Fatalf("Compute on a market platform: err = %v, want ErrMarket", err)
+	}
+	const want = "est: analytic estimator does not support market platforms (providers, transfer matrices, spot categories); use estimator=mc"
+	if err.Error() != want {
+		t.Fatalf("ErrMarket body drifted:\n got %q\nwant %q", err.Error(), want)
+	}
+}
+
 // TestDeadlockDetected: a schedule whose chain edges close a cycle
 // with the precedence edges passes plan.Validate (each VM's order is
 // locally consistent) but can never execute; the simulator deadlocks

@@ -93,6 +93,14 @@ type SweepUnitResult struct {
 	NumVMs      float64   `json:"numVMs"`
 	Valid       int       `json:"valid"`
 	PlanSeconds float64   `json:"planSeconds"`
+	// Completed counts executions that finished every task (== the rep
+	// count except on spot platforms); the spot counters carry the
+	// unit's revocation outcome on market platforms (see cellResult),
+	// omitted from revocation-free payloads.
+	Completed   int     `json:"completed,omitempty"`
+	SpotVMs     int     `json:"spotVMs,omitempty"`
+	Revocations int     `json:"revocations,omitempty"`
+	ReworkCost  float64 `json:"reworkCost,omitempty"`
 }
 
 // RunSweepUnitsCtx evaluates units [start, end) of the scenario's
@@ -145,6 +153,10 @@ func RunSweepUnitsCtx(ctx context.Context, sc Scenario, algs []sched.Algorithm, 
 					NumVMs:      r.numVMs,
 					Valid:       r.valid,
 					PlanSeconds: r.planTime,
+					Completed:   r.completed,
+					SpotVMs:     r.spotVMs,
+					Revocations: r.revocations,
+					ReworkCost:  r.reworkCost,
 				}
 			}
 		}()
@@ -194,6 +206,10 @@ func MergeSweepUnits(sc Scenario, algs []sched.Algorithm, gridK, repBlock int, u
 			r.makespans = append(r.makespans, u.Makespans...)
 			r.costs = append(r.costs, u.Costs...)
 			r.valid += u.Valid
+			r.completed += u.Completed
+			r.spotVMs += u.SpotVMs
+			r.revocations += u.Revocations
+			r.reworkCost += u.ReworkCost
 			if b == 0 {
 				r.numVMs = u.NumVMs
 				r.planTime = u.PlanSeconds

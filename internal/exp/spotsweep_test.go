@@ -1,0 +1,199 @@
+package exp
+
+import (
+	"context"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"budgetwf/internal/platform"
+	"budgetwf/internal/sched"
+	"budgetwf/internal/wfgen"
+)
+
+// spotTestPlatform derives a spot market from the default platform.
+func spotTestPlatform(t *testing.T, discount, rate float64) *platform.Platform {
+	t.Helper()
+	p := platform.Default().WithSpotTwins(discount, rate)
+	if err := p.Validate(); err != nil {
+		t.Fatalf("spot platform invalid: %v", err)
+	}
+	return p
+}
+
+// TestRunSpotSweepGrid: the sweep covers the full discount×rate grid,
+// revocations actually occur at high hazards, and every fraction stays
+// a probability.
+func TestRunSpotSweepGrid(t *testing.T) {
+	t.Parallel()
+	sc := SpotScenario{
+		Scenario:  Scenario{Type: wfgen.Montage, N: 20, Instances: 2, Reps: 8, Workers: 2, Seed: 3},
+		Discounts: []float64{0.6},
+		Rates:     []float64{0.05, 2},
+	}
+	res, err := RunSpotSweep(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 2 {
+		t.Fatalf("got %d points, want 2", len(res.Points))
+	}
+	if res.BaselineCost.Mean <= 0 {
+		t.Fatalf("baseline cost %v, want > 0", res.BaselineCost.Mean)
+	}
+	for _, pt := range res.Points {
+		if pt.SuccessRate < 0 || pt.SuccessRate > 1 || pt.WithinBudget < 0 || pt.WithinBudget > 1 {
+			t.Fatalf("point (%g, %g): fractions out of range: %+v", pt.Discount, pt.Rate, pt)
+		}
+		if pt.SpotVMs <= 0 {
+			t.Errorf("point (%g, %g): spot planner booked no spot VMs", pt.Discount, pt.Rate)
+		}
+	}
+	if hi := res.Points[1]; hi.Revocations == 0 {
+		t.Errorf("rate 2/h: no revocations across %d executions", sc.Reps*sc.Instances)
+	}
+}
+
+// TestRunSpotSweepDeterministic: two runs of the same scenario are
+// bit-identical (the CRN streams are pure functions of the scenario).
+func TestRunSpotSweepDeterministic(t *testing.T) {
+	t.Parallel()
+	sc := SpotScenario{
+		Scenario:  Scenario{Type: wfgen.ForkJoin, N: 12, Instances: 2, Reps: 4, Workers: 3, Seed: 9},
+		Discounts: []float64{0.5},
+		Rates:     []float64{0.5, 1},
+	}
+	a, err := RunSpotSweep(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.Workers = 1
+	b, err := RunSpotSweep(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Scenario.Workers, b.Scenario.Workers = 0, 0
+	a.Scenario.Alg.Plan, b.Scenario.Alg.Plan = nil, nil // funcs never DeepEqual
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("spot sweep not deterministic across worker counts:\n%+v\nvs\n%+v", a, b)
+	}
+}
+
+// TestRunSpotSweepRejects: spot platforms and the analytic estimator
+// are configuration errors, not silent misbehavior.
+func TestRunSpotSweepRejects(t *testing.T) {
+	t.Parallel()
+	sc := SpotScenario{Scenario: Scenario{Type: wfgen.Chain, N: 5, Platform: spotTestPlatform(t, 0.5, 1)}}
+	if _, err := RunSpotSweep(sc); err == nil {
+		t.Fatal("spot platform accepted as sweep base")
+	}
+	sc = SpotScenario{Scenario: Scenario{Type: wfgen.Chain, N: 5, Estimator: EstimatorAnalytic}}
+	if _, err := RunSpotSweep(sc); err == nil {
+		t.Fatal("analytic estimator accepted for a spot sweep")
+	}
+}
+
+// TestSweepSpotPlatform: a budget sweep over a spot market diverts to
+// the online executor — spot counters appear in the points, success
+// fractions are tracked, and the whole thing stays deterministic.
+func TestSweepSpotPlatform(t *testing.T) {
+	t.Parallel()
+	p := spotTestPlatform(t, 0.6, 2)
+	alg, err := sched.ByName("heftbudg-spot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := Scenario{Type: wfgen.Montage, N: 20, Platform: p, Instances: 2, Reps: 6, Workers: 2, Seed: 5}
+	res, err := RunSweep(sc, []sched.Algorithm{alg}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spotSeen, revSeen := false, false
+	for _, pt := range res.Series[0].Points {
+		if pt.SuccessFrac < 0 || pt.SuccessFrac > 1 {
+			t.Fatalf("SuccessFrac %v out of range", pt.SuccessFrac)
+		}
+		if pt.SpotVMs > 0 {
+			spotSeen = true
+		}
+		if pt.Revocations > 0 {
+			revSeen = true
+		}
+	}
+	if !spotSeen {
+		t.Error("no point booked a spot VM")
+	}
+	if !revSeen {
+		t.Error("no point recorded a revocation at rate 2/h")
+	}
+
+	b, err := RunSweep(sc, []sched.Algorithm{alg}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(stripTiming(res), stripTiming(b)) {
+		t.Fatal("spot sweep not deterministic")
+	}
+}
+
+// TestSweepNonSpotSuccessFracOne: on revocation-free platforms every
+// execution completes, so SuccessFrac is exactly 1 at every point —
+// the degenerate-path guarantee for the new field.
+func TestSweepNonSpotSuccessFracOne(t *testing.T) {
+	t.Parallel()
+	alg, err := sched.ByName(sched.NameHeftBudg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := Scenario{Type: wfgen.Chain, N: 8, Instances: 1, Reps: 3, Workers: 1, Seed: 1}
+	res, err := RunSweep(sc, []sched.Algorithm{alg}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pt := range res.Series[0].Points {
+		if pt.SuccessFrac != 1 {
+			t.Fatalf("SuccessFrac = %v on a revocation-free platform", pt.SuccessFrac)
+		}
+		if pt.SpotVMs != 0 || pt.Revocations != 0 || pt.ReworkCost != 0 {
+			t.Fatalf("spot counters nonzero on a revocation-free platform: %+v", pt)
+		}
+	}
+}
+
+// TestShardMergeSpotPlatform: the bit-identical sharding contract
+// extends to spot sweeps — units computed in shuffled shards merge to
+// exactly the monolithic result, spot counters included.
+func TestShardMergeSpotPlatform(t *testing.T) {
+	t.Parallel()
+	p := spotTestPlatform(t, 0.6, 1)
+	alg, err := sched.ByName("heftbudg-spot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	algs := []sched.Algorithm{alg}
+	sc := Scenario{Type: wfgen.ForkJoin, N: 10, Platform: p, Instances: 2, Reps: 5, Workers: 2, Seed: 11}
+	const gridK, repBlock = 3, 2
+
+	mono, err := RunSweepCtx(context.Background(), sc, algs, gridK)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := SweepGridFor(sc, len(algs), gridK, repBlock)
+	rnd := rand.New(rand.NewSource(13))
+	var units []SweepUnitResult
+	for _, shard := range randomShards(rnd, g.Units()) {
+		part, err := RunSweepUnitsCtx(context.Background(), sc, algs, gridK, repBlock, shard[0], shard[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		units = append(units, part...)
+	}
+	rnd.Shuffle(len(units), func(i, j int) { units[i], units[j] = units[j], units[i] })
+	merged, err := MergeSweepUnits(sc, algs, gridK, repBlock, units)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(stripTiming(mono), stripTiming(merged)) {
+		t.Fatal("sharded spot sweep diverges from monolithic run")
+	}
+}

@@ -8,6 +8,8 @@ import (
 	"time"
 
 	"budgetwf/internal/est"
+	"budgetwf/internal/market"
+	"budgetwf/internal/online"
 	"budgetwf/internal/platform"
 	"budgetwf/internal/rng"
 	"budgetwf/internal/sched"
@@ -119,6 +121,17 @@ type Point struct {
 	// PlanTime summarizes the scheduling CPU time in seconds (one
 	// observation per instance).
 	PlanTime stats.Summary
+	// SuccessFrac is the fraction of executions that completed every
+	// task: 1 on revocation-free platforms (plain simulation cannot
+	// fail), possibly lower on spot platforms where the budget guard or
+	// the retry caps degrade a revoked run to a partial result.
+	SuccessFrac float64
+	// Spot-market aggregates: mean per-execution counts of spot VMs
+	// booked and revocations suffered, and the mean realized rework
+	// cost (online.Report.SpotReworkCost). Zero without spot categories.
+	SpotVMs     float64
+	Revocations float64
+	ReworkCost  float64
 }
 
 // Series is one algorithm's curve over the budget grid.
@@ -155,7 +168,14 @@ type cellResult struct {
 	numVMs    float64
 	valid     int
 	planTime  float64
-	err       error
+	// completed counts executions that finished every task (== the rep
+	// count except on spot platforms); the spot counters sum the
+	// per-execution revocation outcome over the cell's replications.
+	completed   int
+	spotVMs     int
+	revocations int
+	reworkCost  float64
+	err         error
 }
 
 // sweepPrep is the deterministic per-scenario state every cell
@@ -306,7 +326,9 @@ func aggregateCells(out *SweepResult, algs []sched.Algorithm, instances, gridK i
 		series := Series{Algorithm: alg.Name}
 		for b := 0; b < gridK; b++ {
 			var mk, cost, vms, pt []float64
-			valid, total := 0, 0
+			valid, total, completed := 0, 0, 0
+			spotVMs, revocations := 0, 0
+			rework := 0.0
 			budgetSum := 0.0
 			for i := 0; i < instances; i++ {
 				r := results[cellIndex(ai, i, b, instances, gridK)]
@@ -318,6 +340,10 @@ func aggregateCells(out *SweepResult, algs []sched.Algorithm, instances, gridK i
 				vms = append(vms, r.numVMs)
 				pt = append(pt, r.planTime)
 				valid += r.valid
+				completed += r.completed
+				spotVMs += r.spotVMs
+				revocations += r.revocations
+				rework += r.reworkCost
 				total += len(r.makespans)
 				budgetSum += commonFactors[b] * anchors[i].CheapCost
 			}
@@ -331,6 +357,10 @@ func aggregateCells(out *SweepResult, algs []sched.Algorithm, instances, gridK i
 			}
 			if total > 0 {
 				p.ValidFrac = float64(valid) / float64(total)
+				p.SuccessFrac = float64(completed) / float64(total)
+				p.SpotVMs = float64(spotVMs) / float64(total)
+				p.Revocations = float64(revocations) / float64(total)
+				p.ReworkCost = rework / float64(total)
 			}
 			series.Points = append(series.Points, p)
 		}
@@ -383,6 +413,7 @@ func runCellRange(p *sweepPrep, c cell, repStart, repEnd int) cellResult {
 			cost := e.CostQuantile(q)
 			res.makespans = append(res.makespans, e.MakespanQuantile(q))
 			res.costs = append(res.costs, cost)
+			res.completed++
 			if cost <= budget {
 				res.valid++
 			}
@@ -394,6 +425,46 @@ func runCellRange(p *sweepPrep, c cell, repStart, repEnd int) cellResult {
 	// interleavings: derived from scenario seed, instance, budget
 	// index and algorithm name.
 	stream := rng.New(sc.Seed).Split(uint64(c.instance)<<32 | uint64(c.budgetIx)<<16 | hashName(string(c.alg.Name)))
+
+	if simP.HasSpot() {
+		// Spot platforms replay through the online executor — plain
+		// simulation cannot revoke a VM. Weights reuse the cell stream's
+		// derivation, and revocation-trace seeds come from a stream that
+		// involves neither the discount nor the hazard rate, so a
+		// discount×rate grid over the same scenario seed is a paired
+		// comparison (common random numbers), mirroring faultsweep.go.
+		seedStream := rng.New(sc.Seed).Split(uint64(c.instance)<<32 | uint64(c.budgetIx)<<16 | hashName("spot-trace"))
+		for rep := repStart; rep < repEnd; rep++ {
+			weights := sim.SampleWeights(w, stream.Split(uint64(rep)))
+			seed := seedStream.Split(uint64(rep)).Uint64()
+			var r *online.Report
+			var err error
+			if spec := market.RevocationSpec(simP, seed); spec != nil {
+				r, err = online.ExecuteFaulty(w, simP, s, weights, spec, budget)
+			} else {
+				// Spot categories with zero hazard: discounted, never
+				// revoked.
+				r, err = online.Execute(w, simP, s, weights, online.Policy{Budget: budget})
+			}
+			if err != nil {
+				res.err = err
+				return res
+			}
+			res.makespans = append(res.makespans, r.Makespan)
+			res.costs = append(res.costs, r.TotalCost)
+			if r.TotalCost <= budget {
+				res.valid++
+			}
+			if r.Completed {
+				res.completed++
+			}
+			res.spotVMs += r.SpotVMs
+			res.revocations += r.Revocations
+			res.reworkCost += r.SpotReworkCost
+		}
+		return res
+	}
+
 	runner, err := sim.NewRunner(w, simP, s)
 	if err != nil {
 		res.err = err
@@ -407,6 +478,7 @@ func runCellRange(p *sweepPrep, c cell, repStart, repEnd int) cellResult {
 		}
 		res.makespans = append(res.makespans, r.Makespan)
 		res.costs = append(res.costs, r.TotalCost)
+		res.completed++
 		if r.WithinBudget(budget) {
 			res.valid++
 		}

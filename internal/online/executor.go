@@ -132,6 +132,11 @@ type executor struct {
 	failedCount int
 	fastest     int
 
+	// xferCost accrues the inter-provider per-byte surcharge for every
+	// transfer launched, at launch time; zero in the single-provider
+	// model.
+	xferCost float64
+
 	report Report
 }
 
@@ -163,6 +168,10 @@ func newExecutor(w *wf.Workflow, p *platform.Platform, s *plan.Schedule, weights
 		times:     make([]sim.TaskTimes, n),
 		fastest:   p.Fastest(),
 	}
+	// Migrations and fastest-category recoveries are reliability moves;
+	// they never target preemptible capacity. The sibling has the same
+	// speed, so this is a no-op on spot-free platforms.
+	e.fastest = p.OnDemandSibling(e.fastest)
 	if policy.Faults != nil && policy.Faults.Model != nil {
 		e.inj = policy.Faults
 	}
@@ -244,9 +253,11 @@ func (e *executor) tryAdvance(v int) {
 					return
 				}
 				// Data sits on another VM: ship it via the datacenter.
+				srcCat := e.vms[src].cat
 				e.eState[ei] = edgeUploading
 				e.upSrc[ei] = src
-				e.push(&event{time: e.now + e.edges[ei].Size/e.p.Bandwidth, kind: evUploadDone, edge: ei, useq: e.upSeq[ei]})
+				e.xferCost += e.edges[ei].Size * e.p.XferCost(srcCat)
+				e.push(&event{time: e.now + e.p.XferLat(srcCat) + e.edges[ei].Size/e.p.CatBandwidth(srcCat), kind: evUploadDone, edge: ei, useq: e.upSeq[ei]})
 				return
 			}
 		case edgeAtDC:
@@ -281,7 +292,7 @@ func (e *executor) tryAdvance(v int) {
 				return
 			}
 		}
-		vm.bootDone = e.now + e.p.BootTime
+		vm.bootDone = e.now + e.p.CatBootTime(vm.cat)
 		e.push(&event{time: vm.bootDone, kind: evBootDone, vm: v})
 		if e.onProvision != nil {
 			e.onProvision(e.now, v, vm.cat, false, vm.bootDone)
@@ -293,7 +304,8 @@ func (e *executor) tryAdvance(v int) {
 	e.started[t] = true
 	e.times[t].StageStart = e.now
 	if stage > 0 {
-		e.push(&event{time: e.now + stage/e.p.Bandwidth, kind: evStageDone, vm: v, task: t, epoch: vm.epoch})
+		e.xferCost += stage * e.p.XferCost(vm.cat)
+		e.push(&event{time: e.now + e.p.XferLat(vm.cat) + stage/e.p.CatBandwidth(vm.cat), kind: evStageDone, vm: v, task: t, epoch: vm.epoch})
 		return
 	}
 	e.startCompute(v, t)
@@ -339,7 +351,7 @@ func (e *executor) timeoutFor(v int, t wf.TaskID) (float64, bool) {
 		for _, ei := range e.inE[t] {
 			inBytes += e.edges[ei].Size
 		}
-		restart := e.p.BootTime + inBytes/e.p.Bandwidth + quantile/e.p.Categories[e.fastest].Speed
+		restart := e.p.CatBootTime(e.fastest) + inBytes/e.p.CatBandwidth(e.fastest) + quantile/e.p.Categories[e.fastest].Speed
 		if floor := g * restart; floor > timeout {
 			timeout = floor
 		}
@@ -385,10 +397,12 @@ func (e *executor) finishCompute(v int, t wf.TaskID) {
 		}
 		e.eState[ei] = edgeUploading
 		e.upSrc[ei] = v
-		e.push(&event{time: e.now + edge.Size/e.p.Bandwidth, kind: evUploadDone, edge: ei, useq: e.upSeq[ei]})
+		e.xferCost += edge.Size * e.p.XferCost(vm.cat)
+		e.push(&event{time: e.now + e.p.XferLat(vm.cat) + edge.Size/e.p.CatBandwidth(vm.cat), kind: evUploadDone, edge: ei, useq: e.upSeq[ei]})
 	}
 	if out := e.w.Task(t).ExternalOut; out > 0 {
-		arr := e.now + out/e.p.Bandwidth
+		e.xferCost += out * e.p.XferCost(vm.cat)
+		arr := e.now + e.p.XferLat(vm.cat) + out/e.p.CatBandwidth(vm.cat)
 		e.extDone[t] = arr
 		if arr > vm.end {
 			vm.end = arr
@@ -540,7 +554,7 @@ func (e *executor) projectedCost(plans []vmPlan, exclude []wf.TaskID) float64 {
 					inBytes += e.edges[ei].Size
 				}
 			}
-			total += (inBytes/e.p.Bandwidth + task.Weight.Conservative()/cat.Speed) * cat.CostPerSec
+			total += (inBytes/e.p.CatBandwidth(vm.cat) + task.Weight.Conservative()/cat.Speed) * cat.CostPerSec
 		}
 	}
 	if math.IsInf(firstBook, 1) {
@@ -560,7 +574,7 @@ func (e *executor) projectedCost(plans []vmPlan, exclude []wf.TaskID) float64 {
 			for _, ei := range e.outE[t] {
 				outBytes += e.edges[ei].Size
 			}
-			work += (inBytes+outBytes)/e.p.Bandwidth + task.Weight.Conservative()/cat.Speed
+			work += (inBytes+outBytes)/e.p.CatBandwidth(pl.cat) + task.Weight.Conservative()/cat.Speed
 		}
 		total += work*cat.CostPerSec + cat.InitCost
 		if work > maxNew {
@@ -571,6 +585,9 @@ func (e *executor) projectedCost(plans []vmPlan, exclude []wf.TaskID) float64 {
 	span := e.now + e.p.BootTime + maxNew - firstBook
 	total += e.p.DCCost(ext, 0, 0, 0) // transfer part only
 	total += span * e.p.DCCostPerSec
+	// The inter-provider surcharge already incurred counts against the
+	// budget like any other sunk cost; zero in the single-provider model.
+	total += e.xferCost
 	return total
 }
 
@@ -614,12 +631,24 @@ func (e *executor) handleCrash(v int, tc float64) {
 		// last activity; the crash strikes air.
 		return
 	}
-	e.report.Crashes++
+	// A spot VM's death is a revocation — the priced preemption event of
+	// the market model — not an infrastructure crash: it is counted (and
+	// traced) separately, and the billing it wastes accrues to the spot
+	// rework account the spot planner's budget guard reserved for.
+	spot := e.p.Categories[vm.cat].Spot
+	wasted := 0.0
 	if vm.busy {
-		e.report.WastedSeconds += tc - e.times[vm.current].StageStart
+		wasted = tc - e.times[vm.current].StageStart
 	} else if w := tc - math.Max(vm.bootDone, vm.end); w > 0 {
-		e.report.WastedSeconds += w
+		wasted = w
 	}
+	if spot {
+		e.report.Revocations++
+		e.report.SpotReworkCost += wasted * e.p.Categories[vm.cat].CostPerSec
+	} else {
+		e.report.Crashes++
+	}
+	e.report.WastedSeconds += wasted
 	vm.dead = true
 	vm.epoch++
 	vm.busy = false
@@ -634,7 +663,11 @@ func (e *executor) handleCrash(v int, tc float64) {
 	}
 	lost := e.collectLost(v, tc)
 	if e.span != nil {
-		e.span.Event("crash",
+		name := "crash"
+		if spot {
+			name = "revocation"
+		}
+		e.span.Event(name,
 			obs.Int("vm", v), obs.Int("cat", vm.cat), obs.Float("at", tc),
 			obs.Int("tasksLost", len(lost)))
 	}
@@ -799,6 +832,18 @@ func (e *executor) recoverLost(v int, lost []wf.TaskID) {
 		return
 	}
 	sameCat := e.vms[v].cat
+	if e.p.Categories[sameCat].Spot {
+		// Resubmit-on-revoke: a revoked spot VM's work moves to the
+		// category's on-demand sibling (same speed, same provider), so a
+		// repeat revocation cannot strike the same batch again.
+		sib := e.p.OnDemandSibling(sameCat)
+		if e.span != nil {
+			e.span.Event("spot-resubmit",
+				obs.Int("vm", v), obs.Int("fromCat", sameCat), obs.Int("toCat", sib),
+				obs.Int("tasks", len(retry)), obs.Float("at", e.now))
+		}
+		sameCat = sib
+	}
 	var plans []vmPlan
 	switch rec.Kind {
 	case fault.ResubmitFastest:
@@ -822,6 +867,13 @@ func (e *executor) recoverLost(v int, lost []wf.TaskID) {
 		return
 	}
 	e.report.Recoveries++
+	if e.p.Categories[e.vms[v].cat].Spot {
+		// The replacement VMs' setup fees are rework the revocation
+		// caused: exactly the resubmit reserve the spot planner priced in.
+		for _, pl := range plans {
+			e.report.SpotReworkCost += e.p.Categories[pl.cat].InitCost
+		}
+	}
 	backoff := rec.Backoff(maxAttempt)
 	if e.span != nil {
 		e.span.Event("recovery",
@@ -1044,15 +1096,25 @@ func (e *executor) collect() *Report {
 			continue
 		}
 		r.NumVMs++
+		if e.p.Categories[vm.cat].Spot {
+			r.SpotVMs++
+		}
 		if vm.bookTime < firstBook {
 			firstBook = vm.bookTime
 		}
 		if vm.bootFailed {
 			// Boot never completed: only the setup fee is due.
 			r.TotalCost += e.p.Categories[vm.cat].InitCost
+			if e.p.Categories[vm.cat].Spot {
+				r.SpotCost += e.p.Categories[vm.cat].InitCost
+			}
 			continue
 		}
-		r.TotalCost += e.vmInvoice(vm, vm.end)
+		invoice := e.vmInvoice(vm, vm.end)
+		r.TotalCost += invoice
+		if e.p.Categories[vm.cat].Spot {
+			r.SpotCost += invoice
+		}
 		if vm.end > lastEvent {
 			lastEvent = vm.end
 		}
@@ -1079,6 +1141,8 @@ func (e *executor) collect() *Report {
 	}
 	r.DCCost = e.p.DCCost(extIn, extOut, firstBook, lastEvent)
 	r.TotalCost += r.DCCost
+	r.XferCost = e.xferCost
+	r.TotalCost += r.XferCost
 	r.Makespan = lastEvent - firstBook
 	r.Completed = e.failedCount == 0
 	r.TasksDone = e.doneCount
@@ -1100,6 +1164,11 @@ func (e *executor) collect() *Report {
 			obs.Int("recoveriesVetoed", r.RecoveriesVetoed),
 			obs.Int("migrations", len(r.Migrations)), obs.Int("migrationsVetoed", r.Vetoed),
 			obs.Float("wastedSeconds", r.WastedSeconds))
+		if e.p.HasSpot() {
+			e.span.Set(
+				obs.Int("spotVMs", r.SpotVMs), obs.Int("revocations", r.Revocations),
+				obs.Float("spotCost", r.SpotCost), obs.Float("spotReworkCost", r.SpotReworkCost))
+		}
 	}
 	return r
 }

@@ -115,6 +115,9 @@ type Report struct {
 	Makespan  float64
 	TotalCost float64
 	DCCost    float64
+	// XferCost is the inter-provider transfer surcharge (included in
+	// TotalCost); zero in the single-provider model.
+	XferCost float64
 	// NumVMs counts every VM booked, including ones added by
 	// migrations.
 	NumVMs int
@@ -138,6 +141,18 @@ type Report struct {
 	// computations and stagings a failure or a lost replica race threw
 	// away, plus idle uptime a crash cut short.
 	WastedSeconds float64
+
+	// Spot-market outcome (zero values on platforms without spot
+	// categories; see internal/market). A spot VM's death is counted as
+	// a Revocation, not a Crash. SpotVMs counts booked VMs of spot
+	// categories and SpotCost their share of TotalCost. SpotReworkCost
+	// totals the billing revocations wasted plus the setup fees of the
+	// on-demand replacements booked by resubmit-on-revoke — the realized
+	// counterpart of the rework reserve the spot planner prices in.
+	SpotVMs        int
+	Revocations    int
+	SpotCost       float64
+	SpotReworkCost float64
 
 	// Completed reports whether every task finished. When false the
 	// execution degraded gracefully to a partial result: TaskStatus

@@ -37,5 +37,43 @@ func (p *Platform) CanonicalHash() string {
 	f(p.TransferCostPerByte)
 	f(p.DCBandwidth)
 	f(p.BillingQuantum)
+	// The market section is appended only when a market feature is
+	// actually in effect, so a degenerate single-provider market hashes
+	// identically to its scalar twin (same plans → same cache key) and
+	// every pre-market digest stays valid.
+	if p.MarketDistinct() {
+		h.Write([]byte("market"))
+		binary.BigEndian.PutUint64(buf, uint64(p.NumProviders()))
+		h.Write(buf)
+		binary.BigEndian.PutUint64(buf, uint64(p.DCProvider))
+		h.Write(buf)
+		for _, c := range p.Categories {
+			binary.BigEndian.PutUint64(buf, uint64(c.Provider))
+			h.Write(buf)
+			spot := uint64(0)
+			if c.Spot {
+				spot = 1
+			}
+			binary.BigEndian.PutUint64(buf, spot)
+			h.Write(buf)
+			f(c.RevocationRatePerHour)
+		}
+		for _, m := range [][][]float64{p.XferCostPerByte, p.XferLatencySec} {
+			binary.BigEndian.PutUint64(buf, uint64(len(m)))
+			h.Write(buf)
+			for _, row := range m {
+				for _, v := range row {
+					f(v)
+				}
+			}
+		}
+		for _, s := range [][]float64{p.ProviderBandwidth, p.ProviderBootTime} {
+			binary.BigEndian.PutUint64(buf, uint64(len(s)))
+			h.Write(buf)
+			for _, v := range s {
+				f(v)
+			}
+		}
+	}
 	return hex.EncodeToString(h.Sum(nil))
 }

@@ -21,6 +21,19 @@ type Category struct {
 	CostPerSec float64
 	// InitCost is the fixed setup cost c_ini,k charged once per VM.
 	InitCost float64
+	// Provider indexes Platform.Providers for multi-cloud market
+	// platforms; 0 (the zero value) in the paper's single-provider
+	// model.
+	Provider int
+	// Spot marks a preemptible category: discounted pricing paired with
+	// an exponential revocation hazard. The planner's budget guard must
+	// charge expected rework for it and the online executor prices its
+	// kills (see internal/market).
+	Spot bool
+	// RevocationRatePerHour is the spot preemption hazard λ, per hour
+	// of VM lifetime. Zero for on-demand categories; may be zero for a
+	// spot category (discounted but never revoked).
+	RevocationRatePerHour float64
 }
 
 // Validate reports whether the category parameters are usable.
@@ -70,6 +83,32 @@ type Platform struct {
 	// planner keeps assuming fluid billing, so coarse quanta surface
 	// as budget overruns.
 	BillingQuantum float64
+
+	// Providers names the cloud providers of a multi-cloud market
+	// platform (see internal/market). Empty means the paper's
+	// single-provider model; with providers set, each category belongs
+	// to one of them (Category.Provider) and the fields below refine
+	// the scalar network model per provider. All of them are optional
+	// and degenerate exactly to the scalar model when zero.
+	Providers []string
+	// DCProvider is the provider hosting the datacenter. All traffic
+	// stays DC-mediated; a VM on another provider pays the transfer
+	// matrix to reach it. Index into Providers, 0 by default.
+	DCProvider int
+	// XferCostPerByte[i][j] prices each byte moving between a VM of
+	// provider i and a datacenter of provider j (square matrix of side
+	// len(Providers)). Nil means free inter-provider transfers.
+	XferCostPerByte [][]float64
+	// XferLatencySec[i][j] adds a fixed delay to every transfer between
+	// provider i and a datacenter of provider j. Nil means zero.
+	XferLatencySec [][]float64
+	// ProviderBandwidth overrides Bandwidth per provider, in bytes per
+	// second. Nil means every provider uses the scalar Bandwidth; when
+	// set it must cover every provider with positive entries.
+	ProviderBandwidth []float64
+	// ProviderBootTime overrides BootTime per provider. Nil means every
+	// provider uses the scalar BootTime.
+	ProviderBootTime []float64
 }
 
 // Validate reports whether the platform is well formed.
@@ -100,6 +139,87 @@ func (p *Platform) Validate() error {
 	}
 	if p.BillingQuantum < 0 {
 		return fmt.Errorf("platform: negative billing quantum %v", p.BillingQuantum)
+	}
+	return p.validateMarket()
+}
+
+// validateMarket checks the multi-cloud/spot extensions. A platform
+// with none of them set passes trivially.
+func (p *Platform) validateMarket() error {
+	np := p.NumProviders()
+	for _, c := range p.Categories {
+		if c.Provider < 0 || c.Provider >= np {
+			return fmt.Errorf("platform: category %q: provider index %d out of range [0, %d)", c.Name, c.Provider, np)
+		}
+		if c.RevocationRatePerHour < 0 || math.IsNaN(c.RevocationRatePerHour) || math.IsInf(c.RevocationRatePerHour, 0) {
+			return fmt.Errorf("platform: category %q: revocation rate must be finite and non-negative, got %v", c.Name, c.RevocationRatePerHour)
+		}
+		if !c.Spot && c.RevocationRatePerHour > 0 {
+			return fmt.Errorf("platform: category %q: revocation rate %v on a non-spot category", c.Name, c.RevocationRatePerHour)
+		}
+	}
+	if p.HasSpot() {
+		hasOnDemand := false
+		for _, c := range p.Categories {
+			if !c.Spot {
+				hasOnDemand = true
+				break
+			}
+		}
+		if !hasOnDemand {
+			return fmt.Errorf("platform: every category is spot; at least one on-demand category is required (sinks and revocation recovery need one)")
+		}
+	}
+	if p.DCProvider < 0 || p.DCProvider >= np {
+		return fmt.Errorf("platform: datacenter provider index %d out of range [0, %d)", p.DCProvider, np)
+	}
+	checkMatrix := func(name string, m [][]float64) error {
+		if m == nil {
+			return nil
+		}
+		if len(m) != np {
+			return fmt.Errorf("platform: %s must be a %d×%d matrix, got %d rows", name, np, np, len(m))
+		}
+		for i, row := range m {
+			if len(row) != np {
+				return fmt.Errorf("platform: %s row %d: want %d entries, got %d", name, i, np, len(row))
+			}
+			for j, v := range row {
+				if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+					return fmt.Errorf("platform: %s[%d][%d] must be finite and non-negative, got %v", name, i, j, v)
+				}
+			}
+		}
+		return nil
+	}
+	if err := checkMatrix("transfer cost matrix", p.XferCostPerByte); err != nil {
+		return err
+	}
+	if err := checkMatrix("transfer latency matrix", p.XferLatencySec); err != nil {
+		return err
+	}
+	if p.ProviderBandwidth != nil {
+		if len(p.ProviderBandwidth) != np {
+			return fmt.Errorf("platform: provider bandwidth must cover all %d providers, got %d entries", np, len(p.ProviderBandwidth))
+		}
+		for i, bw := range p.ProviderBandwidth {
+			if bw <= 0 || math.IsNaN(bw) || math.IsInf(bw, 0) {
+				return fmt.Errorf("platform: provider %d bandwidth must be positive, got %v", i, bw)
+			}
+		}
+	}
+	if p.ProviderBootTime != nil {
+		if len(p.ProviderBootTime) != np {
+			return fmt.Errorf("platform: provider boot time must cover all %d providers, got %d entries", np, len(p.ProviderBootTime))
+		}
+		for i, bt := range p.ProviderBootTime {
+			if bt < 0 || math.IsNaN(bt) || math.IsInf(bt, 0) {
+				return fmt.Errorf("platform: provider %d boot time must be finite and non-negative, got %v", i, bt)
+			}
+		}
+	}
+	if p.MarketDistinct() && p.DCBandwidth > 0 {
+		return fmt.Errorf("platform: market platforms require unbounded datacenter bandwidth (DCBandwidth == 0); the contention ablation is single-provider only")
 	}
 	return nil
 }

@@ -105,7 +105,8 @@ func bdtOpt(w *wf.Workflow, p *platform.Platform, budget float64, opt Options) (
 func dataReadyBound(st *state, t wf.TaskID) float64 {
 	bound := 0.0
 	for _, e := range st.ctx.pred[t] {
-		arr := st.finish[e.From] + e.Size/st.ctx.p.Bandwidth
+		srcCat := st.vms[st.taskVM[e.From]].cat
+		arr := st.finish[e.From] + st.ctx.p.XferLat(srcCat) + e.Size/st.ctx.p.CatBandwidth(srcCat)
 		if arr > bound {
 			bound = arr
 		}

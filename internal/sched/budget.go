@@ -53,6 +53,14 @@ func ComputeBudget(w *wf.Workflow, p *platform.Platform, budget float64) (*Budge
 		InitReserve: float64(n) * p.Categories[p.Cheapest()].InitCost,
 		SeqDuration: seq,
 	}
+	// On a market platform every VM↔DC byte may pay an inter-provider
+	// surcharge; the reserve books the worst-case link for every
+	// internal transfer (each crosses twice: upload then staging) and
+	// for the external volume. Zero on single-provider platforms, so
+	// the paper's decomposition is unchanged there.
+	if m := p.MaxXferCostPerByte(); m > 0 {
+		info.DCReserve += (2*w.TotalDataSize() + ext) * m
+	}
 	info.Calc = budget - info.DCReserve - info.InitReserve
 	if info.Calc < 0 {
 		info.Calc = 0

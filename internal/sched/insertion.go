@@ -47,14 +47,19 @@ func (s *state) evalInsertion(t wf.TaskID, vmIdx int) (candidate, bool) {
 			continue
 		}
 		missing += e.Size
-		arr := s.finish[e.From] + e.Size/p.Bandwidth
+		srcCat := s.vms[fromVM].cat
+		arr := s.finish[e.From] + p.XferLat(srcCat) + e.Size/p.CatBandwidth(srcCat)
 		if arr > dcReady {
 			dcReady = arr
 		}
-		srcCost += e.Size / p.Bandwidth * p.Categories[s.vms[fromVM].cat].CostPerSec
+		srcCost += e.Size / p.CatBandwidth(srcCat) * p.Categories[srcCat].CostPerSec
 	}
 	cat := p.Categories[vm.cat]
-	work := missing/p.Bandwidth + s.ctx.cons[t]/cat.Speed
+	bw := p.CatBandwidth(vm.cat)
+	work := missing/bw + s.ctx.cons[t]/cat.Speed
+	if missing > 0 {
+		work = p.XferLat(vm.cat) + work
+	}
 
 	// Walk the gaps between consecutive slots, then the open tail.
 	for i := 1; i <= len(vm.slots); i++ {
@@ -70,12 +75,12 @@ func (s *state) evalInsertion(t wf.TaskID, vmIdx int) (candidate, bool) {
 			}
 			// Inside an existing gap: the VM is alive anyway, so only
 			// the transfer side costs are charged.
-			cost := srcCost + task.ExternalOut/p.Bandwidth*cat.CostPerSec
+			cost := srcCost + task.ExternalOut/bw*cat.CostPerSec
 			return candidate{vm: vmIdx, cat: vm.cat, begin: begin, eft: eft, cost: cost, slot: i}, true
 		}
 		// Tail: identical to the append policy.
 		billed := eft - vm.readyAt
-		cost := billed*cat.CostPerSec + srcCost + task.ExternalOut/p.Bandwidth*cat.CostPerSec
+		cost := billed*cat.CostPerSec + srcCost + task.ExternalOut/bw*cat.CostPerSec
 		return candidate{vm: vmIdx, cat: vm.cat, begin: begin, eft: eft, cost: cost, slot: i}, true
 	}
 	return candidate{}, false
@@ -123,7 +128,7 @@ func (s *state) extractSlotted(listT []wf.TaskID) *plan.Schedule {
 	}
 	makespan := 0.0
 	for t := range s.finish {
-		end := s.finish[t] + s.ctx.w.Task(wf.TaskID(t)).ExternalOut/s.ctx.p.Bandwidth
+		end := s.finish[t] + s.ctx.w.Task(wf.TaskID(t)).ExternalOut/s.ctx.p.CatBandwidth(s.vms[s.taskVM[t]].cat)
 		if end > makespan {
 			makespan = end
 		}

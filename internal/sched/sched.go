@@ -71,11 +71,17 @@ func All() []Algorithm {
 }
 
 // ByName returns the named algorithm, searching the paper's registry
-// and the extension baselines (e.g. PEFT).
+// and the extension baselines (e.g. PEFT). A "<base>-spot" name
+// resolves to the base algorithm's spot-aware variant (see spot.go).
 func ByName(n Name) (Algorithm, error) {
 	for _, a := range AllExtended() {
 		if a.Name == n {
 			return a, nil
+		}
+	}
+	if base, ok := spotBase(n); ok {
+		if a, err := ByName(base); err == nil {
+			return SpotVariant(a), nil
 		}
 	}
 	return Algorithm{}, fmt.Errorf("sched: unknown algorithm %q", n)
@@ -237,15 +243,25 @@ func (s *state) eval(t wf.TaskID, vmIdx, cat int) candidate {
 			continue // produced locally
 		}
 		missing += e.Size
-		arr := s.finish[e.From] + e.Size/p.Bandwidth
+		// The producer's upload crosses its own provider's link: its
+		// bandwidth plus the inter-provider latency. Both degenerate to
+		// the scalar model (CatBandwidth == Bandwidth, XferLat == 0) on
+		// single-provider platforms.
+		srcCat := s.vms[fromVM].cat
+		arr := s.finish[e.From] + p.XferLat(srcCat) + e.Size/p.CatBandwidth(srcCat)
 		if arr > dcReady {
 			dcReady = arr
 		}
-		srcCost += e.Size / p.Bandwidth * p.Categories[s.vms[fromVM].cat].CostPerSec
+		srcCost += e.Size / p.CatBandwidth(srcCat) * p.Categories[srcCat].CostPerSec
 	}
 	speed := p.Categories[cat].Speed
 	chost := p.Categories[cat].CostPerSec
-	work := missing/p.Bandwidth + s.ctx.cons[t]/speed
+	bw := p.CatBandwidth(cat)
+	work := missing/bw + s.ctx.cons[t]/speed
+	if missing > 0 {
+		// One staging flow on the candidate's link: charge its latency.
+		work = p.XferLat(cat) + work
+	}
 	var begin, eft, billed float64
 	if vmIdx >= 0 {
 		begin = s.vms[vmIdx].readyAt
@@ -256,10 +272,10 @@ func (s *state) eval(t wf.TaskID, vmIdx, cat int) candidate {
 		billed = eft - s.vms[vmIdx].readyAt // idle gap + staging + compute
 	} else {
 		begin = dcReady
-		eft = begin + p.BootTime + work
+		eft = begin + p.CatBootTime(cat) + work
 		billed = work // boot is uncharged
 	}
-	cost := billed*chost + srcCost + task.ExternalOut/p.Bandwidth*chost
+	cost := billed*chost + srcCost + task.ExternalOut/bw*chost
 	return candidate{vm: vmIdx, cat: cat, begin: begin, eft: eft, cost: cost, slot: -1}
 }
 
@@ -448,7 +464,7 @@ func (s *state) assign(t wf.TaskID, c candidate) int {
 	if idx < 0 {
 		s.vms = append(s.vms, vmSt{cat: c.cat, bookAt: c.begin, readyAt: c.eft})
 		idx = len(s.vms) - 1
-		slotStart = c.begin + s.ctx.p.BootTime
+		slotStart = c.begin + s.ctx.p.CatBootTime(c.cat)
 	} else {
 		s.vms[idx].readyAt = c.eft
 	}
@@ -474,7 +490,7 @@ func (s *state) extract(listT []wf.TaskID) *plan.Schedule {
 	}
 	makespan := 0.0
 	for t := range s.finish {
-		end := s.finish[t] + s.ctx.tasks[t].ExternalOut/s.ctx.p.Bandwidth
+		end := s.finish[t] + s.ctx.tasks[t].ExternalOut/s.ctx.p.CatBandwidth(s.vms[s.taskVM[t]].cat)
 		if end > makespan {
 			makespan = end
 		}

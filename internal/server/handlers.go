@@ -15,8 +15,10 @@ import (
 
 	"budgetwf/internal/est"
 	"budgetwf/internal/exp"
+	"budgetwf/internal/market"
 	"budgetwf/internal/obs"
 	"budgetwf/internal/online"
+	"budgetwf/internal/platform"
 	"budgetwf/internal/rng"
 	"budgetwf/internal/sched"
 	"budgetwf/internal/sim"
@@ -111,9 +113,8 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusUnprocessableEntity, "workflow: "+err.Error(), reqID)
 		return
 	}
-	plat, err := parsePlatform(req.Platform)
-	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, "platform: "+err.Error(), reqID)
+	plat, ok := resolvePlatform(w, reqID, req.Platform, req.Market)
+	if !ok {
 		return
 	}
 	alg, err := sched.ByName(sched.Name(req.Algorithm))
@@ -219,9 +220,8 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusUnprocessableEntity, "workflow: "+err.Error(), reqID)
 		return
 	}
-	plat, err := parsePlatform(req.Platform)
-	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, "platform: "+err.Error(), reqID)
+	plat, ok := resolvePlatform(w, reqID, req.Platform, req.Market)
+	if !ok {
 		return
 	}
 	schedule, err := parseSchedule(req.Schedule, wfl, plat)
@@ -247,16 +247,26 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusBadRequest, err.Error(), reqID)
 			return
 		}
-		if plat.DCBandwidth > 0 {
-			writeError(w, http.StatusUnprocessableEntity,
-				"fault injection does not support the datacenter contention mode", reqID)
-			return
-		}
 		if estimator == exp.EstimatorAnalytic {
 			writeError(w, http.StatusUnprocessableEntity,
 				"estimator: fault injection requires the Monte Carlo estimator", reqID)
 			return
 		}
+	}
+	// Spot revocation hazards superpose onto the explicit fault spec: a
+	// platform with revocable spot categories replays through the
+	// fault-injecting online executor even when the request carries no
+	// faults of its own.
+	faults := market.MergeRevocations(req.Faults, plat, req.Seed)
+	if faults != nil && plat.DCBandwidth > 0 {
+		writeError(w, http.StatusUnprocessableEntity,
+			"fault injection does not support the datacenter contention mode", reqID)
+		return
+	}
+	if estimator == exp.EstimatorAnalytic && plat.MarketDistinct() {
+		writeError(w, http.StatusUnprocessableEntity,
+			"estimator: the analytic estimator cannot model market platforms (providers, transfer matrices, spot categories); use estimator=mc", reqID)
+		return
 	}
 	if estimator == exp.EstimatorAnalytic && plat.DCBandwidth > 0 {
 		writeError(w, http.StatusUnprocessableEntity,
@@ -320,20 +330,26 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Spot bookings are tracked by the online executor, which runs
+	// exactly when there is a fault process to inject — a zero-hazard
+	// spot platform without explicit faults replays through the plain
+	// simulator and reports no spot section.
+	hasSpot := faults != nil && plat.HasSpot()
 	resp, ok := s.runPooledTimeout(w, r, s.requestTimeout(req.TimeoutMillis), func(ctx context.Context) (any, error) {
 		batchSpan := root.Child("simulate-batch")
-		batchSpan.Set(obs.Int("replications", reps), obs.Bool("faults", req.Faults != nil))
+		batchSpan.Set(obs.Int("replications", reps), obs.Bool("faults", faults != nil))
 		defer batchSpan.End()
 		stream := rng.New(req.Seed)
 		mk := make([]float64, 0, reps)
 		cost := make([]float64, 0, reps)
 		valid := 0
 		var fs faultSummaryJSON
+		var ss spotSummaryJSON
 		// Plain replications reuse one simulation engine across the
 		// whole batch; the fault path re-plans recoveries and keeps the
 		// one-shot API.
 		var runner *sim.Runner
-		if req.Faults == nil {
+		if faults == nil {
 			var err error
 			if runner, err = sim.NewRunner(wfl, plat, schedule); err != nil {
 				return nil, err
@@ -350,9 +366,9 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 			// The weight streams are the same with and without fault
 			// injection, so a zero fault spec reproduces the plain
 			// response.
-			if req.Faults != nil {
-				spec := *req.Faults
-				spec.Seed = req.Faults.Seed + uint64(i) // fresh fault trace per replication
+			if faults != nil {
+				spec := *faults
+				spec.Seed = faults.Seed + uint64(i) // fresh fault trace per replication
 				var repSpan *obs.Span
 				if deep {
 					repSpan = batchSpan.Child("replication")
@@ -378,6 +394,15 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 				fs.RecoveriesPerRun += float64(res.Recoveries)
 				fs.RecoveriesVetoedPerRun += float64(res.RecoveriesVetoed)
 				fs.WastedSecondsPerRun += res.WastedSeconds
+				if hasSpot {
+					if res.Completed {
+						ss.Completed++
+					}
+					ss.SpotVMsPerRun += float64(res.SpotVMs)
+					ss.RevocationsPerRun += float64(res.Revocations)
+					ss.SpotCostPerRun += res.SpotCost
+					ss.ReworkCostPerRun += res.SpotReworkCost
+				}
 				continue
 			}
 			res, err := runner.RunStochastic(stream.Split(uint64(i)))
@@ -408,6 +433,18 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 			fs.RecoveriesVetoedPerRun /= n
 			fs.WastedSecondsPerRun /= n
 			out.Faults = &fs
+		}
+		if hasSpot {
+			// The accumulators hold batch totals here — feed them to the
+			// process counters before normalizing to per-run means.
+			s.metrics.observeSpot(ss.SpotVMsPerRun, ss.RevocationsPerRun, ss.ReworkCostPerRun)
+			n := float64(reps)
+			ss.SuccessRate = float64(ss.Completed) / n
+			ss.SpotVMsPerRun /= n
+			ss.RevocationsPerRun /= n
+			ss.SpotCostPerRun /= n
+			ss.ReworkCostPerRun /= n
+			out.Spot = &ss
 		}
 		return out, nil
 	})
@@ -449,6 +486,22 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error(), reqID)
 		return
 	}
+	// A market spec swaps the sweep's platform for the compiled
+	// multi-provider one; absent, the scenario keeps its nil-platform
+	// default (the paper's Table II catalog).
+	var marketPlat *platform.Platform
+	if rawPresent(req.Market) {
+		p, ok := resolvePlatform(w, reqID, nil, req.Market)
+		if !ok {
+			return
+		}
+		if estimator == exp.EstimatorAnalytic && p.MarketDistinct() {
+			writeError(w, http.StatusUnprocessableEntity,
+				"estimator: the analytic estimator cannot model market platforms (providers, transfer matrices, spot categories); use estimator=mc", reqID)
+			return
+		}
+		marketPlat = p
+	}
 	switch {
 	case req.N < 4 || req.N > maxSweepTasks:
 		err = fmt.Errorf("n must be in [4, %d]", maxSweepTasks)
@@ -488,6 +541,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			Type:       typ,
 			N:          req.N,
 			SigmaRatio: req.SigmaRatio,
+			Platform:   marketPlat,
 			Instances:  req.Instances,
 			Reps:       req.Replications,
 			Seed:       req.Seed,
@@ -498,6 +552,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			return nil, err
 		}
+		s.metrics.observeSpotSweep(res)
 		return sweepResponseFrom(res, reqID), nil
 	})
 	if ok {

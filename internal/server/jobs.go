@@ -92,12 +92,16 @@ func sweepResponseFrom(res *exp.SweepResult, reqID string) sweepResponse {
 		ss := sweepSeries{Algorithm: string(series.Algorithm)}
 		for _, p := range series.Points {
 			ss.Points = append(ss.Points, sweepPoint{
-				Factor:    p.Factor,
-				Budget:    p.Budget,
-				Makespan:  toSummaryJSON(p.Makespan),
-				Cost:      toSummaryJSON(p.Cost),
-				NumVMs:    toSummaryJSON(p.NumVMs),
-				ValidFrac: p.ValidFrac,
+				Factor:      p.Factor,
+				Budget:      p.Budget,
+				Makespan:    toSummaryJSON(p.Makespan),
+				Cost:        toSummaryJSON(p.Cost),
+				NumVMs:      toSummaryJSON(p.NumVMs),
+				ValidFrac:   p.ValidFrac,
+				SuccessFrac: p.SuccessFrac,
+				SpotVMs:     p.SpotVMs,
+				Revocations: p.Revocations,
+				ReworkCost:  p.ReworkCost,
 			})
 		}
 		out.Series = append(out.Series, ss)
@@ -263,6 +267,7 @@ func (s *Server) handleShard(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			return nil, err
 		}
+		s.metrics.observeSpotUnits(out.SweepUnits)
 		if req.Trace {
 			// Export the compute subtree for the coordinator's stitcher;
 			// timestamps stay on this process's monotonic clock.
@@ -344,6 +349,7 @@ func (s *Server) runJob(ctx context.Context, run dist.JobRun) (any, error) {
 			return nil, err
 		}
 		s.metrics.observeJob("completed")
+		s.metrics.observeSpotSweep(res)
 		return sweepResponseFrom(res, ""), nil
 
 	case dist.KindFaultSweep:

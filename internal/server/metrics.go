@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"budgetwf/internal/dist"
+	"budgetwf/internal/exp"
 	"budgetwf/internal/obs"
 	"budgetwf/internal/pool"
 )
@@ -27,6 +28,15 @@ type Metrics struct {
 	latencies  *expvar.Map // endpoint → latency histogram
 	jobs       *expvar.Map // async-job lifecycle event → count
 	shards     expvar.Int  // shards served via POST /v1/shards
+	// Spot-market activity computed by this process (simulate
+	// replications, sweep cells, shard units): VMs booked on spot
+	// categories, revocations suffered, and rework cost paid. Sweep
+	// results merged from remote workers count on the worker that
+	// computed them and again on the coordinator that served the job —
+	// these are per-process activity counters, not a fleet ledger.
+	spotVMs         expvar.Float
+	spotRevocations expvar.Float
+	spotReworkCost  expvar.Float
 	// traceExported counts spans exported into shard responses for
 	// coordinator-side stitching.
 	traceExported expvar.Int
@@ -80,6 +90,13 @@ func newMetrics(cache *planCache, pool *workerPool) *Metrics {
 	m.root.Set("latencyMs", m.latencies)
 	m.root.Set("jobs", m.jobs)
 	m.root.Set("shardsServed", &m.shards)
+	m.root.Set("spot", expvar.Func(func() any {
+		return map[string]any{
+			"vms":         m.spotVMs.Value(),
+			"revocations": m.spotRevocations.Value(),
+			"reworkCost":  m.spotReworkCost.Value(),
+		}
+	}))
 	m.root.Set("traces", expvar.Func(func() any {
 		return map[string]any{
 			"spansExported": m.traceExported.Value(),
@@ -137,6 +154,53 @@ func (m *Metrics) observeJob(event string) { m.jobs.Add(event, 1) }
 
 // observeShard counts one shard served via POST /v1/shards.
 func (m *Metrics) observeShard() { m.shards.Add(1) }
+
+// observeSpot folds one batch of spot-market activity — VM bookings,
+// revocations, rework cost — into the process counters. The counts
+// arrive as floats because sweep results carry per-execution means
+// that are scaled back to totals.
+func (m *Metrics) observeSpot(vms, revocations, reworkCost float64) {
+	if vms == 0 && revocations == 0 && reworkCost == 0 {
+		return
+	}
+	m.spotVMs.Add(vms)
+	m.spotRevocations.Add(revocations)
+	m.spotReworkCost.Add(reworkCost)
+}
+
+// observeSpotSweep folds one sweep result's spot activity into the
+// process counters. The points hold per-execution means, so they are
+// scaled back to totals by the executions-per-point count before
+// accumulating.
+func (m *Metrics) observeSpotSweep(res *exp.SweepResult) {
+	execs := float64(res.Scenario.Instances * res.Scenario.Reps)
+	var vms, revs, rework float64
+	for _, series := range res.Series {
+		for _, p := range series.Points {
+			vms += p.SpotVMs * execs
+			revs += p.Revocations * execs
+			rework += p.ReworkCost * execs
+		}
+	}
+	m.observeSpot(vms, revs, rework)
+}
+
+// observeSpotUnits folds shard-evaluated sweep units into the spot
+// counters (the worker side, where the counts are exact integers).
+func (m *Metrics) observeSpotUnits(units []exp.SweepUnitResult) {
+	var vms, revs int
+	var rework float64
+	for _, u := range units {
+		vms += u.SpotVMs
+		revs += u.Revocations
+		rework += u.ReworkCost
+	}
+	m.observeSpot(float64(vms), float64(revs), rework)
+}
+
+// SpotRevocations returns the revocation counter (tests assert the
+// spot families move).
+func (m *Metrics) SpotRevocations() float64 { return m.spotRevocations.Value() }
 
 // observeTraceExported counts spans exported into a shard response.
 func (m *Metrics) observeTraceExported(n int) { m.traceExported.Add(int64(n)) }

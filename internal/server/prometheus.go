@@ -105,6 +105,16 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 	fmt.Fprintln(w, "# TYPE budgetwfd_shards_served_total counter")
 	fmt.Fprintf(w, "budgetwfd_shards_served_total %d\n", m.shards.Value())
 
+	fmt.Fprintln(w, "# HELP budgetwfd_spot_vms_total VMs booked on spot (preemptible) categories by this process's executions.")
+	fmt.Fprintln(w, "# TYPE budgetwfd_spot_vms_total counter")
+	fmt.Fprintf(w, "budgetwfd_spot_vms_total %g\n", m.spotVMs.Value())
+	fmt.Fprintln(w, "# HELP budgetwfd_spot_revocations_total Spot VM revocations suffered by this process's executions.")
+	fmt.Fprintln(w, "# TYPE budgetwfd_spot_revocations_total counter")
+	fmt.Fprintf(w, "budgetwfd_spot_revocations_total %g\n", m.spotRevocations.Value())
+	fmt.Fprintln(w, "# HELP budgetwfd_spot_rework_cost_total Rework cost paid for revocations: wasted spot billing plus replacement init fees.")
+	fmt.Fprintln(w, "# TYPE budgetwfd_spot_rework_cost_total counter")
+	fmt.Fprintf(w, "budgetwfd_spot_rework_cost_total %g\n", m.spotReworkCost.Value())
+
 	m.writePrometheusTraces(w)
 
 	m.writePrometheusCluster(w)

@@ -3,12 +3,15 @@ package server
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math"
+	"net/http"
 
 	"budgetwf/internal/exp"
 	"budgetwf/internal/fault"
+	"budgetwf/internal/market"
 	"budgetwf/internal/obs"
 	"budgetwf/internal/plan"
 	"budgetwf/internal/platform"
@@ -38,6 +41,10 @@ type scheduleRequest struct {
 	// Platform is optional; omitted or null selects the paper's
 	// Table II default platform.
 	Platform json.RawMessage `json:"platform,omitempty"`
+	// Market is an internal/market spec compiled into the platform —
+	// multi-provider price sheets, transfer matrices, spot categories.
+	// Mutually exclusive with Platform (400).
+	Market json.RawMessage `json:"market,omitempty"`
 	// Algorithm names one of the registered algorithms (see
 	// GET /v1/algorithms).
 	Algorithm string `json:"algorithm"`
@@ -73,6 +80,11 @@ type scheduleResponse struct {
 type simulateRequest struct {
 	Workflow json.RawMessage `json:"workflow"`
 	Platform json.RawMessage `json:"platform,omitempty"`
+	// Market is an internal/market spec compiled into the platform;
+	// mutually exclusive with Platform (400). Spot revocation hazards
+	// compile into the fault process automatically, superposed on any
+	// explicit Faults spec.
+	Market json.RawMessage `json:"market,omitempty"`
 	// Schedule is a plan previously returned by /v1/schedule (or
 	// written by cmd/schedule), in the internal/plan JSON format.
 	Schedule json.RawMessage `json:"schedule"`
@@ -131,8 +143,11 @@ type simulateResponse struct {
 	Budget    float64 `json:"budget"`
 	// Faults aggregates the fault-injection outcomes; present only
 	// when the request carried a faults spec.
-	Faults    *faultSummaryJSON `json:"faults,omitempty"`
-	RequestID string            `json:"requestId"`
+	Faults *faultSummaryJSON `json:"faults,omitempty"`
+	// Spot aggregates the spot-market outcomes; present only when the
+	// platform sells spot (preemptible) categories.
+	Spot      *spotSummaryJSON `json:"spot,omitempty"`
+	RequestID string           `json:"requestId"`
 	// Trace is the request's span tree — per-replication spans, and
 	// under fault injection the crash/recovery event stream — present
 	// only when the request asked for it with ?trace=1.
@@ -156,6 +171,23 @@ type faultSummaryJSON struct {
 	WastedSecondsPerRun    float64 `json:"wastedSecondsPerRun"`
 }
 
+// spotSummaryJSON aggregates spot-market outcomes across the
+// replications of one simulate request on a platform with spot
+// categories.
+type spotSummaryJSON struct {
+	// SuccessRate is the fraction of replications that completed every
+	// task despite revocations.
+	SuccessRate float64 `json:"successRate"`
+	Completed   int     `json:"completed"`
+	// Per-replication means: spot VMs booked, revocations suffered,
+	// realized spot spend, and rework cost (wasted spot billing plus
+	// revocation-triggered replacement init fees).
+	SpotVMsPerRun     float64 `json:"spotVMsPerRun"`
+	RevocationsPerRun float64 `json:"revocationsPerRun"`
+	SpotCostPerRun    float64 `json:"spotCostPerRun"`
+	ReworkCostPerRun  float64 `json:"reworkCostPerRun"`
+}
+
 // sweepRequest is the body of POST /v1/sweep: a Figure-1-style budget
 // sweep over generated workflow instances.
 type sweepRequest struct {
@@ -176,6 +208,11 @@ type sweepRequest struct {
 	Seed         uint64 `json:"seed,omitempty"`
 	// Estimator is "mc" (default) or "analytic", as in /v1/simulate.
 	Estimator string `json:"estimator,omitempty"`
+	// Market is an internal/market spec; the sweep then runs on the
+	// compiled multi-provider platform, and spot categories divert the
+	// harness to the revocation-aware online executor. The analytic
+	// estimator cannot model market platforms (422).
+	Market json.RawMessage `json:"market,omitempty"`
 }
 
 // sweepPoint is one (algorithm, budget) cell of the sweep response.
@@ -186,6 +223,14 @@ type sweepPoint struct {
 	Cost      summaryJSON `json:"cost"`
 	NumVMs    summaryJSON `json:"numVMs"`
 	ValidFrac float64     `json:"validFrac"`
+	// SuccessFrac is the fraction of executions that completed every
+	// task — exactly 1 on revocation-free platforms.
+	SuccessFrac float64 `json:"successFrac"`
+	// Per-execution spot means; omitted on platforms without spot
+	// categories, where they are identically zero.
+	SpotVMs     float64 `json:"spotVMs,omitempty"`
+	Revocations float64 `json:"revocations,omitempty"`
+	ReworkCost  float64 `json:"reworkCost,omitempty"`
 }
 
 // sweepSeries is one algorithm's curve.
@@ -260,6 +305,49 @@ func parsePlatform(raw json.RawMessage) (*platform.Platform, error) {
 		return nil, err
 	}
 	return &p, nil
+}
+
+// rawPresent reports whether an optional raw sub-object was actually
+// supplied (absent and JSON null both count as "not present").
+func rawPresent(raw json.RawMessage) bool {
+	return len(raw) != 0 && !bytes.Equal(bytes.TrimSpace(raw), []byte("null"))
+}
+
+// resolvePlatform resolves a request's platform/market pair: at most
+// one may be present (a 400 otherwise — the combination is malformed,
+// not merely unusable), a market spec compiles through internal/market
+// with its per-field 400/422 discipline, and an absent pair defaults
+// to the paper's Table II platform. It writes the error response
+// itself; ok is false when the request has already been answered.
+func resolvePlatform(w http.ResponseWriter, reqID string, platformRaw, marketRaw json.RawMessage) (*platform.Platform, bool) {
+	if rawPresent(marketRaw) {
+		if rawPresent(platformRaw) {
+			writeError(w, http.StatusBadRequest, "market: mutually exclusive with platform", reqID)
+			return nil, false
+		}
+		spec, err := market.ParseSpecBytes(marketRaw)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "market: "+err.Error(), reqID)
+			return nil, false
+		}
+		p, err := spec.Compile()
+		if err != nil {
+			status := http.StatusBadRequest
+			var fe *market.FieldError
+			if errors.As(err, &fe) && fe.Semantic {
+				status = http.StatusUnprocessableEntity
+			}
+			writeError(w, status, err.Error(), reqID)
+			return nil, false
+		}
+		return p, true
+	}
+	p, err := parsePlatform(platformRaw)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "platform: "+err.Error(), reqID)
+		return nil, false
+	}
+	return p, true
 }
 
 // parseSchedule parses the schedule sub-object and validates it

@@ -200,6 +200,7 @@ type engine struct {
 	blames       []Blame
 	doneCount    int
 	finishedTask []bool
+	xferCost     float64 // inter-provider per-byte surcharges accrued
 
 	result Result // reused by collect()
 }
@@ -247,6 +248,7 @@ func (e *engine) reset(weights []float64) error {
 	e.flows = e.flows[:0]
 	e.flowArena = e.flowArena[:0]
 	e.doneCount = 0
+	e.xferCost = 0
 	s := e.st.s
 	for i := range e.vms {
 		e.vms[i] = vmState{cat: s.VMCats[i], queue: s.Order[i]}
@@ -294,8 +296,15 @@ func (e *engine) newFlow(f flow) *flow {
 func (e *engine) startFlow(f *flow) {
 	f.seq = e.seq
 	e.seq++
+	// Every flow crosses the VM↔DC link of the flow's VM; on a market
+	// platform that means the VM provider's bandwidth, a fixed
+	// inter-provider latency, and a per-byte transfer surcharge. All
+	// three degenerate to the scalar model (latency 0, surcharge 0,
+	// CatBandwidth == Bandwidth) on single-provider platforms.
+	cat := e.vms[f.vm].cat
+	e.xferCost += f.remaining * e.st.p.XferCost(cat)
 	if !e.st.fluid {
-		e.push(event{time: e.now + f.remaining/e.st.p.Bandwidth, kind: evFlowDone, flow: f})
+		e.push(event{time: e.now + e.st.p.XferLat(cat) + f.remaining/e.st.p.CatBandwidth(cat), kind: evFlowDone, flow: f})
 		return
 	}
 	e.flows = append(e.flows, f)
@@ -357,7 +366,7 @@ func (e *engine) tryAdvance(v int) {
 		vm.booked = true
 		vm.booting = true
 		vm.bookTime = e.now
-		vm.bootDone = e.now + e.st.p.BootTime
+		vm.bootDone = e.now + e.st.p.CatBootTime(vm.cat)
 		e.push(event{time: vm.bootDone, kind: evBootDone, vm: v})
 		return
 	}
@@ -574,6 +583,7 @@ func (e *engine) collect() *Result {
 	res.LastEvent = lastEvent
 	res.Makespan = lastEvent - firstBook
 	res.DCCost = e.st.p.DCCost(e.st.w.ExternalInSize(), e.st.w.ExternalOutSize(), firstBook, lastEvent)
-	res.TotalCost = res.DCCost + res.VMCost()
+	res.XferCost = e.xferCost
+	res.TotalCost = res.DCCost + res.VMCost() + res.XferCost
 	return res
 }

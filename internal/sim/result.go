@@ -113,6 +113,9 @@ type Result struct {
 	TotalCost float64
 	// DCCost is C_DC per Equation (2).
 	DCCost float64
+	// XferCost is the inter-provider transfer surcharge on a market
+	// platform (zero in the single-provider model).
+	XferCost float64
 	// VMs describes every provisioned VM.
 	VMs []VMUsage
 	// Tasks holds per-task realized times, indexed by TaskID.
